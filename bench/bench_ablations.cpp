@@ -1,0 +1,87 @@
+// Ablations of KSelect's design knobs (the choices DESIGN.md calls out):
+//  * δ (the rank margin of Phase 2c) — smaller δ prunes harder per
+//    iteration but risks disabled prunes (verification keeps it safe);
+//    larger δ slows shrinkage.
+//  * the sample size C' = sample_scale · sqrt(n) — larger samples give
+//    better pivots per iteration at more sorting work.
+//  * Phase 1 on/off — the quantile pruning pass pays for itself when
+//    m >> n.
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "kselect/kselect_system.hpp"
+
+using namespace sks;
+using kselect::CandidateKey;
+
+namespace {
+
+struct Result {
+  std::uint64_t rounds = 0;
+  std::size_t iterations = 0;
+  bool ok = false;
+};
+
+Result run(std::size_t n, std::size_t m, double delta_scale,
+           std::uint32_t phase1_iters_override, std::uint64_t seed) {
+  kselect::KSelectSystem sys({.num_nodes = n,
+                              .seed = seed,
+                              .delta_scale = delta_scale,
+                              .phase1_iterations = phase1_iters_override,
+                              // Large δ starves Phase 2c (δ swallows the
+                              // sample, only the extremes fallback prunes),
+                              // so allow many more iterations than the
+                              // production default.
+                              .max_iterations = 1024});
+  Rng rng(seed * 3 + 1);
+  std::vector<CandidateKey> elements;
+  for (std::uint64_t i = 1; i <= m; ++i) {
+    elements.push_back(CandidateKey{rng.range(1, ~0ULL >> 8), i});
+  }
+  sys.seed_elements(elements);
+  const auto out = sys.select(m / 2);
+  auto sorted = elements;
+  std::sort(sorted.begin(), sorted.end());
+  Result r;
+  r.rounds = out.rounds;
+  r.iterations = sys.anchor_node().kselect.stats().size();
+  r.ok = out.result.has_value() && *out.result == sorted[m / 2 - 1];
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablations  KSelect design knobs",
+                "Exactness holds for every setting (the verification steps "
+                "are unconditional);\nonly rounds/iterations move.");
+
+  constexpr std::size_t n = 256;
+  constexpr std::size_t m = 256 * 64;
+
+  std::printf("-- delta scale (rank margin of Phase 2c), n=%zu m=%zu --\n", n,
+              m);
+  bench::Table t1({"delta_scale", "rounds", "iterations", "exact"});
+  for (double ds : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const auto r = run(n, m, ds, 0, 1000 + static_cast<std::uint64_t>(ds * 4));
+    t1.row({ds, static_cast<double>(r.rounds),
+            static_cast<double>(r.iterations), r.ok ? 1.0 : 0.0});
+  }
+
+  std::printf("\n-- Phase 1 iterations (0 rows use the paper's log q + 1) "
+              "--\n");
+  bench::Table t2({"p1_iters", "rounds", "iterations", "exact"});
+  for (std::uint32_t p1 : {1u, 2u, 4u}) {
+    const auto r = run(n, m, 0.5, p1, 2000 + p1);
+    t2.row({static_cast<double>(p1), static_cast<double>(r.rounds),
+            static_cast<double>(r.iterations), r.ok ? 1.0 : 0.0});
+  }
+  // The paper's automatic choice for reference.
+  const auto r_auto = run(n, m, 0.5, 0, 2999);
+  std::printf("auto (log q + 1): rounds=%llu iterations=%zu exact=%d\n",
+              static_cast<unsigned long long>(r_auto.rounds),
+              r_auto.iterations, r_auto.ok ? 1 : 0);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E10 — Skeap/Seap against the two baselines the paper's introduction
+// argues against: a centralized coordinator heap and an unbatched
+// tree-routing heap (the "batching off" ablation).
+//
+// Two sweeps:
+//  (1) congestion vs n at Λ = 4: the coordinator/anchor handles every op
+//      itself (grows ~n·Λ), while batched protocols stay Õ(Λ);
+//  (2) rounds to complete the same workload: centralized wins on latency
+//      at tiny n (one hop!), Skeap wins on *scalability* — the crossover
+//      the paper's scalability argument predicts.
+#include "baselines/centralized.hpp"
+#include "baselines/nobatch.hpp"
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "seap/seap_system.hpp"
+#include "skeap/skeap_system.hpp"
+
+using namespace sks;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t congestion = 0;
+  std::uint64_t rounds = 0;
+};
+
+template <class IssueFn, class RunFn, class NetFn>
+Outcome drive(std::size_t n, std::uint64_t lambda, std::uint64_t seed,
+              IssueFn issue, RunFn run, NetFn net) {
+  Rng rng(seed);
+  (void)net().metrics().take();
+  Outcome out;
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint64_t i = 0; i < lambda; ++i) {
+      issue(v, rng.flip(0.5), rng.range(1, 4));
+    }
+  }
+  out.rounds = run();
+  out.congestion = net().metrics().take().max_congestion;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "E10  Skeap/Seap vs centralized vs unbatched",
+      "The motivation of Section 1: batching over the aggregation tree "
+      "removes the serialization bottleneck.\nShape: coordinator/anchor "
+      "congestion grows ~n*Lambda for the baselines but stays ~Lambda for "
+      "Skeap/Seap.");
+
+  constexpr std::uint64_t kLambda = 4;
+  bench::Table table({"n", "central_cg", "nobatch_cg", "skeap_cg", "seap_cg",
+                      "skeap_rounds", "central_rnds"});
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    baselines::CentralizedSystem central({.num_nodes = n, .seed = 3});
+    const auto c = drive(
+        n, kLambda, 100 + n,
+        [&](NodeId v, bool ins, Priority p) {
+          if (ins) {
+            central.insert(v, p);
+          } else {
+            central.delete_min(v);
+          }
+        },
+        [&] { return central.run(); }, [&]() -> sim::Network& {
+          return central.net();
+        });
+
+    baselines::NoBatchSystem nobatch(
+        {.num_nodes = n, .num_priorities = 4, .seed = 3});
+    const auto nb = drive(
+        n, kLambda, 100 + n,
+        [&](NodeId v, bool ins, Priority p) {
+          if (ins) {
+            nobatch.insert(v, p);
+          } else {
+            nobatch.delete_min(v);
+          }
+        },
+        [&] { return nobatch.run(); }, [&]() -> sim::Network& {
+          return nobatch.net();
+        });
+
+    skeap::SkeapSystem sk({.num_nodes = n, .num_priorities = 4, .seed = 3});
+    const auto s = drive(
+        n, kLambda, 100 + n,
+        [&](NodeId v, bool ins, Priority p) {
+          if (ins) {
+            sk.insert(v, p);
+          } else {
+            sk.delete_min(v);
+          }
+        },
+        [&] { return sk.run_batch(); }, [&]() -> sim::Network& {
+          return sk.net();
+        });
+
+    seap::SeapSystem se({.num_nodes = n, .seed = 3});
+    const auto sp = drive(
+        n, kLambda, 100 + n,
+        [&](NodeId v, bool ins, Priority p) {
+          if (ins) {
+            se.insert(v, p * 1000);
+          } else {
+            se.delete_min(v);
+          }
+        },
+        [&] { return se.run_cycle(); }, [&]() -> sim::Network& {
+          return se.net();
+        });
+
+    table.row({static_cast<double>(n), static_cast<double>(c.congestion),
+               static_cast<double>(nb.congestion),
+               static_cast<double>(s.congestion),
+               static_cast<double>(sp.congestion),
+               static_cast<double>(s.rounds),
+               static_cast<double>(c.rounds)});
+  }
+  std::printf(
+      "\nNote: the centralized heap finishes in O(1) rounds — its cost is\n"
+      "the coordinator's load, which grows with n*Lambda and in a real\n"
+      "deployment becomes the throughput ceiling the paper's batching "
+      "avoids.\n");
+  return 0;
+}

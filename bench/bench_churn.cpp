@@ -1,0 +1,91 @@
+// E12 — Join()/Leave() (Contribution 4): lazy admission, O(log n)
+// restoration, no data loss.
+//
+// Sweep n; measure the rounds a single join and a single leave take to
+// restore the topology, verify the stored-element count is conserved, and
+// run a churn storm with live heap traffic to confirm semantics survive.
+#include <cmath>
+#include <optional>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/semantics.hpp"
+#include "skeap/skeap_system.hpp"
+
+using namespace sks;
+
+int main() {
+  bench::header(
+      "E12  churn: join/leave restoration",
+      "Claim (Contribution 4): membership changes restore the topology in "
+      "O(log n) rounds w.h.p.\nwithout losing data. Shape: join/leave "
+      "rounds ~log n; element counts conserved.");
+
+  bench::Table table({"n", "join_rounds", "leave_rounds", "elems_before",
+                      "elems_after", "conserved"});
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    skeap::SkeapSystem sys(
+        {.num_nodes = n, .num_priorities = 3, .seed = 400 + n});
+    Rng rng(3 + n);
+    for (NodeId v = 0; v < n; ++v) {
+      for (int i = 0; i < 5; ++i) sys.insert(v, rng.range(1, 3));
+    }
+    sys.run_batch();
+
+    auto count_elems = [&] {
+      std::size_t total = 0;
+      for (NodeId v : sys.active_nodes()) {
+        total += sys.node(v).dht().stored_count();
+      }
+      return total;
+    };
+    const std::size_t before = count_elems();
+
+    (void)sys.net().metrics().take();
+    sys.join_node();
+    const auto join_rounds = sys.net().metrics().take().rounds;
+
+    // Leave a non-anchor node.
+    NodeId victim = kNoNode;
+    for (NodeId v : sys.active_nodes()) {
+      if (v != sys.anchor()) {
+        victim = v;
+        break;
+      }
+    }
+    (void)sys.net().metrics().take();
+    sys.leave_node(victim);
+    const auto leave_rounds = sys.net().metrics().take().rounds;
+
+    const std::size_t after = count_elems();
+    table.row({static_cast<double>(n), static_cast<double>(join_rounds),
+               static_cast<double>(leave_rounds),
+               static_cast<double>(before), static_cast<double>(after),
+               before == after ? 1.0 : 0.0});
+  }
+
+  // Churn storm with live traffic: semantics must hold end to end.
+  std::printf("\n-- churn storm (n = 32, 12 membership changes under "
+              "traffic) --\n");
+  skeap::SkeapSystem sys({.num_nodes = 32, .num_priorities = 3, .seed = 51});
+  Rng rng(52);
+  for (int step = 0; step < 12; ++step) {
+    for (NodeId v : sys.active_nodes()) {
+      if (rng.flip(0.6)) sys.insert(v, rng.range(1, 3));
+      if (rng.flip(0.3)) sys.delete_min(v);
+    }
+    sys.run_batch();
+    if (step % 2 == 0) {
+      sys.join_node();
+    } else {
+      std::vector<NodeId> nodes(sys.active_nodes().begin(),
+                                sys.active_nodes().end());
+      sys.leave_node(nodes[rng.below(nodes.size())]);
+    }
+  }
+  sys.run_batch();
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  std::printf("sequential consistency across the storm: %s\n",
+              check.ok ? "OK" : check.error.c_str());
+  return check.ok ? 0 : 1;
+}

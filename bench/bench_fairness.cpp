@@ -1,0 +1,95 @@
+// E9 — fairness: each node stores m/n elements in expectation
+// (Theorems 3.2(1)/5.1(1), Lemma 2.2(iv)).
+//
+// Bulk-insert m elements through each protocol and report the per-node
+// occupancy distribution: mean should be m/n; max/mean bounded by a small
+// factor (random consistent-hashing arcs give max ~ O(log n) * mean).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "seap/seap_system.hpp"
+#include "skeap/skeap_system.hpp"
+
+using namespace sks;
+
+namespace {
+
+struct LoadStats {
+  double mean = 0, stddev = 0;
+  std::size_t min = 0, max = 0;
+};
+
+LoadStats stats_of(const std::vector<std::size_t>& loads) {
+  LoadStats s;
+  s.min = ~std::size_t{0};
+  double sum = 0;
+  for (auto l : loads) {
+    sum += static_cast<double>(l);
+    s.min = std::min(s.min, l);
+    s.max = std::max(s.max, l);
+  }
+  s.mean = sum / static_cast<double>(loads.size());
+  double var = 0;
+  for (auto l : loads) {
+    const double d = static_cast<double>(l) - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(loads.size()));
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E9  fairness of element placement",
+                "Claim (Lem 2.2(iv)): the DHT stores m elements uniformly — "
+                "m/n per node in expectation.\nShape: mean = m/n; max/mean "
+                "stays a small factor (consistent-hashing arc variance).");
+
+  constexpr std::size_t kNodes = 128;
+  constexpr std::size_t kPerNode = 50;
+  constexpr std::size_t kTotal = kNodes * kPerNode;
+
+  bench::Table table(
+      {"protocol", "m/n", "mean", "stddev", "min", "max", "max/mean"});
+
+  {
+    skeap::SkeapSystem sys(
+        {.num_nodes = kNodes, .num_priorities = 4, .seed = 21});
+    Rng rng(5);
+    for (std::size_t i = 0; i < kTotal; ++i) {
+      sys.insert(static_cast<NodeId>(i % kNodes), rng.range(1, 4));
+    }
+    sys.run_batch();
+    std::vector<std::size_t> loads;
+    for (NodeId v = 0; v < kNodes; ++v) {
+      loads.push_back(sys.node(v).dht().stored_count());
+    }
+    const auto s = stats_of(loads);
+    std::printf("Skeap:\n");
+    table.row({0, static_cast<double>(kPerNode), s.mean, s.stddev,
+               static_cast<double>(s.min), static_cast<double>(s.max),
+               static_cast<double>(s.max) / s.mean});
+  }
+  {
+    seap::SeapSystem sys({.num_nodes = kNodes, .seed = 22});
+    Rng rng(6);
+    for (std::size_t i = 0; i < kTotal; ++i) {
+      sys.insert(static_cast<NodeId>(i % kNodes), rng.range(1, ~0ULL >> 16));
+    }
+    sys.run_cycle();
+    std::vector<std::size_t> loads;
+    for (NodeId v = 0; v < kNodes; ++v) {
+      loads.push_back(sys.node(v).dht().stored_count());
+    }
+    const auto s = stats_of(loads);
+    std::printf("Seap:\n");
+    table.row({1, static_cast<double>(kPerNode), s.mean, s.stddev,
+               static_cast<double>(s.min), static_cast<double>(s.max),
+               static_cast<double>(s.max) / s.mean});
+  }
+  return 0;
+}

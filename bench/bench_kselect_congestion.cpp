@@ -1,0 +1,49 @@
+// E6 — KSelect congestion is Õ(1) and messages are O(log n) bits
+// (Theorem 4.2).
+//
+// Sweep n at m = 20n: max per-node per-round messages should stay
+// polylogarithmic (flat-ish), and the largest protocol message should
+// grow like log n — crucially *not* with m or the injection pattern.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "kselect/kselect_system.hpp"
+
+using namespace sks;
+using kselect::CandidateKey;
+
+int main() {
+  bench::header(
+      "E6  KSelect congestion and message size",
+      "Claim (Thm 4.2): congestion O~(1), messages O(log n) bits.\n"
+      "Shape: congestion grows at most polylog in n; max message bits "
+      "~log n.");
+
+  bench::Table table(
+      {"n", "m", "congestion", "max_bits", "bits/log2n"});
+  for (std::size_t n : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const std::size_t m = 20 * n;
+    kselect::KSelectSystem sys({.num_nodes = n, .seed = 500 + n});
+    Rng rng(13 + n);
+    std::vector<CandidateKey> elements;
+    for (std::uint64_t i = 1; i <= m; ++i) {
+      elements.push_back(CandidateKey{rng.range(1, ~0ULL >> 8), i});
+    }
+    sys.seed_elements(elements);
+    (void)sys.net().metrics().take();
+    const auto out = sys.select(m / 3);
+    if (!out.result) {
+      std::printf("n=%zu: selection failed!\n", n);
+      return 1;
+    }
+    const auto snap = sys.net().metrics().take();
+    const auto kselect_bits = bench::max_bits_of_type(snap, "kselect.");
+    table.row({static_cast<double>(n), static_cast<double>(m),
+               static_cast<double>(snap.max_congestion),
+               static_cast<double>(kselect_bits),
+               static_cast<double>(kselect_bits) /
+                   std::log2(static_cast<double>(n))});
+  }
+  return 0;
+}

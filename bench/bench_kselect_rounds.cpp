@@ -1,0 +1,56 @@
+// E4 — KSelect runs in O(log n) rounds w.h.p. (Theorem 4.2).
+//
+// Sweep n with m = n^q for q ∈ {1, 1.5, 2}; the round count should grow
+// logarithmically in n (flat rounds/log2 n), not with m.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "kselect/kselect_system.hpp"
+
+using namespace sks;
+using kselect::CandidateKey;
+
+namespace {
+
+std::vector<CandidateKey> make_elements(std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CandidateKey> out;
+  out.reserve(m);
+  for (std::uint64_t i = 1; i <= m; ++i) {
+    out.push_back(CandidateKey{rng.range(1, ~0ULL >> 8), i});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E4  KSelect rounds",
+                "Claim (Thm 4.2): k-selection over m = poly(n) elements "
+                "finishes in O(log n) rounds w.h.p.\nShape: rounds/log2(n) "
+                "roughly flat in n; only weak dependence on m.");
+
+  bench::Table table({"n", "m", "k", "rounds", "rounds/log2n", "iters"});
+  for (std::size_t n : {32u, 128u, 512u}) {
+    for (double q : {1.0, 1.5, 2.0}) {
+      const auto m = static_cast<std::size_t>(
+          std::pow(static_cast<double>(n), q));
+      kselect::KSelectSystem sys({.num_nodes = n, .seed = 100 + n});
+      sys.seed_elements(make_elements(m, 3 * n + static_cast<std::size_t>(q)));
+      const std::uint64_t k = m / 2;
+      const auto out = sys.select(k);
+      if (!out.result) {
+        std::printf("n=%zu m=%zu: selection failed!\n", n, m);
+        return 1;
+      }
+      const double logn = std::log2(static_cast<double>(n));
+      table.row({static_cast<double>(n), static_cast<double>(m),
+                 static_cast<double>(k), static_cast<double>(out.rounds),
+                 static_cast<double>(out.rounds) / logn,
+                 static_cast<double>(
+                     sys.anchor_node().kselect.stats().size())});
+    }
+  }
+  return 0;
+}

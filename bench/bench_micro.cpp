@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) of the primitives everything else
+// is built on: hashing, interval carving, batch combination, topology
+// construction, and the simulator's message loop. Wall-clock numbers —
+// useful for spotting regressions in the substrate, not part of the
+// paper's round-complexity claims.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/hash.hpp"
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+#include "overlay/topology.hpp"
+#include "sim/dispatch.hpp"
+#include "sim/network.hpp"
+#include "skeap/batch.hpp"
+
+namespace sks {
+namespace {
+
+void BM_HashPoint(benchmark::State& state) {
+  HashFunction h(42);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.point({1, x++, 7}));
+  }
+}
+BENCHMARK(BM_HashPoint);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_SpanListCarve(benchmark::State& state) {
+  const auto spans = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SpanList sl;
+    for (std::size_t i = 0; i < spans; ++i) {
+      sl.push_back(i % 4 + 1, Interval{i * 20 + 1, i * 20 + 10});
+    }
+    state.ResumeTiming();
+    while (sl.total() > 0) {
+      benchmark::DoNotOptimize(sl.take_front(3));
+    }
+  }
+}
+BENCHMARK(BM_SpanListCarve)->Arg(16)->Arg(256);
+
+void BM_BatchCombine(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  skeap::Batch a(4), b(4);
+  for (std::size_t i = 0; i < entries; ++i) {
+    a.record_insert(1 + i % 4);
+    a.record_delete();
+    b.record_insert(1 + (i + 1) % 4);
+    b.record_delete();
+  }
+  for (auto _ : state) {
+    skeap::Batch combined = a;
+    combined.combine(b);
+    benchmark::DoNotOptimize(combined.total_ops());
+  }
+}
+BENCHMARK(BM_BatchCombine)->Arg(8)->Arg(128);
+
+void BM_BuildTopology(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  HashFunction h(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay::build_topology(n, h));
+  }
+}
+BENCHMARK(BM_BuildTopology)->Arg(64)->Arg(1024);
+
+struct NullPayload final : sim::Payload {
+  std::uint64_t size_bits() const override { return 8; }
+  const char* name() const override { return "null"; }
+};
+
+class SinkNode : public sim::DispatchingNode {
+ public:
+  SinkNode() {
+    on<NullPayload>([](NodeId, std::unique_ptr<NullPayload>) {});
+  }
+  void fire(NodeId to) { send(to, std::make_unique<NullPayload>()); }
+};
+
+void BM_SimulatorRoundTrip(benchmark::State& state) {
+  sim::Network net;
+  const NodeId a = net.add_node(std::make_unique<SinkNode>());
+  const NodeId b = net.add_node(std::make_unique<SinkNode>());
+  (void)a;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) net.node_as<SinkNode>(0).fire(b);
+    net.run_until_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulatorRoundTrip);
+
+}  // namespace
+}  // namespace sks
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E13 (extension) — per-operation latency in simulated rounds.
+//
+// The paper reports batch round complexity; downstream users also care
+// about the latency an individual DeleteMin observes (issue → callback).
+// Batched protocols trade per-op latency for throughput: the centralized
+// heap answers in ~2 rounds but melts under load (E10); Skeap/Seap answer
+// in O(log n) regardless of how many ops share the batch.
+#include <algorithm>
+#include <vector>
+
+#include "baselines/centralized.hpp"
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "seap/seap_system.hpp"
+#include "skeap/skeap_system.hpp"
+
+using namespace sks;
+
+namespace {
+
+struct Latency {
+  double mean = 0;
+  std::uint64_t p50 = 0, p99 = 0, max = 0;
+};
+
+Latency summarize(std::vector<std::uint64_t> samples) {
+  Latency out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (auto s : samples) sum += static_cast<double>(s);
+  out.mean = sum / static_cast<double>(samples.size());
+  out.p50 = samples[samples.size() / 2];
+  out.p99 = samples[samples.size() * 99 / 100];
+  out.max = samples.back();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "E13  per-op DeleteMin latency (extension experiment)",
+      "Rounds from issuing a DeleteMin to its callback, under a full "
+      "batch's worth of concurrent ops.\nCentralized: ~2 rounds but "
+      "bottlenecked (see E10); Skeap/Seap: O(log n) shared by the whole "
+      "batch.");
+
+  constexpr std::size_t kNodes = 256;
+  bench::Table table({"protocol", "mean", "p50", "p99", "max"});
+
+  {
+    skeap::SkeapSystem sys(
+        {.num_nodes = kNodes, .num_priorities = 4, .seed = 1});
+    Rng rng(2);
+    for (NodeId v = 0; v < kNodes; ++v) sys.insert(v, rng.range(1, 4));
+    sys.run_batch();
+    const std::uint64_t start = sys.net().round();
+    std::vector<std::uint64_t> lat;
+    for (NodeId v = 0; v < kNodes; ++v) {
+      sys.delete_min(v, [&lat, &sys, start](std::optional<Element>) {
+        lat.push_back(sys.net().round() - start);
+      });
+    }
+    sys.run_batch();
+    const auto s = summarize(std::move(lat));
+    std::printf("Skeap:\n");
+    table.row({0, s.mean, static_cast<double>(s.p50),
+               static_cast<double>(s.p99), static_cast<double>(s.max)});
+  }
+  {
+    seap::SeapSystem sys({.num_nodes = kNodes, .seed = 3});
+    Rng rng(4);
+    for (NodeId v = 0; v < kNodes; ++v) {
+      sys.insert(v, rng.range(1, ~0ULL >> 16));
+    }
+    sys.run_cycle();
+    const std::uint64_t start = sys.net().round();
+    std::vector<std::uint64_t> lat;
+    for (NodeId v = 0; v < kNodes; ++v) {
+      sys.delete_min(v, [&lat, &sys, start](std::optional<Element>) {
+        lat.push_back(sys.net().round() - start);
+      });
+    }
+    sys.run_cycle();
+    const auto s = summarize(std::move(lat));
+    std::printf("Seap:\n");
+    table.row({1, s.mean, static_cast<double>(s.p50),
+               static_cast<double>(s.p99), static_cast<double>(s.max)});
+  }
+  {
+    baselines::CentralizedSystem sys({.num_nodes = kNodes, .seed = 5});
+    Rng rng(6);
+    for (NodeId v = 0; v < kNodes; ++v) sys.insert(v, rng.range(1, 4));
+    sys.run();
+    const std::uint64_t start = sys.net().round();
+    std::vector<std::uint64_t> lat;
+    for (NodeId v = 0; v < kNodes; ++v) {
+      sys.delete_min(v, [&lat, &sys, start](std::optional<Element>) {
+        lat.push_back(sys.net().round() - start);
+      });
+    }
+    sys.run();
+    const auto s = summarize(std::move(lat));
+    std::printf("Centralized:\n");
+    table.row({2, s.mean, static_cast<double>(s.p50),
+               static_cast<double>(s.p99), static_cast<double>(s.max)});
+  }
+  return 0;
+}

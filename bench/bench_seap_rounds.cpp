@@ -1,0 +1,46 @@
+// E7 — Seap's Insert and DeleteMin phases finish in O(log n) rounds
+// w.h.p. (Theorem 5.1(3), Lemma 5.3).
+//
+// Sweep n with a preloaded heap so the DeleteMin phase exercises KSelect;
+// rounds per full cycle (Insert phase + DeleteMin phase) should grow
+// logarithmically.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "seap/seap_system.hpp"
+
+using namespace sks;
+
+int main() {
+  bench::header("E7  Seap rounds per cycle",
+                "Claim (Thm 5.1.3): both global phases finish in O(log n) "
+                "rounds w.h.p.\nShape: rounds/log2(n) roughly flat as n "
+                "grows 32 -> 1024 (32x).");
+
+  bench::Table table({"n", "heap_size", "rounds", "rounds/log2n"});
+  for (std::size_t n : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    seap::SeapSystem sys({.num_nodes = n, .seed = 200 + n});
+    Rng rng(17 + n);
+    // Preload ~10 elements per node.
+    for (NodeId v = 0; v < n; ++v) {
+      for (int i = 0; i < 10; ++i) sys.insert(v, rng.range(1, ~0ULL >> 16));
+    }
+    sys.run_cycle();
+
+    std::uint64_t total = 0;
+    constexpr int kCycles = 3;
+    for (int c = 0; c < kCycles; ++c) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (rng.flip(0.5)) sys.insert(v, rng.range(1, ~0ULL >> 16));
+        if (rng.flip(0.5)) sys.delete_min(v);
+      }
+      total += sys.run_cycle();
+    }
+    const double rounds = static_cast<double>(total) / kCycles;
+    table.row({static_cast<double>(n),
+               static_cast<double>(sys.anchor_node().anchor_heap_size()),
+               rounds, rounds / std::log2(static_cast<double>(n))});
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E2 — Skeap congestion is Õ(Λ) (Theorem 3.2(4), Lemma 3.7).
+//
+// Fix n, sweep the injection rate Λ (ops buffered per node per batch).
+// The maximum number of messages any node handles in one round should
+// scale (poly-logarithmically) with Λ but stay independent of where the
+// traffic originates — no bottleneck node.
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "skeap/skeap_system.hpp"
+
+using namespace sks;
+
+int main() {
+  bench::header("E2  Skeap congestion vs injection rate",
+                "Claim (Thm 3.2.4): congestion is at most O~(Lambda).\n"
+                "Shape: max per-node per-round messages grow ~linearly in "
+                "Lambda at fixed n = 256; congestion/Lambda flat.");
+
+  constexpr std::size_t kNodes = 256;
+  bench::Table table(
+      {"Lambda", "ops/batch", "congestion", "congest/Lam"});
+  for (std::uint64_t lambda : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    skeap::SkeapSystem sys(
+        {.num_nodes = kNodes, .num_priorities = 4, .seed = 5});
+    Rng rng(11 + lambda);
+    // Warm up one batch so the heap is non-trivial.
+    for (NodeId v = 0; v < kNodes; ++v) sys.insert(v, rng.range(1, 4));
+    sys.run_batch();
+    (void)sys.net().metrics().take();
+
+    std::uint64_t ops = 0;
+    for (NodeId v = 0; v < kNodes; ++v) {
+      for (std::uint64_t i = 0; i < lambda; ++i) {
+        if (rng.flip(0.5)) {
+          sys.insert(v, rng.range(1, 4));
+        } else {
+          sys.delete_min(v);
+        }
+        ++ops;
+      }
+    }
+    sys.run_batch();
+    const auto snap = sys.net().metrics().take();
+    table.row({static_cast<double>(lambda), static_cast<double>(ops),
+               static_cast<double>(snap.max_congestion),
+               static_cast<double>(snap.max_congestion) /
+                   static_cast<double>(lambda)});
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E3 — Skeap message size is O(Λ log² n) bits (Theorem 3.2(5), Lemma 3.8).
+//
+// The aggregated batch (and its assignment) are the large messages: their
+// size grows linearly in the injection rate Λ and polylogarithmically in
+// n. Two sweeps: Λ at fixed n, and n at fixed Λ.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "skeap/skeap_system.hpp"
+
+using namespace sks;
+
+namespace {
+
+std::uint64_t run_and_measure(std::size_t n, std::uint64_t lambda,
+                              std::uint64_t seed) {
+  skeap::SkeapSystem sys({.num_nodes = n, .num_priorities = 4, .seed = seed});
+  Rng rng(seed * 31 + 1);
+  (void)sys.net().metrics().take();
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint64_t i = 0; i < lambda; ++i) {
+      // Alternate inserts and deletes: the worst case of Lemma 3.8 (each
+      // pair opens a new batch entry).
+      if (i % 2 == 0) {
+        sys.insert(v, rng.range(1, 4));
+      } else {
+        sys.delete_min(v);
+      }
+    }
+  }
+  sys.run_batch();
+  const auto snap = sys.net().metrics().take();
+  // The claim is about the protocol's own messages (batches/assignments),
+  // not the DHT payloads.
+  return std::max(bench::max_bits_of_type(snap, "skeap.batch_up"),
+                  bench::max_bits_of_type(snap, "skeap.assign_down"));
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "E3  Skeap message size",
+      "Claim (Thm 3.2.5): messages are O(Lambda log^2 n) bits.\n"
+      "Shape: max batch/assignment bits grow ~linearly in Lambda (fixed n)\n"
+      "and ~log^2 in n (fixed Lambda). Alternating ins/del is the worst "
+      "case.");
+
+  std::printf("-- sweep Lambda at n = 128 --\n");
+  bench::Table t1({"Lambda", "max_bits", "bits/Lambda"});
+  for (std::uint64_t lambda : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto bits = run_and_measure(128, lambda, 40 + lambda);
+    t1.row({static_cast<double>(lambda), static_cast<double>(bits),
+            static_cast<double>(bits) / static_cast<double>(lambda)});
+  }
+
+  std::printf("\n-- sweep n at Lambda = 8 --\n");
+  bench::Table t2({"n", "max_bits", "bits/log2^2n"});
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    const auto bits = run_and_measure(n, 8, 80 + n);
+    const double l2 = std::log2(static_cast<double>(n));
+    t2.row({static_cast<double>(n), static_cast<double>(bits),
+            static_cast<double>(bits) / (l2 * l2)});
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E1 — Skeap batch processing takes O(log n) rounds w.h.p.
+// (Theorem 3.2(3), Corollary 3.6).
+//
+// Sweep n; each batch carries a mixed per-node workload. If the claim
+// holds, rounds/log2(n) settles to a constant as n grows (instead of
+// rounds growing linearly with n).
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "skeap/skeap_system.hpp"
+
+using namespace sks;
+
+int main() {
+  bench::header("E1  Skeap rounds per batch",
+                "Claim (Thm 3.2.3): a batch of heap operations is processed "
+                "in O(log n) rounds w.h.p.\nShape: rounds/log2(n) flat as n "
+                "grows 16 -> 2048 (128x).");
+
+  bench::Table table({"n", "ops/batch", "rounds", "rounds/log2n"});
+  for (std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    skeap::SkeapSystem sys(
+        {.num_nodes = n, .num_priorities = 4, .seed = 100 + n});
+    Rng rng(7 + n);
+    std::uint64_t total_rounds = 0, total_ops = 0;
+    constexpr int kBatches = 4;
+    for (int b = 0; b < kBatches; ++b) {
+      for (NodeId v = 0; v < n; ++v) {
+        for (int i = 0; i < 3; ++i) {
+          if (rng.flip(0.6)) {
+            sys.insert(v, rng.range(1, 4));
+          } else {
+            sys.delete_min(v);
+          }
+          ++total_ops;
+        }
+      }
+      total_rounds += sys.run_batch();
+    }
+    const double rounds = static_cast<double>(total_rounds) / kBatches;
+    const double logn = std::log2(static_cast<double>(n));
+    table.row({static_cast<double>(n),
+               static_cast<double>(total_ops) / kBatches, rounds,
+               rounds / logn});
+  }
+  return 0;
+}

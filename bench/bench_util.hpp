@@ -1,0 +1,59 @@
+// Shared helpers for the experiment binaries: aligned table printing and
+// metric extraction. Every bench prints the rows of the experiment it
+// regenerates (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// the measured results).
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace sks::bench {
+
+inline void header(const std::string& id, const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    for (const auto& c : columns_) std::printf("%-14s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < columns_.size(); ++i) std::printf("%-14s", "----");
+    std::printf("\n");
+  }
+
+  void row(std::initializer_list<double> values) {
+    std::size_t i = 0;
+    for (double v : values) {
+      if (v == static_cast<double>(static_cast<long long>(v)) &&
+          v < 1e15 && v > -1e15) {
+        std::printf("%-14lld", static_cast<long long>(v));
+      } else {
+        std::printf("%-14.2f", v);
+      }
+      ++i;
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+/// Largest single message of a given payload-type prefix in the window.
+inline std::uint64_t max_bits_of_type(const sim::MetricsSnapshot& snap,
+                                      const std::string& prefix) {
+  std::uint64_t best = 0;
+  for (const auto& [type, bits] : snap.max_bits_by_type) {
+    if (type.rfind(prefix, 0) == 0) best = std::max(best, bits);
+  }
+  return best;
+}
+
+}  // namespace sks::bench

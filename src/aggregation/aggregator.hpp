@@ -1,0 +1,215 @@
+// The aggregation-phase engine (Section 2.2).
+//
+// Every protocol in the paper is built from "aggregation phases" on the
+// tree of Lemma 2.2: values flow from the leaves to the anchor, combined
+// at every inner vertex; results flow back down, decomposed at every
+// vertex. This engine implements one reusable, epoch-keyed instance of
+// that pattern.
+//
+// Conventions:
+//  * Each real node hosts exactly one leaf of the tree (its right virtual
+//    node), so "one contribution per host" and "one delivery per host"
+//    hold by construction.
+//  * Inner vertices contribute nothing; the combined value at a vertex is
+//    the fold of its children's values in fixed child order. This order
+//    is what makes Skeap's serialization (the value(OP) construction in
+//    Section 3.3) deterministic.
+//  * Sessions are keyed by an epoch number, so consecutive batches can
+//    pipeline and asynchronous delivery cannot mix generations.
+//
+// Up must be a value type with size_bits(); Down likewise. The three
+// user hooks are:
+//   combine(Up&, const Up&)             — fold one more child value in
+//   split(Down, span of child Ups) → vector<Down> — one Down per child
+//   deliver(epoch, Down)                — runs at every host's leaf
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "overlay/overlay_node.hpp"
+
+namespace sks::agg {
+
+template <class Up>
+struct AggUpMsg final : sim::Payload {
+  std::uint64_t epoch = 0;
+  Up value{};
+  std::uint64_t size_bits() const override { return 16 + value.size_bits(); }
+  const char* name() const override { return Up::kName; }
+};
+
+template <class Down>
+struct AggDownMsg final : sim::Payload {
+  std::uint64_t epoch = 0;
+  Down value{};
+  std::uint64_t size_bits() const override { return 16 + value.size_bits(); }
+  const char* name() const override { return Down::kName; }
+};
+
+/// One converge-cast / broadcast channel over the aggregation tree.
+///
+/// Exactly one Aggregator per (Up, Down) type pair may be attached to a
+/// host; define distinct wrapper types per protocol phase.
+template <class Up, class Down>
+class Aggregator {
+ public:
+  using CombineFn = std::function<void(Up&, const Up&)>;
+  using SplitFn =
+      std::function<std::vector<Down>(const Down&, const std::vector<Up>&)>;
+  using RootFn = std::function<void(std::uint64_t epoch, const Up&)>;
+  using DeliverFn = std::function<void(std::uint64_t epoch, Down)>;
+
+  /// Up-only aggregator: values converge to the anchor and sessions are
+  /// discarded immediately (no down pass). Pair with a Broadcaster when
+  /// the anchor needs to disseminate the outcome.
+  Aggregator(overlay::OverlayNode& host, CombineFn combine, RootFn on_root)
+      : Aggregator(host, std::move(combine), nullptr, std::move(on_root),
+                   nullptr) {}
+
+  Aggregator(overlay::OverlayNode& host, CombineFn combine, SplitFn split,
+             RootFn on_root, DeliverFn deliver)
+      : host_(host),
+        combine_(std::move(combine)),
+        split_(std::move(split)),
+        on_root_(std::move(on_root)),
+        deliver_(std::move(deliver)) {
+    host_.on_vertex_payload<AggUpMsg<Up>>(
+        [this](overlay::VKind at, const overlay::VirtualId& from,
+               std::unique_ptr<AggUpMsg<Up>> msg) {
+          handle_up(at, from, std::move(msg));
+        });
+    host_.on_vertex_payload<AggDownMsg<Down>>(
+        [this](overlay::VKind at, const overlay::VirtualId&,
+               std::unique_ptr<AggDownMsg<Down>> msg) {
+          handle_down(at, std::move(msg));
+        });
+  }
+
+  /// Contribute this host's value for `epoch`; starts the up pass at the
+  /// host's leaf (its right virtual node).
+  void contribute(std::uint64_t epoch, Up value) {
+    const auto& leaf = host_.vstate(overlay::VKind::kRight);
+    SKS_CHECK(leaf.children.empty());
+    send_up(leaf, epoch, std::move(value));
+  }
+
+  /// Start the down pass; must be called on the anchor host after on_root.
+  void distribute(std::uint64_t epoch, Down root_value) {
+    SKS_CHECK_MSG(host_.hosts_anchor(), "distribute() requires the anchor");
+    push_down(host_.vstate(overlay::VKind::kLeft), epoch,
+              std::move(root_value));
+  }
+
+  /// Sessions still buffered (diagnostics; should drain to 0).
+  std::size_t open_sessions() const {
+    std::size_t total = 0;
+    for (const auto& m : sessions_) total += m.size();
+    return total;
+  }
+
+ private:
+  struct Session {
+    std::vector<std::optional<Up>> child_values;
+  };
+
+  std::map<std::uint64_t, Session>& sessions(overlay::VKind k) {
+    return sessions_[static_cast<std::size_t>(k)];
+  }
+
+  void handle_up(overlay::VKind at, const overlay::VirtualId& from,
+                 std::unique_ptr<AggUpMsg<Up>> msg) {
+    const overlay::VirtualState& st = host_.vstate(at);
+    SKS_CHECK_MSG(!st.children.empty(), "leaf received an up message");
+
+    auto& session = sessions(at)[msg->epoch];
+    session.child_values.resize(st.children.size());
+    bool matched = false;
+    for (std::size_t i = 0; i < st.children.size(); ++i) {
+      if (st.children[i] == from) {
+        SKS_CHECK_MSG(!session.child_values[i].has_value(),
+                      "duplicate child contribution");
+        session.child_values[i] = std::move(msg->value);
+        matched = true;
+        break;
+      }
+    }
+    SKS_CHECK_MSG(matched, "up message from a non-child vertex");
+
+    for (const auto& cv : session.child_values) {
+      if (!cv.has_value()) return;  // still waiting
+    }
+
+    // All children reported: fold in order and pass up (or surface at the
+    // anchor). Child values are kept until the down pass needs them —
+    // unless this is an up-only aggregation (no split function), in which
+    // case the session is discarded right away.
+    Up combined = *session.child_values[0];
+    for (std::size_t i = 1; i < session.child_values.size(); ++i) {
+      combine_(combined, *session.child_values[i]);
+    }
+    if (split_ == nullptr) sessions(at).erase(msg->epoch);
+    if (st.is_anchor) {
+      SKS_CHECK(on_root_ != nullptr);
+      on_root_(msg->epoch, combined);
+    } else {
+      send_up(st, msg->epoch, std::move(combined));
+    }
+  }
+
+  void send_up(const overlay::VirtualState& st, std::uint64_t epoch,
+               Up value) {
+    SKS_CHECK_MSG(st.parent.valid(), "vertex has no parent to send up to");
+    auto msg = std::make_unique<AggUpMsg<Up>>();
+    msg->epoch = epoch;
+    msg->value = std::move(value);
+    host_.send_to_vertex(st.self.kind, st.parent, std::move(msg));
+  }
+
+  void handle_down(overlay::VKind at, std::unique_ptr<AggDownMsg<Down>> msg) {
+    push_down(host_.vstate(at), msg->epoch, std::move(msg->value));
+  }
+
+  void push_down(const overlay::VirtualState& st, std::uint64_t epoch,
+                 Down value) {
+    if (st.children.empty()) {
+      SKS_CHECK(deliver_ != nullptr);
+      deliver_(epoch, std::move(value));
+      return;
+    }
+    auto& by_epoch = sessions(st.self.kind);
+    auto it = by_epoch.find(epoch);
+    SKS_CHECK_MSG(it != by_epoch.end(), "down pass without matching up pass");
+    std::vector<Up> child_values;
+    child_values.reserve(it->second.child_values.size());
+    for (auto& cv : it->second.child_values) child_values.push_back(*cv);
+    by_epoch.erase(it);
+
+    std::vector<Down> parts = split_(value, child_values);
+    SKS_CHECK_MSG(parts.size() == st.children.size(),
+                  "split produced " << parts.size() << " parts for "
+                                    << st.children.size() << " children");
+    for (std::size_t i = 0; i < st.children.size(); ++i) {
+      auto out = std::make_unique<AggDownMsg<Down>>();
+      out->epoch = epoch;
+      out->value = std::move(parts[i]);
+      host_.send_to_vertex(st.self.kind, st.children[i], std::move(out));
+    }
+  }
+
+  overlay::OverlayNode& host_;
+  CombineFn combine_;
+  SplitFn split_;
+  RootFn on_root_;
+  DeliverFn deliver_;
+  std::array<std::map<std::uint64_t, Session>, 3> sessions_;
+};
+
+}  // namespace sks::agg

@@ -1,0 +1,68 @@
+// Anchor-initiated broadcast over the aggregation tree.
+//
+// Unlike Aggregator (whose down pass decomposes against a preceding up
+// pass), a Broadcaster simply replicates a value from the anchor to every
+// host: each vertex forwards to its children, and each host delivers once
+// at its leaf (every host owns exactly one leaf — its right virtual node).
+// KSelect uses this for its per-iteration instructions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+#include "overlay/overlay_node.hpp"
+
+namespace sks::agg {
+
+template <class V>
+struct BroadcastMsg final : sim::Payload {
+  std::uint64_t epoch = 0;
+  V value{};
+  std::uint64_t size_bits() const override { return 16 + value.size_bits(); }
+  const char* name() const override { return V::kName; }
+};
+
+template <class V>
+class Broadcaster {
+ public:
+  using DeliverFn = std::function<void(std::uint64_t epoch, const V&)>;
+
+  Broadcaster(overlay::OverlayNode& host, DeliverFn deliver)
+      : host_(host), deliver_(std::move(deliver)) {
+    host_.on_vertex_payload<BroadcastMsg<V>>(
+        [this](overlay::VKind at, const overlay::VirtualId&,
+               std::unique_ptr<BroadcastMsg<V>> msg) {
+          push_down(at, *msg);
+        });
+  }
+
+  /// Start a broadcast; must be called on the anchor host.
+  void broadcast(std::uint64_t epoch, const V& value) {
+    SKS_CHECK_MSG(host_.hosts_anchor(), "broadcast() requires the anchor");
+    BroadcastMsg<V> msg;
+    msg.epoch = epoch;
+    msg.value = value;
+    push_down(overlay::VKind::kLeft, msg);
+  }
+
+ private:
+  void push_down(overlay::VKind at, const BroadcastMsg<V>& msg) {
+    const overlay::VirtualState& st = host_.vstate(at);
+    if (st.children.empty()) {
+      deliver_(msg.epoch, msg.value);
+      return;
+    }
+    for (const auto& child : st.children) {
+      auto copy = std::make_unique<BroadcastMsg<V>>(msg);
+      host_.send_to_vertex(at, child, std::move(copy));
+    }
+  }
+
+  overlay::OverlayNode& host_;
+  DeliverFn deliver_;
+};
+
+}  // namespace sks::agg

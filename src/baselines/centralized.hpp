@@ -1,0 +1,142 @@
+// Baseline: a centralized coordinator heap.
+//
+// The contrast the paper's introduction draws: concurrent priority queues
+// store the data structure "at a central instance", so every operation is
+// one message to a coordinator that serializes them on a local heap. Round
+// complexity per op is O(1) — but the coordinator's congestion grows as
+// n·Λ, which is exactly what experiment E10 measures against Skeap/Seap's
+// Õ(Λ) per-node congestion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/dispatch.hpp"
+#include "sim/network.hpp"
+
+namespace sks::baselines {
+
+struct CentralInsert final : sim::Payload {
+  Element element{};
+  std::uint64_t size_bits() const override { return 64; }
+  const char* name() const override { return "central.insert"; }
+};
+
+struct CentralDelete final : sim::Payload {
+  std::uint64_t request_id = 0;
+  std::uint64_t size_bits() const override { return 48; }
+  const char* name() const override { return "central.delete"; }
+};
+
+struct CentralReply final : sim::Payload {
+  std::uint64_t request_id = 0;
+  bool has_element = false;
+  Element element{};
+  std::uint64_t size_bits() const override { return 64; }
+  const char* name() const override { return "central.reply"; }
+};
+
+class CentralNode : public sim::DispatchingNode {
+ public:
+  using DeleteCallback = std::function<void(std::optional<Element>)>;
+
+  explicit CentralNode(NodeId coordinator) : coordinator_(coordinator) {
+    on<CentralInsert>([this](NodeId, std::unique_ptr<CentralInsert> m) {
+      heap_.insert(m->element);
+    });
+    on<CentralDelete>([this](NodeId from, std::unique_ptr<CentralDelete> m) {
+      auto rep = std::make_unique<CentralReply>();
+      rep->request_id = m->request_id;
+      if (!heap_.empty()) {
+        rep->has_element = true;
+        rep->element = *heap_.begin();
+        heap_.erase(heap_.begin());
+      }
+      send(from, std::move(rep));
+    });
+    on<CentralReply>([this](NodeId, std::unique_ptr<CentralReply> m) {
+      auto it = callbacks_.find(m->request_id);
+      SKS_CHECK(it != callbacks_.end());
+      auto cb = std::move(it->second);
+      callbacks_.erase(it);
+      if (cb) {
+        cb(m->has_element ? std::optional<Element>(m->element)
+                          : std::nullopt);
+      }
+    });
+  }
+
+  void insert(const Element& e) {
+    auto m = std::make_unique<CentralInsert>();
+    m->element = e;
+    // Even the coordinator's own ops go through its channel so that the
+    // serialization point (and its congestion) is honest.
+    send(coordinator_, std::move(m));
+  }
+
+  void delete_min(DeleteCallback cb) {
+    auto m = std::make_unique<CentralDelete>();
+    m->request_id = next_request_id_++;
+    callbacks_.emplace(m->request_id, std::move(cb));
+    // Even the coordinator's own deletes go through its channel so the
+    // serialization point is honest.
+    send(coordinator_, std::move(m));
+  }
+
+  std::size_t heap_size() const { return heap_.size(); }
+
+ private:
+  NodeId coordinator_;
+  std::set<Element> heap_;  // coordinator only
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::uint64_t, DeleteCallback> callbacks_;
+};
+
+/// Harness mirroring SkeapSystem's shape for the comparison benches.
+class CentralizedSystem {
+ public:
+  struct Options {
+    std::size_t num_nodes = 8;
+    std::uint64_t seed = 1;
+    sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
+  };
+
+  explicit CentralizedSystem(const Options& opts) : opts_(opts) {
+    sim::NetworkConfig cfg;
+    cfg.mode = opts.mode;
+    cfg.seed = opts.seed;
+    net_ = std::make_unique<sim::Network>(cfg);
+    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
+      net_->add_node(std::make_unique<CentralNode>(/*coordinator=*/0));
+    }
+  }
+
+  CentralNode& node(NodeId v) { return net_->node_as<CentralNode>(v); }
+  sim::Network& net() { return *net_; }
+
+  Element insert(NodeId v, Priority prio) {
+    const Element e{prio, next_element_id_++};
+    node(v).insert(e);
+    return e;
+  }
+
+  void delete_min(NodeId v, CentralNode::DeleteCallback cb = nullptr) {
+    node(v).delete_min(std::move(cb));
+  }
+
+  std::uint64_t run() { return net_->run_until_idle(); }
+
+ private:
+  Options opts_;
+  std::unique_ptr<sim::Network> net_;
+  ElementId next_element_id_ = 1;
+};
+
+}  // namespace sks::baselines

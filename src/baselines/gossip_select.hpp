@@ -1,0 +1,288 @@
+// Baseline: sampling-based gossip selection in the spirit of [HMS18]
+// (Haeupler, Mohapatra, Su: "Optimal gossip algorithms for exact and
+// approximate quantile computations", PODC 2018).
+//
+// The uniform gossip model: any node may contact a uniformly random node
+// each round. [HMS18] solve k-selection for n elements (one per node) in
+// O(log n) rounds with O(log n)-bit messages by interleaving sampled rank
+// estimation with interval shrinking. This implementation keeps their
+// structure — iterative pruning with pivots drawn by uniform sampling —
+// but performs the exact rank counts with direct star aggregation at the
+// initiator (allowed in the gossip model, at the cost of Θ(n) congestion
+// there). It mirrors [HMS18]'s restriction to m = n elements, which is
+// exactly how the paper's related-work section contrasts it with KSelect
+// (KSelect handles m = poly(n)); experiment E11 measures both.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/dispatch.hpp"
+#include "sim/network.hpp"
+
+namespace sks::baselines {
+
+struct GossipSampleReq final : sim::Payload {
+  std::uint64_t session = 0;
+  std::uint64_t size_bits() const override { return 32; }
+  const char* name() const override { return "gossip.sample_req"; }
+};
+
+struct GossipSampleRep final : sim::Payload {
+  std::uint64_t session = 0;
+  bool alive = false;  ///< value still a candidate?
+  Element value{};
+  std::uint64_t size_bits() const override { return 64; }
+  const char* name() const override { return "gossip.sample_rep"; }
+};
+
+struct GossipCountReq final : sim::Payload {
+  std::uint64_t session = 0;
+  Element pivot{};
+  std::uint64_t size_bits() const override { return 64; }
+  const char* name() const override { return "gossip.count_req"; }
+};
+
+struct GossipCountRep final : sim::Payload {
+  std::uint64_t session = 0;
+  std::uint32_t leq = 0;    ///< 1 iff my value <= pivot and alive
+  std::uint32_t alive = 0;  ///< 1 iff my value is still a candidate
+  std::uint64_t size_bits() const override { return 34; }
+  const char* name() const override { return "gossip.count_rep"; }
+};
+
+struct GossipPrune final : sim::Payload {
+  std::uint64_t session = 0;
+  Element lo{}, hi{};
+  std::uint64_t size_bits() const override { return 96; }
+  const char* name() const override { return "gossip.prune"; }
+};
+
+/// One node holding one value (the [HMS18] setting).
+class GossipNode : public sim::DispatchingNode {
+ public:
+  using ResultFn = std::function<void(std::optional<Element>)>;
+
+  GossipNode(std::size_t n, std::uint64_t seed) : n_(n), rng_(seed) {
+    on<GossipSampleReq>([this](NodeId from,
+                               std::unique_ptr<GossipSampleReq> m) {
+      auto rep = std::make_unique<GossipSampleRep>();
+      rep->session = m->session;
+      rep->alive = alive_;
+      rep->value = value_;
+      send(from, std::move(rep));
+    });
+    on<GossipSampleRep>([this](NodeId, std::unique_ptr<GossipSampleRep> m) {
+      if (m->alive) samples_.push_back(m->value);
+      if (++sample_replies_ == sample_requests_) counting_round();
+    });
+    on<GossipCountReq>([this](NodeId from,
+                              std::unique_ptr<GossipCountReq> m) {
+      auto rep = std::make_unique<GossipCountRep>();
+      rep->session = m->session;
+      rep->alive = alive_ ? 1 : 0;
+      rep->leq = (alive_ && value_ <= m->pivot) ? 1 : 0;
+      send(from, std::move(rep));
+    });
+    on<GossipCountRep>([this](NodeId, std::unique_ptr<GossipCountRep> m) {
+      count_leq_ += m->leq;
+      count_alive_ += m->alive;
+      if (++count_replies_ == n_) on_exact_count();
+    });
+    on<GossipPrune>([this](NodeId, std::unique_ptr<GossipPrune> m) {
+      if (alive_ && (value_ < m->lo || m->hi < value_)) alive_ = false;
+    });
+  }
+
+  void set_value(const Element& e) {
+    value_ = e;
+    alive_ = true;
+  }
+
+  /// Run a selection from this node (the initiator).
+  void select(std::uint64_t session, std::uint64_t k, ResultFn on_result) {
+    session_ = session;
+    k_ = k;
+    on_result_ = std::move(on_result);
+    iterations_ = 0;
+    sampling_round();
+  }
+
+  std::uint64_t iterations() const { return iterations_; }
+
+ private:
+  // Draw Θ(log n)-many uniform samples of alive values.
+  void sampling_round() {
+    ++iterations_;
+    SKS_CHECK_MSG(iterations_ < 200, "gossip selection failed to converge");
+    samples_.clear();
+    sample_replies_ = 0;
+    sample_requests_ = 4 * bits_for_samples();
+    for (std::uint64_t i = 0; i < sample_requests_; ++i) {
+      auto req = std::make_unique<GossipSampleReq>();
+      req->session = session_;
+      send(static_cast<NodeId>(rng_.below(n_)), std::move(req));
+    }
+  }
+
+  std::uint64_t bits_for_samples() const {
+    std::uint64_t b = 1, v = n_;
+    while (v >>= 1) ++b;
+    return b;
+  }
+
+  // Pick the sampled quantile nearest k/alive as pivot; count exactly.
+  void counting_round() {
+    if (samples_.empty()) {
+      sampling_round();  // everyone we asked was already pruned; retry
+      return;
+    }
+    std::sort(samples_.begin(), samples_.end());
+    // Estimate the pivot as the sample quantile matching k among alive.
+    const double frac =
+        alive_estimate_ > 0
+            ? static_cast<double>(k_) / static_cast<double>(alive_estimate_)
+            : 0.5;
+    auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(samples_.size() - 1) + 0.5);
+    idx = std::min(idx, samples_.size() - 1);
+    pivot_ = samples_[idx];
+    count_leq_ = count_alive_ = 0;
+    count_replies_ = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+      auto req = std::make_unique<GossipCountReq>();
+      req->session = session_;
+      req->pivot = pivot_;
+      send(v, std::move(req));
+    }
+  }
+
+  void on_exact_count() {
+    alive_estimate_ = count_alive_;
+    if (count_alive_ == 0 || k_ < 1 || k_ > count_alive_ + removed_below_) {
+      finish(std::nullopt);
+      return;
+    }
+    const std::uint64_t rank_pivot = removed_below_ + count_leq_;
+    if (rank_pivot == k_global()) {
+      // Need the largest value <= pivot... the pivot itself is a real
+      // sampled value, so it is the k-th element exactly when its global
+      // rank equals k.
+      finish(pivot_);
+      return;
+    }
+    // Prune the side that cannot contain the k-th element.
+    auto prune = std::make_unique<GossipPrune>();
+    prune->session = session_;
+    if (rank_pivot > k_global()) {
+      prune->lo = Element{0, 0};
+      prune->hi = pivot_;  // keep <= pivot
+    } else {
+      removed_below_ += count_leq_;
+      prune->lo = successor(pivot_);
+      prune->hi = Element{~0ULL, ~0ULL};
+    }
+    for (NodeId v = 0; v < n_; ++v) {
+      auto copy = std::make_unique<GossipPrune>(*prune);
+      send(v, std::move(copy));
+    }
+    sampling_round();
+  }
+
+  std::uint64_t k_global() const { return k_; }
+
+  static Element successor(const Element& e) {
+    if (e.id == ~0ULL) return Element{e.prio + 1, 0};
+    return Element{e.prio, e.id + 1};
+  }
+
+  void finish(std::optional<Element> result) {
+    if (on_result_) {
+      auto cb = std::move(on_result_);
+      on_result_ = nullptr;
+      cb(result);
+    }
+  }
+
+  std::size_t n_;
+  Rng rng_;
+  Element value_{};
+  bool alive_ = false;
+
+  // Initiator state.
+  std::uint64_t session_ = 0;
+  std::uint64_t k_ = 0;
+  ResultFn on_result_;
+  std::uint64_t iterations_ = 0;
+  std::vector<Element> samples_;
+  std::uint64_t sample_requests_ = 0, sample_replies_ = 0;
+  Element pivot_{};
+  std::uint64_t count_leq_ = 0, count_alive_ = 0, count_replies_ = 0;
+  std::uint64_t alive_estimate_ = 0;
+  std::uint64_t removed_below_ = 0;
+};
+
+class GossipSystem {
+ public:
+  struct Options {
+    std::size_t num_nodes = 8;
+    std::uint64_t seed = 1;
+    sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
+  };
+
+  explicit GossipSystem(const Options& opts) : opts_(opts) {
+    sim::NetworkConfig cfg;
+    cfg.mode = opts.mode;
+    cfg.seed = opts.seed;
+    net_ = std::make_unique<sim::Network>(cfg);
+    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
+      net_->add_node(
+          std::make_unique<GossipNode>(opts.num_nodes, opts.seed + i * 7919));
+    }
+  }
+
+  GossipNode& node(NodeId v) { return net_->node_as<GossipNode>(v); }
+  sim::Network& net() { return *net_; }
+
+  /// One value per node, [HMS18]-style.
+  void seed_values(const std::vector<Element>& values) {
+    SKS_CHECK(values.size() == opts_.num_nodes);
+    for (NodeId v = 0; v < opts_.num_nodes; ++v) {
+      node(v).set_value(values[v]);
+    }
+  }
+
+  struct Outcome {
+    std::optional<Element> result;
+    std::uint64_t rounds = 0;
+    std::uint64_t iterations = 0;
+  };
+
+  Outcome select(std::uint64_t k, NodeId initiator = 0) {
+    Outcome out;
+    bool done = false;
+    node(initiator).select(next_session_++, k, [&](std::optional<Element> r) {
+      out.result = r;
+      done = true;
+    });
+    out.rounds = net_->run_until_idle();
+    out.iterations = node(initiator).iterations();
+    SKS_CHECK_MSG(done, "gossip selection did not finish");
+    return out;
+  }
+
+ private:
+  Options opts_;
+  std::unique_ptr<sim::Network> net_;
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace sks::baselines

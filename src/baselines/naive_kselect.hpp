@@ -1,0 +1,188 @@
+// Baseline: k-selection by binary search over the priority domain.
+//
+// The textbook distributed approach: binary-search the value domain,
+// counting |{e : e <= mid}| with one aggregation phase per probe. With
+// priorities from {1, ..., n^q} this needs Θ(log |P|) = Θ(q log n)
+// aggregation phases of Θ(log n) rounds each — total Θ(log|P|·log n),
+// against KSelect's O(log n) (Theorem 4.2, experiment E11). Ties are
+// resolved by a second search over element ids, preserving exactness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "aggregation/aggregator.hpp"
+#include "aggregation/broadcast.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "overlay/overlay_node.hpp"
+
+namespace sks::baselines {
+
+struct ProbeStep {
+  static constexpr const char* kName = "naive.probe";
+  std::uint64_t session = 0;
+  bool snapshot = false;  ///< first step: snapshot local elements
+  Element pivot{};        ///< count elements <= pivot
+  std::uint64_t size_bits() const { return 32 + 48; }
+};
+
+struct ProbeCount {
+  static constexpr const char* kName = "naive.count";
+  std::uint64_t count = 0;
+  std::uint64_t size_bits() const { return 32; }
+};
+
+class NaiveKSelectComponent {
+ public:
+  using Provider = std::function<std::vector<Element>()>;
+  using ResultFn =
+      std::function<void(std::uint64_t session, std::optional<Element>)>;
+
+  struct Config {
+    Priority max_priority = ~0ULL >> 16;
+    ElementId max_id = ~0ULL >> 16;
+  };
+
+  NaiveKSelectComponent(overlay::OverlayNode& host, Config cfg,
+                        Provider provider, ResultFn on_result)
+      : host_(host),
+        cfg_(cfg),
+        provider_(std::move(provider)),
+        on_result_(std::move(on_result)),
+        steps_(host,
+               [this](std::uint64_t epoch, const ProbeStep& step) {
+                 on_step(epoch, step);
+               }),
+        counts_(host,
+                [](ProbeCount& a, const ProbeCount& b) { a.count += b.count; },
+                [this](std::uint64_t epoch, const ProbeCount& total) {
+                  on_count(epoch, total.count);
+                }) {}
+
+  /// Anchor only. Binary-searches for the k-th smallest element.
+  void start(std::uint64_t session, std::uint64_t k) {
+    SKS_CHECK(host_.hosts_anchor());
+    Session& s = sessions_[session];
+    s.k = k;
+    s.lo = Element{0, 0};
+    s.hi = Element{cfg_.max_priority, cfg_.max_id};
+    ProbeStep step;
+    step.session = session;
+    step.snapshot = true;
+    step.pivot = s.hi;  // first probe: count everything (gives m)
+    steps_.broadcast(next_epoch(session), step);
+  }
+
+  std::uint64_t probes_used(std::uint64_t session) const {
+    auto it = probes_.find(session);
+    return it == probes_.end() ? 0 : it->second;
+  }
+
+ private:
+  struct Session {
+    std::uint64_t k = 0;
+    Element lo{}, hi{};
+    Element last_pivot{};
+    bool sized = false;
+    std::uint64_t m = 0;
+  };
+
+  std::uint64_t next_epoch(std::uint64_t session) {
+    return session * 65536 + epoch_counter_[session]++;
+  }
+
+  void on_step(std::uint64_t epoch, const ProbeStep& step) {
+    if (step.snapshot) {
+      auto elems = provider_();
+      std::sort(elems.begin(), elems.end());
+      local_[step.session] = std::move(elems);
+    }
+    const auto& elems = local_.at(step.session);
+    ProbeCount c;
+    c.count = static_cast<std::uint64_t>(
+        std::upper_bound(elems.begin(), elems.end(), step.pivot) -
+        elems.begin());
+    counts_.contribute(epoch, c);
+  }
+
+  void on_count(std::uint64_t epoch, std::uint64_t count) {
+    const std::uint64_t session = epoch / 65536;
+    Session& s = sessions_.at(session);
+    ++probes_[session];
+
+    if (!s.sized) {
+      s.sized = true;
+      s.m = count;
+      if (s.k < 1 || s.k > s.m) {
+        finish(session, std::nullopt);
+        return;
+      }
+      probe(session);
+      return;
+    }
+
+    // count = |{e <= mid}| for the previous pivot mid.
+    if (count >= s.k) {
+      s.hi = s.last_pivot;
+    } else {
+      s.lo = successor(s.last_pivot);
+    }
+    if (s.lo == s.hi) {
+      finish(session, s.lo);
+      return;
+    }
+    probe(session);
+  }
+
+  void probe(std::uint64_t session) {
+    Session& s = sessions_.at(session);
+    s.last_pivot = midpoint(s.lo, s.hi);
+    ProbeStep step;
+    step.session = session;
+    step.pivot = s.last_pivot;
+    steps_.broadcast(next_epoch(session), step);
+  }
+
+  void finish(std::uint64_t session, std::optional<Element> result) {
+    sessions_.erase(session);
+    if (on_result_) on_result_(session, result);
+  }
+
+  // Treat (prio, id) as one wide integer for the search arithmetic.
+  static Element successor(const Element& e) {
+    if (e.id == ~0ULL) return Element{e.prio + 1, 0};
+    return Element{e.prio, e.id + 1};
+  }
+
+  Element midpoint(const Element& lo, const Element& hi) const {
+    // Average of the flattened values; exact enough for a binary search
+    // (always within (lo, hi]).
+    const unsigned __int128 span = static_cast<unsigned __int128>(cfg_.max_id) + 1;
+    const unsigned __int128 a =
+        static_cast<unsigned __int128>(lo.prio) * span + lo.id;
+    const unsigned __int128 b =
+        static_cast<unsigned __int128>(hi.prio) * span + hi.id;
+    const unsigned __int128 mid = a + (b - a) / 2;
+    return Element{static_cast<Priority>(mid / span),
+                   static_cast<ElementId>(mid % span)};
+  }
+
+  overlay::OverlayNode& host_;
+  Config cfg_;
+  Provider provider_;
+  ResultFn on_result_;
+  agg::Broadcaster<ProbeStep> steps_;
+  agg::Aggregator<ProbeCount, ProbeCount> counts_;  // up-only
+
+  std::map<std::uint64_t, Session> sessions_;
+  std::map<std::uint64_t, std::uint64_t> epoch_counter_;
+  std::map<std::uint64_t, std::uint64_t> probes_;
+  std::map<std::uint64_t, std::vector<Element>> local_;
+};
+
+}  // namespace sks::baselines

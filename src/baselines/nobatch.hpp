@@ -1,0 +1,239 @@
+// Baseline: Skeap without aggregation-tree batching.
+//
+// Every heap operation travels to the anchor as its own message, hopping
+// along the aggregation-tree parent links; the anchor assigns its (p, pos)
+// pair from the same interval state Skeap uses and replies directly; the
+// issuer then performs the DHT operation. Semantics are unchanged — what
+// changes is scalability: the vertices near the anchor must forward every
+// single operation, so their congestion grows with the *total* injection
+// rate n·Λ instead of Skeap's Õ(Λ). Experiment E10 isolates exactly this
+// difference (it is the ablation "batching off").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "dht/dht.hpp"
+#include "overlay/overlay_node.hpp"
+#include "skeap/assignment.hpp"
+
+namespace sks::baselines {
+
+/// A single operation climbing the tree to the anchor.
+struct NoBatchOp final : sim::Payload {
+  bool is_insert = false;
+  Priority prio = 0;
+  NodeId origin = kNoNode;
+  std::uint64_t request_id = 0;
+  overlay::VKind at_kind = overlay::VKind::kRight;
+  std::uint64_t size_bits() const override { return 64; }
+  const char* name() const override { return "nobatch.op"; }
+};
+
+/// The anchor's position grant, sent straight back to the issuer.
+struct NoBatchGrant final : sim::Payload {
+  std::uint64_t request_id = 0;
+  bool bottom = false;
+  Priority prio = 0;
+  Position pos = 0;
+  std::uint64_t size_bits() const override { return 72; }
+  const char* name() const override { return "nobatch.grant"; }
+};
+
+class NoBatchNode : public overlay::OverlayNode {
+ public:
+  using DeleteCallback = std::function<void(std::optional<Element>)>;
+
+  struct Config {
+    std::size_t num_priorities = 2;
+    std::uint64_t hash_seed = 0xb1a5edULL;
+    dht::DhtWidths widths;
+  };
+
+  NoBatchNode(overlay::RouteParams params, Config config)
+      : OverlayNode(params),
+        config_(config),
+        hash_(config.hash_seed),
+        dht_(*this, config.widths) {
+    on_direct_payload<NoBatchOp>(
+        [this](NodeId, std::unique_ptr<NoBatchOp> op) {
+          forward_or_serve(std::move(op));
+        });
+    on_direct_payload<NoBatchGrant>(
+        [this](NodeId, std::unique_ptr<NoBatchGrant> g) {
+          on_grant(std::move(g));
+        });
+  }
+
+  void insert(const Element& e) {
+    auto op = std::make_unique<NoBatchOp>();
+    op->is_insert = true;
+    op->prio = e.prio;
+    op->origin = id();
+    op->request_id = next_request_id_++;
+    pending_inserts_.emplace(op->request_id, e);
+    start_climb(std::move(op));
+  }
+
+  void delete_min(DeleteCallback cb) {
+    auto op = std::make_unique<NoBatchOp>();
+    op->is_insert = false;
+    op->origin = id();
+    op->request_id = next_request_id_++;
+    pending_deletes_.emplace(op->request_id, std::move(cb));
+    start_climb(std::move(op));
+  }
+
+  std::size_t completed_ops() const { return completed_; }
+  const dht::DhtComponent& dht() const { return dht_; }
+
+ private:
+  void start_climb(std::unique_ptr<NoBatchOp> op) {
+    op->at_kind = overlay::VKind::kRight;  // start at our leaf
+    forward_or_serve(std::move(op));
+  }
+
+  void forward_or_serve(std::unique_ptr<NoBatchOp> op) {
+    // Climb parent links until the anchor; local virtual hops are free.
+    overlay::VKind at = op->at_kind;
+    for (;;) {
+      const overlay::VirtualState& st = vstate(at);
+      if (st.is_anchor) {
+        serve_at_anchor(std::move(op));
+        return;
+      }
+      SKS_CHECK(st.parent.valid());
+      if (st.parent.host == id()) {
+        at = st.parent.kind;
+        continue;
+      }
+      op->at_kind = st.parent.kind;
+      send(st.parent.host, std::move(op));
+      return;
+    }
+  }
+
+  void serve_at_anchor(std::unique_ptr<NoBatchOp> op) {
+    if (!anchor_state_) anchor_state_.emplace(config_.num_priorities);
+    // A batch of exactly one operation.
+    skeap::Batch one(config_.num_priorities);
+    if (op->is_insert) {
+      one.record_insert(op->prio);
+    } else {
+      one.record_delete();
+    }
+    skeap::BatchAssignment asg = anchor_state_->assign(one);
+    auto grant = std::make_unique<NoBatchGrant>();
+    grant->request_id = op->request_id;
+    if (op->is_insert) {
+      const Interval iv = asg.entries[0].inserts.at(op->prio);
+      grant->prio = op->prio;
+      grant->pos = iv.lo;
+    } else if (asg.entries[0].deletes.bottoms > 0) {
+      grant->bottom = true;
+    } else {
+      const PrioritySpan& span = asg.entries[0].deletes.spans.spans()[0];
+      grant->prio = span.prio;
+      grant->pos = span.iv.lo;
+    }
+    send_direct(op->origin, std::move(grant));
+  }
+
+  void on_grant(std::unique_ptr<NoBatchGrant> g) {
+    auto ins = pending_inserts_.find(g->request_id);
+    if (ins != pending_inserts_.end()) {
+      const Element e = ins->second;
+      pending_inserts_.erase(ins);
+      dht_.put(key_for(g->prio, g->pos), e);
+      ++completed_;
+      return;
+    }
+    auto dit = pending_deletes_.find(g->request_id);
+    SKS_CHECK(dit != pending_deletes_.end());
+    auto cb = std::move(dit->second);
+    pending_deletes_.erase(dit);
+    if (g->bottom) {
+      ++completed_;
+      if (cb) cb(std::nullopt);
+      return;
+    }
+    dht_.get(key_for(g->prio, g->pos), [this, cb](const Element& e) {
+      ++completed_;
+      if (cb) cb(e);
+    });
+  }
+
+  Point key_for(Priority p, Position pos) const {
+    return hash_.point({0xb07c40001ULL, p, pos});
+  }
+
+  Config config_;
+  HashFunction hash_;
+  dht::DhtComponent dht_;
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::uint64_t, Element> pending_inserts_;
+  std::map<std::uint64_t, DeleteCallback> pending_deletes_;
+  std::optional<skeap::AnchorState> anchor_state_;
+  std::size_t completed_ = 0;
+};
+
+/// Harness mirroring SkeapSystem for the comparison benches.
+class NoBatchSystem {
+ public:
+  struct Options {
+    std::size_t num_nodes = 8;
+    std::size_t num_priorities = 2;
+    std::uint64_t seed = 1;
+    sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
+  };
+
+  explicit NoBatchSystem(const Options& opts) : opts_(opts) {
+    sim::NetworkConfig cfg;
+    cfg.mode = opts.mode;
+    cfg.seed = opts.seed;
+    net_ = std::make_unique<sim::Network>(cfg);
+    HashFunction label_hash(opts.seed);
+    const auto links = overlay::build_topology(opts.num_nodes, label_hash);
+    const auto params = overlay::RouteParams::for_system(opts.num_nodes);
+    NoBatchNode::Config config;
+    config.num_priorities = opts.num_priorities;
+    config.hash_seed = opts.seed ^ 0x9e3779b97f4a7c15ULL;
+    config.widths =
+        dht::DhtWidths::for_system(opts.num_nodes, opts.num_priorities,
+                                   1u << 20);
+    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
+      const NodeId id =
+          net_->add_node(std::make_unique<NoBatchNode>(params, config));
+      net_->node_as<NoBatchNode>(id).install_links(links[i]);
+    }
+  }
+
+  NoBatchNode& node(NodeId v) { return net_->node_as<NoBatchNode>(v); }
+  sim::Network& net() { return *net_; }
+
+  Element insert(NodeId v, Priority prio) {
+    const Element e{prio, next_element_id_++};
+    node(v).insert(e);
+    return e;
+  }
+
+  void delete_min(NodeId v, NoBatchNode::DeleteCallback cb = nullptr) {
+    node(v).delete_min(std::move(cb));
+  }
+
+  std::uint64_t run() { return net_->run_until_idle(); }
+
+ private:
+  Options opts_;
+  std::unique_ptr<sim::Network> net_;
+  ElementId next_element_id_ = 1;
+};
+
+}  // namespace sks::baselines

@@ -1,0 +1,52 @@
+// Message-size accounting in bits.
+//
+// The paper's complexity claims are stated in message *bits* (e.g. Skeap
+// messages are O(Λ log² n) bits, Seap and KSelect messages O(log n) bits).
+// Every simulator payload reports its encoded size through these helpers so
+// benchmarks E3/E6/E8 can measure exactly what the theorems bound: numbers
+// are charged ceil(log2(range)) bits, just as in the paper's encoding
+// arguments (Lemma 3.8: "each entry is a number in O(n), so it has to be
+// encoded via O(log n) bits").
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace sks {
+
+/// Bits needed to encode a value drawn from [0, max_value], at least 1.
+constexpr std::uint64_t bits_for_max(std::uint64_t max_value) {
+  return max_value == 0
+             ? 1
+             : static_cast<std::uint64_t>(std::bit_width(max_value));
+}
+
+/// Bits needed to encode this specific value (its own magnitude).
+constexpr std::uint64_t bits_for_value(std::uint64_t value) {
+  return bits_for_max(value);
+}
+
+/// Bits for a count of items each of fixed width.
+constexpr std::uint64_t bits_for_items(std::size_t count,
+                                       std::uint64_t bits_each) {
+  return static_cast<std::uint64_t>(count) * bits_each;
+}
+
+/// Conventional widths used throughout the simulation. A real deployment
+/// would size these to the live system; the simulator uses the paper's
+/// asymptotic accounting with n and m up to 2^48.
+struct Widths {
+  std::uint64_t node_id_bits;    ///< log n
+  std::uint64_t priority_bits;   ///< log |P| = q log n for Seap
+  std::uint64_t position_bits;   ///< log m
+  std::uint64_t counter_bits;    ///< log(poly(n)) counters
+
+  static Widths for_system(std::uint64_t n, std::uint64_t max_priority,
+                           std::uint64_t max_elements) {
+    return Widths{bits_for_max(n), bits_for_max(max_priority),
+                  bits_for_max(max_elements), bits_for_max(max_elements)};
+  }
+};
+
+}  // namespace sks

@@ -1,0 +1,43 @@
+// Lightweight always-on invariant checking.
+//
+// Protocol code asserts structural invariants (interval algebra, tree
+// shape, state-machine phases) with SKS_CHECK; violations throw so tests
+// can assert on them and the simulator never continues from a corrupt
+// state. These stay enabled in release builds: the simulator is the
+// product, and silent corruption would invalidate every measurement.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sks {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SKS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace sks
+
+#define SKS_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) ::sks::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SKS_CHECK_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::ostringstream sks_os_;                                \
+      sks_os_ << msg;                                            \
+      ::sks::check_failed(#expr, __FILE__, __LINE__, sks_os_.str()); \
+    }                                                            \
+  } while (0)

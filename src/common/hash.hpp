@@ -1,0 +1,60 @@
+// The "publicly known pseudorandom hash function" h of the paper.
+//
+// Realized as a keyed SplitMix64-based mixing family: every party that
+// knows the seed computes identical values, and outputs are uniform on the
+// 64-bit fixed-point cycle [0, 2^64) that overlay labels live on.
+//
+// Used for:
+//  * overlay labels m(v) = h(v.id)                        (Appendix A)
+//  * Skeap DHT keys h(p, pos)                             (Section 3.2.4)
+//  * Seap random insert keys and DeleteMin keys h(pos)    (Section 5)
+//  * KSelect rendezvous keys h(i, j) = h(j, i)            (Section 4.3)
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace sks {
+
+/// Stateless keyed hash of one 64-bit word.
+constexpr std::uint64_t hash_u64(std::uint64_t seed, std::uint64_t x) {
+  std::uint64_t s = seed ^ (x + 0x9e3779b97f4a7c15ULL);
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// A named hash function instance, seeded once per simulated system so all
+/// nodes agree ("publicly known").
+class HashFunction {
+ public:
+  explicit HashFunction(std::uint64_t seed = 0xb1a5edULL) : seed_(seed) {}
+
+  /// Hash an arbitrary sequence of words to a point on the unit cycle.
+  Point point(std::initializer_list<std::uint64_t> words) const {
+    std::uint64_t acc = seed_;
+    for (std::uint64_t w : words) acc = hash_u64(acc, w);
+    return acc;
+  }
+
+  Point point(std::uint64_t a) const { return point({a}); }
+  Point point(std::uint64_t a, std::uint64_t b) const { return point({a, b}); }
+
+  /// Symmetric pair hash: h(i, j) == h(j, i), required by KSelect Phase 2b
+  /// so that copies c_{i,j} and c_{j,i} meet at the same node.
+  Point symmetric_point(std::uint64_t i, std::uint64_t j) const {
+    if (i > j) std::swap(i, j);
+    return point({i, j});
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace sks

@@ -1,0 +1,202 @@
+// Position-interval algebra.
+//
+// Skeap's anchor assigns every heap operation a pair (p, pos) by carving
+// contiguous position intervals out of per-priority ranges (Section 3.2.2)
+// and then recursively decomposing them down the aggregation tree (Section
+// 3.2.3). Seap reuses the same decomposition for its [1,k] DeleteMin
+// interval (Section 5.2). This header provides the exact carving
+// primitives: closed intervals, priority-tagged span lists, and delete
+// assignments that may include ⊥ ("heap was empty") slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sks {
+
+/// Closed interval [lo, hi] of 1-based positions; empty iff lo > hi.
+/// Matches the paper's convention |[first, last]| = last - first + 1.
+struct Interval {
+  Position lo = 1;
+  Position hi = 0;
+
+  static Interval empty_interval() { return Interval{1, 0}; }
+
+  bool empty() const { return lo > hi; }
+
+  std::uint64_t cardinality() const { return empty() ? 0 : hi - lo + 1; }
+
+  bool contains(Position p) const { return !empty() && lo <= p && p <= hi; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+  /// Remove and return the first `count` positions (or fewer if not
+  /// available). Mutates this interval to the remainder.
+  Interval take_front(std::uint64_t count) {
+    if (empty() || count == 0) return empty_interval();
+    const std::uint64_t take = count < cardinality() ? count : cardinality();
+    Interval front{lo, lo + take - 1};
+    lo += take;
+    return front;
+  }
+};
+
+inline std::string to_string(const Interval& iv) {
+  if (iv.empty()) return "[]";
+  return "[" + std::to_string(iv.lo) + "," + std::to_string(iv.hi) + "]";
+}
+
+/// A contiguous run of positions inside priority class `prio`.
+struct PrioritySpan {
+  Priority prio = 0;
+  Interval iv;
+
+  friend bool operator==(const PrioritySpan&, const PrioritySpan&) = default;
+};
+
+/// An ordered list of priority-tagged spans. Order is semantic: it is the
+/// order in which positions are consumed when carving (most-prioritized
+/// first for deletes, batch order for decomposition).
+class SpanList {
+ public:
+  SpanList() = default;
+
+  void push_back(Priority prio, Interval iv) {
+    if (iv.empty()) return;
+    if (!spans_.empty() && spans_.back().prio == prio &&
+        spans_.back().iv.hi + 1 == iv.lo) {
+      spans_.back().iv.hi = iv.hi;  // coalesce adjacent runs
+      return;
+    }
+    spans_.push_back(PrioritySpan{prio, iv});
+  }
+
+  void append(const SpanList& other) {
+    for (const auto& s : other.spans_) push_back(s.prio, s.iv);
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& s : spans_) t += s.iv.cardinality();
+    return t;
+  }
+
+  bool empty() const { return spans_.empty(); }
+
+  const std::vector<PrioritySpan>& spans() const { return spans_; }
+
+  /// Carve the first `count` positions into a new SpanList, preserving
+  /// span order; mutates this list to the remainder. Returns fewer than
+  /// `count` positions only if the list runs out.
+  SpanList take_front(std::uint64_t count) {
+    SpanList front;
+    std::size_t consumed = 0;
+    for (auto& s : spans_) {
+      if (count == 0) break;
+      Interval taken = s.iv.take_front(count);
+      count -= taken.cardinality();
+      front.push_back(s.prio, taken);
+      if (s.iv.empty()) ++consumed;
+    }
+    spans_.erase(spans_.begin(),
+                 spans_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    return front;
+  }
+
+  friend bool operator==(const SpanList&, const SpanList&) = default;
+
+ private:
+  std::vector<PrioritySpan> spans_;
+};
+
+inline std::string to_string(const SpanList& sl) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& s : sl.spans()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "p" + std::to_string(s.prio) + ":" + to_string(s.iv);
+  }
+  return out + "}";
+}
+
+/// The positions handed to a group of DeleteMin() requests: real (p, pos)
+/// spans first, then `bottoms` requests that receive ⊥ because the heap
+/// ran out of elements (Definition 1.2 property (2) still holds: ⊥ is
+/// returned only when nothing is left).
+struct DeleteAssignment {
+  SpanList spans;
+  std::uint64_t bottoms = 0;
+
+  std::uint64_t total() const { return spans.total() + bottoms; }
+
+  /// Carve the assignment for the first `count` deletes, preserving the
+  /// rule that real positions are consumed before ⊥ slots.
+  DeleteAssignment take_front(std::uint64_t count) {
+    DeleteAssignment front;
+    front.spans = spans.take_front(count);
+    const std::uint64_t got = front.spans.total();
+    SKS_CHECK(got <= count);
+    const std::uint64_t need_bottoms = count - got;
+    front.bottoms = need_bottoms < bottoms ? need_bottoms : bottoms;
+    bottoms -= front.bottoms;
+    return front;
+  }
+
+  friend bool operator==(const DeleteAssignment&,
+                         const DeleteAssignment&) = default;
+};
+
+/// Per-priority insert intervals for one batch entry: intervals[p] is the
+/// run of fresh positions for the entry's inserts of priority p.
+/// Priorities are 1-based as in the paper (P = {1, ..., c}).
+class InsertAssignment {
+ public:
+  InsertAssignment() = default;
+  explicit InsertAssignment(std::size_t num_priorities)
+      : intervals_(num_priorities + 1, Interval::empty_interval()) {}
+
+  std::size_t num_priorities() const {
+    return intervals_.empty() ? 0 : intervals_.size() - 1;
+  }
+
+  Interval& at(Priority p) {
+    SKS_CHECK_MSG(p >= 1 && p < intervals_.size(), "priority " << p);
+    return intervals_[static_cast<std::size_t>(p)];
+  }
+  const Interval& at(Priority p) const {
+    SKS_CHECK_MSG(p >= 1 && p < intervals_.size(), "priority " << p);
+    return intervals_[static_cast<std::size_t>(p)];
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& iv : intervals_) t += iv.cardinality();
+    return t;
+  }
+
+  /// Carve, per priority, the first counts[p] positions.
+  InsertAssignment take_front(const std::vector<std::uint64_t>& counts) {
+    InsertAssignment front(num_priorities());
+    for (Priority p = 1; p <= num_priorities(); ++p) {
+      const auto idx = static_cast<std::size_t>(p);
+      const std::uint64_t want = idx < counts.size() ? counts[idx] : 0;
+      front.at(p) = at(p).take_front(want);
+      SKS_CHECK_MSG(front.at(p).cardinality() == want,
+                    "insert interval underflow at priority " << p);
+    }
+    return front;
+  }
+
+  friend bool operator==(const InsertAssignment&,
+                         const InsertAssignment&) = default;
+
+ private:
+  std::vector<Interval> intervals_;  // index 0 unused; priorities 1-based
+};
+
+}  // namespace sks

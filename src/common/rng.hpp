@@ -1,0 +1,94 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic choice in the system (overlay labels, DHT keys, KSelect
+// sampling, asynchronous delivery delays) draws from an explicitly seeded
+// Rng so that simulations, tests and benchmarks are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <array>
+
+#include "common/check.hpp"
+
+namespace sks {
+
+/// SplitMix64 step: the standard 64-bit finalizer-based generator, used
+/// both for seeding and as a stateless mixing function.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t below(std::uint64_t bound) {
+    SKS_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    SKS_CHECK(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool flip(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return unit() < p;
+  }
+
+  /// Derive an independent child generator; useful for giving each node
+  /// its own stream without sharing state.
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace sks

@@ -1,0 +1,56 @@
+// Core domain types shared by every module of the Skeap/Seap reproduction.
+//
+// Positions, priorities and DHT points are all 64-bit integers. Points live
+// in the fixed-point unit interval [0, 2^64) so overlay labels (the paper's
+// real-valued labels in [0,1)) are exact and portable: the paper's
+// l(v) = m(v)/2 and r(v) = (m(v)+1)/2 become m/2 and m/2 + 2^63.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace sks {
+
+/// Index of a real node (process) in the simulated system.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Priority of a heap element. Smaller value = higher priority (min-heap),
+/// exactly as in the paper where DeleteMin() retrieves the minimum.
+using Priority = std::uint64_t;
+
+/// Unique identifier of a heap element; used as the tiebreaker that turns
+/// the priority order into the total order on elements (Section 1.2).
+using ElementId = std::uint64_t;
+
+/// A point on the overlay's unit cycle [0,1), represented in fixed point:
+/// the real value is Point / 2^64.
+using Point = std::uint64_t;
+
+/// A 1-based position inside a per-priority interval (Skeap Phase 2) or the
+/// [1,k] DeleteMin interval (Seap).
+using Position = std::uint64_t;
+
+/// A heap element: payload-free for the simulation, identified by its
+/// priority plus unique id.
+struct Element {
+  Priority prio = 0;
+  ElementId id = 0;
+
+  /// Total order on elements (Section 1.2): priority first, id tiebreaker.
+  friend constexpr auto operator<=>(const Element&, const Element&) = default;
+};
+
+/// The key under which elements are compared in KSelect; identical layout
+/// to Element but semantically "the total-order key".
+using ElementKey = Element;
+
+inline std::string to_string(const Element& e) {
+  return "(" + std::to_string(e.prio) + "#" + std::to_string(e.id) + ")";
+}
+
+}  // namespace sks

@@ -1,0 +1,160 @@
+// The library's front door: a distributed priority queue with selectable
+// backend.
+//
+//   * Backend::kSkeap — Section 3: constant priority universe
+//     P = {1, ..., c}; sequential consistency; O(Λ log² n)-bit messages.
+//   * Backend::kSeap  — Section 5: arbitrary priorities; serializability;
+//     O(log n)-bit messages regardless of the injection rate.
+//
+// Usage (see examples/quickstart.cpp):
+//
+//   DistributedHeap::Options opts;
+//   opts.backend = DistributedHeap::Backend::kSeap;
+//   opts.num_nodes = 64;
+//   DistributedHeap heap(opts);
+//   heap.insert(/*node=*/3, /*priority=*/42);
+//   heap.delete_min(/*node=*/7, [](std::optional<Element> e) { ... });
+//   heap.run_batch();   // drive one batch/cycle to completion
+//
+// Operations are issued *at* a node (this is a decentralized structure —
+// there is no single entry point) and buffered until the next batch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <variant>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "core/semantics.hpp"
+#include "seap/seap_system.hpp"
+#include "skeap/skeap_system.hpp"
+
+namespace sks::core {
+
+class DistributedHeap {
+ public:
+  enum class Backend { kSkeap, kSeap };
+
+  /// Min-heap (the paper's default) or max-heap — Definition 1.2's note:
+  /// "this property can be inverted such that our heap behaves like a
+  /// MaxHeap". Realized by storing order-reversed priorities; callers see
+  /// their original values.
+  enum class Ordering { kMin, kMax };
+
+  using DeleteCallback = std::function<void(std::optional<Element>)>;
+
+  struct Options {
+    Backend backend = Backend::kSeap;
+    Ordering ordering = Ordering::kMin;
+    std::size_t num_nodes = 8;
+    /// Skeap only: size of the constant priority universe P = {1..c}.
+    std::size_t num_priorities = 4;
+    std::uint64_t seed = 0xb1a5edULL;
+    sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
+    std::uint64_t max_delay = 8;
+  };
+
+  explicit DistributedHeap(const Options& opts) : opts_(opts) {
+    if (opts.backend == Backend::kSkeap) {
+      skeap_ = std::make_unique<skeap::SkeapSystem>(skeap::SkeapSystem::Options{
+          .num_nodes = opts.num_nodes,
+          .num_priorities = opts.num_priorities,
+          .seed = opts.seed,
+          .mode = opts.mode,
+          .max_delay = opts.max_delay});
+    } else {
+      seap_ = std::make_unique<seap::SeapSystem>(seap::SeapSystem::Options{
+          .num_nodes = opts.num_nodes,
+          .seed = opts.seed,
+          .mode = opts.mode,
+          .max_delay = opts.max_delay});
+    }
+  }
+
+  Backend backend() const { return opts_.backend; }
+  std::size_t size() const { return opts_.num_nodes; }
+
+  /// Issue Insert(e) at `node`. Skeap requires prio in {1..num_priorities};
+  /// Seap accepts any 64-bit priority. Returns the element (with its
+  /// auto-assigned unique id).
+  Element insert(NodeId node, Priority prio) {
+    if (skeap_) {
+      SKS_CHECK_MSG(prio >= 1 && prio <= opts_.num_priorities,
+                    "Skeap backend requires priorities in {1.."
+                        << opts_.num_priorities << "}; use the Seap backend "
+                        << "for arbitrary priorities");
+      Element stored = skeap_->insert(node, to_internal(prio));
+      stored.prio = prio;
+      return stored;
+    }
+    Element stored = seap_->insert(node, to_internal(prio));
+    stored.prio = prio;
+    return stored;
+  }
+
+  /// Issue DeleteMin() (or DeleteMax() under Ordering::kMax) at `node`;
+  /// `cb` runs at that node with the matched element, or std::nullopt if
+  /// the heap was empty when the operation was serialized.
+  void delete_min(NodeId node, DeleteCallback cb = nullptr) {
+    DeleteCallback wrapped = cb;
+    if (opts_.ordering == Ordering::kMax && cb) {
+      wrapped = [this, cb = std::move(cb)](std::optional<Element> e) {
+        if (e) e->prio = from_internal(e->prio);
+        cb(e);
+      };
+    }
+    if (skeap_) {
+      skeap_->delete_min(node, std::move(wrapped));
+    } else {
+      seap_->delete_min(node, std::move(wrapped));
+    }
+  }
+
+  /// Process everything buffered so far: one Skeap batch or one Seap
+  /// cycle. Returns the number of simulated rounds it took.
+  std::uint64_t run_batch() {
+    return skeap_ ? skeap_->run_batch() : seap_->run_cycle();
+  }
+
+  /// Verify the semantics guarantee of the chosen backend over the whole
+  /// run so far (sequential consistency for Skeap, serializability for
+  /// Seap — both with heap consistency, Definitions 1.1/1.2).
+  CheckResult verify_semantics() {
+    if (skeap_) return check_skeap_trace(skeap_->gather_trace());
+    return check_seap_trace(seap_->gather_trace());
+  }
+
+  /// Total elements currently stored across all nodes' DHT shards.
+  std::size_t stored_elements() {
+    std::size_t total = 0;
+    for (NodeId v = 0; v < opts_.num_nodes; ++v) {
+      total += skeap_ ? skeap_->node(v).dht().stored_count()
+                      : seap_->node(v).dht().stored_count();
+    }
+    return total;
+  }
+
+  sim::Network& net() { return skeap_ ? skeap_->net() : seap_->net(); }
+
+  /// Backend escape hatches for advanced use.
+  skeap::SkeapSystem* skeap() { return skeap_.get(); }
+  seap::SeapSystem* seap() { return seap_.get(); }
+
+ private:
+  /// Order-reversing priority map for Ordering::kMax: Skeap's constant
+  /// universe flips within {1..c}; Seap's 64-bit universe flips by
+  /// complement (both are strictly order-reversing involutions).
+  Priority to_internal(Priority p) const {
+    if (opts_.ordering == Ordering::kMin) return p;
+    return skeap_ ? opts_.num_priorities + 1 - p : ~p;
+  }
+  Priority from_internal(Priority p) const { return to_internal(p); }
+
+  Options opts_;
+  std::unique_ptr<skeap::SkeapSystem> skeap_;
+  std::unique_ptr<seap::SeapSystem> seap_;
+};
+
+}  // namespace sks::core

@@ -1,0 +1,346 @@
+// Semantics verification (Definitions 1.1 and 1.2).
+//
+// Given the gathered operation trace of a protocol run, these checkers
+// reconstruct the serialization order ≺ the protocol claims to provide and
+// replay it against a sequential oracle heap:
+//
+//  * heap consistency — (1) matched inserts precede their deletes, (2) a
+//    delete returns ⊥ only when the heap is empty at its point in ≺, and
+//    (3) deletes always remove the minimum-priority element. All three are
+//    equivalent to: the sequential replay of ≺ reproduces exactly the
+//    recorded matchings.
+//  * sequential consistency (Skeap) — additionally, ≺ respects every
+//    node's local issue order.
+//  * serializability (Seap) — some ≺ exists; we verify the phase-ordered
+//    one the proof of Lemma 5.2 constructs.
+//
+// The Skeap order ≺ is reconstructed as: (epoch, entry, inserts-before-
+// deletes); same-entry inserts ordered by (node, issue_seq) — inserts
+// commute, so this preserves local order without affecting the heap
+// replay; same-entry deletes ordered by their carve order, which is
+// exactly lexicographic (priority, position), bottoms last.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/types.hpp"
+#include "seap/seap_node.hpp"
+#include "skeap/skeap_node.hpp"
+
+namespace sks::core {
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;
+
+  static CheckResult failure(const std::string& why) {
+    return CheckResult{false, why};
+  }
+  explicit operator bool() const { return ok; }
+};
+
+namespace detail {
+
+/// Total-order key for Skeap's serialization ≺.
+struct SkeapSerKey {
+  std::uint64_t epoch;
+  std::uint64_t entry;
+  int phase;  // 0 = insert, 1 = delete
+  int bottom; // deletes only; ⊥ results are serialized last in the entry
+  Priority prio;
+  Position pos;
+  NodeId node;
+  std::uint64_t issue_seq;
+
+  static SkeapSerKey of(const skeap::OpRecord& r) {
+    SkeapSerKey k{};
+    k.epoch = r.epoch;
+    k.entry = r.entry;
+    k.phase = r.is_insert ? 0 : 1;
+    k.bottom = r.bottom ? 1 : 0;
+    // Inserts commute: order them by issuer to preserve local order.
+    // Deletes must follow the anchor's carve order (prio, pos).
+    k.prio = r.is_insert ? 0 : r.prio;
+    k.pos = r.is_insert ? 0 : r.pos;
+    k.node = r.node;
+    k.issue_seq = r.issue_seq;
+    return k;
+  }
+
+  friend bool operator<(const SkeapSerKey& a, const SkeapSerKey& b) {
+    return std::tie(a.epoch, a.entry, a.phase, a.bottom, a.prio, a.pos,
+                    a.node, a.issue_seq) <
+           std::tie(b.epoch, b.entry, b.phase, b.bottom, b.prio, b.pos,
+                    b.node, b.issue_seq);
+  }
+};
+
+inline std::string describe(const skeap::OpRecord& r) {
+  std::ostringstream os;
+  os << (r.is_insert ? "Ins" : "Del") << "[node " << r.node << " seq "
+     << r.issue_seq << " epoch " << r.epoch << " entry " << r.entry;
+  if (r.bottom) {
+    os << " ⊥";
+  } else {
+    os << " (p" << r.prio << ",pos" << r.pos << ") elem "
+       << to_string(r.element);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Verify a Skeap trace: completeness, sequential consistency and heap
+/// consistency. The trace must contain every operation of the run.
+inline CheckResult check_skeap_trace(std::vector<skeap::OpRecord> trace) {
+  using detail::SkeapSerKey;
+
+  for (const auto& r : trace) {
+    if (!r.completed) {
+      return CheckResult::failure("incomplete operation: " +
+                                  detail::describe(r));
+    }
+  }
+
+  // --- Local consistency: per node, ≺ respects issue order. -------------
+  std::map<NodeId, std::vector<skeap::OpRecord>> by_node;
+  for (const auto& r : trace) by_node[r.node].push_back(r);
+  for (auto& [node, ops] : by_node) {
+    std::sort(ops.begin(), ops.end(),
+              [](const auto& a, const auto& b) {
+                return a.issue_seq < b.issue_seq;
+              });
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      if (!(SkeapSerKey::of(ops[i - 1]) < SkeapSerKey::of(ops[i]))) {
+        return CheckResult::failure(
+            "local consistency violated at node " + std::to_string(node) +
+            ": " + detail::describe(ops[i - 1]) + " !< " +
+            detail::describe(ops[i]));
+      }
+    }
+  }
+
+  // --- Heap consistency: sequential replay along ≺. ---------------------
+  std::sort(trace.begin(), trace.end(),
+            [](const auto& a, const auto& b) {
+              return SkeapSerKey::of(a) < SkeapSerKey::of(b);
+            });
+
+  std::map<std::pair<Priority, Position>, Element> heap;
+  std::set<ElementId> inserted_ids;
+  std::set<ElementId> deleted_ids;
+
+  for (const auto& r : trace) {
+    if (r.is_insert) {
+      if (r.prio != r.element.prio) {
+        return CheckResult::failure("insert assigned to wrong priority: " +
+                                    detail::describe(r));
+      }
+      if (!inserted_ids.insert(r.element.id).second) {
+        return CheckResult::failure("element inserted twice: " +
+                                    detail::describe(r));
+      }
+      auto [it, fresh] = heap.emplace(std::make_pair(r.prio, r.pos),
+                                      r.element);
+      if (!fresh) {
+        return CheckResult::failure("position assigned twice: " +
+                                    detail::describe(r));
+      }
+    } else if (r.bottom) {
+      if (!heap.empty()) {
+        return CheckResult::failure(
+            "DeleteMin returned ⊥ while the heap held " +
+            std::to_string(heap.size()) + " elements: " +
+            detail::describe(r));
+      }
+    } else {
+      if (heap.empty()) {
+        return CheckResult::failure("DeleteMin matched on an empty heap: " +
+                                    detail::describe(r));
+      }
+      const auto min_it = heap.begin();
+      if (min_it->first != std::make_pair(r.prio, r.pos)) {
+        return CheckResult::failure(
+            "DeleteMin did not remove the minimum: expected (p" +
+            std::to_string(min_it->first.first) + ",pos" +
+            std::to_string(min_it->first.second) + ") got " +
+            detail::describe(r));
+      }
+      if (min_it->second != r.element) {
+        return CheckResult::failure("matching mismatch: stored " +
+                                    to_string(min_it->second) + " vs " +
+                                    detail::describe(r));
+      }
+      if (!deleted_ids.insert(r.element.id).second) {
+        return CheckResult::failure("element deleted twice: " +
+                                    detail::describe(r));
+      }
+      heap.erase(min_it);
+    }
+  }
+  return CheckResult{};
+}
+
+namespace detail {
+
+inline std::string describe(const seap::SeapOpRecord& r) {
+  std::ostringstream os;
+  os << (r.is_insert ? "Ins" : "Del") << "[node " << r.node << " seq "
+     << r.issue_seq << " cycle " << r.cycle;
+  if (r.bottom) {
+    os << " ⊥";
+  } else if (!r.is_insert) {
+    os << " pos " << r.pos << " elem " << to_string(r.element);
+  } else {
+    os << " elem " << to_string(r.element);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Verify a Seap trace: serializability and heap consistency under the
+/// phase-structured order ≺ of Lemma 5.2 — all inserts of a cycle precede
+/// all its deletes, deletes are ordered by their assigned position with ⊥
+/// last, and cycles follow one another. Per cycle, the matched deletes
+/// must remove exactly the min(d, |heap|) smallest elements of the heap
+/// contents at that point, and ⊥ appears only when the heap ran dry.
+/// (Seap does not claim local consistency — Section 5 trades it for the
+/// O(log n)-bit messages — so it is not checked.)
+inline CheckResult check_seap_trace(std::vector<seap::SeapOpRecord> trace) {
+  for (const auto& r : trace) {
+    if (!r.completed) {
+      return CheckResult::failure("incomplete operation: " +
+                                  detail::describe(r));
+    }
+  }
+
+  std::map<std::uint64_t, std::vector<const seap::SeapOpRecord*>> by_cycle;
+  std::uint64_t max_cycle = 0;
+  for (const auto& r : trace) {
+    by_cycle[r.cycle].push_back(&r);
+    max_cycle = std::max(max_cycle, r.cycle);
+  }
+
+  std::multiset<Element> heap;
+  std::set<ElementId> inserted_ids, deleted_ids;
+
+  for (std::uint64_t cycle = 0; cycle <= max_cycle; ++cycle) {
+    auto it = by_cycle.find(cycle);
+    if (it == by_cycle.end()) continue;
+
+    // Insert phase of the cycle.
+    for (const auto* r : it->second) {
+      if (!r->is_insert) continue;
+      if (!inserted_ids.insert(r->element.id).second) {
+        return CheckResult::failure("element inserted twice: " +
+                                    detail::describe(*r));
+      }
+      heap.insert(r->element);
+    }
+
+    // DeleteMin phase: the matched deletes must be exactly the smallest
+    // min(d, |heap|) elements; positions must be distinct in [1, d].
+    std::vector<const seap::SeapOpRecord*> deletes;
+    for (const auto* r : it->second) {
+      if (!r->is_insert) deletes.push_back(r);
+    }
+    if (deletes.empty()) continue;
+
+    std::set<Position> positions;
+    std::multiset<Element> matched;
+    std::size_t bottoms = 0;
+    for (const auto* r : deletes) {
+      if (!positions.insert(r->pos).second) {
+        return CheckResult::failure("position assigned twice: " +
+                                    detail::describe(*r));
+      }
+      if (r->bottom) {
+        ++bottoms;
+      } else {
+        matched.insert(r->element);
+        if (!deleted_ids.insert(r->element.id).second) {
+          return CheckResult::failure("element deleted twice: " +
+                                      detail::describe(*r));
+        }
+      }
+    }
+    const std::size_t expect_matched = std::min(deletes.size(), heap.size());
+    if (matched.size() != expect_matched) {
+      return CheckResult::failure(
+          "cycle " + std::to_string(cycle) + " matched " +
+          std::to_string(matched.size()) + " deletes, expected " +
+          std::to_string(expect_matched));
+    }
+    if (bottoms != deletes.size() - expect_matched) {
+      return CheckResult::failure("cycle " + std::to_string(cycle) +
+                                  " returned ⊥ while elements remained");
+    }
+    // The matched multiset must equal the k smallest heap elements.
+    auto heap_it = heap.begin();
+    for (const auto& e : matched) {
+      if (heap_it == heap.end() || !(*heap_it == e)) {
+        return CheckResult::failure(
+            "cycle " + std::to_string(cycle) +
+            " did not remove the smallest elements (got " + to_string(e) +
+            ")");
+      }
+      ++heap_it;
+    }
+    heap.erase(heap.begin(), heap_it);
+  }
+  return CheckResult{};
+}
+
+/// Verify the sequentially consistent Seap variant (the Conclusion's
+/// extension): serializability + heap consistency as in check_seap_trace,
+/// plus local consistency — each node's operations must appear in the
+/// phase-structured order ≺ in their issue order. Under ≺, op A precedes
+/// op B iff (cycle_A, phase_A) < (cycle_B, phase_B) where phase is 0 for
+/// inserts and 1 for deletes; same-(cycle, phase) pairs of one node are
+/// ordered by position/commutativity, which the prefix rule guarantees.
+inline CheckResult check_seap_sc_trace(
+    const std::vector<seap::SeapOpRecord>& trace) {
+  CheckResult base = check_seap_trace(trace);
+  if (!base.ok) return base;
+
+  std::map<NodeId, std::vector<const seap::SeapOpRecord*>> by_node;
+  for (const auto& r : trace) by_node[r.node].push_back(&r);
+  for (auto& [node, ops] : by_node) {
+    std::sort(ops.begin(), ops.end(), [](const auto* a, const auto* b) {
+      return a->issue_seq < b->issue_seq;
+    });
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      const auto key = [](const seap::SeapOpRecord* r) {
+        return std::make_pair(r->cycle, r->is_insert ? 0 : 1);
+      };
+      if (key(ops[i - 1]) > key(ops[i])) {
+        return CheckResult::failure(
+            "local consistency violated at node " + std::to_string(node) +
+            ": " + detail::describe(*ops[i - 1]) + " serialized after " +
+            detail::describe(*ops[i]));
+      }
+      // Two deletes of one node in the same cycle must keep issue order
+      // of their positions (they were carved as one contiguous chunk).
+      if (key(ops[i - 1]) == key(ops[i]) && !ops[i]->is_insert &&
+          ops[i - 1]->pos >= ops[i]->pos) {
+        return CheckResult::failure(
+            "same-cycle delete positions out of issue order at node " +
+            std::to_string(node));
+      }
+    }
+  }
+  return CheckResult{};
+}
+
+}  // namespace sks::core

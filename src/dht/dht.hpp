@@ -1,0 +1,393 @@
+// The DHT embedded in the overlay (Lemma 2.2 (ii)–(iv)).
+//
+// Put(k, e) routes e to the virtual node owning the key point and stores
+// it there; Get(k, v) routes to the same owner, removes the element and
+// delivers it back to v. Because hash keys are pseudorandom, elements are
+// distributed uniformly over the nodes (fairness, Lemma 2.2(iv)).
+//
+// Asynchrony rule from Skeap Phase 4: a Get may arrive before its matching
+// Put; in that case the Get *waits at the owner* until the Put arrives —
+// which eventually happens because messages are never lost.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "overlay/overlay_node.hpp"
+
+namespace sks::dht {
+
+/// Bit-size model for DHT messages: a key point plus an element, both
+/// O(log n)-bit quantities in the paper's accounting.
+struct DhtWidths {
+  std::uint64_t key_bits = 24;
+  std::uint64_t element_bits = 40;
+  std::uint64_t node_id_bits = 12;
+
+  static DhtWidths for_system(std::uint64_t n, std::uint64_t max_priority,
+                              std::uint64_t max_elements) {
+    DhtWidths w;
+    w.node_id_bits = bits_for_max(n);
+    w.element_bits = bits_for_max(max_priority) + bits_for_max(max_elements);
+    w.key_bits = bits_for_max(max_elements) + bits_for_max(max_priority);
+    return w;
+  }
+};
+
+struct PutRequest final : sim::Payload {
+  Element element;
+  NodeId requester = kNoNode;
+  std::uint64_t request_id = 0;
+  bool want_ack = false;
+  std::uint8_t space = 0;
+  std::uint64_t bits = 64;
+  std::uint64_t size_bits() const override { return bits; }
+  const char* name() const override { return "dht.put"; }
+};
+
+struct GetRequest final : sim::Payload {
+  NodeId requester = kNoNode;
+  std::uint64_t request_id = 0;
+  std::uint8_t space = 0;
+  std::uint64_t bits = 48;
+  std::uint64_t size_bits() const override { return bits; }
+  const char* name() const override { return "dht.get"; }
+};
+
+struct GetReply final : sim::Payload {
+  Element element;
+  std::uint64_t request_id = 0;
+  std::uint64_t bits = 48;
+  std::uint64_t size_bits() const override { return bits; }
+  const char* name() const override { return "dht.get_reply"; }
+};
+
+struct PutAck final : sim::Payload {
+  std::uint64_t request_id = 0;
+  std::uint64_t bits = 24;
+  std::uint64_t size_bits() const override { return bits; }
+  const char* name() const override { return "dht.put_ack"; }
+};
+
+/// Attachable DHT role for an OverlayNode: both the client side (put/get
+/// with local callbacks) and the server side (per-virtual-node storage and
+/// waiting Gets).
+class DhtComponent {
+ public:
+  using GetCallback = std::function<void(const Element&)>;
+  using PutCallback = std::function<void()>;
+
+  /// Independent keyspaces: protocols can keep several logical stores on
+  /// the same DHT (Seap separates the main element store from the
+  /// per-phase positional store of its DeleteMin phase).
+  static constexpr std::size_t kNumSpaces = 2;
+
+  /// A Get parked at an owner, waiting for its Put (public so membership
+  /// handover can relocate it together with the stored data).
+  struct WaitingGet {
+    NodeId requester;
+    std::uint64_t request_id;
+  };
+
+  /// Everything one virtual node stores for one arc of the cycle — moved
+  /// wholesale during join/leave handover.
+  struct ArcData {
+    std::array<std::unordered_map<Point, std::deque<Element>>, kNumSpaces>
+        elements;
+    std::array<std::unordered_map<Point, std::deque<WaitingGet>>, kNumSpaces>
+        waiting;
+
+    std::size_t element_count() const {
+      std::size_t total = 0;
+      for (const auto& space : elements) {
+        for (const auto& [key, elems] : space) total += elems.size();
+      }
+      return total;
+    }
+  };
+
+  DhtComponent(overlay::OverlayNode& host, DhtWidths widths)
+      : host_(host), widths_(widths) {
+    host_.on_routed_payload<PutRequest>(
+        [this](Point key, overlay::VKind owner, NodeId,
+               std::unique_ptr<PutRequest> req) {
+          handle_put(key, owner, std::move(req));
+        });
+    host_.on_routed_payload<GetRequest>(
+        [this](Point key, overlay::VKind owner, NodeId,
+               std::unique_ptr<GetRequest> req) {
+          handle_get(key, owner, std::move(req));
+        });
+    host_.on_direct_payload<GetReply>(
+        [this](NodeId, std::unique_ptr<GetReply> rep) {
+          auto it = get_callbacks_.find(rep->request_id);
+          SKS_CHECK_MSG(it != get_callbacks_.end(), "unexpected get reply");
+          auto cb = std::move(it->second);
+          get_callbacks_.erase(it);
+          cb(rep->element);
+        });
+    host_.on_direct_payload<PutAck>(
+        [this](NodeId, std::unique_ptr<PutAck> ack) {
+          auto it = put_callbacks_.find(ack->request_id);
+          SKS_CHECK_MSG(it != put_callbacks_.end(), "unexpected put ack");
+          auto cb = std::move(it->second);
+          put_callbacks_.erase(it);
+          cb();
+        });
+  }
+
+  /// Store `e` under `key`. If `ack` is given, the owner confirms the
+  /// write and `ack` runs locally when the confirmation arrives (Seap's
+  /// Insert phase requires these confirmations).
+  void put(Point key, const Element& e, PutCallback ack = nullptr,
+           std::uint8_t space = 0) {
+    SKS_CHECK(space < kNumSpaces);
+    auto req = std::make_unique<PutRequest>();
+    req->element = e;
+    req->requester = host_.id();
+    req->space = space;
+    req->bits = widths_.key_bits + widths_.element_bits + widths_.node_id_bits;
+    if (ack) {
+      req->want_ack = true;
+      req->request_id = next_request_id_++;
+      put_callbacks_.emplace(req->request_id, std::move(ack));
+    }
+    host_.route(key, std::move(req));
+  }
+
+  /// Fetch-and-remove the element stored under `key`; waits at the owner
+  /// if the Put has not arrived yet.
+  void get(Point key, GetCallback cb, std::uint8_t space = 0) {
+    SKS_CHECK(cb != nullptr);
+    SKS_CHECK(space < kNumSpaces);
+    auto req = std::make_unique<GetRequest>();
+    req->requester = host_.id();
+    req->request_id = next_request_id_++;
+    req->space = space;
+    req->bits = widths_.key_bits + widths_.node_id_bits +
+                bits_for_max(next_request_id_);
+    get_callbacks_.emplace(req->request_id, std::move(cb));
+    host_.route(key, std::move(req));
+  }
+
+  /// Number of elements currently stored by this host (all 3 virtual
+  /// nodes, all spaces); used by the fairness experiment E9.
+  std::size_t stored_count() const {
+    std::size_t total = 0;
+    for (const auto& by_kind : stores_) {
+      for (const auto& store : by_kind) {
+        for (const auto& [key, elems] : store) total += elems.size();
+      }
+    }
+    return total;
+  }
+
+  /// All elements this host stores in one keyspace (KSelect's v.E).
+  std::vector<Element> elements_in(std::uint8_t space) const {
+    SKS_CHECK(space < kNumSpaces);
+    std::vector<Element> out;
+    for (const auto& store : stores_[space]) {
+      for (const auto& [key, elems] : store) {
+        out.insert(out.end(), elems.begin(), elems.end());
+      }
+    }
+    return out;
+  }
+
+  /// Count of locally stored elements with key <= threshold in a space.
+  std::size_t count_leq(std::uint8_t space, const Element& threshold) const {
+    SKS_CHECK(space < kNumSpaces);
+    std::size_t count = 0;
+    for (const auto& store : stores_[space]) {
+      for (const auto& [key, elems] : store) {
+        for (const auto& e : elems) count += (e <= threshold);
+      }
+    }
+    return count;
+  }
+
+  /// Remove and return (sorted ascending) every locally stored element
+  /// with key <= threshold in a space — Seap's DeleteMin phase moves
+  /// these to positional keys.
+  std::vector<Element> take_leq(std::uint8_t space, const Element& threshold) {
+    SKS_CHECK(space < kNumSpaces);
+    std::vector<Element> out;
+    for (auto& store : stores_[space]) {
+      for (auto it = store.begin(); it != store.end();) {
+        auto& elems = it->second;
+        for (auto eit = elems.begin(); eit != elems.end();) {
+          if (*eit <= threshold) {
+            out.push_back(*eit);
+            eit = elems.erase(eit);
+          } else {
+            ++eit;
+          }
+        }
+        it = elems.empty() ? store.erase(it) : ++it;
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Number of Gets parked here waiting for their Put.
+  std::size_t waiting_gets() const {
+    std::size_t total = 0;
+    for (const auto& by_kind : waiting_) {
+      for (const auto& w : by_kind) {
+        for (const auto& [key, gets] : w) total += gets.size();
+      }
+    }
+    return total;
+  }
+
+  std::size_t pending_client_ops() const {
+    return get_callbacks_.size() + put_callbacks_.size();
+  }
+
+  /// Remove and return everything stored at virtual node `k` whose key
+  /// lies in the cyclic arc [lo, hi) — the ownership range that moves to a
+  /// joining neighbour. Pass lo == hi to take the whole store (leave).
+  ArcData extract_arc(overlay::VKind k, Point lo, Point hi) {
+    ArcData out;
+    const bool take_all = (lo == hi);
+    for (std::size_t space = 0; space < kNumSpaces; ++space) {
+      auto move_matching = [&](auto& from, auto& to) {
+        for (auto it = from.begin(); it != from.end();) {
+          if (take_all || overlay::arc_contains(lo, hi, it->first)) {
+            to.emplace(it->first, std::move(it->second));
+            it = from.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      };
+      move_matching(store(static_cast<std::uint8_t>(space), k),
+                    out.elements[space]);
+      move_matching(waiting(static_cast<std::uint8_t>(space), k),
+                    out.waiting[space]);
+    }
+    return out;
+  }
+
+  /// Merge handed-over arc data into virtual node `k`'s store, matching
+  /// any waiting Gets against newly available elements.
+  void absorb_arc(overlay::VKind k, ArcData arc) {
+    for (std::size_t space = 0; space < kNumSpaces; ++space) {
+      auto& st = store(static_cast<std::uint8_t>(space), k);
+      auto& wt = waiting(static_cast<std::uint8_t>(space), k);
+      for (auto& [key, elems] : arc.elements[space]) {
+        auto& dst = st[key];
+        dst.insert(dst.end(), elems.begin(), elems.end());
+      }
+      for (auto& [key, gets] : arc.waiting[space]) {
+        auto& dst = wt[key];
+        dst.insert(dst.end(), gets.begin(), gets.end());
+      }
+      // Serve any gets that now have matching elements. All map surgery
+      // happens before any reply is sent: a locally delivered reply can
+      // re-enter this component and mutate these maps.
+      std::vector<std::pair<WaitingGet, Element>> to_serve;
+      for (auto wit = wt.begin(); wit != wt.end();) {
+        auto sit = st.find(wit->first);
+        while (sit != st.end() && !sit->second.empty() &&
+               !wit->second.empty()) {
+          to_serve.emplace_back(wit->second.front(), sit->second.front());
+          wit->second.pop_front();
+          sit->second.pop_front();
+        }
+        if (sit != st.end() && sit->second.empty()) st.erase(sit);
+        wit = wit->second.empty() ? wt.erase(wit) : std::next(wit);
+      }
+      for (auto& [get, elem] : to_serve) reply_get(get, elem);
+    }
+  }
+
+ private:
+
+  std::unordered_map<Point, std::deque<Element>>& store(std::uint8_t space,
+                                                         overlay::VKind k) {
+    return stores_[space][static_cast<std::size_t>(k)];
+  }
+  std::unordered_map<Point, std::deque<WaitingGet>>& waiting(
+      std::uint8_t space, overlay::VKind k) {
+    return waiting_[space][static_cast<std::size_t>(k)];
+  }
+
+  void handle_put(Point key, overlay::VKind owner,
+                  std::unique_ptr<PutRequest> req) {
+    // Resolve all map state before sending anything: a reply delivered
+    // locally can re-enter this component and mutate the maps.
+    auto& wmap = waiting(req->space, owner);
+    auto wit = wmap.find(key);
+    std::optional<WaitingGet> matched;
+    if (wit != wmap.end() && !wit->second.empty()) {
+      matched = wit->second.front();
+      wit->second.pop_front();
+      if (wit->second.empty()) wmap.erase(wit);
+    } else {
+      store(req->space, owner)[key].push_back(req->element);
+    }
+    if (matched) {
+      // A Get outran this Put: serve it immediately.
+      reply_get(*matched, req->element);
+    }
+    if (req->want_ack) {
+      auto ack = std::make_unique<PutAck>();
+      ack->request_id = req->request_id;
+      ack->bits = bits_for_max(req->request_id) + widths_.node_id_bits;
+      host_.send_direct(req->requester, std::move(ack));
+    }
+  }
+
+  void handle_get(Point key, overlay::VKind owner,
+                  std::unique_ptr<GetRequest> req) {
+    auto& st = store(req->space, owner);
+    auto it = st.find(key);
+    if (it != st.end() && !it->second.empty()) {
+      const Element e = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) st.erase(it);
+      reply_get(WaitingGet{req->requester, req->request_id}, e);
+    } else {
+      // Wait until the corresponding Put arrives (Skeap Phase 4).
+      waiting(req->space, owner)[key].push_back(
+          WaitingGet{req->requester, req->request_id});
+    }
+  }
+
+  void reply_get(const WaitingGet& w, const Element& e) {
+    auto rep = std::make_unique<GetReply>();
+    rep->element = e;
+    rep->request_id = w.request_id;
+    rep->bits = widths_.element_bits + bits_for_max(w.request_id);
+    host_.send_direct(w.requester, std::move(rep));
+  }
+
+  overlay::OverlayNode& host_;
+  DhtWidths widths_;
+  std::uint64_t next_request_id_ = 1;
+
+  // Server state, one slot per (keyspace, hosted virtual node).
+  std::array<std::array<std::unordered_map<Point, std::deque<Element>>, 3>,
+             kNumSpaces>
+      stores_;
+  std::array<std::array<std::unordered_map<Point, std::deque<WaitingGet>>, 3>,
+             kNumSpaces>
+      waiting_;
+
+  // Client state.
+  std::unordered_map<std::uint64_t, GetCallback> get_callbacks_;
+  std::unordered_map<std::uint64_t, PutCallback> put_callbacks_;
+};
+
+}  // namespace sks::dht

@@ -1,0 +1,1099 @@
+// Protocol KSelect (Section 4): distributed k-selection over m = poly(n)
+// elements spread across the n nodes of the aggregation tree, in O(log n)
+// rounds w.h.p. with O(log n)-bit messages and Õ(1) congestion.
+//
+// Structure (anchor-driven, all steps broadcast down the tree and answered
+// by up-aggregations; per-host steps are sequence-numbered so asynchronous
+// non-FIFO delivery cannot reorder them):
+//
+//  Phase 1 (log q + 1 iterations, m <= n^q):
+//    * every node reports the priorities of its ⌊k/n⌋-th and ⌈k/n⌉-th
+//      smallest local candidates; the anchor takes min/max (P_min/P_max),
+//      verifies by exact counting that the k-th element survives (the
+//      paper's Lemma 4.3 argument made unconditional), and prunes
+//      candidates outside [P_min, P_max].
+//  Phase 2 (until N <= ~sqrt(n)):
+//    2a: each candidate is sampled with probability sqrt(n)/N; the anchor
+//        learns n' = |C'| and assigns positions 1..n' by interval
+//        decomposition (the Skeap Phase 3 mechanism).
+//    2b: distributed sorting: every sampled candidate is routed to the
+//        node owning its position point, which spawns a copy tree T(v_i)
+//        over de Bruijn halving hops; the j-th copy meets the i-th copy of
+//        candidate j at the rendezvous point h(i,j) = h(j,i), votes flow
+//        back and aggregate up the copy tree, and the root learns the
+//        candidate's order, which it publishes on a waiting-get "order
+//        board" keyed by (session, iter, order).
+//    2c: the anchor fetches the candidates with orders l = ⌊kn'/N - δ⌋ and
+//        r = ⌈kn'/N + δ⌉ (δ = Θ(sqrt(log n) n^{1/4})), computes their
+//        exact ranks by counting, verifies the k-th element lies between
+//        them, and prunes outside [c_l, c_r].
+//  Phase 3 (N small): one sorting pass with every candidate sampled makes
+//    orders exact ranks; the anchor fetches order k — the answer.
+//
+// Robustness beyond the paper: every w.h.p. pruning step is verified by an
+// exact counting aggregation before any candidate is discarded, so the
+// returned element is deterministically correct; the w.h.p. part only
+// affects running time. Stragglers from closed iterations are dropped.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "aggregation/aggregator.hpp"
+#include "aggregation/broadcast.hpp"
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "overlay/overlay_node.hpp"
+
+namespace sks::kselect {
+
+using CandidateKey = Element;  // (priority, id) — the total order of §1.2
+
+inline constexpr CandidateKey kMinKey{0, 0};
+inline constexpr CandidateKey kMaxKey{~0ULL, ~0ULL};
+
+struct KSelectConfig {
+  std::size_t num_nodes = 8;
+  std::uint64_t hash_seed = 0xca11ab1eULL;
+  std::uint64_t rng_seed = 0x5a317ULL;
+  std::uint64_t key_bits = 48;    ///< bits charged per candidate key
+  std::uint64_t count_bits = 32;  ///< bits charged per count
+  double delta_scale = 0.5;       ///< ablation knob for δ
+  double sample_scale = 3.0;      ///< C' target is sample_scale * sqrt(n)
+  std::uint32_t phase1_iterations = 0;  ///< 0 = auto (⌊log2 q⌋ + 1)
+  std::uint32_t max_iterations = 64;
+};
+
+// ---------------------------------------------------------------------------
+// Broadcast steps and aggregated replies
+// ---------------------------------------------------------------------------
+
+enum class StepKind : std::uint8_t {
+  kSnapshot,    ///< snapshot local elements into the candidate set
+  kQuantiles,   ///< report local ⌊k/n⌋-th / ⌈k/n⌉-th candidates
+  kCountRange,  ///< count candidates < lo and > hi
+  kPruneRange,  ///< discard candidates outside [lo, hi]
+  kSample,      ///< sample candidates w.p. sqrt(n)/N
+  kCountKeys,   ///< same as kCountRange (phase 2 naming)
+  kPruneKeys,   ///< same as kPruneRange
+  kCloseIter,   ///< drop per-iteration state; stragglers are discarded
+  kDone,        ///< session finished; result included
+};
+
+struct KStep {
+  static constexpr const char* kName = "kselect.step";
+  std::uint64_t session = 0;
+  std::uint32_t step_seq = 0;
+  std::uint32_t iter = 0;
+  StepKind kind = StepKind::kSnapshot;
+  std::uint64_t k = 0;  ///< kQuantiles
+  std::uint64_t N = 0;  ///< kQuantiles (n), kSample (N)
+  CandidateKey lo = kMinKey;
+  CandidateKey hi = kMaxKey;
+  bool has_lo = false;
+  bool has_hi = false;
+  CandidateKey result{};
+  bool has_result = false;
+
+  std::uint64_t size_bits() const {
+    // Session/step/iter counters plus at most two keys and two counts —
+    // O(log n) bits total.
+    return 48 + 2 * 48 + 2 * 32;
+  }
+};
+
+struct KReply {
+  static constexpr const char* kName = "kselect.reply";
+  StepKind kind = StepKind::kSnapshot;
+  std::uint64_t a = 0;  ///< count (sum-combined)
+  std::uint64_t b = 0;  ///< second count
+  CandidateKey ka = kMaxKey;  ///< min-combined key (P_min candidate)
+  CandidateKey kb = kMinKey;  ///< max-combined key (P_max candidate)
+  bool has_ka = false;
+  bool has_kb = false;
+
+  std::uint64_t size_bits() const { return 8 + 2 * 32 + 2 * 48; }
+
+  void combine(const KReply& other) {
+    SKS_CHECK(kind == other.kind);
+    a += other.a;
+    b += other.b;
+    if (other.has_ka && (!has_ka || other.ka < ka)) {
+      ka = other.ka;
+      has_ka = true;
+    }
+    if (other.has_kb && (!has_kb || kb < other.kb)) {
+      kb = other.kb;
+      has_kb = true;
+    }
+  }
+};
+
+struct SampleUp {
+  static constexpr const char* kName = "kselect.sample_up";
+  std::uint64_t count = 0;
+  std::uint64_t size_bits() const { return 32; }
+};
+
+struct SampleDown {
+  static constexpr const char* kName = "kselect.sample_down";
+  Interval iv = Interval::empty_interval();
+  std::uint64_t nprime = 0;  ///< |C'| — global knowledge shipped downwards
+  std::uint64_t size_bits() const { return 96; }
+};
+
+// ---------------------------------------------------------------------------
+// Routed payloads of the distributed sorting machinery (Phase 2b)
+// ---------------------------------------------------------------------------
+
+/// A sampled candidate routed to the node responsible for its position.
+struct SeedMsg final : sim::Payload {
+  std::uint64_t session = 0;
+  std::uint32_t iter = 0;
+  std::uint64_t pos = 0;      ///< i = pos(c_i) ∈ [1, n']
+  std::uint64_t nprime = 0;   ///< n'
+  CandidateKey c{};
+  std::uint64_t size_bits() const override { return 48 + 2 * 32 + 48; }
+  const char* name() const override { return "kselect.seed"; }
+};
+
+/// A copy-tree split: the pair ([a, b], c_i) of Algorithm 3.
+struct CopyMsg final : sim::Payload {
+  std::uint64_t session = 0;
+  std::uint32_t iter = 0;
+  std::uint64_t i = 0;
+  std::uint64_t a = 0, b = 0;
+  std::uint64_t nprime = 0;
+  CandidateKey c{};
+  NodeId parent_host = kNoNode;
+  std::uint64_t parent_mid = 0;
+  std::uint64_t size_bits() const override { return 48 + 5 * 32 + 48; }
+  const char* name() const override { return "kselect.copy"; }
+};
+
+/// Copy c_{i,j} arriving at the rendezvous node responsible for h(i, j).
+struct RdvMsg final : sim::Payload {
+  std::uint64_t session = 0;
+  std::uint32_t iter = 0;
+  std::uint64_t i = 0;  ///< candidate index
+  std::uint64_t j = 0;  ///< copy index
+  CandidateKey c{};
+  NodeId back_host = kNoNode;  ///< where copy c_{i,j} lives
+  std::uint64_t size_bits() const override { return 48 + 3 * 32 + 48; }
+  const char* name() const override { return "kselect.rdv"; }
+};
+
+/// The comparison outcome sent back to a copy holder: smaller = 1 iff the
+/// peer candidate precedes c_i in the total order (the paper's (1,0)).
+struct VoteMsg final : sim::Payload {
+  std::uint64_t session = 0;
+  std::uint32_t iter = 0;
+  std::uint64_t i = 0;
+  std::uint64_t mid = 0;  ///< which copy-tree vertex (its kept index j)
+  std::uint32_t smaller = 0;
+  std::uint32_t larger = 0;
+  std::uint64_t size_bits() const override { return 48 + 3 * 32 + 2; }
+  const char* name() const override { return "kselect.vote"; }
+};
+
+/// Partial (L, R) vector aggregated up a copy tree.
+struct TreeSumMsg final : sim::Payload {
+  std::uint64_t session = 0;
+  std::uint32_t iter = 0;
+  std::uint64_t i = 0;
+  std::uint64_t parent_mid = 0;
+  std::uint64_t L = 0, R = 0;
+  std::uint64_t size_bits() const override { return 48 + 4 * 32; }
+  const char* name() const override { return "kselect.treesum"; }
+};
+
+/// Publish "candidate with order `order`" on the order board.
+struct OrderPut final : sim::Payload {
+  std::uint64_t session = 0;
+  std::uint32_t iter = 0;
+  std::uint64_t order = 0;
+  CandidateKey c{};
+  std::uint64_t size_bits() const override { return 48 + 2 * 32 + 48; }
+  const char* name() const override { return "kselect.order_put"; }
+};
+
+/// Fetch the candidate with a given order; waits if not yet published.
+struct OrderGet final : sim::Payload {
+  std::uint64_t session = 0;
+  std::uint32_t iter = 0;
+  std::uint64_t order = 0;
+  NodeId back = kNoNode;
+  std::uint64_t tag = 0;
+  std::uint64_t size_bits() const override { return 48 + 3 * 32; }
+  const char* name() const override { return "kselect.order_get"; }
+};
+
+struct OrderReply final : sim::Payload {
+  std::uint64_t tag = 0;
+  CandidateKey c{};
+  std::uint64_t size_bits() const override { return 32 + 48; }
+  const char* name() const override { return "kselect.order_reply"; }
+};
+
+// ---------------------------------------------------------------------------
+// The component
+// ---------------------------------------------------------------------------
+
+/// Per-iteration diagnostics recorded at the anchor (experiments E4/E5).
+struct IterationStat {
+  int phase = 1;         ///< 1, 2, or 3
+  std::uint32_t iter = 0;
+  std::uint64_t n_before = 0;
+  std::uint64_t n_after = 0;
+  std::uint64_t sampled = 0;  ///< n' (phases 2/3)
+};
+
+class KSelectComponent {
+ public:
+  /// Returns the host's local elements (v.E) at snapshot time.
+  using Provider = std::function<std::vector<CandidateKey>()>;
+  /// Runs at the anchor when the session finishes. nullopt iff k is out of
+  /// range (k < 1 or k > m).
+  using ResultFn =
+      std::function<void(std::uint64_t session, std::optional<CandidateKey>)>;
+
+  KSelectComponent(overlay::OverlayNode& host, KSelectConfig cfg,
+                   Provider provider, ResultFn on_result)
+      : host_(host),
+        cfg_(cfg),
+        hash_(cfg.hash_seed),
+        rng_(cfg.rng_seed),
+        provider_(std::move(provider)),
+        on_result_(std::move(on_result)),
+        steps_(host,
+               [this](std::uint64_t epoch, const KStep& step) {
+                 enqueue_step(epoch, step);
+               }),
+        replies_(host,
+                 [](KReply& acc, const KReply& other) { acc.combine(other); },
+                 [this](std::uint64_t epoch, const KReply& reply) {
+                   on_reply(epoch, reply);
+                 }),
+        sample_agg_(
+            host,
+            [](SampleUp& acc, const SampleUp& o) { acc.count += o.count; },
+            [](const SampleDown& d, const std::vector<SampleUp>& children) {
+              std::vector<SampleDown> parts(children.size());
+              Interval rest = d.iv;
+              for (std::size_t c = 0; c < children.size(); ++c) {
+                parts[c].iv = rest.take_front(children[c].count);
+                parts[c].nprime = d.nprime;
+              }
+              SKS_CHECK(rest.empty());
+              return parts;
+            },
+            [this](std::uint64_t epoch, const SampleUp& total) {
+              on_sample_total(epoch, total.count);
+            },
+            [this](std::uint64_t epoch, SampleDown down) {
+              on_positions(epoch, down.iv, down.nprime);
+            }) {
+    register_routed_handlers();
+  }
+
+  /// Start a k-selection; must be called on the anchor host. The session
+  /// id must be fresh and strictly larger than any previous session's.
+  void start(std::uint64_t session, std::uint64_t k) {
+    SKS_CHECK_MSG(host_.hosts_anchor(), "start() requires the anchor host");
+    SKS_CHECK_MSG(!anchor_sessions_.count(session), "session id reused");
+    AnchorSession& as = anchor_sessions_[session];
+    as.k = k;
+    broadcast_step(session, StepKind::kSnapshot);
+  }
+
+  const std::vector<IterationStat>& stats() const { return stats_; }
+
+  /// Remaining candidates at this host for a session (diagnostics).
+  std::size_t candidates_remaining(std::uint64_t session) const {
+    auto it = host_sessions_.find(session);
+    return it == host_sessions_.end() ? 0 : it->second.candidates.size();
+  }
+
+ private:
+  // ---- keyspaces ---------------------------------------------------------
+  Point point_pos(std::uint64_t s, std::uint32_t it, std::uint64_t pos) const {
+    return hash_.point({1, s, it, pos});
+  }
+  Point point_rdv(std::uint64_t s, std::uint32_t it, std::uint64_t i,
+                  std::uint64_t j) const {
+    if (i > j) std::swap(i, j);
+    return hash_.point({2, s, it, i, j});
+  }
+  Point point_order(std::uint64_t s, std::uint32_t it,
+                    std::uint64_t order) const {
+    return hash_.point({3, s, it, order});
+  }
+
+  // ---- anchor state ------------------------------------------------------
+  enum class Phase { kInit, kPhase1, kPhase2, kPhase3 };
+
+  struct AnchorSession {
+    Phase phase = Phase::kInit;
+    std::uint64_t k = 0;
+    std::uint64_t N = 0;
+    std::uint64_t m = 0;
+    std::uint32_t iter = 0;
+    std::uint32_t step_seq = 0;
+    std::uint32_t phase1_left = 0;
+    std::uint32_t total_iters = 0;
+    // Pending range (phase 1: keys from quantiles; phase 2: c_l/c_r).
+    CandidateKey lo = kMinKey, hi = kMaxKey;
+    bool has_lo = false, has_hi = false;
+    // Phase 2/3 sorting state.
+    std::uint64_t nprime = 0;
+    std::uint64_t want_l = 0, want_r = 0;
+    bool need_l = false, need_r = false;
+    bool got_l = false, got_r = false;
+    CandidateKey cl{}, cr{};
+    std::uint64_t n_before_iter = 0;
+  };
+
+  // ---- host state --------------------------------------------------------
+  struct HostSession {
+    std::vector<CandidateKey> candidates;  ///< sorted v.C
+    std::uint32_t next_step = 0;
+    std::map<std::uint32_t, KStep> buffered;
+    std::vector<CandidateKey> sampled;  ///< this iteration's C'_v
+    std::uint32_t min_open_iter = 0;    ///< iters below this are closed
+    bool done = false;
+  };
+
+  struct TreeKey {
+    std::uint64_t session;
+    std::uint32_t iter;
+    std::uint64_t i;
+    std::uint64_t mid;
+    friend bool operator<(const TreeKey& x, const TreeKey& y) {
+      return std::tie(x.session, x.iter, x.i, x.mid) <
+             std::tie(y.session, y.iter, y.i, y.mid);
+    }
+  };
+
+  struct TreeNode {
+    CandidateKey c{};
+    NodeId parent_host = kNoNode;
+    std::uint64_t parent_mid = 0;
+    std::uint64_t nprime = 0;
+    int waiting = 0;  ///< own vote (1) + child sums
+    std::uint64_t L = 0, R = 0;
+    bool is_root = false;
+  };
+
+  struct RdvKey {
+    std::uint64_t session;
+    std::uint32_t iter;
+    std::uint64_t i;  ///< min index
+    std::uint64_t j;  ///< max index
+    friend bool operator<(const RdvKey& x, const RdvKey& y) {
+      return std::tie(x.session, x.iter, x.i, x.j) <
+             std::tie(y.session, y.iter, y.i, y.j);
+    }
+  };
+
+  struct RdvHalf {
+    CandidateKey c{};
+    std::uint64_t copy_of = 0;  ///< which candidate this copy belongs to
+    std::uint64_t mid = 0;      ///< copy index at its holder
+    NodeId back_host = kNoNode;
+  };
+
+  struct OrderKey {
+    std::uint64_t session;
+    std::uint32_t iter;
+    std::uint64_t order;
+    friend bool operator<(const OrderKey& x, const OrderKey& y) {
+      return std::tie(x.session, x.iter, x.order) <
+             std::tie(y.session, y.iter, y.order);
+    }
+  };
+
+  // ---- stepping ----------------------------------------------------------
+
+  std::uint64_t reply_epoch(std::uint64_t session, std::uint32_t step) const {
+    return session * 65536 + step;
+  }
+  std::uint64_t iter_epoch(std::uint64_t session, std::uint32_t iter) const {
+    return session * 65536 + iter;
+  }
+
+  void broadcast_step(std::uint64_t session, StepKind kind,
+                      std::function<void(KStep&)> fill = nullptr) {
+    AnchorSession& as = anchor_sessions_.at(session);
+    KStep step;
+    step.session = session;
+    step.step_seq = as.step_seq++;
+    step.iter = as.iter;
+    step.kind = kind;
+    if (fill) fill(step);
+    steps_.broadcast(reply_epoch(session, step.step_seq), step);
+  }
+
+  void enqueue_step(std::uint64_t, const KStep& step) {
+    HostSession& hs = host_sessions_[step.session];
+    hs.buffered.emplace(step.step_seq, step);
+    while (!hs.buffered.empty() &&
+           hs.buffered.begin()->first == hs.next_step) {
+      KStep next = hs.buffered.begin()->second;
+      hs.buffered.erase(hs.buffered.begin());
+      ++hs.next_step;
+      apply_step(hs, next);
+    }
+  }
+
+  void reply(const KStep& step, KReply r) {
+    r.kind = step.kind;
+    replies_.contribute(reply_epoch(step.session, step.step_seq),
+                        std::move(r));
+  }
+
+  // ---- host-side step execution ------------------------------------------
+
+  void apply_step(HostSession& hs, const KStep& step) {
+    switch (step.kind) {
+      case StepKind::kSnapshot: {
+        hs.candidates = provider_();
+        std::sort(hs.candidates.begin(), hs.candidates.end());
+        KReply r;
+        r.a = hs.candidates.size();
+        reply(step, r);
+        break;
+      }
+      case StepKind::kQuantiles: {
+        // Local ⌊k/n⌋-th and ⌈k/n⌉-th smallest candidates; a node without
+        // enough candidates contributes the neutral element on that side,
+        // which the anchor's verification step makes safe.
+        const std::uint64_t n = step.N;
+        const std::uint64_t idx_lo = step.k / n;
+        const std::uint64_t idx_hi = (step.k + n - 1) / n;
+        KReply r;
+        if (idx_lo >= 1 && idx_lo <= hs.candidates.size()) {
+          r.ka = hs.candidates[idx_lo - 1];
+          r.has_ka = true;
+        }
+        if (idx_hi >= 1 && idx_hi <= hs.candidates.size()) {
+          r.kb = hs.candidates[idx_hi - 1];
+          r.has_kb = true;
+        }
+        reply(step, r);
+        break;
+      }
+      case StepKind::kCountRange:
+      case StepKind::kCountKeys: {
+        KReply r;
+        if (step.has_lo) {
+          r.a = static_cast<std::uint64_t>(
+              std::lower_bound(hs.candidates.begin(), hs.candidates.end(),
+                               step.lo) -
+              hs.candidates.begin());
+        }
+        if (step.has_hi) {
+          r.b = static_cast<std::uint64_t>(
+              hs.candidates.end() -
+              std::upper_bound(hs.candidates.begin(), hs.candidates.end(),
+                               step.hi));
+        }
+        reply(step, r);
+        break;
+      }
+      case StepKind::kPruneRange:
+      case StepKind::kPruneKeys: {
+        if (step.has_hi) {
+          hs.candidates.erase(
+              std::upper_bound(hs.candidates.begin(), hs.candidates.end(),
+                               step.hi),
+              hs.candidates.end());
+        }
+        if (step.has_lo) {
+          hs.candidates.erase(
+              hs.candidates.begin(),
+              std::lower_bound(hs.candidates.begin(), hs.candidates.end(),
+                               step.lo));
+        }
+        break;  // no reply; the anchor already knows the exact counts
+      }
+      case StepKind::kSample: {
+        hs.sampled.clear();
+        if (!rng_seeded_) {
+          // The host id is assigned after construction, so the per-node
+          // stream is derived lazily — otherwise every node would sample
+          // with an identical sequence.
+          rng_.reseed(cfg_.rng_seed ^
+                      (0x9e3779b97f4a7c15ULL * (host_.id() + 1)));
+          rng_seeded_ = true;
+        }
+        if (step.N > 0) {
+          const double p = cfg_.sample_scale *
+                           std::sqrt(static_cast<double>(cfg_.num_nodes)) /
+                           static_cast<double>(step.N);
+          for (const auto& c : hs.candidates) {
+            if (step.N <= phase3_threshold() || rng_.flip(p)) {
+              hs.sampled.push_back(c);
+            }
+          }
+        }
+#ifdef SKS_KSELECT_DEBUG
+        static std::uint64_t g_dbg_cand, g_dbg_samp, g_dbg_hosts;  // NOLINT
+        g_dbg_cand += hs.candidates.size();
+        g_dbg_samp += hs.sampled.size();
+        if (++g_dbg_hosts == cfg_.num_nodes) {
+          std::fprintf(stderr, "[hosts] iter=%u cand_total=%llu samp_total=%llu\n",
+                       step.iter, (unsigned long long)g_dbg_cand,
+                       (unsigned long long)g_dbg_samp);
+          g_dbg_cand = g_dbg_samp = g_dbg_hosts = 0;
+        }
+#endif
+        sample_agg_.contribute(iter_epoch(step.session, step.iter),
+                               SampleUp{hs.sampled.size()});
+        break;
+      }
+      case StepKind::kCloseIter: {
+        hs.sampled.clear();
+        hs.min_open_iter = step.iter + 1;
+        gc_iteration(step.session, step.iter);
+        break;
+      }
+      case StepKind::kDone: {
+        hs.done = true;
+        hs.sampled.clear();
+        gc_session(step.session);
+        if (host_.hosts_anchor()) {
+          auto it = anchor_sessions_.find(step.session);
+          SKS_CHECK(it != anchor_sessions_.end());
+          anchor_sessions_.erase(it);
+          if (on_result_) {
+            on_result_(step.session,
+                       step.has_result
+                           ? std::optional<CandidateKey>(step.result)
+                           : std::nullopt);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  bool iter_closed(std::uint64_t session, std::uint32_t iter) const {
+    auto it = host_sessions_.find(session);
+    if (it == host_sessions_.end()) return false;
+    return it->second.done || iter < it->second.min_open_iter;
+  }
+
+  void gc_iteration(std::uint64_t session, std::uint32_t iter) {
+    auto in_iter = [&](auto const& key) {
+      return key.session == session && key.iter == iter;
+    };
+    std::erase_if(tree_nodes_, [&](auto const& kv) { return in_iter(kv.first); });
+    std::erase_if(rdv_waiting_, [&](auto const& kv) { return in_iter(kv.first); });
+    std::erase_if(order_board_, [&](auto const& kv) { return in_iter(kv.first); });
+    std::erase_if(order_waiting_,
+                  [&](auto const& kv) { return in_iter(kv.first); });
+  }
+
+  void gc_session(std::uint64_t session) {
+    auto in_session = [&](auto const& key) { return key.session == session; };
+    std::erase_if(tree_nodes_,
+                  [&](auto const& kv) { return in_session(kv.first); });
+    std::erase_if(rdv_waiting_,
+                  [&](auto const& kv) { return in_session(kv.first); });
+    std::erase_if(order_board_,
+                  [&](auto const& kv) { return in_session(kv.first); });
+    std::erase_if(order_waiting_,
+                  [&](auto const& kv) { return in_session(kv.first); });
+  }
+
+  // ---- anchor-side reply handling ----------------------------------------
+
+  std::uint64_t delta() const {
+    const double n = static_cast<double>(cfg_.num_nodes);
+    const double d =
+        std::sqrt(std::log2(std::max(n, 2.0))) * std::pow(n, 0.25) *
+        cfg_.delta_scale;
+    return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(d)));
+  }
+
+  std::uint64_t phase3_threshold() const {
+    const auto sqrt_n = static_cast<std::uint64_t>(std::ceil(
+        cfg_.sample_scale * std::sqrt(static_cast<double>(cfg_.num_nodes))));
+    return std::max<std::uint64_t>({sqrt_n, 2 * delta() + 2, 8});
+  }
+
+  void on_reply(std::uint64_t epoch, const KReply& reply) {
+    const std::uint64_t session = epoch / 65536;
+    AnchorSession& as = anchor_sessions_.at(session);
+
+    switch (reply.kind) {
+      case StepKind::kSnapshot: {
+        as.m = as.N = reply.a;
+        if (as.k < 1 || as.k > as.m) {
+          finish(session, std::nullopt);
+          return;
+        }
+        const double n = std::max(static_cast<double>(cfg_.num_nodes), 2.0);
+        const double m = std::max<double>(static_cast<double>(as.m), 2);
+        const double q = std::max(1.0, std::log(m) / std::log(n));
+        as.phase1_left =
+            cfg_.phase1_iterations > 0
+                ? cfg_.phase1_iterations
+                : static_cast<std::uint32_t>(
+                      std::floor(std::log2(std::max(q, 1.0)))) +
+                      1;
+        as.phase = Phase::kPhase1;
+        continue_phase1(session);
+        break;
+      }
+      case StepKind::kQuantiles: {
+        as.has_lo = reply.has_ka;
+        as.lo = reply.ka;
+        as.has_hi = reply.has_kb;
+        as.hi = reply.kb;
+        broadcast_step(session, StepKind::kCountRange, [&](KStep& s) {
+          s.has_lo = as.has_lo;
+          s.lo = as.lo;
+          s.has_hi = as.has_hi;
+          s.hi = as.hi;
+        });
+        break;
+      }
+      case StepKind::kCountRange:
+      case StepKind::kCountKeys: {
+        // Verification (unconditional correctness): prune below only if
+        // the k smallest survive; prune above only if at least k remain.
+        const std::uint64_t below = reply.a;
+        const std::uint64_t above = reply.b;
+        bool prune_lo = as.has_lo && below < as.k && below > 0;
+        bool prune_hi = as.has_hi && as.N - above >= as.k && above > 0;
+        as.n_before_iter = as.N;
+        if (prune_lo || prune_hi) {
+          broadcast_step(session,
+                         reply.kind == StepKind::kCountRange
+                             ? StepKind::kPruneRange
+                             : StepKind::kPruneKeys,
+                         [&](KStep& s) {
+                           s.has_lo = prune_lo;
+                           s.lo = as.lo;
+                           s.has_hi = prune_hi;
+                           s.hi = as.hi;
+                         });
+          if (prune_lo) {
+            as.k -= below;
+            as.N -= below;
+          }
+          if (prune_hi) as.N -= above;
+        }
+        stats_.push_back(IterationStat{
+            as.phase == Phase::kPhase1 ? 1 : 2, as.iter, as.n_before_iter,
+            as.N, as.nprime});
+        if (as.phase == Phase::kPhase1) {
+          --as.phase1_left;
+          continue_phase1(session);
+        } else {
+          close_iteration_and_continue(session);
+        }
+        break;
+      }
+      default:
+        SKS_CHECK_MSG(false, "unexpected reply kind");
+    }
+  }
+
+  void continue_phase1(std::uint64_t session) {
+    AnchorSession& as = anchor_sessions_.at(session);
+    if (as.phase1_left == 0 || as.N <= phase3_threshold()) {
+      as.phase = Phase::kPhase2;
+      start_phase2_iteration(session);
+      return;
+    }
+    broadcast_step(session, StepKind::kQuantiles, [&](KStep& s) {
+      s.k = as.k;
+      s.N = cfg_.num_nodes;
+    });
+  }
+
+  void start_phase2_iteration(std::uint64_t session) {
+    AnchorSession& as = anchor_sessions_.at(session);
+    SKS_CHECK_MSG(as.total_iters++ < cfg_.max_iterations,
+                  "KSelect failed to converge");
+    ++as.iter;
+    if (as.N <= phase3_threshold()) as.phase = Phase::kPhase3;
+    as.got_l = as.got_r = false;
+    as.need_l = as.need_r = false;
+    as.nprime = 0;
+    broadcast_step(session, StepKind::kSample,
+                   [&](KStep& s) { s.N = as.N; });
+  }
+
+  void on_sample_total(std::uint64_t epoch, std::uint64_t nprime) {
+    const std::uint64_t session = epoch / 65536;
+    AnchorSession& as = anchor_sessions_.at(session);
+#ifdef SKS_KSELECT_DEBUG
+    std::fprintf(stderr, "[anchor] iter=%u N=%llu nprime=%llu\n",
+                 as.iter, (unsigned long long)as.N,
+                 (unsigned long long)nprime);
+#endif
+    if (nprime == 0) {
+      // Nobody sampled (possible only for tiny N with bad luck): retry.
+      start_phase2_iteration(session);
+      return;
+    }
+    as.nprime = nprime;
+    sample_agg_.distribute(epoch, SampleDown{Interval{1, nprime}, nprime});
+
+    if (as.phase == Phase::kPhase3) {
+      // Orders are exact ranks; fetch the k-th directly.
+      as.need_l = true;
+      as.want_l = as.k;
+      as.need_r = false;
+      SKS_CHECK(as.k >= 1 && as.k <= nprime);
+      send_order_get(session, as.iter, as.k, /*tag_is_l=*/true);
+      return;
+    }
+
+    // Phase 2c: choose orders l and r with margin δ.
+    const std::uint64_t d = delta();
+    const std::uint64_t mid = as.k * nprime / as.N;
+    std::uint64_t l = mid > d ? mid - d : 0;
+    std::uint64_t r = (as.k * nprime + as.N - 1) / as.N + d;
+    if (l < 1 && r > nprime) {
+      // δ swallows the whole sample; fall back to the sampled extremes —
+      // the verification step keeps this safe.
+      l = 1;
+      r = nprime;
+    }
+    as.need_l = l >= 1;
+    as.want_l = l;
+    as.need_r = r <= nprime;
+    as.want_r = r;
+    if (as.need_l) send_order_get(session, as.iter, l, /*tag_is_l=*/true);
+    if (as.need_r) send_order_get(session, as.iter, r, /*tag_is_l=*/false);
+    if (!as.need_l && !as.need_r) {
+      // Nothing to prune on either side this iteration.
+      close_iteration_and_continue(session);
+    }
+  }
+
+  void send_order_get(std::uint64_t session, std::uint32_t iter,
+                      std::uint64_t order, bool tag_is_l) {
+    auto get = std::make_unique<OrderGet>();
+    get->session = session;
+    get->iter = iter;
+    get->order = order;
+    get->back = host_.id();
+    get->tag = session * 4 + (tag_is_l ? 1 : 2);
+    host_.route(point_order(session, iter, order), std::move(get));
+  }
+
+  void on_order_reply(std::uint64_t tag, const CandidateKey& c) {
+    const std::uint64_t session = tag / 4;
+    const bool is_l = (tag % 4) == 1;
+    auto it = anchor_sessions_.find(session);
+    if (it == anchor_sessions_.end()) return;  // stale
+    AnchorSession& as = it->second;
+    if (is_l) {
+      as.got_l = true;
+      as.cl = c;
+    } else {
+      as.got_r = true;
+      as.cr = c;
+    }
+    if ((as.need_l && !as.got_l) || (as.need_r && !as.got_r)) return;
+
+    if (as.phase == Phase::kPhase3) {
+      finish(session, as.cl);
+      return;
+    }
+    // Count exact ranks of c_l / c_r, then (after verification) prune.
+    broadcast_step(session, StepKind::kCountKeys, [&](KStep& s) {
+      s.has_lo = as.need_l;
+      s.lo = as.cl;
+      s.has_hi = as.need_r;
+      s.hi = as.cr;
+    });
+    as.has_lo = as.need_l;
+    as.lo = as.cl;
+    as.has_hi = as.need_r;
+    as.hi = as.cr;
+  }
+
+  void close_iteration_and_continue(std::uint64_t session) {
+    AnchorSession& as = anchor_sessions_.at(session);
+    broadcast_step(session, StepKind::kCloseIter);
+    if (as.N <= 0) {
+      finish(session, std::nullopt);
+      return;
+    }
+    start_phase2_iteration(session);
+  }
+
+  void finish(std::uint64_t session, std::optional<CandidateKey> result) {
+    broadcast_step(session, StepKind::kDone, [&](KStep& s) {
+      s.has_result = result.has_value();
+      if (result) s.result = *result;
+    });
+  }
+
+  // ---- routed machinery (sorting) ----------------------------------------
+
+  void register_routed_handlers() {
+    host_.on_routed_payload<SeedMsg>(
+        [this](Point, overlay::VKind at, NodeId, std::unique_ptr<SeedMsg> m) {
+          if (iter_closed(m->session, m->iter)) return;
+          // This vertex is the root v_i of the copy tree T(v_i).
+          open_tree_node(at, m->session, m->iter, m->pos, 1, m->nprime,
+                         m->nprime, m->c, kNoNode, 0, /*root=*/true);
+        });
+    host_.on_routed_payload<CopyMsg>(
+        [this](Point, overlay::VKind at, NodeId, std::unique_ptr<CopyMsg> m) {
+          if (iter_closed(m->session, m->iter)) return;
+          open_tree_node(at, m->session, m->iter, m->i, m->a, m->b,
+                         m->nprime, m->c, m->parent_host, m->parent_mid,
+                         /*root=*/false);
+        });
+    host_.on_routed_payload<RdvMsg>(
+        [this](Point, overlay::VKind, NodeId, std::unique_ptr<RdvMsg> m) {
+          handle_rendezvous(std::move(m));
+        });
+    host_.on_direct_payload<VoteMsg>(
+        [this](NodeId, std::unique_ptr<VoteMsg> m) {
+          if (iter_closed(m->session, m->iter)) return;
+          TreeKey key{m->session, m->iter, m->i, m->mid};
+          auto it = tree_nodes_.find(key);
+          if (it == tree_nodes_.end()) return;  // straggler
+          it->second.L += m->smaller;
+          it->second.R += m->larger;
+          tree_node_progress(key, it->second);
+        });
+    host_.on_direct_payload<TreeSumMsg>(
+        [this](NodeId, std::unique_ptr<TreeSumMsg> m) {
+          if (iter_closed(m->session, m->iter)) return;
+          TreeKey key{m->session, m->iter, m->i, m->parent_mid};
+          auto it = tree_nodes_.find(key);
+          if (it == tree_nodes_.end()) return;  // straggler
+          it->second.L += m->L;
+          it->second.R += m->R;
+          tree_node_progress(key, it->second);
+        });
+    host_.on_routed_payload<OrderPut>(
+        [this](Point, overlay::VKind, NodeId, std::unique_ptr<OrderPut> m) {
+          if (iter_closed(m->session, m->iter)) return;
+          OrderKey key{m->session, m->iter, m->order};
+          // Publish before replying: a reply delivered locally can
+          // re-enter this component (e.g. the anchor closing the
+          // iteration), so no iterator may be held across the sends.
+          order_board_[key] = m->c;
+          auto waiting = order_waiting_.find(key);
+          if (waiting != order_waiting_.end()) {
+            auto waiters = std::move(waiting->second);
+            order_waiting_.erase(waiting);
+            for (const auto& [back, tag] : waiters) {
+              auto rep = std::make_unique<OrderReply>();
+              rep->tag = tag;
+              rep->c = m->c;
+              host_.send_direct(back, std::move(rep));
+            }
+          }
+        });
+    host_.on_routed_payload<OrderGet>(
+        [this](Point, overlay::VKind, NodeId, std::unique_ptr<OrderGet> m) {
+          if (iter_closed(m->session, m->iter)) return;
+          OrderKey key{m->session, m->iter, m->order};
+          auto it = order_board_.find(key);
+          if (it != order_board_.end()) {
+            auto rep = std::make_unique<OrderReply>();
+            rep->tag = m->tag;
+            rep->c = it->second;
+            host_.send_direct(m->back, std::move(rep));
+          } else {
+            order_waiting_[key].emplace_back(m->back, m->tag);
+          }
+        });
+    host_.on_direct_payload<OrderReply>(
+        [this](NodeId, std::unique_ptr<OrderReply> m) {
+          on_order_reply(m->tag, m->c);
+        });
+  }
+
+  void on_positions(std::uint64_t epoch, Interval iv, std::uint64_t nprime) {
+    const std::uint64_t session = epoch / 65536;
+    const auto iter = static_cast<std::uint32_t>(epoch % 65536);
+    auto hsit = host_sessions_.find(session);
+    if (hsit == host_sessions_.end()) return;
+    HostSession& hs = hsit->second;
+    if (hs.done || iter < hs.min_open_iter) return;  // straggler
+    SKS_CHECK_MSG(iv.cardinality() == hs.sampled.size(),
+                  "position interval does not match sample count");
+    Position pos = iv.lo;
+    for (const auto& c : hs.sampled) {
+      auto seed = std::make_unique<SeedMsg>();
+      seed->session = session;
+      seed->iter = iter;
+      seed->pos = pos;
+      seed->nprime = nprime;
+      seed->c = c;
+      host_.route(point_pos(session, iter, pos), std::move(seed));
+      ++pos;
+    }
+  }
+
+  void open_tree_node(overlay::VKind at, std::uint64_t session,
+                      std::uint32_t iter, std::uint64_t i, std::uint64_t a,
+                      std::uint64_t b, std::uint64_t nprime,
+                      const CandidateKey& c, NodeId parent_host,
+                      std::uint64_t parent_mid, bool root) {
+    const std::uint64_t mid = (a + b) / 2;
+    TreeKey key{session, iter, i, mid};
+    SKS_CHECK_MSG(!tree_nodes_.count(key), "duplicate copy-tree vertex");
+    TreeNode& node = tree_nodes_[key];
+    node.c = c;
+    node.parent_host = parent_host;
+    node.parent_mid = parent_mid;
+    node.nprime = nprime;
+    node.is_root = root;
+    node.waiting = 1;  // own vote
+
+    // Split the interval along de Bruijn halving edges (Algorithm 3).
+    if (a < mid) {
+      auto left = std::make_unique<CopyMsg>();
+      left->session = session;
+      left->iter = iter;
+      left->i = i;
+      left->a = a;
+      left->b = mid - 1;
+      left->nprime = nprime;
+      left->c = c;
+      left->parent_host = host_.id();
+      left->parent_mid = mid;
+      ++node.waiting;
+      host_.debruijn_hop(at, false, std::move(left));
+    }
+    if (mid < b) {
+      auto right = std::make_unique<CopyMsg>();
+      right->session = session;
+      right->iter = iter;
+      right->i = i;
+      right->a = mid + 1;
+      right->b = b;
+      right->nprime = nprime;
+      right->c = c;
+      right->parent_host = host_.id();
+      right->parent_mid = mid;
+      ++node.waiting;
+      host_.debruijn_hop(at, true, std::move(right));
+    }
+
+    // Send this copy (j = mid) to its rendezvous with c_{mid, i}.
+    auto rdv = std::make_unique<RdvMsg>();
+    rdv->session = session;
+    rdv->iter = iter;
+    rdv->i = i;
+    rdv->j = mid;
+    rdv->c = c;
+    rdv->back_host = host_.id();
+    host_.route(point_rdv(session, iter, i, mid), std::move(rdv));
+  }
+
+  void handle_rendezvous(std::unique_ptr<RdvMsg> m) {
+    if (iter_closed(m->session, m->iter)) return;
+    if (m->i == m->j) {
+      // A copy compared with itself contributes nothing.
+      auto vote = std::make_unique<VoteMsg>();
+      vote->session = m->session;
+      vote->iter = m->iter;
+      vote->i = m->i;
+      vote->mid = m->j;
+      host_.send_direct(m->back_host, std::move(vote));
+      return;
+    }
+    RdvKey key{m->session, m->iter, std::min(m->i, m->j),
+               std::max(m->i, m->j)};
+    auto it = rdv_waiting_.find(key);
+    if (it == rdv_waiting_.end()) {
+      rdv_waiting_[key] =
+          RdvHalf{m->c, m->i, m->j, m->back_host};
+      return;
+    }
+    const RdvHalf first = it->second;
+    rdv_waiting_.erase(it);
+    // first is copy c_{first.copy_of, first.mid}; m is the other half.
+    send_vote(m->session, m->iter, first.copy_of, first.mid,
+              /*peer_smaller=*/m->c < first.c, first.back_host);
+    send_vote(m->session, m->iter, m->i, m->j,
+              /*peer_smaller=*/first.c < m->c, m->back_host);
+  }
+
+  void send_vote(std::uint64_t session, std::uint32_t iter, std::uint64_t i,
+                 std::uint64_t mid, bool peer_smaller, NodeId back) {
+    auto vote = std::make_unique<VoteMsg>();
+    vote->session = session;
+    vote->iter = iter;
+    vote->i = i;
+    vote->mid = mid;
+    vote->smaller = peer_smaller ? 1 : 0;
+    vote->larger = peer_smaller ? 0 : 1;
+    host_.send_direct(back, std::move(vote));
+  }
+
+  void tree_node_progress(const TreeKey& key, TreeNode& node) {
+    if (--node.waiting > 0) return;
+    if (node.is_root) {
+      // Order of c_i in C' is L + 1 (Section 4.3); publish it.
+      auto put = std::make_unique<OrderPut>();
+      put->session = key.session;
+      put->iter = key.iter;
+      put->order = node.L + 1;
+      put->c = node.c;
+      host_.route(point_order(key.session, key.iter, node.L + 1),
+                  std::move(put));
+    } else {
+      auto sum = std::make_unique<TreeSumMsg>();
+      sum->session = key.session;
+      sum->iter = key.iter;
+      sum->i = key.i;
+      sum->parent_mid = node.parent_mid;
+      sum->L = node.L;
+      sum->R = node.R;
+      host_.send_direct(node.parent_host, std::move(sum));
+    }
+    tree_nodes_.erase(key);
+  }
+
+  overlay::OverlayNode& host_;
+  KSelectConfig cfg_;
+  HashFunction hash_;
+  Rng rng_;
+  bool rng_seeded_ = false;
+  Provider provider_;
+  ResultFn on_result_;
+
+  agg::Broadcaster<KStep> steps_;
+  agg::Aggregator<KReply, KReply> replies_;  // up-only
+  agg::Aggregator<SampleUp, SampleDown> sample_agg_;
+
+  std::map<std::uint64_t, HostSession> host_sessions_;
+  std::map<std::uint64_t, AnchorSession> anchor_sessions_;
+
+  std::map<TreeKey, TreeNode> tree_nodes_;
+  std::map<RdvKey, RdvHalf> rdv_waiting_;
+  std::map<OrderKey, CandidateKey> order_board_;
+  std::map<OrderKey, std::vector<std::pair<NodeId, std::uint64_t>>>
+      order_waiting_;
+
+  std::vector<IterationStat> stats_;
+};
+
+}  // namespace sks::kselect

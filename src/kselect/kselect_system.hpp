@@ -1,0 +1,114 @@
+// Standalone KSelect harness: n overlay nodes, each holding a local slice
+// of the element set (distributed uniformly at random, as the paper
+// assumes), driven through complete k-selection sessions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "kselect/kselect.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+
+namespace sks::kselect {
+
+class KSelectNode : public overlay::OverlayNode {
+ public:
+  KSelectNode(overlay::RouteParams params, KSelectConfig cfg)
+      : OverlayNode(params),
+        kselect(
+            *this, cfg, [this] { return elements; },
+            [this](std::uint64_t session, std::optional<CandidateKey> r) {
+              results.emplace_back(session, r);
+            }) {}
+
+  std::vector<CandidateKey> elements;  ///< v.E
+  KSelectComponent kselect;
+  std::vector<std::pair<std::uint64_t, std::optional<CandidateKey>>> results;
+};
+
+class KSelectSystem {
+ public:
+  struct Options {
+    std::size_t num_nodes = 8;
+    std::uint64_t seed = 0x5e1ecULL;
+    sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
+    std::uint64_t max_delay = 8;
+    double delta_scale = 0.5;  ///< matches KSelectConfig default
+    std::uint32_t phase1_iterations = 0;  ///< 0 = paper's ⌊log2 q⌋ + 1
+    std::uint32_t max_iterations = 64;    ///< convergence guard
+  };
+
+  explicit KSelectSystem(const Options& opts) : opts_(opts) {
+    sim::NetworkConfig cfg;
+    cfg.mode = opts.mode;
+    cfg.max_delay = opts.max_delay;
+    cfg.seed = opts.seed;
+    net_ = std::make_unique<sim::Network>(cfg);
+
+    HashFunction label_hash(opts.seed);
+    const auto links = overlay::build_topology(opts.num_nodes, label_hash);
+    const auto params = overlay::RouteParams::for_system(opts.num_nodes);
+
+    KSelectConfig kcfg;
+    kcfg.num_nodes = opts.num_nodes;
+    kcfg.hash_seed = opts.seed ^ 0xabcdef123ULL;
+    kcfg.rng_seed = opts.seed ^ 0x777ULL;
+    kcfg.delta_scale = opts.delta_scale;
+    kcfg.phase1_iterations = opts.phase1_iterations;
+    kcfg.max_iterations = opts.max_iterations;
+
+    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
+      const NodeId id =
+          net_->add_node(std::make_unique<KSelectNode>(params, kcfg));
+      auto& node = net_->node_as<KSelectNode>(id);
+      node.install_links(links[i]);
+      if (node.hosts_anchor()) anchor_ = id;
+    }
+  }
+
+  /// Distribute the elements uniformly at random over the nodes.
+  void seed_elements(const std::vector<CandidateKey>& elements) {
+    Rng rng(opts_.seed ^ 0xe1e3e27ULL);
+    for (const auto& e : elements) {
+      node(static_cast<NodeId>(rng.below(opts_.num_nodes)))
+          .elements.push_back(e);
+    }
+  }
+
+  /// Run one complete selection; returns the k-th smallest element (or
+  /// nullopt if k is out of range) plus the number of rounds it took.
+  struct Outcome {
+    std::optional<CandidateKey> result;
+    std::uint64_t rounds = 0;
+  };
+
+  Outcome select(std::uint64_t k) {
+    const std::uint64_t session = next_session_++;
+    anchor_node().kselect.start(session, k);
+    Outcome out;
+    out.rounds = net_->run_until_idle();
+    for (const auto& [s, r] : anchor_node().results) {
+      if (s == session) out.result = r;
+    }
+    return out;
+  }
+
+  KSelectNode& node(NodeId v) { return net_->node_as<KSelectNode>(v); }
+  KSelectNode& anchor_node() { return node(anchor_); }
+  sim::Network& net() { return *net_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  std::unique_ptr<sim::Network> net_;
+  NodeId anchor_ = kNoNode;
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace sks::kselect

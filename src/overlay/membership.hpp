@@ -1,0 +1,401 @@
+// Join() and Leave() (Contribution 4 / Appendix A).
+//
+// The paper defers the details to Skueue [FSS18a] and only states the
+// guarantees: requests are admitted lazily in O(1) rounds, the topology is
+// restored within O(log n) rounds w.h.p., and no data is lost. This module
+// implements the natural LDB realization those guarantees describe:
+//
+//  Join — the joining node hashes its id to its middle label and, for each
+//  of its three virtual labels, routes a splice request to the current
+//  owner of that label. The owner inserts the new virtual node after
+//  itself on the cycle, hands over the DHT entries in the arc that now
+//  belongs to the newcomer, and notifies its old successor. Tree links
+//  (parents/children/anchor flag) are re-derived locally at every affected
+//  host from the Appendix A rules, so a label smaller than the previous
+//  minimum automatically migrates the anchor role.
+//
+//  Leave — the leaving node hands each virtual node's stored arc to its
+//  predecessor (whose arc grows to cover it) and splices itself out by
+//  telling both neighbours about each other.
+//
+// Lazy processing: membership requests are buffered and applied at batch
+// boundaries (the driver triggers them while no heap batch is in flight),
+// matching the paper's "through lazy processing, joining or leaving can be
+// done in a constant amount of rounds" — the requester is admitted
+// immediately; the restoration runs in the background.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "dht/dht.hpp"
+#include "overlay/overlay_node.hpp"
+#include "overlay/topology.hpp"
+
+namespace sks::overlay {
+
+/// Phase 1 of a join: read-only query for the would-be neighbours of
+/// `label`; routed to the current owner of `label`.
+struct JoinReserve final : sim::Payload {
+  NodeId joiner = kNoNode;
+  VKind kind = VKind::kMiddle;
+  Point label = 0;
+  std::uint64_t size_bits() const override { return 2 * 64 + 16; }
+  const char* name() const override { return "member.join_reserve"; }
+};
+
+/// The owner's read-only answer: who the newcomer's neighbours will be.
+struct ReserveAck final : sim::Payload {
+  VKind kind = VKind::kMiddle;
+  VirtualId pred;
+  VirtualId succ;
+  std::uint64_t size_bits() const override { return 2 * 80 + 16; }
+  const char* name() const override { return "member.reserve_ack"; }
+};
+
+/// Phase 2: the joiner (now fully linked, so reachable by any in-flight
+/// walk) asks the owner to make the splice visible. The owner extracts
+/// the handed-over arc *now*, so no put that raced the join is lost.
+struct JoinConfirm final : sim::Payload {
+  NodeId joiner = kNoNode;
+  VKind owner_kind = VKind::kMiddle;  ///< which vertex of the owner host
+  VirtualId first;                    ///< head of the joiner's vertex run
+  VirtualId last;                     ///< tail of the run (old_succ's pred)
+  std::uint64_t size_bits() const override { return 2 * 80 + 20; }
+  const char* name() const override { return "member.join_confirm"; }
+};
+
+/// The handed-over arc, completing the join for one virtual node.
+struct ArcTransfer final : sim::Payload {
+  VKind kind = VKind::kMiddle;
+  dht::DhtComponent::ArcData arc;
+  std::uint64_t size_bits() const override {
+    return 16 + 64 * arc.element_count();
+  }
+  const char* name() const override { return "member.arc_transfer"; }
+};
+
+/// "Your pred/succ pointer now points at `neighbor`."
+struct NeighborUpdate final : sim::Payload {
+  VKind target_kind = VKind::kMiddle;
+  bool is_pred = false;
+  VirtualId neighbor;
+  std::uint64_t size_bits() const override { return 80 + 18; }
+  const char* name() const override { return "member.neighbor_update"; }
+};
+
+/// A leaving node hands its arc to its predecessor.
+struct LeaveHandover final : sim::Payload {
+  VKind pred_kind = VKind::kMiddle;  ///< which vertex of the receiving host
+  VirtualId new_succ;                ///< the leaver's old successor
+  dht::DhtComponent::ArcData arc;
+  std::uint64_t size_bits() const override {
+    return 80 + 16 + 64 * arc.element_count();
+  }
+  const char* name() const override { return "member.leave_handover"; }
+};
+
+class MembershipComponent {
+ public:
+  using JoinedFn = std::function<void()>;
+
+  MembershipComponent(OverlayNode& host, dht::DhtComponent& dht)
+      : host_(host), dht_(dht) {
+    host_.on_routed_payload<JoinReserve>(
+        [this](Point, VKind owner, NodeId, std::unique_ptr<JoinReserve> m) {
+          handle_reserve(owner, std::move(m));
+        });
+    host_.on_direct_payload<ReserveAck>(
+        [this](NodeId, std::unique_ptr<ReserveAck> m) {
+          handle_reserve_ack(std::move(m));
+        });
+    host_.on_direct_payload<JoinConfirm>(
+        [this](NodeId, std::unique_ptr<JoinConfirm> m) {
+          handle_confirm(std::move(m));
+        });
+    host_.on_direct_payload<ArcTransfer>(
+        [this](NodeId, std::unique_ptr<ArcTransfer> m) {
+          absorb_split_by_ownership(std::move(m->arc));
+          if (--transfers_needed_ == 0) {
+            joined_ = true;
+            if (on_joined_) {
+              auto cb = std::move(on_joined_);
+              on_joined_ = nullptr;
+              cb();
+            }
+          }
+        });
+    host_.on_direct_payload<NeighborUpdate>(
+        [this](NodeId, std::unique_ptr<NeighborUpdate> m) {
+          NodeLinks links = host_.links();
+          VirtualState& st = links.at(m->target_kind);
+          (m->is_pred ? st.pred : st.succ) = m->neighbor;
+          derive_tree_links(links);
+          host_.install_links(std::move(links));
+        });
+    host_.on_direct_payload<LeaveHandover>(
+        [this](NodeId, std::unique_ptr<LeaveHandover> m) {
+          NodeLinks links = host_.links();
+          links.at(m->pred_kind).succ = m->new_succ;
+          derive_tree_links(links);
+          host_.install_links(std::move(links));
+          dht_.absorb_arc(m->pred_kind, std::move(m->arc));
+        });
+    host_.on_direct_payload<JoinRelay>(
+        [this](NodeId, std::unique_ptr<JoinRelay> m) {
+          // Relay a joiner's reserve into the overlay on its behalf.
+          auto reserve = std::make_unique<JoinReserve>(m->reserve);
+          const Point label = reserve->label;
+          host_.route(label, std::move(reserve));
+        });
+  }
+
+  /// Begin joining: this host must already be registered in the network
+  /// (so it can receive messages) but carries no overlay links yet. The
+  /// middle label is the public hash of the node id, exactly as in the
+  /// bootstrap topology. `bootstrap` is any node already in the overlay.
+  /// The splice requests are *sent through* the bootstrap node since the
+  /// joiner cannot route yet.
+  void join(NodeId bootstrap, const HashFunction& label_hash,
+            JoinedFn on_joined = nullptr) {
+    SKS_CHECK_MSG(!joined_, "already joined");
+    on_joined_ = std::move(on_joined);
+    const Point m = label_hash.point(host_.id());
+    NodeLinks links;
+    links.middle_label = m;
+    for (VKind k : kAllKinds) {
+      links.at(k).self = VirtualId{host_.id(), k, label_of(m, k)};
+    }
+    pending_links_ = std::make_unique<NodeLinks>(std::move(links));
+    acks_needed_ = 3;
+    for (VKind k : kAllKinds) {
+      auto req = std::make_unique<JoinRelay>();
+      req->reserve.joiner = host_.id();
+      req->reserve.kind = k;
+      req->reserve.label = label_of(m, k);
+      host_.send_direct(bootstrap, std::move(req));
+    }
+  }
+
+  /// Leave the overlay: hand every arc to the nearest remaining
+  /// predecessor and splice out. This node's three virtual vertices may
+  /// be cycle-adjacent, so they are grouped into maximal runs of own
+  /// vertices; each run's combined arc goes to the run's external
+  /// predecessor, and the run's external successor learns its new pred.
+  /// After this, the node keeps receiving (and must ignore) stray
+  /// traffic; the caller should stop issuing operations at it.
+  void leave() {
+    SKS_CHECK_MSG(joined_, "not part of the overlay");
+    const NodeLinks links = host_.links();  // copy: we mutate via installs
+    const NodeId self = host_.id();
+
+    for (VKind start : kAllKinds) {
+      const VirtualState& first = links.at(start);
+      if (first.pred.host == self) continue;  // not the head of a run
+      SKS_CHECK_MSG(first.pred.host != kNoNode &&
+                        (first.pred.host != self || first.succ.host != self),
+                    "cannot leave: this node is the only member");
+
+      // Walk the run of consecutive own vertices and merge their arcs.
+      auto handover = std::make_unique<LeaveHandover>();
+      handover->pred_kind = first.pred.kind;
+      VKind cur = start;
+      VirtualId succ;
+      for (;;) {
+        const VirtualState& st = links.at(cur);
+        auto arc = dht_.extract_arc(cur, st.self.label, st.succ.label);
+        for (std::size_t sp = 0; sp < dht::DhtComponent::kNumSpaces; ++sp) {
+          for (auto& [key, elems] : arc.elements[sp]) {
+            auto& dst = handover->arc.elements[sp][key];
+            dst.insert(dst.end(), elems.begin(), elems.end());
+          }
+          for (auto& [key, gets] : arc.waiting[sp]) {
+            auto& dst = handover->arc.waiting[sp][key];
+            dst.insert(dst.end(), gets.begin(), gets.end());
+          }
+        }
+        succ = st.succ;
+        if (succ.host != self) break;
+        cur = succ.kind;
+      }
+      handover->new_succ = succ;
+
+      auto update = std::make_unique<NeighborUpdate>();
+      update->target_kind = succ.kind;
+      update->is_pred = true;
+      update->neighbor = first.pred;
+
+      host_.send_direct(first.pred.host, std::move(handover));
+      host_.send_direct(succ.host, std::move(update));
+    }
+    joined_ = false;
+  }
+
+  /// True once all three virtual nodes are spliced in (or after bootstrap
+  /// installation).
+  bool joined() const { return joined_; }
+
+  /// Mark a bootstrap-installed node as joined.
+  void mark_bootstrapped() { joined_ = true; }
+
+ private:
+  /// The joiner cannot route before it has links, so the initial reserve
+  /// requests are relayed through the bootstrap node.
+  struct JoinRelay final : sim::Payload {
+    JoinReserve reserve;
+    std::uint64_t size_bits() const override { return reserve.size_bits(); }
+    const char* name() const override { return "member.join_relay"; }
+  };
+
+  void handle_reserve(VKind owner, std::unique_ptr<JoinReserve> m) {
+    const VirtualState& st = host_.vstate(owner);
+    // Ownership may have moved while the request was in flight; re-route
+    // if the label is no longer in our arc.
+    if (!arc_contains(st.self.label, st.succ.label, m->label)) {
+      const Point label = m->label;
+      host_.route(label, std::move(m));
+      return;
+    }
+    auto ack = std::make_unique<ReserveAck>();
+    ack->kind = m->kind;
+    ack->pred = st.self;
+    ack->succ = st.succ;
+    host_.send_direct(m->joiner, std::move(ack));
+  }
+
+  void handle_reserve_ack(std::unique_ptr<ReserveAck> m) {
+    SKS_CHECK(pending_links_ != nullptr);
+    VirtualState& st = pending_links_->at(m->kind);
+    st.pred = m->pred;
+    st.succ = m->succ;
+    if (--acks_needed_ > 0) return;
+
+    // Two (or three) of our labels may fall into the same owner arc, in
+    // which case the acks don't know about each other: fix up pred/succ
+    // pointers that should point at our own sibling vertices.
+    NodeLinks& L = *pending_links_;
+    for (VKind k : kAllKinds) {
+      VirtualState& vst = L.at(k);
+      for (VKind o : kAllKinds) {
+        if (o == k) continue;
+        const VirtualId& cand = L.at(o).self;
+        if (forward_distance(vst.pred.label, cand.label) <
+            forward_distance(vst.pred.label, vst.self.label)) {
+          vst.pred = cand;
+        }
+        if (forward_distance(vst.self.label, cand.label) <
+            forward_distance(vst.self.label, vst.succ.label)) {
+          vst.succ = cand;
+        }
+      }
+    }
+
+    // Fully linked: install first, so any walk that reaches one of our
+    // vertices after the confirms can continue; then make each run of
+    // consecutive own vertices visible with one confirm to its external
+    // predecessor.
+    derive_tree_links(L);
+    NodeLinks installed = L;
+    host_.install_links(std::move(*pending_links_));
+    pending_links_.reset();
+
+    transfers_needed_ = 0;
+    const NodeId self = host_.id();
+    for (VKind k : kAllKinds) {
+      const VirtualState& head = installed.at(k);
+      if (head.pred.host == self) continue;  // not the head of a run
+      VirtualId last = head.self;
+      while (installed.at(last.kind).succ.host == self) {
+        last = installed.at(last.kind).succ;
+      }
+      auto confirm = std::make_unique<JoinConfirm>();
+      confirm->joiner = self;
+      confirm->owner_kind = head.pred.kind;
+      confirm->first = head.self;
+      confirm->last = last;
+      ++transfers_needed_;
+      host_.send_direct(head.pred.host, std::move(confirm));
+    }
+    SKS_CHECK(transfers_needed_ >= 1);
+  }
+
+  void handle_confirm(std::unique_ptr<JoinConfirm> m) {
+    NodeLinks links = host_.links();
+    VirtualState& st = links.at(m->owner_kind);
+    SKS_CHECK_MSG(arc_contains(st.self.label, st.succ.label, m->first.label),
+                  "join confirm raced another membership change; "
+                  "membership operations must be serialized");
+    const VirtualId old_succ = st.succ;
+    st.succ = m->first;
+    derive_tree_links(links);
+    host_.install_links(std::move(links));
+
+    // The run owns [first.label, old_succ.label) now; ship the whole arc —
+    // the joiner splits it between its own vertices by ownership.
+    auto transfer = std::make_unique<ArcTransfer>();
+    transfer->kind = m->first.kind;
+    transfer->arc =
+        dht_.extract_arc(m->owner_kind, m->first.label, old_succ.label);
+
+    auto update = std::make_unique<NeighborUpdate>();
+    update->target_kind = old_succ.kind;
+    update->is_pred = true;
+    update->neighbor = m->last;
+
+    host_.send_direct(old_succ.host, std::move(update));
+    host_.send_direct(m->joiner, std::move(transfer));
+  }
+
+  /// Distribute handed-over entries between this host's virtual nodes by
+  /// which arc each key falls into.
+  void absorb_split_by_ownership(dht::DhtComponent::ArcData arc) {
+    std::array<dht::DhtComponent::ArcData, 3> split;
+    auto kind_for = [&](Point key) {
+      for (VKind k : kAllKinds) {
+        const VirtualState& st = host_.vstate(k);
+        if (arc_contains(st.self.label, st.succ.label, key)) return k;
+      }
+      // Not in any of our arcs (stale transfer); keep it at the vertex
+      // closest below so it is at least not lost.
+      VKind best = VKind::kLeft;
+      Point best_d = ~0ULL;
+      for (VKind k : kAllKinds) {
+        const Point d = forward_distance(host_.vstate(k).self.label, key);
+        if (d < best_d) {
+          best_d = d;
+          best = k;
+        }
+      }
+      return best;
+    };
+    for (std::size_t sp = 0; sp < dht::DhtComponent::kNumSpaces; ++sp) {
+      for (auto& [key, elems] : arc.elements[sp]) {
+        split[static_cast<std::size_t>(kind_for(key))]
+            .elements[sp][key] = std::move(elems);
+      }
+      for (auto& [key, gets] : arc.waiting[sp]) {
+        split[static_cast<std::size_t>(kind_for(key))]
+            .waiting[sp][key] = std::move(gets);
+      }
+    }
+    for (VKind k : kAllKinds) {
+      dht_.absorb_arc(k, std::move(split[static_cast<std::size_t>(k)]));
+    }
+  }
+
+  OverlayNode& host_;
+  dht::DhtComponent& dht_;
+  bool joined_ = false;
+  JoinedFn on_joined_;
+  std::unique_ptr<NodeLinks> pending_links_;
+  int acks_needed_ = 0;
+  int transfers_needed_ = 0;
+};
+
+}  // namespace sks::overlay

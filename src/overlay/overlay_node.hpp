@@ -1,0 +1,381 @@
+// A real node participating in the LDB overlay.
+//
+// OverlayNode provides the two communication primitives every protocol in
+// the paper is built from:
+//
+//  * route(target, inner) — de Bruijn routing (Lemma A.2): the message
+//    performs d ≈ log(3n) halving steps (each taken at a middle virtual
+//    node, moving locally to that host's left/right virtual node, then
+//    walking along the cycle to the next middle node) followed by a final
+//    linear walk to the virtual node owning `target`. O(log n) host-
+//    crossing hops w.h.p.
+//
+//  * send_to_vertex(src, dst, inner) — direct message between virtual
+//    nodes that know each other (cycle neighbours, tree parent/children).
+//    Hops between virtual nodes of the same host are local and free.
+//
+// Protocols register typed handlers for the inner payloads they expect via
+// on_routed_payload<T>() and on_vertex_payload<T>(), which lets several
+// protocol components (DHT, aggregation, heap logic) coexist on one node.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "overlay/topology.hpp"
+#include "overlay/virtual_node.hpp"
+#include "sim/dispatch.hpp"
+
+namespace sks::overlay {
+
+/// Routing parameters shared by all nodes of one system.
+struct RouteParams {
+  std::uint32_t debruijn_steps = 16;   ///< d: halving steps per route
+  std::uint64_t hop_guard = 4096;      ///< deadlock/loop detector
+  std::uint64_t header_bits = 32;      ///< charged per routed hop
+  std::uint64_t vertex_header_bits = 12;  ///< charged per vertex message
+
+  static RouteParams for_system(std::size_t n) {
+    RouteParams p;
+    p.debruijn_steps =
+        static_cast<std::uint32_t>(bits_for_max(3 * n) + 3);
+    p.hop_guard = 128 * (p.debruijn_steps + 8);
+    // Target point, random bits ρ and addressing — all O(log n) bits.
+    p.header_bits = 3 * bits_for_max(3 * n) + 12;
+    p.vertex_header_bits = bits_for_max(3 * n) + 2;
+    return p;
+  }
+};
+
+/// One de Bruijn routing hop crossing a host boundary.
+///
+/// Routing follows the continuous-discrete approach of [NW07] as adapted
+/// by [RSS11] for the LDB (Lemma A.2): phase A performs d halving steps
+/// with *random* bits ρ (each taken at a middle virtual node via its
+/// virtual edge, walking along the cycle to the next middle in between),
+/// landing at z ≈ 0.ρ_d…ρ_1. Phase B traverses, in reverse, the halving
+/// path the *target* would take with the same random bits: its points
+/// v_j = 0.ρ_{d-j}…ρ_1 t_1 t_2… are exactly computable from (ρ, t), and
+/// each doubling step is a virtual edge from a left/right vertex to its
+/// middle (2·l(v) = m(v), 2·r(v) ≡ m(v) mod 1). Anchoring every step to
+/// the exact ideal point keeps deviations at O(1) cycle gaps, and the
+/// random intermediate regions de-correlate the walk lengths, giving
+/// O(log n) hops w.h.p. with small constants.
+struct RouteHop final : sim::Payload {
+  Point target = 0;
+  std::uint64_t rho = 0;            ///< random halving bits (phase A)
+  Point ideal = 0;                  ///< phase A: exact ideal trajectory point
+  std::uint32_t d = 0;              ///< total halving steps (origin's view;
+                                    ///< nodes may disagree about n after churn)
+  std::uint32_t phase_a_left = 0;   ///< halving steps remaining
+  std::uint32_t phase_b_done = 0;   ///< doubling steps completed
+  bool anchored = false;            ///< phase B: reached owner(v_j)?
+  VKind at_kind = VKind::kMiddle;   ///< receiving host's virtual node
+  NodeId origin = kNoNode;
+  std::uint64_t hops = 0;
+  std::uint64_t header_bits = 32;
+  sim::PayloadPtr inner;
+
+  std::uint64_t size_bits() const override {
+    return header_bits + (inner ? inner->size_bits() : 0);
+  }
+  /// Metrics attribute each hop to the payload being routed.
+  const char* name() const override {
+    return inner ? inner->name() : "route";
+  }
+};
+
+/// A direct message between two virtual nodes that know each other.
+struct VertexMsg final : sim::Payload {
+  VirtualId src;
+  VKind dst_kind = VKind::kMiddle;
+  std::uint64_t header_bits = 16;
+  sim::PayloadPtr inner;
+
+  std::uint64_t size_bits() const override {
+    return header_bits + (inner ? inner->size_bits() : 0);
+  }
+  /// Metrics attribute tree traffic to the payload being carried.
+  const char* name() const override {
+    return inner ? inner->name() : "vertex";
+  }
+};
+
+class OverlayNode : public sim::DispatchingNode {
+ public:
+  explicit OverlayNode(RouteParams params) : params_(params) {
+    on<RouteHop>([this](NodeId, std::unique_ptr<RouteHop> h) {
+      continue_route(std::move(h));
+    });
+    on<VertexMsg>([this](NodeId, std::unique_ptr<VertexMsg> m) {
+      deliver_vertex(std::move(m));
+    });
+  }
+
+  /// Install the overlay links (bootstrap or after a membership change).
+  void install_links(NodeLinks links) { links_ = std::move(links); }
+
+  const NodeLinks& links() const { return links_; }
+  const VirtualState& vstate(VKind k) const { return links_.at(k); }
+  bool hosts_anchor() const { return links_.at(VKind::kLeft).is_anchor; }
+  const RouteParams& route_params() const { return params_; }
+
+  /// Route `inner` to the virtual node owning `target`; it is delivered to
+  /// the handler registered for its type via on_routed_payload.
+  void route(Point target, sim::PayloadPtr inner) {
+    auto hop = std::make_unique<RouteHop>();
+    hop->target = target;
+    hop->rho = net().rng().next();
+    hop->ideal = links_.at(VKind::kMiddle).self.label;
+    hop->d = params_.debruijn_steps;
+    hop->phase_a_left = params_.debruijn_steps;
+    hop->phase_b_done = 0;
+    hop->at_kind = VKind::kMiddle;  // start at own middle node
+    hop->origin = id();
+    hop->header_bits = params_.header_bits;
+    hop->inner = std::move(inner);
+    continue_route(std::move(hop));
+  }
+
+  /// One emulated de Bruijn halving hop (Lemma 2.2(v)): deliver `inner`
+  /// to the owner of the point (w + bit)/2, where w is the label of this
+  /// host's `at` virtual node. Costs O(1) host crossings in expectation
+  /// (walk to the next middle node, exact virtual-edge halving, short
+  /// final walk). KSelect's copy trees (Section 4.3) ride on this.
+  void debruijn_hop(VKind at, bool bit, sim::PayloadPtr inner) {
+    const Point w = links_.at(at).self.label;
+    auto hop = std::make_unique<RouteHop>();
+    hop->target = (w >> 1) | (bit ? kHalf : Point{0});
+    hop->ideal = w;
+    hop->d = params_.debruijn_steps;
+    hop->rho = std::uint64_t{bit} << (params_.debruijn_steps - 1);
+    hop->phase_a_left = 1;            // one halving step
+    hop->phase_b_done = hop->d;       // skip phase B
+    hop->at_kind = at;
+    hop->origin = id();
+    hop->header_bits = params_.header_bits;
+    hop->inner = std::move(inner);
+    continue_route(std::move(hop));
+  }
+
+  /// Send `inner` from our virtual node `src_kind` to `dst`. Local if dst
+  /// is hosted here (free), one message otherwise.
+  void send_to_vertex(VKind src_kind, const VirtualId& dst,
+                      sim::PayloadPtr inner) {
+    SKS_CHECK(dst.valid());
+    auto msg = std::make_unique<VertexMsg>();
+    msg->src = links_.at(src_kind).self;
+    msg->dst_kind = dst.kind;
+    msg->header_bits = params_.vertex_header_bits;
+    msg->inner = std::move(inner);
+    if (dst.host == id()) {
+      deliver_vertex(std::move(msg));
+    } else {
+      send(dst.host, std::move(msg));
+    }
+  }
+
+  /// Send a direct message to a node whose id we learned from a request
+  /// (the paper's model: carrying a node reference in a message creates
+  /// the edge needed to reply).
+  void send_direct(NodeId to, sim::PayloadPtr payload) {
+    SKS_CHECK(to != kNoNode);
+    if (to == id()) {
+      on_message(id(), std::move(payload));
+    } else {
+      send(to, std::move(payload));
+    }
+  }
+
+  // Handler registration is public so protocol components (DHT,
+  // aggregation, heap logic) can attach themselves to a host node.
+
+  /// Register a handler for direct (non-routed, non-vertex) payloads of
+  /// type T: void(NodeId from, std::unique_ptr<T>).
+  template <class T, class F>
+  void on_direct_payload(F&& handler) {
+    this->template on<T>(std::forward<F>(handler));
+  }
+
+  /// Register a handler for routed payloads of type T:
+  /// void(Point target, VKind owner_kind, NodeId origin, std::unique_ptr<T>).
+  template <class T, class F>
+  void on_routed_payload(F&& handler) {
+    auto [it, ok] = routed_handlers_.emplace(
+        std::type_index(typeid(T)),
+        [h = std::forward<F>(handler)](Point t, VKind k, NodeId o,
+                                       sim::PayloadPtr p) {
+          h(t, k, o, std::unique_ptr<T>(static_cast<T*>(p.release())));
+        });
+    SKS_CHECK_MSG(ok, "duplicate routed handler");
+    (void)it;
+  }
+
+  /// Register a handler for vertex payloads of type T:
+  /// void(VKind at, const VirtualId& from, std::unique_ptr<T>).
+  template <class T, class F>
+  void on_vertex_payload(F&& handler) {
+    auto [it, ok] = vertex_handlers_.emplace(
+        std::type_index(typeid(T)),
+        [h = std::forward<F>(handler)](VKind at, const VirtualId& from,
+                                       sim::PayloadPtr p) {
+          h(at, from, std::unique_ptr<T>(static_cast<T*>(p.release())));
+        });
+    SKS_CHECK_MSG(ok, "duplicate vertex handler");
+    (void)it;
+  }
+
+ private:
+  /// Phase B ideal point v_j = 0.ρ_{d-j}…ρ_1 t_1 t_2…  (the point the
+  /// target's own phase-A trajectory would pass through after d-j steps).
+  Point phase_b_ideal(const RouteHop& hop, std::uint32_t j) const {
+    const std::uint32_t d = hop.d;
+    SKS_CHECK(j <= d);
+    const std::uint32_t k = d - j;  // random bits still on top
+    if (k == 0) return hop.target;
+    Point rev = 0;  // ρ_k ρ_{k-1} … ρ_1 as the top k bits (ρ_k is the MSB)
+    for (std::uint32_t i = k; i >= 1; --i) {
+      rev = (rev << 1) | ((hop.rho >> (i - 1)) & 1ULL);
+    }
+    return (rev << (64 - k)) | (hop.target >> k);
+  }
+
+  void continue_route(std::unique_ptr<RouteHop> hop) {
+    const std::uint32_t d = hop->d;
+    VKind at = hop->at_kind;
+    std::uint64_t local_iterations = 0;
+    for (;;) {
+      SKS_CHECK_MSG(++local_iterations < params_.hop_guard,
+                    "routing local-walk guard tripped");
+      const VirtualState& st = links_.at(at);
+
+      if (hop->phase_a_left > 0) {
+        // ---- Phase A: halving with random bits. ----
+        if (at == VKind::kMiddle) {
+          // Step i = d - phase_a_left + 1 applies ρ_i to the exact ideal
+          // trajectory. The actual position (this middle's label) deviates
+          // from the ideal by a few cycle gaps; because halving is not
+          // equivariant under modular wrap, we pick whichever virtual side
+          // (l and r are exactly half a circle apart) lands closest to the
+          // ideal next point — this keeps the deviation bounded even when
+          // a walk crossed the 0/1 boundary.
+          const bool bit = (hop->rho >> (d - hop->phase_a_left)) & 1ULL;
+          --hop->phase_a_left;
+          hop->ideal = (hop->ideal >> 1) |
+                       (bit ? kHalf : Point{0});
+          const Point left_label = st.self.label >> 1;
+          const Point fwd_from_left = hop->ideal - left_label;
+          // left is closer iff the modular distance to the ideal is < 1/4
+          // in either direction (the two candidates are exactly 1/2 apart).
+          const bool left_closer =
+              std::min(fwd_from_left, Point{0} - fwd_from_left) < kHalf / 2;
+          at = left_closer ? VKind::kLeft : VKind::kRight;
+          continue;
+        }
+        // Walk to the next middle node to take the next halving step.
+        const VirtualId nxt = st.succ;
+        if (nxt.host == id()) {
+          at = nxt.kind;
+          continue;
+        }
+        forward_hop(std::move(hop), nxt);
+        return;
+      }
+
+      if (hop->phase_b_done < d) {
+        // ---- Phase B: doubling along the target's reversed trajectory. --
+        const Point ideal = phase_b_ideal(*hop, hop->phase_b_done);
+        if (!hop->anchored) {
+          // First reach the owner of the exact ideal point v_j.
+          if (arc_contains(st.self.label, st.succ.label, ideal)) {
+            hop->anchored = true;
+            continue;
+          }
+          const bool fwd = succ_direction_shorter(st.self.label, ideal);
+          const VirtualId nxt = fwd ? st.succ : st.pred;
+          if (nxt.host == id()) {
+            at = nxt.kind;
+            continue;
+          }
+          forward_hop(std::move(hop), nxt);
+          return;
+        }
+        // Anchored: find the nearest left/right vertex (walking forward)
+        // and take its virtual edge to the middle — an exact doubling
+        // since 2·l(v) = m(v) and 2·r(v) ≡ m(v) (mod 1).
+        if (at != VKind::kMiddle) {
+          ++hop->phase_b_done;
+          hop->anchored = false;
+          at = VKind::kMiddle;  // local virtual hop to this host's middle
+          continue;
+        }
+        const VirtualId nxt = st.succ;
+        if (nxt.host == id()) {
+          at = nxt.kind;
+          continue;
+        }
+        forward_hop(std::move(hop), nxt);
+        return;
+      }
+
+      // ---- Final linear walk to the owner of the target point. ----
+      if (arc_contains(st.self.label, st.succ.label, hop->target)) {
+        deliver_routed(at, std::move(hop));
+        return;
+      }
+      const bool fwd = succ_direction_shorter(st.self.label, hop->target);
+      const VirtualId nxt = fwd ? st.succ : st.pred;
+      if (nxt.host == id()) {
+        at = nxt.kind;
+        continue;
+      }
+      forward_hop(std::move(hop), nxt);
+      return;
+    }
+  }
+
+  void forward_hop(std::unique_ptr<RouteHop> hop, const VirtualId& nxt) {
+    hop->at_kind = nxt.kind;
+    ++hop->hops;
+    SKS_CHECK_MSG(hop->hops < params_.hop_guard, "routing hop guard tripped");
+    send(nxt.host, std::move(hop));
+  }
+
+  void deliver_routed(VKind owner_kind, std::unique_ptr<RouteHop> hop) {
+    const sim::Payload& inner = *hop->inner;
+    const auto it = routed_handlers_.find(std::type_index(typeid(inner)));
+    SKS_CHECK_MSG(it != routed_handlers_.end(),
+                  "node " << id() << " has no routed handler for '"
+                          << inner.name() << "'");
+    it->second(hop->target, owner_kind, hop->origin, std::move(hop->inner));
+  }
+
+  void deliver_vertex(std::unique_ptr<VertexMsg> msg) {
+    const sim::Payload& inner = *msg->inner;
+    const auto it = vertex_handlers_.find(std::type_index(typeid(inner)));
+    SKS_CHECK_MSG(it != vertex_handlers_.end(),
+                  "node " << id() << " has no vertex handler for '"
+                          << inner.name() << "'");
+    it->second(msg->dst_kind, msg->src, std::move(msg->inner));
+  }
+
+  RouteParams params_;
+  NodeLinks links_;
+  std::unordered_map<std::type_index,
+                     std::function<void(Point, VKind, NodeId, sim::PayloadPtr)>>
+      routed_handlers_;
+  std::unordered_map<
+      std::type_index,
+      std::function<void(VKind, const VirtualId&, sim::PayloadPtr)>>
+      vertex_handlers_;
+};
+
+}  // namespace sks::overlay

@@ -1,0 +1,135 @@
+#include "overlay/topology.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace sks::overlay {
+
+std::vector<NodeLinks> build_topology(std::size_t n, const HashFunction& h) {
+  SKS_CHECK_MSG(n >= 1, "topology needs at least one node");
+
+  std::vector<NodeLinks> links(n);
+  std::vector<VirtualId> cycle;
+  cycle.reserve(3 * n);
+
+  for (NodeId v = 0; v < n; ++v) {
+    const Point m = h.point(v);
+    links[v].middle_label = m;
+    for (VKind k : kAllKinds) {
+      cycle.push_back(VirtualId{v, k, label_of(m, k)});
+    }
+  }
+
+  std::sort(cycle.begin(), cycle.end(),
+            [](const VirtualId& a, const VirtualId& b) {
+              return a.label < b.label;
+            });
+  for (std::size_t i = 1; i < cycle.size(); ++i) {
+    SKS_CHECK_MSG(cycle[i - 1].label != cycle[i].label,
+                  "virtual label collision; reseed the hash function");
+  }
+
+  const std::size_t total = cycle.size();
+  auto vstate_of = [&](const VirtualId& vid) -> VirtualState& {
+    return links[vid.host].at(vid.kind);
+  };
+
+  // Cycle links.
+  for (std::size_t i = 0; i < total; ++i) {
+    const VirtualId& self = cycle[i];
+    VirtualState& st = vstate_of(self);
+    st.self = self;
+    st.pred = cycle[(i + total - 1) % total];
+    st.succ = cycle[(i + 1) % total];
+  }
+
+  // Tree links, derived only from local information (self kind, host
+  // siblings, pred/succ kinds) exactly as a node would derive them.
+  for (NodeId v = 0; v < n; ++v) derive_tree_links(links[v]);
+
+  return links;
+}
+
+void derive_tree_links(NodeLinks& nl) {
+  const NodeId v = nl.at(VKind::kMiddle).self.host;
+  const Point m = nl.middle_label;
+  const VirtualId left{v, VKind::kLeft, label_of(m, VKind::kLeft)};
+  const VirtualId middle{v, VKind::kMiddle, m};
+  const VirtualId right{v, VKind::kRight, label_of(m, VKind::kRight)};
+
+  {  // middle node
+    VirtualState& st = nl.at(VKind::kMiddle);
+    st.is_anchor = false;
+    st.parent = left;
+    st.children.clear();
+    st.children.push_back(right);
+    if (st.succ.kind == VKind::kLeft) st.children.push_back(st.succ);
+  }
+  {  // left node
+    VirtualState& st = nl.at(VKind::kLeft);
+    st.is_anchor = st.pred.label > st.self.label;  // pred wraps => minimum
+    st.parent = st.is_anchor ? VirtualId{} : st.pred;
+    st.children.clear();
+    st.children.push_back(middle);
+    if (st.succ.kind == VKind::kLeft) st.children.push_back(st.succ);
+  }
+  {  // right node
+    VirtualState& st = nl.at(VKind::kRight);
+    st.is_anchor = false;
+    st.parent = middle;
+    st.children.clear();  // right nodes are leaves
+  }
+}
+
+TopologyStats analyze_topology(const std::vector<NodeLinks>& links) {
+  TopologyStats stats;
+  stats.num_virtual = 3 * links.size();
+
+  // Depth of every vertex by walking parent chains with memoization.
+  std::map<std::pair<NodeId, VKind>, std::uint64_t> depth;
+  auto key = [](const VirtualId& v) { return std::make_pair(v.host, v.kind); };
+
+  for (const auto& nl : links) {
+    for (VKind k : kAllKinds) {
+      const VirtualState& st = nl.at(k);
+      if (st.is_anchor) stats.anchor_host = st.self.host;
+      stats.max_tree_degree =
+          std::max(stats.max_tree_degree, std::uint64_t{st.children.size()});
+      // Walk up to the anchor, collecting the path, then assign depths.
+      std::vector<VirtualId> path;
+      VirtualId cur = st.self;
+      while (true) {
+        auto it = depth.find(key(cur));
+        if (it != depth.end()) {
+          std::uint64_t d = it->second;
+          for (auto rit = path.rbegin(); rit != path.rend(); ++rit) {
+            depth[key(*rit)] = ++d;
+            stats.tree_height = std::max(stats.tree_height, d);
+          }
+          break;
+        }
+        const VirtualState& cst = links[cur.host].at(cur.kind);
+        if (cst.is_anchor) {
+          depth[key(cur)] = 0;
+          std::uint64_t d = 0;
+          for (auto rit = path.rbegin(); rit != path.rend(); ++rit) {
+            depth[key(*rit)] = ++d;
+            stats.tree_height = std::max(stats.tree_height, d);
+          }
+          break;
+        }
+        SKS_CHECK_MSG(cst.parent.valid(), "non-anchor vertex without parent");
+        SKS_CHECK_MSG(path.size() <= 3 * links.size(),
+                      "parent chain does not terminate (cycle in tree)");
+        path.push_back(cur);
+        cur = cst.parent;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace sks::overlay

@@ -1,0 +1,73 @@
+// Bootstrap construction of the LDB and its aggregation tree (Appendix A).
+//
+// The paper assumes the nodes "are arranged in such an aggregation tree"
+// and sketches the construction; this builder performs it for the initial
+// membership: hash each node id to its middle label, sort the 3n virtual
+// labels into the cycle, and derive — purely from local pred/succ kinds —
+// each virtual node's parent and children in the aggregation tree:
+//
+//   parent(m(v)) = l(v)                    (local/virtual edge)
+//   parent(l(v)) = pred(l(v))              (linear edge)
+//   parent(r(v)) = m(v)                    (local/virtual edge)
+//   children(m(v)) = { r(v) } ∪ { succ(m(v)) if it is a left node }
+//   children(l(v)) = { m(v) } ∪ { succ(l(v)) if it is a left node }
+//   children(r(v)) = ∅                     (right nodes are the leaves)
+//
+// The anchor (root) is the virtual node with the globally minimal label —
+// always a left node, locally detectable because its pred wraps around.
+// Labels strictly decrease along every parent path, which is what makes
+// the structure a tree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "overlay/virtual_node.hpp"
+
+namespace sks::overlay {
+
+/// Everything one virtual node knows about its surroundings.
+struct VirtualState {
+  VirtualId self;
+  VirtualId pred;
+  VirtualId succ;
+  bool is_anchor = false;
+  VirtualId parent;               ///< invalid for the anchor
+  std::vector<VirtualId> children;  ///< 0, 1 or 2 entries
+};
+
+/// The complete local overlay state of one real node.
+struct NodeLinks {
+  Point middle_label = 0;
+  std::array<VirtualState, 3> vstates;  // indexed by VKind
+
+  VirtualState& at(VKind k) { return vstates[static_cast<std::size_t>(k)]; }
+  const VirtualState& at(VKind k) const {
+    return vstates[static_cast<std::size_t>(k)];
+  }
+};
+
+/// Deterministically build the LDB for nodes {0, ..., n-1} using the given
+/// public hash for middle labels. Middle labels are h(node_id); the builder
+/// verifies all 3n labels are distinct (w.h.p. for a 64-bit hash).
+std::vector<NodeLinks> build_topology(std::size_t n, const HashFunction& h);
+
+/// Re-derive a node's aggregation-tree links (parents, children, anchor
+/// flag) from its current pred/succ pointers — the purely local rules of
+/// Appendix A. Called after bootstrap and after every membership splice.
+void derive_tree_links(NodeLinks& nl);
+
+/// Diagnostics used by tests and benchmarks.
+struct TopologyStats {
+  std::uint64_t tree_height = 0;       ///< max root-to-leaf depth (edges)
+  std::uint64_t num_virtual = 0;       ///< 3n
+  NodeId anchor_host = kNoNode;        ///< host of the anchor left node
+  std::uint64_t max_tree_degree = 0;   ///< max children of any vertex
+};
+
+TopologyStats analyze_topology(const std::vector<NodeLinks>& links);
+
+}  // namespace sks::overlay

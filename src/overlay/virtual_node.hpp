@@ -1,0 +1,81 @@
+// Virtual nodes of the Linearized de Bruijn network (Definition A.1).
+//
+// Every real node v emulates three virtual nodes: a middle node with label
+// m(v) (pseudorandom hash of v's id), a left node l(v) = m(v)/2 and a right
+// node r(v) = (m(v)+1)/2. Labels live on the fixed-point unit cycle
+// [0, 2^64), so l and r are exact: l = m >> 1, r = (m >> 1) + 2^63.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sks::overlay {
+
+enum class VKind : std::uint8_t { kLeft = 0, kMiddle = 1, kRight = 2 };
+
+inline constexpr std::array<VKind, 3> kAllKinds{VKind::kLeft, VKind::kMiddle,
+                                                VKind::kRight};
+
+inline const char* to_string(VKind k) {
+  switch (k) {
+    case VKind::kLeft: return "l";
+    case VKind::kMiddle: return "m";
+    case VKind::kRight: return "r";
+  }
+  return "?";
+}
+
+/// Fixed-point half: the label offset of a right node above a left node.
+inline constexpr Point kHalf = Point{1} << 63;
+
+/// Labels of the three virtual nodes emulated by a real node whose middle
+/// label is `middle`.
+inline constexpr Point label_of(Point middle, VKind kind) {
+  switch (kind) {
+    case VKind::kLeft: return middle >> 1;
+    case VKind::kMiddle: return middle;
+    case VKind::kRight: return (middle >> 1) + kHalf;
+  }
+  return 0;  // unreachable
+}
+
+/// A reference to a virtual node: which real node hosts it, which of the
+/// three roles it plays, and its label (cached so neighbours don't need to
+/// recompute hashes).
+struct VirtualId {
+  NodeId host = kNoNode;
+  VKind kind = VKind::kMiddle;
+  Point label = 0;
+
+  bool valid() const { return host != kNoNode; }
+
+  friend bool operator==(const VirtualId&, const VirtualId&) = default;
+};
+
+inline std::string to_string(const VirtualId& v) {
+  if (!v.valid()) return "<none>";
+  return std::string(to_string(v.kind)) + "(" + std::to_string(v.host) + ")";
+}
+
+/// Cyclic forward distance from a to b on [0, 2^64): how far b is ahead of
+/// a walking in the successor (increasing-label) direction.
+inline constexpr Point forward_distance(Point a, Point b) { return b - a; }
+
+/// Does the arc [lo, succ_lo) — walking forward from lo to succ_lo — contain
+/// point p? This is the ownership test: the virtual node with label lo owns
+/// p iff p lies in [lo, succ(lo).label) cyclically.
+inline constexpr bool arc_contains(Point lo, Point succ_lo, Point p) {
+  return forward_distance(lo, p) < forward_distance(lo, succ_lo);
+}
+
+/// True if walking in the successor direction from `from` reaches `to` no
+/// later than walking in the predecessor direction (shortest-arc choice).
+inline constexpr bool succ_direction_shorter(Point from, Point to) {
+  return forward_distance(from, to) <= forward_distance(to, from);
+}
+
+}  // namespace sks::overlay

@@ -1,0 +1,488 @@
+// Protocol Seap (Section 5): a serializable distributed heap for an
+// arbitrary number of priorities, with O(log n)-bit messages independent
+// of the injection rate — the headline improvement over Skeap.
+//
+// A cycle alternates two global phases (Algorithm 4):
+//
+//  Insert phase
+//   1. Every host snapshots its buffered operations; the number of inserts
+//      is aggregated to the anchor, which updates v0.m and broadcasts the
+//      go-signal.
+//   2. Hosts store each inserted element under a uniformly random DHT key
+//      and wait for the owners' confirmations.
+//
+//  DeleteMin phase
+//   3. Once its puts are confirmed, each host contributes its DeleteMin
+//      count; the anchor learns k.
+//   4. The anchor finds the k-th smallest element (KSelect) — skipped when
+//      k >= m (threshold = +inf) or k = 0 — and broadcasts the threshold
+//      key T together with k_eff = min(k, m).
+//   5. Hosts count their stored elements <= T; the interval [1, k_eff] is
+//      decomposed over those counts, and each host moves its eligible
+//      elements to positional keys h(cycle, pos).
+//   6. The interval [1, k] is decomposed over the deleters' counts; each
+//      deleter fetches h(cycle, pos) for its positions <= k_eff and
+//      returns ⊥ for positions beyond the heap size.
+//
+// Cycles are phase-barriered (the paper: "we wait until all Insert()
+// requests have been processed before we start processing all DeleteMin()
+// requests"); the harness starts cycle t+1 after cycle t quiesces.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "aggregation/aggregator.hpp"
+#include "aggregation/broadcast.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dht/dht.hpp"
+#include "kselect/kselect.hpp"
+#include "overlay/membership.hpp"
+#include "overlay/overlay_node.hpp"
+
+namespace sks::seap {
+
+/// DHT keyspaces: inserted elements live under random keys in the main
+/// space; the DeleteMin phase moves the k smallest into positional keys.
+inline constexpr std::uint8_t kMainSpace = 0;
+inline constexpr std::uint8_t kPositionSpace = 1;
+
+struct SeapConfig {
+  std::size_t num_nodes = 8;
+  std::uint64_t hash_seed = 0x5ea9ULL;
+  std::uint64_t rng_seed = 0x5eed5ULL;
+  dht::DhtWidths widths;
+  kselect::KSelectConfig kselect;
+  /// The Conclusion's sketch of a sequentially consistent Seap: per cycle,
+  /// a node submits only its leading run of inserts followed by the
+  /// adjacent run of deletes (or, if a delete comes first, only that
+  /// delete run), deferring the rest. Each node's operations then appear
+  /// in ≺ in issue order — local consistency — at the cost of throughput
+  /// under alternating workloads ("batches may grow infinitely long for
+  /// high injection rates"). Message sizes stay O(log n).
+  bool sequentially_consistent = false;
+};
+
+// ---- aggregation value types ----------------------------------------------
+
+struct InsCountUp {
+  static constexpr const char* kName = "seap.ins_up";
+  std::uint64_t count = 0;
+  std::uint64_t size_bits() const { return 32; }
+};
+
+struct InsGo {
+  static constexpr const char* kName = "seap.ins_go";
+  std::uint64_t cycle = 0;
+  std::uint64_t size_bits() const { return 32; }
+};
+
+struct DelCountUp {
+  static constexpr const char* kName = "seap.del_up";
+  std::uint64_t count = 0;
+  std::uint64_t size_bits() const { return 32; }
+};
+
+/// Deleter sub-interval of [1, k] plus k_eff so hosts can decide which of
+/// their positions map to real elements and which return ⊥.
+struct DelDown {
+  static constexpr const char* kName = "seap.del_down";
+  Interval iv = Interval::empty_interval();
+  std::uint64_t k_eff = 0;
+  std::uint64_t size_bits() const { return 96; }
+};
+
+/// The k_eff-th smallest key (threshold) broadcast before the move.
+struct Thresh {
+  static constexpr const char* kName = "seap.thresh";
+  std::uint64_t cycle = 0;
+  Element threshold{};
+  std::uint64_t k_eff = 0;
+  std::uint64_t size_bits() const { return 32 + 48 + 32; }
+};
+
+struct MoveCountUp {
+  static constexpr const char* kName = "seap.move_up";
+  std::uint64_t count = 0;
+  std::uint64_t size_bits() const { return 32; }
+};
+
+struct MoveDown {
+  static constexpr const char* kName = "seap.move_down";
+  Interval iv = Interval::empty_interval();
+  std::uint64_t size_bits() const { return 64; }
+};
+
+/// One completed heap operation, for the serializability checker.
+struct SeapOpRecord {
+  NodeId node = kNoNode;
+  std::uint64_t issue_seq = 0;
+  std::uint64_t cycle = 0;
+  bool is_insert = false;
+  bool bottom = false;
+  Position pos = 0;  ///< deletes: the fetched position in [1, k_eff]
+  Element element{};
+  bool completed = false;
+};
+
+class SeapNode : public overlay::OverlayNode {
+ public:
+  using DeleteCallback = std::function<void(std::optional<Element>)>;
+
+  SeapNode(overlay::RouteParams params, SeapConfig config)
+      : OverlayNode(params),
+        config_(config),
+        hash_(config.hash_seed),
+        rng_(config.rng_seed),
+        dht_(*this, config.widths),
+        membership_(*this, dht_),
+        kselect_(
+            *this, config.kselect,
+            [this] { return dht_.elements_in(kMainSpace); },
+            [this](std::uint64_t cycle,
+                   std::optional<kselect::CandidateKey> kth) {
+              on_kselect_result(cycle, kth);
+            }),
+        ins_agg_(*this,
+                 [](InsCountUp& a, const InsCountUp& b) { a.count += b.count; },
+                 [this](std::uint64_t cycle, const InsCountUp& total) {
+                   on_insert_total(cycle, total.count);
+                 }),
+        ins_go_(*this,
+                [this](std::uint64_t cycle, const InsGo&) {
+                  on_insert_go(cycle);
+                }),
+        del_agg_(
+            *this,
+            [](DelCountUp& a, const DelCountUp& b) { a.count += b.count; },
+            [](const DelDown& d, const std::vector<DelCountUp>& children) {
+              std::vector<DelDown> parts(children.size());
+              Interval rest = d.iv;
+              for (std::size_t c = 0; c < children.size(); ++c) {
+                parts[c].iv = rest.take_front(children[c].count);
+                parts[c].k_eff = d.k_eff;
+              }
+              SKS_CHECK(rest.empty());
+              return parts;
+            },
+            [this](std::uint64_t cycle, const DelCountUp& total) {
+              on_delete_total(cycle, total.count);
+            },
+            [this](std::uint64_t cycle, DelDown down) {
+              on_delete_interval(cycle, down);
+            }),
+        thresh_(*this,
+                [this](std::uint64_t cycle, const Thresh& t) {
+                  on_threshold(cycle, t);
+                }),
+        move_agg_(
+            *this,
+            [](MoveCountUp& a, const MoveCountUp& b) { a.count += b.count; },
+            [](const MoveDown& d, const std::vector<MoveCountUp>& children) {
+              std::vector<MoveDown> parts(children.size());
+              Interval rest = d.iv;
+              for (std::size_t c = 0; c < children.size(); ++c) {
+                parts[c].iv = rest.take_front(children[c].count);
+              }
+              SKS_CHECK(rest.empty());
+              return parts;
+            },
+            [this](std::uint64_t cycle, const MoveCountUp& total) {
+              on_move_total(cycle, total.count);
+            },
+            [this](std::uint64_t cycle, MoveDown down) {
+              on_move_interval(cycle, down.iv);
+            }) {}
+
+  // ---- Client API ------------------------------------------------------
+
+  void insert(const Element& e) {
+    PendingOp op;
+    op.is_insert = true;
+    op.element = e;
+    op.issue_seq = next_issue_seq_++;
+    buffered_.push_back(std::move(op));
+  }
+
+  void delete_min(DeleteCallback cb) {
+    PendingOp op;
+    op.is_insert = false;
+    op.callback = std::move(cb);
+    op.issue_seq = next_issue_seq_++;
+    buffered_.push_back(std::move(op));
+  }
+
+  std::size_t buffered_ops() const { return buffered_.size(); }
+
+  // ---- Cycle driver ----------------------------------------------------
+
+  /// Snapshot buffered operations and start the Insert phase of the next
+  /// cycle. Cycles are phase-barriered: call only when the previous cycle
+  /// has quiesced.
+  std::uint64_t start_cycle() {
+    const std::uint64_t cycle = next_cycle_++;
+    CycleState& cs = cycles_[cycle];
+    if (!config_.sequentially_consistent) {
+      while (!buffered_.empty()) {
+        PendingOp op = std::move(buffered_.front());
+        buffered_.pop_front();
+        if (op.is_insert) {
+          cs.inserts.push_back(std::move(op));
+        } else {
+          cs.deletes.push_back(std::move(op));
+        }
+      }
+    } else {
+      // Leading insert run (possibly empty, but only when the buffer does
+      // not start with a delete) followed by the adjacent delete run —
+      // this prefix is the largest piece that one insert-then-delete
+      // cycle can serialize without reordering this node's operations.
+      while (!buffered_.empty() && buffered_.front().is_insert) {
+        cs.inserts.push_back(std::move(buffered_.front()));
+        buffered_.pop_front();
+      }
+      while (!buffered_.empty() && !buffered_.front().is_insert) {
+        cs.deletes.push_back(std::move(buffered_.front()));
+        buffered_.pop_front();
+      }
+    }
+    ins_agg_.contribute(cycle, InsCountUp{cs.inserts.size()});
+    return cycle;
+  }
+
+  // ---- Introspection ---------------------------------------------------
+
+  const std::vector<SeapOpRecord>& trace() const { return trace_; }
+  const dht::DhtComponent& dht() const { return dht_; }
+  dht::DhtComponent& dht() { return dht_; }
+  const kselect::KSelectComponent& kselect() const { return kselect_; }
+  overlay::MembershipComponent& membership() { return membership_; }
+
+  // ---- Churn support (driver-coordinated, between cycles) --------------
+
+  /// Synchronize a freshly joined node's cycle counter with the system's.
+  void set_next_cycle(std::uint64_t cycle) {
+    SKS_CHECK(cycles_.empty());
+    next_cycle_ = cycle;
+  }
+
+  /// Hand the anchor's heap-size counter to a node that became the anchor
+  /// after churn. Must be called between cycles.
+  std::uint64_t take_anchor_size() {
+    SKS_CHECK_MSG(anchor_cycles_.empty(),
+                  "anchor handover during an active cycle");
+    const std::uint64_t m = anchor_m_;
+    anchor_m_ = 0;
+    return m;
+  }
+  void install_anchor_size(std::uint64_t m) { anchor_m_ = m; }
+
+  /// Heap size as tracked by the anchor (anchor host only).
+  std::uint64_t anchor_heap_size() const { return anchor_m_; }
+
+ private:
+  struct PendingOp {
+    bool is_insert = false;
+    Element element{};
+    DeleteCallback callback;
+    std::uint64_t issue_seq = 0;
+  };
+
+  struct CycleState {
+    std::vector<PendingOp> inserts;
+    std::vector<PendingOp> deletes;
+    std::size_t unacked_puts = 0;
+    bool contributed_deletes = false;
+  };
+
+  // -- anchor side --
+
+  void on_insert_total(std::uint64_t cycle, std::uint64_t k_ins) {
+    anchor_m_ += k_ins;
+    ins_go_.broadcast(cycle, InsGo{cycle});
+  }
+
+  void on_delete_total(std::uint64_t cycle, std::uint64_t k_del) {
+    AnchorCycle& ac = anchor_cycles_[cycle];
+    ac.k_del = k_del;
+    ac.k_eff = k_del < anchor_m_ ? k_del : anchor_m_;
+    if (ac.k_eff == 0) {
+      // Nothing to move; deleters (if any) all receive ⊥.
+      finish_anchor_cycle(cycle);
+      return;
+    }
+    if (ac.k_eff == anchor_m_) {
+      // Every element is deleted: no selection needed, T = +inf.
+      ac.threshold = kselect::kMaxKey;
+      finish_anchor_cycle(cycle);
+      return;
+    }
+    kselect_.start(cycle, ac.k_eff);
+  }
+
+  void on_kselect_result(std::uint64_t cycle,
+                         std::optional<kselect::CandidateKey> kth) {
+    SKS_CHECK_MSG(kth.has_value(), "KSelect failed for a valid k");
+    AnchorCycle& ac = anchor_cycles_.at(cycle);
+    ac.threshold = *kth;
+    finish_anchor_cycle(cycle);
+  }
+
+  void finish_anchor_cycle(std::uint64_t cycle) {
+    AnchorCycle& ac = anchor_cycles_.at(cycle);
+    anchor_m_ -= ac.k_eff;
+    if (ac.k_eff > 0) {
+      thresh_.broadcast(cycle, Thresh{cycle, ac.threshold, ac.k_eff});
+    }
+    // Hand the deleters their sub-intervals of [1, k_del]; positions
+    // beyond k_eff return ⊥.
+    del_agg_.distribute(cycle, DelDown{Interval{1, ac.k_del}, ac.k_eff});
+    anchor_cycles_.erase(cycle);
+  }
+
+  // -- host side --
+
+  void on_insert_go(std::uint64_t cycle) {
+    CycleState& cs = cycles_.at(cycle);
+    if (!rng_seeded_) {
+      // Host id is assigned after construction; derive the per-node
+      // stream lazily.
+      rng_.reseed(config_.rng_seed ^ (0x9e3779b97f4a7c15ULL * (id() + 1)));
+      rng_seeded_ = true;
+    }
+    cs.unacked_puts = cs.inserts.size();
+    if (cs.unacked_puts == 0) {
+      contribute_deletes(cycle);
+      return;
+    }
+    for (auto& op : cs.inserts) {
+      const Point key = rng_.next();
+      SeapOpRecord rec;
+      rec.issue_seq = op.issue_seq;
+      rec.cycle = cycle;
+      rec.is_insert = true;
+      rec.element = op.element;
+      rec.completed = true;
+      trace_.push_back(rec);
+      dht_.put(key, op.element,
+               [this, cycle] {
+                 CycleState& s = cycles_.at(cycle);
+                 SKS_CHECK(s.unacked_puts > 0);
+                 if (--s.unacked_puts == 0) contribute_deletes(cycle);
+               },
+               kMainSpace);
+    }
+  }
+
+  void contribute_deletes(std::uint64_t cycle) {
+    CycleState& cs = cycles_.at(cycle);
+    SKS_CHECK(!cs.contributed_deletes);
+    cs.contributed_deletes = true;
+    del_agg_.contribute(cycle, DelCountUp{cs.deletes.size()});
+  }
+
+  void on_threshold(std::uint64_t cycle, const Thresh& t) {
+    // Count eligible elements now; the move happens when the interval
+    // arrives. No put can interleave (the insert phase is globally done),
+    // so the count stays valid.
+    const std::size_t eligible = dht_.count_leq(kMainSpace, t.threshold);
+    pending_thresholds_[cycle] = t.threshold;
+    move_agg_.contribute(cycle, MoveCountUp{eligible});
+  }
+
+  void on_move_total(std::uint64_t cycle, std::uint64_t total) {
+    // total == k_eff by construction (exactly k_eff keys are <= T).
+    move_agg_.distribute(cycle, MoveDown{Interval{1, total}});
+  }
+
+  void on_move_interval(std::uint64_t cycle, Interval iv) {
+    auto it = pending_thresholds_.find(cycle);
+    SKS_CHECK(it != pending_thresholds_.end());
+    const Element threshold = it->second;
+    pending_thresholds_.erase(it);
+    std::vector<Element> moved = dht_.take_leq(kMainSpace, threshold);
+    SKS_CHECK_MSG(moved.size() == iv.cardinality(),
+                  "move interval does not match eligible count");
+    Position pos = iv.lo;
+    for (const auto& e : moved) {
+      dht_.put(position_key(cycle, pos), e, nullptr, kPositionSpace);
+      ++pos;
+    }
+  }
+
+  void on_delete_interval(std::uint64_t cycle, const DelDown& down) {
+    CycleState& cs = cycles_.at(cycle);
+    SKS_CHECK(down.iv.cardinality() == cs.deletes.size());
+    Position pos = down.iv.lo;
+    for (auto& op : cs.deletes) {
+      SeapOpRecord rec;
+      rec.issue_seq = op.issue_seq;
+      rec.cycle = cycle;
+      rec.is_insert = false;
+      rec.pos = pos;
+      if (pos > down.k_eff) {
+        rec.bottom = true;
+        rec.completed = true;
+        trace_.push_back(rec);
+        if (op.callback) op.callback(std::nullopt);
+      } else {
+        const std::size_t rec_idx = trace_.size();
+        trace_.push_back(rec);
+        auto cb = std::move(op.callback);
+        dht_.get(position_key(cycle, pos),
+                 [this, rec_idx, cb](const Element& e) {
+                   trace_[rec_idx].element = e;
+                   trace_[rec_idx].completed = true;
+                   if (cb) cb(e);
+                 },
+                 kPositionSpace);
+      }
+      ++pos;
+    }
+    cycles_.erase(cycle);
+  }
+
+  Point position_key(std::uint64_t cycle, Position pos) const {
+    return hash_.point({0x5ea90002ULL, cycle, pos});
+  }
+
+  SeapConfig config_;
+  HashFunction hash_;
+  Rng rng_;
+  bool rng_seeded_ = false;
+  dht::DhtComponent dht_;
+  overlay::MembershipComponent membership_;
+  kselect::KSelectComponent kselect_;
+
+  agg::Aggregator<InsCountUp, InsCountUp> ins_agg_;  // up-only
+  agg::Broadcaster<InsGo> ins_go_;
+  agg::Aggregator<DelCountUp, DelDown> del_agg_;
+  agg::Broadcaster<Thresh> thresh_;
+  agg::Aggregator<MoveCountUp, MoveDown> move_agg_;
+
+  std::deque<PendingOp> buffered_;
+  std::map<std::uint64_t, CycleState> cycles_;
+  std::map<std::uint64_t, Element> pending_thresholds_;
+  std::uint64_t next_cycle_ = 0;
+  std::uint64_t next_issue_seq_ = 0;
+
+  // Anchor-only state.
+  struct AnchorCycle {
+    std::uint64_t k_del = 0;
+    std::uint64_t k_eff = 0;
+    Element threshold{};
+  };
+  std::uint64_t anchor_m_ = 0;
+  std::map<std::uint64_t, AnchorCycle> anchor_cycles_;
+
+  std::vector<SeapOpRecord> trace_;
+};
+
+}  // namespace sks::seap

@@ -1,0 +1,52 @@
+// Type-directed action dispatch.
+//
+// A node that handles many remote action types registers one handler per
+// payload type instead of writing a dynamic_cast ladder. Registration
+// happens in the subclass constructor; dispatch is a hash lookup on the
+// payload's dynamic type. Handlers receive ownership of the payload so
+// nested payloads (routed messages) can be forwarded without copies.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/network.hpp"
+#include "sim/payload.hpp"
+
+namespace sks::sim {
+
+class DispatchingNode : public Node {
+ protected:
+  /// Register an action handler for payload type T. The handler signature
+  /// is void(NodeId from, std::unique_ptr<T> payload).
+  template <class T, class F>
+  void on(F&& handler) {
+    auto [it, inserted] = handlers_.emplace(
+        std::type_index(typeid(T)),
+        [h = std::forward<F>(handler)](NodeId from, PayloadPtr p) {
+          h(from, std::unique_ptr<T>(static_cast<T*>(p.release())));
+        });
+    SKS_CHECK_MSG(inserted, "duplicate handler for payload type");
+    (void)it;
+  }
+
+  void on_message(NodeId from, PayloadPtr payload) final {
+    SKS_CHECK(payload != nullptr);
+    const Payload& ref = *payload;
+    const auto it = handlers_.find(std::type_index(typeid(ref)));
+    SKS_CHECK_MSG(it != handlers_.end(),
+                  "node " << id() << " has no handler for action '"
+                          << ref.name() << "'");
+    it->second(from, std::move(payload));
+  }
+
+ private:
+  std::unordered_map<std::type_index, std::function<void(NodeId, PayloadPtr)>>
+      handlers_;
+};
+
+}  // namespace sks::sim

@@ -1,0 +1,72 @@
+// Simulation metrics.
+//
+// The paper's performance claims are about (a) rounds, (b) congestion (the
+// maximum number of messages a node must handle in one round, Section 1.1)
+// and (c) message sizes in bits. Metrics tracks all three, with windowed
+// snapshots so benchmarks can measure a single protocol phase.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sks::sim {
+
+struct MetricsSnapshot {
+  std::uint64_t rounds = 0;            ///< rounds elapsed in the window
+  std::uint64_t total_messages = 0;    ///< host-crossing messages delivered
+  std::uint64_t total_bits = 0;        ///< sum of message sizes
+  std::uint64_t max_message_bits = 0;  ///< largest single message
+  std::uint64_t max_congestion = 0;    ///< max msgs one node handled in one round
+  std::map<std::string, std::uint64_t> messages_by_type;
+  std::map<std::string, std::uint64_t> bits_by_type;
+  std::map<std::string, std::uint64_t> max_bits_by_type;
+};
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t num_nodes) : received_this_round_(num_nodes, 0) {}
+
+  void on_node_added() { received_this_round_.push_back(0); }
+
+  void record_delivery(NodeId to, std::uint64_t bits, const char* type) {
+    ++snap_.total_messages;
+    snap_.total_bits += bits;
+    snap_.max_message_bits = std::max(snap_.max_message_bits, bits);
+    ++snap_.messages_by_type[type];
+    snap_.bits_by_type[type] += bits;
+    auto& type_max = snap_.max_bits_by_type[type];
+    type_max = std::max(type_max, bits);
+    const auto idx = static_cast<std::size_t>(to);
+    if (idx < received_this_round_.size()) {
+      ++received_this_round_[idx];
+    }
+  }
+
+  void on_round_end() {
+    ++snap_.rounds;
+    for (auto& c : received_this_round_) {
+      snap_.max_congestion = std::max(snap_.max_congestion, c);
+      c = 0;
+    }
+  }
+
+  /// Snapshot the current window and start a fresh one.
+  MetricsSnapshot take() {
+    MetricsSnapshot out = snap_;
+    snap_ = MetricsSnapshot{};
+    return out;
+  }
+
+  const MetricsSnapshot& current() const { return snap_; }
+
+ private:
+  MetricsSnapshot snap_;
+  std::vector<std::uint64_t> received_this_round_;
+};
+
+}  // namespace sks::sim

@@ -1,0 +1,191 @@
+// The message-passing system of Section 1.1.
+//
+// Nodes are processes with channels (unordered message buffers). A message
+// is a remote action call; the network guarantees no loss, no duplication
+// and fair receipt, but — in asynchronous mode — arbitrary finite delays
+// and non-FIFO delivery, exactly the paper's computation model.
+//
+// For performance analysis the paper switches to the standard synchronous
+// model: messages sent in round i are processed in round i+1 and every
+// node is activated once per round. Synchronous mode implements that
+// verbatim, which is what makes round counts in the benchmarks meaningful.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/metrics.hpp"
+#include "sim/payload.hpp"
+
+namespace sks::sim {
+
+class Network;
+
+/// A process. Subclasses implement actions by overriding on_message (remote
+/// calls) and on_activate (the periodic activation of Section 1.1).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+
+ protected:
+  Node() = default;
+
+  /// A request for an action call was taken out of this node's channel.
+  /// Ownership of the payload transfers to the node so nested payloads
+  /// (e.g. routed messages) can be forwarded without copies.
+  virtual void on_message(NodeId from, PayloadPtr payload) = 0;
+
+  /// Periodic activation; called once per round in synchronous mode.
+  virtual void on_activate() {}
+
+  /// Send a remote action call to `to`; enqueued into to's channel.
+  void send(NodeId to, PayloadPtr payload);
+
+  Network& net() {
+    SKS_CHECK(net_ != nullptr);
+    return *net_;
+  }
+  const Network& net() const {
+    SKS_CHECK(net_ != nullptr);
+    return *net_;
+  }
+
+ private:
+  friend class Network;
+  Network* net_ = nullptr;
+  NodeId id_ = kNoNode;
+};
+
+enum class DeliveryMode {
+  /// Messages sent in round i are processed in round i+1.
+  kSynchronous,
+  /// Each message independently delayed uniformly in [1, max_delay]
+  /// rounds: arbitrary finite delay, non-FIFO, fair receipt.
+  kAsynchronous,
+};
+
+struct NetworkConfig {
+  DeliveryMode mode = DeliveryMode::kSynchronous;
+  std::uint64_t max_delay = 8;   ///< async mode: max per-message delay
+  std::uint64_t seed = 0x5eed;   ///< delivery order / delay randomness
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig cfg = {})
+      : cfg_(cfg), rng_(cfg.seed), metrics_(0) {}
+
+  /// Register a node; returns its id. The network owns the node.
+  NodeId add_node(std::unique_ptr<Node> node) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    node->net_ = this;
+    node->id_ = id;
+    nodes_.push_back(std::move(node));
+    metrics_.on_node_added();
+    return id;
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+
+  Node& node(NodeId id) {
+    SKS_CHECK(id < nodes_.size());
+    return *nodes_[id];
+  }
+
+  template <class T>
+  T& node_as(NodeId id) {
+    auto* p = dynamic_cast<T*>(&node(id));
+    SKS_CHECK_MSG(p != nullptr, "node " << id << " has unexpected type");
+    return *p;
+  }
+
+  void send(NodeId from, NodeId to, PayloadPtr payload) {
+    SKS_CHECK(to < nodes_.size());
+    SKS_CHECK(payload != nullptr);
+    const std::uint64_t delay = cfg_.mode == DeliveryMode::kSynchronous
+                                    ? 1
+                                    : rng_.range(1, cfg_.max_delay);
+    pending_[round_ + delay].push_back(
+        Envelope{from, to, std::move(payload)});
+    ++in_flight_;
+  }
+
+  /// Advance one round: deliver all due messages (in randomized order, so
+  /// protocols cannot rely on intra-round ordering), then activate every
+  /// node once.
+  void step() {
+    ++round_;
+    auto it = pending_.find(round_);
+    if (it != pending_.end()) {
+      std::vector<Envelope> due = std::move(it->second);
+      pending_.erase(it);
+      shuffle(due);
+      for (auto& env : due) {
+        --in_flight_;
+        metrics_.record_delivery(env.to, env.payload->size_bits(),
+                                 env.payload->name());
+        nodes_[env.to]->on_message(env.from, std::move(env.payload));
+      }
+    }
+    for (auto& n : nodes_) n->on_activate();
+    metrics_.on_round_end();
+  }
+
+  bool idle() const { return in_flight_ == 0; }
+
+  /// Run until no messages are in flight. Returns the number of rounds
+  /// stepped. Throws if max_rounds elapse first (deadlock detector).
+  std::uint64_t run_until_idle(std::uint64_t max_rounds = 1'000'000) {
+    std::uint64_t steps = 0;
+    while (!idle()) {
+      SKS_CHECK_MSG(steps < max_rounds, "network did not quiesce");
+      step();
+      ++steps;
+    }
+    return steps;
+  }
+
+  std::uint64_t round() const { return round_; }
+
+  Metrics& metrics() { return metrics_; }
+  const NetworkConfig& config() const { return cfg_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Envelope {
+    NodeId from;
+    NodeId to;
+    PayloadPtr payload;
+  };
+
+  void shuffle(std::vector<Envelope>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng_.below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  NetworkConfig cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::uint64_t, std::vector<Envelope>> pending_;
+  std::uint64_t round_ = 0;
+  std::uint64_t in_flight_ = 0;
+  Metrics metrics_;
+};
+
+inline void Node::send(NodeId to, PayloadPtr payload) {
+  net().send(id_, to, std::move(payload));
+}
+
+}  // namespace sks::sim

@@ -1,0 +1,28 @@
+// Message payloads.
+//
+// Every message in the system is a remote action call (Section 1.1): it
+// names the action via its concrete payload type and carries the call's
+// parameters. Payloads report their encoded size in bits so the simulator
+// can account message sizes exactly as the paper's lemmas do.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <typeindex>
+
+namespace sks::sim {
+
+struct Payload {
+  virtual ~Payload() = default;
+
+  /// Encoded size of this message in bits, per the paper's accounting
+  /// (numbers cost ceil(log2 range) bits; see common/bits.hpp).
+  virtual std::uint64_t size_bits() const = 0;
+
+  /// Human-readable action name, used for per-type metrics and debugging.
+  virtual const char* name() const = 0;
+};
+
+using PayloadPtr = std::unique_ptr<Payload>;
+
+}  // namespace sks::sim

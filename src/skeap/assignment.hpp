@@ -1,0 +1,162 @@
+// Position assignment (Skeap Phases 2 and 3).
+//
+// The anchor turns a combined batch into a collection of position
+// intervals per entry: fresh per-priority intervals for the inserts and a
+// most-prioritized-first carve of the occupied intervals for the deletes
+// (plus ⊥ slots when the heap runs dry). On the way down the tree the
+// assignment is decomposed against the remembered child sub-batches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "common/interval.hpp"
+#include "common/types.hpp"
+#include "skeap/batch.hpp"
+
+namespace sks::skeap {
+
+/// Positions for one batch entry (i_j, d_j).
+struct EntryAssignment {
+  InsertAssignment inserts;
+  DeleteAssignment deletes;
+
+  friend bool operator==(const EntryAssignment&,
+                         const EntryAssignment&) = default;
+};
+
+struct BatchAssignment {
+  std::vector<EntryAssignment> entries;
+
+  std::uint64_t size_bits() const {
+    // Each interval costs two position-sized numbers; this is the O(Λ
+    // log² n) object of Lemma 3.8 (as large as the batch itself).
+    std::uint64_t bits = bits_for_max(entries.size());
+    for (const auto& e : entries) {
+      for (Priority p = 1; p <= e.inserts.num_priorities(); ++p) {
+        bits += 2 * bits_for_value(e.inserts.at(p).hi) + 2;
+      }
+      for (const auto& s : e.deletes.spans.spans()) {
+        bits += 2 * bits_for_value(s.iv.hi) + bits_for_value(s.prio) + 3;
+      }
+      bits += bits_for_value(e.deletes.bottoms) + 1;
+    }
+    return bits;
+  }
+
+  std::uint64_t total_ops() const {
+    std::uint64_t t = 0;
+    for (const auto& e : entries) t += e.inserts.total() + e.deletes.total();
+    return t;
+  }
+
+  friend bool operator==(const BatchAssignment&,
+                         const BatchAssignment&) = default;
+};
+
+/// The anchor's per-priority interval state (Section 3.2.2): the interval
+/// [first_p, last_p] holds the positions currently occupied by elements of
+/// priority p, with the invariant first_p <= last_p + 1.
+class AnchorState {
+ public:
+  explicit AnchorState(std::size_t num_priorities)
+      : first_(num_priorities + 1, 1), last_(num_priorities + 1, 0) {}
+
+  std::size_t num_priorities() const { return first_.size() - 1; }
+
+  Position first(Priority p) const { return first_[idx(p)]; }
+  Position last(Priority p) const { return last_[idx(p)]; }
+
+  /// Elements of priority p currently in the heap.
+  std::uint64_t occupancy(Priority p) const {
+    return last_[idx(p)] + 1 - first_[idx(p)];
+  }
+
+  std::uint64_t total_occupancy() const {
+    std::uint64_t t = 0;
+    for (Priority p = 1; p <= num_priorities(); ++p) t += occupancy(p);
+    return t;
+  }
+
+  /// Phase 2: assign positions to every operation of the combined batch,
+  /// advancing the interval state. Entries are processed in order; within
+  /// an entry the inserts are assigned before the deletes, so deletes can
+  /// consume elements inserted by the same entry.
+  BatchAssignment assign(const Batch& batch) {
+    BatchAssignment out;
+    out.entries.reserve(batch.entries().size());
+    for (const auto& entry : batch.entries()) {
+      EntryAssignment ea;
+      ea.inserts = InsertAssignment(num_priorities());
+      for (Priority p = 1; p <= num_priorities(); ++p) {
+        const std::uint64_t count =
+            idx(p) < entry.inserts.size() ? entry.inserts[idx(p)] : 0;
+        if (count > 0) {
+          ea.inserts.at(p) = Interval{last_[idx(p)] + 1, last_[idx(p)] + count};
+          last_[idx(p)] += count;
+        }
+      }
+      std::uint64_t remaining = entry.deletes;
+      for (Priority p = 1; p <= num_priorities() && remaining > 0; ++p) {
+        const std::uint64_t take =
+            remaining < occupancy(p) ? remaining : occupancy(p);
+        if (take > 0) {
+          ea.deletes.spans.push_back(
+              p, Interval{first_[idx(p)], first_[idx(p)] + take - 1});
+          first_[idx(p)] += take;
+          remaining -= take;
+        }
+      }
+      ea.deletes.bottoms = remaining;  // heap ran dry: these return ⊥
+      for (Priority p = 1; p <= num_priorities(); ++p) {
+        SKS_CHECK_MSG(first_[idx(p)] <= last_[idx(p)] + 1,
+                      "anchor interval invariant violated at priority " << p);
+      }
+      out.entries.push_back(std::move(ea));
+    }
+    return out;
+  }
+
+ private:
+  static std::size_t idx(Priority p) { return static_cast<std::size_t>(p); }
+
+  std::vector<Position> first_;
+  std::vector<Position> last_;
+};
+
+/// Phase 3: decompose an assignment for a combined batch into per-child
+/// assignments, carving in child order — the same order the batches were
+/// combined in, which is what makes the serialization deterministic.
+inline std::vector<BatchAssignment> split_assignment(
+    const BatchAssignment& combined, const std::vector<Batch>& children) {
+  std::vector<BatchAssignment> parts(children.size());
+  // Work on a mutable copy we carve from.
+  BatchAssignment rest = combined;
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    const Batch& cb = children[c];
+    parts[c].entries.resize(rest.entries.size());
+    for (std::size_t j = 0; j < rest.entries.size(); ++j) {
+      EntryAssignment& avail = rest.entries[j];
+      EntryAssignment& dst = parts[c].entries[j];
+      if (j < cb.entries().size()) {
+        const BatchEntry& want = cb.entries()[j];
+        dst.inserts = avail.inserts.take_front(want.inserts);
+        dst.deletes = avail.deletes.take_front(want.deletes);
+      } else {
+        dst.inserts = InsertAssignment(avail.inserts.num_priorities());
+        dst.deletes = DeleteAssignment{};
+      }
+    }
+  }
+  // Everything must be consumed: the combined batch is exactly the sum of
+  // the children (inner vertices contribute nothing).
+  for (const auto& e : rest.entries) {
+    SKS_CHECK_MSG(e.inserts.total() == 0 && e.deletes.total() == 0,
+                  "assignment decomposition left positions unassigned");
+  }
+  return parts;
+}
+
+}  // namespace sks::skeap

@@ -1,0 +1,134 @@
+// Operation batches (Definition 3.1).
+//
+// A batch is a sequence (i_1, d_1, ..., i_k, d_k) where i_j is a vector of
+// per-priority insert counts and d_j a DeleteMin count. A node's local
+// batch preserves the order in which it issued operations — that is the
+// property sequential consistency rests on. Batches combine entrywise
+// (zero-padding the shorter one), exactly as in Section 3.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sks::skeap {
+
+/// One (i_j, d_j) pair of a batch.
+struct BatchEntry {
+  /// inserts[p] = number of inserts with priority p; index 0 unused
+  /// (priorities are 1-based, P = {1, ..., c}).
+  std::vector<std::uint64_t> inserts;
+  std::uint64_t deletes = 0;
+
+  explicit BatchEntry(std::size_t num_priorities = 0)
+      : inserts(num_priorities + 1, 0) {}
+
+  std::uint64_t total_inserts() const {
+    std::uint64_t t = 0;
+    for (auto c : inserts) t += c;
+    return t;
+  }
+
+  friend bool operator==(const BatchEntry&, const BatchEntry&) = default;
+};
+
+class Batch {
+ public:
+  Batch() = default;
+  explicit Batch(std::size_t num_priorities)
+      : num_priorities_(num_priorities) {}
+
+  std::size_t num_priorities() const { return num_priorities_; }
+  const std::vector<BatchEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t length() const { return entries_.size(); }
+
+  std::uint64_t total_ops() const {
+    std::uint64_t t = 0;
+    for (const auto& e : entries_) t += e.total_inserts() + e.deletes;
+    return t;
+  }
+
+  /// Record one insert of priority p, opening a new entry if the current
+  /// one already contains deletes (the alternation rule of Section 3.1).
+  /// Returns the entry index the op landed in.
+  std::size_t record_insert(Priority p) {
+    SKS_CHECK_MSG(p >= 1 && p <= num_priorities_, "priority out of range");
+    if (entries_.empty() || entries_.back().deletes > 0) {
+      entries_.emplace_back(num_priorities_);
+    }
+    ++entries_.back().inserts[static_cast<std::size_t>(p)];
+    return entries_.size() - 1;
+  }
+
+  /// Record one DeleteMin. Returns the entry index the op landed in.
+  std::size_t record_delete() {
+    if (entries_.empty()) entries_.emplace_back(num_priorities_);
+    ++entries_.back().deletes;
+    return entries_.size() - 1;
+  }
+
+  /// Entrywise combination with zero padding (Section 3.1). `other` is
+  /// folded in as the *second* batch; the caller is responsible for using
+  /// a deterministic fold order (the aggregation tree's child order).
+  void combine(const Batch& other) {
+    SKS_CHECK(num_priorities_ == other.num_priorities_ ||
+              entries_.empty() || other.entries_.empty());
+    if (num_priorities_ == 0) num_priorities_ = other.num_priorities_;
+    if (entries_.size() < other.entries_.size()) {
+      entries_.resize(other.entries_.size(), BatchEntry(num_priorities_));
+    }
+    for (std::size_t j = 0; j < other.entries_.size(); ++j) {
+      const BatchEntry& src = other.entries_[j];
+      BatchEntry& dst = entries_[j];
+      if (dst.inserts.size() < src.inserts.size()) {
+        dst.inserts.resize(src.inserts.size(), 0);
+      }
+      for (std::size_t p = 0; p < src.inserts.size(); ++p) {
+        dst.inserts[p] += src.inserts[p];
+      }
+      dst.deletes += src.deletes;
+    }
+  }
+
+  /// Encoded size: one number per priority per entry plus the delete
+  /// count, each charged by its magnitude (Lemma 3.8's accounting — this
+  /// is the quantity that grows as O(Λ log² n)).
+  std::uint64_t size_bits() const {
+    std::uint64_t bits = bits_for_max(entries_.size());
+    for (const auto& e : entries_) {
+      for (std::size_t p = 1; p < e.inserts.size(); ++p) {
+        bits += bits_for_value(e.inserts[p]) + 1;
+      }
+      bits += bits_for_value(e.deletes) + 1;
+    }
+    return bits;
+  }
+
+  friend bool operator==(const Batch&, const Batch&) = default;
+
+ private:
+  std::size_t num_priorities_ = 0;
+  std::vector<BatchEntry> entries_;
+};
+
+inline std::string to_string(const Batch& b) {
+  std::string out = "(";
+  for (std::size_t j = 0; j < b.entries().size(); ++j) {
+    if (j > 0) out += ", ";
+    const auto& e = b.entries()[j];
+    out += "(";
+    for (std::size_t p = 1; p < e.inserts.size(); ++p) {
+      if (p > 1) out += ",";
+      out += std::to_string(e.inserts[p]);
+    }
+    out += ")," + std::to_string(e.deletes);
+  }
+  return out + ")";
+}
+
+}  // namespace sks::skeap

@@ -1,0 +1,299 @@
+// Protocol Skeap (Section 3): a sequentially consistent distributed heap
+// for a constant number of priorities.
+//
+// Lifecycle of one batch (epoch e):
+//   Phase 1 — every host snapshots its buffered operations into a batch
+//             preserving local order and contributes it at its leaf; the
+//             aggregation tree combines batches entrywise up to the anchor.
+//   Phase 2 — the anchor assigns position intervals from its per-priority
+//             [first_p, last_p] state.
+//   Phase 3 — the assignment is decomposed down the tree against the
+//             remembered child sub-batches.
+//   Phase 4 — each host turns its assigned (p, pos) pairs into DHT
+//             operations: Put(h(p,pos), e) for inserts, Get(h(p,pos))
+//             for deletes; Gets that outrun their Puts wait at the owner.
+//
+// Every operation is recorded in a trace (epoch, entry, kind, p, pos,
+// element) from which the semantics checkers in src/core reconstruct the
+// serialization order ≺ and verify Definitions 1.1/1.2.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "aggregation/aggregator.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "dht/dht.hpp"
+#include "overlay/membership.hpp"
+#include "overlay/overlay_node.hpp"
+#include "skeap/assignment.hpp"
+#include "skeap/batch.hpp"
+
+namespace sks::skeap {
+
+/// Domain tag separating Skeap's DHT keyspace from other protocols'.
+inline constexpr std::uint64_t kSkeapKeyDomain = 0x53ea0001ULL;
+
+struct SkeapConfig {
+  std::size_t num_priorities = 2;
+  std::uint64_t hash_seed = 0xb1a5edULL;
+  dht::DhtWidths widths;
+};
+
+struct SkeapUp {
+  static constexpr const char* kName = "skeap.batch_up";
+  Batch batch;
+  std::uint64_t size_bits() const { return batch.size_bits(); }
+};
+
+struct SkeapDown {
+  static constexpr const char* kName = "skeap.assign_down";
+  BatchAssignment assignment;
+  std::uint64_t size_bits() const { return assignment.size_bits(); }
+};
+
+/// One completed (or in-flight) heap operation, for the semantics checker.
+struct OpRecord {
+  NodeId node = kNoNode;        ///< issuing node (filled when gathering)
+  std::uint64_t issue_seq = 0;  ///< per-node issue order
+  std::uint64_t epoch = 0;
+  std::uint64_t entry = 0;
+  bool is_insert = false;
+  bool bottom = false;      ///< delete that returned ⊥
+  Priority prio = 0;        ///< assigned priority class
+  Position pos = 0;         ///< assigned position within the class
+  Element element{};        ///< inserted, or returned by the delete
+  bool completed = false;
+};
+
+class SkeapNode : public overlay::OverlayNode {
+ public:
+  using DeleteCallback = std::function<void(std::optional<Element>)>;
+
+  SkeapNode(overlay::RouteParams params, SkeapConfig config)
+      : OverlayNode(params),
+        config_(config),
+        hash_(config.hash_seed),
+        dht_(*this, config.widths),
+        membership_(*this, dht_),
+        agg_(*this,
+             [](SkeapUp& a, const SkeapUp& b) { a.batch.combine(b.batch); },
+             [](const SkeapDown& d, const std::vector<SkeapUp>& children) {
+               std::vector<Batch> batches;
+               batches.reserve(children.size());
+               for (const auto& c : children) batches.push_back(c.batch);
+               auto parts = split_assignment(d.assignment, batches);
+               std::vector<SkeapDown> downs;
+               downs.reserve(parts.size());
+               for (auto& p : parts) downs.push_back(SkeapDown{std::move(p)});
+               return downs;
+             },
+             [this](std::uint64_t epoch, const SkeapUp& combined) {
+               on_anchor_batch(epoch, combined);
+             },
+             [this](std::uint64_t epoch, SkeapDown down) {
+               on_assignment(epoch, std::move(down.assignment));
+             }) {}
+
+  // ---- Client API ------------------------------------------------------
+
+  /// Buffer an Insert(e); it joins the next batch this node starts.
+  void insert(const Element& e) {
+    SKS_CHECK_MSG(e.prio >= 1 && e.prio <= config_.num_priorities,
+                  "priority " << e.prio << " outside P = {1..}"
+                              << config_.num_priorities);
+    PendingOp op;
+    op.is_insert = true;
+    op.element = e;
+    op.issue_seq = next_issue_seq_++;
+    buffered_.push_back(std::move(op));
+  }
+
+  /// Buffer a DeleteMin(); `cb` runs locally with the matched element, or
+  /// std::nullopt if the operation was serialized against an empty heap.
+  void delete_min(DeleteCallback cb) {
+    PendingOp op;
+    op.is_insert = false;
+    op.callback = std::move(cb);
+    op.issue_seq = next_issue_seq_++;
+    buffered_.push_back(std::move(op));
+  }
+
+  std::size_t buffered_ops() const { return buffered_.size(); }
+
+  // ---- Batch driver ----------------------------------------------------
+
+  /// Phase 1 for the next epoch: snapshot the buffer into a batch (possibly
+  /// empty) and contribute it. Returns the epoch started.
+  std::uint64_t start_batch() {
+    const std::uint64_t epoch = next_epoch_++;
+    Batch batch(config_.num_priorities);
+    std::vector<PendingOp> snapshot;
+    snapshot.reserve(buffered_.size());
+    while (!buffered_.empty()) {
+      PendingOp op = std::move(buffered_.front());
+      buffered_.pop_front();
+      op.entry = op.is_insert ? batch.record_insert(op.element.prio)
+                              : batch.record_delete();
+      snapshot.push_back(std::move(op));
+    }
+    in_flight_.emplace(epoch, std::move(snapshot));
+    agg_.contribute(epoch, SkeapUp{std::move(batch)});
+    return epoch;
+  }
+
+  std::uint64_t epochs_started() const { return next_epoch_; }
+  std::uint64_t epochs_completed() const { return epochs_completed_; }
+
+  // ---- Introspection ---------------------------------------------------
+
+  const std::vector<OpRecord>& trace() const { return trace_; }
+  const dht::DhtComponent& dht() const { return dht_; }
+  dht::DhtComponent& dht() { return dht_; }
+  overlay::MembershipComponent& membership() { return membership_; }
+
+  // ---- Churn support (driver-coordinated, between batches) -------------
+
+  /// Synchronize a freshly joined node's epoch counter with the system's.
+  void set_next_epoch(std::uint64_t epoch) {
+    SKS_CHECK(in_flight_.empty());
+    next_epoch_ = epoch;
+  }
+
+  /// Hand the anchor's interval state to a node that became the anchor
+  /// after churn. Must be called between batches.
+  struct AnchorHandover {
+    std::optional<AnchorState> state;
+    std::uint64_t next_anchor_epoch = 0;
+  };
+  AnchorHandover take_anchor_state() {
+    SKS_CHECK_MSG(pending_anchor_batches_.empty(),
+                  "anchor handover during an active batch");
+    AnchorHandover out{std::move(anchor_state_), next_anchor_epoch_};
+    anchor_state_.reset();
+    return out;
+  }
+  void install_anchor_state(AnchorHandover handover) {
+    anchor_state_ = std::move(handover.state);
+    next_anchor_epoch_ = handover.next_anchor_epoch;
+  }
+
+  /// Anchor-side view of the heap size (valid on the anchor host only).
+  std::uint64_t anchor_heap_size() const {
+    return anchor_state_ ? anchor_state_->total_occupancy() : 0;
+  }
+
+ private:
+  struct PendingOp {
+    bool is_insert = false;
+    Element element{};
+    DeleteCallback callback;
+    std::uint64_t issue_seq = 0;
+    std::uint64_t entry = 0;
+  };
+
+  // Phase 2 (anchor only). Batches must be applied to the interval state
+  // in epoch order — with pipelined batches and asynchronous delivery,
+  // epoch e+1's aggregation can reach the anchor before epoch e's, so
+  // out-of-order arrivals are buffered until their turn.
+  void on_anchor_batch(std::uint64_t epoch, const SkeapUp& combined) {
+    if (!anchor_state_) anchor_state_.emplace(config_.num_priorities);
+    pending_anchor_batches_.emplace(epoch, combined.batch);
+    while (!pending_anchor_batches_.empty() &&
+           pending_anchor_batches_.begin()->first == next_anchor_epoch_) {
+      auto it = pending_anchor_batches_.begin();
+      BatchAssignment asg = anchor_state_->assign(it->second);
+      agg_.distribute(it->first, SkeapDown{std::move(asg)});
+      pending_anchor_batches_.erase(it);
+      ++next_anchor_epoch_;
+    }
+  }
+
+  // Phase 4: turn assigned positions into DHT operations, consuming the
+  // assignment in the exact order the ops were recorded into the batch.
+  void on_assignment(std::uint64_t epoch, BatchAssignment asg) {
+    auto it = in_flight_.find(epoch);
+    SKS_CHECK_MSG(it != in_flight_.end(), "assignment for unknown epoch");
+    std::vector<PendingOp> ops = std::move(it->second);
+    in_flight_.erase(it);
+
+    for (auto& op : ops) {
+      SKS_CHECK(op.entry < asg.entries.size());
+      EntryAssignment& ea = asg.entries[op.entry];
+      OpRecord rec;
+      rec.issue_seq = op.issue_seq;
+      rec.epoch = epoch;
+      rec.entry = op.entry;
+      if (op.is_insert) {
+        Interval iv = ea.inserts.at(op.element.prio).take_front(1);
+        SKS_CHECK_MSG(iv.cardinality() == 1, "missing insert position");
+        rec.is_insert = true;
+        rec.prio = op.element.prio;
+        rec.pos = iv.lo;
+        rec.element = op.element;
+        rec.completed = true;
+        trace_.push_back(rec);
+        dht_.put(key_for(op.element.prio, iv.lo), op.element);
+      } else {
+        DeleteAssignment one = ea.deletes.take_front(1);
+        SKS_CHECK_MSG(one.total() == 1, "missing delete position");
+        rec.is_insert = false;
+        if (one.bottoms == 1) {
+          rec.bottom = true;
+          rec.completed = true;
+          trace_.push_back(rec);
+          if (op.callback) op.callback(std::nullopt);
+        } else {
+          const PrioritySpan& span = one.spans.spans().front();
+          rec.prio = span.prio;
+          rec.pos = span.iv.lo;
+          const std::size_t rec_idx = trace_.size();
+          trace_.push_back(rec);
+          auto cb = std::move(op.callback);
+          dht_.get(key_for(span.prio, span.iv.lo),
+                   [this, rec_idx, cb](const Element& e) {
+                     trace_[rec_idx].element = e;
+                     trace_[rec_idx].completed = true;
+                     if (cb) cb(e);
+                   });
+        }
+      }
+    }
+    // All positions assigned to this host must have been consumed by its
+    // own ops — the decomposition is exact.
+    for (const auto& e : asg.entries) {
+      SKS_CHECK_MSG(e.inserts.total() == 0 && e.deletes.total() == 0,
+                    "host received positions it has no ops for");
+    }
+    ++epochs_completed_;
+  }
+
+  Point key_for(Priority p, Position pos) const {
+    return hash_.point({kSkeapKeyDomain, p, pos});
+  }
+
+  SkeapConfig config_;
+  HashFunction hash_;
+  dht::DhtComponent dht_;
+  overlay::MembershipComponent membership_;
+  agg::Aggregator<SkeapUp, SkeapDown> agg_;
+
+  std::deque<PendingOp> buffered_;
+  std::map<std::uint64_t, std::vector<PendingOp>> in_flight_;
+  std::uint64_t next_epoch_ = 0;
+  std::uint64_t epochs_completed_ = 0;
+  std::uint64_t next_issue_seq_ = 0;
+
+  std::optional<AnchorState> anchor_state_;
+  std::map<std::uint64_t, Batch> pending_anchor_batches_;
+  std::uint64_t next_anchor_epoch_ = 0;
+  std::vector<OpRecord> trace_;
+};
+
+}  // namespace sks::skeap

@@ -1,0 +1,181 @@
+// Test/benchmark harness for a complete Skeap deployment: builds the
+// overlay, owns the simulated network, drives batch epochs and gathers
+// traces. This is also the simplest way to use Skeap programmatically —
+// see examples/quickstart.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+#include "skeap/skeap_node.hpp"
+
+namespace sks::skeap {
+
+class SkeapSystem {
+ public:
+  struct Options {
+    std::size_t num_nodes = 8;
+    std::size_t num_priorities = 2;
+    std::uint64_t seed = 0xb1a5edULL;
+    sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
+    std::uint64_t max_delay = 8;  ///< async mode only
+    /// Sizing hints for bit accounting.
+    std::uint64_t expected_elements = 1u << 20;
+  };
+
+  explicit SkeapSystem(const Options& opts) : opts_(opts) {
+    sim::NetworkConfig cfg;
+    cfg.mode = opts.mode;
+    cfg.max_delay = opts.max_delay;
+    cfg.seed = opts.seed;
+    net_ = std::make_unique<sim::Network>(cfg);
+
+    HashFunction label_hash(opts.seed);
+    const auto links = overlay::build_topology(opts.num_nodes, label_hash);
+    const auto params = overlay::RouteParams::for_system(opts.num_nodes);
+
+    SkeapConfig config;
+    config.num_priorities = opts.num_priorities;
+    config.hash_seed = opts.seed ^ 0x9e3779b97f4a7c15ULL;
+    config.widths = dht::DhtWidths::for_system(
+        opts.num_nodes, opts.num_priorities, opts.expected_elements);
+
+    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
+      const NodeId id = net_->add_node(
+          std::make_unique<SkeapNode>(params, config));
+      auto& node = net_->node_as<SkeapNode>(id);
+      node.install_links(links[i]);
+      node.membership().mark_bootstrapped();
+      if (node.hosts_anchor()) anchor_ = id;
+      active_.insert(id);
+    }
+  }
+
+  std::size_t size() const { return opts_.num_nodes; }
+  sim::Network& net() { return *net_; }
+  SkeapNode& node(NodeId v) { return net_->node_as<SkeapNode>(v); }
+  NodeId anchor() const { return anchor_; }
+
+  /// Insert with an auto-assigned unique element id; returns the element.
+  Element insert(NodeId v, Priority prio) {
+    const Element e{prio, next_element_id_++};
+    node(v).insert(e);
+    return e;
+  }
+
+  void delete_min(NodeId v, SkeapNode::DeleteCallback cb = nullptr) {
+    node(v).delete_min(std::move(cb));
+  }
+
+  /// Run one complete batch: every active node snapshots (Phase 1) and
+  /// the network runs until all four phases and all DHT traffic quiesce.
+  /// Returns the number of rounds the batch took.
+  std::uint64_t run_batch() {
+    for (NodeId v : active_nodes()) node(v).start_batch();
+    return net_->run_until_idle();
+  }
+
+  /// All op records from all nodes (the input to the semantics checkers).
+  /// Includes departed nodes: their completed operations still count.
+  std::vector<OpRecord> gather_trace() {
+    std::vector<OpRecord> all;
+    for (NodeId v = 0; v < net_->size(); ++v) {
+      for (const auto& r : node(v).trace()) {
+        all.push_back(r);
+        all.back().node = v;
+      }
+    }
+    return all;
+  }
+
+  /// Trace of a single node, in issue order.
+  const std::vector<OpRecord>& trace_of(NodeId v) { return node(v).trace(); }
+
+  // ---- Churn (Contribution 4): applied lazily between batches ----------
+
+  /// Add a node to the running system. The join protocol splices it into
+  /// the LDB and hands over its share of the keyspace; if its label is the
+  /// new minimum, the anchor role (and state) migrates. Returns the new
+  /// node's id. Must be called while no batch is in flight.
+  NodeId join_node() {
+    SKS_CHECK_MSG(net_->idle(), "join while a batch is in flight");
+    SkeapConfig config;
+    config.num_priorities = opts_.num_priorities;
+    config.hash_seed = opts_.seed ^ 0x9e3779b97f4a7c15ULL;
+    config.widths = dht::DhtWidths::for_system(
+        opts_.num_nodes, opts_.num_priorities, opts_.expected_elements);
+    const auto params = overlay::RouteParams::for_system(opts_.num_nodes);
+    const NodeId id =
+        net_->add_node(std::make_unique<SkeapNode>(params, config));
+    auto& joiner = net_->node_as<SkeapNode>(id);
+    HashFunction label_hash(opts_.seed);
+    // Any current member can bootstrap; use the anchor host.
+    joiner.membership().join(anchor_, label_hash);
+    net_->run_until_idle();
+    SKS_CHECK(joiner.membership().joined());
+    joiner.set_next_epoch(node(anchor_).epochs_started());
+    active_.insert(id);
+    ++opts_.num_nodes;
+    migrate_anchor_if_needed();
+    return id;
+  }
+
+  /// Remove a node: its keyspace arcs are handed to the neighbours and it
+  /// stops participating in batches. Must be called while no batch is in
+  /// flight; the sole remaining node cannot leave.
+  void leave_node(NodeId v) {
+    SKS_CHECK_MSG(net_->idle(), "leave while a batch is in flight");
+    SKS_CHECK_MSG(node(v).buffered_ops() == 0,
+                  "node has buffered ops; run a batch first");
+    const bool was_anchor = node(v).hosts_anchor();
+    SkeapNode::AnchorHandover handover;
+    if (was_anchor) handover = node(v).take_anchor_state();
+    node(v).membership().leave();
+    net_->run_until_idle();
+    active_.erase(v);
+    if (was_anchor) {
+      // Find the new anchor and hand it the interval state.
+      for (NodeId w : active_) {
+        if (node(w).hosts_anchor()) {
+          node(w).install_anchor_state(std::move(handover));
+          anchor_ = w;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Nodes currently participating (after churn).
+  const std::set<NodeId>& active_nodes() const { return active_; }
+
+  const Options& options() const { return opts_; }
+
+ private:
+  void migrate_anchor_if_needed() {
+    if (node(anchor_).hosts_anchor()) return;
+    auto handover = node(anchor_).take_anchor_state();
+    for (NodeId w : active_) {
+      if (node(w).hosts_anchor()) {
+        node(w).install_anchor_state(std::move(handover));
+        anchor_ = w;
+        return;
+      }
+    }
+    SKS_CHECK_MSG(false, "no anchor after churn");
+  }
+
+  Options opts_;
+  std::unique_ptr<sim::Network> net_;
+  NodeId anchor_ = kNoNode;
+  std::set<NodeId> active_;
+  ElementId next_element_id_ = 1;
+};
+
+}  // namespace sks::skeap

@@ -1,0 +1,190 @@
+#include "aggregation/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+
+namespace sks::agg {
+namespace {
+
+/// Up value: a sum of per-host counts.
+struct CountUp {
+  static constexpr const char* kName = "agg.count_up";
+  std::uint64_t count = 0;
+  std::uint64_t size_bits() const { return 32; }
+};
+
+/// Down value: an interval [lo, hi] decomposed by child counts.
+struct IntervalDown {
+  static constexpr const char* kName = "agg.interval_down";
+  std::uint64_t lo = 1, hi = 0;
+  std::uint64_t size_bits() const { return 64; }
+  std::uint64_t cardinality() const { return lo > hi ? 0 : hi - lo + 1; }
+};
+
+class CountNode : public overlay::OverlayNode {
+ public:
+  explicit CountNode(overlay::RouteParams params)
+      : OverlayNode(params),
+        agg(*this,
+            // combine: add counts
+            [](CountUp& a, const CountUp& b) { a.count += b.count; },
+            // split: carve the interval by child counts, in child order
+            [](const IntervalDown& d, const std::vector<CountUp>& children) {
+              std::vector<IntervalDown> parts;
+              std::uint64_t next = d.lo;
+              for (const auto& c : children) {
+                IntervalDown part;
+                part.lo = next;
+                part.hi = next + c.count - 1;
+                next += c.count;
+                parts.push_back(part);
+              }
+              return parts;
+            },
+            // root
+            [this](std::uint64_t epoch, const CountUp& total) {
+              root_totals.emplace_back(epoch, total.count);
+              IntervalDown all;
+              all.lo = 1;
+              all.hi = total.count;
+              agg.distribute(epoch, all);
+            },
+            // deliver
+            [this](std::uint64_t epoch, IntervalDown d) {
+              delivered.emplace_back(epoch, d);
+            }) {}
+
+  Aggregator<CountUp, IntervalDown> agg;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> root_totals;
+  std::vector<std::pair<std::uint64_t, IntervalDown>> delivered;
+};
+
+struct Fixture {
+  explicit Fixture(std::size_t num_nodes, std::uint64_t seed = 3,
+                   sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous) {
+    sim::NetworkConfig cfg;
+    cfg.mode = mode;
+    cfg.seed = seed;
+    net = std::make_unique<sim::Network>(cfg);
+    HashFunction h(seed);
+    auto links = overlay::build_topology(num_nodes, h);
+    const auto params = overlay::RouteParams::for_system(num_nodes);
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      const NodeId id = net->add_node(std::make_unique<CountNode>(params));
+      net->node_as<CountNode>(id).install_links(links[i]);
+    }
+    this->n = num_nodes;
+  }
+
+  CountNode& node(NodeId id) { return net->node_as<CountNode>(id); }
+  CountNode* anchor() {
+    for (NodeId v = 0; v < n; ++v) {
+      if (node(v).hosts_anchor()) return &node(v);
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<sim::Network> net;
+  std::size_t n = 0;
+};
+
+TEST(Aggregator, SumsAllContributionsAtTheRoot) {
+  Fixture f(20);
+  for (NodeId v = 0; v < 20; ++v) {
+    f.node(v).agg.contribute(0, CountUp{v + 1});  // 1+2+...+20 = 210
+  }
+  f.net->run_until_idle();
+  auto* anchor = f.anchor();
+  ASSERT_NE(anchor, nullptr);
+  ASSERT_EQ(anchor->root_totals.size(), 1u);
+  EXPECT_EQ(anchor->root_totals[0].second, 210u);
+}
+
+TEST(Aggregator, DecompositionAssignsDisjointCoveringIntervals) {
+  Fixture f(20);
+  for (NodeId v = 0; v < 20; ++v) f.node(v).agg.contribute(0, CountUp{3});
+  f.net->run_until_idle();
+
+  // Every host received exactly one interval of cardinality 3; together
+  // they tile [1, 60].
+  std::vector<bool> covered(61, false);
+  for (NodeId v = 0; v < 20; ++v) {
+    ASSERT_EQ(f.node(v).delivered.size(), 1u);
+    const auto& [epoch, d] = f.node(v).delivered[0];
+    EXPECT_EQ(epoch, 0u);
+    EXPECT_EQ(d.cardinality(), 3u);
+    for (std::uint64_t p = d.lo; p <= d.hi; ++p) {
+      ASSERT_LE(p, 60u);
+      EXPECT_FALSE(covered[p]) << "position " << p << " double-assigned";
+      covered[p] = true;
+    }
+  }
+  for (std::uint64_t p = 1; p <= 60; ++p) EXPECT_TRUE(covered[p]);
+}
+
+TEST(Aggregator, ZeroContributionsYieldEmptyIntervals) {
+  Fixture f(7);
+  for (NodeId v = 0; v < 7; ++v) f.node(v).agg.contribute(4, CountUp{0});
+  f.net->run_until_idle();
+  for (NodeId v = 0; v < 7; ++v) {
+    ASSERT_EQ(f.node(v).delivered.size(), 1u);
+    EXPECT_EQ(f.node(v).delivered[0].second.cardinality(), 0u);
+  }
+}
+
+TEST(Aggregator, EpochsDoNotMixUnderAsynchrony) {
+  Fixture f(16, /*seed=*/9, sim::DeliveryMode::kAsynchronous);
+  // Launch three epochs back to back without waiting.
+  for (std::uint64_t e = 0; e < 3; ++e) {
+    for (NodeId v = 0; v < 16; ++v) {
+      f.node(v).agg.contribute(e, CountUp{e + 1});
+    }
+  }
+  f.net->run_until_idle();
+
+  auto* anchor = f.anchor();
+  ASSERT_NE(anchor, nullptr);
+  ASSERT_EQ(anchor->root_totals.size(), 3u);
+  std::map<std::uint64_t, std::uint64_t> by_epoch(anchor->root_totals.begin(),
+                                                  anchor->root_totals.end());
+  EXPECT_EQ(by_epoch[0], 16u);
+  EXPECT_EQ(by_epoch[1], 32u);
+  EXPECT_EQ(by_epoch[2], 48u);
+
+  for (NodeId v = 0; v < 16; ++v) {
+    ASSERT_EQ(f.node(v).delivered.size(), 3u);
+    EXPECT_EQ(f.node(v).agg.open_sessions(), 0u);
+  }
+}
+
+TEST(Aggregator, WorksOnSingleNode) {
+  Fixture f(1);
+  f.node(0).agg.contribute(0, CountUp{5});
+  f.net->run_until_idle();
+  ASSERT_EQ(f.node(0).root_totals.size(), 1u);
+  EXPECT_EQ(f.node(0).root_totals[0].second, 5u);
+  ASSERT_EQ(f.node(0).delivered.size(), 1u);
+  EXPECT_EQ(f.node(0).delivered[0].second.cardinality(), 5u);
+}
+
+TEST(Aggregator, CompletesInLogarithmicRounds) {
+  for (std::size_t n : {16u, 64u, 256u}) {
+    Fixture f(n, /*seed=*/13);
+    for (NodeId v = 0; v < n; ++v) f.node(v).agg.contribute(0, CountUp{1});
+    const auto rounds = f.net->run_until_idle();
+    const double logn = std::log2(static_cast<double>(n));
+    EXPECT_LT(static_cast<double>(rounds), 10.0 * logn + 10.0) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace sks::agg

@@ -1,0 +1,112 @@
+// Broadcaster coverage (KSelect's instruction channel) plus a mixed-mode
+// soak: many pipelined aggregation epochs under asynchronous delivery.
+#include "aggregation/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+
+namespace sks::agg {
+namespace {
+
+struct Announcement {
+  static constexpr const char* kName = "test.announce";
+  std::uint64_t value = 0;
+  std::uint64_t size_bits() const { return 32; }
+};
+
+class BcastNode : public overlay::OverlayNode {
+ public:
+  explicit BcastNode(overlay::RouteParams params)
+      : OverlayNode(params),
+        bcast(*this, [this](std::uint64_t epoch, const Announcement& a) {
+          received.emplace_back(epoch, a.value);
+        }) {}
+
+  Broadcaster<Announcement> bcast;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> received;
+};
+
+struct Fixture {
+  explicit Fixture(std::size_t n, std::uint64_t seed = 3,
+                   sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous) {
+    sim::NetworkConfig cfg;
+    cfg.mode = mode;
+    cfg.seed = seed;
+    net = std::make_unique<sim::Network>(cfg);
+    HashFunction h(seed);
+    auto links = overlay::build_topology(n, h);
+    const auto params = overlay::RouteParams::for_system(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id = net->add_node(std::make_unique<BcastNode>(params));
+      auto& node = net->node_as<BcastNode>(id);
+      node.install_links(links[i]);
+      if (node.hosts_anchor()) anchor = id;
+    }
+    this->n = n;
+  }
+  BcastNode& node(NodeId v) { return net->node_as<BcastNode>(v); }
+  std::unique_ptr<sim::Network> net;
+  NodeId anchor = kNoNode;
+  std::size_t n = 0;
+};
+
+TEST(Broadcaster, ReachesEveryHostExactlyOnce) {
+  Fixture f(50);
+  f.node(f.anchor).bcast.broadcast(7, Announcement{123});
+  f.net->run_until_idle();
+  for (NodeId v = 0; v < 50; ++v) {
+    ASSERT_EQ(f.node(v).received.size(), 1u) << "node " << v;
+    EXPECT_EQ(f.node(v).received[0], (std::pair<std::uint64_t,
+                                                std::uint64_t>{7, 123}));
+  }
+}
+
+TEST(Broadcaster, SingleNodeDeliversToItself) {
+  Fixture f(1);
+  f.node(0).bcast.broadcast(0, Announcement{9});
+  f.net->run_until_idle();
+  ASSERT_EQ(f.node(0).received.size(), 1u);
+}
+
+TEST(Broadcaster, ManyEpochsUnderAsynchronyAllArrive) {
+  Fixture f(24, 11, sim::DeliveryMode::kAsynchronous);
+  constexpr std::uint64_t kEpochs = 20;
+  for (std::uint64_t e = 0; e < kEpochs; ++e) {
+    f.node(f.anchor).bcast.broadcast(e, Announcement{e * e});
+  }
+  f.net->run_until_idle();
+  for (NodeId v = 0; v < 24; ++v) {
+    auto got = f.node(v).received;
+    ASSERT_EQ(got.size(), kEpochs) << "node " << v;
+    std::map<std::uint64_t, std::uint64_t> by_epoch(got.begin(), got.end());
+    for (std::uint64_t e = 0; e < kEpochs; ++e) {
+      EXPECT_EQ(by_epoch.at(e), e * e);
+    }
+  }
+}
+
+TEST(Broadcaster, NonAnchorCannotBroadcast) {
+  Fixture f(8);
+  const NodeId not_anchor = f.anchor == 0 ? 1 : 0;
+  EXPECT_THROW(f.node(not_anchor).bcast.broadcast(0, Announcement{1}),
+               CheckFailure);
+}
+
+TEST(Broadcaster, CompletesInLogarithmicRounds) {
+  for (std::size_t n : {16u, 256u}) {
+    Fixture f(n, 13);
+    f.node(f.anchor).bcast.broadcast(0, Announcement{1});
+    const auto rounds = f.net->run_until_idle();
+    EXPECT_LT(rounds, 10 * 10 + 10u) << "n=" << n;  // ~tree height
+  }
+}
+
+}  // namespace
+}  // namespace sks::agg

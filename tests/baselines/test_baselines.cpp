@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "baselines/centralized.hpp"
+#include "baselines/gossip_select.hpp"
+#include "baselines/naive_kselect.hpp"
+#include "baselines/nobatch.hpp"
+#include "common/rng.hpp"
+#include "kselect/kselect_system.hpp"
+#include "overlay/topology.hpp"
+
+namespace sks::baselines {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CentralizedSystem
+// ---------------------------------------------------------------------------
+
+TEST(Centralized, InsertDeleteRoundTrip) {
+  CentralizedSystem sys({.num_nodes = 8, .seed = 1});
+  const Element e = sys.insert(3, 42);
+  sys.run();
+  std::optional<Element> got;
+  sys.delete_min(5, [&](std::optional<Element> x) { got = x; });
+  sys.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, e);
+}
+
+TEST(Centralized, ReturnsElementsInPriorityOrder) {
+  CentralizedSystem sys({.num_nodes = 4, .seed = 2});
+  sys.insert(0, 30);
+  sys.insert(1, 10);
+  sys.insert(2, 20);
+  sys.run();
+  std::vector<Priority> prios;
+  for (int i = 0; i < 3; ++i) {
+    sys.delete_min(0, [&](std::optional<Element> x) {
+      ASSERT_TRUE(x.has_value());
+      prios.push_back(x->prio);
+    });
+    sys.run();
+  }
+  EXPECT_EQ(prios, (std::vector<Priority>{10, 20, 30}));
+}
+
+TEST(Centralized, EmptyHeapReturnsBottom) {
+  CentralizedSystem sys({.num_nodes = 4, .seed = 3});
+  bool bottom = false;
+  sys.delete_min(2, [&](std::optional<Element> x) { bottom = !x; });
+  sys.run();
+  EXPECT_TRUE(bottom);
+}
+
+TEST(Centralized, CoordinatorCongestionGrowsWithN) {
+  // The bottleneck E10 quantifies: all ops of one round land on node 0.
+  std::vector<std::uint64_t> congestion;
+  for (std::size_t n : {8u, 32u, 128u}) {
+    CentralizedSystem sys({.num_nodes = n, .seed = 4});
+    (void)sys.net().metrics().take();
+    for (NodeId v = 0; v < n; ++v) sys.insert(v, v + 1);
+    sys.run();
+    congestion.push_back(sys.net().metrics().take().max_congestion);
+  }
+  EXPECT_GE(congestion[1], congestion[0] * 3);
+  EXPECT_GE(congestion[2], congestion[1] * 3);
+}
+
+// ---------------------------------------------------------------------------
+// NoBatchSystem
+// ---------------------------------------------------------------------------
+
+TEST(NoBatch, InsertDeleteRoundTrip) {
+  NoBatchSystem sys({.num_nodes = 8, .num_priorities = 3, .seed = 5});
+  const Element e = sys.insert(2, 2);
+  sys.run();
+  std::optional<Element> got;
+  sys.delete_min(6, [&](std::optional<Element> x) { got = x; });
+  sys.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, e);
+}
+
+TEST(NoBatch, PrioritiesComeBackAscendingWhenSequential) {
+  NoBatchSystem sys({.num_nodes = 8, .num_priorities = 3, .seed = 6});
+  sys.insert(0, 3);
+  sys.insert(1, 1);
+  sys.insert(2, 2);
+  sys.run();
+  std::vector<Priority> prios;
+  for (int i = 0; i < 3; ++i) {
+    sys.delete_min(0, [&](std::optional<Element> x) {
+      ASSERT_TRUE(x.has_value());
+      prios.push_back(x->prio);
+    });
+    sys.run();
+  }
+  EXPECT_EQ(prios, (std::vector<Priority>{1, 2, 3}));
+}
+
+TEST(NoBatch, BottomOnEmpty) {
+  NoBatchSystem sys({.num_nodes = 4, .num_priorities = 2, .seed = 7});
+  bool bottom = false;
+  sys.delete_min(1, [&](std::optional<Element> x) { bottom = !x; });
+  sys.run();
+  EXPECT_TRUE(bottom);
+}
+
+TEST(NoBatch, AnchorCongestionGrowsWithLoad) {
+  // Without batching the anchor handles every op individually.
+  std::vector<std::uint64_t> congestion;
+  for (std::size_t n : {8u, 32u, 128u}) {
+    NoBatchSystem sys({.num_nodes = n, .num_priorities = 2, .seed = 8});
+    (void)sys.net().metrics().take();
+    for (NodeId v = 0; v < n; ++v) sys.insert(v, 1 + v % 2);
+    sys.run();
+    congestion.push_back(sys.net().metrics().take().max_congestion);
+  }
+  EXPECT_GT(congestion[2], congestion[0] * 2);
+}
+
+// ---------------------------------------------------------------------------
+// NaiveKSelect
+// ---------------------------------------------------------------------------
+
+class NaiveNode : public overlay::OverlayNode {
+ public:
+  NaiveNode(overlay::RouteParams params, NaiveKSelectComponent::Config cfg)
+      : OverlayNode(params),
+        naive(*this, cfg, [this] { return elements; },
+              [this](std::uint64_t, std::optional<Element> r) {
+                results.push_back(r);
+              }) {}
+  std::vector<Element> elements;
+  NaiveKSelectComponent naive;
+  std::vector<std::optional<Element>> results;
+};
+
+struct NaiveFixture {
+  explicit NaiveFixture(std::size_t num_nodes, std::uint64_t seed = 9) {
+    sim::NetworkConfig cfg;
+    cfg.seed = seed;
+    net = std::make_unique<sim::Network>(cfg);
+    HashFunction h(seed);
+    auto links = overlay::build_topology(num_nodes, h);
+    const auto params = overlay::RouteParams::for_system(num_nodes);
+    NaiveKSelectComponent::Config ncfg;
+    ncfg.max_priority = 1u << 20;
+    ncfg.max_id = 1u << 20;
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      const NodeId id = net->add_node(std::make_unique<NaiveNode>(params, ncfg));
+      auto& node = net->node_as<NaiveNode>(id);
+      node.install_links(links[i]);
+      if (node.hosts_anchor()) anchor = id;
+    }
+    this->n = num_nodes;
+  }
+
+  NaiveNode& node(NodeId v) { return net->node_as<NaiveNode>(v); }
+
+  std::unique_ptr<sim::Network> net;
+  NodeId anchor = kNoNode;
+  std::size_t n = 0;
+};
+
+TEST(NaiveKSelect, ExactSelection) {
+  NaiveFixture f(16);
+  Rng rng(10);
+  std::vector<Element> all;
+  for (std::uint64_t i = 1; i <= 300; ++i) {
+    Element e{rng.range(1, 1u << 20), i};
+    all.push_back(e);
+    f.node(static_cast<NodeId>(rng.below(16))).elements.push_back(e);
+  }
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t k : {1ULL, 150ULL, 300ULL}) {
+    f.node(f.anchor).naive.start(k, k);
+    f.net->run_until_idle();
+    const auto& results = f.node(f.anchor).results;
+    ASSERT_FALSE(results.empty());
+    ASSERT_TRUE(results.back().has_value()) << "k=" << k;
+    EXPECT_EQ(*results.back(), all[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(NaiveKSelect, OutOfRangeK) {
+  NaiveFixture f(8);
+  f.node(2).elements.push_back(Element{5, 1});
+  f.node(f.anchor).naive.start(1, 2);  // k=2 > m=1
+  f.net->run_until_idle();
+  const auto& results = f.node(f.anchor).results;
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].has_value());
+}
+
+TEST(NaiveKSelect, ProbeCountScalesWithDomainBits) {
+  // The whole point of the comparison: probes ~ log |P| per selection.
+  NaiveFixture f(8);
+  Rng rng(11);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    f.node(static_cast<NodeId>(rng.below(8)))
+        .elements.push_back(Element{rng.range(1, 1u << 20), i});
+  }
+  f.node(f.anchor).naive.start(7, 50);
+  f.net->run_until_idle();
+  const auto probes = f.node(f.anchor).naive.probes_used(7);
+  EXPECT_GT(probes, 20u);   // ~ log2(2^20 * 2^20) probes
+  EXPECT_LT(probes, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// GossipSelect
+// ---------------------------------------------------------------------------
+
+TEST(GossipSelect, ExactOnOneValuePerNode) {
+  const std::size_t n = 64;
+  GossipSystem sys({.num_nodes = n, .seed = 12});
+  Rng rng(13);
+  std::vector<Element> values;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    values.push_back(Element{rng.range(1, 1u << 30), i});
+  }
+  sys.seed_values(values);
+  std::sort(values.begin(), values.end());
+  for (std::uint64_t k : {1ULL, 17ULL, 32ULL, 64ULL}) {
+    GossipSystem fresh({.num_nodes = n, .seed = 12 + k});
+    std::vector<Element> vals2;
+    Rng rng2(13);
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      vals2.push_back(Element{rng2.range(1, 1u << 30), i});
+    }
+    fresh.seed_values(vals2);
+    const auto out = fresh.select(k);
+    ASSERT_TRUE(out.result.has_value()) << "k=" << k;
+    EXPECT_EQ(*out.result, values[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(GossipSelect, OutOfRangeK) {
+  GossipSystem sys({.num_nodes = 16, .seed = 14});
+  std::vector<Element> values;
+  for (std::uint64_t i = 1; i <= 16; ++i) values.push_back(Element{i, i});
+  sys.seed_values(values);
+  EXPECT_FALSE(sys.select(0).result.has_value());
+  GossipSystem sys2({.num_nodes = 16, .seed = 15});
+  sys2.seed_values(values);
+  EXPECT_FALSE(sys2.select(17).result.has_value());
+}
+
+}  // namespace
+}  // namespace sks::baselines

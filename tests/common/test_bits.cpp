@@ -1,0 +1,38 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sks {
+namespace {
+
+TEST(Bits, BitsForMax) {
+  EXPECT_EQ(bits_for_max(0), 1u);
+  EXPECT_EQ(bits_for_max(1), 1u);
+  EXPECT_EQ(bits_for_max(2), 2u);
+  EXPECT_EQ(bits_for_max(3), 2u);
+  EXPECT_EQ(bits_for_max(4), 3u);
+  EXPECT_EQ(bits_for_max(255), 8u);
+  EXPECT_EQ(bits_for_max(256), 9u);
+  EXPECT_EQ(bits_for_max(~0ULL), 64u);
+}
+
+TEST(Bits, Items) {
+  EXPECT_EQ(bits_for_items(0, 10), 0u);
+  EXPECT_EQ(bits_for_items(5, 10), 50u);
+}
+
+TEST(Bits, WidthsForSystem) {
+  const auto w = Widths::for_system(1024, 1u << 20, 1u << 30);
+  EXPECT_EQ(w.node_id_bits, 11u);
+  EXPECT_EQ(w.priority_bits, 21u);
+  EXPECT_EQ(w.position_bits, 31u);
+}
+
+TEST(Bits, GrowsLogarithmically) {
+  EXPECT_EQ(bits_for_max(1ULL << 10), 11u);
+  EXPECT_EQ(bits_for_max(1ULL << 20), 21u);
+  EXPECT_EQ(bits_for_max(1ULL << 40), 41u);
+}
+
+}  // namespace
+}  // namespace sks

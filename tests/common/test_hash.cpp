@@ -1,0 +1,61 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sks {
+namespace {
+
+TEST(Hash, DeterministicAcrossInstances) {
+  HashFunction h1(99), h2(99);
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(h1.point(x), h2.point(x));
+    EXPECT_EQ(h1.point(x, x + 1), h2.point(x, x + 1));
+  }
+}
+
+TEST(Hash, SeedChangesOutputs) {
+  HashFunction h1(1), h2(2);
+  int same = 0;
+  for (std::uint64_t x = 0; x < 100; ++x) same += (h1.point(x) == h2.point(x));
+  EXPECT_LT(same, 2);
+}
+
+TEST(Hash, SymmetricPairHash) {
+  HashFunction h(5);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    for (std::uint64_t j = 0; j < 30; ++j) {
+      EXPECT_EQ(h.symmetric_point(i, j), h.symmetric_point(j, i));
+    }
+  }
+}
+
+TEST(Hash, NoCollisionsOnSmallDomain) {
+  HashFunction h(7);
+  std::set<Point> seen;
+  for (std::uint64_t x = 0; x < 100000; ++x) seen.insert(h.point(x));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(Hash, RoughlyUniformOverCycle) {
+  HashFunction h(11);
+  // Bucket the top 3 bits; each of the 8 buckets should get ~1/8.
+  std::vector<int> buckets(8, 0);
+  constexpr int kTrials = 80000;
+  for (std::uint64_t x = 0; x < kTrials; ++x) ++buckets[h.point(x) >> 61];
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_GT(buckets[static_cast<std::size_t>(b)], kTrials / 8 - 900);
+    EXPECT_LT(buckets[static_cast<std::size_t>(b)], kTrials / 8 + 900);
+  }
+}
+
+TEST(Hash, MultiWordDiffersFromSingleWord) {
+  HashFunction h(13);
+  EXPECT_NE(h.point(1), h.point(1, 0));
+  EXPECT_NE(h.point(0, 1), h.point(1, 0));
+}
+
+}  // namespace
+}  // namespace sks

@@ -1,0 +1,159 @@
+#include "common/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sks {
+namespace {
+
+TEST(Interval, EmptyAndCardinality) {
+  Interval e = Interval::empty_interval();
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.cardinality(), 0u);
+
+  Interval one{5, 5};
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one.cardinality(), 1u);
+
+  Interval many{3, 10};
+  EXPECT_EQ(many.cardinality(), 8u);
+}
+
+TEST(Interval, Contains) {
+  Interval iv{4, 7};
+  EXPECT_FALSE(iv.contains(3));
+  EXPECT_TRUE(iv.contains(4));
+  EXPECT_TRUE(iv.contains(7));
+  EXPECT_FALSE(iv.contains(8));
+  EXPECT_FALSE(Interval::empty_interval().contains(1));
+}
+
+TEST(Interval, TakeFrontExact) {
+  Interval iv{1, 10};
+  Interval f = iv.take_front(4);
+  EXPECT_EQ(f, (Interval{1, 4}));
+  EXPECT_EQ(iv, (Interval{5, 10}));
+}
+
+TEST(Interval, TakeFrontMoreThanAvailable) {
+  Interval iv{1, 3};
+  Interval f = iv.take_front(10);
+  EXPECT_EQ(f, (Interval{1, 3}));
+  EXPECT_TRUE(iv.empty());
+}
+
+TEST(Interval, TakeFrontZero) {
+  Interval iv{2, 5};
+  Interval f = iv.take_front(0);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(iv, (Interval{2, 5}));
+}
+
+TEST(SpanList, PushCoalescesAdjacentSamePriority) {
+  SpanList sl;
+  sl.push_back(1, {1, 3});
+  sl.push_back(1, {4, 6});
+  EXPECT_EQ(sl.spans().size(), 1u);
+  EXPECT_EQ(sl.total(), 6u);
+  sl.push_back(2, {7, 7});  // different priority: new span
+  EXPECT_EQ(sl.spans().size(), 2u);
+  sl.push_back(1, {10, 12});  // gap: new span even with same priority
+  EXPECT_EQ(sl.spans().size(), 3u);
+}
+
+TEST(SpanList, TakeFrontAcrossSpans) {
+  SpanList sl;
+  sl.push_back(1, {1, 3});   // 3 positions
+  sl.push_back(2, {1, 4});   // 4 positions
+  SpanList front = sl.take_front(5);
+  EXPECT_EQ(front.total(), 5u);
+  ASSERT_EQ(front.spans().size(), 2u);
+  EXPECT_EQ(front.spans()[0], (PrioritySpan{1, {1, 3}}));
+  EXPECT_EQ(front.spans()[1], (PrioritySpan{2, {1, 2}}));
+  EXPECT_EQ(sl.total(), 2u);
+  ASSERT_EQ(sl.spans().size(), 1u);
+  EXPECT_EQ(sl.spans()[0], (PrioritySpan{2, {3, 4}}));
+}
+
+TEST(SpanList, TakeFrontEverything) {
+  SpanList sl;
+  sl.push_back(3, {10, 12});
+  SpanList front = sl.take_front(99);
+  EXPECT_EQ(front.total(), 3u);
+  EXPECT_TRUE(sl.empty());
+}
+
+TEST(DeleteAssignment, BottomsAfterSpans) {
+  DeleteAssignment da;
+  da.spans.push_back(1, {1, 2});
+  da.bottoms = 3;
+  EXPECT_EQ(da.total(), 5u);
+
+  DeleteAssignment first = da.take_front(3);
+  EXPECT_EQ(first.spans.total(), 2u);
+  EXPECT_EQ(first.bottoms, 1u);
+  EXPECT_EQ(da.spans.total(), 0u);
+  EXPECT_EQ(da.bottoms, 2u);
+
+  DeleteAssignment second = da.take_front(5);
+  EXPECT_EQ(second.spans.total(), 0u);
+  EXPECT_EQ(second.bottoms, 2u);
+  EXPECT_EQ(da.total(), 0u);
+}
+
+TEST(InsertAssignment, PerPriorityCarving) {
+  InsertAssignment ia(2);
+  ia.at(1) = Interval{1, 10};
+  ia.at(2) = Interval{5, 8};
+  EXPECT_EQ(ia.total(), 14u);
+
+  // counts indexed by priority (index 0 unused).
+  InsertAssignment front = ia.take_front({0, 3, 2});
+  EXPECT_EQ(front.at(1), (Interval{1, 3}));
+  EXPECT_EQ(front.at(2), (Interval{5, 6}));
+  EXPECT_EQ(ia.at(1), (Interval{4, 10}));
+  EXPECT_EQ(ia.at(2), (Interval{7, 8}));
+}
+
+TEST(InsertAssignment, UnderflowIsAnError) {
+  InsertAssignment ia(1);
+  ia.at(1) = Interval{1, 2};
+  EXPECT_THROW(ia.take_front({0, 5}), CheckFailure);
+}
+
+// Property: carving a random SpanList into random chunks preserves the
+// total and the exact sequence of positions.
+TEST(SpanList, PropertyCarvingPreservesSequence) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    SpanList sl;
+    std::vector<std::pair<Priority, Position>> flat;
+    Position next = 1;
+    const int nspans = static_cast<int>(rng.range(1, 6));
+    for (int s = 0; s < nspans; ++s) {
+      const Priority p = rng.range(1, 4);
+      const Position len = rng.range(1, 8);
+      next += rng.range(0, 2);  // occasional gaps
+      Interval iv{next, next + len - 1};
+      // Flatten only if this doesn't coalesce ambiguity — record positions.
+      for (Position pos = iv.lo; pos <= iv.hi; ++pos) flat.emplace_back(p, pos);
+      sl.push_back(p, iv);
+      next = iv.hi + 1;
+    }
+
+    std::vector<std::pair<Priority, Position>> carved;
+    while (sl.total() > 0) {
+      SpanList chunk = sl.take_front(rng.range(1, 5));
+      for (const auto& sp : chunk.spans()) {
+        for (Position pos = sp.iv.lo; pos <= sp.iv.hi; ++pos) {
+          carved.emplace_back(sp.prio, pos);
+        }
+      }
+    }
+    EXPECT_EQ(carved, flat) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sks

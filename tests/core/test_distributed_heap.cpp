@@ -1,0 +1,161 @@
+#include "core/distributed_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace sks::core {
+namespace {
+
+class HeapBackends
+    : public ::testing::TestWithParam<DistributedHeap::Backend> {};
+
+TEST_P(HeapBackends, InsertDeleteRoundTrip) {
+  DistributedHeap heap({.backend = GetParam(), .num_nodes = 8, .seed = 1});
+  const Element e = heap.insert(3, 2);
+  std::optional<Element> got;
+  heap.delete_min(5, [&](std::optional<Element> x) { got = x; });
+  heap.run_batch();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, e);
+}
+
+TEST_P(HeapBackends, MinFirstAcrossBatches) {
+  DistributedHeap heap({.backend = GetParam(),
+                        .num_nodes = 16,
+                        .num_priorities = 4,
+                        .seed = 2});
+  Rng rng(22);
+  std::vector<Element> inserted;
+  for (NodeId v = 0; v < 16; ++v) {
+    inserted.push_back(heap.insert(v, rng.range(1, 4)));
+  }
+  heap.run_batch();
+
+  std::vector<Element> got;
+  for (NodeId v = 0; v < 16; ++v) {
+    heap.delete_min(v, [&](std::optional<Element> x) {
+      ASSERT_TRUE(x.has_value());
+      got.push_back(*x);
+    });
+  }
+  heap.run_batch();
+  std::sort(got.begin(), got.end());
+  std::sort(inserted.begin(), inserted.end());
+  EXPECT_EQ(got, inserted);
+
+  const auto check = heap.verify_semantics();
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST_P(HeapBackends, SemanticsHoldUnderAsyncMixedLoad) {
+  DistributedHeap heap({.backend = GetParam(),
+                        .num_nodes = 12,
+                        .num_priorities = 3,
+                        .seed = 3,
+                        .mode = sim::DeliveryMode::kAsynchronous,
+                        .max_delay = 10});
+  Rng rng(33);
+  for (int batch = 0; batch < 4; ++batch) {
+    for (NodeId v = 0; v < 12; ++v) {
+      for (int i = 0; i < 3; ++i) {
+        if (rng.flip(0.6)) {
+          heap.insert(v, rng.range(1, 3));
+        } else {
+          heap.delete_min(v);
+        }
+      }
+    }
+    heap.run_batch();
+  }
+  const auto check = heap.verify_semantics();
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST_P(HeapBackends, StoredElementsTracksHeapContents) {
+  DistributedHeap heap({.backend = GetParam(), .num_nodes = 8, .seed = 4});
+  for (NodeId v = 0; v < 8; ++v) heap.insert(v, 1 + v % 2);
+  heap.run_batch();
+  EXPECT_EQ(heap.stored_elements(), 8u);
+  for (NodeId v = 0; v < 4; ++v) heap.delete_min(v);
+  heap.run_batch();
+  EXPECT_EQ(heap.stored_elements(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, HeapBackends,
+                         ::testing::Values(DistributedHeap::Backend::kSkeap,
+                                           DistributedHeap::Backend::kSeap),
+                         [](const auto& param_info) {
+                           return param_info.param ==
+                                          DistributedHeap::Backend::kSkeap
+                                      ? "Skeap"
+                                      : "Seap";
+                         });
+
+TEST(DistributedHeap, SkeapRejectsOutOfRangePriorities) {
+  DistributedHeap heap({.backend = DistributedHeap::Backend::kSkeap,
+                        .num_nodes = 4,
+                        .num_priorities = 2,
+                        .seed = 5});
+  EXPECT_THROW(heap.insert(0, 0), CheckFailure);
+  EXPECT_THROW(heap.insert(0, 3), CheckFailure);
+}
+
+TEST_P(HeapBackends, MaxHeapOrderingReturnsLargestFirst) {
+  DistributedHeap heap({.backend = GetParam(),
+                        .ordering = DistributedHeap::Ordering::kMax,
+                        .num_nodes = 8,
+                        .num_priorities = 4,
+                        .seed = 7});
+  heap.insert(0, 2);
+  heap.insert(1, 4);
+  heap.insert(2, 1);
+  heap.insert(3, 3);
+  heap.run_batch();
+
+  // One node drains sequentially; priorities must come back descending.
+  std::vector<Priority> got;
+  for (int i = 0; i < 4; ++i) {
+    heap.delete_min(0, [&](std::optional<Element> e) {
+      ASSERT_TRUE(e.has_value());
+      got.push_back(e->prio);
+    });
+    heap.run_batch();
+  }
+  EXPECT_EQ(got, (std::vector<Priority>{4, 3, 2, 1}));
+  const auto check = heap.verify_semantics();
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(DistributedHeap, MaxHeapSeapWithHugePriorities) {
+  DistributedHeap heap({.backend = DistributedHeap::Backend::kSeap,
+                        .ordering = DistributedHeap::Ordering::kMax,
+                        .num_nodes = 4,
+                        .seed = 8});
+  heap.insert(0, 10);
+  heap.insert(1, ~0ULL >> 3);
+  heap.insert(2, 12345);
+  heap.run_batch();
+  std::optional<Element> got;
+  heap.delete_min(3, [&](std::optional<Element> e) { got = e; });
+  heap.run_batch();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->prio, ~0ULL >> 3);  // the maximum, with its original value
+}
+
+TEST(DistributedHeap, SeapAcceptsHugePriorities) {
+  DistributedHeap heap({.backend = DistributedHeap::Backend::kSeap,
+                        .num_nodes = 4,
+                        .seed = 6});
+  heap.insert(0, ~0ULL >> 17);
+  std::optional<Element> got;
+  heap.delete_min(1, [&](std::optional<Element> x) { got = x; });
+  heap.run_batch();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->prio, ~0ULL >> 17);
+}
+
+}  // namespace
+}  // namespace sks::core

@@ -1,0 +1,253 @@
+// The semantics checkers are themselves load-bearing test infrastructure,
+// so they get adversarial tests: hand-built traces with known violations
+// of Definitions 1.1/1.2 must be rejected with the right diagnosis.
+#include "core/semantics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sks::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Skeap traces
+// ---------------------------------------------------------------------------
+
+skeap::OpRecord ins(NodeId node, std::uint64_t seq, std::uint64_t epoch,
+                    std::uint64_t entry, Priority p, Position pos,
+                    ElementId id) {
+  skeap::OpRecord r;
+  r.node = node;
+  r.issue_seq = seq;
+  r.epoch = epoch;
+  r.entry = entry;
+  r.is_insert = true;
+  r.prio = p;
+  r.pos = pos;
+  r.element = Element{p, id};
+  r.completed = true;
+  return r;
+}
+
+skeap::OpRecord del(NodeId node, std::uint64_t seq, std::uint64_t epoch,
+                    std::uint64_t entry, Priority p, Position pos,
+                    ElementId id) {
+  skeap::OpRecord r;
+  r.node = node;
+  r.issue_seq = seq;
+  r.epoch = epoch;
+  r.entry = entry;
+  r.is_insert = false;
+  r.prio = p;
+  r.pos = pos;
+  r.element = Element{p, id};
+  r.completed = true;
+  return r;
+}
+
+skeap::OpRecord bot(NodeId node, std::uint64_t seq, std::uint64_t epoch,
+                    std::uint64_t entry) {
+  skeap::OpRecord r;
+  r.node = node;
+  r.issue_seq = seq;
+  r.epoch = epoch;
+  r.entry = entry;
+  r.is_insert = false;
+  r.bottom = true;
+  r.completed = true;
+  return r;
+}
+
+TEST(SkeapChecker, AcceptsValidTrace) {
+  std::vector<skeap::OpRecord> t{
+      ins(0, 0, 0, 0, 1, 1, 10),
+      ins(1, 0, 0, 0, 2, 1, 11),
+      del(0, 1, 0, 0, 1, 1, 10),  // removes the p1 element
+      del(1, 1, 1, 0, 2, 1, 11),  // next epoch removes the p2 element
+      bot(2, 0, 1, 0),            // and a third delete gets ⊥
+  };
+  const auto res = check_skeap_trace(t);
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(SkeapChecker, RejectsIncompleteOps) {
+  auto r = ins(0, 0, 0, 0, 1, 1, 10);
+  r.completed = false;
+  const auto res = check_skeap_trace({r});
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("incomplete"), std::string::npos);
+}
+
+TEST(SkeapChecker, RejectsDeleteOfNeverInsertedPosition) {
+  const auto res = check_skeap_trace({del(0, 0, 0, 0, 1, 1, 10)});
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(SkeapChecker, RejectsBottomWhileHeapNonEmpty) {
+  std::vector<skeap::OpRecord> t{
+      ins(0, 0, 0, 0, 1, 1, 10),
+      bot(1, 0, 1, 0),  // ⊥ although an element is available
+  };
+  const auto res = check_skeap_trace(t);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("⊥"), std::string::npos);
+}
+
+TEST(SkeapChecker, RejectsDeleteThatSkipsTheMinimum) {
+  std::vector<skeap::OpRecord> t{
+      ins(0, 0, 0, 0, 1, 1, 10),
+      ins(1, 0, 0, 0, 2, 1, 11),
+      del(2, 0, 1, 0, 2, 1, 11),  // removes p2 although p1 exists
+  };
+  const auto res = check_skeap_trace(t);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("minimum"), std::string::npos);
+}
+
+TEST(SkeapChecker, RejectsDoubleInsertOfSameElement) {
+  std::vector<skeap::OpRecord> t{
+      ins(0, 0, 0, 0, 1, 1, 10),
+      ins(1, 0, 0, 0, 1, 2, 10),  // same element id
+  };
+  const auto res = check_skeap_trace(t);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("twice"), std::string::npos);
+}
+
+TEST(SkeapChecker, RejectsPositionAssignedTwice) {
+  std::vector<skeap::OpRecord> t{
+      ins(0, 0, 0, 0, 1, 1, 10),
+      ins(1, 0, 0, 0, 1, 1, 11),  // same (p, pos)
+  };
+  const auto res = check_skeap_trace(t);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(SkeapChecker, RejectsLocalOrderViolation) {
+  // Node 0 issues an epoch-1 op before an epoch-0 op (issue_seq says the
+  // epoch-1 op came first) — ≺ cannot respect node 0's program order.
+  std::vector<skeap::OpRecord> t{
+      ins(0, 0, 1, 0, 1, 2, 10),  // issued first but serialized later
+      ins(0, 1, 0, 0, 1, 1, 11),
+  };
+  const auto res = check_skeap_trace(t);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("local consistency"), std::string::npos);
+}
+
+TEST(SkeapChecker, RejectsMatchingMismatch) {
+  std::vector<skeap::OpRecord> t{
+      ins(0, 0, 0, 0, 1, 1, 10),
+      del(1, 0, 1, 0, 1, 1, 99),  // returns an element never stored there
+  };
+  const auto res = check_skeap_trace(t);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("mismatch"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Seap traces
+// ---------------------------------------------------------------------------
+
+seap::SeapOpRecord sins(NodeId node, std::uint64_t seq, std::uint64_t cycle,
+                        Priority p, ElementId id) {
+  seap::SeapOpRecord r;
+  r.node = node;
+  r.issue_seq = seq;
+  r.cycle = cycle;
+  r.is_insert = true;
+  r.element = Element{p, id};
+  r.completed = true;
+  return r;
+}
+
+seap::SeapOpRecord sdel(NodeId node, std::uint64_t seq, std::uint64_t cycle,
+                        Position pos, Priority p, ElementId id) {
+  seap::SeapOpRecord r;
+  r.node = node;
+  r.issue_seq = seq;
+  r.cycle = cycle;
+  r.is_insert = false;
+  r.pos = pos;
+  r.element = Element{p, id};
+  r.completed = true;
+  return r;
+}
+
+seap::SeapOpRecord sbot(NodeId node, std::uint64_t seq, std::uint64_t cycle,
+                        Position pos) {
+  seap::SeapOpRecord r;
+  r.node = node;
+  r.issue_seq = seq;
+  r.cycle = cycle;
+  r.is_insert = false;
+  r.bottom = true;
+  r.pos = pos;
+  r.completed = true;
+  return r;
+}
+
+TEST(SeapChecker, AcceptsValidTrace) {
+  std::vector<seap::SeapOpRecord> t{
+      sins(0, 0, 0, 5, 1), sins(1, 0, 0, 3, 2), sins(2, 0, 0, 9, 3),
+      sdel(0, 1, 0, 1, 3, 2),  // the two smallest, any position order
+      sdel(3, 0, 0, 2, 5, 1),
+      sdel(1, 1, 1, 1, 9, 3),  // next cycle takes the last element
+      sbot(2, 1, 1, 2),        // and one more delete gets ⊥
+  };
+  const auto res = check_seap_trace(t);
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(SeapChecker, RejectsNonMinimalRemoval) {
+  std::vector<seap::SeapOpRecord> t{
+      sins(0, 0, 0, 5, 1),
+      sins(1, 0, 0, 3, 2),
+      sdel(0, 1, 0, 1, 5, 1),  // removes p5 while p3 remains unmatched
+  };
+  const auto res = check_seap_trace(t);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("smallest"), std::string::npos);
+}
+
+TEST(SeapChecker, RejectsBottomWhileElementsRemain) {
+  std::vector<seap::SeapOpRecord> t{
+      sins(0, 0, 0, 5, 1),
+      sbot(1, 0, 0, 1),
+  };
+  const auto res = check_seap_trace(t);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(SeapChecker, RejectsDuplicatePositionInACycle) {
+  std::vector<seap::SeapOpRecord> t{
+      sins(0, 0, 0, 5, 1), sins(1, 0, 0, 3, 2),
+      sdel(0, 1, 0, 1, 3, 2), sdel(1, 1, 0, 1, 5, 1),  // pos 1 twice
+  };
+  const auto res = check_seap_trace(t);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("twice"), std::string::npos);
+}
+
+TEST(SeapChecker, RejectsDeleteOfForeignElement) {
+  std::vector<seap::SeapOpRecord> t{
+      sins(0, 0, 0, 5, 1),
+      sdel(1, 0, 0, 1, 4, 99),  // element 99 was never inserted
+  };
+  const auto res = check_seap_trace(t);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(SeapChecker, RejectsElementDeletedTwice) {
+  std::vector<seap::SeapOpRecord> t{
+      sins(0, 0, 0, 5, 1), sins(1, 0, 0, 6, 2),
+      sdel(0, 1, 0, 1, 5, 1),
+      sdel(1, 1, 1, 1, 5, 1),  // same element again next cycle
+  };
+  const auto res = check_seap_trace(t);
+  EXPECT_FALSE(res.ok);
+}
+
+}  // namespace
+}  // namespace sks::core

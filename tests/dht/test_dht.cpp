@@ -1,0 +1,191 @@
+#include "dht/dht.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+
+namespace sks::dht {
+namespace {
+
+class DhtNode : public overlay::OverlayNode {
+ public:
+  DhtNode(overlay::RouteParams params, DhtWidths widths)
+      : OverlayNode(params), dht(*this, widths) {}
+  DhtComponent dht;
+};
+
+struct Fixture {
+  explicit Fixture(std::size_t n, std::uint64_t seed = 3,
+                   sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous) {
+    sim::NetworkConfig cfg;
+    cfg.mode = mode;
+    cfg.seed = seed;
+    net = std::make_unique<sim::Network>(cfg);
+    hash = std::make_unique<HashFunction>(seed);
+    auto links = overlay::build_topology(n, *hash);
+    const auto params = overlay::RouteParams::for_system(n);
+    const auto widths = DhtWidths::for_system(n, 1u << 20, 1u << 20);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id = net->add_node(std::make_unique<DhtNode>(params, widths));
+      net->node_as<DhtNode>(id).install_links(links[i]);
+    }
+  }
+
+  DhtNode& node(NodeId id) { return net->node_as<DhtNode>(id); }
+
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<HashFunction> hash;
+};
+
+TEST(Dht, PutThenGetRoundTrips) {
+  Fixture f(16);
+  const Point key = f.hash->point(12345);
+  f.node(2).dht.put(key, Element{7, 99});
+  f.net->run_until_idle();
+
+  std::vector<Element> got;
+  f.node(5).dht.get(key, [&](const Element& e) { got.push_back(e); });
+  f.net->run_until_idle();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Element{7, 99}));
+}
+
+TEST(Dht, GetBeforePutWaitsAtOwner) {
+  Fixture f(16);
+  const Point key = f.hash->point(777);
+
+  std::vector<Element> got;
+  f.node(1).dht.get(key, [&](const Element& e) { got.push_back(e); });
+  f.net->run_until_idle();
+  EXPECT_TRUE(got.empty());
+
+  // Exactly one node should be holding the waiting get.
+  std::size_t waiting = 0;
+  for (NodeId v = 0; v < 16; ++v) waiting += f.node(v).dht.waiting_gets();
+  EXPECT_EQ(waiting, 1u);
+
+  f.node(9).dht.put(key, Element{1, 42});
+  f.net->run_until_idle();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Element{1, 42}));
+}
+
+TEST(Dht, GetRemovesTheElement) {
+  Fixture f(8);
+  const Point key = f.hash->point(55);
+  f.node(0).dht.put(key, Element{3, 1});
+  f.net->run_until_idle();
+
+  std::vector<Element> got;
+  f.node(0).dht.get(key, [&](const Element& e) { got.push_back(e); });
+  f.net->run_until_idle();
+  ASSERT_EQ(got.size(), 1u);
+
+  // A second get for the same key must wait (element was removed).
+  f.node(0).dht.get(key, [&](const Element& e) { got.push_back(e); });
+  f.net->run_until_idle();
+  EXPECT_EQ(got.size(), 1u);
+  std::size_t waiting = 0;
+  for (NodeId v = 0; v < 8; ++v) waiting += f.node(v).dht.waiting_gets();
+  EXPECT_EQ(waiting, 1u);
+}
+
+TEST(Dht, PutAckConfirmsWrite) {
+  Fixture f(8);
+  int acks = 0;
+  f.node(3).dht.put(f.hash->point(1), Element{1, 1}, [&] { ++acks; });
+  f.node(3).dht.put(f.hash->point(2), Element{1, 2}, [&] { ++acks; });
+  f.net->run_until_idle();
+  EXPECT_EQ(acks, 2);
+}
+
+TEST(Dht, ManyKeysRoundTripUnderAsynchrony) {
+  Fixture f(32, /*seed=*/17, sim::DeliveryMode::kAsynchronous);
+  constexpr std::uint64_t kOps = 300;
+  std::vector<Element> got;
+
+  // Interleave: issue all gets first for odd keys (they must wait), then
+  // all puts — exercising the wait path heavily under reordering.
+  for (std::uint64_t i = 1; i < kOps; i += 2) {
+    f.node(static_cast<NodeId>(i % 32))
+        .dht.get(f.hash->point(i), [&got](const Element& e) {
+          got.push_back(e);
+        });
+  }
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    f.node(static_cast<NodeId>((i * 7) % 32))
+        .dht.put(f.hash->point(i), Element{i, i});
+  }
+  for (std::uint64_t i = 0; i < kOps; i += 2) {
+    f.node(static_cast<NodeId>(i % 32))
+        .dht.get(f.hash->point(i), [&got](const Element& e) {
+          got.push_back(e);
+        });
+  }
+  f.net->run_until_idle();
+
+  ASSERT_EQ(got.size(), kOps);
+  std::sort(got.begin(), got.end());
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    EXPECT_EQ(got[i], (Element{i, i}));
+  }
+  for (NodeId v = 0; v < 32; ++v) {
+    EXPECT_EQ(f.node(v).dht.stored_count(), 0u);
+    EXPECT_EQ(f.node(v).dht.waiting_gets(), 0u);
+    EXPECT_EQ(f.node(v).dht.pending_client_ops(), 0u);
+  }
+}
+
+TEST(Dht, DuplicateKeysStoreMultipleElements) {
+  Fixture f(8);
+  const Point key = f.hash->point(123);
+  f.node(0).dht.put(key, Element{1, 10});
+  f.node(1).dht.put(key, Element{2, 20});
+  f.net->run_until_idle();
+
+  std::vector<Element> got;
+  f.node(2).dht.get(key, [&](const Element& e) { got.push_back(e); });
+  f.node(3).dht.get(key, [&](const Element& e) { got.push_back(e); });
+  f.net->run_until_idle();
+  ASSERT_EQ(got.size(), 2u);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got[0], (Element{1, 10}));
+  EXPECT_EQ(got[1], (Element{2, 20}));
+}
+
+// Lemma 2.2(iv): m elements are stored uniformly — each node stores m/n in
+// expectation. We check the empirical max load stays within a polylog
+// factor of the mean (E9 measures this in detail).
+TEST(Dht, FairnessUniformLoad) {
+  const std::size_t n = 64;
+  Fixture f(n, /*seed=*/23);
+  const std::uint64_t m = 64 * 100;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    f.node(static_cast<NodeId>(i % n)).dht.put(f.hash->point(900000 + i),
+                                               Element{i, i});
+  }
+  f.net->run_until_idle();
+
+  std::size_t total = 0, max_load = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t load = f.node(v).dht.stored_count();
+    total += load;
+    max_load = std::max(max_load, load);
+  }
+  EXPECT_EQ(total, m);
+  const double mean = static_cast<double>(m) / static_cast<double>(n);
+  // Random arc lengths give max load ~ mean * O(log n) in the worst case;
+  // 6x the mean is a generous but meaningful envelope for n=64.
+  EXPECT_LT(static_cast<double>(max_load), 6.0 * mean);
+}
+
+}  // namespace
+}  // namespace sks::dht

@@ -1,0 +1,189 @@
+// DHT keyspace isolation and the local helpers Seap's DeleteMin phase
+// relies on (elements_in / count_leq / take_leq) plus arc extraction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "dht/dht.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+
+namespace sks::dht {
+namespace {
+
+class DhtNode : public overlay::OverlayNode {
+ public:
+  DhtNode(overlay::RouteParams params, DhtWidths widths)
+      : OverlayNode(params), dht(*this, widths) {}
+  DhtComponent dht;
+};
+
+struct Fixture {
+  explicit Fixture(std::size_t n, std::uint64_t seed = 3) {
+    sim::NetworkConfig cfg;
+    cfg.seed = seed;
+    net = std::make_unique<sim::Network>(cfg);
+    hash = std::make_unique<HashFunction>(seed);
+    auto links = overlay::build_topology(n, *hash);
+    const auto params = overlay::RouteParams::for_system(n);
+    const auto widths = DhtWidths::for_system(n, 1u << 20, 1u << 20);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id = net->add_node(std::make_unique<DhtNode>(params, widths));
+      net->node_as<DhtNode>(id).install_links(links[i]);
+    }
+    this->n = n;
+  }
+  DhtNode& node(NodeId id) { return net->node_as<DhtNode>(id); }
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<HashFunction> hash;
+  std::size_t n = 0;
+};
+
+TEST(DhtSpaces, SameKeyDifferentSpacesDoNotCollide) {
+  Fixture f(8);
+  const Point key = f.hash->point(1);
+  f.node(0).dht.put(key, Element{1, 100}, nullptr, 0);
+  f.node(1).dht.put(key, Element{2, 200}, nullptr, 1);
+  f.net->run_until_idle();
+
+  std::vector<Element> got0, got1;
+  f.node(2).dht.get(key, [&](const Element& e) { got0.push_back(e); }, 0);
+  f.node(3).dht.get(key, [&](const Element& e) { got1.push_back(e); }, 1);
+  f.net->run_until_idle();
+  ASSERT_EQ(got0.size(), 1u);
+  ASSERT_EQ(got1.size(), 1u);
+  EXPECT_EQ(got0[0], (Element{1, 100}));
+  EXPECT_EQ(got1[0], (Element{2, 200}));
+}
+
+TEST(DhtSpaces, WaitingGetInOneSpaceIgnoresPutInAnother) {
+  Fixture f(8);
+  const Point key = f.hash->point(7);
+  std::vector<Element> got;
+  f.node(0).dht.get(key, [&](const Element& e) { got.push_back(e); }, 1);
+  f.net->run_until_idle();
+
+  f.node(1).dht.put(key, Element{9, 9}, nullptr, 0);  // wrong space
+  f.net->run_until_idle();
+  EXPECT_TRUE(got.empty());
+
+  f.node(1).dht.put(key, Element{8, 8}, nullptr, 1);  // right space
+  f.net->run_until_idle();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Element{8, 8}));
+}
+
+TEST(DhtSpaces, ElementsInEnumeratesOnlyOneSpace) {
+  Fixture f(4);
+  Rng rng(4);
+  std::size_t in_zero = 0, in_one = 0;
+  for (int i = 0; i < 60; ++i) {
+    const std::uint8_t space = rng.flip(0.5) ? 0 : 1;
+    (space == 0 ? in_zero : in_one)++;
+    f.node(0).dht.put(rng.next(),
+                      Element{rng.next(), static_cast<ElementId>(i)}, nullptr,
+                      space);
+  }
+  f.net->run_until_idle();
+  std::size_t found0 = 0, found1 = 0;
+  for (NodeId v = 0; v < 4; ++v) {
+    found0 += f.node(v).dht.elements_in(0).size();
+    found1 += f.node(v).dht.elements_in(1).size();
+  }
+  EXPECT_EQ(found0, in_zero);
+  EXPECT_EQ(found1, in_one);
+}
+
+TEST(DhtSpaces, CountAndTakeLeqAgree) {
+  Fixture f(6);
+  Rng rng(5);
+  std::vector<Element> all;
+  for (int i = 0; i < 100; ++i) {
+    const Element e{rng.range(1, 1000), static_cast<ElementId>(i + 1)};
+    all.push_back(e);
+    f.node(static_cast<NodeId>(rng.below(6))).dht.put(rng.next(), e);
+  }
+  f.net->run_until_idle();
+
+  const Element threshold{500, ~0ULL};
+  std::size_t expected = 0;
+  for (const auto& e : all) expected += (e <= threshold);
+
+  std::size_t counted = 0;
+  for (NodeId v = 0; v < 6; ++v) {
+    counted += f.node(v).dht.count_leq(0, threshold);
+  }
+  EXPECT_EQ(counted, expected);
+
+  std::vector<Element> taken;
+  for (NodeId v = 0; v < 6; ++v) {
+    auto part = f.node(v).dht.take_leq(0, threshold);
+    EXPECT_TRUE(std::is_sorted(part.begin(), part.end()));
+    taken.insert(taken.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(taken.size(), expected);
+  for (const auto& e : taken) EXPECT_LE(e, threshold);
+
+  // Everything else is still stored; nothing <= threshold remains.
+  std::size_t rest = 0;
+  for (NodeId v = 0; v < 6; ++v) {
+    rest += f.node(v).dht.stored_count();
+    EXPECT_EQ(f.node(v).dht.count_leq(0, threshold), 0u);
+  }
+  EXPECT_EQ(rest, all.size() - expected);
+}
+
+TEST(DhtSpaces, ExtractAbsorbRoundTripsArc) {
+  Fixture f(4);
+  Rng rng(6);
+  for (int i = 0; i < 80; ++i) {
+    f.node(0).dht.put(rng.next(),
+                      Element{rng.next(), static_cast<ElementId>(i)});
+  }
+  f.net->run_until_idle();
+
+  // Move node 2's entire left-vertex store out and back in.
+  auto& dht2 = f.node(2).dht;
+  const std::size_t before = dht2.stored_count();
+  auto arc = dht2.extract_arc(overlay::VKind::kLeft, 0, 0);  // lo==hi: all
+  const std::size_t moved = arc.element_count();
+  EXPECT_EQ(dht2.stored_count(), before - moved);
+  dht2.absorb_arc(overlay::VKind::kLeft, std::move(arc));
+  EXPECT_EQ(dht2.stored_count(), before);
+}
+
+TEST(DhtSpaces, AbsorbServesParkedGets) {
+  Fixture f(4);
+  const Point key = f.hash->point(99);
+  std::vector<Element> got;
+  f.node(1).dht.get(key, [&](const Element& e) { got.push_back(e); });
+  f.net->run_until_idle();
+  ASSERT_TRUE(got.empty());
+
+  // Find where the get parked and hand that vertex an arc containing the
+  // matching element: the get must be served by absorb itself.
+  for (NodeId v = 0; v < 4; ++v) {
+    for (overlay::VKind k : overlay::kAllKinds) {
+      auto arc = f.node(v).dht.extract_arc(k, 0, 0);
+      bool has_waiter = false;
+      for (const auto& w : arc.waiting) has_waiter |= !w.empty();
+      if (!has_waiter) {
+        f.node(v).dht.absorb_arc(k, std::move(arc));  // put it back
+        continue;
+      }
+      arc.elements[0][key].push_back(Element{5, 55});
+      f.node(v).dht.absorb_arc(k, std::move(arc));
+      f.net->run_until_idle();
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], (Element{5, 55}));
+      return;
+    }
+  }
+  FAIL() << "parked get not found";
+}
+
+}  // namespace
+}  // namespace sks::dht

@@ -1,0 +1,283 @@
+#include "overlay/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+
+namespace sks::overlay {
+namespace {
+
+class MemberNode : public OverlayNode {
+ public:
+  MemberNode(RouteParams params, dht::DhtWidths widths)
+      : OverlayNode(params), dht(*this, widths), membership(*this, dht) {}
+
+  dht::DhtComponent dht;
+  MembershipComponent membership;
+};
+
+struct Fixture {
+  explicit Fixture(std::size_t initial, std::size_t capacity,
+                   std::uint64_t seed = 5,
+                   sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous) {
+    sim::NetworkConfig cfg;
+    cfg.mode = mode;
+    cfg.seed = seed;
+    net = std::make_unique<sim::Network>(cfg);
+    hash = std::make_unique<HashFunction>(seed);
+    // Register all nodes up front (so joiners can receive messages), but
+    // install overlay links only for the initial members.
+    const auto params = RouteParams::for_system(capacity);
+    const auto widths = dht::DhtWidths::for_system(capacity, 1u << 20, 1u << 20);
+    auto links = build_topology(initial, *hash);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      const NodeId id =
+          net->add_node(std::make_unique<MemberNode>(params, widths));
+      if (i < initial) {
+        auto& n = net->node_as<MemberNode>(id);
+        n.install_links(links[i]);
+        n.membership.mark_bootstrapped();
+        members.insert(id);
+      }
+    }
+  }
+
+  MemberNode& node(NodeId v) { return net->node_as<MemberNode>(v); }
+
+  void join(NodeId v, NodeId bootstrap) {
+    node(v).membership.join(bootstrap, *hash);
+    net->run_until_idle();
+    ASSERT_TRUE(node(v).membership.joined());
+    members.insert(v);
+  }
+
+  void leave(NodeId v) {
+    node(v).membership.leave();
+    net->run_until_idle();
+    members.erase(v);
+  }
+
+  /// Validate the cycle and tree against ground truth (all members).
+  void check_topology() {
+    // Collect all virtual states of members.
+    std::vector<VirtualState> all;
+    for (NodeId v : members) {
+      for (VKind k : kAllKinds) all.push_back(node(v).vstate(k));
+    }
+    std::sort(all.begin(), all.end(),
+              [](const VirtualState& a, const VirtualState& b) {
+                return a.self.label < b.self.label;
+              });
+    // pred/succ must form the sorted cycle.
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const auto& st = all[i];
+      const auto& next = all[(i + 1) % all.size()];
+      EXPECT_EQ(st.succ, next.self)
+          << to_string(st.self) << " succ wrong after churn";
+      EXPECT_EQ(next.pred, st.self)
+          << to_string(next.self) << " pred wrong after churn";
+    }
+    // Exactly one anchor, at the minimum label, and tree invariants hold.
+    int anchors = 0;
+    for (const auto& st : all) anchors += st.is_anchor;
+    EXPECT_EQ(anchors, 1);
+    EXPECT_TRUE(all[0].is_anchor);
+    for (const auto& st : all) {
+      if (!st.is_anchor) {
+        ASSERT_TRUE(st.parent.valid()) << to_string(st.self);
+        EXPECT_LT(st.parent.label, st.self.label);
+      }
+    }
+  }
+
+  std::size_t stored_total() {
+    std::size_t total = 0;
+    for (NodeId v : members) total += node(v).dht.stored_count();
+    return total;
+  }
+
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<HashFunction> hash;
+  std::set<NodeId> members;
+};
+
+TEST(Membership, SingleJoinRestoresTopology) {
+  Fixture f(4, 5);
+  f.join(4, /*bootstrap=*/0);
+  f.check_topology();
+}
+
+TEST(Membership, SingleLeaveRestoresTopology) {
+  Fixture f(5, 5);
+  f.leave(2);
+  f.check_topology();
+}
+
+TEST(Membership, JoinPreservesStoredElements) {
+  Fixture f(4, 5);
+  // Fill the DHT before the join.
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    f.node(static_cast<NodeId>(rng.below(4)))
+        .dht.put(rng.next(), Element{rng.next(), static_cast<ElementId>(i)});
+  }
+  f.net->run_until_idle();
+  EXPECT_EQ(f.stored_total(), 200u);
+
+  f.join(4, 1);
+  f.check_topology();
+  EXPECT_EQ(f.stored_total(), 200u);
+  // The joiner should have taken over part of the keyspace.
+  EXPECT_GT(f.node(4).dht.stored_count(), 0u);
+}
+
+TEST(Membership, LeavePreservesStoredElements) {
+  Fixture f(6, 6);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    f.node(static_cast<NodeId>(rng.below(6)))
+        .dht.put(rng.next(), Element{rng.next(), static_cast<ElementId>(i)});
+  }
+  f.net->run_until_idle();
+  const std::size_t leaver_held = f.node(3).dht.stored_count();
+  EXPECT_GT(leaver_held, 0u);
+
+  f.leave(3);
+  f.check_topology();
+  EXPECT_EQ(f.stored_total(), 300u);
+  EXPECT_EQ(f.node(3).dht.stored_count(), 0u);
+}
+
+TEST(Membership, GetsStillWorkAfterChurn) {
+  Fixture f(4, 6);
+  Rng rng(13);
+  std::vector<std::pair<Point, Element>> stored;
+  for (int i = 0; i < 100; ++i) {
+    const Point key = rng.next();
+    const Element e{rng.next(), static_cast<ElementId>(i + 1)};
+    stored.emplace_back(key, e);
+    f.node(static_cast<NodeId>(rng.below(4))).dht.put(key, e);
+  }
+  f.net->run_until_idle();
+
+  f.join(4, 0);
+  f.join(5, 2);
+  f.leave(1);
+  f.check_topology();
+
+  // Every element must still be retrievable from the new topology.
+  std::vector<Element> got;
+  for (const auto& [key, e] : stored) {
+    f.node(0).dht.get(key, [&got](const Element& x) { got.push_back(x); });
+  }
+  f.net->run_until_idle();
+  ASSERT_EQ(got.size(), stored.size());
+  std::sort(got.begin(), got.end());
+  std::vector<Element> want;
+  for (const auto& [key, e] : stored) want.push_back(e);
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(Membership, WaitingGetsSurviveHandover) {
+  Fixture f(4, 5);
+  const Point key = f.hash->point(424242);
+  std::vector<Element> got;
+  f.node(0).dht.get(key, [&](const Element& e) { got.push_back(e); });
+  f.net->run_until_idle();
+  EXPECT_TRUE(got.empty());  // parked, waiting for the put
+
+  // Churn moves arcs around; the waiting get must move with its arc.
+  f.join(4, 0);
+  f.leave(2);
+  f.check_topology();
+
+  f.node(3).dht.put(key, Element{7, 77});
+  f.net->run_until_idle();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Element{7, 77}));
+}
+
+TEST(Membership, AnchorMigratesWhenSmallerLabelJoins) {
+  // Find a capacity/seed where one of the later nodes hashes below the
+  // initial minimum so the anchor must move.
+  for (std::uint64_t seed = 1; seed < 200; ++seed) {
+    HashFunction h(seed);
+    Point min_initial = ~0ULL;
+    for (NodeId v = 0; v < 4; ++v) {
+      min_initial = std::min(min_initial, h.point(v) >> 1);
+    }
+    const Point joiner_left = h.point(4) >> 1;
+    if (joiner_left >= min_initial) continue;
+
+    Fixture f(4, 5, seed);
+    NodeId old_anchor = kNoNode;
+    for (NodeId v = 0; v < 4; ++v) {
+      if (f.node(v).hosts_anchor()) old_anchor = v;
+    }
+    ASSERT_NE(old_anchor, kNoNode);
+    f.join(4, old_anchor);
+    f.check_topology();
+    EXPECT_TRUE(f.node(4).hosts_anchor());
+    EXPECT_FALSE(f.node(old_anchor).hosts_anchor());
+    return;
+  }
+  FAIL() << "no seed produced an anchor-displacing join";
+}
+
+TEST(Membership, ChurnStormKeepsInvariants) {
+  const std::size_t capacity = 24;
+  Fixture f(8, capacity, /*seed=*/17);
+  Rng rng(99);
+  std::vector<NodeId> outside;
+  for (NodeId v = 8; v < capacity; ++v) outside.push_back(v);
+
+  // Store data to shuffle around.
+  for (int i = 0; i < 300; ++i) {
+    const auto members = std::vector<NodeId>(f.members.begin(), f.members.end());
+    f.node(members[rng.below(members.size())])
+        .dht.put(rng.next(), Element{rng.next(), static_cast<ElementId>(i)});
+  }
+  f.net->run_until_idle();
+
+  for (int step = 0; step < 30; ++step) {
+    const bool do_join = !outside.empty() && (f.members.size() <= 3 ||
+                                              rng.flip(0.5));
+    if (do_join) {
+      const NodeId v = outside.back();
+      outside.pop_back();
+      const auto members =
+          std::vector<NodeId>(f.members.begin(), f.members.end());
+      f.join(v, members[rng.below(members.size())]);
+    } else {
+      auto members = std::vector<NodeId>(f.members.begin(), f.members.end());
+      const NodeId v = members[rng.below(members.size())];
+      f.leave(v);
+      outside.push_back(v);
+    }
+    f.check_topology();
+    EXPECT_EQ(f.stored_total(), 300u) << "after churn step " << step;
+  }
+}
+
+TEST(Membership, JoinCompletesInLogarithmicRounds) {
+  for (std::size_t n : {16u, 64u, 256u}) {
+    Fixture f(n, n + 1, /*seed=*/23);
+    f.node(static_cast<NodeId>(n)).membership.join(0, *f.hash);
+    const auto rounds = f.net->run_until_idle();
+    const double logn = std::log2(static_cast<double>(n));
+    EXPECT_LT(static_cast<double>(rounds), 15.0 * logn + 70.0) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace sks::overlay

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "overlay/overlay_node.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+
+namespace sks::overlay {
+namespace {
+
+struct Probe final : sim::Payload {
+  std::uint64_t tag = 0;
+  std::uint64_t size_bits() const override { return 16; }
+  const char* name() const override { return "probe"; }
+};
+
+/// Minimal overlay node that records routed deliveries.
+class ProbeNode : public OverlayNode {
+ public:
+  explicit ProbeNode(RouteParams params) : OverlayNode(params) {
+    on_routed_payload<Probe>([this](Point target, VKind owner, NodeId origin,
+                                    std::unique_ptr<Probe> p) {
+      deliveries.push_back(Delivery{target, owner, origin, p->tag});
+    });
+  }
+
+  struct Delivery {
+    Point target;
+    VKind owner_kind;
+    NodeId origin;
+    std::uint64_t tag;
+  };
+  std::vector<Delivery> deliveries;
+};
+
+struct Fixture {
+  explicit Fixture(std::size_t n, std::uint64_t seed = 7,
+                   sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous) {
+    sim::NetworkConfig cfg;
+    cfg.mode = mode;
+    cfg.seed = seed;
+    net = std::make_unique<sim::Network>(cfg);
+    HashFunction h(seed);
+    links = build_topology(n, h);
+    params = RouteParams::for_system(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id = net->add_node(std::make_unique<ProbeNode>(params));
+      net->node_as<ProbeNode>(id).install_links(links[i]);
+    }
+  }
+
+  /// The virtual node owning point p, computed from global knowledge.
+  VirtualId expected_owner(Point p) const {
+    VirtualId best;
+    Point best_dist = ~0ULL;
+    for (const auto& nl : links) {
+      for (VKind k : kAllKinds) {
+        const auto& st = nl.at(k);
+        // owner = greatest label <= p cyclically = smallest forward
+        // distance from label to p.
+        const Point d = forward_distance(st.self.label, p);
+        if (d < best_dist) {
+          best_dist = d;
+          best = st.self;
+        }
+      }
+    }
+    return best;
+  }
+
+  ProbeNode& node(NodeId id) { return net->node_as<ProbeNode>(id); }
+
+  std::unique_ptr<sim::Network> net;
+  std::vector<NodeLinks> links;
+  RouteParams params;
+};
+
+TEST(Routing, DeliversToTheOwnerOfTheTarget) {
+  Fixture f(32);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Point target = rng.next();
+    const NodeId src = static_cast<NodeId>(rng.below(32));
+    auto p = std::make_unique<Probe>();
+    p->tag = static_cast<std::uint64_t>(i);
+    f.node(src).route(target, std::move(p));
+    f.net->run_until_idle();
+
+    const VirtualId owner = f.expected_owner(target);
+    auto& dels = f.node(owner.host).deliveries;
+    ASSERT_FALSE(dels.empty()) << "delivery " << i << " missing";
+    const auto d = dels.back();
+    EXPECT_EQ(d.target, target);
+    EXPECT_EQ(d.owner_kind, owner.kind);
+    EXPECT_EQ(d.origin, src);
+    EXPECT_EQ(d.tag, static_cast<std::uint64_t>(i));
+    dels.clear();
+  }
+}
+
+TEST(Routing, WorksOnTinySystems) {
+  for (std::size_t n : {1u, 2u, 3u}) {
+    Fixture f(n, /*seed=*/11);
+    Rng rng(13);
+    for (int i = 0; i < 20; ++i) {
+      const Point target = rng.next();
+      f.node(0).route(target, std::make_unique<Probe>());
+      f.net->run_until_idle();
+      const VirtualId owner = f.expected_owner(target);
+      auto& dels = f.node(owner.host).deliveries;
+      ASSERT_EQ(dels.size(), 1u) << "n=" << n << " i=" << i;
+      EXPECT_EQ(dels[0].owner_kind, owner.kind);
+      dels.clear();
+    }
+  }
+}
+
+TEST(Routing, WorksUnderAsynchrony) {
+  Fixture f(64, /*seed=*/21, sim::DeliveryMode::kAsynchronous);
+  Rng rng(23);
+  std::vector<std::pair<Point, std::uint64_t>> sent;
+  for (int i = 0; i < 50; ++i) {
+    const Point target = rng.next();
+    const NodeId src = static_cast<NodeId>(rng.below(64));
+    auto p = std::make_unique<Probe>();
+    p->tag = static_cast<std::uint64_t>(i);
+    sent.emplace_back(target, p->tag);
+    f.node(src).route(target, std::move(p));
+  }
+  f.net->run_until_idle();
+  std::size_t total = 0;
+  for (NodeId v = 0; v < 64; ++v) total += f.node(v).deliveries.size();
+  EXPECT_EQ(total, 50u);
+  for (const auto& [target, tag] : sent) {
+    const VirtualId owner = f.expected_owner(target);
+    bool found = false;
+    for (const auto& d : f.node(owner.host).deliveries) {
+      found |= (d.target == target && d.tag == tag);
+    }
+    EXPECT_TRUE(found) << "tag " << tag;
+  }
+}
+
+TEST(Routing, HopCountIsLogarithmic) {
+  // Lemma A.2: routing takes O(log n) rounds w.h.p. In synchronous mode
+  // one route in isolation advances one hop per round, so rounds == hops.
+  Rng rng(31);
+  double prev_avg = 0;
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    Fixture f(n, /*seed=*/33);
+    std::uint64_t total_rounds = 0;
+    constexpr int kProbes = 40;
+    for (int i = 0; i < kProbes; ++i) {
+      const NodeId src = static_cast<NodeId>(rng.below(n));
+      f.node(src).route(rng.next(), std::make_unique<Probe>());
+      total_rounds += f.net->run_until_idle();
+    }
+    const double avg =
+        static_cast<double>(total_rounds) / static_cast<double>(kProbes);
+    // Each de Bruijn step costs a few host crossings (virtual hop plus the
+    // cycle walk to the next middle node), so the envelope is affine in
+    // log n with a moderate slope — but far from linear in n.
+    const double logn = std::log2(static_cast<double>(n));
+    EXPECT_LT(avg, 10.0 * logn + 20.0) << "n=" << n;
+    // Growth from 16 to 1024 nodes should be roughly additive in log n,
+    // far below linear growth in n.
+    if (prev_avg > 0) {
+      EXPECT_LT(avg, prev_avg * 3.0) << "n=" << n;
+    }
+    prev_avg = avg;
+  }
+}
+
+TEST(Routing, HopGuardCatchesCorruptLinks) {
+  Fixture f(8, /*seed=*/41);
+  // Corrupt one node's successor pointers to point at itself, creating a
+  // walk loop; the hop guard must fire instead of hanging.
+  NodeLinks broken = f.links[3];
+  for (VKind k : kAllKinds) {
+    broken.at(k).succ = broken.at(k).self;
+    broken.at(k).pred = broken.at(k).self;
+  }
+  f.node(3).install_links(broken);
+  bool threw = false;
+  try {
+    for (int i = 0; i < 200 && !threw; ++i) {
+      f.node(3).route(Rng(static_cast<std::uint64_t>(i)).next(),
+                      std::make_unique<Probe>());
+      f.net->run_until_idle();
+    }
+  } catch (const CheckFailure&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace sks::overlay

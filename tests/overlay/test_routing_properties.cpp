@@ -1,0 +1,189 @@
+// Property sweeps for the overlay routing layer: exact ownership delivery
+// across sizes/seeds/modes, the debruijn_hop primitive (one emulated
+// halving edge), and routing stability across repeated runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "overlay/overlay_node.hpp"
+#include "overlay/topology.hpp"
+#include "sim/network.hpp"
+
+namespace sks::overlay {
+namespace {
+
+struct Probe final : sim::Payload {
+  std::uint64_t tag = 0;
+  std::uint64_t size_bits() const override { return 16; }
+  const char* name() const override { return "probe"; }
+};
+
+class ProbeNode : public OverlayNode {
+ public:
+  explicit ProbeNode(RouteParams params) : OverlayNode(params) {
+    on_routed_payload<Probe>([this](Point target, VKind owner, NodeId,
+                                    std::unique_ptr<Probe> p) {
+      deliveries.emplace_back(target, owner, p->tag);
+    });
+  }
+  std::vector<std::tuple<Point, VKind, std::uint64_t>> deliveries;
+};
+
+struct Fixture {
+  Fixture(std::size_t n, std::uint64_t seed, sim::DeliveryMode mode) {
+    sim::NetworkConfig cfg;
+    cfg.mode = mode;
+    cfg.seed = seed;
+    net = std::make_unique<sim::Network>(cfg);
+    HashFunction h(seed);
+    links = build_topology(n, h);
+    const auto params = RouteParams::for_system(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id = net->add_node(std::make_unique<ProbeNode>(params));
+      net->node_as<ProbeNode>(id).install_links(links[i]);
+    }
+  }
+
+  VirtualId expected_owner(Point p) const {
+    VirtualId best;
+    Point best_dist = ~0ULL;
+    for (const auto& nl : links) {
+      for (VKind k : kAllKinds) {
+        const Point d = forward_distance(nl.at(k).self.label, p);
+        if (d < best_dist) {
+          best_dist = d;
+          best = nl.at(k).self;
+        }
+      }
+    }
+    return best;
+  }
+
+  ProbeNode& node(NodeId id) { return net->node_as<ProbeNode>(id); }
+
+  std::unique_ptr<sim::Network> net;
+  std::vector<NodeLinks> links;
+};
+
+class RoutingSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::uint64_t, sim::DeliveryMode>> {};
+
+TEST_P(RoutingSweep, EveryProbeReachesItsOwner) {
+  const auto [n, seed, mode] = GetParam();
+  Fixture f(n, seed, mode);
+  Rng rng(seed ^ 0xfeedULL);
+
+  constexpr int kProbes = 60;
+  std::vector<std::pair<Point, std::uint64_t>> sent;
+  for (int i = 0; i < kProbes; ++i) {
+    auto p = std::make_unique<Probe>();
+    p->tag = static_cast<std::uint64_t>(i);
+    const Point target = rng.next();
+    sent.emplace_back(target, p->tag);
+    f.node(static_cast<NodeId>(rng.below(n))).route(target, std::move(p));
+  }
+  f.net->run_until_idle();
+
+  std::size_t delivered = 0;
+  for (NodeId v = 0; v < n; ++v) delivered += f.node(v).deliveries.size();
+  ASSERT_EQ(delivered, static_cast<std::size_t>(kProbes));
+
+  for (const auto& [target, tag] : sent) {
+    const VirtualId owner = f.expected_owner(target);
+    bool found = false;
+    for (const auto& [t, kind, dtag] : f.node(owner.host).deliveries) {
+      found |= (t == target && dtag == tag && kind == owner.kind);
+    }
+    EXPECT_TRUE(found) << "probe " << tag << " misdelivered";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoutingSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 5u, 16u, 100u, 333u),
+                       ::testing::Values(3u, 17u),
+                       ::testing::Values(sim::DeliveryMode::kSynchronous,
+                                         sim::DeliveryMode::kAsynchronous)),
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "s" +
+             std::to_string(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) ==
+                      sim::DeliveryMode::kSynchronous
+                  ? "Sync"
+                  : "Async");
+    });
+
+TEST(DebruijnHop, DeliversToHalfPointOwner) {
+  // debruijn_hop(at, b) must deliver to owner((label(at) + b) / 2) —
+  // KSelect's copy trees depend on this being exact.
+  Fixture f(64, 5, sim::DeliveryMode::kSynchronous);
+  Rng rng(6);
+  for (int i = 0; i < 120; ++i) {
+    const auto src = static_cast<NodeId>(rng.below(64));
+    const VKind at = kAllKinds[rng.below(3)];
+    const bool bit = rng.flip(0.5);
+    const Point w = f.links[src].at(at).self.label;
+    const Point half = (w >> 1) | (bit ? kHalf : Point{0});
+
+    auto p = std::make_unique<Probe>();
+    p->tag = static_cast<std::uint64_t>(i);
+    f.node(src).debruijn_hop(at, bit, std::move(p));
+    f.net->run_until_idle();
+
+    const VirtualId owner = f.expected_owner(half);
+    bool found = false;
+    for (const auto& [t, kind, tag] : f.node(owner.host).deliveries) {
+      found |= (tag == static_cast<std::uint64_t>(i) && kind == owner.kind);
+    }
+    EXPECT_TRUE(found) << "hop " << i << " from " << to_string(at) << "("
+                       << src << ") bit=" << bit;
+  }
+}
+
+TEST(DebruijnHop, CostsFewHostCrossings) {
+  // The primitive must be O(1)-ish hops in expectation (walk to a middle,
+  // halve, short final walk) — that is what keeps the copy trees cheap.
+  Fixture f(512, 7, sim::DeliveryMode::kSynchronous);
+  Rng rng(8);
+  std::uint64_t total_rounds = 0;
+  constexpr int kHops = 100;
+  for (int i = 0; i < kHops; ++i) {
+    const auto src = static_cast<NodeId>(rng.below(512));
+    f.node(src).debruijn_hop(kAllKinds[rng.below(3)], rng.flip(0.5),
+                             std::make_unique<Probe>());
+    total_rounds += f.net->run_until_idle();
+  }
+  const double avg = static_cast<double>(total_rounds) / kHops;
+  EXPECT_LT(avg, 12.0) << "debruijn_hop should not pay full-route latency";
+}
+
+TEST(RoutingDeterminism, IdenticalRunsProduceIdenticalDeliveries) {
+  auto run = [](std::uint64_t seed) {
+    Fixture f(48, seed, sim::DeliveryMode::kAsynchronous);
+    Rng rng(123);
+    for (int i = 0; i < 40; ++i) {
+      auto p = std::make_unique<Probe>();
+      p->tag = static_cast<std::uint64_t>(i);
+      f.node(static_cast<NodeId>(rng.below(48))).route(rng.next(), std::move(p));
+    }
+    f.net->run_until_idle();
+    std::vector<std::tuple<NodeId, Point, std::uint64_t>> log;
+    for (NodeId v = 0; v < 48; ++v) {
+      for (const auto& [t, k, tag] : f.node(v).deliveries) {
+        log.emplace_back(v, t, tag);
+      }
+    }
+    return log;
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+}  // namespace
+}  // namespace sks::overlay

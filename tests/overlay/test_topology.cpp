@@ -1,0 +1,214 @@
+#include "overlay/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/hash.hpp"
+
+namespace sks::overlay {
+namespace {
+
+TEST(Labels, LeftAndRightDerivedFromMiddle) {
+  const Point m = 0x8000'0000'0000'0000ULL;  // 0.5 in fixed point
+  EXPECT_EQ(label_of(m, VKind::kLeft), 0x4000'0000'0000'0000ULL);    // 0.25
+  EXPECT_EQ(label_of(m, VKind::kMiddle), m);
+  EXPECT_EQ(label_of(m, VKind::kRight), 0xC000'0000'0000'0000ULL);   // 0.75
+}
+
+TEST(Labels, LeftInLowerHalfRightInUpperHalf) {
+  HashFunction h(3);
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    const Point m = h.point(x);
+    EXPECT_LT(label_of(m, VKind::kLeft), kHalf);
+    EXPECT_GE(label_of(m, VKind::kRight), kHalf);
+  }
+}
+
+TEST(Arc, ContainsAndWraparound) {
+  EXPECT_TRUE(arc_contains(10, 20, 10));
+  EXPECT_TRUE(arc_contains(10, 20, 19));
+  EXPECT_FALSE(arc_contains(10, 20, 20));
+  EXPECT_FALSE(arc_contains(10, 20, 9));
+  // Wrapping arc [2^64-5, 3).
+  const Point hi = ~0ULL - 4;
+  EXPECT_TRUE(arc_contains(hi, 3, hi));
+  EXPECT_TRUE(arc_contains(hi, 3, ~0ULL));
+  EXPECT_TRUE(arc_contains(hi, 3, 0));
+  EXPECT_TRUE(arc_contains(hi, 3, 2));
+  EXPECT_FALSE(arc_contains(hi, 3, 3));
+  EXPECT_FALSE(arc_contains(hi, 3, 100));
+}
+
+class TopologyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopologyTest, CycleIsConsistent) {
+  const std::size_t n = GetParam();
+  HashFunction h(42);
+  const auto links = build_topology(n, h);
+  ASSERT_EQ(links.size(), n);
+
+  // pred/succ must be mutually consistent over all 3n virtual nodes.
+  std::size_t count = 0;
+  for (const auto& nl : links) {
+    for (VKind k : kAllKinds) {
+      const VirtualState& st = nl.at(k);
+      ++count;
+      const VirtualState& succ_st = links[st.succ.host].at(st.succ.kind);
+      EXPECT_EQ(succ_st.pred, st.self);
+      const VirtualState& pred_st = links[st.pred.host].at(st.pred.kind);
+      EXPECT_EQ(pred_st.succ, st.self);
+    }
+  }
+  EXPECT_EQ(count, 3 * n);
+}
+
+TEST_P(TopologyTest, ExactlyOneAnchorAndItIsTheMinimum) {
+  const std::size_t n = GetParam();
+  HashFunction h(43);
+  const auto links = build_topology(n, h);
+
+  Point min_label = ~0ULL;
+  for (const auto& nl : links) {
+    for (VKind k : kAllKinds) min_label = std::min(min_label, nl.at(k).self.label);
+  }
+  int anchors = 0;
+  for (const auto& nl : links) {
+    for (VKind k : kAllKinds) {
+      if (nl.at(k).is_anchor) {
+        ++anchors;
+        EXPECT_EQ(nl.at(k).self.label, min_label);
+        EXPECT_EQ(k, VKind::kLeft);  // the minimum is always a left node
+      }
+    }
+  }
+  EXPECT_EQ(anchors, 1);
+}
+
+TEST_P(TopologyTest, ParentChildLinksAreMutual) {
+  const std::size_t n = GetParam();
+  HashFunction h(44);
+  const auto links = build_topology(n, h);
+
+  for (const auto& nl : links) {
+    for (VKind k : kAllKinds) {
+      const VirtualState& st = nl.at(k);
+      if (!st.is_anchor) {
+        ASSERT_TRUE(st.parent.valid()) << to_string(st.self);
+        const VirtualState& pst = links[st.parent.host].at(st.parent.kind);
+        bool found = false;
+        for (const auto& c : pst.children) found |= (c == st.self);
+        EXPECT_TRUE(found) << to_string(st.self) << " not a child of its parent";
+      }
+      for (const auto& c : st.children) {
+        const VirtualState& cst = links[c.host].at(c.kind);
+        EXPECT_EQ(cst.parent, st.self);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyTest, LabelsStrictlyDecreaseTowardsRoot) {
+  const std::size_t n = GetParam();
+  HashFunction h(45);
+  const auto links = build_topology(n, h);
+  for (const auto& nl : links) {
+    for (VKind k : kAllKinds) {
+      const VirtualState& st = nl.at(k);
+      if (!st.is_anchor) {
+        EXPECT_LT(st.parent.label, st.self.label);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyTest, RightNodesAreExactlyTheLeaves) {
+  const std::size_t n = GetParam();
+  HashFunction h(46);
+  const auto links = build_topology(n, h);
+  for (const auto& nl : links) {
+    EXPECT_TRUE(nl.at(VKind::kRight).children.empty());
+    EXPECT_FALSE(nl.at(VKind::kLeft).children.empty());
+    EXPECT_FALSE(nl.at(VKind::kMiddle).children.empty());
+  }
+}
+
+TEST_P(TopologyTest, TreeSpansAllVirtualNodes) {
+  const std::size_t n = GetParam();
+  HashFunction h(47);
+  const auto links = build_topology(n, h);
+  const auto stats = analyze_topology(links);  // throws on broken chains
+  EXPECT_EQ(stats.num_virtual, 3 * n);
+  EXPECT_LE(stats.max_tree_degree, 2u);
+  EXPECT_NE(stats.anchor_host, kNoNode);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologyTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 33, 100, 256,
+                                           1000));
+
+TEST(Topology, HeightGrowsLogarithmically) {
+  HashFunction h(48);
+  // Height should be O(log n): check it stays under c*log2(n) for a
+  // generous c across two orders of magnitude.
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto links = build_topology(n, h);
+    const auto stats = analyze_topology(links);
+    const double logn = std::log2(static_cast<double>(n));
+    EXPECT_LT(static_cast<double>(stats.tree_height), 8.0 * logn)
+        << "n=" << n << " height=" << stats.tree_height;
+    EXPECT_GE(static_cast<double>(stats.tree_height), logn / 2.0);
+  }
+}
+
+TEST(Topology, Figure2TwoNodeExample) {
+  // Figure 2 of the paper: two real nodes u, v yield 6 virtual nodes with
+  // bold tree edges l(u)-m(u), m(u)-r(u), l(u)-l(v) (linear), l(v)-m(v),
+  // m(v)-r(v) when labels are ordered l(u) < l(v) < m(u) < m(v) < r(u) <
+  // r(v). We search for a seed giving that ordering, then check the tree.
+  for (std::uint64_t seed = 0; seed < 5000; ++seed) {
+    HashFunction h(seed);
+    Point mu = h.point(0), mv = h.point(1);
+    NodeId u = 0, v = 1;
+    if (mu > mv) {
+      std::swap(mu, mv);
+      std::swap(u, v);
+    }
+    const Point lu = mu >> 1, lv = mv >> 1;
+    const Point ru = (mu >> 1) + kHalf, rv = (mv >> 1) + kHalf;
+    // Figure 2 ordering.
+    if (!(lu < lv && lv < mu && mu < mv && mv < ru && ru < rv)) continue;
+
+    const auto links = build_topology(2, h);
+    const auto& Lu = links[u].at(VKind::kLeft);
+    const auto& Lv = links[v].at(VKind::kLeft);
+    const auto& Mu = links[u].at(VKind::kMiddle);
+    const auto& Mv = links[v].at(VKind::kMiddle);
+    const auto& Ru = links[u].at(VKind::kRight);
+    const auto& Rv = links[v].at(VKind::kRight);
+
+    EXPECT_TRUE(Lu.is_anchor);
+    // l(u): children m(u) and l(v) (its successor is a left node).
+    ASSERT_EQ(Lu.children.size(), 2u);
+    EXPECT_EQ(Lu.children[0], Mu.self);
+    EXPECT_EQ(Lu.children[1], Lv.self);
+    // l(v): child m(v); successor is m(u), not a left node.
+    ASSERT_EQ(Lv.children.size(), 1u);
+    EXPECT_EQ(Lv.children[0], Mv.self);
+    // middles have their rights as children; successors m(v), r(u) are not
+    // left nodes, so no extra child.
+    ASSERT_EQ(Mu.children.size(), 1u);
+    EXPECT_EQ(Mu.children[0], Ru.self);
+    ASSERT_EQ(Mv.children.size(), 1u);
+    EXPECT_EQ(Mv.children[0], Rv.self);
+    EXPECT_TRUE(Ru.children.empty());
+    EXPECT_TRUE(Rv.children.empty());
+    return;  // reproduced the figure
+  }
+  FAIL() << "no seed produced the Figure 2 label ordering";
+}
+
+}  // namespace
+}  // namespace sks::overlay

@@ -1,0 +1,241 @@
+#include "seap/seap_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "core/semantics.hpp"
+
+namespace sks::seap {
+namespace {
+
+TEST(Seap, SingleInsertDelete) {
+  SeapSystem sys({.num_nodes = 4, .seed = 1});
+  const Element e = sys.insert(0, 123456789);
+  std::vector<std::optional<Element>> got;
+  sys.delete_min(2, [&](std::optional<Element> x) { got.push_back(x); });
+  sys.run_cycle();
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_TRUE(got[0].has_value());
+  EXPECT_EQ(*got[0], e);
+}
+
+TEST(Seap, DeletesReturnTheSmallestElements) {
+  SeapSystem sys({.num_nodes = 8, .seed = 2});
+  Rng rng(22);
+  std::vector<Element> inserted;
+  for (int i = 0; i < 40; ++i) {
+    inserted.push_back(
+        sys.insert(static_cast<NodeId>(rng.below(8)), rng.range(1, 1u << 30)));
+  }
+  sys.run_cycle();
+
+  std::vector<Element> got;
+  for (int i = 0; i < 10; ++i) {
+    sys.delete_min(static_cast<NodeId>(i % 8),
+                   [&](std::optional<Element> x) {
+                     ASSERT_TRUE(x.has_value());
+                     got.push_back(*x);
+                   });
+  }
+  sys.run_cycle();
+  ASSERT_EQ(got.size(), 10u);
+  std::sort(inserted.begin(), inserted.end());
+  std::sort(got.begin(), got.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)],
+                                         inserted[static_cast<std::size_t>(i)]);
+}
+
+TEST(Seap, EmptyHeapReturnsBottom) {
+  SeapSystem sys({.num_nodes = 4, .seed = 3});
+  int bottoms = 0;
+  sys.delete_min(1, [&](std::optional<Element> x) { bottoms += !x; });
+  sys.delete_min(3, [&](std::optional<Element> x) { bottoms += !x; });
+  sys.run_cycle();
+  EXPECT_EQ(bottoms, 2);
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Seap, MoreDeletesThanElements) {
+  SeapSystem sys({.num_nodes = 4, .seed = 4});
+  sys.insert(0, 5);
+  sys.insert(1, 7);
+  int matched = 0, bottoms = 0;
+  for (int i = 0; i < 6; ++i) {
+    sys.delete_min(static_cast<NodeId>(i % 4), [&](std::optional<Element> x) {
+      (x ? matched : bottoms)++;
+    });
+  }
+  sys.run_cycle();
+  EXPECT_EQ(matched, 2);
+  EXPECT_EQ(bottoms, 4);
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Seap, InsertsAndDeletesInTheSameCycle) {
+  // Inserts of a cycle are serialized before its deletes (Lemma 5.2), so
+  // same-cycle deletes see same-cycle inserts.
+  SeapSystem sys({.num_nodes = 8, .seed = 5});
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 100 + v);
+  int matched = 0;
+  for (NodeId v = 0; v < 4; ++v) {
+    sys.delete_min(v, [&](std::optional<Element> x) { matched += !!x; });
+  }
+  sys.run_cycle();
+  EXPECT_EQ(matched, 4);
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Seap, ManyCyclesAreSerializableAndHeapConsistent) {
+  SeapSystem sys({.num_nodes = 16, .seed = 6});
+  Rng rng(66);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (NodeId v = 0; v < 16; ++v) {
+      for (int i = 0; i < 3; ++i) {
+        if (rng.flip(0.6)) {
+          sys.insert(v, rng.range(1, ~0ULL >> 20));
+        } else {
+          sys.delete_min(v);
+        }
+      }
+    }
+    sys.run_cycle();
+  }
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Seap, SerializableUnderAsynchrony) {
+  SeapSystem sys({.num_nodes = 12,
+                  .seed = 7,
+                  .mode = sim::DeliveryMode::kAsynchronous,
+                  .max_delay = 10});
+  Rng rng(77);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (NodeId v = 0; v < 12; ++v) {
+      const int ops = static_cast<int>(rng.range(0, 4));
+      for (int i = 0; i < ops; ++i) {
+        if (rng.flip(0.55)) {
+          sys.insert(v, rng.range(1, ~0ULL >> 24));
+        } else {
+          sys.delete_min(v);
+        }
+      }
+    }
+    sys.run_cycle();
+  }
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Seap, ElementsSurviveAcrossCycles) {
+  SeapSystem sys({.num_nodes = 8, .seed = 8});
+  std::vector<Element> inserted;
+  for (NodeId v = 0; v < 8; ++v) {
+    inserted.push_back(sys.insert(v, 1000 + v));
+  }
+  sys.run_cycle();
+  sys.run_cycle();  // idle cycle
+
+  std::vector<Element> got;
+  for (NodeId v = 0; v < 8; ++v) {
+    sys.delete_min(v, [&](std::optional<Element> x) {
+      ASSERT_TRUE(x.has_value());
+      got.push_back(*x);
+    });
+  }
+  sys.run_cycle();
+  std::sort(got.begin(), got.end());
+  std::sort(inserted.begin(), inserted.end());
+  EXPECT_EQ(got, inserted);
+}
+
+TEST(Seap, ArbitraryPriorityRangeWithDuplicates) {
+  SeapSystem sys({.num_nodes = 8, .seed = 9});
+  // Many duplicates across the full 64-bit-ish priority space.
+  std::vector<Element> inserted;
+  for (int i = 0; i < 60; ++i) {
+    inserted.push_back(
+        sys.insert(static_cast<NodeId>(i % 8),
+                   (static_cast<Priority>(i) % 5) * 1'000'000'007ULL));
+  }
+  sys.run_cycle();
+  std::vector<Element> got;
+  for (int i = 0; i < 60; ++i) {
+    sys.delete_min(static_cast<NodeId>(i % 8),
+                   [&](std::optional<Element> x) {
+                     ASSERT_TRUE(x.has_value());
+                     got.push_back(*x);
+                   });
+  }
+  sys.run_cycle();
+  std::sort(got.begin(), got.end());
+  std::sort(inserted.begin(), inserted.end());
+  EXPECT_EQ(got, inserted);
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Seap, AnchorTracksHeapSize) {
+  SeapSystem sys({.num_nodes = 8, .seed = 10});
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, v + 1);
+  sys.run_cycle();
+  EXPECT_EQ(sys.anchor_node().anchor_heap_size(), 8u);
+  for (NodeId v = 0; v < 3; ++v) sys.delete_min(v);
+  sys.run_cycle();
+  EXPECT_EQ(sys.anchor_node().anchor_heap_size(), 5u);
+}
+
+TEST(Seap, RoundsPerCycleGrowLogarithmically) {
+  // Theorem 5.1(3): both phases finish in O(log n) rounds w.h.p.
+  std::vector<double> rounds;
+  for (std::size_t n : {32u, 128u, 512u}) {
+    SeapSystem sys({.num_nodes = n, .seed = 11});
+    Rng rng(100 + n);
+    // Preload so KSelect has real work.
+    for (NodeId v = 0; v < n; ++v) {
+      for (int i = 0; i < 5; ++i) sys.insert(v, rng.range(1, ~0ULL >> 16));
+    }
+    sys.run_cycle();
+    std::uint64_t total = 0;
+    constexpr int kCycles = 3;
+    for (int c = 0; c < kCycles; ++c) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (rng.flip(0.5)) sys.insert(v, rng.range(1, ~0ULL >> 16));
+        if (rng.flip(0.5)) sys.delete_min(v);
+      }
+      total += sys.run_cycle();
+    }
+    rounds.push_back(static_cast<double>(total) / kCycles);
+  }
+  for (std::size_t i = 1; i < rounds.size(); ++i) {
+    EXPECT_LT(rounds[i], rounds[i - 1] * 2.0)
+        << "rounds grow too fast: " << rounds[i - 1] << " -> " << rounds[i];
+  }
+}
+
+TEST(Seap, FairnessElementsSpreadOverNodes) {
+  SeapSystem sys({.num_nodes = 32, .seed = 12});
+  for (int i = 0; i < 32 * 20; ++i) {
+    sys.insert(static_cast<NodeId>(i % 32),
+               static_cast<Priority>(i * 977 + 1));
+  }
+  sys.run_cycle();
+  std::size_t total = 0, max_load = 0;
+  for (NodeId v = 0; v < 32; ++v) {
+    const std::size_t load = sys.node(v).dht().stored_count();
+    total += load;
+    max_load = std::max(max_load, load);
+  }
+  EXPECT_EQ(total, 32u * 20u);
+  EXPECT_LT(max_load, 8u * 20u);
+}
+
+}  // namespace
+}  // namespace sks::seap

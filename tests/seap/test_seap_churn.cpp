@@ -1,0 +1,101 @@
+// Seap under churn (Contribution 4): join/leave between cycles with the
+// anchor's heap-size counter migrating alongside the anchor role.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/semantics.hpp"
+#include "seap/seap_system.hpp"
+
+namespace sks::seap {
+namespace {
+
+TEST(SeapChurn, JoinedNodeParticipates) {
+  SeapSystem sys({.num_nodes = 8, .seed = 61});
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 100 + v);
+  sys.run_cycle();
+
+  const NodeId newbie = sys.join_node();
+  sys.insert(newbie, 5);  // the most urgent element now
+  std::optional<Element> got;
+  sys.delete_min(newbie, [&](std::optional<Element> x) { got = x; });
+  sys.run_cycle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->prio, 5u);
+
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SeapChurn, LeavePreservesElementsAndHeapSize) {
+  SeapSystem sys({.num_nodes = 8, .seed = 62});
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 1000 + v);
+  sys.run_cycle();
+  EXPECT_EQ(sys.anchor_node().anchor_heap_size(), 8u);
+
+  sys.leave_node(sys.anchor() == 2 ? NodeId{3} : NodeId{2});
+  EXPECT_EQ(sys.anchor_node().anchor_heap_size(), 8u);
+
+  std::vector<Element> got;
+  for (NodeId v : sys.active_nodes()) {
+    sys.delete_min(v, [&](std::optional<Element> x) {
+      if (x) got.push_back(*x);
+    });
+  }
+  sys.run_cycle();
+  EXPECT_EQ(got.size(), 7u);  // 7 deleters, 8 elements
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SeapChurn, AnchorLeaveMigratesHeapSize) {
+  SeapSystem sys({.num_nodes = 8, .seed = 63});
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 77 + v);
+  sys.run_cycle();
+
+  const NodeId old_anchor = sys.anchor();
+  sys.leave_node(old_anchor);
+  EXPECT_NE(sys.anchor(), old_anchor);
+  EXPECT_EQ(sys.anchor_node().anchor_heap_size(), 8u);
+
+  int matched = 0;
+  for (NodeId v : sys.active_nodes()) {
+    sys.delete_min(v, [&](std::optional<Element> x) { matched += !!x; });
+  }
+  sys.run_cycle();
+  EXPECT_EQ(matched, 7);
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SeapChurn, StormWithTraffic) {
+  SeapSystem sys({.num_nodes = 10, .seed = 64});
+  Rng rng(65);
+  int matched = 0, bottoms = 0;
+  for (int step = 0; step < 6; ++step) {
+    for (NodeId v : sys.active_nodes()) {
+      if (rng.flip(0.7)) sys.insert(v, rng.range(1, ~0ULL >> 20));
+      if (rng.flip(0.4)) {
+        sys.delete_min(v, [&](std::optional<Element> x) {
+          (x ? matched : bottoms)++;
+        });
+      }
+    }
+    sys.run_cycle();
+    if (step % 2 == 0) {
+      sys.join_node();
+    } else if (sys.active_nodes().size() > 4) {
+      std::vector<NodeId> nodes(sys.active_nodes().begin(),
+                                sys.active_nodes().end());
+      sys.leave_node(nodes[rng.below(nodes.size())]);
+    }
+  }
+  sys.run_cycle();
+  EXPECT_GT(matched, 0);
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+}  // namespace
+}  // namespace sks::seap

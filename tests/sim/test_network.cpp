@@ -1,0 +1,174 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/dispatch.hpp"
+
+namespace sks::sim {
+namespace {
+
+struct Ping final : Payload {
+  std::uint64_t value = 0;
+  std::uint64_t bits = 16;
+  std::uint64_t size_bits() const override { return bits; }
+  const char* name() const override { return "ping"; }
+};
+
+struct Pong final : Payload {
+  std::uint64_t value = 0;
+  std::uint64_t size_bits() const override { return 16; }
+  const char* name() const override { return "pong"; }
+};
+
+class EchoNode : public DispatchingNode {
+ public:
+  EchoNode() {
+    on<Ping>([this](NodeId from, std::unique_ptr<Ping> p) {
+      received_pings.push_back(p->value);
+      auto reply = std::make_unique<Pong>();
+      reply->value = p->value;
+      send(from, std::move(reply));
+    });
+    on<Pong>([this](NodeId, std::unique_ptr<Pong> p) {
+      received_pongs.push_back(p->value);
+    });
+  }
+
+  void ping(NodeId to, std::uint64_t v) {
+    auto p = std::make_unique<Ping>();
+    p->value = v;
+    send(to, std::move(p));
+  }
+
+  std::vector<std::uint64_t> received_pings;
+  std::vector<std::uint64_t> received_pongs;
+};
+
+TEST(Network, SynchronousDeliveryTakesOneRound) {
+  Network net;
+  const NodeId a = net.add_node(std::make_unique<EchoNode>());
+  const NodeId b = net.add_node(std::make_unique<EchoNode>());
+
+  net.node_as<EchoNode>(a).ping(b, 7);
+  EXPECT_FALSE(net.idle());
+  net.step();  // ping delivered, pong sent
+  EXPECT_EQ(net.node_as<EchoNode>(b).received_pings,
+            std::vector<std::uint64_t>{7});
+  EXPECT_TRUE(net.node_as<EchoNode>(a).received_pongs.empty());
+  net.step();  // pong delivered
+  EXPECT_EQ(net.node_as<EchoNode>(a).received_pongs,
+            std::vector<std::uint64_t>{7});
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(Network, RunUntilIdleCountsRounds) {
+  Network net;
+  const NodeId a = net.add_node(std::make_unique<EchoNode>());
+  const NodeId b = net.add_node(std::make_unique<EchoNode>());
+  net.node_as<EchoNode>(a).ping(b, 1);
+  const auto rounds = net.run_until_idle();
+  EXPECT_EQ(rounds, 2u);  // ping, then pong
+}
+
+TEST(Network, NoMessagesLostUnderLoad) {
+  Network net;
+  const NodeId a = net.add_node(std::make_unique<EchoNode>());
+  const NodeId b = net.add_node(std::make_unique<EchoNode>());
+  for (std::uint64_t i = 0; i < 500; ++i) net.node_as<EchoNode>(a).ping(b, i);
+  net.run_until_idle();
+  auto& pings = net.node_as<EchoNode>(b).received_pings;
+  auto& pongs = net.node_as<EchoNode>(a).received_pongs;
+  EXPECT_EQ(pings.size(), 500u);
+  EXPECT_EQ(pongs.size(), 500u);
+  std::sort(pings.begin(), pings.end());
+  for (std::uint64_t i = 0; i < 500; ++i) EXPECT_EQ(pings[i], i);
+}
+
+TEST(Network, AsynchronousModeIsNonFifoButLossless) {
+  NetworkConfig cfg;
+  cfg.mode = DeliveryMode::kAsynchronous;
+  cfg.max_delay = 16;
+  cfg.seed = 99;
+  Network net(cfg);
+  const NodeId a = net.add_node(std::make_unique<EchoNode>());
+  const NodeId b = net.add_node(std::make_unique<EchoNode>());
+  for (std::uint64_t i = 0; i < 200; ++i) net.node_as<EchoNode>(a).ping(b, i);
+  net.run_until_idle();
+  auto pings = net.node_as<EchoNode>(b).received_pings;
+  EXPECT_EQ(pings.size(), 200u);
+  // Non-FIFO: the arrival order should differ from the send order.
+  EXPECT_FALSE(std::is_sorted(pings.begin(), pings.end()));
+  std::sort(pings.begin(), pings.end());
+  for (std::uint64_t i = 0; i < 200; ++i) EXPECT_EQ(pings[i], i);
+}
+
+TEST(Network, MetricsCountMessagesBitsAndCongestion) {
+  Network net;
+  const NodeId a = net.add_node(std::make_unique<EchoNode>());
+  const NodeId b = net.add_node(std::make_unique<EchoNode>());
+  const NodeId c = net.add_node(std::make_unique<EchoNode>());
+  (void)net.metrics().take();  // reset window
+
+  // b receives two pings in the same round: congestion 2.
+  net.node_as<EchoNode>(a).ping(b, 1);
+  net.node_as<EchoNode>(c).ping(b, 2);
+  net.run_until_idle();
+
+  const auto snap = net.metrics().take();
+  EXPECT_EQ(snap.total_messages, 4u);  // 2 pings + 2 pongs
+  EXPECT_EQ(snap.total_bits, 4u * 16u);
+  EXPECT_EQ(snap.max_message_bits, 16u);
+  EXPECT_EQ(snap.max_congestion, 2u);
+  EXPECT_EQ(snap.messages_by_type.at("ping"), 2u);
+  EXPECT_EQ(snap.messages_by_type.at("pong"), 2u);
+}
+
+TEST(Network, MetricsWindowsReset) {
+  Network net;
+  const NodeId a = net.add_node(std::make_unique<EchoNode>());
+  const NodeId b = net.add_node(std::make_unique<EchoNode>());
+  net.node_as<EchoNode>(a).ping(b, 1);
+  net.run_until_idle();
+  (void)net.metrics().take();
+  const auto snap = net.metrics().take();
+  EXPECT_EQ(snap.total_messages, 0u);
+  EXPECT_EQ(snap.rounds, 0u);
+}
+
+TEST(Network, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    NetworkConfig cfg;
+    cfg.mode = DeliveryMode::kAsynchronous;
+    cfg.seed = seed;
+    Network net(cfg);
+    const NodeId a = net.add_node(std::make_unique<EchoNode>());
+    const NodeId b = net.add_node(std::make_unique<EchoNode>());
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      net.node_as<EchoNode>(a).ping(b, i);
+    }
+    net.run_until_idle();
+    return net.node_as<EchoNode>(b).received_pings;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(Network, UnhandledPayloadTypeThrows) {
+  struct Mystery final : Payload {
+    std::uint64_t size_bits() const override { return 1; }
+    const char* name() const override { return "mystery"; }
+  };
+  Network net;
+  const NodeId a = net.add_node(std::make_unique<EchoNode>());
+  const NodeId b = net.add_node(std::make_unique<EchoNode>());
+  (void)a;
+  net.send(a, b, std::make_unique<Mystery>());
+  EXPECT_THROW(net.step(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace sks::sim

@@ -1,0 +1,194 @@
+#include "skeap/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sks::skeap {
+namespace {
+
+Batch make_batch(std::uint64_t i1, std::uint64_t i2, std::uint64_t d) {
+  Batch b(2);
+  for (std::uint64_t k = 0; k < i1; ++k) b.record_insert(1);
+  for (std::uint64_t k = 0; k < i2; ++k) b.record_insert(2);
+  for (std::uint64_t k = 0; k < d; ++k) b.record_delete();
+  return b;
+}
+
+TEST(AnchorState, StartsEmpty) {
+  AnchorState st(3);
+  EXPECT_EQ(st.total_occupancy(), 0u);
+  for (Priority p = 1; p <= 3; ++p) {
+    EXPECT_EQ(st.first(p), 1u);
+    EXPECT_EQ(st.last(p), 0u);
+    EXPECT_EQ(st.occupancy(p), 0u);
+  }
+}
+
+// Figure 1 of the paper, phases 2 and 3: combined batch ((4,1),3) on an
+// empty heap with P = {1,2}.
+TEST(AnchorState, Figure1Phase2) {
+  AnchorState st(2);
+  const Batch combined = make_batch(4, 1, 3);
+  const BatchAssignment asg = st.assign(combined);
+
+  ASSERT_EQ(asg.entries.size(), 1u);
+  const auto& e = asg.entries[0];
+  // Inserts: priority 1 gets [1,4], priority 2 gets [1,1].
+  EXPECT_EQ(e.inserts.at(1), (Interval{1, 4}));
+  EXPECT_EQ(e.inserts.at(2), (Interval{1, 1}));
+  // Deletes: [1,3] from priority 1, nothing from priority 2, no ⊥.
+  ASSERT_EQ(e.deletes.spans.spans().size(), 1u);
+  EXPECT_EQ(e.deletes.spans.spans()[0], (PrioritySpan{1, {1, 3}}));
+  EXPECT_EQ(e.deletes.bottoms, 0u);
+
+  // Anchor state as in Figure 1(c)/(d): first1=4, last1=4, first2=1,
+  // last2=1.
+  EXPECT_EQ(st.first(1), 4u);
+  EXPECT_EQ(st.last(1), 4u);
+  EXPECT_EQ(st.first(2), 1u);
+  EXPECT_EQ(st.last(2), 1u);
+  EXPECT_EQ(st.total_occupancy(), 2u);
+}
+
+TEST(AnchorState, Figure1Phase3Decomposition) {
+  AnchorState st(2);
+  const Batch combined = make_batch(4, 1, 3);
+  const BatchAssignment asg = st.assign(combined);
+
+  // Sub-batches in combination order: ((1,0),0), ((1,0),2), ((2,1),1) —
+  // the three per-node batches of Figure 1(a).
+  const std::vector<Batch> children{make_batch(1, 0, 0), make_batch(1, 0, 2),
+                                    make_batch(2, 1, 1)};
+  const auto parts = split_assignment(asg, children);
+  ASSERT_EQ(parts.size(), 3u);
+
+  // Node with ((1,0),0): insert [1,1] at priority 1, nothing else.
+  EXPECT_EQ(parts[0].entries[0].inserts.at(1), (Interval{1, 1}));
+  EXPECT_TRUE(parts[0].entries[0].inserts.at(2).empty());
+  EXPECT_EQ(parts[0].entries[0].deletes.total(), 0u);
+
+  // Node with ((1,0),2): insert [2,2] at priority 1, deletes [1,2].
+  EXPECT_EQ(parts[1].entries[0].inserts.at(1), (Interval{2, 2}));
+  ASSERT_EQ(parts[1].entries[0].deletes.spans.spans().size(), 1u);
+  EXPECT_EQ(parts[1].entries[0].deletes.spans.spans()[0],
+            (PrioritySpan{1, {1, 2}}));
+
+  // Node with ((2,1),1): inserts [3,4] at p1 and [1,1] at p2, delete [3,3].
+  EXPECT_EQ(parts[2].entries[0].inserts.at(1), (Interval{3, 4}));
+  EXPECT_EQ(parts[2].entries[0].inserts.at(2), (Interval{1, 1}));
+  ASSERT_EQ(parts[2].entries[0].deletes.spans.spans().size(), 1u);
+  EXPECT_EQ(parts[2].entries[0].deletes.spans.spans()[0],
+            (PrioritySpan{1, {3, 3}}));
+}
+
+TEST(AnchorState, DeletesSpillToLowerPriorities) {
+  AnchorState st(3);
+  Batch fill(3);
+  for (int i = 0; i < 2; ++i) fill.record_insert(1);
+  for (int i = 0; i < 3; ++i) fill.record_insert(2);
+  (void)st.assign(fill);
+  EXPECT_EQ(st.total_occupancy(), 5u);
+
+  Batch del(3);
+  for (int i = 0; i < 4; ++i) del.record_delete();
+  const auto asg = st.assign(del);
+  const auto& spans = asg.entries[0].deletes.spans.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0], (PrioritySpan{1, {1, 2}}));  // both p1 elements
+  EXPECT_EQ(spans[1], (PrioritySpan{2, {1, 2}}));  // then two p2 elements
+  EXPECT_EQ(asg.entries[0].deletes.bottoms, 0u);
+  EXPECT_EQ(st.total_occupancy(), 1u);
+}
+
+TEST(AnchorState, EmptyHeapYieldsBottoms) {
+  AnchorState st(2);
+  Batch del(2);
+  del.record_delete();
+  del.record_delete();
+  const auto asg = st.assign(del);
+  EXPECT_EQ(asg.entries[0].deletes.spans.total(), 0u);
+  EXPECT_EQ(asg.entries[0].deletes.bottoms, 2u);
+}
+
+TEST(AnchorState, SameEntryInsertsFeedSameEntryDeletes) {
+  // Within one entry the inserts are assigned before the deletes, so a
+  // batch ((1,0),1) on an empty heap matches the delete to the insert.
+  AnchorState st(2);
+  const auto asg = st.assign(make_batch(1, 0, 1));
+  EXPECT_EQ(asg.entries[0].inserts.at(1), (Interval{1, 1}));
+  ASSERT_EQ(asg.entries[0].deletes.spans.spans().size(), 1u);
+  EXPECT_EQ(asg.entries[0].deletes.spans.spans()[0],
+            (PrioritySpan{1, {1, 1}}));
+  EXPECT_EQ(asg.entries[0].deletes.bottoms, 0u);
+  EXPECT_EQ(st.total_occupancy(), 0u);
+}
+
+TEST(AnchorState, LaterEntriesSeeEarlierEntriesEffects) {
+  AnchorState st(1);
+  Batch b(1);
+  b.record_insert(1);  // entry 0
+  b.record_delete();   // entry 0
+  b.record_insert(1);  // entry 1
+  b.record_delete();   // entry 1
+  const auto asg = st.assign(b);
+  ASSERT_EQ(asg.entries.size(), 2u);
+  EXPECT_EQ(asg.entries[0].inserts.at(1), (Interval{1, 1}));
+  EXPECT_EQ(asg.entries[0].deletes.spans.spans()[0],
+            (PrioritySpan{1, {1, 1}}));
+  EXPECT_EQ(asg.entries[1].inserts.at(1), (Interval{2, 2}));
+  EXPECT_EQ(asg.entries[1].deletes.spans.spans()[0],
+            (PrioritySpan{1, {2, 2}}));
+}
+
+TEST(SplitAssignment, ThreeWayCarvePreservesEverything) {
+  Rng rng(777);
+  for (int trial = 0; trial < 100; ++trial) {
+    AnchorState st(2);
+    std::vector<Batch> children;
+    Batch combined(2);
+    for (int c = 0; c < 3; ++c) {
+      Batch b(2);
+      const int ops = static_cast<int>(rng.range(0, 6));
+      for (int i = 0; i < ops; ++i) {
+        if (rng.flip(0.6)) {
+          b.record_insert(rng.range(1, 2));
+        } else {
+          b.record_delete();
+        }
+      }
+      combined.combine(b);
+      children.push_back(std::move(b));
+    }
+    const auto asg = st.assign(combined);
+    const auto parts = split_assignment(asg, children);
+
+    // Per entry and priority, child parts partition the combined interval.
+    std::uint64_t total = 0;
+    for (const auto& part : parts) {
+      for (const auto& e : part.entries) {
+        total += e.inserts.total() + e.deletes.total();
+      }
+    }
+    EXPECT_EQ(total, asg.total_ops()) << "trial " << trial;
+    // Child op counts match their sub-batches.
+    for (std::size_t c = 0; c < 3; ++c) {
+      std::uint64_t child_ops = 0;
+      for (const auto& e : parts[c].entries) {
+        child_ops += e.inserts.total() + e.deletes.total();
+      }
+      EXPECT_EQ(child_ops, children[c].total_ops()) << "trial " << trial;
+    }
+  }
+}
+
+TEST(BatchAssignment, SizeBitsTracksContent) {
+  AnchorState st(2);
+  const auto small = st.assign(make_batch(1, 0, 0));
+  AnchorState st2(2);
+  const auto large = st2.assign(make_batch(500, 500, 400));
+  EXPECT_LT(small.size_bits(), large.size_bits());
+}
+
+}  // namespace
+}  // namespace sks::skeap

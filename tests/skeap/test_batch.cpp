@@ -1,0 +1,146 @@
+#include "skeap/batch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sks::skeap {
+namespace {
+
+TEST(Batch, PaperExampleFromSection31) {
+  // Insert(e1), Insert(e2), DeleteMin(), Insert(e3), DeleteMin() with
+  // prio(e1)=prio(e2)=1, prio(e3)=2 is represented by ((2,0),1,(0,1),1).
+  Batch b(2);
+  EXPECT_EQ(b.record_insert(1), 0u);
+  EXPECT_EQ(b.record_insert(1), 0u);
+  EXPECT_EQ(b.record_delete(), 0u);
+  EXPECT_EQ(b.record_insert(2), 1u);
+  EXPECT_EQ(b.record_delete(), 1u);
+
+  ASSERT_EQ(b.length(), 2u);
+  EXPECT_EQ(b.entries()[0].inserts[1], 2u);
+  EXPECT_EQ(b.entries()[0].inserts[2], 0u);
+  EXPECT_EQ(b.entries()[0].deletes, 1u);
+  EXPECT_EQ(b.entries()[1].inserts[1], 0u);
+  EXPECT_EQ(b.entries()[1].inserts[2], 1u);
+  EXPECT_EQ(b.entries()[1].deletes, 1u);
+  EXPECT_EQ(to_string(b), "((2,0),1, (0,1),1)");
+}
+
+TEST(Batch, LeadingDeleteOpensZeroInsertEntry) {
+  Batch b(1);
+  EXPECT_EQ(b.record_delete(), 0u);
+  EXPECT_EQ(b.record_insert(1), 1u);  // insert after delete: new entry
+  ASSERT_EQ(b.length(), 2u);
+  EXPECT_EQ(b.entries()[0].inserts[1], 0u);
+  EXPECT_EQ(b.entries()[0].deletes, 1u);
+  EXPECT_EQ(b.entries()[1].inserts[1], 1u);
+  EXPECT_EQ(b.entries()[1].deletes, 0u);
+}
+
+TEST(Batch, ConsecutiveDeletesShareAnEntry) {
+  Batch b(1);
+  b.record_insert(1);
+  b.record_delete();
+  b.record_delete();
+  b.record_delete();
+  ASSERT_EQ(b.length(), 1u);
+  EXPECT_EQ(b.entries()[0].deletes, 3u);
+}
+
+TEST(Batch, CombineEntrywiseWithZeroPadding) {
+  Batch b1(2);
+  b1.record_insert(1);
+  b1.record_delete();
+  b1.record_insert(2);  // entry 1
+
+  Batch b2(2);
+  b2.record_insert(2);
+  b2.record_insert(2);
+  b2.record_delete();
+
+  b1.combine(b2);
+  ASSERT_EQ(b1.length(), 2u);
+  EXPECT_EQ(b1.entries()[0].inserts[1], 1u);
+  EXPECT_EQ(b1.entries()[0].inserts[2], 2u);
+  EXPECT_EQ(b1.entries()[0].deletes, 2u);
+  EXPECT_EQ(b1.entries()[1].inserts[2], 1u);
+  EXPECT_EQ(b1.entries()[1].deletes, 0u);
+}
+
+TEST(Batch, CombinePadsWhenOtherIsLonger) {
+  Batch b1(1);
+  b1.record_insert(1);
+
+  Batch b2(1);
+  b2.record_delete();
+  b2.record_insert(1);
+  b2.record_delete();
+  ASSERT_EQ(b2.length(), 2u);
+
+  b1.combine(b2);
+  ASSERT_EQ(b1.length(), 2u);
+  EXPECT_EQ(b1.entries()[0].inserts[1], 1u);
+  EXPECT_EQ(b1.entries()[0].deletes, 1u);
+  EXPECT_EQ(b1.entries()[1].inserts[1], 1u);
+  EXPECT_EQ(b1.entries()[1].deletes, 1u);
+}
+
+TEST(Batch, CombineWithEmptyIsIdentity) {
+  Batch b1(2);
+  b1.record_insert(1);
+  b1.record_delete();
+  const Batch saved = b1;
+  b1.combine(Batch(2));
+  EXPECT_EQ(b1, saved);
+
+  Batch empty(2);
+  empty.combine(saved);
+  EXPECT_EQ(empty, saved);
+}
+
+TEST(Batch, TotalOpsCountsEverything) {
+  Batch b(3);
+  b.record_insert(1);
+  b.record_insert(3);
+  b.record_delete();
+  b.record_insert(2);
+  EXPECT_EQ(b.total_ops(), 4u);
+}
+
+TEST(Batch, FigureOneExampleBatches) {
+  // Figure 1(a): three nodes with batches ((1,0),2), ((1,0),0), ((2,1),1)
+  // combine to ((4,1),3).
+  auto make = [](std::uint64_t i1, std::uint64_t i2, std::uint64_t d) {
+    Batch b(2);
+    for (std::uint64_t k = 0; k < i1; ++k) b.record_insert(1);
+    for (std::uint64_t k = 0; k < i2; ++k) b.record_insert(2);
+    for (std::uint64_t k = 0; k < d; ++k) b.record_delete();
+    return b;
+  };
+  Batch combined = make(1, 0, 2);
+  combined.combine(make(1, 0, 0));
+  combined.combine(make(2, 1, 1));
+  ASSERT_EQ(combined.length(), 1u);
+  EXPECT_EQ(combined.entries()[0].inserts[1], 4u);
+  EXPECT_EQ(combined.entries()[0].inserts[2], 1u);
+  EXPECT_EQ(combined.entries()[0].deletes, 3u);
+}
+
+TEST(Batch, SizeBitsGrowsWithContent) {
+  Batch small(2);
+  small.record_insert(1);
+  Batch large(2);
+  for (int i = 0; i < 1000; ++i) {
+    large.record_insert(1);
+    large.record_delete();
+  }
+  EXPECT_LT(small.size_bits(), large.size_bits());
+}
+
+TEST(Batch, OutOfRangePriorityRejected) {
+  Batch b(2);
+  EXPECT_THROW(b.record_insert(0), CheckFailure);
+  EXPECT_THROW(b.record_insert(3), CheckFailure);
+}
+
+}  // namespace
+}  // namespace sks::skeap

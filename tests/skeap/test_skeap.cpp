@@ -1,0 +1,247 @@
+#include "skeap/skeap_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/semantics.hpp"
+
+namespace sks::skeap {
+namespace {
+
+TEST(Skeap, SingleNodeInsertDelete) {
+  SkeapSystem sys({.num_nodes = 1, .num_priorities = 2, .seed = 1});
+  const Element e = sys.insert(0, 1);
+  std::vector<std::optional<Element>> got;
+  sys.delete_min(0, [&](std::optional<Element> x) { got.push_back(x); });
+  sys.run_batch();
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_TRUE(got[0].has_value());
+  EXPECT_EQ(*got[0], e);
+}
+
+TEST(Skeap, DeleteMinPrefersHigherPriority) {
+  SkeapSystem sys({.num_nodes = 4, .num_priorities = 3, .seed = 2});
+  sys.insert(0, 3);
+  sys.insert(1, 1);
+  sys.insert(2, 2);
+  sys.run_batch();
+
+  std::vector<std::optional<Element>> got;
+  for (NodeId v = 0; v < 3; ++v) {
+    sys.delete_min(0, [&](std::optional<Element> x) { got.push_back(x); });
+  }
+  sys.run_batch();
+  ASSERT_EQ(got.size(), 3u);
+  // Callbacks arrive in network order, but the *serialization* must match
+  // the carve order: in node 0's trace (issue order) the three deletes
+  // come back with ascending priority.
+  std::vector<Priority> by_issue;
+  for (const auto& r : sys.trace_of(0)) {
+    if (!r.is_insert) by_issue.push_back(r.element.prio);
+  }
+  ASSERT_EQ(by_issue.size(), 3u);
+  EXPECT_EQ(by_issue[0], 1u);
+  EXPECT_EQ(by_issue[1], 2u);
+  EXPECT_EQ(by_issue[2], 3u);
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Skeap, EmptyHeapReturnsBottom) {
+  SkeapSystem sys({.num_nodes = 4, .num_priorities = 2, .seed = 3});
+  std::vector<std::optional<Element>> got;
+  sys.delete_min(1, [&](std::optional<Element> x) { got.push_back(x); });
+  sys.delete_min(2, [&](std::optional<Element> x) { got.push_back(x); });
+  sys.run_batch();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_FALSE(got[0].has_value());
+  EXPECT_FALSE(got[1].has_value());
+
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Skeap, MoreDeletesThanElements) {
+  SkeapSystem sys({.num_nodes = 4, .num_priorities = 2, .seed = 4});
+  sys.insert(0, 1);
+  sys.insert(0, 2);
+  int bottoms = 0, matched = 0;
+  for (int i = 0; i < 5; ++i) {
+    sys.delete_min(static_cast<NodeId>(i % 4),
+                   [&](std::optional<Element> x) {
+                     if (x) {
+                       ++matched;
+                     } else {
+                       ++bottoms;
+                     }
+                   });
+  }
+  sys.run_batch();
+  EXPECT_EQ(matched, 2);
+  EXPECT_EQ(bottoms, 3);
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Skeap, BatchAcrossManyNodesIsHeapConsistent) {
+  SkeapSystem sys({.num_nodes = 16, .num_priorities = 4, .seed = 5});
+  Rng rng(55);
+  // Two epochs of mixed operations from every node.
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (NodeId v = 0; v < 16; ++v) {
+      for (int i = 0; i < 5; ++i) {
+        if (rng.flip(0.6)) {
+          sys.insert(v, rng.range(1, 4));
+        } else {
+          sys.delete_min(v);
+        }
+      }
+    }
+    sys.run_batch();
+  }
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Skeap, SequentialConsistencyUnderAsynchrony) {
+  SkeapSystem sys({.num_nodes = 12,
+                   .num_priorities = 3,
+                   .seed = 6,
+                   .mode = sim::DeliveryMode::kAsynchronous,
+                   .max_delay = 12});
+  Rng rng(66);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (NodeId v = 0; v < 12; ++v) {
+      const int ops = static_cast<int>(rng.range(0, 4));
+      for (int i = 0; i < ops; ++i) {
+        if (rng.flip(0.55)) {
+          sys.insert(v, rng.range(1, 3));
+        } else {
+          sys.delete_min(v);
+        }
+      }
+    }
+    sys.run_batch();
+  }
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Skeap, PipelinedEpochsUnderAsynchronyDoNotMix) {
+  SkeapSystem sys({.num_nodes = 8,
+                   .num_priorities = 2,
+                   .seed = 7,
+                   .mode = sim::DeliveryMode::kAsynchronous,
+                   .max_delay = 10});
+  Rng rng(77);
+  // Start three epochs back-to-back without waiting for quiescence.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (NodeId v = 0; v < 8; ++v) {
+      for (int i = 0; i < 3; ++i) {
+        if (rng.flip(0.5)) {
+          sys.insert(v, rng.range(1, 2));
+        } else {
+          sys.delete_min(v);
+        }
+      }
+      sys.node(v).start_batch();
+    }
+  }
+  sys.net().run_until_idle();
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Skeap, ElementsSurviveAcrossEpochs) {
+  SkeapSystem sys({.num_nodes = 8, .num_priorities = 2, .seed = 8});
+  std::vector<Element> inserted;
+  for (NodeId v = 0; v < 8; ++v) inserted.push_back(sys.insert(v, 1 + v % 2));
+  sys.run_batch();
+  sys.run_batch();  // an empty epoch in between
+
+  std::vector<Element> got;
+  for (NodeId v = 0; v < 8; ++v) {
+    sys.delete_min(v, [&](std::optional<Element> x) {
+      ASSERT_TRUE(x.has_value());
+      got.push_back(*x);
+    });
+  }
+  sys.run_batch();
+  ASSERT_EQ(got.size(), 8u);
+  std::sort(got.begin(), got.end());
+  std::sort(inserted.begin(), inserted.end());
+  EXPECT_EQ(got, inserted);
+}
+
+TEST(Skeap, FairnessElementsSpreadOverNodes) {
+  SkeapSystem sys({.num_nodes = 32, .num_priorities = 2, .seed = 9});
+  for (int i = 0; i < 32 * 20; ++i) {
+    sys.insert(static_cast<NodeId>(i % 32), static_cast<Priority>(1 + i % 2));
+  }
+  sys.run_batch();
+  std::size_t total = 0, max_load = 0, nodes_with_elements = 0;
+  for (NodeId v = 0; v < 32; ++v) {
+    const std::size_t load = sys.node(v).dht().stored_count();
+    total += load;
+    max_load = std::max(max_load, load);
+    nodes_with_elements += (load > 0);
+  }
+  EXPECT_EQ(total, 32u * 20u);
+  EXPECT_GT(nodes_with_elements, 24u);  // almost all nodes hold something
+  EXPECT_LT(max_load, 8u * 20u);        // no node hoards
+}
+
+TEST(Skeap, RoundsPerBatchGrowLogarithmically) {
+  // Theorem 3.2(3): batches are processed in O(log n) rounds w.h.p.
+  std::vector<double> avg_rounds;
+  for (std::size_t n : {8u, 32u, 128u, 512u}) {
+    SkeapSystem sys({.num_nodes = n, .num_priorities = 2, .seed = 10});
+    Rng rng(100 + n);
+    std::uint64_t total = 0;
+    constexpr int kBatches = 5;
+    for (int b = 0; b < kBatches; ++b) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (rng.flip(0.7)) sys.insert(v, rng.range(1, 2));
+        if (rng.flip(0.3)) sys.delete_min(v);
+      }
+      total += sys.run_batch();
+    }
+    avg_rounds.push_back(static_cast<double>(total) / kBatches);
+  }
+  // Each 4x growth in n should add roughly a constant number of rounds;
+  // certainly the ratio of successive measurements must stay near 1.
+  for (std::size_t i = 1; i < avg_rounds.size(); ++i) {
+    EXPECT_LT(avg_rounds[i], avg_rounds[i - 1] * 2.0)
+        << "rounds not logarithmic: " << avg_rounds[i - 1] << " -> "
+        << avg_rounds[i];
+  }
+  const double log512 = std::log2(512.0);
+  EXPECT_LT(avg_rounds.back(), 30.0 * log512);
+}
+
+TEST(Skeap, TraceRecordsMatchCallbacks) {
+  SkeapSystem sys({.num_nodes = 4, .num_priorities = 2, .seed = 11});
+  sys.insert(0, 2);
+  sys.insert(1, 1);
+  std::map<NodeId, Element> results;
+  sys.delete_min(2, [&](std::optional<Element> x) { results[2] = *x; });
+  sys.delete_min(3, [&](std::optional<Element> x) { results[3] = *x; });
+  sys.run_batch();
+
+  const auto trace = sys.gather_trace();
+  ASSERT_EQ(trace.size(), 4u);
+  for (const auto& r : trace) {
+    EXPECT_TRUE(r.completed);
+    if (!r.is_insert) {
+      ASSERT_TRUE(results.count(r.node));
+      EXPECT_EQ(results[r.node], r.element);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sks::skeap

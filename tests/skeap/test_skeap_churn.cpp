@@ -1,0 +1,124 @@
+// Heap-level churn (Contribution 4): nodes join and leave a live Skeap
+// system between batches; semantics and data survive, and the anchor role
+// migrates with its interval state when the minimum label changes hands.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/semantics.hpp"
+#include "skeap/skeap_system.hpp"
+
+namespace sks::skeap {
+namespace {
+
+TEST(SkeapChurn, JoinedNodeParticipatesInHeap) {
+  SkeapSystem sys({.num_nodes = 8, .num_priorities = 2, .seed = 31});
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 1 + v % 2);
+  sys.run_batch();
+
+  const NodeId newbie = sys.join_node();
+  EXPECT_EQ(sys.active_nodes().size(), 9u);
+
+  // The new node can insert and delete.
+  sys.insert(newbie, 1);
+  std::optional<Element> got;
+  sys.delete_min(newbie, [&](std::optional<Element> x) { got = x; });
+  sys.run_batch();
+  ASSERT_TRUE(got.has_value());
+
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SkeapChurn, LeaveKeepsElementsRetrievable) {
+  SkeapSystem sys({.num_nodes = 8, .num_priorities = 2, .seed = 32});
+  std::vector<Element> inserted;
+  for (NodeId v = 0; v < 8; ++v) {
+    inserted.push_back(sys.insert(v, 1 + v % 2));
+  }
+  sys.run_batch();
+
+  // Two non-issuing nodes leave; all elements must survive the handover.
+  sys.leave_node(3);
+  sys.leave_node(6);
+  EXPECT_EQ(sys.active_nodes().size(), 6u);
+
+  std::vector<Element> got;
+  for (NodeId v : sys.active_nodes()) {
+    sys.delete_min(v, [&](std::optional<Element> x) {
+      ASSERT_TRUE(x.has_value());
+      got.push_back(*x);
+    });
+  }
+  sys.run_batch();
+  ASSERT_EQ(got.size(), 6u);  // 6 deleters for 8 elements
+  // Same-priority elements come back in position (not id) order, so
+  // compare the returned *priority* multiset with the 6 smallest.
+  std::vector<Priority> got_prios, want_prios;
+  for (const auto& e : got) got_prios.push_back(e.prio);
+  std::sort(inserted.begin(), inserted.end());
+  for (std::size_t i = 0; i < 6; ++i) want_prios.push_back(inserted[i].prio);
+  std::sort(got_prios.begin(), got_prios.end());
+  EXPECT_EQ(got_prios, want_prios);
+
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SkeapChurn, AnchorLeaveMigratesIntervalState) {
+  SkeapSystem sys({.num_nodes = 8, .num_priorities = 2, .seed = 33});
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 1);
+  sys.run_batch();
+
+  const NodeId old_anchor = sys.anchor();
+  sys.leave_node(old_anchor);
+  EXPECT_NE(sys.anchor(), old_anchor);
+  EXPECT_EQ(sys.node(sys.anchor()).anchor_heap_size(), 8u);
+
+  // Heap still orders correctly after the migration.
+  std::vector<Element> got;
+  for (NodeId v : sys.active_nodes()) {
+    sys.delete_min(v, [&](std::optional<Element> x) {
+      if (x) got.push_back(*x);
+    });
+  }
+  sys.run_batch();
+  EXPECT_EQ(got.size(), 7u);
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SkeapChurn, ChurnStormWithTraffic) {
+  SkeapSystem sys({.num_nodes = 10, .num_priorities = 3, .seed = 34});
+  Rng rng(77);
+  int matched = 0, bottoms = 0;
+  for (int step = 0; step < 8; ++step) {
+    // Traffic from every active node.
+    for (NodeId v : sys.active_nodes()) {
+      if (rng.flip(0.7)) sys.insert(v, rng.range(1, 3));
+      if (rng.flip(0.4)) {
+        sys.delete_min(v, [&](std::optional<Element> x) {
+          (x ? matched : bottoms)++;
+        });
+      }
+    }
+    sys.run_batch();
+    // Churn between batches.
+    if (step % 2 == 0) {
+      sys.join_node();
+    } else if (sys.active_nodes().size() > 4) {
+      // Leave a random active non-buffering node.
+      auto nodes = std::vector<NodeId>(sys.active_nodes().begin(),
+                                       sys.active_nodes().end());
+      sys.leave_node(nodes[rng.below(nodes.size())]);
+    }
+  }
+  sys.run_batch();
+  EXPECT_GT(matched, 0);
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+}  // namespace
+}  // namespace sks::skeap
