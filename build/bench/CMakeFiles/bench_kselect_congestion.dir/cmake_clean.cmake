@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kselect_congestion.dir/bench_kselect_congestion.cpp.o"
+  "CMakeFiles/bench_kselect_congestion.dir/bench_kselect_congestion.cpp.o.d"
+  "bench_kselect_congestion"
+  "bench_kselect_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kselect_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kselect_rounds.dir/bench_kselect_rounds.cpp.o"
+  "CMakeFiles/bench_kselect_rounds.dir/bench_kselect_rounds.cpp.o.d"
+  "bench_kselect_rounds"
+  "bench_kselect_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kselect_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kselect_shrinkage.dir/bench_kselect_shrinkage.cpp.o"
+  "CMakeFiles/bench_kselect_shrinkage.dir/bench_kselect_shrinkage.cpp.o.d"
+  "bench_kselect_shrinkage"
+  "bench_kselect_shrinkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kselect_shrinkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_kselect_shrinkage.
+# This may be replaced when dependencies are built.

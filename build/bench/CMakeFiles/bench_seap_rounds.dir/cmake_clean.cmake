@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seap_rounds.dir/bench_seap_rounds.cpp.o"
+  "CMakeFiles/bench_seap_rounds.dir/bench_seap_rounds.cpp.o.d"
+  "bench_seap_rounds"
+  "bench_seap_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seap_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skeap_congestion.dir/bench_skeap_congestion.cpp.o"
+  "CMakeFiles/bench_skeap_congestion.dir/bench_skeap_congestion.cpp.o.d"
+  "bench_skeap_congestion"
+  "bench_skeap_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skeap_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skeap_msgsize.dir/bench_skeap_msgsize.cpp.o"
+  "CMakeFiles/bench_skeap_msgsize.dir/bench_skeap_msgsize.cpp.o.d"
+  "bench_skeap_msgsize"
+  "bench_skeap_msgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skeap_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

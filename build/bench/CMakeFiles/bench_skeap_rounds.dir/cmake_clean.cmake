@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skeap_rounds.dir/bench_skeap_rounds.cpp.o"
+  "CMakeFiles/bench_skeap_rounds.dir/bench_skeap_rounds.cpp.o.d"
+  "bench_skeap_rounds"
+  "bench_skeap_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skeap_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

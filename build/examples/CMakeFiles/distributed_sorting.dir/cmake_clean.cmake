@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sorting.dir/distributed_sorting.cpp.o"
+  "CMakeFiles/distributed_sorting.dir/distributed_sorting.cpp.o.d"
+  "distributed_sorting"
+  "distributed_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

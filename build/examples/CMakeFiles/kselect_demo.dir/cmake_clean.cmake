@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kselect_demo.dir/kselect_demo.cpp.o"
+  "CMakeFiles/kselect_demo.dir/kselect_demo.cpp.o.d"
+  "kselect_demo"
+  "kselect_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kselect_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

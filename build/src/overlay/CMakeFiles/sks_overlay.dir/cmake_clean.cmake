@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sks_overlay.dir/topology.cpp.o"
+  "CMakeFiles/sks_overlay.dir/topology.cpp.o.d"
+  "libsks_overlay.a"
+  "libsks_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sks_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggregation.dir/aggregation/test_aggregator.cpp.o"
+  "CMakeFiles/test_aggregation.dir/aggregation/test_aggregator.cpp.o.d"
+  "CMakeFiles/test_aggregation.dir/aggregation/test_broadcast.cpp.o"
+  "CMakeFiles/test_aggregation.dir/aggregation/test_broadcast.cpp.o.d"
+  "test_aggregation"
+  "test_aggregation.pdb"
+  "test_aggregation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_heap.dir/core/test_distributed_heap.cpp.o"
+  "CMakeFiles/test_distributed_heap.dir/core/test_distributed_heap.cpp.o.d"
+  "test_distributed_heap"
+  "test_distributed_heap.pdb"
+  "test_distributed_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kselect.dir/kselect/test_kselect.cpp.o"
+  "CMakeFiles/test_kselect.dir/kselect/test_kselect.cpp.o.d"
+  "CMakeFiles/test_kselect.dir/kselect/test_kselect_distributions.cpp.o"
+  "CMakeFiles/test_kselect.dir/kselect/test_kselect_distributions.cpp.o.d"
+  "test_kselect"
+  "test_kselect.pdb"
+  "test_kselect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/overlay/test_membership.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/test_membership.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/test_membership.cpp.o.d"
+  "/root/repo/tests/overlay/test_routing.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/test_routing.cpp.o.d"
+  "/root/repo/tests/overlay/test_routing_properties.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/test_routing_properties.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/test_routing_properties.cpp.o.d"
+  "/root/repo/tests/overlay/test_topology.cpp" "tests/CMakeFiles/test_overlay.dir/overlay/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_overlay.dir/overlay/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/sks_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

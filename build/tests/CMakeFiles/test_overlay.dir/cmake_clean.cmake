@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay.dir/overlay/test_membership.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_membership.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/test_routing.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_routing.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/test_routing_properties.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_routing_properties.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/overlay/test_topology.cpp.o"
+  "CMakeFiles/test_overlay.dir/overlay/test_topology.cpp.o.d"
+  "test_overlay"
+  "test_overlay.pdb"
+  "test_overlay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seap.dir/seap/test_seap.cpp.o"
+  "CMakeFiles/test_seap.dir/seap/test_seap.cpp.o.d"
+  "CMakeFiles/test_seap.dir/seap/test_seap_churn.cpp.o"
+  "CMakeFiles/test_seap.dir/seap/test_seap_churn.cpp.o.d"
+  "CMakeFiles/test_seap.dir/seap/test_seap_sc.cpp.o"
+  "CMakeFiles/test_seap.dir/seap/test_seap_sc.cpp.o.d"
+  "test_seap"
+  "test_seap.pdb"
+  "test_seap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/skeap/test_assignment.cpp" "tests/CMakeFiles/test_skeap.dir/skeap/test_assignment.cpp.o" "gcc" "tests/CMakeFiles/test_skeap.dir/skeap/test_assignment.cpp.o.d"
+  "/root/repo/tests/skeap/test_batch.cpp" "tests/CMakeFiles/test_skeap.dir/skeap/test_batch.cpp.o" "gcc" "tests/CMakeFiles/test_skeap.dir/skeap/test_batch.cpp.o.d"
+  "/root/repo/tests/skeap/test_skeap.cpp" "tests/CMakeFiles/test_skeap.dir/skeap/test_skeap.cpp.o" "gcc" "tests/CMakeFiles/test_skeap.dir/skeap/test_skeap.cpp.o.d"
+  "/root/repo/tests/skeap/test_skeap_churn.cpp" "tests/CMakeFiles/test_skeap.dir/skeap/test_skeap_churn.cpp.o" "gcc" "tests/CMakeFiles/test_skeap.dir/skeap/test_skeap_churn.cpp.o.d"
+  "/root/repo/tests/skeap/test_skeap_properties.cpp" "tests/CMakeFiles/test_skeap.dir/skeap/test_skeap_properties.cpp.o" "gcc" "tests/CMakeFiles/test_skeap.dir/skeap/test_skeap_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/sks_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skeap.dir/skeap/test_assignment.cpp.o"
+  "CMakeFiles/test_skeap.dir/skeap/test_assignment.cpp.o.d"
+  "CMakeFiles/test_skeap.dir/skeap/test_batch.cpp.o"
+  "CMakeFiles/test_skeap.dir/skeap/test_batch.cpp.o.d"
+  "CMakeFiles/test_skeap.dir/skeap/test_skeap.cpp.o"
+  "CMakeFiles/test_skeap.dir/skeap/test_skeap.cpp.o.d"
+  "CMakeFiles/test_skeap.dir/skeap/test_skeap_churn.cpp.o"
+  "CMakeFiles/test_skeap.dir/skeap/test_skeap_churn.cpp.o.d"
+  "CMakeFiles/test_skeap.dir/skeap/test_skeap_properties.cpp.o"
+  "CMakeFiles/test_skeap.dir/skeap/test_skeap_properties.cpp.o.d"
+  "test_skeap"
+  "test_skeap.pdb"
+  "test_skeap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skeap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

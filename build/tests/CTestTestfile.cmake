@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build/tests/test_dht[1]_include.cmake")
+include("/root/repo/build/tests/test_aggregation[1]_include.cmake")
+include("/root/repo/build/tests/test_skeap[1]_include.cmake")
+include("/root/repo/build/tests/test_kselect[1]_include.cmake")
+include("/root/repo/build/tests/test_seap[1]_include.cmake")
+include("/root/repo/build/tests/test_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
