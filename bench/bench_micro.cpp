@@ -101,6 +101,36 @@ void BM_SimulatorRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorRoundTrip);
 
+// The async pending queue (relative-round ring buffer) under randomized
+// delays — the path the churn/semantics experiments exercise.
+void BM_SimulatorAsyncRoundTrip(benchmark::State& state) {
+  sim::NetworkConfig cfg;
+  cfg.mode = sim::DeliveryMode::kAsynchronous;
+  cfg.max_delay = 8;
+  sim::Network net(cfg);
+  const NodeId b = net.add_node(std::make_unique<SinkNode>());
+  net.add_node(std::make_unique<SinkNode>());
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) net.node_as<SinkNode>(1).fire(b);
+    net.run_until_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulatorAsyncRoundTrip);
+
+// Typed node access — on the hot path of every harness accessor; served
+// from the registration-time pointer cache, no dynamic_cast.
+void BM_NodeAsAccess(benchmark::State& state) {
+  sim::Network net;
+  for (int i = 0; i < 64; ++i) net.add_node(std::make_unique<SinkNode>());
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&net.node_as<SinkNode>(v));
+    v = (v + 1) & 63;
+  }
+}
+BENCHMARK(BM_NodeAsAccess);
+
 }  // namespace
 }  // namespace sks
 

@@ -76,6 +76,22 @@ int main() {
 
   std::printf("\n%zu DeleteMins matched, %zu returned bottom\n", matched,
               bottoms);
+
+  // The runtime layer recorded every batch's substrate cost.
+  const auto& history = sys.cluster().epoch_history();
+  std::uint64_t total_rounds = 0, total_msgs = 0;
+  for (const auto& e : history) {
+    total_rounds += e.rounds;
+    total_msgs += e.messages;
+  }
+  std::printf("%zu batches: %llu rounds, %llu messages "
+              "(avg %.1f rounds/batch)\n",
+              history.size(), static_cast<unsigned long long>(total_rounds),
+              static_cast<unsigned long long>(total_msgs),
+              history.empty() ? 0.0
+                              : static_cast<double>(total_rounds) /
+                                    static_cast<double>(history.size()));
+
   const auto check = core::check_skeap_trace(sys.gather_trace());
   std::printf("sequential consistency across all churn: %s\n",
               check.ok ? "OK" : check.error.c_str());

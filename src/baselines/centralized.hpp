@@ -18,6 +18,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "runtime/cluster.hpp"
 #include "sim/dispatch.hpp"
 #include "sim/network.hpp"
 
@@ -100,6 +101,9 @@ class CentralNode : public sim::DispatchingNode {
 };
 
 /// Harness mirroring SkeapSystem's shape for the comparison benches.
+/// CentralNode is a plain sim node — no overlay — so the Cluster's
+/// topology/bootstrap paths compile out and only the shared network
+/// construction and run-to-quiescence driving remain.
 class CentralizedSystem {
  public:
   struct Options {
@@ -108,18 +112,25 @@ class CentralizedSystem {
     sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
   };
 
-  explicit CentralizedSystem(const Options& opts) : opts_(opts) {
-    sim::NetworkConfig cfg;
-    cfg.mode = opts.mode;
-    cfg.seed = opts.seed;
-    net_ = std::make_unique<sim::Network>(cfg);
-    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
-      net_->add_node(std::make_unique<CentralNode>(/*coordinator=*/0));
-    }
+  struct Config {};  ///< the coordinator baseline has no tunables
+  using Cluster = runtime::Cluster<CentralNode, Config>;
+
+  static runtime::ClusterOptions cluster_options(const Options& opts) {
+    runtime::ClusterOptions c;
+    c.num_nodes = opts.num_nodes;
+    c.seed = opts.seed;
+    c.mode = opts.mode;
+    return c;
   }
 
-  CentralNode& node(NodeId v) { return net_->node_as<CentralNode>(v); }
-  sim::Network& net() { return *net_; }
+  explicit CentralizedSystem(const Options& opts)
+      : cluster_(cluster_options(opts), [](std::size_t) { return Config{}; },
+                 [](const overlay::RouteParams&, const Config&, std::size_t) {
+                   return std::make_unique<CentralNode>(/*coordinator=*/0);
+                 }) {}
+
+  CentralNode& node(NodeId v) { return cluster_.node(v); }
+  sim::Network& net() { return cluster_.net(); }
 
   Element insert(NodeId v, Priority prio) {
     const Element e{prio, next_element_id_++};
@@ -131,11 +142,10 @@ class CentralizedSystem {
     node(v).delete_min(std::move(cb));
   }
 
-  std::uint64_t run() { return net_->run_until_idle(); }
+  std::uint64_t run() { return cluster_.run_until_idle(); }
 
  private:
-  Options opts_;
-  std::unique_ptr<sim::Network> net_;
+  Cluster cluster_;
   ElementId next_element_id_ = 1;
 };
 

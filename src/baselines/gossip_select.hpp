@@ -25,6 +25,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "runtime/cluster.hpp"
 #include "sim/dispatch.hpp"
 #include "sim/network.hpp"
 
@@ -238,19 +239,28 @@ class GossipSystem {
     sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
   };
 
-  explicit GossipSystem(const Options& opts) : opts_(opts) {
-    sim::NetworkConfig cfg;
-    cfg.mode = opts.mode;
-    cfg.seed = opts.seed;
-    net_ = std::make_unique<sim::Network>(cfg);
-    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
-      net_->add_node(
-          std::make_unique<GossipNode>(opts.num_nodes, opts.seed + i * 7919));
-    }
+  struct Config {};  ///< per-node seeds derive from the node index instead
+  using Cluster = runtime::Cluster<GossipNode, Config>;
+
+  static runtime::ClusterOptions cluster_options(const Options& opts) {
+    runtime::ClusterOptions c;
+    c.num_nodes = opts.num_nodes;
+    c.seed = opts.seed;
+    c.mode = opts.mode;
+    return c;
   }
 
-  GossipNode& node(NodeId v) { return net_->node_as<GossipNode>(v); }
-  sim::Network& net() { return *net_; }
+  explicit GossipSystem(const Options& opts)
+      : opts_(opts),
+        cluster_(cluster_options(opts), [](std::size_t) { return Config{}; },
+                 [opts](const overlay::RouteParams&, const Config&,
+                        std::size_t i) {
+                   return std::make_unique<GossipNode>(opts.num_nodes,
+                                                       opts.seed + i * 7919);
+                 }) {}
+
+  GossipNode& node(NodeId v) { return cluster_.node(v); }
+  sim::Network& net() { return cluster_.net(); }
 
   /// One value per node, [HMS18]-style.
   void seed_values(const std::vector<Element>& values) {
@@ -273,7 +283,7 @@ class GossipSystem {
       out.result = r;
       done = true;
     });
-    out.rounds = net_->run_until_idle();
+    out.rounds = cluster_.run_until_idle();
     out.iterations = node(initiator).iterations();
     SKS_CHECK_MSG(done, "gossip selection did not finish");
     return out;
@@ -281,7 +291,7 @@ class GossipSystem {
 
  private:
   Options opts_;
-  std::unique_ptr<sim::Network> net_;
+  Cluster cluster_;
   std::uint64_t next_session_ = 1;
 };
 

@@ -22,6 +22,7 @@
 #include "common/types.hpp"
 #include "dht/dht.hpp"
 #include "overlay/overlay_node.hpp"
+#include "runtime/cluster.hpp"
 #include "skeap/assignment.hpp"
 
 namespace sks::baselines {
@@ -184,7 +185,8 @@ class NoBatchNode : public overlay::OverlayNode {
   std::size_t completed_ = 0;
 };
 
-/// Harness mirroring SkeapSystem for the comparison benches.
+/// Harness mirroring SkeapSystem for the comparison benches; deployment is
+/// the shared runtime::Cluster (no membership component — no churn).
 class NoBatchSystem {
  public:
   struct Options {
@@ -194,29 +196,32 @@ class NoBatchSystem {
     sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
   };
 
-  explicit NoBatchSystem(const Options& opts) : opts_(opts) {
-    sim::NetworkConfig cfg;
-    cfg.mode = opts.mode;
-    cfg.seed = opts.seed;
-    net_ = std::make_unique<sim::Network>(cfg);
-    HashFunction label_hash(opts.seed);
-    const auto links = overlay::build_topology(opts.num_nodes, label_hash);
-    const auto params = overlay::RouteParams::for_system(opts.num_nodes);
+  using Cluster = runtime::Cluster<NoBatchNode, NoBatchNode::Config>;
+
+  static NoBatchNode::Config make_config(const Options& opts,
+                                         std::size_t num_nodes) {
     NoBatchNode::Config config;
     config.num_priorities = opts.num_priorities;
     config.hash_seed = opts.seed ^ 0x9e3779b97f4a7c15ULL;
     config.widths =
-        dht::DhtWidths::for_system(opts.num_nodes, opts.num_priorities,
-                                   1u << 20);
-    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
-      const NodeId id =
-          net_->add_node(std::make_unique<NoBatchNode>(params, config));
-      net_->node_as<NoBatchNode>(id).install_links(links[i]);
-    }
+        dht::DhtWidths::for_system(num_nodes, opts.num_priorities, 1u << 20);
+    return config;
   }
 
-  NoBatchNode& node(NodeId v) { return net_->node_as<NoBatchNode>(v); }
-  sim::Network& net() { return *net_; }
+  static runtime::ClusterOptions cluster_options(const Options& opts) {
+    runtime::ClusterOptions c;
+    c.num_nodes = opts.num_nodes;
+    c.seed = opts.seed;
+    c.mode = opts.mode;
+    return c;
+  }
+
+  explicit NoBatchSystem(const Options& opts)
+      : cluster_(cluster_options(opts),
+                 [opts](std::size_t n) { return make_config(opts, n); }) {}
+
+  NoBatchNode& node(NodeId v) { return cluster_.node(v); }
+  sim::Network& net() { return cluster_.net(); }
 
   Element insert(NodeId v, Priority prio) {
     const Element e{prio, next_element_id_++};
@@ -228,11 +233,10 @@ class NoBatchSystem {
     node(v).delete_min(std::move(cb));
   }
 
-  std::uint64_t run() { return net_->run_until_idle(); }
+  std::uint64_t run() { return cluster_.run_until_idle(); }
 
  private:
-  Options opts_;
-  std::unique_ptr<sim::Network> net_;
+  Cluster cluster_;
   ElementId next_element_id_ = 1;
 };
 

@@ -18,6 +18,11 @@
 //
 // Operations are issued *at* a node (this is a decentralized structure —
 // there is no single entry point) and buffered until the next batch.
+//
+// Layering: both backends are thin typed wrappers over the shared
+// runtime::Cluster deployment engine (src/runtime/cluster.hpp); this
+// facade only selects the protocol and normalizes the API. Use
+// epoch_history() to observe per-batch substrate costs.
 #pragma once
 
 #include <cstdint>
@@ -116,6 +121,13 @@ class DistributedHeap {
   /// cycle. Returns the number of simulated rounds it took.
   std::uint64_t run_batch() {
     return skeap_ ? skeap_->run_batch() : seap_->run_cycle();
+  }
+
+  /// Per-batch substrate measurements (rounds, messages, bits), recorded
+  /// by the runtime layer for every run_batch call.
+  const std::vector<runtime::EpochStats>& epoch_history() {
+    return skeap_ ? skeap_->cluster().epoch_history()
+                  : seap_->cluster().epoch_history();
   }
 
   /// Verify the semantics guarantee of the chosen backend over the whole

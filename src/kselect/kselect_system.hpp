@@ -1,19 +1,20 @@
 // Standalone KSelect harness: n overlay nodes, each holding a local slice
 // of the element set (distributed uniformly at random, as the paper
-// assumes), driven through complete k-selection sessions.
+// assumes), driven through complete k-selection sessions. Deployment
+// (network, topology, links) is owned by the shared runtime::Cluster;
+// KSelect has no membership component, so the churn paths stay compiled
+// out.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
-#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "kselect/kselect.hpp"
-#include "overlay/topology.hpp"
-#include "sim/network.hpp"
+#include "runtime/cluster.hpp"
 
 namespace sks::kselect {
 
@@ -44,33 +45,34 @@ class KSelectSystem {
     std::uint32_t max_iterations = 64;    ///< convergence guard
   };
 
-  explicit KSelectSystem(const Options& opts) : opts_(opts) {
-    sim::NetworkConfig cfg;
-    cfg.mode = opts.mode;
-    cfg.max_delay = opts.max_delay;
-    cfg.seed = opts.seed;
-    net_ = std::make_unique<sim::Network>(cfg);
+  using Cluster = runtime::Cluster<KSelectNode, KSelectConfig>;
 
-    HashFunction label_hash(opts.seed);
-    const auto links = overlay::build_topology(opts.num_nodes, label_hash);
-    const auto params = overlay::RouteParams::for_system(opts.num_nodes);
-
+  /// The single place the KSelect config is derived from the options.
+  static KSelectConfig make_config(const Options& opts,
+                                   std::size_t num_nodes) {
     KSelectConfig kcfg;
-    kcfg.num_nodes = opts.num_nodes;
+    kcfg.num_nodes = num_nodes;
     kcfg.hash_seed = opts.seed ^ 0xabcdef123ULL;
     kcfg.rng_seed = opts.seed ^ 0x777ULL;
     kcfg.delta_scale = opts.delta_scale;
     kcfg.phase1_iterations = opts.phase1_iterations;
     kcfg.max_iterations = opts.max_iterations;
-
-    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
-      const NodeId id =
-          net_->add_node(std::make_unique<KSelectNode>(params, kcfg));
-      auto& node = net_->node_as<KSelectNode>(id);
-      node.install_links(links[i]);
-      if (node.hosts_anchor()) anchor_ = id;
-    }
+    return kcfg;
   }
+
+  static runtime::ClusterOptions cluster_options(const Options& opts) {
+    runtime::ClusterOptions c;
+    c.num_nodes = opts.num_nodes;
+    c.seed = opts.seed;
+    c.mode = opts.mode;
+    c.max_delay = opts.max_delay;
+    return c;
+  }
+
+  explicit KSelectSystem(const Options& opts)
+      : opts_(opts),
+        cluster_(cluster_options(opts),
+                 [opts](std::size_t n) { return make_config(opts, n); }) {}
 
   /// Distribute the elements uniformly at random over the nodes.
   void seed_elements(const std::vector<CandidateKey>& elements) {
@@ -92,22 +94,22 @@ class KSelectSystem {
     const std::uint64_t session = next_session_++;
     anchor_node().kselect.start(session, k);
     Outcome out;
-    out.rounds = net_->run_until_idle();
+    out.rounds = cluster_.run_until_idle();
     for (const auto& [s, r] : anchor_node().results) {
       if (s == session) out.result = r;
     }
     return out;
   }
 
-  KSelectNode& node(NodeId v) { return net_->node_as<KSelectNode>(v); }
-  KSelectNode& anchor_node() { return node(anchor_); }
-  sim::Network& net() { return *net_; }
+  KSelectNode& node(NodeId v) { return cluster_.node(v); }
+  KSelectNode& anchor_node() { return cluster_.anchor_node(); }
+  sim::Network& net() { return cluster_.net(); }
+  Cluster& cluster() { return cluster_; }
   const Options& options() const { return opts_; }
 
  private:
   Options opts_;
-  std::unique_ptr<sim::Network> net_;
-  NodeId anchor_ = kNoNode;
+  Cluster cluster_;
   std::uint64_t next_session_ = 1;
 };
 

@@ -1,0 +1,295 @@
+// The shared deployment runtime every protocol harness sits on.
+//
+// Skeap (§3), KSelect (§4) and Seap (§5) all run on the same substrate —
+// the LDB overlay with its aggregation tree, the embedded DHT, and the
+// churn protocol of Contribution 4. Cluster owns everything a deployment
+// of that substrate needs, so the per-protocol harnesses (SkeapSystem,
+// SeapSystem, KSelectSystem, the baselines) stay thin typed wrappers:
+//
+//   * Network construction from one ClusterOptions (node count, seed,
+//     delivery mode, max delay, sizing hints).
+//   * Topology bootstrap: build_topology, link installation, membership
+//     bootstrap marking, anchor discovery, the active-node set.
+//   * Epoch/cycle driving: start_all + run_until_idle, with per-epoch
+//     round/message/bit snapshots recorded from sim::Metrics.
+//   * Churn between epochs: join_node/leave_node with the anchor-state
+//     handover generalized behind AnchorTraits<NodeT>.
+//   * Generic trace gathering for the semantics checkers.
+//
+// Layering:  sim → overlay → runtime → protocols → core facade.
+//
+// NodeT does not have to be an overlay node: harnesses whose nodes are
+// plain sim::Node subclasses (the centralized and gossip baselines) reuse
+// the network construction and epoch driving, and the topology steps are
+// compiled out via `if constexpr`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "overlay/overlay_node.hpp"
+#include "overlay/topology.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace sks::runtime {
+
+/// Deployment knobs shared by every harness. Protocol-specific options
+/// structs translate into this (plus a protocol config) once, in their
+/// wrapper's make_config/cluster_options helpers.
+struct ClusterOptions {
+  std::size_t num_nodes = 8;
+  std::uint64_t seed = 0x5eedULL;
+  sim::DeliveryMode mode = sim::DeliveryMode::kSynchronous;
+  std::uint64_t max_delay = 8;  ///< async mode only
+  /// Sizing hint for bit accounting (DHT key widths etc.).
+  std::uint64_t expected_elements = 1u << 20;
+};
+
+/// The one place a simulated network is constructed from deployment
+/// options; also used directly by harnesses that need no overlay.
+inline std::unique_ptr<sim::Network> make_network(const ClusterOptions& o) {
+  sim::NetworkConfig cfg;
+  cfg.mode = o.mode;
+  cfg.max_delay = o.max_delay;
+  cfg.seed = o.seed;
+  return std::make_unique<sim::Network>(cfg);
+}
+
+/// Customization point: the state that rides along when the anchor role
+/// moves between hosts (on join, when a smaller label appears; on leave of
+/// the anchor host). Skeap hands over its per-priority interval state,
+/// Seap its heap-size counter; protocols without anchor state (KSelect,
+/// the baselines) use this empty default.
+template <class NodeT>
+struct AnchorTraits {
+  struct Handover {};
+  static Handover take(NodeT&) { return {}; }
+  static void install(NodeT&, Handover) {}
+  /// Synchronize a freshly joined node's epoch/cycle counter with the
+  /// number of epochs the cluster has started so far.
+  static void sync_counter(NodeT&, std::uint64_t) {}
+};
+
+/// Per-epoch substrate measurements, recorded by run_epoch without
+/// disturbing the Metrics window benchmarks may have open.
+struct EpochStats {
+  std::uint64_t epoch = 0;     ///< cluster-wide epoch/cycle counter
+  std::uint64_t rounds = 0;    ///< rounds until quiescence
+  std::uint64_t messages = 0;  ///< host-crossing messages delivered
+  std::uint64_t bits = 0;      ///< total bits moved
+  /// Running congestion high-water mark of the current Metrics window at
+  /// the end of the epoch (Metrics tracks the max per window, not per
+  /// epoch, so this is a monotone watermark between take() calls).
+  std::uint64_t congestion_high_water = 0;
+};
+
+/// A complete deployment of `NodeT` processes configured by `ConfigT`.
+///
+/// The config factory derives the protocol config from the current system
+/// size; it is called once at bootstrap and once per join, which keeps the
+/// seed-derivation constants in exactly one place per protocol.
+template <class NodeT, class ConfigT>
+class Cluster {
+ public:
+  using ConfigFactory = std::function<ConfigT(std::size_t num_nodes)>;
+  using NodeFactory = std::function<std::unique_ptr<NodeT>(
+      const overlay::RouteParams&, const ConfigT&, std::size_t index)>;
+
+  static constexpr bool kIsOverlay =
+      requires(NodeT& n, overlay::NodeLinks l) { n.install_links(std::move(l)); };
+  static constexpr bool kHasMembership =
+      requires(NodeT& n) { n.membership(); };
+
+  Cluster(const ClusterOptions& opts, ConfigFactory make_config,
+          NodeFactory make_node = default_node_factory())
+      : opts_(opts),
+        make_config_(std::move(make_config)),
+        make_node_(std::move(make_node)),
+        label_hash_(opts.seed),
+        net_(make_network(opts)),
+        sizing_nodes_(opts.num_nodes) {
+    const ConfigT config = make_config_(opts.num_nodes);
+    const auto params = overlay::RouteParams::for_system(opts.num_nodes);
+    std::vector<overlay::NodeLinks> links;
+    if constexpr (kIsOverlay) {
+      links = overlay::build_topology(opts.num_nodes, label_hash_);
+    }
+    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
+      const NodeId id = net_->add_node(make_node_(params, config, i));
+      NodeT& n = node(id);
+      if constexpr (kIsOverlay) {
+        n.install_links(links[i]);
+        if constexpr (kHasMembership) n.membership().mark_bootstrapped();
+        if (n.hosts_anchor()) anchor_ = id;
+      }
+      active_.insert(id);
+    }
+  }
+
+  // ---- Accessors -------------------------------------------------------
+
+  /// Nodes ever deployed (joins included; leavers still count — their
+  /// completed operations remain part of the trace).
+  std::size_t size() const { return sizing_nodes_; }
+
+  sim::Network& net() { return *net_; }
+  const ClusterOptions& options() const { return opts_; }
+
+  NodeT& node(NodeId v) { return net_->node_as<NodeT>(v); }
+
+  NodeId anchor() const { return anchor_; }
+  NodeT& anchor_node() { return node(anchor_); }
+
+  /// Nodes currently participating (after churn).
+  const std::set<NodeId>& active_nodes() const { return active_; }
+
+  // ---- Epoch / cycle driving -------------------------------------------
+
+  /// Apply a protocol start function (start_batch, start_cycle, ...) to
+  /// every active node, without running the network.
+  template <class StartFn>
+  void start_all(StartFn&& start) {
+    for (NodeId v : active_) start(node(v));
+  }
+
+  /// Run one complete protocol epoch: start every active node, then run
+  /// the network to quiescence. Returns the number of rounds it took and
+  /// appends an EpochStats entry to the history.
+  template <class StartFn>
+  std::uint64_t run_epoch(StartFn&& start) {
+    const std::uint64_t msgs0 = net_->metrics().current().total_messages;
+    const std::uint64_t bits0 = net_->metrics().current().total_bits;
+    start_all(start);
+    const std::uint64_t rounds = net_->run_until_idle();
+    const sim::MetricsSnapshot& cur = net_->metrics().current();
+    EpochStats st;
+    st.epoch = epochs_started_;
+    st.rounds = rounds;
+    st.messages = cur.total_messages - msgs0;
+    st.bits = cur.total_bits - bits0;
+    st.congestion_high_water = cur.max_congestion;
+    epoch_history_.push_back(st);
+    ++epochs_started_;
+    return rounds;
+  }
+
+  /// Epochs started so far (the counter joiners are synchronized to).
+  std::uint64_t epochs_started() const { return epochs_started_; }
+
+  const std::vector<EpochStats>& epoch_history() const {
+    return epoch_history_;
+  }
+
+  /// Drive the network to quiescence outside an epoch (bootstrap traffic,
+  /// ad-hoc protocol sessions such as KSelect selections).
+  std::uint64_t run_until_idle() { return net_->run_until_idle(); }
+
+  // ---- Churn (Contribution 4): applied lazily between epochs -----------
+
+  /// Add a node to the running system. The join protocol splices it into
+  /// the LDB and hands over its share of the keyspace; if its label is the
+  /// new minimum, the anchor role (and its state, via AnchorTraits)
+  /// migrates. Returns the new node's id. Must be called while no epoch
+  /// is in flight.
+  NodeId join_node() {
+    static_assert(kHasMembership, "NodeT has no membership component");
+    SKS_CHECK_MSG(net_->idle(), "join while an epoch is in flight");
+    const ConfigT config = make_config_(sizing_nodes_);
+    const auto params = overlay::RouteParams::for_system(sizing_nodes_);
+    const NodeId id = net_->add_node(make_node_(params, config, sizing_nodes_));
+    NodeT& joiner = node(id);
+    // Any current member can bootstrap; use the anchor host.
+    joiner.membership().join(anchor_, label_hash_);
+    net_->run_until_idle();
+    SKS_CHECK(joiner.membership().joined());
+    AnchorTraits<NodeT>::sync_counter(joiner, epochs_started_);
+    active_.insert(id);
+    ++sizing_nodes_;
+    migrate_anchor_if_needed();
+    return id;
+  }
+
+  /// Remove a node: its keyspace arcs are handed to the neighbours and it
+  /// stops participating in epochs. Must be called while no epoch is in
+  /// flight; the sole remaining node cannot leave.
+  void leave_node(NodeId v) {
+    static_assert(kHasMembership, "NodeT has no membership component");
+    SKS_CHECK_MSG(net_->idle(), "leave while an epoch is in flight");
+    if constexpr (requires(NodeT& n) { n.buffered_ops(); }) {
+      SKS_CHECK_MSG(node(v).buffered_ops() == 0,
+                    "node has buffered ops; run an epoch first");
+    }
+    const bool was_anchor = node(v).hosts_anchor();
+    typename AnchorTraits<NodeT>::Handover handover{};
+    if (was_anchor) handover = AnchorTraits<NodeT>::take(node(v));
+    node(v).membership().leave();
+    net_->run_until_idle();
+    active_.erase(v);
+    if (was_anchor) adopt_anchor(std::move(handover));
+  }
+
+  // ---- Traces ----------------------------------------------------------
+
+  /// All op records from all nodes (the input to the semantics checkers).
+  /// Includes departed nodes: their completed operations still count.
+  auto gather_trace() {
+    using Record = std::decay_t<decltype(std::declval<NodeT&>().trace().front())>;
+    std::vector<Record> all;
+    for (NodeId v = 0; v < net_->size(); ++v) {
+      for (const auto& r : node(v).trace()) {
+        all.push_back(r);
+        all.back().node = v;
+      }
+    }
+    return all;
+  }
+
+ private:
+  static NodeFactory default_node_factory() {
+    return [](const overlay::RouteParams& params, const ConfigT& config,
+              std::size_t) { return std::make_unique<NodeT>(params, config); };
+  }
+
+  /// After churn the anchor role may sit on a different host (the minimum
+  /// label moved); find it and hand over the state taken from the old one.
+  void migrate_anchor_if_needed() {
+    if (node(anchor_).hosts_anchor()) return;
+    adopt_anchor(AnchorTraits<NodeT>::take(node(anchor_)));
+  }
+
+  void adopt_anchor(typename AnchorTraits<NodeT>::Handover&& handover) {
+    for (NodeId w : active_) {
+      if (node(w).hosts_anchor()) {
+        AnchorTraits<NodeT>::install(node(w), std::move(handover));
+        anchor_ = w;
+        return;
+      }
+    }
+    SKS_CHECK_MSG(false, "no anchor after churn");
+  }
+
+  ClusterOptions opts_;
+  ConfigFactory make_config_;
+  NodeFactory make_node_;
+  HashFunction label_hash_;
+  std::unique_ptr<sim::Network> net_;
+  /// System size the config/params derivation sees: grows with every join
+  /// (leaves keep their slot in the network and the sizing, matching the
+  /// paper's lazy departure handling).
+  std::size_t sizing_nodes_ = 0;
+  NodeId anchor_ = kNoNode;
+  std::set<NodeId> active_;
+  std::uint64_t epochs_started_ = 0;
+  std::vector<EpochStats> epoch_history_;
+};
+
+}  // namespace sks::runtime

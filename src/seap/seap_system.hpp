@@ -1,18 +1,36 @@
-// Harness for a complete Seap deployment: builds the overlay, drives
-// phase-barriered cycles and gathers traces for the semantics checkers.
+// Harness for a complete Seap deployment: a thin typed wrapper over the
+// shared runtime::Cluster engine, which owns the network, topology
+// bootstrap, cycle driving and churn; this file only adds the Seap config
+// derivation and the cycle-specific conveniences.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
-#include "common/hash.hpp"
 #include "common/types.hpp"
-#include "overlay/topology.hpp"
+#include "runtime/cluster.hpp"
 #include "seap/seap_node.hpp"
-#include "sim/network.hpp"
+
+namespace sks::runtime {
+
+/// Seap's anchor carries only the heap-size counter m; a joiner's cycle
+/// counter is synchronized to the cycles started so far.
+template <>
+struct AnchorTraits<seap::SeapNode> {
+  using Handover = std::uint64_t;
+  static Handover take(seap::SeapNode& n) { return n.take_anchor_size(); }
+  static void install(seap::SeapNode& n, Handover m) {
+    n.install_anchor_size(m);
+  }
+  static void sync_counter(seap::SeapNode& n, std::uint64_t cycles) {
+    n.set_next_cycle(cycles);
+  }
+};
+
+}  // namespace sks::runtime
 
 namespace sks::seap {
 
@@ -30,44 +48,48 @@ class SeapSystem {
     bool sequentially_consistent = false;
   };
 
-  explicit SeapSystem(const Options& opts) : opts_(opts) {
-    sim::NetworkConfig cfg;
-    cfg.mode = opts.mode;
-    cfg.max_delay = opts.max_delay;
-    cfg.seed = opts.seed;
-    net_ = std::make_unique<sim::Network>(cfg);
+  using Cluster = runtime::Cluster<SeapNode, SeapConfig>;
 
-    HashFunction label_hash(opts.seed);
-    const auto links = overlay::build_topology(opts.num_nodes, label_hash);
-    const auto params = overlay::RouteParams::for_system(opts.num_nodes);
-
+  /// The single place the protocol config (seed-derivation constants, DHT
+  /// widths, nested KSelect config) is derived from the options — used at
+  /// bootstrap and for every later join.
+  static SeapConfig make_config(const Options& opts, std::size_t num_nodes) {
     SeapConfig config;
-    config.num_nodes = opts.num_nodes;
+    config.num_nodes = num_nodes;
     config.hash_seed = opts.seed ^ 0x5ea9000ULL;
     config.rng_seed = opts.seed ^ 0x5eed000ULL;
     config.widths = dht::DhtWidths::for_system(
-        opts.num_nodes, opts.max_priority, opts.expected_elements);
-    config.kselect.num_nodes = opts.num_nodes;
+        num_nodes, opts.max_priority, opts.expected_elements);
+    config.kselect.num_nodes = num_nodes;
     config.kselect.hash_seed = opts.seed ^ 0xca11ULL;
     config.kselect.rng_seed = opts.seed ^ 0x5a317ULL;
     config.sequentially_consistent = opts.sequentially_consistent;
-
-    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
-      const NodeId id =
-          net_->add_node(std::make_unique<SeapNode>(params, config));
-      auto& node = net_->node_as<SeapNode>(id);
-      node.install_links(links[i]);
-      node.membership().mark_bootstrapped();
-      if (node.hosts_anchor()) anchor_ = id;
-      active_.insert(id);
-    }
+    return config;
   }
 
-  std::size_t size() const { return opts_.num_nodes; }
-  sim::Network& net() { return *net_; }
-  SeapNode& node(NodeId v) { return net_->node_as<SeapNode>(v); }
-  NodeId anchor() const { return anchor_; }
-  SeapNode& anchor_node() { return node(anchor_); }
+  static runtime::ClusterOptions cluster_options(const Options& opts) {
+    runtime::ClusterOptions c;
+    c.num_nodes = opts.num_nodes;
+    c.seed = opts.seed;
+    c.mode = opts.mode;
+    c.max_delay = opts.max_delay;
+    c.expected_elements = opts.expected_elements;
+    return c;
+  }
+
+  explicit SeapSystem(const Options& opts)
+      : opts_(opts),
+        cluster_(cluster_options(opts),
+                 [opts](std::size_t n) { return make_config(opts, n); }) {}
+
+  std::size_t size() const { return cluster_.size(); }
+  sim::Network& net() { return cluster_.net(); }
+  SeapNode& node(NodeId v) { return cluster_.node(v); }
+  NodeId anchor() const { return cluster_.anchor(); }
+  SeapNode& anchor_node() { return cluster_.anchor_node(); }
+
+  /// The underlying runtime engine (epoch history, start_all, ...).
+  Cluster& cluster() { return cluster_; }
 
   Element insert(NodeId v, Priority prio) {
     const Element e{prio, next_element_id_++};
@@ -82,110 +104,35 @@ class SeapSystem {
   /// Run one full cycle (Insert phase + DeleteMin phase) to quiescence;
   /// returns the number of rounds it took.
   std::uint64_t run_cycle() {
-    for (NodeId v : active_) node(v).start_cycle();
-    ++cycles_run_;
-    return net_->run_until_idle();
+    return cluster_.run_epoch([](SeapNode& n) { n.start_cycle(); });
   }
 
   // ---- Churn (Contribution 4): applied lazily between cycles -----------
 
-  /// Add a node to the running system; see SkeapSystem::join_node.
-  NodeId join_node() {
-    SKS_CHECK_MSG(net_->idle(), "join while a cycle is in flight");
-    SeapConfig config;
-    config.num_nodes = opts_.num_nodes;
-    config.hash_seed = opts_.seed ^ 0x5ea9000ULL;
-    config.rng_seed = opts_.seed ^ 0x5eed000ULL;
-    config.widths = dht::DhtWidths::for_system(
-        opts_.num_nodes, opts_.max_priority, opts_.expected_elements);
-    config.kselect.num_nodes = opts_.num_nodes;
-    config.kselect.hash_seed = opts_.seed ^ 0xca11ULL;
-    config.kselect.rng_seed = opts_.seed ^ 0x5a317ULL;
-    config.sequentially_consistent = opts_.sequentially_consistent;
-    const auto params = overlay::RouteParams::for_system(opts_.num_nodes);
-    const NodeId id =
-        net_->add_node(std::make_unique<SeapNode>(params, config));
-    auto& joiner = net_->node_as<SeapNode>(id);
-    HashFunction label_hash(opts_.seed);
-    joiner.membership().join(anchor_, label_hash);
-    net_->run_until_idle();
-    SKS_CHECK(joiner.membership().joined());
-    joiner.set_next_cycle(next_cycle_counter());
-    active_.insert(id);
-    ++opts_.num_nodes;
-    migrate_anchor_if_needed();
-    return id;
-  }
+  /// Add a node to the running system; see runtime::Cluster::join_node.
+  NodeId join_node() { return cluster_.join_node(); }
 
-  /// Remove a node; see SkeapSystem::leave_node.
-  void leave_node(NodeId v) {
-    SKS_CHECK_MSG(net_->idle(), "leave while a cycle is in flight");
-    SKS_CHECK_MSG(node(v).buffered_ops() == 0,
-                  "node has buffered ops; run a cycle first");
-    const bool was_anchor = node(v).hosts_anchor();
-    std::uint64_t m = 0;
-    if (was_anchor) m = node(v).take_anchor_size();
-    node(v).membership().leave();
-    net_->run_until_idle();
-    active_.erase(v);
-    if (was_anchor) {
-      for (NodeId w : active_) {
-        if (node(w).hosts_anchor()) {
-          node(w).install_anchor_size(m);
-          anchor_ = w;
-          break;
-        }
-      }
-    }
-  }
+  /// Remove a node; see runtime::Cluster::leave_node.
+  void leave_node(NodeId v) { cluster_.leave_node(v); }
 
-  const std::set<NodeId>& active_nodes() const { return active_; }
+  const std::set<NodeId>& active_nodes() const {
+    return cluster_.active_nodes();
+  }
 
   /// Ops still buffered across all nodes (the SC variant defers work).
   std::size_t total_buffered() {
     std::size_t total = 0;
-    for (NodeId v : active_) total += node(v).buffered_ops();
+    for (NodeId v : active_nodes()) total += node(v).buffered_ops();
     return total;
   }
 
-  std::vector<SeapOpRecord> gather_trace() {
-    std::vector<SeapOpRecord> all;
-    for (NodeId v = 0; v < net_->size(); ++v) {
-      for (const auto& r : node(v).trace()) {
-        all.push_back(r);
-        all.back().node = v;
-      }
-    }
-    return all;
-  }
+  std::vector<SeapOpRecord> gather_trace() { return cluster_.gather_trace(); }
 
   const Options& options() const { return opts_; }
 
  private:
-  std::uint64_t next_cycle_counter() {
-    // All active nodes share the same cycle counter; read it off any one
-    // of them by starting no cycle — we track it here instead.
-    return cycles_run_;
-  }
-
-  void migrate_anchor_if_needed() {
-    if (node(anchor_).hosts_anchor()) return;
-    const std::uint64_t m = node(anchor_).take_anchor_size();
-    for (NodeId w : active_) {
-      if (node(w).hosts_anchor()) {
-        node(w).install_anchor_size(m);
-        anchor_ = w;
-        return;
-      }
-    }
-    SKS_CHECK_MSG(false, "no anchor after churn");
-  }
-
   Options opts_;
-  std::unique_ptr<sim::Network> net_;
-  NodeId anchor_ = kNoNode;
-  std::set<NodeId> active_;
-  std::uint64_t cycles_run_ = 0;
+  Cluster cluster_;
   ElementId next_element_id_ = 1;
 };
 

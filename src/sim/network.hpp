@@ -11,9 +11,10 @@
 // verbatim, which is what makes round counts in the benchmarks meaningful.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <typeinfo>
 #include <vector>
 
 #include "common/check.hpp"
@@ -83,14 +84,30 @@ struct NetworkConfig {
 class Network {
  public:
   explicit Network(NetworkConfig cfg = {})
-      : cfg_(cfg), rng_(cfg.seed), metrics_(0) {}
+      : cfg_(cfg), rng_(cfg.seed), metrics_(0) {
+    // Pending messages live in a relative-round ring buffer: a message
+    // delayed by d lands d slots ahead of the current one. A power-of-two
+    // size strictly greater than the largest possible delay guarantees a
+    // slot is drained before any in-flight message can wrap onto it.
+    const std::uint64_t horizon =
+        cfg_.mode == DeliveryMode::kSynchronous ? 1 : cfg_.max_delay;
+    SKS_CHECK_MSG(horizon >= 1, "max_delay must be at least 1");
+    pending_.resize(std::bit_ceil(horizon + 1));
+  }
 
-  /// Register a node; returns its id. The network owns the node.
-  NodeId add_node(std::unique_ptr<Node> node) {
+  /// Register a node; returns its id. The network owns the node. The
+  /// concrete type is remembered so node_as<T> can skip the dynamic_cast
+  /// on the (ubiquitous) exact-type access path.
+  template <class T>
+  NodeId add_node(std::unique_ptr<T> node) {
     const NodeId id = static_cast<NodeId>(nodes_.size());
     node->net_ = this;
     node->id_ = id;
-    nodes_.push_back(std::move(node));
+    Slot slot;
+    slot.typed = node.get();
+    slot.type = &typeid(T);
+    slot.node = std::move(node);
+    nodes_.push_back(std::move(slot));
     metrics_.on_node_added();
     return id;
   }
@@ -99,12 +116,15 @@ class Network {
 
   Node& node(NodeId id) {
     SKS_CHECK(id < nodes_.size());
-    return *nodes_[id];
+    return *nodes_[id].node;
   }
 
   template <class T>
   T& node_as(NodeId id) {
-    auto* p = dynamic_cast<T*>(&node(id));
+    SKS_CHECK(id < nodes_.size());
+    Slot& slot = nodes_[id];
+    if (*slot.type == typeid(T)) return *static_cast<T*>(slot.typed);
+    auto* p = dynamic_cast<T*>(slot.node.get());
     SKS_CHECK_MSG(p != nullptr, "node " << id << " has unexpected type");
     return *p;
   }
@@ -115,7 +135,7 @@ class Network {
     const std::uint64_t delay = cfg_.mode == DeliveryMode::kSynchronous
                                     ? 1
                                     : rng_.range(1, cfg_.max_delay);
-    pending_[round_ + delay].push_back(
+    slot_for(round_ + delay).push_back(
         Envelope{from, to, std::move(payload)});
     ++in_flight_;
   }
@@ -125,19 +145,22 @@ class Network {
   /// node once.
   void step() {
     ++round_;
-    auto it = pending_.find(round_);
-    if (it != pending_.end()) {
-      std::vector<Envelope> due = std::move(it->second);
-      pending_.erase(it);
-      shuffle(due);
-      for (auto& env : due) {
+    std::vector<Envelope>& due_slot = slot_for(round_);
+    if (!due_slot.empty()) {
+      // Swap into a scratch vector (reusing its capacity) so deliveries
+      // that send new messages never touch the slot being drained.
+      due_.clear();
+      due_.swap(due_slot);
+      shuffle(due_);
+      for (auto& env : due_) {
         --in_flight_;
         metrics_.record_delivery(env.to, env.payload->size_bits(),
                                  env.payload->name());
-        nodes_[env.to]->on_message(env.from, std::move(env.payload));
+        nodes_[env.to].node->on_message(env.from, std::move(env.payload));
       }
+      due_.clear();
     }
-    for (auto& n : nodes_) n->on_activate();
+    for (auto& n : nodes_) n.node->on_activate();
     metrics_.on_round_end();
   }
 
@@ -168,6 +191,16 @@ class Network {
     PayloadPtr payload;
   };
 
+  struct Slot {
+    std::unique_ptr<Node> node;
+    void* typed = nullptr;             ///< pointer to the registered type
+    const std::type_info* type = nullptr;
+  };
+
+  std::vector<Envelope>& slot_for(std::uint64_t round) {
+    return pending_[round & (pending_.size() - 1)];
+  }
+
   void shuffle(std::vector<Envelope>& v) {
     for (std::size_t i = v.size(); i > 1; --i) {
       const std::size_t j = static_cast<std::size_t>(rng_.below(i));
@@ -177,8 +210,9 @@ class Network {
 
   NetworkConfig cfg_;
   Rng rng_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::map<std::uint64_t, std::vector<Envelope>> pending_;
+  std::vector<Slot> nodes_;
+  std::vector<std::vector<Envelope>> pending_;  ///< ring, indexed by round
+  std::vector<Envelope> due_;                   ///< scratch for step()
   std::uint64_t round_ = 0;
   std::uint64_t in_flight_ = 0;
   Metrics metrics_;

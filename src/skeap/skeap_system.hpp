@@ -1,20 +1,36 @@
-// Test/benchmark harness for a complete Skeap deployment: builds the
-// overlay, owns the simulated network, drives batch epochs and gathers
-// traces. This is also the simplest way to use Skeap programmatically —
-// see examples/quickstart.cpp.
+// Harness for a complete Skeap deployment: a thin typed wrapper over the
+// shared runtime::Cluster engine (src/runtime/cluster.hpp), which owns the
+// network, topology bootstrap, batch driving and churn. This is also the
+// simplest way to use Skeap programmatically — see examples/quickstart.cpp.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
-#include "common/hash.hpp"
 #include "common/types.hpp"
-#include "overlay/topology.hpp"
-#include "sim/network.hpp"
+#include "runtime/cluster.hpp"
 #include "skeap/skeap_node.hpp"
+
+namespace sks::runtime {
+
+/// Skeap's anchor carries the per-priority interval state; a joiner's
+/// epoch counter is synchronized to the batches started so far.
+template <>
+struct AnchorTraits<skeap::SkeapNode> {
+  using Handover = skeap::SkeapNode::AnchorHandover;
+  static Handover take(skeap::SkeapNode& n) { return n.take_anchor_state(); }
+  static void install(skeap::SkeapNode& n, Handover h) {
+    n.install_anchor_state(std::move(h));
+  }
+  static void sync_counter(skeap::SkeapNode& n, std::uint64_t epochs) {
+    n.set_next_epoch(epochs);
+  }
+};
+
+}  // namespace sks::runtime
 
 namespace sks::skeap {
 
@@ -30,38 +46,42 @@ class SkeapSystem {
     std::uint64_t expected_elements = 1u << 20;
   };
 
-  explicit SkeapSystem(const Options& opts) : opts_(opts) {
-    sim::NetworkConfig cfg;
-    cfg.mode = opts.mode;
-    cfg.max_delay = opts.max_delay;
-    cfg.seed = opts.seed;
-    net_ = std::make_unique<sim::Network>(cfg);
+  using Cluster = runtime::Cluster<SkeapNode, SkeapConfig>;
 
-    HashFunction label_hash(opts.seed);
-    const auto links = overlay::build_topology(opts.num_nodes, label_hash);
-    const auto params = overlay::RouteParams::for_system(opts.num_nodes);
-
+  /// The single place the protocol config (seed-derivation constants, DHT
+  /// widths) is derived from the options — used at bootstrap and for every
+  /// later join, so the two can never diverge.
+  static SkeapConfig make_config(const Options& opts, std::size_t num_nodes) {
     SkeapConfig config;
     config.num_priorities = opts.num_priorities;
     config.hash_seed = opts.seed ^ 0x9e3779b97f4a7c15ULL;
     config.widths = dht::DhtWidths::for_system(
-        opts.num_nodes, opts.num_priorities, opts.expected_elements);
-
-    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
-      const NodeId id = net_->add_node(
-          std::make_unique<SkeapNode>(params, config));
-      auto& node = net_->node_as<SkeapNode>(id);
-      node.install_links(links[i]);
-      node.membership().mark_bootstrapped();
-      if (node.hosts_anchor()) anchor_ = id;
-      active_.insert(id);
-    }
+        num_nodes, opts.num_priorities, opts.expected_elements);
+    return config;
   }
 
-  std::size_t size() const { return opts_.num_nodes; }
-  sim::Network& net() { return *net_; }
-  SkeapNode& node(NodeId v) { return net_->node_as<SkeapNode>(v); }
-  NodeId anchor() const { return anchor_; }
+  static runtime::ClusterOptions cluster_options(const Options& opts) {
+    runtime::ClusterOptions c;
+    c.num_nodes = opts.num_nodes;
+    c.seed = opts.seed;
+    c.mode = opts.mode;
+    c.max_delay = opts.max_delay;
+    c.expected_elements = opts.expected_elements;
+    return c;
+  }
+
+  explicit SkeapSystem(const Options& opts)
+      : opts_(opts),
+        cluster_(cluster_options(opts),
+                 [opts](std::size_t n) { return make_config(opts, n); }) {}
+
+  std::size_t size() const { return cluster_.size(); }
+  sim::Network& net() { return cluster_.net(); }
+  SkeapNode& node(NodeId v) { return cluster_.node(v); }
+  NodeId anchor() const { return cluster_.anchor(); }
+
+  /// The underlying runtime engine (epoch history, start_all, ...).
+  Cluster& cluster() { return cluster_; }
 
   /// Insert with an auto-assigned unique element id; returns the element.
   Element insert(NodeId v, Priority prio) {
@@ -78,103 +98,34 @@ class SkeapSystem {
   /// the network runs until all four phases and all DHT traffic quiesce.
   /// Returns the number of rounds the batch took.
   std::uint64_t run_batch() {
-    for (NodeId v : active_nodes()) node(v).start_batch();
-    return net_->run_until_idle();
+    return cluster_.run_epoch([](SkeapNode& n) { n.start_batch(); });
   }
 
   /// All op records from all nodes (the input to the semantics checkers).
   /// Includes departed nodes: their completed operations still count.
-  std::vector<OpRecord> gather_trace() {
-    std::vector<OpRecord> all;
-    for (NodeId v = 0; v < net_->size(); ++v) {
-      for (const auto& r : node(v).trace()) {
-        all.push_back(r);
-        all.back().node = v;
-      }
-    }
-    return all;
-  }
+  std::vector<OpRecord> gather_trace() { return cluster_.gather_trace(); }
 
   /// Trace of a single node, in issue order.
   const std::vector<OpRecord>& trace_of(NodeId v) { return node(v).trace(); }
 
   // ---- Churn (Contribution 4): applied lazily between batches ----------
 
-  /// Add a node to the running system. The join protocol splices it into
-  /// the LDB and hands over its share of the keyspace; if its label is the
-  /// new minimum, the anchor role (and state) migrates. Returns the new
-  /// node's id. Must be called while no batch is in flight.
-  NodeId join_node() {
-    SKS_CHECK_MSG(net_->idle(), "join while a batch is in flight");
-    SkeapConfig config;
-    config.num_priorities = opts_.num_priorities;
-    config.hash_seed = opts_.seed ^ 0x9e3779b97f4a7c15ULL;
-    config.widths = dht::DhtWidths::for_system(
-        opts_.num_nodes, opts_.num_priorities, opts_.expected_elements);
-    const auto params = overlay::RouteParams::for_system(opts_.num_nodes);
-    const NodeId id =
-        net_->add_node(std::make_unique<SkeapNode>(params, config));
-    auto& joiner = net_->node_as<SkeapNode>(id);
-    HashFunction label_hash(opts_.seed);
-    // Any current member can bootstrap; use the anchor host.
-    joiner.membership().join(anchor_, label_hash);
-    net_->run_until_idle();
-    SKS_CHECK(joiner.membership().joined());
-    joiner.set_next_epoch(node(anchor_).epochs_started());
-    active_.insert(id);
-    ++opts_.num_nodes;
-    migrate_anchor_if_needed();
-    return id;
-  }
+  /// Add a node to the running system; see runtime::Cluster::join_node.
+  NodeId join_node() { return cluster_.join_node(); }
 
-  /// Remove a node: its keyspace arcs are handed to the neighbours and it
-  /// stops participating in batches. Must be called while no batch is in
-  /// flight; the sole remaining node cannot leave.
-  void leave_node(NodeId v) {
-    SKS_CHECK_MSG(net_->idle(), "leave while a batch is in flight");
-    SKS_CHECK_MSG(node(v).buffered_ops() == 0,
-                  "node has buffered ops; run a batch first");
-    const bool was_anchor = node(v).hosts_anchor();
-    SkeapNode::AnchorHandover handover;
-    if (was_anchor) handover = node(v).take_anchor_state();
-    node(v).membership().leave();
-    net_->run_until_idle();
-    active_.erase(v);
-    if (was_anchor) {
-      // Find the new anchor and hand it the interval state.
-      for (NodeId w : active_) {
-        if (node(w).hosts_anchor()) {
-          node(w).install_anchor_state(std::move(handover));
-          anchor_ = w;
-          break;
-        }
-      }
-    }
-  }
+  /// Remove a node; see runtime::Cluster::leave_node.
+  void leave_node(NodeId v) { cluster_.leave_node(v); }
 
   /// Nodes currently participating (after churn).
-  const std::set<NodeId>& active_nodes() const { return active_; }
+  const std::set<NodeId>& active_nodes() const {
+    return cluster_.active_nodes();
+  }
 
   const Options& options() const { return opts_; }
 
  private:
-  void migrate_anchor_if_needed() {
-    if (node(anchor_).hosts_anchor()) return;
-    auto handover = node(anchor_).take_anchor_state();
-    for (NodeId w : active_) {
-      if (node(w).hosts_anchor()) {
-        node(w).install_anchor_state(std::move(handover));
-        anchor_ = w;
-        return;
-      }
-    }
-    SKS_CHECK_MSG(false, "no anchor after churn");
-  }
-
   Options opts_;
-  std::unique_ptr<sim::Network> net_;
-  NodeId anchor_ = kNoNode;
-  std::set<NodeId> active_;
+  Cluster cluster_;
   ElementId next_element_id_ = 1;
 };
 

@@ -1,0 +1,236 @@
+// The shared Cluster runtime, exercised directly (not through the
+// protocol wrappers) over both SkeapNode and SeapNode: bootstrap →
+// batch/cycle → join → batch/cycle → anchor leave (migration) →
+// batch/cycle. Asserts no element loss and — via golden-seed hashes
+// captured from the pre-refactor SkeapSystem/SeapSystem harnesses —
+// that the runtime reproduces the exact same traces and round counts
+// those harnesses produced (behaviour preservation).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "seap/seap_system.hpp"
+#include "skeap/skeap_system.hpp"
+
+namespace sks::runtime {
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+// ---- Per-protocol adapters for the typed test --------------------------
+
+struct SkeapProto {
+  using Node = skeap::SkeapNode;
+  using Config = skeap::SkeapConfig;
+  using Cluster = runtime::Cluster<Node, Config>;
+
+  static Cluster make(std::size_t n, std::uint64_t seed) {
+    skeap::SkeapSystem::Options o;
+    o.num_nodes = n;
+    o.num_priorities = 3;
+    o.seed = seed;
+    return Cluster(skeap::SkeapSystem::cluster_options(o), [o](std::size_t m) {
+      return skeap::SkeapSystem::make_config(o, m);
+    });
+  }
+  static void start(Node& n) { n.start_batch(); }
+  /// Priorities for the scripted scenario (Skeap needs P = {1..3}).
+  static Priority first_prio(std::uint64_t i) { return 1 + i % 3; }
+  static Priority joiner_prio() { return 2; }
+  static Priority final_prio() { return 3; }
+
+  static std::uint64_t hash_trace(const std::vector<skeap::OpRecord>& t) {
+    std::uint64_t h = kFnvSeed;
+    for (const auto& r : t) {
+      h = fnv(h, r.node);
+      h = fnv(h, r.issue_seq);
+      h = fnv(h, r.epoch);
+      h = fnv(h, r.entry);
+      h = fnv(h, r.is_insert ? 1 : 0);
+      h = fnv(h, r.bottom ? 1 : 0);
+      h = fnv(h, r.prio);
+      h = fnv(h, r.pos);
+      h = fnv(h, r.element.prio);
+      h = fnv(h, r.element.id);
+      h = fnv(h, r.completed ? 1 : 0);
+    }
+    return h;
+  }
+
+  // Golden values recorded from the pre-refactor SkeapSystem at the same
+  // seed and op script (tools: see CHANGES.md, PR 1).
+  static constexpr std::uint64_t kSeed = 0x90de;
+  static constexpr std::uint64_t kGoldenTraceHash = 0xa7290e5877364c69ULL;
+  static constexpr std::uint64_t kGoldenRounds[3] = {41, 53, 41};
+  static constexpr NodeId kGoldenAnchorAfterLeave = 3;
+};
+
+struct SeapProto {
+  using Node = seap::SeapNode;
+  using Config = seap::SeapConfig;
+  using Cluster = runtime::Cluster<Node, Config>;
+
+  static Cluster make(std::size_t n, std::uint64_t seed) {
+    seap::SeapSystem::Options o;
+    o.num_nodes = n;
+    o.seed = seed;
+    return Cluster(seap::SeapSystem::cluster_options(o), [o](std::size_t m) {
+      return seap::SeapSystem::make_config(o, m);
+    });
+  }
+  static void start(Node& n) { n.start_cycle(); }
+  static Priority first_prio(std::uint64_t i) { return 1000 + 137 * i; }
+  static Priority joiner_prio() { return 42; }
+  static Priority final_prio() { return 7; }
+
+  static std::uint64_t hash_trace(const std::vector<seap::SeapOpRecord>& t) {
+    std::uint64_t h = kFnvSeed;
+    for (const auto& r : t) {
+      h = fnv(h, r.node);
+      h = fnv(h, r.issue_seq);
+      h = fnv(h, r.cycle);
+      h = fnv(h, r.is_insert ? 1 : 0);
+      h = fnv(h, r.bottom ? 1 : 0);
+      h = fnv(h, r.element.prio);
+      h = fnv(h, r.element.id);
+      h = fnv(h, r.completed ? 1 : 0);
+    }
+    return h;
+  }
+
+  static constexpr std::uint64_t kSeed = 0x90df;
+  static constexpr std::uint64_t kGoldenTraceHash = 0xeb1a50a3335a76fdULL;
+  static constexpr std::uint64_t kGoldenRounds[3] = {63, 120, 50};
+  static constexpr NodeId kGoldenAnchorAfterLeave = 4;
+};
+
+template <class Proto>
+class ClusterTypedTest : public ::testing::Test {};
+
+using Protocols = ::testing::Types<SkeapProto, SeapProto>;
+TYPED_TEST_SUITE(ClusterTypedTest, Protocols);
+
+TYPED_TEST(ClusterTypedTest, BootstrapFindsAnchorAndActivatesAll) {
+  auto cluster = TypeParam::make(6, TypeParam::kSeed);
+  EXPECT_EQ(cluster.active_nodes().size(), 6u);
+  EXPECT_EQ(cluster.size(), 6u);
+  ASSERT_NE(cluster.anchor(), kNoNode);
+  EXPECT_TRUE(cluster.anchor_node().hosts_anchor());
+  // Exactly one active node hosts the anchor.
+  std::size_t anchors = 0;
+  for (NodeId v : cluster.active_nodes()) {
+    if (cluster.node(v).hosts_anchor()) ++anchors;
+  }
+  EXPECT_EQ(anchors, 1u);
+}
+
+TYPED_TEST(ClusterTypedTest, JoinEpochLeaveMatchesGoldenPreRefactorTrace) {
+  auto cluster = TypeParam::make(6, TypeParam::kSeed);
+  ElementId next_id = 1;  // mirrors the wrappers' element-id assignment
+  std::uint64_t inserted = 0;
+  std::vector<std::uint64_t> rounds;
+
+  for (NodeId v = 0; v < 6; ++v) {
+    cluster.node(v).insert(
+        Element{TypeParam::first_prio(v), next_id++});
+    ++inserted;
+  }
+  rounds.push_back(cluster.run_epoch(
+      [](typename TypeParam::Node& n) { TypeParam::start(n); }));
+
+  const NodeId newbie = cluster.join_node();
+  EXPECT_EQ(cluster.active_nodes().size(), 7u);
+  EXPECT_EQ(cluster.size(), 7u);
+  cluster.node(newbie).insert(Element{TypeParam::joiner_prio(), next_id++});
+  ++inserted;
+  int matched = 0, bottoms = 0;
+  for (NodeId v : cluster.active_nodes()) {
+    cluster.node(v).delete_min([&](std::optional<Element> x) {
+      (x ? matched : bottoms)++;
+    });
+  }
+  rounds.push_back(cluster.run_epoch(
+      [](typename TypeParam::Node& n) { TypeParam::start(n); }));
+
+  const NodeId old_anchor = cluster.anchor();
+  cluster.leave_node(old_anchor);
+  EXPECT_NE(cluster.anchor(), old_anchor);
+  EXPECT_EQ(cluster.active_nodes().size(), 6u);
+  for (NodeId v : cluster.active_nodes()) {
+    cluster.node(v).insert(Element{TypeParam::final_prio(), next_id++});
+    ++inserted;
+  }
+  rounds.push_back(cluster.run_epoch(
+      [](typename TypeParam::Node& n) { TypeParam::start(n); }));
+
+  // All seven deletes matched (the heap held enough elements).
+  EXPECT_EQ(matched, 7);
+  EXPECT_EQ(bottoms, 0);
+
+  // No element loss across join, leave and anchor migration: everything
+  // inserted and not deleted is still stored in some active node's DHT
+  // shard, and the migrated anchor agrees on the heap size.
+  std::uint64_t stored = 0;
+  for (NodeId v : cluster.active_nodes()) {
+    stored += cluster.node(v).dht().stored_count();
+  }
+  EXPECT_EQ(stored, inserted - static_cast<std::uint64_t>(matched));
+  EXPECT_EQ(cluster.anchor_node().anchor_heap_size(),
+            inserted - static_cast<std::uint64_t>(matched));
+
+  // Golden-seed comparison against the pre-refactor harnesses: identical
+  // serialization (trace), identical round counts, same migrated anchor.
+  EXPECT_EQ(TypeParam::hash_trace(cluster.gather_trace()),
+            TypeParam::kGoldenTraceHash);
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_EQ(rounds[0], TypeParam::kGoldenRounds[0]);
+  EXPECT_EQ(rounds[1], TypeParam::kGoldenRounds[1]);
+  EXPECT_EQ(rounds[2], TypeParam::kGoldenRounds[2]);
+  EXPECT_EQ(cluster.anchor(), TypeParam::kGoldenAnchorAfterLeave);
+
+  // The runtime recorded one EpochStats entry per epoch.
+  const auto& history = cluster.epoch_history();
+  ASSERT_EQ(history.size(), 3u);
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(history[e].epoch, e);
+    EXPECT_EQ(history[e].rounds, rounds[e]);
+    EXPECT_GT(history[e].messages, 0u);
+    EXPECT_GT(history[e].bits, 0u);
+  }
+  EXPECT_EQ(cluster.epochs_started(), 3u);
+}
+
+TYPED_TEST(ClusterTypedTest, StartAllReachesOnlyActiveNodes) {
+  auto cluster = TypeParam::make(6, TypeParam::kSeed + 100);
+  cluster.leave_node(5);
+  std::size_t started = 0;
+  cluster.start_all([&](typename TypeParam::Node&) { ++started; });
+  EXPECT_EQ(started, 5u);
+  cluster.run_until_idle();
+}
+
+// The wrappers expose the same engine (not a parallel code path): the
+// wrapper-driven run must agree with the direct Cluster run above.
+TEST(ClusterWrappers, SkeapSystemSharesTheRuntimeEngine) {
+  skeap::SkeapSystem sys(
+      {.num_nodes = 6, .num_priorities = 3, .seed = SkeapProto::kSeed});
+  for (NodeId v = 0; v < 6; ++v) sys.insert(v, SkeapProto::first_prio(v));
+  const std::uint64_t rounds = sys.run_batch();
+  EXPECT_EQ(rounds, SkeapProto::kGoldenRounds[0]);
+  ASSERT_EQ(sys.cluster().epoch_history().size(), 1u);
+  EXPECT_EQ(sys.cluster().epoch_history()[0].rounds, rounds);
+}
+
+}  // namespace
+}  // namespace sks::runtime
