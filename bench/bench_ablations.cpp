@@ -53,7 +53,8 @@ Result run(std::size_t n, std::size_t m, double delta_scale,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("ablations", argc, argv);
   bench::header("Ablations  KSelect design knobs",
                 "Exactness holds for every setting (the verification steps "
                 "are unconditional);\nonly rounds/iterations move.");

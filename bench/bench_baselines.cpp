@@ -42,7 +42,8 @@ Outcome drive(std::size_t n, std::uint64_t lambda, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("baselines", argc, argv);
   bench::header(
       "E10  Skeap/Seap vs centralized vs unbatched",
       "The motivation of Section 1: batching over the aggregation tree "
@@ -54,6 +55,7 @@ int main() {
   bench::Table table({"n", "central_cg", "nobatch_cg", "skeap_cg", "seap_cg",
                       "skeap_rounds", "central_rnds"});
   for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    if (bench::skip_n(n)) continue;
     baselines::CentralizedSystem central({.num_nodes = n, .seed = 3});
     const auto c = drive(
         n, kLambda, 100 + n,

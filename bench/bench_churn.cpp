@@ -14,7 +14,8 @@
 
 using namespace sks;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("churn", argc, argv);
   bench::header(
       "E12  churn: join/leave restoration",
       "Claim (Contribution 4): membership changes restore the topology in "
@@ -24,6 +25,7 @@ int main() {
   bench::Table table({"n", "join_rounds", "leave_rounds", "elems_before",
                       "elems_after", "conserved"});
   for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    if (bench::skip_n(n)) continue;
     skeap::SkeapSystem sys(
         {.num_nodes = n, .num_priorities = 3, .seed = 400 + n});
     Rng rng(3 + n);

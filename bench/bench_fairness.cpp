@@ -43,7 +43,8 @@ LoadStats stats_of(const std::vector<std::size_t>& loads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("fairness", argc, argv);
   bench::header("E9  fairness of element placement",
                 "Claim (Lem 2.2(iv)): the DHT stores m elements uniformly — "
                 "m/n per node in expectation.\nShape: mean = m/n; max/mean "

@@ -79,7 +79,8 @@ NaiveOutcome run_naive(std::size_t n, const std::vector<Element>& elements,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("kselect_baselines", argc, argv);
   bench::header(
       "E11  KSelect vs binary-search counting vs gossip sampling",
       "Related-work comparison: KSelect's rounds are O(log n) regardless of "
@@ -117,6 +118,7 @@ int main() {
   std::printf("\n-- m = n elements (the [HMS18] setting), n sweep --\n");
   bench::Table t2({"n", "kselect_rnd", "gossip_rnd", "gossip_iters", "ok"});
   for (std::size_t n : {64u, 256u, 1024u}) {
+    if (bench::skip_n(n)) continue;
     Rng rng(17 + n);
     std::vector<Element> values;
     for (std::uint64_t i = 1; i <= n; ++i) {

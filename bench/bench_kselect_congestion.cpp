@@ -13,7 +13,8 @@
 using namespace sks;
 using kselect::CandidateKey;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("kselect_congestion", argc, argv);
   bench::header(
       "E6  KSelect congestion and message size",
       "Claim (Thm 4.2): congestion O~(1), messages O(log n) bits.\n"
@@ -23,6 +24,7 @@ int main() {
   bench::Table table(
       {"n", "m", "congestion", "max_bits", "bits/log2n"});
   for (std::size_t n : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    if (bench::skip_n(n)) continue;
     const std::size_t m = 20 * n;
     kselect::KSelectSystem sys({.num_nodes = n, .seed = 500 + n});
     Rng rng(13 + n);

@@ -25,7 +25,8 @@ std::vector<CandidateKey> make_elements(std::size_t m, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("kselect_rounds", argc, argv);
   bench::header("E4  KSelect rounds",
                 "Claim (Thm 4.2): k-selection over m = poly(n) elements "
                 "finishes in O(log n) rounds w.h.p.\nShape: rounds/log2(n) "
@@ -33,6 +34,7 @@ int main() {
 
   bench::Table table({"n", "m", "k", "rounds", "rounds/log2n", "iters"});
   for (std::size_t n : {32u, 128u, 512u}) {
+    if (bench::skip_n(n)) continue;
     for (double q : {1.0, 1.5, 2.0}) {
       const auto m = static_cast<std::size_t>(
           std::pow(static_cast<double>(n), q));

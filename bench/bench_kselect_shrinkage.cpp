@@ -12,7 +12,8 @@
 using namespace sks;
 using kselect::CandidateKey;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("kselect_shrinkage", argc, argv);
   bench::header(
       "E5  KSelect candidate shrinkage",
       "Claims (Lem 4.4/4.7): N = O(n^1.5 log n) after Phase 1 and\n"

@@ -5,8 +5,12 @@
 // paper's round-complexity claims.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.hpp"
 #include "common/hash.hpp"
 #include "common/interval.hpp"
 #include "common/rng.hpp"
@@ -75,17 +79,17 @@ void BM_BuildTopology(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildTopology)->Arg(64)->Arg(1024);
 
-struct NullPayload final : sim::Payload {
+struct NullPayload final : sim::Action<NullPayload> {
+  static constexpr const char* kActionName = "null";
   std::uint64_t size_bits() const override { return 8; }
-  const char* name() const override { return "null"; }
 };
 
 class SinkNode : public sim::DispatchingNode {
  public:
   SinkNode() {
-    on<NullPayload>([](NodeId, std::unique_ptr<NullPayload>) {});
+    on<NullPayload>([](NodeId, sim::Owned<NullPayload>) {});
   }
-  void fire(NodeId to) { send(to, std::make_unique<NullPayload>()); }
+  void fire(NodeId to) { send(to, sim::make_payload<NullPayload>()); }
 };
 
 void BM_SimulatorRoundTrip(benchmark::State& state) {
@@ -134,4 +138,31 @@ BENCHMARK(BM_NodeAsAccess);
 }  // namespace
 }  // namespace sks
 
-BENCHMARK_MAIN();
+// Custom main: translate the repo-wide `--json [path]` flag into
+// google-benchmark's --benchmark_out so bench_micro emits the same
+// BENCH_<name>.json artifact as the table benches.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--json") == 0) {
+      std::string path;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        path = argv[++i];
+      }
+      args.push_back("--benchmark_out=" +
+                     sks::bench::json_output_path("micro", path));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

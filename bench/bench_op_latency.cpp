@@ -38,7 +38,8 @@ Latency summarize(std::vector<std::uint64_t> samples) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("op_latency", argc, argv);
   bench::header(
       "E13  per-op DeleteMin latency (extension experiment)",
       "Rounds from issuing a DeleteMin to its callback, under a full "

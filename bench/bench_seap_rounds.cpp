@@ -12,7 +12,8 @@
 
 using namespace sks;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("seap_rounds", argc, argv);
   bench::header("E7  Seap rounds per cycle",
                 "Claim (Thm 5.1.3): both global phases finish in O(log n) "
                 "rounds w.h.p.\nShape: rounds/log2(n) roughly flat as n "
@@ -20,6 +21,7 @@ int main() {
 
   bench::Table table({"n", "heap_size", "rounds", "rounds/log2n"});
   for (std::size_t n : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    if (bench::skip_n(n)) continue;
     seap::SeapSystem sys({.num_nodes = n, .seed = 200 + n});
     Rng rng(17 + n);
     // Preload ~10 elements per node.

@@ -58,7 +58,8 @@ std::uint64_t seap_bits(std::size_t n, std::uint64_t lambda,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("seap_vs_skeap_msgsize", argc, argv);
   bench::header(
       "E8  message size: Skeap O(Lambda log^2 n) vs Seap O(log n)",
       "Claim (Thm 5.1.5): Seap's messages are O(log n) bits independent of "

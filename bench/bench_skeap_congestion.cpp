@@ -10,7 +10,8 @@
 
 using namespace sks;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("skeap_congestion", argc, argv);
   bench::header("E2  Skeap congestion vs injection rate",
                 "Claim (Thm 3.2.4): congestion is at most O~(Lambda).\n"
                 "Shape: max per-node per-round messages grow ~linearly in "

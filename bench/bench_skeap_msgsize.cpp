@@ -39,7 +39,8 @@ std::uint64_t run_and_measure(std::size_t n, std::uint64_t lambda,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("skeap_msgsize", argc, argv);
   bench::header(
       "E3  Skeap message size",
       "Claim (Thm 3.2.5): messages are O(Lambda log^2 n) bits.\n"
@@ -58,6 +59,7 @@ int main() {
   std::printf("\n-- sweep n at Lambda = 8 --\n");
   bench::Table t2({"n", "max_bits", "bits/log2^2n"});
   for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    if (bench::skip_n(n)) continue;
     const auto bits = run_and_measure(n, 8, 80 + n);
     const double l2 = std::log2(static_cast<double>(n));
     t2.row({static_cast<double>(n), static_cast<double>(bits),

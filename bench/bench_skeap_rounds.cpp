@@ -12,7 +12,8 @@
 
 using namespace sks;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init("skeap_rounds", argc, argv);
   bench::header("E1  Skeap rounds per batch",
                 "Claim (Thm 3.2.3): a batch of heap operations is processed "
                 "in O(log n) rounds w.h.p.\nShape: rounds/log2(n) flat as n "
@@ -20,6 +21,7 @@ int main() {
 
   bench::Table table({"n", "ops/batch", "rounds", "rounds/log2n"});
   for (std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    if (bench::skip_n(n)) continue;
     skeap::SkeapSystem sys(
         {.num_nodes = n, .num_priorities = 4, .seed = 100 + n});
     Rng rng(7 + n);

@@ -2,17 +2,159 @@
 // metric extraction. Every bench prints the rows of the experiment it
 // regenerates (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
 // the measured results).
+//
+// Every table bench accepts two optional flags (parsed by bench::init):
+//   --json [path]   mirror every table row into BENCH_<name>.json. `path`
+//                   may be a directory (default ".") or an explicit *.json
+//                   file. The file is rewritten after each row, so partial
+//                   results survive a timeout. Stdout is unaffected.
+//   --max-n <v>     skip sweep points with n > v (CI smoke runs).
 #pragma once
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/metrics.hpp"
 
 namespace sks::bench {
+
+/// Resolve a --json argument (directory or explicit file) to the output
+/// file path for bench `name`.
+inline std::string json_output_path(const std::string& name,
+                                    const std::string& arg) {
+  std::string path = arg.empty() ? std::string(".") : arg;
+  if (path.size() >= 5 &&
+      path.compare(path.size() - 5, 5, ".json") == 0) {
+    return path;
+  }
+  return path + "/BENCH_" + name + ".json";
+}
+
+/// Process-wide JSON mirror of every Table. Disabled unless the binary was
+/// started with --json; rewrites the target file after each row so partial
+/// results are never lost.
+class JsonSink {
+ public:
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  void configure(std::string name, const std::string& path_arg) {
+    name_ = std::move(name);
+    path_ = json_output_path(name_, path_arg);
+    enabled_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  bool enabled() const { return enabled_; }
+
+  std::size_t begin_table(std::vector<std::string> columns) {
+    tables_.push_back({std::move(columns), {}});
+    write();
+    return tables_.size() - 1;
+  }
+
+  void add_row(std::size_t table, std::vector<double> values) {
+    tables_[table].rows.push_back(std::move(values));
+    write();
+  }
+
+ private:
+  struct TableData {
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> rows;
+  };
+
+  static void write_escaped(std::FILE* f, const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') std::fprintf(f, "\\%c", c);
+      else std::fputc(c, f);
+    }
+  }
+
+  static void write_number(std::FILE* f, double v) {
+    if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 &&
+        v > -1e15) {
+      std::fprintf(f, "%lld", static_cast<long long>(v));
+    } else {
+      std::fprintf(f, "%.6g", v);
+    }
+  }
+
+  void write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    std::fprintf(f, "{\n  \"bench\": \"");
+    write_escaped(f, name_);
+    std::fprintf(f, "\",\n  \"wall_time_ms\": %.3f,\n  \"tables\": [",
+                 wall_ms);
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      std::fprintf(f, "%s\n    {\n      \"columns\": [",
+                   t == 0 ? "" : ",");
+      const TableData& tbl = tables_[t];
+      for (std::size_t c = 0; c < tbl.columns.size(); ++c) {
+        std::fprintf(f, "%s\"", c == 0 ? "" : ", ");
+        write_escaped(f, tbl.columns[c]);
+        std::fprintf(f, "\"");
+      }
+      std::fprintf(f, "],\n      \"rows\": [");
+      for (std::size_t r = 0; r < tbl.rows.size(); ++r) {
+        std::fprintf(f, "%s\n        [", r == 0 ? "" : ",");
+        for (std::size_t c = 0; c < tbl.rows[r].size(); ++c) {
+          if (c != 0) std::fprintf(f, ", ");
+          write_number(f, tbl.rows[r][c]);
+        }
+        std::fprintf(f, "]");
+      }
+      std::fprintf(f, "%s]\n    }", tbl.rows.empty() ? "" : "\n      ");
+    }
+    std::fprintf(f, "%s]\n}\n", tables_.empty() ? "" : "\n  ");
+    std::fclose(f);
+  }
+
+  bool enabled_ = false;
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_{};
+  std::vector<TableData> tables_;
+};
+
+inline std::size_t& max_n_limit() {
+  static std::size_t limit = 0;  // 0 = unlimited
+  return limit;
+}
+
+/// True when a sweep point exceeds the --max-n cap (CI smoke runs).
+inline bool skip_n(std::size_t n) {
+  return max_n_limit() != 0 && n > max_n_limit();
+}
+
+/// Parse the shared bench flags. Call first thing in main().
+inline void init(const std::string& name, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      std::string path;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        path = argv[++i];
+      }
+      JsonSink::instance().configure(name, path);
+    } else if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc) {
+      max_n_limit() = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+}
 
 inline void header(const std::string& id, const std::string& claim) {
   std::printf("\n=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
@@ -22,6 +164,9 @@ class Table {
  public:
   explicit Table(std::vector<std::string> columns)
       : columns_(std::move(columns)) {
+    if (JsonSink::instance().enabled()) {
+      sink_table_ = JsonSink::instance().begin_table(columns_);
+    }
     for (const auto& c : columns_) std::printf("%-14s", c.c_str());
     std::printf("\n");
     for (std::size_t i = 0; i < columns_.size(); ++i) std::printf("%-14s", "----");
@@ -40,10 +185,15 @@ class Table {
       ++i;
     }
     std::printf("\n");
+    if (JsonSink::instance().enabled()) {
+      JsonSink::instance().add_row(sink_table_,
+                                   std::vector<double>(values));
+    }
   }
 
  private:
   std::vector<std::string> columns_;
+  std::size_t sink_table_ = 0;
 };
 
 /// Largest single message of a given payload-type prefix in the window.

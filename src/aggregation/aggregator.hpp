@@ -39,19 +39,19 @@
 namespace sks::agg {
 
 template <class Up>
-struct AggUpMsg final : sim::Payload {
+struct AggUpMsg final : sim::Action<AggUpMsg<Up>> {
+  static constexpr const char* kActionName = Up::kName;
   std::uint64_t epoch = 0;
   Up value{};
   std::uint64_t size_bits() const override { return 16 + value.size_bits(); }
-  const char* name() const override { return Up::kName; }
 };
 
 template <class Down>
-struct AggDownMsg final : sim::Payload {
+struct AggDownMsg final : sim::Action<AggDownMsg<Down>> {
+  static constexpr const char* kActionName = Down::kName;
   std::uint64_t epoch = 0;
   Down value{};
   std::uint64_t size_bits() const override { return 16 + value.size_bits(); }
-  const char* name() const override { return Down::kName; }
 };
 
 /// One converge-cast / broadcast channel over the aggregation tree.
@@ -83,12 +83,12 @@ class Aggregator {
         deliver_(std::move(deliver)) {
     host_.on_vertex_payload<AggUpMsg<Up>>(
         [this](overlay::VKind at, const overlay::VirtualId& from,
-               std::unique_ptr<AggUpMsg<Up>> msg) {
+               sim::Owned<AggUpMsg<Up>> msg) {
           handle_up(at, from, std::move(msg));
         });
     host_.on_vertex_payload<AggDownMsg<Down>>(
         [this](overlay::VKind at, const overlay::VirtualId&,
-               std::unique_ptr<AggDownMsg<Down>> msg) {
+               sim::Owned<AggDownMsg<Down>> msg) {
           handle_down(at, std::move(msg));
         });
   }
@@ -125,7 +125,7 @@ class Aggregator {
   }
 
   void handle_up(overlay::VKind at, const overlay::VirtualId& from,
-                 std::unique_ptr<AggUpMsg<Up>> msg) {
+                 sim::Owned<AggUpMsg<Up>> msg) {
     const overlay::VirtualState& st = host_.vstate(at);
     SKS_CHECK_MSG(!st.children.empty(), "leaf received an up message");
 
@@ -167,13 +167,13 @@ class Aggregator {
   void send_up(const overlay::VirtualState& st, std::uint64_t epoch,
                Up value) {
     SKS_CHECK_MSG(st.parent.valid(), "vertex has no parent to send up to");
-    auto msg = std::make_unique<AggUpMsg<Up>>();
+    auto msg = sim::make_payload<AggUpMsg<Up>>();
     msg->epoch = epoch;
     msg->value = std::move(value);
     host_.send_to_vertex(st.self.kind, st.parent, std::move(msg));
   }
 
-  void handle_down(overlay::VKind at, std::unique_ptr<AggDownMsg<Down>> msg) {
+  void handle_down(overlay::VKind at, sim::Owned<AggDownMsg<Down>> msg) {
     push_down(host_.vstate(at), msg->epoch, std::move(msg->value));
   }
 
@@ -197,7 +197,7 @@ class Aggregator {
                   "split produced " << parts.size() << " parts for "
                                     << st.children.size() << " children");
     for (std::size_t i = 0; i < st.children.size(); ++i) {
-      auto out = std::make_unique<AggDownMsg<Down>>();
+      auto out = sim::make_payload<AggDownMsg<Down>>();
       out->epoch = epoch;
       out->value = std::move(parts[i]);
       host_.send_to_vertex(st.self.kind, st.children[i], std::move(out));

@@ -18,11 +18,11 @@
 namespace sks::agg {
 
 template <class V>
-struct BroadcastMsg final : sim::Payload {
+struct BroadcastMsg final : sim::Action<BroadcastMsg<V>> {
+  static constexpr const char* kActionName = V::kName;
   std::uint64_t epoch = 0;
   V value{};
   std::uint64_t size_bits() const override { return 16 + value.size_bits(); }
-  const char* name() const override { return V::kName; }
 };
 
 template <class V>
@@ -34,7 +34,7 @@ class Broadcaster {
       : host_(host), deliver_(std::move(deliver)) {
     host_.on_vertex_payload<BroadcastMsg<V>>(
         [this](overlay::VKind at, const overlay::VirtualId&,
-               std::unique_ptr<BroadcastMsg<V>> msg) {
+               sim::Owned<BroadcastMsg<V>> msg) {
           push_down(at, *msg);
         });
   }
@@ -56,7 +56,7 @@ class Broadcaster {
       return;
     }
     for (const auto& child : st.children) {
-      auto copy = std::make_unique<BroadcastMsg<V>>(msg);
+      auto copy = sim::make_payload<BroadcastMsg<V>>(msg);
       host_.send_to_vertex(at, child, std::move(copy));
     }
   }

@@ -24,24 +24,24 @@
 
 namespace sks::baselines {
 
-struct CentralInsert final : sim::Payload {
+struct CentralInsert final : sim::Action<CentralInsert> {
+  static constexpr const char* kActionName = "central.insert";
   Element element{};
   std::uint64_t size_bits() const override { return 64; }
-  const char* name() const override { return "central.insert"; }
 };
 
-struct CentralDelete final : sim::Payload {
+struct CentralDelete final : sim::Action<CentralDelete> {
+  static constexpr const char* kActionName = "central.delete";
   std::uint64_t request_id = 0;
   std::uint64_t size_bits() const override { return 48; }
-  const char* name() const override { return "central.delete"; }
 };
 
-struct CentralReply final : sim::Payload {
+struct CentralReply final : sim::Action<CentralReply> {
+  static constexpr const char* kActionName = "central.reply";
   std::uint64_t request_id = 0;
   bool has_element = false;
   Element element{};
   std::uint64_t size_bits() const override { return 64; }
-  const char* name() const override { return "central.reply"; }
 };
 
 class CentralNode : public sim::DispatchingNode {
@@ -49,11 +49,11 @@ class CentralNode : public sim::DispatchingNode {
   using DeleteCallback = std::function<void(std::optional<Element>)>;
 
   explicit CentralNode(NodeId coordinator) : coordinator_(coordinator) {
-    on<CentralInsert>([this](NodeId, std::unique_ptr<CentralInsert> m) {
+    on<CentralInsert>([this](NodeId, sim::Owned<CentralInsert> m) {
       heap_.insert(m->element);
     });
-    on<CentralDelete>([this](NodeId from, std::unique_ptr<CentralDelete> m) {
-      auto rep = std::make_unique<CentralReply>();
+    on<CentralDelete>([this](NodeId from, sim::Owned<CentralDelete> m) {
+      auto rep = sim::make_payload<CentralReply>();
       rep->request_id = m->request_id;
       if (!heap_.empty()) {
         rep->has_element = true;
@@ -62,7 +62,7 @@ class CentralNode : public sim::DispatchingNode {
       }
       send(from, std::move(rep));
     });
-    on<CentralReply>([this](NodeId, std::unique_ptr<CentralReply> m) {
+    on<CentralReply>([this](NodeId, sim::Owned<CentralReply> m) {
       auto it = callbacks_.find(m->request_id);
       SKS_CHECK(it != callbacks_.end());
       auto cb = std::move(it->second);
@@ -75,7 +75,7 @@ class CentralNode : public sim::DispatchingNode {
   }
 
   void insert(const Element& e) {
-    auto m = std::make_unique<CentralInsert>();
+    auto m = sim::make_payload<CentralInsert>();
     m->element = e;
     // Even the coordinator's own ops go through its channel so that the
     // serialization point (and its congestion) is honest.
@@ -83,7 +83,7 @@ class CentralNode : public sim::DispatchingNode {
   }
 
   void delete_min(DeleteCallback cb) {
-    auto m = std::make_unique<CentralDelete>();
+    auto m = sim::make_payload<CentralDelete>();
     m->request_id = next_request_id_++;
     callbacks_.emplace(m->request_id, std::move(cb));
     // Even the coordinator's own deletes go through its channel so the

@@ -31,40 +31,40 @@
 
 namespace sks::baselines {
 
-struct GossipSampleReq final : sim::Payload {
+struct GossipSampleReq final : sim::Action<GossipSampleReq> {
+  static constexpr const char* kActionName = "gossip.sample_req";
   std::uint64_t session = 0;
   std::uint64_t size_bits() const override { return 32; }
-  const char* name() const override { return "gossip.sample_req"; }
 };
 
-struct GossipSampleRep final : sim::Payload {
+struct GossipSampleRep final : sim::Action<GossipSampleRep> {
+  static constexpr const char* kActionName = "gossip.sample_rep";
   std::uint64_t session = 0;
   bool alive = false;  ///< value still a candidate?
   Element value{};
   std::uint64_t size_bits() const override { return 64; }
-  const char* name() const override { return "gossip.sample_rep"; }
 };
 
-struct GossipCountReq final : sim::Payload {
+struct GossipCountReq final : sim::Action<GossipCountReq> {
+  static constexpr const char* kActionName = "gossip.count_req";
   std::uint64_t session = 0;
   Element pivot{};
   std::uint64_t size_bits() const override { return 64; }
-  const char* name() const override { return "gossip.count_req"; }
 };
 
-struct GossipCountRep final : sim::Payload {
+struct GossipCountRep final : sim::Action<GossipCountRep> {
+  static constexpr const char* kActionName = "gossip.count_rep";
   std::uint64_t session = 0;
   std::uint32_t leq = 0;    ///< 1 iff my value <= pivot and alive
   std::uint32_t alive = 0;  ///< 1 iff my value is still a candidate
   std::uint64_t size_bits() const override { return 34; }
-  const char* name() const override { return "gossip.count_rep"; }
 };
 
-struct GossipPrune final : sim::Payload {
+struct GossipPrune final : sim::Action<GossipPrune> {
+  static constexpr const char* kActionName = "gossip.prune";
   std::uint64_t session = 0;
   Element lo{}, hi{};
   std::uint64_t size_bits() const override { return 96; }
-  const char* name() const override { return "gossip.prune"; }
 };
 
 /// One node holding one value (the [HMS18] setting).
@@ -74,31 +74,31 @@ class GossipNode : public sim::DispatchingNode {
 
   GossipNode(std::size_t n, std::uint64_t seed) : n_(n), rng_(seed) {
     on<GossipSampleReq>([this](NodeId from,
-                               std::unique_ptr<GossipSampleReq> m) {
-      auto rep = std::make_unique<GossipSampleRep>();
+                               sim::Owned<GossipSampleReq> m) {
+      auto rep = sim::make_payload<GossipSampleRep>();
       rep->session = m->session;
       rep->alive = alive_;
       rep->value = value_;
       send(from, std::move(rep));
     });
-    on<GossipSampleRep>([this](NodeId, std::unique_ptr<GossipSampleRep> m) {
+    on<GossipSampleRep>([this](NodeId, sim::Owned<GossipSampleRep> m) {
       if (m->alive) samples_.push_back(m->value);
       if (++sample_replies_ == sample_requests_) counting_round();
     });
     on<GossipCountReq>([this](NodeId from,
-                              std::unique_ptr<GossipCountReq> m) {
-      auto rep = std::make_unique<GossipCountRep>();
+                              sim::Owned<GossipCountReq> m) {
+      auto rep = sim::make_payload<GossipCountRep>();
       rep->session = m->session;
       rep->alive = alive_ ? 1 : 0;
       rep->leq = (alive_ && value_ <= m->pivot) ? 1 : 0;
       send(from, std::move(rep));
     });
-    on<GossipCountRep>([this](NodeId, std::unique_ptr<GossipCountRep> m) {
+    on<GossipCountRep>([this](NodeId, sim::Owned<GossipCountRep> m) {
       count_leq_ += m->leq;
       count_alive_ += m->alive;
       if (++count_replies_ == n_) on_exact_count();
     });
-    on<GossipPrune>([this](NodeId, std::unique_ptr<GossipPrune> m) {
+    on<GossipPrune>([this](NodeId, sim::Owned<GossipPrune> m) {
       if (alive_ && (value_ < m->lo || m->hi < value_)) alive_ = false;
     });
   }
@@ -128,7 +128,7 @@ class GossipNode : public sim::DispatchingNode {
     sample_replies_ = 0;
     sample_requests_ = 4 * bits_for_samples();
     for (std::uint64_t i = 0; i < sample_requests_; ++i) {
-      auto req = std::make_unique<GossipSampleReq>();
+      auto req = sim::make_payload<GossipSampleReq>();
       req->session = session_;
       send(static_cast<NodeId>(rng_.below(n_)), std::move(req));
     }
@@ -159,7 +159,7 @@ class GossipNode : public sim::DispatchingNode {
     count_leq_ = count_alive_ = 0;
     count_replies_ = 0;
     for (NodeId v = 0; v < n_; ++v) {
-      auto req = std::make_unique<GossipCountReq>();
+      auto req = sim::make_payload<GossipCountReq>();
       req->session = session_;
       req->pivot = pivot_;
       send(v, std::move(req));
@@ -181,7 +181,7 @@ class GossipNode : public sim::DispatchingNode {
       return;
     }
     // Prune the side that cannot contain the k-th element.
-    auto prune = std::make_unique<GossipPrune>();
+    auto prune = sim::make_payload<GossipPrune>();
     prune->session = session_;
     if (rank_pivot > k_global()) {
       prune->lo = Element{0, 0};
@@ -192,7 +192,7 @@ class GossipNode : public sim::DispatchingNode {
       prune->hi = Element{~0ULL, ~0ULL};
     }
     for (NodeId v = 0; v < n_; ++v) {
-      auto copy = std::make_unique<GossipPrune>(*prune);
+      auto copy = sim::make_payload<GossipPrune>(*prune);
       send(v, std::move(copy));
     }
     sampling_round();

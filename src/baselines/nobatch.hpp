@@ -28,24 +28,24 @@
 namespace sks::baselines {
 
 /// A single operation climbing the tree to the anchor.
-struct NoBatchOp final : sim::Payload {
+struct NoBatchOp final : sim::Action<NoBatchOp> {
+  static constexpr const char* kActionName = "nobatch.op";
   bool is_insert = false;
   Priority prio = 0;
   NodeId origin = kNoNode;
   std::uint64_t request_id = 0;
   overlay::VKind at_kind = overlay::VKind::kRight;
   std::uint64_t size_bits() const override { return 64; }
-  const char* name() const override { return "nobatch.op"; }
 };
 
 /// The anchor's position grant, sent straight back to the issuer.
-struct NoBatchGrant final : sim::Payload {
+struct NoBatchGrant final : sim::Action<NoBatchGrant> {
+  static constexpr const char* kActionName = "nobatch.grant";
   std::uint64_t request_id = 0;
   bool bottom = false;
   Priority prio = 0;
   Position pos = 0;
   std::uint64_t size_bits() const override { return 72; }
-  const char* name() const override { return "nobatch.grant"; }
 };
 
 class NoBatchNode : public overlay::OverlayNode {
@@ -64,17 +64,17 @@ class NoBatchNode : public overlay::OverlayNode {
         hash_(config.hash_seed),
         dht_(*this, config.widths) {
     on_direct_payload<NoBatchOp>(
-        [this](NodeId, std::unique_ptr<NoBatchOp> op) {
+        [this](NodeId, sim::Owned<NoBatchOp> op) {
           forward_or_serve(std::move(op));
         });
     on_direct_payload<NoBatchGrant>(
-        [this](NodeId, std::unique_ptr<NoBatchGrant> g) {
+        [this](NodeId, sim::Owned<NoBatchGrant> g) {
           on_grant(std::move(g));
         });
   }
 
   void insert(const Element& e) {
-    auto op = std::make_unique<NoBatchOp>();
+    auto op = sim::make_payload<NoBatchOp>();
     op->is_insert = true;
     op->prio = e.prio;
     op->origin = id();
@@ -84,7 +84,7 @@ class NoBatchNode : public overlay::OverlayNode {
   }
 
   void delete_min(DeleteCallback cb) {
-    auto op = std::make_unique<NoBatchOp>();
+    auto op = sim::make_payload<NoBatchOp>();
     op->is_insert = false;
     op->origin = id();
     op->request_id = next_request_id_++;
@@ -96,12 +96,12 @@ class NoBatchNode : public overlay::OverlayNode {
   const dht::DhtComponent& dht() const { return dht_; }
 
  private:
-  void start_climb(std::unique_ptr<NoBatchOp> op) {
+  void start_climb(sim::Owned<NoBatchOp> op) {
     op->at_kind = overlay::VKind::kRight;  // start at our leaf
     forward_or_serve(std::move(op));
   }
 
-  void forward_or_serve(std::unique_ptr<NoBatchOp> op) {
+  void forward_or_serve(sim::Owned<NoBatchOp> op) {
     // Climb parent links until the anchor; local virtual hops are free.
     overlay::VKind at = op->at_kind;
     for (;;) {
@@ -121,7 +121,7 @@ class NoBatchNode : public overlay::OverlayNode {
     }
   }
 
-  void serve_at_anchor(std::unique_ptr<NoBatchOp> op) {
+  void serve_at_anchor(sim::Owned<NoBatchOp> op) {
     if (!anchor_state_) anchor_state_.emplace(config_.num_priorities);
     // A batch of exactly one operation.
     skeap::Batch one(config_.num_priorities);
@@ -131,7 +131,7 @@ class NoBatchNode : public overlay::OverlayNode {
       one.record_delete();
     }
     skeap::BatchAssignment asg = anchor_state_->assign(one);
-    auto grant = std::make_unique<NoBatchGrant>();
+    auto grant = sim::make_payload<NoBatchGrant>();
     grant->request_id = op->request_id;
     if (op->is_insert) {
       const Interval iv = asg.entries[0].inserts.at(op->prio);
@@ -147,7 +147,7 @@ class NoBatchNode : public overlay::OverlayNode {
     send_direct(op->origin, std::move(grant));
   }
 
-  void on_grant(std::unique_ptr<NoBatchGrant> g) {
+  void on_grant(sim::Owned<NoBatchGrant> g) {
     auto ins = pending_inserts_.find(g->request_id);
     if (ins != pending_inserts_.end()) {
       const Element e = ins->second;

@@ -43,7 +43,8 @@ struct DhtWidths {
   }
 };
 
-struct PutRequest final : sim::Payload {
+struct PutRequest final : sim::Action<PutRequest> {
+  static constexpr const char* kActionName = "dht.put";
   Element element;
   NodeId requester = kNoNode;
   std::uint64_t request_id = 0;
@@ -51,31 +52,30 @@ struct PutRequest final : sim::Payload {
   std::uint8_t space = 0;
   std::uint64_t bits = 64;
   std::uint64_t size_bits() const override { return bits; }
-  const char* name() const override { return "dht.put"; }
 };
 
-struct GetRequest final : sim::Payload {
+struct GetRequest final : sim::Action<GetRequest> {
+  static constexpr const char* kActionName = "dht.get";
   NodeId requester = kNoNode;
   std::uint64_t request_id = 0;
   std::uint8_t space = 0;
   std::uint64_t bits = 48;
   std::uint64_t size_bits() const override { return bits; }
-  const char* name() const override { return "dht.get"; }
 };
 
-struct GetReply final : sim::Payload {
+struct GetReply final : sim::Action<GetReply> {
+  static constexpr const char* kActionName = "dht.get_reply";
   Element element;
   std::uint64_t request_id = 0;
   std::uint64_t bits = 48;
   std::uint64_t size_bits() const override { return bits; }
-  const char* name() const override { return "dht.get_reply"; }
 };
 
-struct PutAck final : sim::Payload {
+struct PutAck final : sim::Action<PutAck> {
+  static constexpr const char* kActionName = "dht.put_ack";
   std::uint64_t request_id = 0;
   std::uint64_t bits = 24;
   std::uint64_t size_bits() const override { return bits; }
-  const char* name() const override { return "dht.put_ack"; }
 };
 
 /// Attachable DHT role for an OverlayNode: both the client side (put/get
@@ -119,16 +119,16 @@ class DhtComponent {
       : host_(host), widths_(widths) {
     host_.on_routed_payload<PutRequest>(
         [this](Point key, overlay::VKind owner, NodeId,
-               std::unique_ptr<PutRequest> req) {
+               sim::Owned<PutRequest> req) {
           handle_put(key, owner, std::move(req));
         });
     host_.on_routed_payload<GetRequest>(
         [this](Point key, overlay::VKind owner, NodeId,
-               std::unique_ptr<GetRequest> req) {
+               sim::Owned<GetRequest> req) {
           handle_get(key, owner, std::move(req));
         });
     host_.on_direct_payload<GetReply>(
-        [this](NodeId, std::unique_ptr<GetReply> rep) {
+        [this](NodeId, sim::Owned<GetReply> rep) {
           auto it = get_callbacks_.find(rep->request_id);
           SKS_CHECK_MSG(it != get_callbacks_.end(), "unexpected get reply");
           auto cb = std::move(it->second);
@@ -136,7 +136,7 @@ class DhtComponent {
           cb(rep->element);
         });
     host_.on_direct_payload<PutAck>(
-        [this](NodeId, std::unique_ptr<PutAck> ack) {
+        [this](NodeId, sim::Owned<PutAck> ack) {
           auto it = put_callbacks_.find(ack->request_id);
           SKS_CHECK_MSG(it != put_callbacks_.end(), "unexpected put ack");
           auto cb = std::move(it->second);
@@ -151,7 +151,7 @@ class DhtComponent {
   void put(Point key, const Element& e, PutCallback ack = nullptr,
            std::uint8_t space = 0) {
     SKS_CHECK(space < kNumSpaces);
-    auto req = std::make_unique<PutRequest>();
+    auto req = sim::make_payload<PutRequest>();
     req->element = e;
     req->requester = host_.id();
     req->space = space;
@@ -169,7 +169,7 @@ class DhtComponent {
   void get(Point key, GetCallback cb, std::uint8_t space = 0) {
     SKS_CHECK(cb != nullptr);
     SKS_CHECK(space < kNumSpaces);
-    auto req = std::make_unique<GetRequest>();
+    auto req = sim::make_payload<GetRequest>();
     req->requester = host_.id();
     req->request_id = next_request_id_++;
     req->space = space;
@@ -324,7 +324,7 @@ class DhtComponent {
   }
 
   void handle_put(Point key, overlay::VKind owner,
-                  std::unique_ptr<PutRequest> req) {
+                  sim::Owned<PutRequest> req) {
     // Resolve all map state before sending anything: a reply delivered
     // locally can re-enter this component and mutate the maps.
     auto& wmap = waiting(req->space, owner);
@@ -342,7 +342,7 @@ class DhtComponent {
       reply_get(*matched, req->element);
     }
     if (req->want_ack) {
-      auto ack = std::make_unique<PutAck>();
+      auto ack = sim::make_payload<PutAck>();
       ack->request_id = req->request_id;
       ack->bits = bits_for_max(req->request_id) + widths_.node_id_bits;
       host_.send_direct(req->requester, std::move(ack));
@@ -350,7 +350,7 @@ class DhtComponent {
   }
 
   void handle_get(Point key, overlay::VKind owner,
-                  std::unique_ptr<GetRequest> req) {
+                  sim::Owned<GetRequest> req) {
     auto& st = store(req->space, owner);
     auto it = st.find(key);
     if (it != st.end() && !it->second.empty()) {
@@ -366,7 +366,7 @@ class DhtComponent {
   }
 
   void reply_get(const WaitingGet& w, const Element& e) {
-    auto rep = std::make_unique<GetReply>();
+    auto rep = sim::make_payload<GetReply>();
     rep->element = e;
     rep->request_id = w.request_id;
     rep->bits = widths_.element_bits + bits_for_max(w.request_id);

@@ -158,18 +158,19 @@ struct SampleDown {
 // ---------------------------------------------------------------------------
 
 /// A sampled candidate routed to the node responsible for its position.
-struct SeedMsg final : sim::Payload {
+struct SeedMsg final : sim::Action<SeedMsg> {
+  static constexpr const char* kActionName = "kselect.seed";
   std::uint64_t session = 0;
   std::uint32_t iter = 0;
   std::uint64_t pos = 0;      ///< i = pos(c_i) ∈ [1, n']
   std::uint64_t nprime = 0;   ///< n'
   CandidateKey c{};
   std::uint64_t size_bits() const override { return 48 + 2 * 32 + 48; }
-  const char* name() const override { return "kselect.seed"; }
 };
 
 /// A copy-tree split: the pair ([a, b], c_i) of Algorithm 3.
-struct CopyMsg final : sim::Payload {
+struct CopyMsg final : sim::Action<CopyMsg> {
+  static constexpr const char* kActionName = "kselect.copy";
   std::uint64_t session = 0;
   std::uint32_t iter = 0;
   std::uint64_t i = 0;
@@ -179,11 +180,11 @@ struct CopyMsg final : sim::Payload {
   NodeId parent_host = kNoNode;
   std::uint64_t parent_mid = 0;
   std::uint64_t size_bits() const override { return 48 + 5 * 32 + 48; }
-  const char* name() const override { return "kselect.copy"; }
 };
 
 /// Copy c_{i,j} arriving at the rendezvous node responsible for h(i, j).
-struct RdvMsg final : sim::Payload {
+struct RdvMsg final : sim::Action<RdvMsg> {
+  static constexpr const char* kActionName = "kselect.rdv";
   std::uint64_t session = 0;
   std::uint32_t iter = 0;
   std::uint64_t i = 0;  ///< candidate index
@@ -191,12 +192,12 @@ struct RdvMsg final : sim::Payload {
   CandidateKey c{};
   NodeId back_host = kNoNode;  ///< where copy c_{i,j} lives
   std::uint64_t size_bits() const override { return 48 + 3 * 32 + 48; }
-  const char* name() const override { return "kselect.rdv"; }
 };
 
 /// The comparison outcome sent back to a copy holder: smaller = 1 iff the
 /// peer candidate precedes c_i in the total order (the paper's (1,0)).
-struct VoteMsg final : sim::Payload {
+struct VoteMsg final : sim::Action<VoteMsg> {
+  static constexpr const char* kActionName = "kselect.vote";
   std::uint64_t session = 0;
   std::uint32_t iter = 0;
   std::uint64_t i = 0;
@@ -204,46 +205,45 @@ struct VoteMsg final : sim::Payload {
   std::uint32_t smaller = 0;
   std::uint32_t larger = 0;
   std::uint64_t size_bits() const override { return 48 + 3 * 32 + 2; }
-  const char* name() const override { return "kselect.vote"; }
 };
 
 /// Partial (L, R) vector aggregated up a copy tree.
-struct TreeSumMsg final : sim::Payload {
+struct TreeSumMsg final : sim::Action<TreeSumMsg> {
+  static constexpr const char* kActionName = "kselect.treesum";
   std::uint64_t session = 0;
   std::uint32_t iter = 0;
   std::uint64_t i = 0;
   std::uint64_t parent_mid = 0;
   std::uint64_t L = 0, R = 0;
   std::uint64_t size_bits() const override { return 48 + 4 * 32; }
-  const char* name() const override { return "kselect.treesum"; }
 };
 
 /// Publish "candidate with order `order`" on the order board.
-struct OrderPut final : sim::Payload {
+struct OrderPut final : sim::Action<OrderPut> {
+  static constexpr const char* kActionName = "kselect.order_put";
   std::uint64_t session = 0;
   std::uint32_t iter = 0;
   std::uint64_t order = 0;
   CandidateKey c{};
   std::uint64_t size_bits() const override { return 48 + 2 * 32 + 48; }
-  const char* name() const override { return "kselect.order_put"; }
 };
 
 /// Fetch the candidate with a given order; waits if not yet published.
-struct OrderGet final : sim::Payload {
+struct OrderGet final : sim::Action<OrderGet> {
+  static constexpr const char* kActionName = "kselect.order_get";
   std::uint64_t session = 0;
   std::uint32_t iter = 0;
   std::uint64_t order = 0;
   NodeId back = kNoNode;
   std::uint64_t tag = 0;
   std::uint64_t size_bits() const override { return 48 + 3 * 32; }
-  const char* name() const override { return "kselect.order_get"; }
 };
 
-struct OrderReply final : sim::Payload {
+struct OrderReply final : sim::Action<OrderReply> {
+  static constexpr const char* kActionName = "kselect.order_reply";
   std::uint64_t tag = 0;
   CandidateKey c{};
   std::uint64_t size_bits() const override { return 32 + 48; }
-  const char* name() const override { return "kselect.order_reply"; }
 };
 
 // ---------------------------------------------------------------------------
@@ -789,7 +789,7 @@ class KSelectComponent {
 
   void send_order_get(std::uint64_t session, std::uint32_t iter,
                       std::uint64_t order, bool tag_is_l) {
-    auto get = std::make_unique<OrderGet>();
+    auto get = sim::make_payload<OrderGet>();
     get->session = session;
     get->iter = iter;
     get->order = order;
@@ -851,25 +851,25 @@ class KSelectComponent {
 
   void register_routed_handlers() {
     host_.on_routed_payload<SeedMsg>(
-        [this](Point, overlay::VKind at, NodeId, std::unique_ptr<SeedMsg> m) {
+        [this](Point, overlay::VKind at, NodeId, sim::Owned<SeedMsg> m) {
           if (iter_closed(m->session, m->iter)) return;
           // This vertex is the root v_i of the copy tree T(v_i).
           open_tree_node(at, m->session, m->iter, m->pos, 1, m->nprime,
                          m->nprime, m->c, kNoNode, 0, /*root=*/true);
         });
     host_.on_routed_payload<CopyMsg>(
-        [this](Point, overlay::VKind at, NodeId, std::unique_ptr<CopyMsg> m) {
+        [this](Point, overlay::VKind at, NodeId, sim::Owned<CopyMsg> m) {
           if (iter_closed(m->session, m->iter)) return;
           open_tree_node(at, m->session, m->iter, m->i, m->a, m->b,
                          m->nprime, m->c, m->parent_host, m->parent_mid,
                          /*root=*/false);
         });
     host_.on_routed_payload<RdvMsg>(
-        [this](Point, overlay::VKind, NodeId, std::unique_ptr<RdvMsg> m) {
+        [this](Point, overlay::VKind, NodeId, sim::Owned<RdvMsg> m) {
           handle_rendezvous(std::move(m));
         });
     host_.on_direct_payload<VoteMsg>(
-        [this](NodeId, std::unique_ptr<VoteMsg> m) {
+        [this](NodeId, sim::Owned<VoteMsg> m) {
           if (iter_closed(m->session, m->iter)) return;
           TreeKey key{m->session, m->iter, m->i, m->mid};
           auto it = tree_nodes_.find(key);
@@ -879,7 +879,7 @@ class KSelectComponent {
           tree_node_progress(key, it->second);
         });
     host_.on_direct_payload<TreeSumMsg>(
-        [this](NodeId, std::unique_ptr<TreeSumMsg> m) {
+        [this](NodeId, sim::Owned<TreeSumMsg> m) {
           if (iter_closed(m->session, m->iter)) return;
           TreeKey key{m->session, m->iter, m->i, m->parent_mid};
           auto it = tree_nodes_.find(key);
@@ -889,7 +889,7 @@ class KSelectComponent {
           tree_node_progress(key, it->second);
         });
     host_.on_routed_payload<OrderPut>(
-        [this](Point, overlay::VKind, NodeId, std::unique_ptr<OrderPut> m) {
+        [this](Point, overlay::VKind, NodeId, sim::Owned<OrderPut> m) {
           if (iter_closed(m->session, m->iter)) return;
           OrderKey key{m->session, m->iter, m->order};
           // Publish before replying: a reply delivered locally can
@@ -901,7 +901,7 @@ class KSelectComponent {
             auto waiters = std::move(waiting->second);
             order_waiting_.erase(waiting);
             for (const auto& [back, tag] : waiters) {
-              auto rep = std::make_unique<OrderReply>();
+              auto rep = sim::make_payload<OrderReply>();
               rep->tag = tag;
               rep->c = m->c;
               host_.send_direct(back, std::move(rep));
@@ -909,12 +909,12 @@ class KSelectComponent {
           }
         });
     host_.on_routed_payload<OrderGet>(
-        [this](Point, overlay::VKind, NodeId, std::unique_ptr<OrderGet> m) {
+        [this](Point, overlay::VKind, NodeId, sim::Owned<OrderGet> m) {
           if (iter_closed(m->session, m->iter)) return;
           OrderKey key{m->session, m->iter, m->order};
           auto it = order_board_.find(key);
           if (it != order_board_.end()) {
-            auto rep = std::make_unique<OrderReply>();
+            auto rep = sim::make_payload<OrderReply>();
             rep->tag = m->tag;
             rep->c = it->second;
             host_.send_direct(m->back, std::move(rep));
@@ -923,7 +923,7 @@ class KSelectComponent {
           }
         });
     host_.on_direct_payload<OrderReply>(
-        [this](NodeId, std::unique_ptr<OrderReply> m) {
+        [this](NodeId, sim::Owned<OrderReply> m) {
           on_order_reply(m->tag, m->c);
         });
   }
@@ -939,7 +939,7 @@ class KSelectComponent {
                   "position interval does not match sample count");
     Position pos = iv.lo;
     for (const auto& c : hs.sampled) {
-      auto seed = std::make_unique<SeedMsg>();
+      auto seed = sim::make_payload<SeedMsg>();
       seed->session = session;
       seed->iter = iter;
       seed->pos = pos;
@@ -968,7 +968,7 @@ class KSelectComponent {
 
     // Split the interval along de Bruijn halving edges (Algorithm 3).
     if (a < mid) {
-      auto left = std::make_unique<CopyMsg>();
+      auto left = sim::make_payload<CopyMsg>();
       left->session = session;
       left->iter = iter;
       left->i = i;
@@ -982,7 +982,7 @@ class KSelectComponent {
       host_.debruijn_hop(at, false, std::move(left));
     }
     if (mid < b) {
-      auto right = std::make_unique<CopyMsg>();
+      auto right = sim::make_payload<CopyMsg>();
       right->session = session;
       right->iter = iter;
       right->i = i;
@@ -997,7 +997,7 @@ class KSelectComponent {
     }
 
     // Send this copy (j = mid) to its rendezvous with c_{mid, i}.
-    auto rdv = std::make_unique<RdvMsg>();
+    auto rdv = sim::make_payload<RdvMsg>();
     rdv->session = session;
     rdv->iter = iter;
     rdv->i = i;
@@ -1007,11 +1007,11 @@ class KSelectComponent {
     host_.route(point_rdv(session, iter, i, mid), std::move(rdv));
   }
 
-  void handle_rendezvous(std::unique_ptr<RdvMsg> m) {
+  void handle_rendezvous(sim::Owned<RdvMsg> m) {
     if (iter_closed(m->session, m->iter)) return;
     if (m->i == m->j) {
       // A copy compared with itself contributes nothing.
-      auto vote = std::make_unique<VoteMsg>();
+      auto vote = sim::make_payload<VoteMsg>();
       vote->session = m->session;
       vote->iter = m->iter;
       vote->i = m->i;
@@ -1038,7 +1038,7 @@ class KSelectComponent {
 
   void send_vote(std::uint64_t session, std::uint32_t iter, std::uint64_t i,
                  std::uint64_t mid, bool peer_smaller, NodeId back) {
-    auto vote = std::make_unique<VoteMsg>();
+    auto vote = sim::make_payload<VoteMsg>();
     vote->session = session;
     vote->iter = iter;
     vote->i = i;
@@ -1052,7 +1052,7 @@ class KSelectComponent {
     if (--node.waiting > 0) return;
     if (node.is_root) {
       // Order of c_i in C' is L + 1 (Section 4.3); publish it.
-      auto put = std::make_unique<OrderPut>();
+      auto put = sim::make_payload<OrderPut>();
       put->session = key.session;
       put->iter = key.iter;
       put->order = node.L + 1;
@@ -1060,7 +1060,7 @@ class KSelectComponent {
       host_.route(point_order(key.session, key.iter, node.L + 1),
                   std::move(put));
     } else {
-      auto sum = std::make_unique<TreeSumMsg>();
+      auto sum = sim::make_payload<TreeSumMsg>();
       sum->session = key.session;
       sum->iter = key.iter;
       sum->i = key.i;

@@ -42,63 +42,63 @@ namespace sks::overlay {
 
 /// Phase 1 of a join: read-only query for the would-be neighbours of
 /// `label`; routed to the current owner of `label`.
-struct JoinReserve final : sim::Payload {
+struct JoinReserve final : sim::Action<JoinReserve> {
+  static constexpr const char* kActionName = "member.join_reserve";
   NodeId joiner = kNoNode;
   VKind kind = VKind::kMiddle;
   Point label = 0;
   std::uint64_t size_bits() const override { return 2 * 64 + 16; }
-  const char* name() const override { return "member.join_reserve"; }
 };
 
 /// The owner's read-only answer: who the newcomer's neighbours will be.
-struct ReserveAck final : sim::Payload {
+struct ReserveAck final : sim::Action<ReserveAck> {
+  static constexpr const char* kActionName = "member.reserve_ack";
   VKind kind = VKind::kMiddle;
   VirtualId pred;
   VirtualId succ;
   std::uint64_t size_bits() const override { return 2 * 80 + 16; }
-  const char* name() const override { return "member.reserve_ack"; }
 };
 
 /// Phase 2: the joiner (now fully linked, so reachable by any in-flight
 /// walk) asks the owner to make the splice visible. The owner extracts
 /// the handed-over arc *now*, so no put that raced the join is lost.
-struct JoinConfirm final : sim::Payload {
+struct JoinConfirm final : sim::Action<JoinConfirm> {
+  static constexpr const char* kActionName = "member.join_confirm";
   NodeId joiner = kNoNode;
   VKind owner_kind = VKind::kMiddle;  ///< which vertex of the owner host
   VirtualId first;                    ///< head of the joiner's vertex run
   VirtualId last;                     ///< tail of the run (old_succ's pred)
   std::uint64_t size_bits() const override { return 2 * 80 + 20; }
-  const char* name() const override { return "member.join_confirm"; }
 };
 
 /// The handed-over arc, completing the join for one virtual node.
-struct ArcTransfer final : sim::Payload {
+struct ArcTransfer final : sim::Action<ArcTransfer> {
+  static constexpr const char* kActionName = "member.arc_transfer";
   VKind kind = VKind::kMiddle;
   dht::DhtComponent::ArcData arc;
   std::uint64_t size_bits() const override {
     return 16 + 64 * arc.element_count();
   }
-  const char* name() const override { return "member.arc_transfer"; }
 };
 
 /// "Your pred/succ pointer now points at `neighbor`."
-struct NeighborUpdate final : sim::Payload {
+struct NeighborUpdate final : sim::Action<NeighborUpdate> {
+  static constexpr const char* kActionName = "member.neighbor_update";
   VKind target_kind = VKind::kMiddle;
   bool is_pred = false;
   VirtualId neighbor;
   std::uint64_t size_bits() const override { return 80 + 18; }
-  const char* name() const override { return "member.neighbor_update"; }
 };
 
 /// A leaving node hands its arc to its predecessor.
-struct LeaveHandover final : sim::Payload {
+struct LeaveHandover final : sim::Action<LeaveHandover> {
+  static constexpr const char* kActionName = "member.leave_handover";
   VKind pred_kind = VKind::kMiddle;  ///< which vertex of the receiving host
   VirtualId new_succ;                ///< the leaver's old successor
   dht::DhtComponent::ArcData arc;
   std::uint64_t size_bits() const override {
     return 80 + 16 + 64 * arc.element_count();
   }
-  const char* name() const override { return "member.leave_handover"; }
 };
 
 class MembershipComponent {
@@ -108,19 +108,19 @@ class MembershipComponent {
   MembershipComponent(OverlayNode& host, dht::DhtComponent& dht)
       : host_(host), dht_(dht) {
     host_.on_routed_payload<JoinReserve>(
-        [this](Point, VKind owner, NodeId, std::unique_ptr<JoinReserve> m) {
+        [this](Point, VKind owner, NodeId, sim::Owned<JoinReserve> m) {
           handle_reserve(owner, std::move(m));
         });
     host_.on_direct_payload<ReserveAck>(
-        [this](NodeId, std::unique_ptr<ReserveAck> m) {
+        [this](NodeId, sim::Owned<ReserveAck> m) {
           handle_reserve_ack(std::move(m));
         });
     host_.on_direct_payload<JoinConfirm>(
-        [this](NodeId, std::unique_ptr<JoinConfirm> m) {
+        [this](NodeId, sim::Owned<JoinConfirm> m) {
           handle_confirm(std::move(m));
         });
     host_.on_direct_payload<ArcTransfer>(
-        [this](NodeId, std::unique_ptr<ArcTransfer> m) {
+        [this](NodeId, sim::Owned<ArcTransfer> m) {
           absorb_split_by_ownership(std::move(m->arc));
           if (--transfers_needed_ == 0) {
             joined_ = true;
@@ -132,7 +132,7 @@ class MembershipComponent {
           }
         });
     host_.on_direct_payload<NeighborUpdate>(
-        [this](NodeId, std::unique_ptr<NeighborUpdate> m) {
+        [this](NodeId, sim::Owned<NeighborUpdate> m) {
           NodeLinks links = host_.links();
           VirtualState& st = links.at(m->target_kind);
           (m->is_pred ? st.pred : st.succ) = m->neighbor;
@@ -140,7 +140,7 @@ class MembershipComponent {
           host_.install_links(std::move(links));
         });
     host_.on_direct_payload<LeaveHandover>(
-        [this](NodeId, std::unique_ptr<LeaveHandover> m) {
+        [this](NodeId, sim::Owned<LeaveHandover> m) {
           NodeLinks links = host_.links();
           links.at(m->pred_kind).succ = m->new_succ;
           derive_tree_links(links);
@@ -148,9 +148,9 @@ class MembershipComponent {
           dht_.absorb_arc(m->pred_kind, std::move(m->arc));
         });
     host_.on_direct_payload<JoinRelay>(
-        [this](NodeId, std::unique_ptr<JoinRelay> m) {
+        [this](NodeId, sim::Owned<JoinRelay> m) {
           // Relay a joiner's reserve into the overlay on its behalf.
-          auto reserve = std::make_unique<JoinReserve>(m->reserve);
+          auto reserve = sim::make_payload<JoinReserve>(m->reserve);
           const Point label = reserve->label;
           host_.route(label, std::move(reserve));
         });
@@ -175,7 +175,7 @@ class MembershipComponent {
     pending_links_ = std::make_unique<NodeLinks>(std::move(links));
     acks_needed_ = 3;
     for (VKind k : kAllKinds) {
-      auto req = std::make_unique<JoinRelay>();
+      auto req = sim::make_payload<JoinRelay>();
       req->reserve.joiner = host_.id();
       req->reserve.kind = k;
       req->reserve.label = label_of(m, k);
@@ -203,7 +203,7 @@ class MembershipComponent {
                     "cannot leave: this node is the only member");
 
       // Walk the run of consecutive own vertices and merge their arcs.
-      auto handover = std::make_unique<LeaveHandover>();
+      auto handover = sim::make_payload<LeaveHandover>();
       handover->pred_kind = first.pred.kind;
       VKind cur = start;
       VirtualId succ;
@@ -226,7 +226,7 @@ class MembershipComponent {
       }
       handover->new_succ = succ;
 
-      auto update = std::make_unique<NeighborUpdate>();
+      auto update = sim::make_payload<NeighborUpdate>();
       update->target_kind = succ.kind;
       update->is_pred = true;
       update->neighbor = first.pred;
@@ -247,13 +247,13 @@ class MembershipComponent {
  private:
   /// The joiner cannot route before it has links, so the initial reserve
   /// requests are relayed through the bootstrap node.
-  struct JoinRelay final : sim::Payload {
+  struct JoinRelay final : sim::Action<JoinRelay> {
+    static constexpr const char* kActionName = "member.join_relay";
     JoinReserve reserve;
     std::uint64_t size_bits() const override { return reserve.size_bits(); }
-    const char* name() const override { return "member.join_relay"; }
   };
 
-  void handle_reserve(VKind owner, std::unique_ptr<JoinReserve> m) {
+  void handle_reserve(VKind owner, sim::Owned<JoinReserve> m) {
     const VirtualState& st = host_.vstate(owner);
     // Ownership may have moved while the request was in flight; re-route
     // if the label is no longer in our arc.
@@ -262,14 +262,14 @@ class MembershipComponent {
       host_.route(label, std::move(m));
       return;
     }
-    auto ack = std::make_unique<ReserveAck>();
+    auto ack = sim::make_payload<ReserveAck>();
     ack->kind = m->kind;
     ack->pred = st.self;
     ack->succ = st.succ;
     host_.send_direct(m->joiner, std::move(ack));
   }
 
-  void handle_reserve_ack(std::unique_ptr<ReserveAck> m) {
+  void handle_reserve_ack(sim::Owned<ReserveAck> m) {
     SKS_CHECK(pending_links_ != nullptr);
     VirtualState& st = pending_links_->at(m->kind);
     st.pred = m->pred;
@@ -314,7 +314,7 @@ class MembershipComponent {
       while (installed.at(last.kind).succ.host == self) {
         last = installed.at(last.kind).succ;
       }
-      auto confirm = std::make_unique<JoinConfirm>();
+      auto confirm = sim::make_payload<JoinConfirm>();
       confirm->joiner = self;
       confirm->owner_kind = head.pred.kind;
       confirm->first = head.self;
@@ -325,7 +325,7 @@ class MembershipComponent {
     SKS_CHECK(transfers_needed_ >= 1);
   }
 
-  void handle_confirm(std::unique_ptr<JoinConfirm> m) {
+  void handle_confirm(sim::Owned<JoinConfirm> m) {
     NodeLinks links = host_.links();
     VirtualState& st = links.at(m->owner_kind);
     SKS_CHECK_MSG(arc_contains(st.self.label, st.succ.label, m->first.label),
@@ -338,12 +338,12 @@ class MembershipComponent {
 
     // The run owns [first.label, old_succ.label) now; ship the whole arc —
     // the joiner splits it between its own vertices by ownership.
-    auto transfer = std::make_unique<ArcTransfer>();
+    auto transfer = sim::make_payload<ArcTransfer>();
     transfer->kind = m->first.kind;
     transfer->arc =
         dht_.extract_arc(m->owner_kind, m->first.label, old_succ.label);
 
-    auto update = std::make_unique<NeighborUpdate>();
+    auto update = sim::make_payload<NeighborUpdate>();
     update->target_kind = old_succ.kind;
     update->is_pred = true;
     update->neighbor = m->last;

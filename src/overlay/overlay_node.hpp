@@ -23,9 +23,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <typeindex>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
@@ -69,7 +68,8 @@ struct RouteParams {
 /// the exact ideal point keeps deviations at O(1) cycle gaps, and the
 /// random intermediate regions de-correlate the walk lengths, giving
 /// O(log n) hops w.h.p. with small constants.
-struct RouteHop final : sim::Payload {
+struct RouteHop final : sim::Action<RouteHop> {
+  static constexpr const char* kActionName = "route";
   Point target = 0;
   std::uint64_t rho = 0;            ///< random halving bits (phase A)
   Point ideal = 0;                  ///< phase A: exact ideal trajectory point
@@ -89,12 +89,16 @@ struct RouteHop final : sim::Payload {
   }
   /// Metrics attribute each hop to the payload being routed.
   const char* name() const override {
-    return inner ? inner->name() : "route";
+    return inner ? inner->name() : kActionName;
+  }
+  sim::ActionId metrics_tag() const override {
+    return inner ? inner->metrics_tag() : tag();
   }
 };
 
 /// A direct message between two virtual nodes that know each other.
-struct VertexMsg final : sim::Payload {
+struct VertexMsg final : sim::Action<VertexMsg> {
+  static constexpr const char* kActionName = "vertex";
   VirtualId src;
   VKind dst_kind = VKind::kMiddle;
   std::uint64_t header_bits = 16;
@@ -105,17 +109,20 @@ struct VertexMsg final : sim::Payload {
   }
   /// Metrics attribute tree traffic to the payload being carried.
   const char* name() const override {
-    return inner ? inner->name() : "vertex";
+    return inner ? inner->name() : kActionName;
+  }
+  sim::ActionId metrics_tag() const override {
+    return inner ? inner->metrics_tag() : tag();
   }
 };
 
 class OverlayNode : public sim::DispatchingNode {
  public:
   explicit OverlayNode(RouteParams params) : params_(params) {
-    on<RouteHop>([this](NodeId, std::unique_ptr<RouteHop> h) {
+    on<RouteHop>([this](NodeId, sim::Owned<RouteHop> h) {
       continue_route(std::move(h));
     });
-    on<VertexMsg>([this](NodeId, std::unique_ptr<VertexMsg> m) {
+    on<VertexMsg>([this](NodeId, sim::Owned<VertexMsg> m) {
       deliver_vertex(std::move(m));
     });
   }
@@ -131,7 +138,7 @@ class OverlayNode : public sim::DispatchingNode {
   /// Route `inner` to the virtual node owning `target`; it is delivered to
   /// the handler registered for its type via on_routed_payload.
   void route(Point target, sim::PayloadPtr inner) {
-    auto hop = std::make_unique<RouteHop>();
+    auto hop = sim::make_payload<RouteHop>();
     hop->target = target;
     hop->rho = net().rng().next();
     hop->ideal = links_.at(VKind::kMiddle).self.label;
@@ -152,7 +159,7 @@ class OverlayNode : public sim::DispatchingNode {
   /// final walk). KSelect's copy trees (Section 4.3) ride on this.
   void debruijn_hop(VKind at, bool bit, sim::PayloadPtr inner) {
     const Point w = links_.at(at).self.label;
-    auto hop = std::make_unique<RouteHop>();
+    auto hop = sim::make_payload<RouteHop>();
     hop->target = (w >> 1) | (bit ? kHalf : Point{0});
     hop->ideal = w;
     hop->d = params_.debruijn_steps;
@@ -171,7 +178,7 @@ class OverlayNode : public sim::DispatchingNode {
   void send_to_vertex(VKind src_kind, const VirtualId& dst,
                       sim::PayloadPtr inner) {
     SKS_CHECK(dst.valid());
-    auto msg = std::make_unique<VertexMsg>();
+    auto msg = sim::make_payload<VertexMsg>();
     msg->src = links_.at(src_kind).self;
     msg->dst_kind = dst.kind;
     msg->header_bits = params_.vertex_header_bits;
@@ -206,31 +213,32 @@ class OverlayNode : public sim::DispatchingNode {
   }
 
   /// Register a handler for routed payloads of type T:
-  /// void(Point target, VKind owner_kind, NodeId origin, std::unique_ptr<T>).
+  /// void(Point target, VKind owner_kind, NodeId origin, sim::Owned<T>).
   template <class T, class F>
   void on_routed_payload(F&& handler) {
-    auto [it, ok] = routed_handlers_.emplace(
-        std::type_index(typeid(T)),
-        [h = std::forward<F>(handler)](Point t, VKind k, NodeId o,
-                                       sim::PayloadPtr p) {
-          h(t, k, o, std::unique_ptr<T>(static_cast<T*>(p.release())));
-        });
-    SKS_CHECK_MSG(ok, "duplicate routed handler");
-    (void)it;
+    const sim::ActionId tag = sim::action_tag_of<T>();
+    if (routed_handlers_.size() <= tag) routed_handlers_.resize(tag + 1);
+    SKS_CHECK_MSG(!routed_handlers_[tag],
+                  "duplicate routed handler for '" << T::kActionName << "'");
+    routed_handlers_[tag] = [h = std::forward<F>(handler)](
+                                Point t, VKind k, NodeId o, sim::PayloadPtr p) {
+      h(t, k, o, sim::Owned<T>(static_cast<T*>(p.release())));
+    };
   }
 
   /// Register a handler for vertex payloads of type T:
-  /// void(VKind at, const VirtualId& from, std::unique_ptr<T>).
+  /// void(VKind at, const VirtualId& from, sim::Owned<T>).
   template <class T, class F>
   void on_vertex_payload(F&& handler) {
-    auto [it, ok] = vertex_handlers_.emplace(
-        std::type_index(typeid(T)),
-        [h = std::forward<F>(handler)](VKind at, const VirtualId& from,
-                                       sim::PayloadPtr p) {
-          h(at, from, std::unique_ptr<T>(static_cast<T*>(p.release())));
-        });
-    SKS_CHECK_MSG(ok, "duplicate vertex handler");
-    (void)it;
+    const sim::ActionId tag = sim::action_tag_of<T>();
+    if (vertex_handlers_.size() <= tag) vertex_handlers_.resize(tag + 1);
+    SKS_CHECK_MSG(!vertex_handlers_[tag],
+                  "duplicate vertex handler for '" << T::kActionName << "'");
+    vertex_handlers_[tag] = [h = std::forward<F>(handler)](
+                                VKind at, const VirtualId& from,
+                                sim::PayloadPtr p) {
+      h(at, from, sim::Owned<T>(static_cast<T*>(p.release())));
+    };
   }
 
  private:
@@ -248,7 +256,7 @@ class OverlayNode : public sim::DispatchingNode {
     return (rev << (64 - k)) | (hop.target >> k);
   }
 
-  void continue_route(std::unique_ptr<RouteHop> hop) {
+  void continue_route(sim::Owned<RouteHop> hop) {
     const std::uint32_t d = hop->d;
     VKind at = hop->at_kind;
     std::uint64_t local_iterations = 0;
@@ -342,39 +350,36 @@ class OverlayNode : public sim::DispatchingNode {
     }
   }
 
-  void forward_hop(std::unique_ptr<RouteHop> hop, const VirtualId& nxt) {
+  void forward_hop(sim::Owned<RouteHop> hop, const VirtualId& nxt) {
     hop->at_kind = nxt.kind;
     ++hop->hops;
     SKS_CHECK_MSG(hop->hops < params_.hop_guard, "routing hop guard tripped");
     send(nxt.host, std::move(hop));
   }
 
-  void deliver_routed(VKind owner_kind, std::unique_ptr<RouteHop> hop) {
-    const sim::Payload& inner = *hop->inner;
-    const auto it = routed_handlers_.find(std::type_index(typeid(inner)));
-    SKS_CHECK_MSG(it != routed_handlers_.end(),
+  void deliver_routed(VKind owner_kind, sim::Owned<RouteHop> hop) {
+    const sim::ActionId tag = hop->inner->tag();
+    SKS_CHECK_MSG(tag < routed_handlers_.size() && routed_handlers_[tag],
                   "node " << id() << " has no routed handler for '"
-                          << inner.name() << "'");
-    it->second(hop->target, owner_kind, hop->origin, std::move(hop->inner));
+                          << hop->inner->name() << "'");
+    routed_handlers_[tag](hop->target, owner_kind, hop->origin,
+                          std::move(hop->inner));
   }
 
-  void deliver_vertex(std::unique_ptr<VertexMsg> msg) {
-    const sim::Payload& inner = *msg->inner;
-    const auto it = vertex_handlers_.find(std::type_index(typeid(inner)));
-    SKS_CHECK_MSG(it != vertex_handlers_.end(),
+  void deliver_vertex(sim::Owned<VertexMsg> msg) {
+    const sim::ActionId tag = msg->inner->tag();
+    SKS_CHECK_MSG(tag < vertex_handlers_.size() && vertex_handlers_[tag],
                   "node " << id() << " has no vertex handler for '"
-                          << inner.name() << "'");
-    it->second(msg->dst_kind, msg->src, std::move(msg->inner));
+                          << msg->inner->name() << "'");
+    vertex_handlers_[tag](msg->dst_kind, msg->src, std::move(msg->inner));
   }
 
   RouteParams params_;
   NodeLinks links_;
-  std::unordered_map<std::type_index,
-                     std::function<void(Point, VKind, NodeId, sim::PayloadPtr)>>
+  // Flat tables indexed by the inner payload's ActionId.
+  std::vector<std::function<void(Point, VKind, NodeId, sim::PayloadPtr)>>
       routed_handlers_;
-  std::unordered_map<
-      std::type_index,
-      std::function<void(VKind, const VirtualId&, sim::PayloadPtr)>>
+  std::vector<std::function<void(VKind, const VirtualId&, sim::PayloadPtr)>>
       vertex_handlers_;
 };
 

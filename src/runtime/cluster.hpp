@@ -166,17 +166,17 @@ class Cluster {
   /// appends an EpochStats entry to the history.
   template <class StartFn>
   std::uint64_t run_epoch(StartFn&& start) {
-    const std::uint64_t msgs0 = net_->metrics().current().total_messages;
-    const std::uint64_t bits0 = net_->metrics().current().total_bits;
+    const std::uint64_t msgs0 = net_->metrics().total_messages();
+    const std::uint64_t bits0 = net_->metrics().total_bits();
     start_all(start);
     const std::uint64_t rounds = net_->run_until_idle();
-    const sim::MetricsSnapshot& cur = net_->metrics().current();
+    const sim::Metrics& cur = net_->metrics();
     EpochStats st;
     st.epoch = epochs_started_;
     st.rounds = rounds;
-    st.messages = cur.total_messages - msgs0;
-    st.bits = cur.total_bits - bits0;
-    st.congestion_high_water = cur.max_congestion;
+    st.messages = cur.total_messages() - msgs0;
+    st.bits = cur.total_bits() - bits0;
+    st.congestion_high_water = cur.max_congestion();
     epoch_history_.push_back(st);
     ++epochs_started_;
     return rounds;

@@ -1,17 +1,16 @@
-// Type-directed action dispatch.
+// Tag-directed action dispatch.
 //
 // A node that handles many remote action types registers one handler per
 // payload type instead of writing a dynamic_cast ladder. Registration
-// happens in the subclass constructor; dispatch is a hash lookup on the
-// payload's dynamic type. Handlers receive ownership of the payload so
-// nested payloads (routed messages) can be forwarded without copies.
+// happens in the subclass constructor; dispatch indexes a flat table with
+// the payload's dense action tag — no typeid, no hashing on the hot path.
+// Handlers receive ownership of the payload so nested payloads (routed
+// messages) can be forwarded without copies.
 #pragma once
 
 #include <functional>
-#include <memory>
-#include <typeindex>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "sim/network.hpp"
@@ -22,31 +21,30 @@ namespace sks::sim {
 class DispatchingNode : public Node {
  protected:
   /// Register an action handler for payload type T. The handler signature
-  /// is void(NodeId from, std::unique_ptr<T> payload).
+  /// is void(NodeId from, sim::Owned<T> payload).
   template <class T, class F>
   void on(F&& handler) {
-    auto [it, inserted] = handlers_.emplace(
-        std::type_index(typeid(T)),
-        [h = std::forward<F>(handler)](NodeId from, PayloadPtr p) {
-          h(from, std::unique_ptr<T>(static_cast<T*>(p.release())));
-        });
-    SKS_CHECK_MSG(inserted, "duplicate handler for payload type");
-    (void)it;
+    const ActionId tag = action_tag_of<T>();
+    if (handlers_.size() <= tag) handlers_.resize(tag + 1);
+    SKS_CHECK_MSG(!handlers_[tag],
+                  "duplicate handler for action '" << T::kActionName << "'");
+    handlers_[tag] = [h = std::forward<F>(handler)](NodeId from, PayloadPtr p) {
+      h(from, Owned<T>(static_cast<T*>(p.release())));
+    };
   }
 
   void on_message(NodeId from, PayloadPtr payload) final {
     SKS_CHECK(payload != nullptr);
-    const Payload& ref = *payload;
-    const auto it = handlers_.find(std::type_index(typeid(ref)));
-    SKS_CHECK_MSG(it != handlers_.end(),
+    const ActionId tag = payload->tag();
+    SKS_CHECK_MSG(tag < handlers_.size() && handlers_[tag],
                   "node " << id() << " has no handler for action '"
-                          << ref.name() << "'");
-    it->second(from, std::move(payload));
+                          << payload->name() << "'");
+    handlers_[tag](from, std::move(payload));
   }
 
  private:
-  std::unordered_map<std::type_index, std::function<void(NodeId, PayloadPtr)>>
-      handlers_;
+  /// Flat table indexed by ActionId (dense and small by construction).
+  std::vector<std::function<void(NodeId, PayloadPtr)>> handlers_;
 };
 
 }  // namespace sks::sim

@@ -4,6 +4,12 @@
 // maximum number of messages a node must handle in one round, Section 1.1)
 // and (c) message sizes in bits. Metrics tracks all three, with windowed
 // snapshots so benchmarks can measure a single protocol phase.
+//
+// The per-delivery path is branch-light and allocation-free: counters are
+// accumulated in flat arrays indexed by the payload's dense ActionId (the
+// name string was interned once at registration). The string-keyed maps of
+// MetricsSnapshot — the stable interface every bench and test reads — are
+// materialized only when a window is snapshotted.
 #pragma once
 
 #include <algorithm>
@@ -12,7 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/payload.hpp"
 
 namespace sks::sim {
 
@@ -33,39 +41,84 @@ class Metrics {
 
   void on_node_added() { received_this_round_.push_back(0); }
 
-  void record_delivery(NodeId to, std::uint64_t bits, const char* type) {
-    ++snap_.total_messages;
-    snap_.total_bits += bits;
-    snap_.max_message_bits = std::max(snap_.max_message_bits, bits);
-    ++snap_.messages_by_type[type];
-    snap_.bits_by_type[type] += bits;
-    auto& type_max = snap_.max_bits_by_type[type];
-    type_max = std::max(type_max, bits);
+  void record_delivery(NodeId to, std::uint64_t bits, ActionId action) {
+    ++total_messages_;
+    total_bits_ += bits;
+    max_message_bits_ = std::max(max_message_bits_, bits);
+    if (action >= by_action_.size()) by_action_.resize(action + 1);
+    ActionCounters& a = by_action_[action];
+    ++a.messages;
+    a.bits += bits;
+    a.max_bits = std::max(a.max_bits, bits);
     const auto idx = static_cast<std::size_t>(to);
-    if (idx < received_this_round_.size()) {
-      ++received_this_round_[idx];
-    }
+    // A delivery the congestion tracker has no slot for means the metrics
+    // and the topology disagree — fail loudly instead of silently skewing
+    // max_congestion.
+    SKS_CHECK_MSG(idx < received_this_round_.size(),
+                  "delivery to node " << to << " outside the metrics "
+                  "topology (" << received_this_round_.size() << " nodes)");
+    ++received_this_round_[idx];
   }
 
   void on_round_end() {
-    ++snap_.rounds;
+    ++rounds_;
     for (auto& c : received_this_round_) {
-      snap_.max_congestion = std::max(snap_.max_congestion, c);
+      max_congestion_ = std::max(max_congestion_, c);
       c = 0;
     }
   }
 
+  /// Totals so far in the window (cheap scalar reads for hot callers).
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bits() const { return total_bits_; }
+  std::uint64_t max_congestion() const { return max_congestion_; }
+
   /// Snapshot the current window and start a fresh one.
   MetricsSnapshot take() {
-    MetricsSnapshot out = snap_;
-    snap_ = MetricsSnapshot{};
+    MetricsSnapshot out = current();
+    rounds_ = 0;
+    total_messages_ = 0;
+    total_bits_ = 0;
+    max_message_bits_ = 0;
+    max_congestion_ = 0;
+    by_action_.assign(by_action_.size(), ActionCounters{});
     return out;
   }
 
-  const MetricsSnapshot& current() const { return snap_; }
+  /// Materialize the current window (string-keyed maps built on demand).
+  MetricsSnapshot current() const {
+    MetricsSnapshot snap;
+    snap.rounds = rounds_;
+    snap.total_messages = total_messages_;
+    snap.total_bits = total_bits_;
+    snap.max_message_bits = max_message_bits_;
+    snap.max_congestion = max_congestion_;
+    const ActionRegistry& registry = ActionRegistry::instance();
+    for (std::size_t a = 0; a < by_action_.size(); ++a) {
+      const ActionCounters& c = by_action_[a];
+      if (c.messages == 0) continue;
+      const std::string& name = registry.name(static_cast<ActionId>(a));
+      snap.messages_by_type[name] += c.messages;
+      snap.bits_by_type[name] += c.bits;
+      auto& type_max = snap.max_bits_by_type[name];
+      type_max = std::max(type_max, c.max_bits);
+    }
+    return snap;
+  }
 
  private:
-  MetricsSnapshot snap_;
+  struct ActionCounters {
+    std::uint64_t messages = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t max_bits = 0;
+  };
+
+  std::uint64_t rounds_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bits_ = 0;
+  std::uint64_t max_message_bits_ = 0;
+  std::uint64_t max_congestion_ = 0;
+  std::vector<ActionCounters> by_action_;  ///< flat, indexed by ActionId
   std::vector<std::uint64_t> received_this_round_;
 };
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <typeinfo>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -84,7 +85,15 @@ struct NetworkConfig {
 class Network {
  public:
   explicit Network(NetworkConfig cfg = {})
-      : cfg_(cfg), rng_(cfg.seed), metrics_(0) {
+      : cfg_(cfg),
+        rng_(cfg.seed),
+        // Delivery delays draw from a dedicated stream so that enabling
+        // asynchronous mode never perturbs protocol-visible randomness
+        // (nodes draw from rng()): with max_delay = 1 an async run
+        // consumes the shared stream exactly like a synchronous one and
+        // reproduces its traces round for round.
+        delay_rng_(cfg.seed ^ 0xd31a7de1a75eedULL),
+        metrics_(0) {
     // Pending messages live in a relative-round ring buffer: a message
     // delayed by d lands d slots ahead of the current one. A power-of-two
     // size strictly greater than the largest possible delay guarantees a
@@ -134,9 +143,16 @@ class Network {
     SKS_CHECK(payload != nullptr);
     const std::uint64_t delay = cfg_.mode == DeliveryMode::kSynchronous
                                     ? 1
-                                    : rng_.range(1, cfg_.max_delay);
-    slot_for(round_ + delay).push_back(
-        Envelope{from, to, std::move(payload)});
+                                    : delay_rng_.range(1, cfg_.max_delay);
+    // Size and metrics attribution are sampled once here — the payload is
+    // immutable while in flight — so delivery touches no virtual calls.
+    Envelope env;
+    env.from = from;
+    env.to = to;
+    env.bits = payload->size_bits();
+    env.action = payload->metrics_tag();
+    env.payload = std::move(payload);
+    slot_for(round_ + delay).push_back(std::move(env));
     ++in_flight_;
   }
 
@@ -154,8 +170,7 @@ class Network {
       shuffle(due_);
       for (auto& env : due_) {
         --in_flight_;
-        metrics_.record_delivery(env.to, env.payload->size_bits(),
-                                 env.payload->name());
+        metrics_.record_delivery(env.to, env.bits, env.action);
         nodes_[env.to].node->on_message(env.from, std::move(env.payload));
       }
       due_.clear();
@@ -186,8 +201,10 @@ class Network {
 
  private:
   struct Envelope {
-    NodeId from;
-    NodeId to;
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    std::uint64_t bits = 0;       ///< size_bits(), cached at send time
+    ActionId action = 0;          ///< metrics_tag(), cached at send time
     PayloadPtr payload;
   };
 
@@ -210,6 +227,7 @@ class Network {
 
   NetworkConfig cfg_;
   Rng rng_;
+  Rng delay_rng_;  ///< async per-message delays (see constructor note)
   std::vector<Slot> nodes_;
   std::vector<std::vector<Envelope>> pending_;  ///< ring, indexed by round
   std::vector<Envelope> due_;                   ///< scratch for step()

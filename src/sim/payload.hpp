@@ -1,28 +1,212 @@
-// Message payloads.
+// Message payloads and the action registry.
 //
 // Every message in the system is a remote action call (Section 1.1): it
 // names the action via its concrete payload type and carries the call's
 // parameters. Payloads report their encoded size in bits so the simulator
 // can account message sizes exactly as the paper's lemmas do.
+//
+// The hot send→deliver path is allocation- and RTTI-free:
+//
+//  * Each concrete payload type registers once with the ActionRegistry and
+//    receives a small dense ActionId (its "tag"). Dispatch tables and
+//    per-type metrics are flat arrays indexed by tag — no typeid hashing,
+//    no string-keyed map lookups per message.
+//  * Payload instances come from a per-type PayloadPool: a freelist of raw
+//    storage blocks recycled through the deleter baked into PayloadPtr, so
+//    steady-state traffic performs zero heap allocations.
+//
+// Deriving a payload type:
+//
+//   struct PutRequest final : sim::Action<PutRequest> {
+//     static constexpr const char* kActionName = "dht.put";
+//     ...fields...
+//     std::uint64_t size_bits() const override { return ...; }
+//   };
+//   auto req = sim::make_payload<PutRequest>();
+//
+// Wrapper payloads that carry another payload (routing hops, vertex
+// envelopes) override metrics_tag()/name() to attribute traffic to the
+// payload being carried.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <typeindex>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
 
 namespace sks::sim {
+
+/// Dense sequential identifier of one action (concrete payload type).
+using ActionId = std::uint32_t;
+
+/// Process-wide table of registered actions. Registration happens once per
+/// concrete payload type (on first use, from action_tag_of<T>()); the name
+/// string is interned here so the hot path never touches it.
+class ActionRegistry {
+ public:
+  static ActionRegistry& instance() {
+    static ActionRegistry registry;
+    return registry;
+  }
+
+  ActionId intern(const char* name) {
+    names_.emplace_back(name);
+    return static_cast<ActionId>(names_.size() - 1);
+  }
+
+  const std::string& name(ActionId id) const {
+    SKS_CHECK(id < names_.size());
+    return names_[id];
+  }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  ActionRegistry() = default;
+  std::vector<std::string> names_;
+};
+
+struct Payload;
+template <class T>
+class PayloadPool;
+
+/// Deleter baked into every owning payload pointer: returns pooled
+/// payloads to their type's freelist, frees plain heap payloads.
+struct PayloadDeleter {
+  void operator()(Payload* p) const;
+};
+
+/// Owning pointer to a concrete payload type (pool-aware).
+template <class T>
+using Owned = std::unique_ptr<T, PayloadDeleter>;
+
+/// Owning pointer to a type-erased payload (pool-aware).
+using PayloadPtr = Owned<Payload>;
 
 struct Payload {
   virtual ~Payload() = default;
 
+  // Copies never inherit the source's pool linkage: a copy is a distinct
+  // allocation with its own recycling route (set by whoever allocates it).
+  Payload(const Payload& other) : tag_(other.tag_) {}
+  Payload& operator=(const Payload& other) {
+    tag_ = other.tag_;
+    return *this;
+  }
+
+  /// Dense tag of this payload's concrete type; index into dispatch
+  /// tables. Set at construction, no virtual call needed to read it.
+  ActionId tag() const { return tag_; }
+
   /// Encoded size of this message in bits, per the paper's accounting
-  /// (numbers cost ceil(log2 range) bits; see common/bits.hpp).
+  /// (numbers cost ceil(log2 range) bits; see common/bits.hpp). Sampled
+  /// once at send time and cached in the network envelope.
   virtual std::uint64_t size_bits() const = 0;
 
-  /// Human-readable action name, used for per-type metrics and debugging.
+  /// Human-readable action name, used for diagnostics.
   virtual const char* name() const = 0;
+
+  /// Tag metrics attribute this message to. Wrapper payloads (RouteHop,
+  /// VertexMsg) forward to the payload they carry, so per-type counters
+  /// charge the logical action rather than the transport envelope.
+  virtual ActionId metrics_tag() const { return tag_; }
+
+ protected:
+  explicit Payload(ActionId tag) : tag_(tag) {}
+
+ private:
+  friend struct PayloadDeleter;
+  template <class T>
+  friend class PayloadPool;
+
+  ActionId tag_;
+  /// Non-null iff this instance came from a PayloadPool.
+  void (*recycle_)(Payload*) = nullptr;
 };
 
-using PayloadPtr = std::unique_ptr<Payload>;
+/// The dense tag of payload type T; registers T on first use.
+template <class T>
+ActionId action_tag_of() {
+  static const ActionId id = ActionRegistry::instance().intern(T::kActionName);
+  return id;
+}
+
+/// CRTP base wiring a concrete payload type to the registry: stamps the
+/// type's tag into every instance and derives name() from T::kActionName.
+template <class T>
+struct Action : Payload {
+  Action() : Payload(action_tag_of<T>()) {}
+  const char* name() const override { return T::kActionName; }
+};
+
+/// Per-type freelist of payload storage. Blocks are raw storage between
+/// uses (the object is destroyed on release, placement-constructed on
+/// acquire), so payload state never leaks across messages. Single-threaded
+/// by design, like the simulator itself.
+template <class T>
+class PayloadPool {
+ public:
+  template <class... Args>
+  static Owned<T> make(Args&&... args) {
+    Freelist& fl = freelist();
+    void* mem;
+    if (!fl.blocks.empty()) {
+      mem = fl.blocks.back();
+      fl.blocks.pop_back();
+    } else {
+      mem = ::operator new(sizeof(T));
+    }
+    T* p;
+    try {
+      p = new (mem) T(std::forward<Args>(args)...);
+    } catch (...) {
+      fl.blocks.push_back(mem);
+      throw;
+    }
+    p->recycle_ = &PayloadPool::recycle;
+    return Owned<T>(p);
+  }
+
+  /// Blocks currently parked in the freelist (diagnostics/tests).
+  static std::size_t free_blocks() { return freelist().blocks.size(); }
+
+ private:
+  static void recycle(Payload* base) {
+    T* p = static_cast<T*>(base);
+    p->~T();
+    freelist().blocks.push_back(p);
+  }
+
+  struct Freelist {
+    std::vector<void*> blocks;
+    ~Freelist() {
+      for (void* b : blocks) ::operator delete(b);
+    }
+  };
+
+  static Freelist& freelist() {
+    static Freelist fl;
+    return fl;
+  }
+};
+
+/// Allocate a payload from its type's pool. Drop-in replacement for the
+/// former std::make_unique<T>() on every send path.
+template <class T, class... Args>
+Owned<T> make_payload(Args&&... args) {
+  return PayloadPool<T>::make(std::forward<Args>(args)...);
+}
+
+inline void PayloadDeleter::operator()(Payload* p) const {
+  if (p->recycle_ != nullptr) {
+    p->recycle_(p);
+  } else {
+    delete p;
+  }
+}
 
 }  // namespace sks::sim

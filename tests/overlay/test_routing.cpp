@@ -12,10 +12,10 @@
 namespace sks::overlay {
 namespace {
 
-struct Probe final : sim::Payload {
+struct Probe final : sim::Action<Probe> {
+  static constexpr const char* kActionName = "probe";
   std::uint64_t tag = 0;
   std::uint64_t size_bits() const override { return 16; }
-  const char* name() const override { return "probe"; }
 };
 
 /// Minimal overlay node that records routed deliveries.
@@ -23,7 +23,7 @@ class ProbeNode : public OverlayNode {
  public:
   explicit ProbeNode(RouteParams params) : OverlayNode(params) {
     on_routed_payload<Probe>([this](Point target, VKind owner, NodeId origin,
-                                    std::unique_ptr<Probe> p) {
+                                    sim::Owned<Probe> p) {
       deliveries.push_back(Delivery{target, owner, origin, p->tag});
     });
   }
@@ -85,7 +85,7 @@ TEST(Routing, DeliversToTheOwnerOfTheTarget) {
   for (int i = 0; i < 100; ++i) {
     const Point target = rng.next();
     const NodeId src = static_cast<NodeId>(rng.below(32));
-    auto p = std::make_unique<Probe>();
+    auto p = sim::make_payload<Probe>();
     p->tag = static_cast<std::uint64_t>(i);
     f.node(src).route(target, std::move(p));
     f.net->run_until_idle();
@@ -108,7 +108,7 @@ TEST(Routing, WorksOnTinySystems) {
     Rng rng(13);
     for (int i = 0; i < 20; ++i) {
       const Point target = rng.next();
-      f.node(0).route(target, std::make_unique<Probe>());
+      f.node(0).route(target, sim::make_payload<Probe>());
       f.net->run_until_idle();
       const VirtualId owner = f.expected_owner(target);
       auto& dels = f.node(owner.host).deliveries;
@@ -126,7 +126,7 @@ TEST(Routing, WorksUnderAsynchrony) {
   for (int i = 0; i < 50; ++i) {
     const Point target = rng.next();
     const NodeId src = static_cast<NodeId>(rng.below(64));
-    auto p = std::make_unique<Probe>();
+    auto p = sim::make_payload<Probe>();
     p->tag = static_cast<std::uint64_t>(i);
     sent.emplace_back(target, p->tag);
     f.node(src).route(target, std::move(p));
@@ -156,7 +156,7 @@ TEST(Routing, HopCountIsLogarithmic) {
     constexpr int kProbes = 40;
     for (int i = 0; i < kProbes; ++i) {
       const NodeId src = static_cast<NodeId>(rng.below(n));
-      f.node(src).route(rng.next(), std::make_unique<Probe>());
+      f.node(src).route(rng.next(), sim::make_payload<Probe>());
       total_rounds += f.net->run_until_idle();
     }
     const double avg =
@@ -189,7 +189,7 @@ TEST(Routing, HopGuardCatchesCorruptLinks) {
   try {
     for (int i = 0; i < 200 && !threw; ++i) {
       f.node(3).route(Rng(static_cast<std::uint64_t>(i)).next(),
-                      std::make_unique<Probe>());
+                      sim::make_payload<Probe>());
       f.net->run_until_idle();
     }
   } catch (const CheckFailure&) {

@@ -18,17 +18,17 @@
 namespace sks::overlay {
 namespace {
 
-struct Probe final : sim::Payload {
+struct Probe final : sim::Action<Probe> {
+  static constexpr const char* kActionName = "probe";
   std::uint64_t tag = 0;
   std::uint64_t size_bits() const override { return 16; }
-  const char* name() const override { return "probe"; }
 };
 
 class ProbeNode : public OverlayNode {
  public:
   explicit ProbeNode(RouteParams params) : OverlayNode(params) {
     on_routed_payload<Probe>([this](Point target, VKind owner, NodeId,
-                                    std::unique_ptr<Probe> p) {
+                                    sim::Owned<Probe> p) {
       deliveries.emplace_back(target, owner, p->tag);
     });
   }
@@ -83,7 +83,7 @@ TEST_P(RoutingSweep, EveryProbeReachesItsOwner) {
   constexpr int kProbes = 60;
   std::vector<std::pair<Point, std::uint64_t>> sent;
   for (int i = 0; i < kProbes; ++i) {
-    auto p = std::make_unique<Probe>();
+    auto p = sim::make_payload<Probe>();
     p->tag = static_cast<std::uint64_t>(i);
     const Point target = rng.next();
     sent.emplace_back(target, p->tag);
@@ -132,7 +132,7 @@ TEST(DebruijnHop, DeliversToHalfPointOwner) {
     const Point w = f.links[src].at(at).self.label;
     const Point half = (w >> 1) | (bit ? kHalf : Point{0});
 
-    auto p = std::make_unique<Probe>();
+    auto p = sim::make_payload<Probe>();
     p->tag = static_cast<std::uint64_t>(i);
     f.node(src).debruijn_hop(at, bit, std::move(p));
     f.net->run_until_idle();
@@ -157,7 +157,7 @@ TEST(DebruijnHop, CostsFewHostCrossings) {
   for (int i = 0; i < kHops; ++i) {
     const auto src = static_cast<NodeId>(rng.below(512));
     f.node(src).debruijn_hop(kAllKinds[rng.below(3)], rng.flip(0.5),
-                             std::make_unique<Probe>());
+                             sim::make_payload<Probe>());
     total_rounds += f.net->run_until_idle();
   }
   const double avg = static_cast<double>(total_rounds) / kHops;
@@ -169,7 +169,7 @@ TEST(RoutingDeterminism, IdenticalRunsProduceIdenticalDeliveries) {
     Fixture f(48, seed, sim::DeliveryMode::kAsynchronous);
     Rng rng(123);
     for (int i = 0; i < 40; ++i) {
-      auto p = std::make_unique<Probe>();
+      auto p = sim::make_payload<Probe>();
       p->tag = static_cast<std::uint64_t>(i);
       f.node(static_cast<NodeId>(rng.below(48))).route(rng.next(), std::move(p));
     }

@@ -11,35 +11,35 @@
 namespace sks::sim {
 namespace {
 
-struct Ping final : Payload {
+struct Ping final : Action<Ping> {
+  static constexpr const char* kActionName = "ping";
   std::uint64_t value = 0;
   std::uint64_t bits = 16;
   std::uint64_t size_bits() const override { return bits; }
-  const char* name() const override { return "ping"; }
 };
 
-struct Pong final : Payload {
+struct Pong final : Action<Pong> {
+  static constexpr const char* kActionName = "pong";
   std::uint64_t value = 0;
   std::uint64_t size_bits() const override { return 16; }
-  const char* name() const override { return "pong"; }
 };
 
 class EchoNode : public DispatchingNode {
  public:
   EchoNode() {
-    on<Ping>([this](NodeId from, std::unique_ptr<Ping> p) {
+    on<Ping>([this](NodeId from, Owned<Ping> p) {
       received_pings.push_back(p->value);
-      auto reply = std::make_unique<Pong>();
+      auto reply = make_payload<Pong>();
       reply->value = p->value;
       send(from, std::move(reply));
     });
-    on<Pong>([this](NodeId, std::unique_ptr<Pong> p) {
+    on<Pong>([this](NodeId, Owned<Pong> p) {
       received_pongs.push_back(p->value);
     });
   }
 
   void ping(NodeId to, std::uint64_t v) {
-    auto p = std::make_unique<Ping>();
+    auto p = make_payload<Ping>();
     p->value = v;
     send(to, std::move(p));
   }
@@ -195,16 +195,17 @@ TEST(Network, NodeAsResolvesViaBaseClassRegistration) {
   EXPECT_EQ(&net.node_as<EchoNode>(b), &net.node(b));
 }
 
+struct Mystery final : Action<Mystery> {
+  static constexpr const char* kActionName = "mystery";
+  std::uint64_t size_bits() const override { return 1; }
+};
+
 TEST(Network, UnhandledPayloadTypeThrows) {
-  struct Mystery final : Payload {
-    std::uint64_t size_bits() const override { return 1; }
-    const char* name() const override { return "mystery"; }
-  };
   Network net;
   const NodeId a = net.add_node(std::make_unique<EchoNode>());
   const NodeId b = net.add_node(std::make_unique<EchoNode>());
   (void)a;
-  net.send(a, b, std::make_unique<Mystery>());
+  net.send(a, b, make_payload<Mystery>());
   EXPECT_THROW(net.step(), CheckFailure);
 }
 

@@ -1,0 +1,61 @@
+// Async mode with max_delay = 1 degenerates to the synchronous model:
+// every message is delayed exactly one round, so a Skeap epoch must take
+// the same number of rounds as in synchronous mode — even though the rng
+// stream (and hence intra-round delivery order) differs. Round counts are
+// driven by message depth, not by intra-round ordering, so any divergence
+// here means the pending-queue or activation machinery treats the two
+// modes differently.
+#include <cstdint>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "skeap/skeap_system.hpp"
+
+namespace sks::skeap {
+namespace {
+
+std::uint64_t run_epochs(sim::DeliveryMode mode,
+                         std::uint64_t* per_epoch, int epochs) {
+  constexpr std::size_t kNodes = 32;
+  SkeapSystem sys({.num_nodes = kNodes,
+                   .num_priorities = 4,
+                   .seed = 77,
+                   .mode = mode,
+                   .max_delay = 1});
+  Rng workload(123);
+  std::uint64_t total = 0;
+  for (int e = 0; e < epochs; ++e) {
+    for (NodeId v = 0; v < kNodes; ++v) {
+      for (int i = 0; i < 3; ++i) {
+        if (workload.flip(0.6)) {
+          sys.insert(v, workload.range(1, 4));
+        } else {
+          sys.delete_min(v);
+        }
+      }
+    }
+    per_epoch[e] = sys.run_batch();
+    total += per_epoch[e];
+  }
+  return total;
+}
+
+TEST(SkeapAsync, MaxDelayOneMatchesSynchronousRoundCounts) {
+  constexpr int kEpochs = 4;
+  std::uint64_t sync_rounds[kEpochs] = {};
+  std::uint64_t async_rounds[kEpochs] = {};
+  const std::uint64_t sync_total =
+      run_epochs(sim::DeliveryMode::kSynchronous, sync_rounds, kEpochs);
+  const std::uint64_t async_total =
+      run_epochs(sim::DeliveryMode::kAsynchronous, async_rounds, kEpochs);
+  for (int e = 0; e < kEpochs; ++e) {
+    EXPECT_EQ(sync_rounds[e], async_rounds[e]) << "epoch " << e;
+  }
+  EXPECT_EQ(sync_total, async_total);
+  EXPECT_GT(sync_total, 0u);
+}
+
+}  // namespace
+}  // namespace sks::skeap
