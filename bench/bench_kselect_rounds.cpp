@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
       kselect::KSelectSystem sys({.num_nodes = n, .seed = 100 + n});
       sys.seed_elements(make_elements(m, 3 * n + static_cast<std::size_t>(q)));
       const std::uint64_t k = m / 2;
+      bench::maybe_start_trace(sys.net());
       const auto out = sys.select(k);
+      bench::maybe_finish_trace(sys.net());
+      bench::report_window(sys.net().metrics().current());
       if (!out.result) {
         std::printf("n=%zu m=%zu: selection failed!\n", n, m);
         return 1;

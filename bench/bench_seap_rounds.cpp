@@ -37,8 +37,11 @@ int main(int argc, char** argv) {
         if (rng.flip(0.5)) sys.insert(v, rng.range(1, ~0ULL >> 16));
         if (rng.flip(0.5)) sys.delete_min(v);
       }
+      if (c == 0) bench::maybe_start_trace(sys.net());
       total += sys.run_cycle();
+      if (c == 0) bench::maybe_finish_trace(sys.net());
     }
+    bench::report_window(sys.net().metrics().current());
     const double rounds = static_cast<double>(total) / kCycles;
     table.row({static_cast<double>(n),
                static_cast<double>(sys.anchor_node().anchor_heap_size()),

@@ -40,8 +40,11 @@ int main(int argc, char** argv) {
         ++ops;
       }
     }
+    bench::maybe_start_trace(sys.net());
     sys.run_batch();
+    bench::maybe_finish_trace(sys.net());
     const auto snap = sys.net().metrics().take();
+    bench::report_window(snap);
     table.row({static_cast<double>(lambda), static_cast<double>(ops),
                static_cast<double>(snap.max_congestion),
                static_cast<double>(snap.max_congestion) /

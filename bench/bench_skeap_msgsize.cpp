@@ -29,8 +29,11 @@ std::uint64_t run_and_measure(std::size_t n, std::uint64_t lambda,
       }
     }
   }
+  bench::maybe_start_trace(sys.net());
   sys.run_batch();
+  bench::maybe_finish_trace(sys.net());
   const auto snap = sys.net().metrics().take();
+  bench::report_window(snap);
   // The claim is about the protocol's own messages (batches/assignments),
   // not the DHT payloads.
   return std::max(bench::max_bits_of_type(snap, "skeap.batch_up"),

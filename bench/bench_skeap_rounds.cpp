@@ -38,8 +38,11 @@ int main(int argc, char** argv) {
           ++total_ops;
         }
       }
+      if (b == 0) bench::maybe_start_trace(sys.net());
       total_rounds += sys.run_batch();
+      if (b == 0) bench::maybe_finish_trace(sys.net());
     }
+    bench::report_window(sys.net().metrics().current());
     const double rounds = static_cast<double>(total_rounds) / kBatches;
     const double logn = std::log2(static_cast<double>(n));
     table.row({static_cast<double>(n),

@@ -3,12 +3,17 @@
 // regenerates (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
 // the measured results).
 //
-// Every table bench accepts two optional flags (parsed by bench::init):
+// Every table bench accepts three optional flags (parsed by bench::init):
 //   --json [path]   mirror every table row into BENCH_<name>.json. `path`
 //                   may be a directory (default ".") or an explicit *.json
 //                   file. The file is rewritten after each row, so partial
 //                   results survive a timeout. Stdout is unaffected.
 //   --max-n <v>     skip sweep points with n > v (CI smoke runs).
+//   --trace <path>  capture the first traced execution (the first
+//                   repetition that calls maybe_start_trace) as a Perfetto
+//                   JSON trace at <path>; open it at ui.perfetto.dev. Also
+//                   feeds per-phase/per-epoch breakdowns into the --json
+//                   report section.
 #pragma once
 
 #include <chrono>
@@ -22,6 +27,9 @@
 #include <vector>
 
 #include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "trace/perfetto.hpp"
+#include "trace/summary.hpp"
 
 namespace sks::bench {
 
@@ -67,10 +75,40 @@ class JsonSink {
     write();
   }
 
+  /// Fold a measurement window's distributions into the report section
+  /// (histograms merge across windows; maxima accumulate).
+  void merge_window(const sim::MetricsSnapshot& snap) {
+    report_.message_bits.merge(snap.message_bits_hist);
+    report_.congestion.merge(snap.congestion_hist);
+    report_.max_message_bits =
+        std::max(report_.max_message_bits, snap.max_message_bits);
+    report_.max_congestion =
+        std::max(report_.max_congestion, snap.max_congestion);
+    ++report_.windows;
+    write();
+  }
+
+  /// Attach the traced execution's per-phase/per-epoch breakdown.
+  void set_trace_summary(trace::TraceSummary summary) {
+    report_.summary = std::move(summary);
+    report_.has_summary = true;
+    write();
+  }
+
  private:
   struct TableData {
     std::vector<std::string> columns;
     std::vector<std::vector<double>> rows;
+  };
+
+  struct ReportData {
+    sim::Log2Histogram message_bits;
+    sim::Log2Histogram congestion;
+    std::uint64_t max_message_bits = 0;
+    std::uint64_t max_congestion = 0;
+    std::uint64_t windows = 0;
+    trace::TraceSummary summary;
+    bool has_summary = false;
   };
 
   static void write_escaped(std::FILE* f, const std::string& s) {
@@ -87,6 +125,80 @@ class JsonSink {
     } else {
       std::fprintf(f, "%.6g", v);
     }
+  }
+
+  static void write_histogram(std::FILE* f, const char* key,
+                              const sim::Log2Histogram& h,
+                              std::uint64_t max_value) {
+    std::fprintf(f,
+                 "    \"%s\": {\"count\": %llu, \"p50\": %llu, "
+                 "\"p90\": %llu, \"p99\": %llu, \"max\": %llu, "
+                 "\"buckets\": [",
+                 key, static_cast<unsigned long long>(h.total()),
+                 static_cast<unsigned long long>(h.quantile(0.50)),
+                 static_cast<unsigned long long>(h.quantile(0.90)),
+                 static_cast<unsigned long long>(h.quantile(0.99)),
+                 static_cast<unsigned long long>(max_value));
+    bool first = true;
+    for (std::size_t b = 0; b < sim::Log2Histogram::kBuckets; ++b) {
+      const std::uint64_t c = h.buckets()[b];
+      if (c == 0) continue;
+      std::fprintf(f, "%s[%llu, %llu]", first ? "" : ", ",
+                   static_cast<unsigned long long>(
+                       sim::Log2Histogram::bucket_upper(b)),
+                   static_cast<unsigned long long>(c));
+      first = false;
+    }
+    std::fprintf(f, "]}");
+  }
+
+  void write_report(std::FILE* f) const {
+    std::fprintf(f, ",\n  \"report\": {\n");
+    write_histogram(f, "message_bits", report_.message_bits,
+                    report_.max_message_bits);
+    std::fprintf(f, ",\n");
+    write_histogram(f, "congestion", report_.congestion,
+                    report_.max_congestion);
+    if (report_.has_summary) {
+      const trace::TraceSummary& s = report_.summary;
+      std::fprintf(f,
+                   ",\n    \"trace\": {\"nodes\": %llu, \"rounds\": %llu, "
+                   "\"deliveries\": %llu, \"bits\": %llu,\n"
+                   "      \"phases\": [",
+                   static_cast<unsigned long long>(s.num_nodes),
+                   static_cast<unsigned long long>(s.rounds),
+                   static_cast<unsigned long long>(s.deliveries),
+                   static_cast<unsigned long long>(s.total_bits));
+      for (std::size_t i = 0; i < s.phases.size(); ++i) {
+        const trace::PhaseSummary& p = s.phases[i];
+        std::fprintf(f, "%s\n        {\"phase\": \"", i == 0 ? "" : ",");
+        write_escaped(f, p.phase);
+        std::fprintf(f,
+                     "\", \"spans\": %llu, \"rounds\": %llu, "
+                     "\"messages\": %llu, \"bits\": %llu, "
+                     "\"max_congestion\": %llu}",
+                     static_cast<unsigned long long>(p.spans),
+                     static_cast<unsigned long long>(p.rounds),
+                     static_cast<unsigned long long>(p.messages),
+                     static_cast<unsigned long long>(p.bits),
+                     static_cast<unsigned long long>(p.max_congestion));
+      }
+      std::fprintf(f, "%s],\n      \"epochs\": [",
+                   s.phases.empty() ? "" : "\n      ");
+      for (std::size_t i = 0; i < s.epochs.size(); ++i) {
+        const trace::EpochSummary& e = s.epochs[i];
+        std::fprintf(f,
+                     "%s\n        {\"epoch\": %llu, \"rounds\": %llu, "
+                     "\"messages\": %llu, \"bits\": %llu}",
+                     i == 0 ? "" : ",",
+                     static_cast<unsigned long long>(e.epoch),
+                     static_cast<unsigned long long>(e.rounds),
+                     static_cast<unsigned long long>(e.messages),
+                     static_cast<unsigned long long>(e.bits));
+      }
+      std::fprintf(f, "%s]\n    }", s.epochs.empty() ? "" : "\n      ");
+    }
+    std::fprintf(f, "\n  }");
   }
 
   void write() const {
@@ -120,7 +232,9 @@ class JsonSink {
       }
       std::fprintf(f, "%s]\n    }", tbl.rows.empty() ? "" : "\n      ");
     }
-    std::fprintf(f, "%s]\n}\n", tables_.empty() ? "" : "\n  ");
+    std::fprintf(f, "%s]", tables_.empty() ? "" : "\n  ");
+    if (report_.windows > 0 || report_.has_summary) write_report(f);
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
   }
 
@@ -129,6 +243,7 @@ class JsonSink {
   std::string path_;
   std::chrono::steady_clock::time_point start_{};
   std::vector<TableData> tables_;
+  ReportData report_;
 };
 
 inline std::size_t& max_n_limit() {
@@ -139,6 +254,12 @@ inline std::size_t& max_n_limit() {
 /// True when a sweep point exceeds the --max-n cap (CI smoke runs).
 inline bool skip_n(std::size_t n) {
   return max_n_limit() != 0 && n > max_n_limit();
+}
+
+/// Perfetto output path of --trace ("" = tracing off).
+inline std::string& trace_path() {
+  static std::string path;
+  return path;
 }
 
 /// Parse the shared bench flags. Call first thing in main().
@@ -152,7 +273,55 @@ inline void init(const std::string& name, int argc, char** argv) {
       JsonSink::instance().configure(name, path);
     } else if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc) {
       max_n_limit() = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path() = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: bench_%s [--json [path]] [--max-n N] [--trace path]\n"
+          "\n"
+          "  --json [path]  mirror table rows (plus a report section with\n"
+          "                 histogram quantiles and, with --trace, the\n"
+          "                 per-phase breakdown) into BENCH_%s.json; path\n"
+          "                 may be a directory or an explicit *.json file\n"
+          "  --max-n N      skip sweep points with n > N (smoke runs)\n"
+          "  --trace path   dump a Perfetto/chrome://tracing JSON trace of\n"
+          "                 the first traced execution to `path`; open it\n"
+          "                 at https://ui.perfetto.dev\n",
+          name.c_str(), name.c_str());
+      std::exit(0);
     }
+  }
+}
+
+/// Arm the network's tracer for the first captured execution. Call right
+/// before the execution a trace of which would be representative (the
+/// first repetition of a sweep point); pair with maybe_finish_trace.
+inline void maybe_start_trace(sim::Network& net) {
+  if (trace_path().empty()) return;
+  net.tracer().enable();
+}
+
+/// If this network's tracer was armed by maybe_start_trace, export the
+/// capture (Perfetto JSON to --trace's path, the per-phase breakdown into
+/// the --json report) and disarm tracing for the rest of the run.
+inline void maybe_finish_trace(sim::Network& net) {
+  if (trace_path().empty() || !net.tracer().enabled()) return;
+  net.tracer().disable();
+  const trace::Trace trace = net.take_trace();
+  trace::write_perfetto_json(trace, trace_path());
+  if (JsonSink::instance().enabled()) {
+    JsonSink::instance().set_trace_summary(trace::summarize(trace));
+  }
+  std::printf("# trace: %zu events -> %s\n", trace.events.size(),
+              trace_path().c_str());
+  trace_path().clear();  // capture only the first execution
+}
+
+/// Fold a measurement window's histograms into the --json report section.
+inline void report_window(const sim::MetricsSnapshot& snap) {
+  if (JsonSink::instance().enabled()) {
+    JsonSink::instance().merge_window(snap);
   }
 }
 

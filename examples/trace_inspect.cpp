@@ -1,0 +1,118 @@
+// Inspect a binary trace dump (src/trace/binary.hpp): print the header,
+// then per-action, per-epoch and per-phase summary tables — the run-report
+// view of one captured execution.
+//
+//   trace_inspect <dump.bin>       inspect an existing dump
+//   trace_inspect --demo <prefix>  run a small Skeap execution (n = 64,
+//                                  one batch) with tracing on, write
+//                                  <prefix>.bin / .json / .txt, then
+//                                  inspect the .bin. The .json opens at
+//                                  https://ui.perfetto.dev
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "skeap/skeap_system.hpp"
+#include "trace/binary.hpp"
+#include "trace/perfetto.hpp"
+#include "trace/summary.hpp"
+#include "trace/text.hpp"
+
+using namespace sks;
+
+namespace {
+
+void inspect(const std::string& path) {
+  const trace::Trace t = trace::load_binary(path);
+  const trace::TraceSummary s = trace::summarize(t);
+
+  std::printf("%s: %zu nodes, %zu events, %llu rounds\n", path.c_str(),
+              t.num_nodes, t.events.size(),
+              static_cast<unsigned long long>(s.rounds));
+  std::printf("  sends=%llu deliveries=%llu bits=%llu\n\n",
+              static_cast<unsigned long long>(s.sends),
+              static_cast<unsigned long long>(s.deliveries),
+              static_cast<unsigned long long>(s.total_bits));
+
+  std::printf("%-24s %10s %14s\n", "action", "messages", "bits");
+  for (const auto& a : s.actions) {
+    std::printf("%-24s %10llu %14llu\n", a.action.c_str(),
+                static_cast<unsigned long long>(a.messages),
+                static_cast<unsigned long long>(a.bits));
+  }
+
+  if (!s.epochs.empty()) {
+    std::printf("\n%-8s %8s %10s %14s\n", "epoch", "rounds", "messages",
+                "bits");
+    for (const auto& e : s.epochs) {
+      std::printf("%-8llu %8llu %10llu %14llu\n",
+                  static_cast<unsigned long long>(e.epoch),
+                  static_cast<unsigned long long>(e.rounds),
+                  static_cast<unsigned long long>(e.messages),
+                  static_cast<unsigned long long>(e.bits));
+    }
+  }
+
+  if (!s.phases.empty()) {
+    std::printf("\n%-24s %6s %8s %10s %14s %10s\n", "phase", "spans",
+                "rounds", "messages", "bits", "max_cong");
+    for (const auto& p : s.phases) {
+      std::printf("%-24s %6llu %8llu %10llu %14llu %10llu\n",
+                  p.phase.c_str(),
+                  static_cast<unsigned long long>(p.spans),
+                  static_cast<unsigned long long>(p.rounds),
+                  static_cast<unsigned long long>(p.messages),
+                  static_cast<unsigned long long>(p.bits),
+                  static_cast<unsigned long long>(p.max_congestion));
+    }
+  }
+}
+
+std::string demo(const std::string& prefix) {
+  constexpr std::size_t kNodes = 64;
+  skeap::SkeapSystem sys(
+      {.num_nodes = kNodes, .num_priorities = 4, .seed = 64});
+  Rng rng(9);
+  sys.net().tracer().enable();
+  for (NodeId v = 0; v < kNodes; ++v) {
+    for (int i = 0; i < 3; ++i) {
+      if (rng.flip(0.6)) {
+        sys.insert(v, rng.range(1, 4));
+      } else {
+        sys.delete_min(v);
+      }
+    }
+  }
+  sys.run_batch();
+  sys.net().tracer().disable();
+
+  const trace::Trace t = sys.net().take_trace();
+  trace::write_binary(t, prefix + ".bin");
+  trace::write_perfetto_json(t, prefix + ".json");
+  std::FILE* f = std::fopen((prefix + ".txt").c_str(), "w");
+  SKS_CHECK_MSG(f != nullptr, "cannot open '" << prefix << ".txt'");
+  const std::string text = trace::to_text(t);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s.bin, %s.json (ui.perfetto.dev), %s.txt\n\n",
+              prefix.c_str(), prefix.c_str(), prefix.c_str());
+  return prefix + ".bin";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--demo") == 0) {
+    inspect(demo(argv[2]));
+    return 0;
+  }
+  if (argc == 2 && std::strncmp(argv[1], "--", 2) != 0) {
+    inspect(argv[1]);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage: trace_inspect <dump.bin>\n"
+               "       trace_inspect --demo <prefix>\n");
+  return 1;
+}

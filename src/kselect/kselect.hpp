@@ -55,6 +55,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "overlay/overlay_node.hpp"
+#include "trace/tracer.hpp"
 
 namespace sks::kselect {
 
@@ -425,6 +426,31 @@ class KSelectComponent {
 
   // ---- stepping ----------------------------------------------------------
 
+  static const char* phase_span(Phase p) {
+    switch (p) {
+      case Phase::kPhase1: return "kselect.phase1";
+      case Phase::kPhase2: return "kselect.phase2";
+      case Phase::kPhase3: return "kselect.phase3";
+      default: return nullptr;
+    }
+  }
+
+  /// Anchor phase transition; emits the corresponding trace spans (keyed
+  /// by session) when tracing is enabled.
+  void set_phase(std::uint64_t session, AnchorSession& as, Phase next) {
+    if (as.phase == next) return;
+    trace::Tracer& tr = host_.tracer();
+    if (tr.enabled()) {
+      if (const char* prev = phase_span(as.phase)) {
+        tr.phase_end(host_.id(), prev, session);
+      }
+      if (const char* name = phase_span(next)) {
+        tr.phase_begin(host_.id(), name, session);
+      }
+    }
+    as.phase = next;
+  }
+
   std::uint64_t reply_epoch(std::uint64_t session, std::uint32_t step) const {
     return session * 65536 + step;
   }
@@ -653,7 +679,7 @@ class KSelectComponent {
                 : static_cast<std::uint32_t>(
                       std::floor(std::log2(std::max(q, 1.0)))) +
                       1;
-        as.phase = Phase::kPhase1;
+        set_phase(session, as, Phase::kPhase1);
         continue_phase1(session);
         break;
       }
@@ -699,6 +725,12 @@ class KSelectComponent {
         stats_.push_back(IterationStat{
             as.phase == Phase::kPhase1 ? 1 : 2, as.iter, as.n_before_iter,
             as.N, as.nprime});
+        {
+          trace::Tracer& tr = host_.tracer();
+          if (tr.enabled()) {
+            tr.annotate(host_.id(), "kselect.candidates", as.N, session);
+          }
+        }
         if (as.phase == Phase::kPhase1) {
           --as.phase1_left;
           continue_phase1(session);
@@ -715,7 +747,7 @@ class KSelectComponent {
   void continue_phase1(std::uint64_t session) {
     AnchorSession& as = anchor_sessions_.at(session);
     if (as.phase1_left == 0 || as.N <= phase3_threshold()) {
-      as.phase = Phase::kPhase2;
+      set_phase(session, as, Phase::kPhase2);
       start_phase2_iteration(session);
       return;
     }
@@ -730,7 +762,7 @@ class KSelectComponent {
     SKS_CHECK_MSG(as.total_iters++ < cfg_.max_iterations,
                   "KSelect failed to converge");
     ++as.iter;
-    if (as.N <= phase3_threshold()) as.phase = Phase::kPhase3;
+    if (as.N <= phase3_threshold()) set_phase(session, as, Phase::kPhase3);
     as.got_l = as.got_r = false;
     as.need_l = as.need_r = false;
     as.nprime = 0;
@@ -841,6 +873,16 @@ class KSelectComponent {
   }
 
   void finish(std::uint64_t session, std::optional<CandidateKey> result) {
+    {
+      // Close the current phase's span (kInit — k out of range — has none).
+      AnchorSession& as = anchor_sessions_.at(session);
+      trace::Tracer& tr = host_.tracer();
+      if (tr.enabled()) {
+        if (const char* name = phase_span(as.phase)) {
+          tr.phase_end(host_.id(), name, session);
+        }
+      }
+    }
     broadcast_step(session, StepKind::kDone, [&](KStep& s) {
       s.has_result = result.has_value();
       if (result) s.result = *result;

@@ -39,6 +39,7 @@
 #include "overlay/topology.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "trace/tracer.hpp"
 
 namespace sks::runtime {
 
@@ -168,8 +169,11 @@ class Cluster {
   std::uint64_t run_epoch(StartFn&& start) {
     const std::uint64_t msgs0 = net_->metrics().total_messages();
     const std::uint64_t bits0 = net_->metrics().total_bits();
+    trace::Tracer& tr = net_->tracer();
+    if (tr.enabled()) tr.epoch_begin(epochs_started_);
     start_all(start);
     const std::uint64_t rounds = net_->run_until_idle();
+    if (tr.enabled()) tr.epoch_end(epochs_started_);
     const sim::Metrics& cur = net_->metrics();
     EpochStats st;
     st.epoch = epochs_started_;
@@ -215,6 +219,9 @@ class Cluster {
     active_.insert(id);
     ++sizing_nodes_;
     migrate_anchor_if_needed();
+    if (net_->tracer().enabled()) {
+      net_->tracer().lifecycle(trace::EventKind::kNodeJoin, id);
+    }
     return id;
   }
 
@@ -235,6 +242,9 @@ class Cluster {
     net_->run_until_idle();
     active_.erase(v);
     if (was_anchor) adopt_anchor(std::move(handover));
+    if (net_->tracer().enabled()) {
+      net_->tracer().lifecycle(trace::EventKind::kNodeLeave, v);
+    }
   }
 
   // ---- Traces ----------------------------------------------------------

@@ -46,6 +46,7 @@
 #include "kselect/kselect.hpp"
 #include "overlay/membership.hpp"
 #include "overlay/overlay_node.hpp"
+#include "trace/tracer.hpp"
 
 namespace sks::seap {
 
@@ -253,6 +254,10 @@ class SeapNode : public overlay::OverlayNode {
         buffered_.pop_front();
       }
     }
+    // Insert-phase span: from this host's contribution until its puts are
+    // confirmed and it moves on to the DeleteMin phase.
+    trace::Tracer& tr = tracer();
+    if (tr.enabled()) tr.phase_begin(id(), "seap.phase1.insert", cycle);
     ins_agg_.contribute(cycle, InsCountUp{cs.inserts.size()});
     return cycle;
   }
@@ -385,6 +390,13 @@ class SeapNode : public overlay::OverlayNode {
     CycleState& cs = cycles_.at(cycle);
     SKS_CHECK(!cs.contributed_deletes);
     cs.contributed_deletes = true;
+    // This host's inserts are all confirmed: the Insert phase ends here
+    // and the DeleteMin phase begins.
+    trace::Tracer& tr = tracer();
+    if (tr.enabled()) {
+      tr.phase_end(id(), "seap.phase1.insert", cycle);
+      tr.phase_begin(id(), "seap.phase2.deletemin", cycle);
+    }
     del_agg_.contribute(cycle, DelCountUp{cs.deletes.size()});
   }
 
@@ -393,6 +405,8 @@ class SeapNode : public overlay::OverlayNode {
     // arrives. No put can interleave (the insert phase is globally done),
     // so the count stays valid.
     const std::size_t eligible = dht_.count_leq(kMainSpace, t.threshold);
+    trace::Tracer& tr = tracer();
+    if (tr.enabled()) tr.annotate(id(), "seap.eligible", eligible, cycle);
     pending_thresholds_[cycle] = t.threshold;
     move_agg_.contribute(cycle, MoveCountUp{eligible});
   }
@@ -410,6 +424,8 @@ class SeapNode : public overlay::OverlayNode {
     std::vector<Element> moved = dht_.take_leq(kMainSpace, threshold);
     SKS_CHECK_MSG(moved.size() == iv.cardinality(),
                   "move interval does not match eligible count");
+    trace::Tracer& tr = tracer();
+    if (tr.enabled()) tr.annotate(id(), "seap.moved", moved.size(), cycle);
     Position pos = iv.lo;
     for (const auto& e : moved) {
       dht_.put(position_key(cycle, pos), e, nullptr, kPositionSpace);
@@ -446,6 +462,10 @@ class SeapNode : public overlay::OverlayNode {
       }
       ++pos;
     }
+    // The deleters' fetches are issued; this host's part of the DeleteMin
+    // phase is done.
+    trace::Tracer& tr = tracer();
+    if (tr.enabled()) tr.phase_end(id(), "seap.phase2.deletemin", cycle);
     cycles_.erase(cycle);
   }
 

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -24,12 +26,72 @@
 
 namespace sks::sim {
 
+/// Log2-bucketed histogram of non-negative 64-bit quantities. Bucket b
+/// counts values whose bit width is b (i.e. values in [2^(b-1), 2^b));
+/// bucket 0 counts zeros. Recording is one array increment — cheap enough
+/// for the per-delivery path — and the fixed-size storage keeps the
+/// metrics object allocation-free.
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t v) { ++buckets_[std::bit_width(v)]; }
+
+  void clear() { buckets_.fill(0); }
+
+  void merge(const Log2Histogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : buckets_) n += c;
+    return n;
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]):
+  /// the largest value with that bit width. Returns 0 for an empty
+  /// histogram.
+  std::uint64_t quantile(double q) const {
+    const std::uint64_t n = total();
+    if (n == 0) return 0;
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > rank || seen == n) return bucket_upper(b);
+    }
+    return bucket_upper(kBuckets - 1);
+  }
+
+  static std::uint64_t bucket_upper(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~0ull;
+    return (1ull << b) - 1;
+  }
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  friend bool operator==(const Log2Histogram& a, const Log2Histogram& b) {
+    return a.buckets_ == b.buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
 struct MetricsSnapshot {
   std::uint64_t rounds = 0;            ///< rounds elapsed in the window
   std::uint64_t total_messages = 0;    ///< host-crossing messages delivered
   std::uint64_t total_bits = 0;        ///< sum of message sizes
   std::uint64_t max_message_bits = 0;  ///< largest single message
   std::uint64_t max_congestion = 0;    ///< max msgs one node handled in one round
+  Log2Histogram message_bits_hist;     ///< per-message size distribution
+  /// Per-node-per-round deliveries (rounds where a node received nothing
+  /// are not recorded, so this is the distribution of *busy* node-rounds).
+  Log2Histogram congestion_hist;
   std::map<std::string, std::uint64_t> messages_by_type;
   std::map<std::string, std::uint64_t> bits_by_type;
   std::map<std::string, std::uint64_t> max_bits_by_type;
@@ -37,15 +99,34 @@ struct MetricsSnapshot {
 
 class Metrics {
  public:
-  explicit Metrics(std::size_t num_nodes) : received_this_round_(num_nodes, 0) {}
+  explicit Metrics(std::size_t num_nodes) : received_this_round_(num_nodes, 0) {
+    // Pre-size the per-action counters for every action registered so far;
+    // note_action() (called at send time, when a payload's tag provably
+    // exists) grows the table for late registrations, so record_delivery —
+    // the hot path — never branches on the table size.
+    by_action_.resize(ActionRegistry::instance().size());
+  }
 
-  void on_node_added() { received_this_round_.push_back(0); }
+  void on_node_added() {
+    received_this_round_.push_back(0);
+    by_action_.resize(
+        std::max(by_action_.size(), ActionRegistry::instance().size()));
+  }
+
+  /// Guarantee the counter table covers `action`. Called once per send
+  /// (where new ActionIds first appear); in steady state the branch is
+  /// never taken.
+  void note_action(ActionId action) {
+    if (action >= by_action_.size()) [[unlikely]] {
+      by_action_.resize(ActionRegistry::instance().size());
+    }
+  }
 
   void record_delivery(NodeId to, std::uint64_t bits, ActionId action) {
     ++total_messages_;
     total_bits_ += bits;
     max_message_bits_ = std::max(max_message_bits_, bits);
-    if (action >= by_action_.size()) by_action_.resize(action + 1);
+    message_bits_hist_.record(bits);
     ActionCounters& a = by_action_[action];
     ++a.messages;
     a.bits += bits;
@@ -63,8 +144,11 @@ class Metrics {
   void on_round_end() {
     ++rounds_;
     for (auto& c : received_this_round_) {
-      max_congestion_ = std::max(max_congestion_, c);
-      c = 0;
+      if (c != 0) {
+        max_congestion_ = std::max(max_congestion_, c);
+        congestion_hist_.record(c);
+        c = 0;
+      }
     }
   }
 
@@ -81,6 +165,8 @@ class Metrics {
     total_bits_ = 0;
     max_message_bits_ = 0;
     max_congestion_ = 0;
+    message_bits_hist_.clear();
+    congestion_hist_.clear();
     by_action_.assign(by_action_.size(), ActionCounters{});
     return out;
   }
@@ -93,6 +179,8 @@ class Metrics {
     snap.total_bits = total_bits_;
     snap.max_message_bits = max_message_bits_;
     snap.max_congestion = max_congestion_;
+    snap.message_bits_hist = message_bits_hist_;
+    snap.congestion_hist = congestion_hist_;
     const ActionRegistry& registry = ActionRegistry::instance();
     for (std::size_t a = 0; a < by_action_.size(); ++a) {
       const ActionCounters& c = by_action_[a];
@@ -118,6 +206,8 @@ class Metrics {
   std::uint64_t total_bits_ = 0;
   std::uint64_t max_message_bits_ = 0;
   std::uint64_t max_congestion_ = 0;
+  Log2Histogram message_bits_hist_;
+  Log2Histogram congestion_hist_;
   std::vector<ActionCounters> by_action_;  ///< flat, indexed by ActionId
   std::vector<std::uint64_t> received_this_round_;
 };

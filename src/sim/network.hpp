@@ -23,6 +23,7 @@
 #include "common/types.hpp"
 #include "sim/metrics.hpp"
 #include "sim/payload.hpp"
+#include "trace/tracer.hpp"
 
 namespace sks::sim {
 
@@ -61,6 +62,12 @@ class Node {
     SKS_CHECK(net_ != nullptr);
     return *net_;
   }
+
+ public:
+  /// The network's tracer — public so protocol components (aggregators,
+  /// KSelect, DHT) attached to a node can emit phase spans and
+  /// annotations. No-cost unless enabled.
+  trace::Tracer& tracer();
 
  private:
   friend class Network;
@@ -152,6 +159,13 @@ class Network {
     env.bits = payload->size_bits();
     env.action = payload->metrics_tag();
     env.payload = std::move(payload);
+    // The action tag provably exists here, so the metrics table is grown
+    // at send time and the delivery path stays branch-free.
+    metrics_.note_action(env.action);
+    if (tracer_.enabled()) {
+      tracer_.message(trace::EventKind::kSend, from, to, env.action,
+                      env.bits);
+    }
     slot_for(round_ + delay).push_back(std::move(env));
     ++in_flight_;
   }
@@ -161,6 +175,7 @@ class Network {
   /// node once.
   void step() {
     ++round_;
+    tracer_.begin_round(round_);
     std::vector<Envelope>& due_slot = slot_for(round_);
     if (!due_slot.empty()) {
       // Swap into a scratch vector (reusing its capacity) so deliveries
@@ -171,6 +186,10 @@ class Network {
       for (auto& env : due_) {
         --in_flight_;
         metrics_.record_delivery(env.to, env.bits, env.action);
+        if (tracer_.enabled()) {
+          tracer_.message(trace::EventKind::kDeliver, env.from, env.to,
+                          env.action, env.bits);
+        }
         nodes_[env.to].node->on_message(env.from, std::move(env.payload));
       }
       due_.clear();
@@ -198,6 +217,17 @@ class Network {
   Metrics& metrics() { return metrics_; }
   const NetworkConfig& config() const { return cfg_; }
   Rng& rng() { return rng_; }
+
+  /// Event tracer for this network's executions. Disabled by default;
+  /// enable() before the execution to capture, then trace::build_trace
+  /// and an exporter (src/trace/) to render it.
+  trace::Tracer& tracer() { return tracer_; }
+  const trace::Tracer& tracer() const { return tracer_; }
+
+  /// Materialize the captured events into an exportable Trace.
+  trace::Trace take_trace() const {
+    return trace::build_trace(tracer_, nodes_.size());
+  }
 
  private:
   struct Envelope {
@@ -234,10 +264,13 @@ class Network {
   std::uint64_t round_ = 0;
   std::uint64_t in_flight_ = 0;
   Metrics metrics_;
+  trace::Tracer tracer_;
 };
 
 inline void Node::send(NodeId to, PayloadPtr payload) {
   net().send(id_, to, std::move(payload));
 }
+
+inline trace::Tracer& Node::tracer() { return net().tracer(); }
 
 }  // namespace sks::sim

@@ -133,6 +133,18 @@ class SkeapNode : public overlay::OverlayNode {
   /// empty) and contribute it. Returns the epoch started.
   std::uint64_t start_batch() {
     const std::uint64_t epoch = next_epoch_++;
+    // Phase 1 span: covers this host's contribution and the aggregation
+    // up/down passes, until the assignment lands back here (Phase 4).
+    // The previous epoch's Phase 4 (its DHT traffic) runs until this batch
+    // starts, so close it now.
+    trace::Tracer& tr = tracer();
+    if (tr.enabled()) {
+      if (trace_phase4_open_) {
+        tr.phase_end(id(), "skeap.phase4.dht", trace_phase4_epoch_);
+        trace_phase4_open_ = false;
+      }
+      tr.phase_begin(id(), "skeap.phase1.aggregate", epoch);
+    }
     Batch batch(config_.num_priorities);
     std::vector<PendingOp> snapshot;
     snapshot.reserve(buffered_.size());
@@ -208,8 +220,17 @@ class SkeapNode : public overlay::OverlayNode {
     while (!pending_anchor_batches_.empty() &&
            pending_anchor_batches_.begin()->first == next_anchor_epoch_) {
       auto it = pending_anchor_batches_.begin();
+      trace::Tracer& tr = tracer();
+      if (tr.enabled()) tr.phase_begin(id(), "skeap.phase2.assign", it->first);
       BatchAssignment asg = anchor_state_->assign(it->second);
+      if (tr.enabled()) {
+        tr.phase_end(id(), "skeap.phase2.assign", it->first);
+        tr.phase_begin(id(), "skeap.phase3.decompose", it->first);
+      }
       agg_.distribute(it->first, SkeapDown{std::move(asg)});
+      if (tr.enabled()) {
+        tr.phase_end(id(), "skeap.phase3.decompose", it->first);
+      }
       pending_anchor_batches_.erase(it);
       ++next_anchor_epoch_;
     }
@@ -222,6 +243,16 @@ class SkeapNode : public overlay::OverlayNode {
     SKS_CHECK_MSG(it != in_flight_.end(), "assignment for unknown epoch");
     std::vector<PendingOp> ops = std::move(it->second);
     in_flight_.erase(it);
+    trace::Tracer& tr = tracer();
+    if (tr.enabled()) {
+      tr.phase_end(id(), "skeap.phase1.aggregate", epoch);
+      // Phase 4 covers this host's DHT puts/gets; those quiesce with the
+      // epoch, so the span closes at the next start_batch (or capture
+      // end) rather than here.
+      tr.phase_begin(id(), "skeap.phase4.dht", epoch);
+      trace_phase4_open_ = true;
+      trace_phase4_epoch_ = epoch;
+    }
 
     for (auto& op : ops) {
       SKS_CHECK(op.entry < asg.entries.size());
@@ -294,6 +325,11 @@ class SkeapNode : public overlay::OverlayNode {
   std::map<std::uint64_t, Batch> pending_anchor_batches_;
   std::uint64_t next_anchor_epoch_ = 0;
   std::vector<OpRecord> trace_;
+
+  // Tracing-only state (never touched with the tracer disabled): the open
+  // Phase 4 span, closed when the next batch starts on this host.
+  bool trace_phase4_open_ = false;
+  std::uint64_t trace_phase4_epoch_ = 0;
 };
 
 }  // namespace sks::skeap

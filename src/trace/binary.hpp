@@ -1,0 +1,117 @@
+// Compact binary dump of a Trace, with a loader.
+//
+// Layout (little-endian, as produced by the simulating host):
+//
+//   magic   "SKTR"                 4 bytes
+//   version u32                    (currently 1)
+//   num_nodes u64, num_events u64, num_actions u64, num_spans u64
+//   events  num_events * sizeof(Event)   (fixed 48-byte POD records)
+//   actions num_actions * (u32 len + bytes)
+//   spans   num_spans   * (u32 len + bytes)
+//
+// The fixed-size event records make the dump ~20 bytes/event smaller than
+// the Perfetto JSON and loadable without a JSON parser — this is the
+// format `trace_inspect` consumes and CI archives.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/tracer.hpp"
+
+namespace sks::trace {
+
+inline constexpr char kBinaryMagic[4] = {'S', 'K', 'T', 'R'};
+inline constexpr std::uint32_t kBinaryVersion = 1;
+
+namespace detail {
+
+inline void put(std::FILE* f, const void* p, std::size_t n) {
+  SKS_CHECK_MSG(std::fwrite(p, 1, n, f) == n, "trace dump write failed");
+}
+
+inline void get(std::FILE* f, void* p, std::size_t n) {
+  SKS_CHECK_MSG(std::fread(p, 1, n, f) == n, "trace dump truncated");
+}
+
+template <class T>
+void put_value(std::FILE* f, T v) {
+  put(f, &v, sizeof(T));
+}
+
+template <class T>
+T get_value(std::FILE* f) {
+  T v{};
+  get(f, &v, sizeof(T));
+  return v;
+}
+
+inline void put_string(std::FILE* f, const std::string& s) {
+  put_value<std::uint32_t>(f, static_cast<std::uint32_t>(s.size()));
+  put(f, s.data(), s.size());
+}
+
+inline std::string get_string(std::FILE* f) {
+  const auto len = get_value<std::uint32_t>(f);
+  SKS_CHECK_MSG(len < (1u << 20), "implausible string length in trace dump");
+  std::string s(len, '\0');
+  if (len > 0) get(f, s.data(), len);
+  return s;
+}
+
+}  // namespace detail
+
+inline void write_binary(const Trace& t, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  SKS_CHECK_MSG(f != nullptr, "cannot open trace dump '" << path << "'");
+  detail::put(f, kBinaryMagic, sizeof(kBinaryMagic));
+  detail::put_value<std::uint32_t>(f, kBinaryVersion);
+  detail::put_value<std::uint64_t>(f, t.num_nodes);
+  detail::put_value<std::uint64_t>(f, t.events.size());
+  detail::put_value<std::uint64_t>(f, t.action_names.size());
+  detail::put_value<std::uint64_t>(f, t.span_names.size());
+  if (!t.events.empty()) {
+    detail::put(f, t.events.data(), t.events.size() * sizeof(Event));
+  }
+  for (const auto& s : t.action_names) detail::put_string(f, s);
+  for (const auto& s : t.span_names) detail::put_string(f, s);
+  std::fclose(f);
+}
+
+inline Trace load_binary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  SKS_CHECK_MSG(f != nullptr, "cannot open trace dump '" << path << "'");
+  char magic[4];
+  detail::get(f, magic, sizeof(magic));
+  SKS_CHECK_MSG(std::memcmp(magic, kBinaryMagic, 4) == 0,
+                "'" << path << "' is not a trace dump (bad magic)");
+  const auto version = detail::get_value<std::uint32_t>(f);
+  SKS_CHECK_MSG(version == kBinaryVersion,
+                "unsupported trace dump version " << version);
+  Trace t;
+  t.num_nodes = detail::get_value<std::uint64_t>(f);
+  const auto num_events = detail::get_value<std::uint64_t>(f);
+  const auto num_actions = detail::get_value<std::uint64_t>(f);
+  const auto num_spans = detail::get_value<std::uint64_t>(f);
+  SKS_CHECK_MSG(num_events < (1ull << 32), "implausible trace dump size");
+  t.events.resize(num_events);
+  if (num_events > 0) {
+    detail::get(f, t.events.data(), num_events * sizeof(Event));
+  }
+  t.action_names.reserve(num_actions);
+  for (std::uint64_t i = 0; i < num_actions; ++i) {
+    t.action_names.push_back(detail::get_string(f));
+  }
+  t.span_names.reserve(num_spans);
+  for (std::uint64_t i = 0; i < num_spans; ++i) {
+    t.span_names.push_back(detail::get_string(f));
+  }
+  std::fclose(f);
+  return t;
+}
+
+}  // namespace sks::trace

@@ -1,0 +1,226 @@
+// Perfetto / chrome://tracing JSON exporter.
+//
+// Emits the Trace Event Format JSON that ui.perfetto.dev and
+// chrome://tracing load directly:
+//
+//   * one thread track per node ("node 3"), plus track 0 ("cluster") for
+//     cluster-wide epoch spans,
+//   * protocol-phase spans as complete ("X") duration events on the
+//     hosting node's track (Skeap's Phase 1-4 machine, Seap's cycle
+//     phases, KSelect's Phase 1/2/3),
+//   * send/deliver as instant ("i") events carrying action, peer, bits
+//     and the causal seq,
+//   * a "delivered/round" counter track, and annotations (e.g. KSelect
+//     candidate-set sizes) as counter series.
+//
+// One simulated round maps to 1 ms (1000 us) of trace time, so round
+// counts read directly off the Perfetto ruler; events within one round
+// are spread over the millisecond in causal order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/tracer.hpp"
+
+namespace sks::trace {
+
+namespace detail {
+
+inline void json_escaped(std::FILE* f, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fprintf(f, "\\%c", c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+/// Track id of a node: 0 is the cluster-wide track.
+inline std::uint64_t tid_of(NodeId v) {
+  return v == kNoNode ? 0 : static_cast<std::uint64_t>(v) + 1;
+}
+
+}  // namespace detail
+
+inline void write_perfetto_json(const Trace& t, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  SKS_CHECK_MSG(f != nullptr, "cannot open trace output '" << path << "'");
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  std::fprintf(f,
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"args\":{\"name\":\"skeap-seap simulation\"}}");
+  std::fprintf(f,
+               ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":0,\"args\":{\"name\":\"cluster\"}}");
+  for (std::size_t v = 0; v < t.num_nodes; ++v) {
+    std::fprintf(f,
+                 ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%llu,\"args\":{\"name\":\"node %zu\"}}",
+                 static_cast<unsigned long long>(v + 1), v);
+  }
+  // Keep the cluster track above the node tracks.
+  std::fprintf(f,
+               ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":0,\"args\":{\"sort_index\":-1}}");
+
+  // ts = round * 1000 + within-round causal offset (clamped to the round's
+  // millisecond).
+  std::uint64_t cur_round = ~0ull, in_round = 0;
+  auto ts_of = [&](const Event& e) {
+    if (e.round != cur_round) {
+      cur_round = e.round;
+      in_round = 0;
+    }
+    const std::uint64_t off = in_round < 999 ? in_round : 999;
+    ++in_round;
+    return e.round * 1000 + off;
+  };
+
+  // Open-span bookkeeping so phase/epoch spans become "X" events with a
+  // duration; unmatched spans are closed at the trace's last round.
+  struct Open {
+    std::uint32_t label = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t ts = 0;
+    NodeId node = kNoNode;
+    bool is_epoch = false;
+  };
+  std::vector<Open> open;
+  std::uint64_t last_round = 0;
+  for (const Event& e : t.events) last_round = std::max(last_round, e.round);
+
+  std::uint64_t delivered_this_round = 0;
+  std::uint64_t counter_round = 0;
+  auto flush_counter = [&](std::uint64_t upto_round) {
+    // Emit one "delivered/round" sample per finished round.
+    while (counter_round < upto_round) {
+      std::fprintf(f,
+                   ",\n{\"name\":\"delivered/round\",\"ph\":\"C\",\"pid\":1,"
+                   "\"ts\":%llu,\"args\":{\"messages\":%llu}}",
+                   static_cast<unsigned long long>(counter_round * 1000),
+                   static_cast<unsigned long long>(delivered_this_round));
+      delivered_this_round = 0;
+      ++counter_round;
+    }
+  };
+
+  auto emit_span = [&](const Open& o, std::uint64_t end_ts) {
+    const std::string name = o.is_epoch
+                                 ? "epoch " + std::to_string(o.epoch)
+                                 : span_name(t, o.label);
+    const std::uint64_t dur = end_ts > o.ts ? end_ts - o.ts : 1;
+    std::fprintf(f, ",\n{\"name\":\"");
+    detail::json_escaped(f, name);
+    std::fprintf(f,
+                 "\",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"ts\":%llu,"
+                 "\"dur\":%llu,\"args\":{\"epoch\":%llu}}",
+                 static_cast<unsigned long long>(detail::tid_of(o.node)),
+                 static_cast<unsigned long long>(o.ts),
+                 static_cast<unsigned long long>(dur),
+                 static_cast<unsigned long long>(o.epoch));
+  };
+
+  for (const Event& e : t.events) {
+    flush_counter(e.round);
+    const std::uint64_t ts = ts_of(e);
+    switch (e.kind) {
+      case EventKind::kSend:
+      case EventKind::kDeliver: {
+        if (e.kind == EventKind::kDeliver) ++delivered_this_round;
+        std::fprintf(f, ",\n{\"name\":\"");
+        detail::json_escaped(f, action_name(t, e.label));
+        std::fprintf(
+            f,
+            "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%llu,"
+            "\"ts\":%llu,\"args\":{\"dir\":\"%s\",\"peer\":%lld,"
+            "\"bits\":%llu,\"seq\":%llu}}",
+            static_cast<unsigned long long>(detail::tid_of(e.node)),
+            static_cast<unsigned long long>(ts),
+            e.kind == EventKind::kSend ? "send" : "deliver",
+            e.peer == kNoNode ? -1LL : static_cast<long long>(e.peer),
+            static_cast<unsigned long long>(e.value),
+            static_cast<unsigned long long>(e.seq));
+        break;
+      }
+      case EventKind::kPhaseBegin: {
+        Open o;
+        o.label = e.label;
+        o.epoch = e.epoch;
+        o.ts = ts;
+        o.node = e.node;
+        open.push_back(o);
+        break;
+      }
+      case EventKind::kPhaseEnd: {
+        for (std::size_t i = open.size(); i > 0; --i) {
+          Open& o = open[i - 1];
+          if (!o.is_epoch && o.node == e.node && o.label == e.label &&
+              o.epoch == e.epoch) {
+            emit_span(o, ts);
+            open.erase(open.begin() + static_cast<std::ptrdiff_t>(i - 1));
+            break;
+          }
+        }
+        break;
+      }
+      case EventKind::kEpochBegin: {
+        Open o;
+        o.epoch = e.epoch;
+        o.ts = ts;
+        o.is_epoch = true;
+        open.push_back(o);
+        break;
+      }
+      case EventKind::kEpochEnd: {
+        for (std::size_t i = open.size(); i > 0; --i) {
+          Open& o = open[i - 1];
+          if (o.is_epoch && o.epoch == e.epoch) {
+            emit_span(o, ts);
+            open.erase(open.begin() + static_cast<std::ptrdiff_t>(i - 1));
+            break;
+          }
+        }
+        break;
+      }
+      case EventKind::kNodeJoin:
+      case EventKind::kNodeLeave: {
+        std::fprintf(
+            f,
+            ",\n{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,"
+            "\"tid\":%llu,\"ts\":%llu,\"args\":{\"node\":%llu}}",
+            e.kind == EventKind::kNodeJoin ? "join" : "leave",
+            static_cast<unsigned long long>(detail::tid_of(e.node)),
+            static_cast<unsigned long long>(ts),
+            static_cast<unsigned long long>(e.node));
+        break;
+      }
+      case EventKind::kAnnotation: {
+        std::fprintf(f, ",\n{\"name\":\"");
+        detail::json_escaped(f, span_name(t, e.label));
+        std::fprintf(f,
+                     "\",\"ph\":\"C\",\"pid\":1,\"ts\":%llu,"
+                     "\"args\":{\"value\":%llu}}",
+                     static_cast<unsigned long long>(ts),
+                     static_cast<unsigned long long>(e.value));
+        break;
+      }
+      case EventKind::kRoundBegin:
+        break;
+    }
+  }
+  flush_counter(last_round + 1);
+  // Close anything still open at the end of the capture window.
+  for (const Open& o : open) emit_span(o, (last_round + 1) * 1000);
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+}  // namespace sks::trace

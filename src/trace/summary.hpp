@@ -1,0 +1,220 @@
+// Per-phase / per-epoch / per-action summaries of a captured trace.
+//
+// This is the machine-readable run-report side of the tracing subsystem:
+// a single replay of the event list in causal (seq) order attributes every
+// delivered message to the protocol phase open on the receiving node at
+// that moment, and rolls the result up into the per-phase quantities the
+// paper's lemmas speak about — rounds, messages, bits, and per-node
+// per-round congestion by phase.
+//
+// Phase spans may nest (Skeap's anchor opens Phase 2/3 inside its own
+// Phase 1 span) and may overlap across epochs when batches pipeline, so
+// each node carries a stack of open spans keyed by (span, epoch); a
+// deliver is charged to the innermost open span.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace sks::trace {
+
+struct PhaseSummary {
+  std::string phase;            ///< span name ("(no phase)" = unattributed)
+  std::uint64_t spans = 0;      ///< opened spans with this name
+  std::uint64_t rounds = 0;     ///< sum of span lengths in rounds
+  std::uint64_t messages = 0;   ///< deliveries attributed to the phase
+  std::uint64_t bits = 0;       ///< bits of those deliveries
+  std::uint64_t max_congestion = 0;  ///< max msgs one node got in one round
+};
+
+struct EpochSummary {
+  std::uint64_t epoch = 0;
+  std::uint64_t rounds = 0;     ///< kEpochBegin → kEpochEnd
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+};
+
+struct ActionSummary {
+  std::string action;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+};
+
+struct TraceSummary {
+  std::size_t num_nodes = 0;
+  std::uint64_t rounds = 0;        ///< highest round stamped on any event
+  std::uint64_t sends = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t total_bits = 0;    ///< bits of delivered messages
+  std::vector<PhaseSummary> phases;
+  std::vector<EpochSummary> epochs;
+  std::vector<ActionSummary> actions;
+};
+
+inline TraceSummary summarize(const Trace& trace) {
+  TraceSummary out;
+  out.num_nodes = trace.num_nodes;
+
+  struct OpenSpan {
+    std::uint32_t span = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t begin_round = 0;
+    std::uint64_t last_round = 0;  ///< congestion run tracking
+    std::uint64_t run = 0;         ///< deliveries to this node this round
+  };
+  struct PhaseAgg {
+    std::uint64_t spans = 0, rounds = 0, messages = 0, bits = 0, cong = 0;
+  };
+  struct EpochAgg {
+    std::uint64_t begin_round = 0, end_round = 0, messages = 0, bits = 0;
+    bool closed = false;
+  };
+
+  std::map<NodeId, std::vector<OpenSpan>> open;  ///< per-node span stacks
+  std::map<std::uint32_t, PhaseAgg> phases;      ///< by SpanId
+  PhaseAgg unattributed;
+  /// (last round, run length) per node for deliveries outside any span.
+  std::map<NodeId, std::pair<std::uint64_t, std::uint64_t>> bare_run;
+  std::map<std::uint64_t, EpochAgg> epochs;
+  std::map<std::uint32_t, ActionSummary> actions;  ///< by ActionId
+  std::vector<std::uint64_t> open_epochs;  ///< epochs currently running
+
+  for (const Event& e : trace.events) {
+    out.rounds = std::max(out.rounds, e.round);
+    switch (e.kind) {
+      case EventKind::kSend:
+        ++out.sends;
+        break;
+      case EventKind::kDeliver: {
+        ++out.deliveries;
+        out.total_bits += e.value;
+        auto& act = actions[e.label];
+        ++act.messages;
+        act.bits += e.value;
+        for (std::uint64_t ep : open_epochs) {
+          auto& ea = epochs[ep];
+          ++ea.messages;
+          ea.bits += e.value;
+        }
+        auto it = open.find(e.node);
+        if (it != open.end() && !it->second.empty()) {
+          OpenSpan& top = it->second.back();
+          top.run = top.last_round == e.round ? top.run + 1 : 1;
+          top.last_round = e.round;
+          PhaseAgg& pa = phases[top.span];
+          ++pa.messages;
+          pa.bits += e.value;
+          pa.cong = std::max(pa.cong, top.run);
+        } else {
+          auto& [last, run] = bare_run[e.node];
+          run = last == e.round ? run + 1 : 1;
+          last = e.round;
+          ++unattributed.messages;
+          unattributed.bits += e.value;
+          unattributed.cong = std::max(unattributed.cong, run);
+        }
+        break;
+      }
+      case EventKind::kPhaseBegin: {
+        OpenSpan s;
+        s.span = e.label;
+        s.epoch = e.epoch;
+        s.begin_round = e.round;
+        open[e.node].push_back(s);
+        ++phases[e.label].spans;
+        break;
+      }
+      case EventKind::kPhaseEnd: {
+        auto it = open.find(e.node);
+        if (it == open.end()) break;
+        auto& stack = it->second;
+        // Close the innermost matching span (pipelined epochs can leave
+        // an older same-name span below it).
+        for (std::size_t i = stack.size(); i > 0; --i) {
+          OpenSpan& s = stack[i - 1];
+          if (s.span == e.label && s.epoch == e.epoch) {
+            phases[s.span].rounds += e.round - s.begin_round;
+            stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i - 1));
+            break;
+          }
+        }
+        break;
+      }
+      case EventKind::kEpochBegin: {
+        epochs[e.epoch].begin_round = e.round;
+        open_epochs.push_back(e.epoch);
+        break;
+      }
+      case EventKind::kEpochEnd: {
+        auto it = epochs.find(e.epoch);
+        if (it != epochs.end()) {
+          it->second.end_round = e.round;
+          it->second.closed = true;
+        }
+        open_epochs.erase(
+            std::remove(open_epochs.begin(), open_epochs.end(), e.epoch),
+            open_epochs.end());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Spans never closed count up to the last observed round.
+  for (auto& [node, stack] : open) {
+    (void)node;
+    for (const OpenSpan& s : stack) {
+      phases[s.span].rounds += out.rounds - s.begin_round;
+    }
+  }
+
+  for (const auto& [id, pa] : phases) {
+    PhaseSummary ps;
+    ps.phase = span_name(trace, id);
+    ps.spans = pa.spans;
+    ps.rounds = pa.rounds;
+    ps.messages = pa.messages;
+    ps.bits = pa.bits;
+    ps.max_congestion = pa.cong;
+    out.phases.push_back(std::move(ps));
+  }
+  if (unattributed.messages > 0) {
+    PhaseSummary ps;
+    ps.phase = "(no phase)";
+    ps.messages = unattributed.messages;
+    ps.bits = unattributed.bits;
+    ps.max_congestion = unattributed.cong;
+    out.phases.push_back(std::move(ps));
+  }
+  std::sort(out.phases.begin(), out.phases.end(),
+            [](const PhaseSummary& a, const PhaseSummary& b) {
+              return a.phase < b.phase;
+            });
+
+  for (const auto& [ep, ea] : epochs) {
+    EpochSummary es;
+    es.epoch = ep;
+    es.rounds = (ea.closed ? ea.end_round : out.rounds) - ea.begin_round;
+    es.messages = ea.messages;
+    es.bits = ea.bits;
+    out.epochs.push_back(es);
+  }
+
+  for (auto& [id, act] : actions) {
+    act.action = action_name(trace, id);
+    out.actions.push_back(act);
+  }
+  std::sort(out.actions.begin(), out.actions.end(),
+            [](const ActionSummary& a, const ActionSummary& b) {
+              return a.action < b.action;
+            });
+  return out;
+}
+
+}  // namespace sks::trace

@@ -1,0 +1,78 @@
+// Plain-text causal log exporter.
+//
+// One line per event, in causal (seq) order, with the interned names
+// resolved. This is the human-greppable format, the payload of the golden
+// trace tests (it is deterministic for a fixed seed), and the fallback
+// when no Perfetto UI is at hand.
+//
+//   seq=17 round=3 deliver v2<-v0 action=skeap.batch_up bits=112
+//   seq=18 round=3 phase-begin v0 span=skeap.phase2.assign epoch=0
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace sks::trace {
+
+inline std::string node_str(NodeId v) {
+  return v == kNoNode ? std::string("-") : "v" + std::to_string(v);
+}
+
+inline std::string to_line(const Trace& t, const Event& e) {
+  std::string line = "seq=" + std::to_string(e.seq) +
+                     " round=" + std::to_string(e.round) + " " +
+                     to_string(e.kind);
+  switch (e.kind) {
+    case EventKind::kSend:
+      line += " " + node_str(e.node) + "->" + node_str(e.peer) +
+              " action=" + action_name(t, e.label) +
+              " bits=" + std::to_string(e.value);
+      break;
+    case EventKind::kDeliver:
+      line += " " + node_str(e.node) + "<-" + node_str(e.peer) +
+              " action=" + action_name(t, e.label) +
+              " bits=" + std::to_string(e.value);
+      break;
+    case EventKind::kPhaseBegin:
+    case EventKind::kPhaseEnd:
+      line += " " + node_str(e.node) + " span=" + span_name(t, e.label) +
+              " epoch=" + std::to_string(e.epoch);
+      break;
+    case EventKind::kEpochBegin:
+    case EventKind::kEpochEnd:
+      line += " epoch=" + std::to_string(e.epoch);
+      break;
+    case EventKind::kNodeJoin:
+    case EventKind::kNodeLeave:
+      line += " " + node_str(e.node);
+      break;
+    case EventKind::kAnnotation:
+      line += " " + node_str(e.node) + " " + span_name(t, e.label) + "=" +
+              std::to_string(e.value);
+      break;
+    case EventKind::kRoundBegin:
+      break;
+  }
+  return line;
+}
+
+inline void write_text(const Trace& t, std::ostream& os) {
+  os << "# trace nodes=" << t.num_nodes << " events=" << t.events.size()
+     << "\n";
+  for (const Event& e : t.events) os << to_line(t, e) << "\n";
+}
+
+inline std::string to_text(const Trace& t) {
+  std::string out = "# trace nodes=" + std::to_string(t.num_nodes) +
+                    " events=" + std::to_string(t.events.size()) + "\n";
+  for (const Event& e : t.events) {
+    out += to_line(t, e);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sks::trace

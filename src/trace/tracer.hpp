@@ -1,0 +1,260 @@
+// Event tracing for simulated executions.
+//
+// The paper's claims are all per-phase quantities (O(log n) rounds per
+// Skeap epoch, per-phase congestion, KSelect candidate-set shrinkage), so
+// window-level metric scalars are not enough to localize a regression.
+// The Tracer captures one execution as a causally ordered event trace:
+// every send/deliver, round boundary, epoch boundary, protocol-phase
+// transition and churn event, in the spirit of the event-structure view of
+// asynchronous schedules (a schedule is a sequence of send/deliver
+// events). Exporters under src/trace/ render a trace for humans
+// (Perfetto/chrome://tracing JSON, plain-text causal log) and machines
+// (compact binary dump, per-phase summaries).
+//
+// Overhead contract:
+//  * Disabled (the default), the tracer costs one predictable branch per
+//    hook site and performs zero heap allocations — the zero-alloc test
+//    and the BM_SimulatorRoundTrip budget both hold with the tracer
+//    compiled in.
+//  * Enabled, every record is a fixed-size POD appended to a per-category
+//    buffer; no strings are touched on the hot path (action names are the
+//    interned ActionRegistry ids, span names are interned per tracer on
+//    first use and must be string literals / static storage).
+//
+// Causal order: the simulator is single-threaded, so the global `seq`
+// counter stamps a total order consistent with causality; replaying a
+// trace in seq order replays the execution's happens-before order
+// (Lamport-style: each event carries (round, seq, from, to, action,
+// bits)).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/payload.hpp"
+
+namespace sks::trace {
+
+/// Dense id of an interned span/annotation name (per-tracer table).
+using SpanId = std::uint32_t;
+
+enum class EventKind : std::uint8_t {
+  kSend = 0,     ///< message enqueued        (node=from, peer=to)
+  kDeliver,      ///< message handed to node  (node=to, peer=from)
+  kRoundBegin,   ///< simulator round boundary
+  kEpochBegin,   ///< cluster-wide epoch/cycle started
+  kEpochEnd,     ///< cluster-wide epoch/cycle quiesced
+  kPhaseBegin,   ///< protocol phase span opened on `node`
+  kPhaseEnd,     ///< protocol phase span closed on `node`
+  kNodeJoin,     ///< churn: node joined the running system
+  kNodeLeave,    ///< churn: node left the running system
+  kAnnotation,   ///< named value attached to a node at a point in time
+};
+
+inline const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kSend: return "send";
+    case EventKind::kDeliver: return "deliver";
+    case EventKind::kRoundBegin: return "round";
+    case EventKind::kEpochBegin: return "epoch-begin";
+    case EventKind::kEpochEnd: return "epoch-end";
+    case EventKind::kPhaseBegin: return "phase-begin";
+    case EventKind::kPhaseEnd: return "phase-end";
+    case EventKind::kNodeJoin: return "join";
+    case EventKind::kNodeLeave: return "leave";
+    case EventKind::kAnnotation: return "annotate";
+  }
+  return "?";
+}
+
+/// Append buffers are split by category so dense message traffic never
+/// interleaves with the (much rarer) span/lifecycle records in memory;
+/// exporters merge the categories back into seq order.
+enum class Category : std::uint8_t { kMessage = 0, kSpan = 1, kLifecycle = 2 };
+inline constexpr std::size_t kNumCategories = 3;
+
+/// One fixed-size trace record (48 bytes, POD — the binary dump writes
+/// these verbatim).
+struct Event {
+  std::uint64_t seq = 0;    ///< global causal sequence number
+  std::uint64_t round = 0;  ///< simulator round the event occurred in
+  std::uint64_t value = 0;  ///< message bits / annotation value
+  std::uint64_t epoch = 0;  ///< epoch/cycle/session for span + epoch events
+  NodeId node = kNoNode;    ///< send: sender; deliver: receiver; spans: host
+  NodeId peer = kNoNode;    ///< send: receiver; deliver: sender
+  std::uint32_t label = 0;  ///< ActionId (messages) / SpanId (spans)
+  EventKind kind = EventKind::kSend;
+};
+static_assert(sizeof(Event) == 48, "Event must stay a fixed 48-byte record");
+
+class Tracer {
+ public:
+  bool enabled() const { return enabled_; }
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+
+  /// Drop all recorded events (the name table survives: span ids stay
+  /// valid across clears so cached ids at call sites never dangle).
+  void clear() {
+    for (auto& buf : buffers_) buf.clear();
+    seq_ = 0;
+  }
+
+  std::size_t num_events() const {
+    std::size_t total = 0;
+    for (const auto& buf : buffers_) total += buf.size();
+    return total;
+  }
+
+  // ---- Recording hooks -------------------------------------------------
+  // All hooks no-op when disabled; hot-path call sites should additionally
+  // guard with enabled() so argument evaluation is skipped too.
+
+  /// Simulator round boundary. Called unconditionally by Network::step so
+  /// the tracer's round clock stays correct across enable()/disable().
+  void begin_round(std::uint64_t round) {
+    round_ = round;
+    if (!enabled_) return;
+    push(Category::kLifecycle, EventKind::kRoundBegin, kNoNode, kNoNode, 0,
+         0, 0);
+  }
+
+  void message(EventKind kind, NodeId from, NodeId to, sim::ActionId action,
+               std::uint64_t bits) {
+    if (!enabled_) return;
+    const bool is_send = kind == EventKind::kSend;
+    push(Category::kMessage, kind, is_send ? from : to, is_send ? to : from,
+         action, bits, 0);
+  }
+
+  void epoch_begin(std::uint64_t epoch) {
+    if (!enabled_) return;
+    push(Category::kSpan, EventKind::kEpochBegin, kNoNode, kNoNode, 0, 0,
+         epoch);
+  }
+
+  void epoch_end(std::uint64_t epoch) {
+    if (!enabled_) return;
+    push(Category::kSpan, EventKind::kEpochEnd, kNoNode, kNoNode, 0, 0,
+         epoch);
+  }
+
+  /// Open a protocol-phase span on `node`. `name` must have static
+  /// storage duration (string literal) — it is interned by pointer first.
+  void phase_begin(NodeId node, const char* name, std::uint64_t epoch) {
+    if (!enabled_) return;
+    push(Category::kSpan, EventKind::kPhaseBegin, node, kNoNode,
+         span_id(name), 0, epoch);
+  }
+
+  void phase_end(NodeId node, const char* name, std::uint64_t epoch) {
+    if (!enabled_) return;
+    push(Category::kSpan, EventKind::kPhaseEnd, node, kNoNode,
+         span_id(name), 0, epoch);
+  }
+
+  void lifecycle(EventKind kind, NodeId node) {
+    if (!enabled_) return;
+    push(Category::kLifecycle, kind, node, kNoNode, 0, 0, 0);
+  }
+
+  /// Attach a named value to a node at the current point in the trace
+  /// (e.g. KSelect candidate-set sizes). `name` rules as in phase_begin.
+  void annotate(NodeId node, const char* name, std::uint64_t value,
+                std::uint64_t epoch = 0) {
+    if (!enabled_) return;
+    push(Category::kLifecycle, EventKind::kAnnotation, node, kNoNode,
+         span_id(name), value, epoch);
+  }
+
+  // ---- Introspection ---------------------------------------------------
+
+  const std::vector<Event>& category(Category c) const {
+    return buffers_[static_cast<std::size_t>(c)];
+  }
+
+  SpanId span_id(const char* name) {
+    for (std::size_t i = 0; i < span_names_.size(); ++i) {
+      if (span_names_[i] == name || std::strcmp(span_names_[i], name) == 0) {
+        return static_cast<SpanId>(i);
+      }
+    }
+    span_names_.push_back(name);
+    return static_cast<SpanId>(span_names_.size() - 1);
+  }
+
+  const std::vector<const char*>& span_names() const { return span_names_; }
+
+  std::uint64_t round() const { return round_; }
+
+ private:
+  void push(Category cat, EventKind kind, NodeId node, NodeId peer,
+            std::uint32_t label, std::uint64_t value, std::uint64_t epoch) {
+    Event e;
+    e.seq = seq_++;
+    e.round = round_;
+    e.value = value;
+    e.epoch = epoch;
+    e.node = node;
+    e.peer = peer;
+    e.label = label;
+    e.kind = kind;
+    buffers_[static_cast<std::size_t>(cat)].push_back(e);
+  }
+
+  bool enabled_ = false;
+  std::uint64_t round_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<Event> buffers_[kNumCategories];
+  std::vector<const char*> span_names_;
+};
+
+/// A self-contained, exporter-ready view of one captured execution: the
+/// merged (seq-ordered) event list plus the string tables the fixed-size
+/// records index into. This is also the unit the binary dump round-trips.
+struct Trace {
+  std::size_t num_nodes = 0;
+  std::vector<Event> events;                ///< merged, ascending seq
+  std::vector<std::string> action_names;    ///< by ActionId
+  std::vector<std::string> span_names;      ///< by SpanId
+};
+
+/// Materialize a tracer's buffers into an exportable Trace. `num_nodes`
+/// is the network size at capture time (it sizes the per-node tracks).
+inline Trace build_trace(const Tracer& tracer, std::size_t num_nodes) {
+  Trace out;
+  out.num_nodes = num_nodes;
+  out.events.reserve(tracer.num_events());
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    const auto& buf = tracer.category(static_cast<Category>(c));
+    out.events.insert(out.events.end(), buf.begin(), buf.end());
+  }
+  std::sort(out.events.begin(), out.events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  const sim::ActionRegistry& reg = sim::ActionRegistry::instance();
+  out.action_names.reserve(reg.size());
+  for (std::size_t a = 0; a < reg.size(); ++a) {
+    out.action_names.push_back(reg.name(static_cast<sim::ActionId>(a)));
+  }
+  for (const char* s : tracer.span_names()) out.span_names.emplace_back(s);
+  return out;
+}
+
+/// Name helpers tolerating records whose table entry is missing (e.g. a
+/// truncated dump): they fall back to a numbered placeholder.
+inline std::string action_name(const Trace& t, std::uint32_t id) {
+  if (id < t.action_names.size()) return t.action_names[id];
+  return "action#" + std::to_string(id);
+}
+
+inline std::string span_name(const Trace& t, std::uint32_t id) {
+  if (id < t.span_names.size()) return t.span_names[id];
+  return "span#" + std::to_string(id);
+}
+
+}  // namespace sks::trace

@@ -71,6 +71,9 @@ class SinkNode : public DispatchingNode {
 
 TEST(ZeroAlloc, SteadyStateSendDeliverAllocatesNothing) {
   Network net;
+  // The tracer ships disabled; the zero-alloc guarantee below holds with
+  // it compiled into the message path (one predictable branch per hook).
+  ASSERT_FALSE(net.tracer().enabled());
   net.add_node(std::make_unique<SinkNode>());
   const NodeId b = net.add_node(std::make_unique<SinkNode>());
 

@@ -1,0 +1,142 @@
+// Golden-trace and invariance tests of the tracing subsystem, on the
+// paper's Figure 1 scenario: n = 3 nodes, P = {1, 2}, per-node batches
+// ((1,0),0), ((1,0),2) and ((2,1),1), one full Skeap batch.
+//
+//  * The captured text trace must match the checked-in golden file
+//    byte for byte (regenerate with SKS_REGEN_GOLDEN=1 after an
+//    intentional protocol change).
+//  * The capture is deterministic: the same seed yields a byte-identical
+//    trace, in synchronous and asynchronous delivery modes alike.
+//  * Tracing is observation only: enabling it must leave the metrics of
+//    an identical run byte-identical.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+#include "skeap/skeap_system.hpp"
+#include "trace/summary.hpp"
+#include "trace/text.hpp"
+#include "trace/tracer.hpp"
+
+namespace sks {
+namespace {
+
+skeap::SkeapSystem make_figure1_system(sim::DeliveryMode mode) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 3;
+  opts.num_priorities = 2;
+  opts.seed = 42;
+  opts.mode = mode;
+  return skeap::SkeapSystem(opts);
+}
+
+/// Queue Figure 1's per-node batches and run the batch. v0: one Insert(1);
+/// v1: one Insert(1) and two DeleteMin; v2: two Insert(1), one Insert(2)
+/// and one DeleteMin.
+void run_figure1_batch(skeap::SkeapSystem& sys) {
+  sys.insert(0, 1);
+  sys.insert(1, 1);
+  sys.delete_min(1);
+  sys.delete_min(1);
+  sys.insert(2, 1);
+  sys.insert(2, 1);
+  sys.insert(2, 2);
+  sys.delete_min(2);
+  sys.run_batch();
+}
+
+std::string figure1_trace_text(sim::DeliveryMode mode) {
+  skeap::SkeapSystem sys = make_figure1_system(mode);
+  sys.net().tracer().enable();
+  run_figure1_batch(sys);
+  return trace::to_text(sys.net().take_trace());
+}
+
+std::string golden_path() {
+  return std::string(SKS_TEST_DATA_DIR) + "/golden/figure1_trace.txt";
+}
+
+TEST(GoldenTrace, Figure1MatchesCheckedInTrace) {
+  const std::string text = figure1_trace_text(sim::DeliveryMode::kSynchronous);
+  if (std::getenv("SKS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << text;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (run with SKS_REGEN_GOLDEN=1 to create it)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(text, buf.str())
+      << "trace differs from the golden Figure 1 capture; if the protocol "
+         "change is intentional, regenerate with SKS_REGEN_GOLDEN=1";
+}
+
+TEST(GoldenTrace, Figure1CoversAllFourSkeapPhases) {
+  skeap::SkeapSystem sys = make_figure1_system(sim::DeliveryMode::kSynchronous);
+  sys.net().tracer().enable();
+  run_figure1_batch(sys);
+  const trace::TraceSummary s = trace::summarize(sys.net().take_trace());
+  bool p1 = false, p2 = false, p3 = false, p4 = false;
+  for (const auto& p : s.phases) {
+    if (p.phase == "skeap.phase1.aggregate") p1 = p.spans == 3;  // every node
+    if (p.phase == "skeap.phase2.assign") p2 = p.spans == 1;     // anchor only
+    if (p.phase == "skeap.phase3.decompose") p3 = p.spans == 1;
+    if (p.phase == "skeap.phase4.dht") p4 = p.spans == 3;
+  }
+  EXPECT_TRUE(p1 && p2 && p3 && p4)
+      << "expected all four Skeap phase spans in the Figure 1 trace";
+  ASSERT_EQ(s.epochs.size(), 1u);
+  EXPECT_GT(s.epochs[0].rounds, 0u);
+}
+
+TEST(GoldenTrace, CaptureIsDeterministicSync) {
+  EXPECT_EQ(figure1_trace_text(sim::DeliveryMode::kSynchronous),
+            figure1_trace_text(sim::DeliveryMode::kSynchronous));
+}
+
+TEST(GoldenTrace, CaptureIsDeterministicAsync) {
+  const std::string a = figure1_trace_text(sim::DeliveryMode::kAsynchronous);
+  EXPECT_EQ(a, figure1_trace_text(sim::DeliveryMode::kAsynchronous));
+  EXPECT_NE(a, figure1_trace_text(sim::DeliveryMode::kSynchronous))
+      << "async delays should reshape the schedule";
+}
+
+void expect_snapshots_identical(const sim::MetricsSnapshot& a,
+                                const sim::MetricsSnapshot& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+  EXPECT_EQ(a.max_congestion, b.max_congestion);
+  EXPECT_TRUE(a.message_bits_hist == b.message_bits_hist);
+  EXPECT_TRUE(a.congestion_hist == b.congestion_hist);
+  EXPECT_EQ(a.messages_by_type, b.messages_by_type);
+  EXPECT_EQ(a.bits_by_type, b.bits_by_type);
+  EXPECT_EQ(a.max_bits_by_type, b.max_bits_by_type);
+}
+
+TEST(GoldenTrace, TracingLeavesMetricsInvariant) {
+  skeap::SkeapSystem untraced =
+      make_figure1_system(sim::DeliveryMode::kSynchronous);
+  run_figure1_batch(untraced);
+  EXPECT_EQ(untraced.net().tracer().num_events(), 0u);
+
+  skeap::SkeapSystem traced =
+      make_figure1_system(sim::DeliveryMode::kSynchronous);
+  traced.net().tracer().enable();
+  run_figure1_batch(traced);
+  EXPECT_GT(traced.net().tracer().num_events(), 0u);
+
+  expect_snapshots_identical(untraced.net().metrics().current(),
+                             traced.net().metrics().current());
+}
+
+}  // namespace
+}  // namespace sks

@@ -1,0 +1,212 @@
+// Unit tests of the tracing core: the zero-cost-when-disabled contract,
+// causal ordering, the Log2Histogram, and the three exporters (text,
+// binary round-trip, Perfetto JSON shape).
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/dispatch.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "trace/binary.hpp"
+#include "trace/perfetto.hpp"
+#include "trace/summary.hpp"
+#include "trace/text.hpp"
+#include "trace/tracer.hpp"
+
+namespace sks {
+namespace {
+
+TEST(Tracer, DisabledRecordsNothingButKeepsTheRoundClock) {
+  trace::Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.begin_round(7);
+  t.message(trace::EventKind::kSend, 0, 1, 0, 64);
+  t.epoch_begin(0);
+  t.phase_begin(0, "x.phase", 0);
+  t.annotate(0, "x.value", 42);
+  t.lifecycle(trace::EventKind::kNodeJoin, 3);
+  EXPECT_EQ(t.num_events(), 0u);
+  // The round clock advances even while disabled, so a mid-run enable()
+  // stamps subsequent events with the correct round.
+  EXPECT_EQ(t.round(), 7u);
+  t.enable();
+  t.message(trace::EventKind::kDeliver, 0, 1, 0, 64);
+  ASSERT_EQ(t.num_events(), 1u);
+  EXPECT_EQ(t.category(trace::Category::kMessage)[0].round, 7u);
+}
+
+TEST(Tracer, BuildTraceMergesCategoriesInCausalOrder) {
+  trace::Tracer t;
+  t.enable();
+  t.begin_round(1);
+  t.phase_begin(0, "p", 0);                               // seq 1 (kSpan)
+  t.message(trace::EventKind::kSend, 0, 1, 0, 8);         // seq 2 (kMessage)
+  t.begin_round(2);                                       // seq 3 (kLifecycle)
+  t.message(trace::EventKind::kDeliver, 0, 1, 0, 8);      // seq 4
+  t.phase_end(0, "p", 0);                                 // seq 5
+  const trace::Trace trace = trace::build_trace(t, 2);
+  ASSERT_EQ(trace.events.size(), 6u);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(trace.events[i].seq, i);
+  }
+  EXPECT_EQ(trace.events[1].kind, trace::EventKind::kPhaseBegin);
+  EXPECT_EQ(trace.events[4].kind, trace::EventKind::kDeliver);
+  EXPECT_EQ(trace.events[4].node, 1u);  // deliver: node = receiver
+  EXPECT_EQ(trace.events[4].peer, 0u);
+}
+
+TEST(Tracer, SpanNamesInternToStableIds) {
+  trace::Tracer t;
+  const trace::SpanId a = t.span_id("alpha");
+  const trace::SpanId b = t.span_id("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.span_id("alpha"), a);
+  // Same content through a different pointer still dedupes.
+  const std::string alpha_copy = "alpha";
+  EXPECT_EQ(t.span_id(alpha_copy.c_str()), a);
+  t.clear();
+  EXPECT_EQ(t.span_id("beta"), b) << "ids must survive clear()";
+}
+
+TEST(Log2Histogram, BucketsByBitWidth) {
+  sim::Log2Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1000);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.buckets()[0], 1u);  // 0
+  EXPECT_EQ(h.buckets()[1], 1u);  // 1
+  EXPECT_EQ(h.buckets()[2], 2u);  // 2, 3
+  EXPECT_EQ(h.buckets()[10], 1u);  // 1000 (bit width 10)
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 3u);       // upper bound of bucket 2
+  EXPECT_EQ(h.quantile(0.99), 1023u);   // upper bound of bucket 10
+  sim::Log2Histogram other;
+  other.record(1000);
+  h.merge(other);
+  EXPECT_EQ(h.buckets()[10], 2u);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+// ---- network-integrated capture -------------------------------------------
+
+struct PingPayload final : sim::Action<PingPayload> {
+  static constexpr const char* kActionName = "trace.ping";
+  std::uint64_t size_bits() const override { return 24; }
+};
+
+class PingNode : public sim::DispatchingNode {
+ public:
+  PingNode() {
+    on<PingPayload>([](NodeId, sim::Owned<PingPayload>) {});
+  }
+  void fire(NodeId to) { send(to, sim::make_payload<PingPayload>()); }
+};
+
+trace::Trace captured_ping_trace() {
+  sim::Network net;
+  const NodeId a = net.add_node(std::make_unique<PingNode>());
+  const NodeId b = net.add_node(std::make_unique<PingNode>());
+  net.tracer().enable();
+  net.tracer().epoch_begin(0);
+  net.node_as<PingNode>(a).fire(b);
+  net.node_as<PingNode>(b).fire(a);
+  net.run_until_idle();
+  net.tracer().epoch_end(0);
+  return net.take_trace();
+}
+
+TEST(Tracer, NetworkHooksCaptureSendsAndDeliveries) {
+  const trace::Trace t = captured_ping_trace();
+  EXPECT_EQ(t.num_nodes, 2u);
+  std::size_t sends = 0, delivers = 0;
+  for (const auto& e : t.events) {
+    if (e.kind == trace::EventKind::kSend) {
+      ++sends;
+      EXPECT_EQ(e.value, 24u);
+      EXPECT_EQ(trace::action_name(t, e.label), "trace.ping");
+    }
+    if (e.kind == trace::EventKind::kDeliver) ++delivers;
+  }
+  EXPECT_EQ(sends, 2u);
+  EXPECT_EQ(delivers, 2u);
+}
+
+TEST(Exporters, BinaryDumpRoundTrips) {
+  const trace::Trace t = captured_ping_trace();
+  const std::string path = testing::TempDir() + "sks_trace_roundtrip.bin";
+  trace::write_binary(t, path);
+  const trace::Trace back = trace::load_binary(path);
+  ASSERT_EQ(back.events.size(), t.events.size());
+  EXPECT_EQ(std::memcmp(back.events.data(), t.events.data(),
+                        t.events.size() * sizeof(trace::Event)),
+            0);
+  EXPECT_EQ(back.num_nodes, t.num_nodes);
+  EXPECT_EQ(back.action_names, t.action_names);
+  EXPECT_EQ(back.span_names, t.span_names);
+  EXPECT_EQ(trace::to_text(back), trace::to_text(t));
+  std::remove(path.c_str());
+}
+
+TEST(Exporters, PerfettoJsonHasPerNodeTracks) {
+  const trace::Trace t = captured_ping_trace();
+  const std::string path = testing::TempDir() + "sks_trace_perfetto.json";
+  trace::write_perfetto_json(t, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  std::remove(path.c_str());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"cluster\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 1\""), std::string::npos);
+  EXPECT_NE(json.find("trace.ping"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"epoch 0\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Summary, AttributesDeliveriesToTheOpenPhase) {
+  trace::Tracer t;
+  t.enable();
+  t.begin_round(1);
+  t.epoch_begin(5);
+  t.phase_begin(0, "work", 5);
+  t.message(trace::EventKind::kSend, 1, 0, 0, 10);
+  t.begin_round(2);
+  t.message(trace::EventKind::kDeliver, 1, 0, 0, 10);   // inside "work"
+  t.message(trace::EventKind::kDeliver, 0, 1, 0, 10);   // node 1: no phase
+  t.begin_round(3);
+  t.phase_end(0, "work", 5);
+  t.epoch_end(5);
+  const trace::Trace trace = trace::build_trace(t, 2);
+  const trace::TraceSummary s = trace::summarize(trace);
+
+  EXPECT_EQ(s.sends, 1u);
+  EXPECT_EQ(s.deliveries, 2u);
+  EXPECT_EQ(s.total_bits, 20u);
+  ASSERT_EQ(s.phases.size(), 2u);  // "(no phase)" + "work" (sorted)
+  EXPECT_EQ(s.phases[0].phase, "(no phase)");
+  EXPECT_EQ(s.phases[0].messages, 1u);
+  EXPECT_EQ(s.phases[1].phase, "work");
+  EXPECT_EQ(s.phases[1].messages, 1u);
+  EXPECT_EQ(s.phases[1].rounds, 2u);  // opened round 1, closed round 3
+  EXPECT_EQ(s.phases[1].max_congestion, 1u);
+  ASSERT_EQ(s.epochs.size(), 1u);
+  EXPECT_EQ(s.epochs[0].epoch, 5u);
+  EXPECT_EQ(s.epochs[0].messages, 2u);
+  EXPECT_EQ(s.epochs[0].rounds, 2u);
+}
+
+}  // namespace
+}  // namespace sks
