@@ -43,6 +43,10 @@ class KSelectSystem {
     double delta_scale = 0.5;  ///< matches KSelectConfig default
     std::uint32_t phase1_iterations = 0;  ///< 0 = paper's ⌊log2 q⌋ + 1
     std::uint32_t max_iterations = 64;    ///< convergence guard
+    /// Channel fault schedule (all-zero = the paper's perfect network).
+    sim::FaultPlan faults{};
+    /// Reliable transport; enable whenever faults lose messages.
+    sim::ReliableConfig reliable{};
   };
 
   using Cluster = runtime::Cluster<KSelectNode, KSelectConfig>;
@@ -66,6 +70,8 @@ class KSelectSystem {
     c.seed = opts.seed;
     c.mode = opts.mode;
     c.max_delay = opts.max_delay;
+    c.faults = opts.faults;
+    c.reliable = opts.reliable;
     return c;
   }
 

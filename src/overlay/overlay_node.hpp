@@ -84,6 +84,24 @@ struct RouteHop final : sim::Action<RouteHop> {
   std::uint64_t header_bits = 32;
   sim::PayloadPtr inner;
 
+  RouteHop() = default;
+  /// Deep copy (clones the carried payload) so in-flight hops can be
+  /// retained and retransmitted by the reliable transport.
+  RouteHop(const RouteHop& o)
+      : Action(o),
+        target(o.target),
+        rho(o.rho),
+        ideal(o.ideal),
+        d(o.d),
+        phase_a_left(o.phase_a_left),
+        phase_b_done(o.phase_b_done),
+        anchored(o.anchored),
+        at_kind(o.at_kind),
+        origin(o.origin),
+        hops(o.hops),
+        header_bits(o.header_bits),
+        inner(o.inner ? o.inner->clone_payload() : nullptr) {}
+
   std::uint64_t size_bits() const override {
     return header_bits + (inner ? inner->size_bits() : 0);
   }
@@ -103,6 +121,15 @@ struct VertexMsg final : sim::Action<VertexMsg> {
   VKind dst_kind = VKind::kMiddle;
   std::uint64_t header_bits = 16;
   sim::PayloadPtr inner;
+
+  VertexMsg() = default;
+  /// Deep copy (clones the carried payload); see RouteHop.
+  VertexMsg(const VertexMsg& o)
+      : Action(o),
+        src(o.src),
+        dst_kind(o.dst_kind),
+        header_bits(o.header_bits),
+        inner(o.inner ? o.inner->clone_payload() : nullptr) {}
 
   std::uint64_t size_bits() const override {
     return header_bits + (inner ? inner->size_bits() : 0);

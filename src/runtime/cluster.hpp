@@ -53,6 +53,12 @@ struct ClusterOptions {
   std::uint64_t max_delay = 8;  ///< async mode only
   /// Sizing hint for bit accounting (DHT key widths etc.).
   std::uint64_t expected_elements = 1u << 20;
+  /// Channel fault schedule (drops, duplicates, spikes, partitions,
+  /// crashes). All-zero by default: the paper's perfect network.
+  sim::FaultPlan faults{};
+  /// Reliable transport (seq/ack/retransmit). Off by default; turn it on
+  /// whenever the fault plan loses messages.
+  sim::ReliableConfig reliable{};
 };
 
 /// The one place a simulated network is constructed from deployment
@@ -62,6 +68,8 @@ inline std::unique_ptr<sim::Network> make_network(const ClusterOptions& o) {
   cfg.mode = o.mode;
   cfg.max_delay = o.max_delay;
   cfg.seed = o.seed;
+  cfg.faults = o.faults;
+  cfg.reliable = o.reliable;
   return std::make_unique<sim::Network>(cfg);
 }
 
@@ -134,6 +142,11 @@ class Cluster {
       }
       active_.insert(id);
     }
+    // Deferred epoch starts: a node that is down when an epoch begins
+    // gets its start function applied the moment it restarts, so tree
+    // protocols that need every member's contribution can still converge
+    // (the reliable transport bridges the messages it missed).
+    net_->set_restart_hook([this](NodeId v) { on_restart(v); });
   }
 
   // ---- Accessors -------------------------------------------------------
@@ -171,8 +184,22 @@ class Cluster {
     const std::uint64_t bits0 = net_->metrics().total_bits();
     trace::Tracer& tr = net_->tracer();
     if (tr.enabled()) tr.epoch_begin(epochs_started_);
-    start_all(start);
+    // Start every live node now; stash the start for crashed ones so the
+    // restart hook can apply it when (if) they come back this epoch.
+    missed_start_.clear();
+    for (NodeId v : active_) {
+      if (net_->is_crashed(v)) {
+        missed_start_.insert(v);
+      } else {
+        start(node(v));
+      }
+    }
+    if (!missed_start_.empty()) {
+      pending_start_ = std::function<void(NodeT&)>(start);
+    }
     const std::uint64_t rounds = net_->run_until_idle();
+    pending_start_ = nullptr;
+    missed_start_.clear();
     if (tr.enabled()) tr.epoch_end(epochs_started_);
     const sim::Metrics& cur = net_->metrics();
     EpochStats st;
@@ -264,6 +291,12 @@ class Cluster {
   }
 
  private:
+  void on_restart(NodeId v) {
+    if (missed_start_.erase(v) != 0 && pending_start_) {
+      pending_start_(node(v));
+    }
+  }
+
   static NodeFactory default_node_factory() {
     return [](const overlay::RouteParams& params, const ConfigT& config,
               std::size_t) { return std::make_unique<NodeT>(params, config); };
@@ -300,6 +333,10 @@ class Cluster {
   std::set<NodeId> active_;
   std::uint64_t epochs_started_ = 0;
   std::vector<EpochStats> epoch_history_;
+  /// Nodes that were down at start_all time this epoch, and the start
+  /// function to apply if they restart before the epoch quiesces.
+  std::set<NodeId> missed_start_;
+  std::function<void(NodeT&)> pending_start_;
 };
 
 }  // namespace sks::runtime

@@ -46,6 +46,10 @@ class SeapSystem {
     /// Enable the Conclusion's sequentially consistent variant (see
     /// SeapConfig::sequentially_consistent).
     bool sequentially_consistent = false;
+    /// Channel fault schedule (all-zero = the paper's perfect network).
+    sim::FaultPlan faults{};
+    /// Reliable transport; enable whenever faults lose messages.
+    sim::ReliableConfig reliable{};
   };
 
   using Cluster = runtime::Cluster<SeapNode, SeapConfig>;
@@ -74,6 +78,8 @@ class SeapSystem {
     c.mode = opts.mode;
     c.max_delay = opts.max_delay;
     c.expected_elements = opts.expected_elements;
+    c.faults = opts.faults;
+    c.reliable = opts.reliable;
     return c;
   }
 

@@ -1,0 +1,213 @@
+// Deterministic fault injection for the simulated network.
+//
+// The paper's model (Section 1.1) assumes a perfect network: no loss, no
+// duplication, fair receipt. Production networks offer none of that, so
+// this module lets a simulation selectively break each guarantee — per-
+// message drop and duplication probabilities, heavy-tail delay spikes,
+// scheduled link partitions, and node crash-stop / crash-restart — while
+// staying exactly reproducible:
+//
+//  * All fault randomness draws from a dedicated rng stream (seeded from
+//    the network seed), so enabling faults never perturbs the protocol-
+//    visible stream or the async delay stream, and an all-zero FaultPlan
+//    reproduces today's fault-free traces byte for byte (the golden-trace
+//    tests enforce this).
+//  * Crash semantics are crash-stop with optional restart: a crashed node
+//    blackholes its channel (messages addressed to it are dropped at
+//    delivery time) and is skipped by on_activate; on restart it resumes
+//    with its state intact (crash-recovery with durable state). Nothing
+//    re-sends lost messages — that is the reliable transport's job
+//    (src/sim/reliable.hpp).
+//
+// The taxonomy follows Skueue's churn model and the standard crash-fault /
+// retransmission models (Aspnes, Notes on Theory of Distributed Systems).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace sks::sim {
+
+/// A scheduled link partition: while `from_round <= round < until_round`,
+/// every message between a node in `side_a` and a node in `side_b` (either
+/// direction) is dropped at send time. Nodes in neither side are
+/// unaffected; list every node in exactly one side for a full partition.
+struct Partition {
+  std::uint64_t from_round = 0;
+  std::uint64_t until_round = 0;  ///< exclusive
+  std::vector<NodeId> side_a;
+  std::vector<NodeId> side_b;
+};
+
+/// A scheduled node crash. `restart_round == 0` means crash-stop (the node
+/// never comes back); otherwise the node restarts — with its state intact —
+/// at the beginning of `restart_round`.
+struct CrashEvent {
+  NodeId node = kNoNode;
+  std::uint64_t at_round = 0;
+  std::uint64_t restart_round = 0;  ///< 0 = crash-stop
+};
+
+/// The complete fault schedule of one simulation. Default-constructed
+/// (all-zero) plans inject nothing and cost one predictable branch per
+/// send/step — runs with an all-zero plan are trace-identical to runs
+/// built before fault injection existed.
+struct FaultPlan {
+  /// Per-message probability that the channel loses the message.
+  double drop_prob = 0.0;
+  /// Per-message probability that the channel delivers a second copy
+  /// (with an independently drawn delay).
+  double duplicate_prob = 0.0;
+  /// Per-message probability of a heavy-tail delay spike: the delay grows
+  /// by spike_min << k rounds, k log-uniform, capped at spike_max.
+  double spike_prob = 0.0;
+  std::uint64_t spike_min = 4;
+  std::uint64_t spike_max = 64;
+  std::vector<Partition> partitions;
+  std::vector<CrashEvent> crashes;
+
+  bool active() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || spike_prob > 0.0 ||
+           !partitions.empty() || !crashes.empty();
+  }
+};
+
+/// The network's fault engine: owns the dedicated fault rng stream and the
+/// crash schedule cursor. All per-message decisions are made here so the
+/// draw order is fixed (partition check, drop, spike, duplicate) and
+/// documented in one place.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+      : plan_(plan), rng_(seed ^ 0xfa017a11edULL) {
+    for (const CrashEvent& c : plan_.crashes) {
+      SKS_CHECK_MSG(c.node != kNoNode, "crash event without a node");
+      SKS_CHECK_MSG(c.restart_round == 0 || c.restart_round > c.at_round,
+                    "crash of node " << c.node << " restarts at round "
+                    << c.restart_round << " <= crash round " << c.at_round);
+      schedule_.push_back({c.at_round, c.node, false});
+      if (c.restart_round != 0) {
+        schedule_.push_back({c.restart_round, c.node, true});
+        ++pending_restarts_;
+      }
+    }
+    std::sort(schedule_.begin(), schedule_.end(),
+              [](const Transition& a, const Transition& b) {
+                return a.round < b.round;
+              });
+  }
+
+  /// Append a crash event at runtime (tests scheduling relative to the
+  /// current round). Rounds at or before `current_round` have already
+  /// been processed, so the event must lie strictly in the future.
+  void add_crash(const CrashEvent& c, std::uint64_t current_round) {
+    SKS_CHECK_MSG(c.at_round > current_round,
+                  "crash round " << c.at_round << " is not in the future "
+                  "(round " << current_round << ")");
+    SKS_CHECK_MSG(c.restart_round == 0 || c.restart_round > c.at_round,
+                  "restart round must follow the crash round");
+    insert_sorted({c.at_round, c.node, false});
+    if (c.restart_round != 0) {
+      insert_sorted({c.restart_round, c.node, true});
+      ++pending_restarts_;
+    }
+  }
+
+  bool active() const { return plan_.active(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// True if the channel loses this message (partition cut or random
+  /// drop). Must be called exactly once per send while faults are active
+  /// so the rng stream stays aligned.
+  bool should_drop(NodeId from, NodeId to, std::uint64_t round) {
+    if (partitioned(from, to, round)) return true;
+    return plan_.drop_prob > 0.0 && rng_.flip(plan_.drop_prob);
+  }
+
+  /// Extra delay rounds for this message (0 = no spike). Heavy-tail:
+  /// spike_min << k with k drawn uniformly over the doublings that stay
+  /// within spike_max (log-uniform), so most spikes are short and a few
+  /// are catastrophic — these can exceed NetworkConfig::max_delay, which
+  /// is why the pending ring grows on demand.
+  std::uint64_t delay_spike() {
+    if (plan_.spike_prob <= 0.0 || !rng_.flip(plan_.spike_prob)) return 0;
+    const std::uint64_t lo = std::max<std::uint64_t>(plan_.spike_min, 1);
+    const std::uint64_t hi = std::max<std::uint64_t>(plan_.spike_max, lo);
+    std::uint64_t doublings = 0;
+    while ((lo << (doublings + 1)) <= hi && doublings < 63) ++doublings;
+    return std::min(lo << rng_.below(doublings + 1), hi);
+  }
+
+  /// True if the channel duplicates this message.
+  bool should_duplicate() {
+    return plan_.duplicate_prob > 0.0 && rng_.flip(plan_.duplicate_prob);
+  }
+
+  /// Dedicated fault stream (duplicate-copy delays draw from it so the
+  /// async delay stream stays aligned with fault-free runs).
+  Rng& rng() { return rng_; }
+
+  /// Apply all crash/restart transitions scheduled for `round`. Calls
+  /// `crash(node)` / `restart(node)` in schedule order.
+  template <class CrashFn, class RestartFn>
+  void apply_schedule(std::uint64_t round, CrashFn&& crash,
+                      RestartFn&& restart) {
+    while (cursor_ < schedule_.size() && schedule_[cursor_].round <= round) {
+      const Transition& t = schedule_[cursor_++];
+      if (t.is_restart) {
+        --pending_restarts_;
+        restart(t.node);
+      } else {
+        crash(t.node);
+      }
+    }
+  }
+
+  /// Restarts scheduled but not yet applied — the network is not done
+  /// while one is outstanding even if no message is in flight.
+  std::uint64_t pending_restarts() const { return pending_restarts_; }
+
+ private:
+  struct Transition {
+    std::uint64_t round = 0;
+    NodeId node = kNoNode;
+    bool is_restart = false;
+  };
+
+  void insert_sorted(Transition t) {
+    auto it = std::lower_bound(
+        schedule_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+        schedule_.end(), t, [](const Transition& a, const Transition& b) {
+          return a.round < b.round;
+        });
+    schedule_.insert(it, t);
+  }
+
+  static bool contains(const std::vector<NodeId>& side, NodeId v) {
+    return std::find(side.begin(), side.end(), v) != side.end();
+  }
+
+  bool partitioned(NodeId from, NodeId to, std::uint64_t round) const {
+    for (const Partition& p : plan_.partitions) {
+      if (round < p.from_round || round >= p.until_round) continue;
+      if ((contains(p.side_a, from) && contains(p.side_b, to)) ||
+          (contains(p.side_a, to) && contains(p.side_b, from))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<Transition> schedule_;  ///< sorted by round
+  std::size_t cursor_ = 0;
+  std::uint64_t pending_restarts_ = 0;  ///< restarts not yet applied
+};
+
+}  // namespace sks::sim

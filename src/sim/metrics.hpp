@@ -95,6 +95,16 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> messages_by_type;
   std::map<std::string, std::uint64_t> bits_by_type;
   std::map<std::string, std::uint64_t> max_bits_by_type;
+  // Fault-injection / reliable-transport accounting. All zero in a
+  // fault-free run.
+  std::uint64_t dropped = 0;         ///< lost in the channel (incl. blackholes)
+  std::uint64_t duplicated = 0;      ///< extra copies the channel created
+  std::uint64_t retransmitted = 0;   ///< reliable-transport re-sends
+  std::uint64_t dup_suppressed = 0;  ///< duplicates the transport absorbed
+  std::uint64_t abandoned = 0;       ///< records given up after max_attempts
+  std::map<std::string, std::uint64_t> dropped_by_type;
+  std::map<std::string, std::uint64_t> duplicated_by_type;
+  std::map<std::string, std::uint64_t> retransmitted_by_type;
 };
 
 class Metrics {
@@ -141,6 +151,27 @@ class Metrics {
     ++received_this_round_[idx];
   }
 
+  // Fault/transport events. Only reached when faults or the reliable
+  // transport are active, so they stay off the fault-free hot path; the
+  // action table is already sized (note_action ran at send time).
+  void record_drop(ActionId action) {
+    ++dropped_;
+    ++by_action_[action].dropped;
+  }
+
+  void record_duplicate(ActionId action) {
+    ++duplicated_;
+    ++by_action_[action].duplicated;
+  }
+
+  void record_retransmit(ActionId action) {
+    ++retransmitted_;
+    ++by_action_[action].retransmitted;
+  }
+
+  void record_dup_suppressed() { ++dup_suppressed_; }
+  void record_abandoned() { ++abandoned_; }
+
   void on_round_end() {
     ++rounds_;
     for (auto& c : received_this_round_) {
@@ -156,6 +187,11 @@ class Metrics {
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bits() const { return total_bits_; }
   std::uint64_t max_congestion() const { return max_congestion_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t retransmitted() const { return retransmitted_; }
+  std::uint64_t dup_suppressed() const { return dup_suppressed_; }
+  std::uint64_t abandoned() const { return abandoned_; }
 
   /// Snapshot the current window and start a fresh one.
   MetricsSnapshot take() {
@@ -165,6 +201,11 @@ class Metrics {
     total_bits_ = 0;
     max_message_bits_ = 0;
     max_congestion_ = 0;
+    dropped_ = 0;
+    duplicated_ = 0;
+    retransmitted_ = 0;
+    dup_suppressed_ = 0;
+    abandoned_ = 0;
     message_bits_hist_.clear();
     congestion_hist_.clear();
     by_action_.assign(by_action_.size(), ActionCounters{});
@@ -181,15 +222,30 @@ class Metrics {
     snap.max_congestion = max_congestion_;
     snap.message_bits_hist = message_bits_hist_;
     snap.congestion_hist = congestion_hist_;
+    snap.dropped = dropped_;
+    snap.duplicated = duplicated_;
+    snap.retransmitted = retransmitted_;
+    snap.dup_suppressed = dup_suppressed_;
+    snap.abandoned = abandoned_;
     const ActionRegistry& registry = ActionRegistry::instance();
     for (std::size_t a = 0; a < by_action_.size(); ++a) {
       const ActionCounters& c = by_action_[a];
-      if (c.messages == 0) continue;
+      if (c.messages == 0 && c.dropped == 0 && c.duplicated == 0 &&
+          c.retransmitted == 0) {
+        continue;
+      }
       const std::string& name = registry.name(static_cast<ActionId>(a));
-      snap.messages_by_type[name] += c.messages;
-      snap.bits_by_type[name] += c.bits;
-      auto& type_max = snap.max_bits_by_type[name];
-      type_max = std::max(type_max, c.max_bits);
+      if (c.messages != 0) {
+        snap.messages_by_type[name] += c.messages;
+        snap.bits_by_type[name] += c.bits;
+        auto& type_max = snap.max_bits_by_type[name];
+        type_max = std::max(type_max, c.max_bits);
+      }
+      if (c.dropped != 0) snap.dropped_by_type[name] += c.dropped;
+      if (c.duplicated != 0) snap.duplicated_by_type[name] += c.duplicated;
+      if (c.retransmitted != 0) {
+        snap.retransmitted_by_type[name] += c.retransmitted;
+      }
     }
     return snap;
   }
@@ -199,6 +255,9 @@ class Metrics {
     std::uint64_t messages = 0;
     std::uint64_t bits = 0;
     std::uint64_t max_bits = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t retransmitted = 0;
   };
 
   std::uint64_t rounds_ = 0;
@@ -206,6 +265,11 @@ class Metrics {
   std::uint64_t total_bits_ = 0;
   std::uint64_t max_message_bits_ = 0;
   std::uint64_t max_congestion_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t retransmitted_ = 0;
+  std::uint64_t dup_suppressed_ = 0;
+  std::uint64_t abandoned_ = 0;
   Log2Histogram message_bits_hist_;
   Log2Histogram congestion_hist_;
   std::vector<ActionCounters> by_action_;  ///< flat, indexed by ActionId

@@ -9,11 +9,30 @@
 // model: messages sent in round i are processed in round i+1 and every
 // node is activated once per round. Synchronous mode implements that
 // verbatim, which is what makes round counts in the benchmarks meaningful.
+//
+// Beyond the paper's perfect network, two opt-in layers make executions
+// adversarial and survivable:
+//
+//  * FaultPlan (src/sim/faults.hpp) breaks the channel guarantees:
+//    per-message drops, duplicates, heavy-tail delay spikes, scheduled
+//    partitions, and node crash-stop / crash-restart. A crashed node
+//    blackholes its channel and is skipped by on_activate.
+//  * ReliableConfig (src/sim/reliable.hpp) restores exactly-once delivery
+//    on top: sequence numbers, acks and timeout-driven retransmission
+//    with exponential backoff, all inside the network so protocol code
+//    is untouched.
+//
+// Both default off; with both off the hot path is byte-for-byte the
+// pre-fault behaviour (the golden-trace tests pin this down) and pays one
+// predictable branch per send/step.
 #pragma once
 
 #include <bit>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <typeinfo>
 #include <utility>
 #include <vector>
@@ -21,8 +40,10 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/payload.hpp"
+#include "sim/reliable.hpp"
 #include "trace/tracer.hpp"
 
 namespace sks::sim {
@@ -49,6 +70,7 @@ class Node {
   virtual void on_message(NodeId from, PayloadPtr payload) = 0;
 
   /// Periodic activation; called once per round in synchronous mode.
+  /// Crashed nodes are not activated until they restart.
   virtual void on_activate() {}
 
   /// Send a remote action call to `to`; enqueued into to's channel.
@@ -87,6 +109,8 @@ struct NetworkConfig {
   DeliveryMode mode = DeliveryMode::kSynchronous;
   std::uint64_t max_delay = 8;   ///< async mode: max per-message delay
   std::uint64_t seed = 0x5eed;   ///< delivery order / delay randomness
+  FaultPlan faults{};            ///< all-zero = the paper's perfect network
+  ReliableConfig reliable{};     ///< off = raw channel (the default)
 };
 
 class Network {
@@ -100,11 +124,21 @@ class Network {
         // consumes the shared stream exactly like a synchronous one and
         // reproduces its traces round for round.
         delay_rng_(cfg.seed ^ 0xd31a7de1a75eedULL),
+        // Fault decisions draw from a third stream for the same reason:
+        // an all-zero FaultPlan takes no draws and runs trace-identical
+        // to a network built before fault injection existed.
+        faults_(cfg.faults, cfg.seed),
+        faults_active_(cfg.faults.active()),
+        crash_possible_(!cfg.faults.crashes.empty()),
+        reliable_(cfg.reliable),
+        reliable_enabled_(cfg.reliable.enabled),
         metrics_(0) {
     // Pending messages live in a relative-round ring buffer: a message
     // delayed by d lands d slots ahead of the current one. A power-of-two
     // size strictly greater than the largest possible delay guarantees a
     // slot is drained before any in-flight message can wrap onto it.
+    // Fault-injected delay spikes can exceed max_delay; ensure_capacity
+    // grows the ring on demand when one does.
     const std::uint64_t horizon =
         cfg_.mode == DeliveryMode::kSynchronous ? 1 : cfg_.max_delay;
     SKS_CHECK_MSG(horizon >= 1, "max_delay must be at least 1");
@@ -124,6 +158,7 @@ class Network {
     slot.type = &typeid(T);
     slot.node = std::move(node);
     nodes_.push_back(std::move(slot));
+    crashed_.push_back(0);
     metrics_.on_node_added();
     return id;
   }
@@ -148,34 +183,41 @@ class Network {
   void send(NodeId from, NodeId to, PayloadPtr payload) {
     SKS_CHECK(to < nodes_.size());
     SKS_CHECK(payload != nullptr);
-    const std::uint64_t delay = cfg_.mode == DeliveryMode::kSynchronous
-                                    ? 1
-                                    : delay_rng_.range(1, cfg_.max_delay);
     // Size and metrics attribution are sampled once here — the payload is
     // immutable while in flight — so delivery touches no virtual calls.
-    Envelope env;
+    const std::uint64_t bits = payload->size_bits();
+    const ActionId action = payload->metrics_tag();
+    if (reliable_enabled_ || faults_active_) [[unlikely]] {
+      slow_send(from, to, std::move(payload), bits, action);
+      return;
+    }
+    // Fast path (transport off, plan inactive): build the envelope in
+    // place — this is the pre-fault message path, branch for branch.
+    metrics_.note_action(action);
+    if (tracer_.enabled()) {
+      tracer_.message(trace::EventKind::kSend, from, to, action, bits);
+    }
+    Envelope& env = slot_for(round_ + base_delay()).emplace_back();
     env.from = from;
     env.to = to;
-    env.bits = payload->size_bits();
-    env.action = payload->metrics_tag();
+    env.bits = bits;
+    env.action = action;
     env.payload = std::move(payload);
-    // The action tag provably exists here, so the metrics table is grown
-    // at send time and the delivery path stays branch-free.
-    metrics_.note_action(env.action);
-    if (tracer_.enabled()) {
-      tracer_.message(trace::EventKind::kSend, from, to, env.action,
-                      env.bits);
-    }
-    slot_for(round_ + delay).push_back(std::move(env));
     ++in_flight_;
   }
 
-  /// Advance one round: deliver all due messages (in randomized order, so
-  /// protocols cannot rely on intra-round ordering), then activate every
-  /// node once.
+  /// Advance one round: apply scheduled crashes/restarts, deliver all due
+  /// messages (in randomized order, so protocols cannot rely on
+  /// intra-round ordering), fire due retransmissions, then activate every
+  /// live node once.
   void step() {
     ++round_;
     tracer_.begin_round(round_);
+    if (crash_possible_) [[unlikely]] {
+      faults_.apply_schedule(
+          round_, [this](NodeId v) { do_crash(v); },
+          [this](NodeId v) { do_restart(v); });
+    }
     std::vector<Envelope>& due_slot = slot_for(round_);
     if (!due_slot.empty()) {
       // Swap into a scratch vector (reusing its capacity) so deliveries
@@ -185,6 +227,14 @@ class Network {
       shuffle(due_);
       for (auto& env : due_) {
         --in_flight_;
+        // Fast path: plain data to a live node — the pre-fault delivery.
+        // Transport traffic and blackholed destinations take the slow
+        // path (possible only when the respective feature is armed).
+        if (env.kind != MsgKind::kData ||
+            (crash_possible_ && crashed_[env.to])) [[unlikely]] {
+          deliver_slow(env);
+          continue;
+        }
         metrics_.record_delivery(env.to, env.bits, env.action);
         if (tracer_.enabled()) {
           tracer_.message(trace::EventKind::kDeliver, env.from, env.to,
@@ -194,22 +244,95 @@ class Network {
       }
       due_.clear();
     }
-    for (auto& n : nodes_) n.node->on_activate();
+    if (reliable_enabled_) [[unlikely]] retransmit_due();
+    if (crash_possible_) [[unlikely]] {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!crashed_[i]) nodes_[i].node->on_activate();
+      }
+    } else {
+      for (auto& n : nodes_) n.node->on_activate();
+    }
     metrics_.on_round_end();
   }
 
-  bool idle() const { return in_flight_ == 0; }
+  /// Quiescence. Pure ack traffic does not count — acks chase messages
+  /// that were already delivered, so waiting for them would let transport
+  /// bookkeeping spin run_until_idle (leftover acks are delivered
+  /// harmlessly whenever stepping resumes). Unacked reliable records and
+  /// scheduled-but-unapplied restarts do count: a retransmission or a
+  /// revived node may still create work.
+  bool idle() const {
+    if (in_flight_ != ack_in_flight_) return false;
+    if (reliable_enabled_ && reliable_.unacked() != 0) return false;
+    if (crash_possible_ && faults_.pending_restarts() != 0) return false;
+    return true;
+  }
 
-  /// Run until no messages are in flight. Returns the number of rounds
-  /// stepped. Throws if max_rounds elapse first (deadlock detector).
+  /// Run until quiescent (see idle()). Returns the number of rounds
+  /// stepped. Throws if max_rounds elapse first, with a stall report
+  /// listing what is still in flight and why (the deadlock detector —
+  /// and, under crash-stop faults, the failure detector: a message
+  /// retried against a node that never restarts keeps the network
+  /// non-idle by design).
   std::uint64_t run_until_idle(std::uint64_t max_rounds = 1'000'000) {
     std::uint64_t steps = 0;
     while (!idle()) {
-      SKS_CHECK_MSG(steps < max_rounds, "network did not quiesce");
+      SKS_CHECK_MSG(steps < max_rounds, "network did not quiesce after "
+                                            << steps << " rounds; "
+                                            << stall_report());
       step();
       ++steps;
     }
     return steps;
+  }
+
+  /// What is keeping the network busy: in-flight messages grouped by
+  /// action and destination, unacked reliable records with their retry
+  /// state, and crashed nodes. This is the payload of the quiescence
+  /// failure — the first question about a hung run is always "what is
+  /// still in flight, and to whom".
+  std::string stall_report() const {
+    std::ostringstream os;
+    os << "in flight: " << in_flight_ << " message(s), " << ack_in_flight_
+       << " of them acks";
+    const ActionRegistry& reg = ActionRegistry::instance();
+    std::map<std::pair<ActionId, NodeId>, std::uint64_t> groups;
+    for (const auto& slot : pending_) {
+      for (const Envelope& env : slot) ++groups[{env.action, env.to}];
+    }
+    for (const auto& [key, count] : groups) {
+      os << "\n  " << count << "x " << reg.name(key.first) << " -> v"
+         << key.second << (is_crashed(key.second) ? " (crashed)" : "");
+    }
+    if (reliable_enabled_ && reliable_.unacked() != 0) {
+      os << "\nunacked reliable record(s): " << reliable_.unacked();
+      std::size_t shown = 0;
+      reliable_.for_each_unacked([&](NodeId f, NodeId t, std::uint64_t seq,
+                                     const ReliableTransport::Record& r) {
+        if (shown++ >= kStallReportRecords) return;
+        os << "\n  v" << f << "->v" << t << " seq=" << seq << " "
+           << reg.name(r.action) << " attempts=" << r.attempts
+           << " next_retry=r" << r.next_retry
+           << (is_crashed(t) ? " (dest crashed)" : "")
+           << (is_crashed(f) ? " (sender crashed)" : "");
+      });
+      if (shown > kStallReportRecords) {
+        os << "\n  ... " << (shown - kStallReportRecords) << " more";
+      }
+    }
+    if (crash_possible_) {
+      os << "\ncrashed node(s):";
+      bool any = false;
+      for (std::size_t i = 0; i < crashed_.size(); ++i) {
+        if (crashed_[i]) {
+          os << " v" << i;
+          any = true;
+        }
+      }
+      if (!any) os << " none";
+      os << "; scheduled restarts pending: " << faults_.pending_restarts();
+    }
+    return os.str();
   }
 
   std::uint64_t round() const { return round_; }
@@ -217,6 +340,45 @@ class Network {
   Metrics& metrics() { return metrics_; }
   const NetworkConfig& config() const { return cfg_; }
   Rng& rng() { return rng_; }
+
+  // ---- Faults & crash control -----------------------------------------
+
+  const FaultInjector& faults() const { return faults_; }
+  const ReliableTransport& reliable() const { return reliable_; }
+
+  /// Crash `v` immediately: its channel blackholes (messages addressed to
+  /// it are dropped at delivery time) and it stops being activated. State
+  /// is kept — restart_node resumes it where it stopped.
+  void crash_node(NodeId v) {
+    SKS_CHECK(v < nodes_.size());
+    crash_possible_ = true;
+    do_crash(v);
+  }
+
+  /// Revive a crashed node (state intact). Fires the restart hook.
+  void restart_node(NodeId v) {
+    SKS_CHECK(v < nodes_.size());
+    do_restart(v);
+  }
+
+  /// Schedule a crash (and optional restart) relative to the running
+  /// simulation — the dynamic counterpart of FaultPlan::crashes.
+  void schedule_crash(const CrashEvent& c) {
+    SKS_CHECK(c.node < nodes_.size());
+    faults_.add_crash(c, round_);
+    crash_possible_ = true;
+  }
+
+  bool is_crashed(NodeId v) const {
+    return v < crashed_.size() && crashed_[v] != 0;
+  }
+
+  /// Invoked (with the node id) whenever a crashed node restarts, before
+  /// its next activation. The cluster runtime uses this to apply epoch
+  /// starts the node missed while it was down.
+  void set_restart_hook(std::function<void(NodeId)> hook) {
+    restart_hook_ = std::move(hook);
+  }
 
   /// Event tracer for this network's executions. Disabled by default;
   /// enable() before the execution to capture, then trace::build_trace
@@ -229,12 +391,25 @@ class Network {
     return trace::build_trace(tracer_, nodes_.size());
   }
 
+  /// Current pending-ring capacity (tests: ring growth under delay
+  /// spikes).
+  std::size_t pending_capacity() const { return pending_.size(); }
+
  private:
+  static constexpr std::size_t kStallReportRecords = 16;
+
+  /// What an envelope is to the transport. Data is the paper's traffic;
+  /// reliable data additionally carries a channel seq and is acked and
+  /// dedup'd; acks are consumed by the network and never reach a node.
+  enum class MsgKind : std::uint8_t { kData, kReliableData, kAck };
+
   struct Envelope {
     NodeId from = kNoNode;
     NodeId to = kNoNode;
     std::uint64_t bits = 0;       ///< size_bits(), cached at send time
+    std::uint64_t seq = 0;        ///< reliable-channel sequence number
     ActionId action = 0;          ///< metrics_tag(), cached at send time
+    MsgKind kind = MsgKind::kData;
     PayloadPtr payload;
   };
 
@@ -244,8 +419,207 @@ class Network {
     const std::type_info* type = nullptr;
   };
 
+  /// send() with the transport or fault plan armed: register the reliable
+  /// record (sequence number + retained copy for retransmission), then
+  /// run the channel fault model. Out of line to keep send()'s fast path
+  /// compact.
+  void slow_send(NodeId from, NodeId to, PayloadPtr payload,
+                 std::uint64_t bits, ActionId action) {
+    if (reliable_enabled_) {
+      const std::uint64_t seq =
+          reliable_.register_send(from, to, *payload, bits, action, round_);
+      enqueue(from, to, std::move(payload), MsgKind::kReliableData, seq,
+              bits, action);
+      return;
+    }
+    enqueue(from, to, std::move(payload), MsgKind::kData, 0, bits, action);
+  }
+
+  /// Channel entry point shared by faulty/reliable first sends,
+  /// retransmissions and acks: applies the fault model (drop / delay
+  /// spike / duplicate, in that fixed draw order) and enqueues the
+  /// surviving copies.
+  void enqueue(NodeId from, NodeId to, PayloadPtr payload, MsgKind kind,
+               std::uint64_t seq, std::uint64_t bits, ActionId action) {
+    // The action tag provably exists here, so the metrics table is grown
+    // at send time and the delivery path stays branch-free.
+    metrics_.note_action(action);
+    if (tracer_.enabled()) {
+      tracer_.message(trace::EventKind::kSend, from, to, action, bits);
+    }
+    if (faults_active_) [[unlikely]] {
+      if (faults_.should_drop(from, to, round_)) {
+        metrics_.record_drop(action);
+        if (tracer_.enabled()) {
+          tracer_.message(trace::EventKind::kDrop, from, to, action, bits);
+        }
+        return;  // the channel ate it; retransmission is reliable_'s job
+      }
+      std::uint64_t delay = base_delay();
+      const std::uint64_t spike = faults_.delay_spike();
+      if (spike != 0) {
+        delay += spike;
+        ensure_capacity(delay);
+      }
+      if (faults_.should_duplicate()) {
+        metrics_.record_duplicate(action);
+        if (tracer_.enabled()) {
+          tracer_.message(trace::EventKind::kDuplicate, from, to, action,
+                          bits);
+        }
+        // The copy gets an independent delay from the fault stream so the
+        // protocol-visible and async-delay streams stay aligned with
+        // duplicate-free runs.
+        const std::uint64_t dup_delay =
+            cfg_.mode == DeliveryMode::kSynchronous
+                ? 1
+                : faults_.rng().range(1, cfg_.max_delay);
+        Envelope dup;
+        dup.from = from;
+        dup.to = to;
+        dup.bits = bits;
+        dup.action = action;
+        dup.seq = seq;
+        dup.kind = kind;
+        dup.payload = payload->clone_payload();
+        push_envelope(std::move(dup), round_ + dup_delay);
+      }
+      Envelope env;
+      env.from = from;
+      env.to = to;
+      env.bits = bits;
+      env.action = action;
+      env.seq = seq;
+      env.kind = kind;
+      env.payload = std::move(payload);
+      push_envelope(std::move(env), round_ + delay);
+      return;
+    }
+    Envelope env;
+    env.from = from;
+    env.to = to;
+    env.bits = bits;
+    env.action = action;
+    env.seq = seq;
+    env.kind = kind;
+    env.payload = std::move(payload);
+    push_envelope(std::move(env), round_ + base_delay());
+  }
+
+  std::uint64_t base_delay() {
+    return cfg_.mode == DeliveryMode::kSynchronous
+               ? 1
+               : delay_rng_.range(1, cfg_.max_delay);
+  }
+
+  void push_envelope(Envelope env, std::uint64_t due_round) {
+    const bool is_ack = env.kind == MsgKind::kAck;
+    slot_for(due_round).push_back(std::move(env));
+    ++in_flight_;
+    if (is_ack) ++ack_in_flight_;
+  }
+
+  /// Delivery of anything the step() fast path rejects: transport frames
+  /// (reliable data, acks) and messages addressed to a crashed node. The
+  /// caller has already decremented in_flight_.
+  void deliver_slow(Envelope& env) {
+    if (crash_possible_ && crashed_[env.to]) [[unlikely]] {
+      // Blackhole: the crashed node's channel discards everything. For
+      // reliable data the sender-side record survives and retries until
+      // the node restarts (or forever, surfacing in the stall report).
+      if (env.kind == MsgKind::kAck) --ack_in_flight_;
+      metrics_.record_drop(env.action);
+      if (tracer_.enabled()) {
+        tracer_.message(trace::EventKind::kDrop, env.from, env.to,
+                        env.action, env.bits);
+      }
+      return;
+    }
+    if (env.kind != MsgKind::kData) [[unlikely]] {
+      if (env.kind == MsgKind::kAck) {
+        --ack_in_flight_;
+        // Acks are counted like any delivery (the sender does process
+        // them) but consumed here; nodes never see transport traffic.
+        metrics_.record_delivery(env.to, env.bits, env.action);
+        if (tracer_.enabled()) {
+          tracer_.message(trace::EventKind::kDeliver, env.from, env.to,
+                          env.action, env.bits);
+        }
+        reliable_.ack(/*from=*/env.to, /*to=*/env.from, env.seq);
+        return;
+      }
+      // Reliable data: ack every copy (ack loss only costs a
+      // retransmission), suppress duplicates before the node sees them.
+      send_ack(/*from=*/env.to, /*to=*/env.from, env.seq);
+      if (!reliable_.mark_delivered(env.from, env.to, env.seq)) {
+        metrics_.record_dup_suppressed();
+        return;
+      }
+    }
+    metrics_.record_delivery(env.to, env.bits, env.action);
+    if (tracer_.enabled()) {
+      tracer_.message(trace::EventKind::kDeliver, env.from, env.to,
+                      env.action, env.bits);
+    }
+    nodes_[env.to].node->on_message(env.from, std::move(env.payload));
+  }
+
+  void send_ack(NodeId from, NodeId to, std::uint64_t seq) {
+    auto ack = make_payload<ReliableAck>();
+    ack->acked_seq = seq;
+    const std::uint64_t bits = ack->size_bits();
+    const ActionId action = ack->tag();
+    enqueue(from, to, std::move(ack), MsgKind::kAck, seq, bits, action);
+  }
+
+  void retransmit_due() {
+    reliable_.collect_due(
+        round_,
+        [this](NodeId v) { return crash_possible_ && crashed_[v]; },
+        [this](NodeId from, NodeId to, std::uint64_t seq,
+               const ReliableTransport::Record& r) {
+          metrics_.record_retransmit(r.action);
+          enqueue(from, to, r.payload->clone_payload(),
+                  MsgKind::kReliableData, seq, r.bits, r.action);
+        },
+        [this](NodeId, NodeId, std::uint64_t,
+               const ReliableTransport::Record&) {
+          metrics_.record_abandoned();
+        });
+  }
+
+  void do_crash(NodeId v) {
+    if (crashed_[v]) return;
+    crashed_[v] = 1;
+    tracer_.lifecycle(trace::EventKind::kCrash, v);
+  }
+
+  void do_restart(NodeId v) {
+    if (!crashed_[v]) return;
+    crashed_[v] = 0;
+    tracer_.lifecycle(trace::EventKind::kRestart, v);
+    if (restart_hook_) restart_hook_(v);
+  }
+
   std::vector<Envelope>& slot_for(std::uint64_t round) {
     return pending_[round & (pending_.size() - 1)];
+  }
+
+  /// Grow the pending ring so a message `delay` rounds out has a slot of
+  /// its own (delay spikes can exceed max_delay). Live slots are remapped
+  /// by their due round; amortized cost is nil — the ring only ever grows
+  /// to the largest spike seen.
+  void ensure_capacity(std::uint64_t delay) {
+    const std::uint64_t old_size = pending_.size();
+    if (delay < old_size) return;
+    std::vector<std::vector<Envelope>> grown(
+        std::bit_ceil(std::uint64_t{delay + 1}));
+    for (std::uint64_t d = 1; d < old_size; ++d) {
+      const std::uint64_t r = round_ + d;
+      grown[r & (grown.size() - 1)] =
+          std::move(pending_[r & (old_size - 1)]);
+    }
+    pending_ = std::move(grown);
   }
 
   void shuffle(std::vector<Envelope>& v) {
@@ -258,13 +632,21 @@ class Network {
   NetworkConfig cfg_;
   Rng rng_;
   Rng delay_rng_;  ///< async per-message delays (see constructor note)
+  FaultInjector faults_;
+  bool faults_active_;    ///< cached FaultPlan::active()
+  bool crash_possible_;   ///< crashes scheduled or injected at runtime
+  ReliableTransport reliable_;
+  bool reliable_enabled_;
   std::vector<Slot> nodes_;
+  std::vector<char> crashed_;                   ///< per-node down flag
   std::vector<std::vector<Envelope>> pending_;  ///< ring, indexed by round
   std::vector<Envelope> due_;                   ///< scratch for step()
   std::uint64_t round_ = 0;
   std::uint64_t in_flight_ = 0;
+  std::uint64_t ack_in_flight_ = 0;  ///< subset of in_flight_ that is acks
   Metrics metrics_;
   trace::Tracer tracer_;
+  std::function<void(NodeId)> restart_hook_;
 };
 
 inline void Node::send(NodeId to, PayloadPtr payload) {

@@ -33,6 +33,7 @@
 #include <memory>
 #include <new>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -115,6 +116,13 @@ struct Payload {
   /// charge the logical action rather than the transport envelope.
   virtual ActionId metrics_tag() const { return tag_; }
 
+  /// Deep copy of this payload (pool-allocated). The reliable transport
+  /// retains a clone of every tracked message so timeouts can retransmit
+  /// it; Action<T> derives the implementation from T's copy constructor,
+  /// so wrapper payloads holding a nested PayloadPtr only need a copy
+  /// constructor that clones the carried payload (see overlay::RouteHop).
+  virtual PayloadPtr clone_payload() const = 0;
+
  protected:
   explicit Payload(ActionId tag) : tag_(tag) {}
 
@@ -141,6 +149,16 @@ template <class T>
 struct Action : Payload {
   Action() : Payload(action_tag_of<T>()) {}
   const char* name() const override { return T::kActionName; }
+  PayloadPtr clone_payload() const override {
+    if constexpr (std::is_copy_constructible_v<T>) {
+      return PayloadPool<T>::make(static_cast<const T&>(*this));
+    } else {
+      SKS_CHECK_MSG(false, "payload type '" << T::kActionName
+                           << "' is not copy-constructible; it cannot be "
+                              "sent over the reliable transport");
+      return nullptr;  // unreachable
+    }
+  }
 };
 
 /// Per-type freelist of payload storage. Blocks are raw storage between

@@ -1,0 +1,184 @@
+// Reliable transport over the (optionally faulty) simulated channel.
+//
+// The paper's model assumes the network loses nothing, so the protocols
+// never re-send. Once the fault injector (src/sim/faults.hpp) can drop,
+// duplicate and delay messages, the protocols need the standard remedy:
+// a sequence-number / acknowledgement / retransmission layer that turns
+// the lossy channel back into a reliable one (at-least-once resend +
+// receiver-side duplicate suppression = exactly-once delivery to the
+// node), after which the protocol-level guarantees hold again because
+// the protocols already tolerate arbitrary finite delays and non-FIFO
+// delivery (the asynchronous model of Section 1.1).
+//
+// Mechanics, per tracked message:
+//  * The sender side assigns a per-(from,to)-channel sequence number and
+//    retains a deep clone of the payload (Payload::clone_payload) so a
+//    timeout can re-send it verbatim.
+//  * The receiver side acks every copy it sees (acks are cheap, losing
+//    one only costs a retransmission) and suppresses duplicates with a
+//    per-channel watermark (`delivered_below`) plus an out-of-order set.
+//  * Retransmission is driven by Network::step: a record whose retry
+//    deadline passed is cloned and re-enqueued with doubled backoff
+//    (capped at max_backoff). max_attempts = 0 means retry forever; a
+//    bounded sender abandons the record after that many sends, which the
+//    metrics report so tests can detect give-up behaviour.
+//
+// The transport is engine state, not a node: it lives inside the Network
+// so no protocol code changes when a system opts in via ReliableConfig.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/types.hpp"
+#include "sim/payload.hpp"
+
+namespace sks::sim {
+
+/// Per-network reliable-delivery knobs. Disabled by default: the zero
+/// cost of the flag is the only thing fault-free runs pay.
+struct ReliableConfig {
+  bool enabled = false;
+  /// Rounds to wait for an ack before the first retransmission. Should
+  /// exceed one channel round trip (2 * max_delay in async mode) or the
+  /// transport re-sends messages that were merely slow.
+  std::uint64_t ack_timeout = 4;
+  /// Retry interval doubles per attempt up to this cap (rounds).
+  std::uint64_t max_backoff = 64;
+  /// Total sends (original + retransmissions) before the sender gives up
+  /// on a message. 0 = never give up (retry forever).
+  std::uint64_t max_attempts = 0;
+};
+
+/// Acknowledgement for one tracked message. A real payload so acks flow
+/// through the same faulty channel as data (they can be lost, delayed or
+/// duplicated) and show up in metrics and traces — but the Network
+/// consumes them at delivery time; nodes never see them.
+struct ReliableAck final : Action<ReliableAck> {
+  static constexpr const char* kActionName = "transport.ack";
+  std::uint64_t acked_seq = 0;
+  std::uint64_t size_bits() const override { return 64; }
+};
+
+class ReliableTransport {
+ public:
+  explicit ReliableTransport(const ReliableConfig& cfg) : cfg_(cfg) {}
+
+  const ReliableConfig& config() const { return cfg_; }
+
+  /// Sender-side state of one unacked message.
+  struct Record {
+    PayloadPtr payload;           ///< retained clone for retransmission
+    std::uint64_t bits = 0;       ///< cached size_bits of the original
+    ActionId action = 0;          ///< cached metrics_tag of the original
+    std::uint64_t next_retry = 0; ///< round the next retransmission fires
+    std::uint64_t backoff = 0;    ///< current retry interval (rounds)
+    std::uint64_t attempts = 1;   ///< sends so far, original included
+  };
+
+  /// Track an outgoing message: assign its channel sequence number and
+  /// retain a clone. Returns the sequence number to stamp on the wire.
+  std::uint64_t register_send(NodeId from, NodeId to, const Payload& payload,
+                              std::uint64_t bits, ActionId action,
+                              std::uint64_t round) {
+    const std::uint64_t seq = next_seq_[ChannelKey{from, to}]++;
+    Record r;
+    r.payload = payload.clone_payload();
+    r.bits = bits;
+    r.action = action;
+    r.backoff = std::max<std::uint64_t>(cfg_.ack_timeout, 1);
+    r.next_retry = round + r.backoff;
+    records_.emplace(MsgKey{from, to, seq}, std::move(r));
+    return seq;
+  }
+
+  /// An ack for (from, to, seq) arrived back at the sender. Idempotent:
+  /// duplicate acks and acks for abandoned records are no-ops.
+  void ack(NodeId from, NodeId to, std::uint64_t seq) {
+    records_.erase(MsgKey{from, to, seq});
+  }
+
+  /// Receiver-side duplicate suppression. Returns true iff this is the
+  /// first copy of (from, to, seq) — hand it to the node; false means a
+  /// duplicate the node must not see (the caller still acks it).
+  bool mark_delivered(NodeId from, NodeId to, std::uint64_t seq) {
+    Receiver& rc = recv_[ChannelKey{from, to}];
+    if (seq < rc.delivered_below) return false;
+    if (seq == rc.delivered_below) {
+      ++rc.delivered_below;
+      // Drain the out-of-order set while it continues the run.
+      while (!rc.out_of_order.empty() &&
+             *rc.out_of_order.begin() == rc.delivered_below) {
+        rc.out_of_order.erase(rc.out_of_order.begin());
+        ++rc.delivered_below;
+      }
+      return true;
+    }
+    return rc.out_of_order.insert(seq).second;
+  }
+
+  /// Walk all records due at `round`. `crashed(node)` pauses records of
+  /// down senders (they resume on restart); `resend(from, to, seq, rec)`
+  /// re-enqueues one copy (backoff already doubled); `abandon(...)` fires
+  /// instead when max_attempts is exhausted and the record is dropped.
+  template <class Crashed, class Resend, class Abandon>
+  void collect_due(std::uint64_t round, Crashed&& crashed, Resend&& resend,
+                   Abandon&& abandon) {
+    for (auto it = records_.begin(); it != records_.end();) {
+      const MsgKey& k = it->first;
+      Record& r = it->second;
+      if (r.next_retry > round || crashed(k.from)) {
+        ++it;
+        continue;
+      }
+      if (cfg_.max_attempts != 0 && r.attempts >= cfg_.max_attempts) {
+        abandon(k.from, k.to, k.seq, r);
+        it = records_.erase(it);
+        continue;
+      }
+      r.backoff = std::min(r.backoff * 2, std::max<std::uint64_t>(
+                                              cfg_.max_backoff, 1));
+      r.next_retry = round + r.backoff;
+      ++r.attempts;
+      resend(k.from, k.to, k.seq, r);
+      ++it;
+    }
+  }
+
+  /// Messages sent but not yet acked. The network is not quiescent while
+  /// one is outstanding — a retransmission may still be coming.
+  std::uint64_t unacked() const { return records_.size(); }
+
+  /// Deterministic (channel-then-seq ordered) walk of the unacked
+  /// records, for the stall report.
+  template <class Fn>
+  void for_each_unacked(Fn&& fn) const {
+    for (const auto& [k, r] : records_) fn(k.from, k.to, k.seq, r);
+  }
+
+ private:
+  struct ChannelKey {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    auto operator<=>(const ChannelKey&) const = default;
+  };
+  struct MsgKey {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    std::uint64_t seq = 0;
+    auto operator<=>(const MsgKey&) const = default;
+  };
+  struct Receiver {
+    std::uint64_t delivered_below = 0;  ///< all seq < this were delivered
+    std::set<std::uint64_t> out_of_order;
+  };
+
+  ReliableConfig cfg_;
+  std::map<ChannelKey, std::uint64_t> next_seq_;
+  std::map<MsgKey, Record> records_;  ///< unacked, sorted for determinism
+  std::map<ChannelKey, Receiver> recv_;
+};
+
+}  // namespace sks::sim

@@ -44,6 +44,10 @@ class SkeapSystem {
     std::uint64_t max_delay = 8;  ///< async mode only
     /// Sizing hints for bit accounting.
     std::uint64_t expected_elements = 1u << 20;
+    /// Channel fault schedule (all-zero = the paper's perfect network).
+    sim::FaultPlan faults{};
+    /// Reliable transport; enable whenever faults lose messages.
+    sim::ReliableConfig reliable{};
   };
 
   using Cluster = runtime::Cluster<SkeapNode, SkeapConfig>;
@@ -67,6 +71,8 @@ class SkeapSystem {
     c.mode = opts.mode;
     c.max_delay = opts.max_delay;
     c.expected_elements = opts.expected_elements;
+    c.faults = opts.faults;
+    c.reliable = opts.reliable;
     return c;
   }
 

@@ -191,15 +191,34 @@ inline void write_perfetto_json(const Trace& t, const std::string& path) {
         break;
       }
       case EventKind::kNodeJoin:
-      case EventKind::kNodeLeave: {
+      case EventKind::kNodeLeave:
+      case EventKind::kCrash:
+      case EventKind::kRestart: {
         std::fprintf(
             f,
             ",\n{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,"
             "\"tid\":%llu,\"ts\":%llu,\"args\":{\"node\":%llu}}",
-            e.kind == EventKind::kNodeJoin ? "join" : "leave",
+            to_string(e.kind),
             static_cast<unsigned long long>(detail::tid_of(e.node)),
             static_cast<unsigned long long>(ts),
             static_cast<unsigned long long>(e.node));
+        break;
+      }
+      case EventKind::kDrop:
+      case EventKind::kDuplicate: {
+        // Fault-injection channel events, shown on the sender's track.
+        std::fprintf(f, ",\n{\"name\":\"%s ", to_string(e.kind));
+        detail::json_escaped(f, action_name(t, e.label));
+        std::fprintf(
+            f,
+            "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%llu,"
+            "\"ts\":%llu,\"args\":{\"peer\":%lld,\"bits\":%llu,"
+            "\"seq\":%llu}}",
+            static_cast<unsigned long long>(detail::tid_of(e.node)),
+            static_cast<unsigned long long>(ts),
+            e.peer == kNoNode ? -1LL : static_cast<long long>(e.peer),
+            static_cast<unsigned long long>(e.value),
+            static_cast<unsigned long long>(e.seq));
         break;
       }
       case EventKind::kAnnotation: {

@@ -51,6 +51,10 @@ struct TraceSummary {
   std::uint64_t sends = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t total_bits = 0;    ///< bits of delivered messages
+  std::uint64_t drops = 0;         ///< fault-injected channel losses
+  std::uint64_t duplicates = 0;    ///< fault-injected channel duplications
+  std::uint64_t crashes = 0;       ///< node crash events
+  std::uint64_t restarts = 0;      ///< node restart events
   std::vector<PhaseSummary> phases;
   std::vector<EpochSummary> epochs;
   std::vector<ActionSummary> actions;
@@ -89,6 +93,18 @@ inline TraceSummary summarize(const Trace& trace) {
     switch (e.kind) {
       case EventKind::kSend:
         ++out.sends;
+        break;
+      case EventKind::kDrop:
+        ++out.drops;
+        break;
+      case EventKind::kDuplicate:
+        ++out.duplicates;
+        break;
+      case EventKind::kCrash:
+        ++out.crashes;
+        break;
+      case EventKind::kRestart:
+        ++out.restarts;
         break;
       case EventKind::kDeliver: {
         ++out.deliveries;

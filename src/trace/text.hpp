@@ -27,6 +27,8 @@ inline std::string to_line(const Trace& t, const Event& e) {
                      to_string(e.kind);
   switch (e.kind) {
     case EventKind::kSend:
+    case EventKind::kDrop:
+    case EventKind::kDuplicate:
       line += " " + node_str(e.node) + "->" + node_str(e.peer) +
               " action=" + action_name(t, e.label) +
               " bits=" + std::to_string(e.value);
@@ -47,6 +49,8 @@ inline std::string to_line(const Trace& t, const Event& e) {
       break;
     case EventKind::kNodeJoin:
     case EventKind::kNodeLeave:
+    case EventKind::kCrash:
+    case EventKind::kRestart:
       line += " " + node_str(e.node);
       break;
     case EventKind::kAnnotation:

@@ -54,6 +54,12 @@ enum class EventKind : std::uint8_t {
   kNodeJoin,     ///< churn: node joined the running system
   kNodeLeave,    ///< churn: node left the running system
   kAnnotation,   ///< named value attached to a node at a point in time
+  // Fault-injection events (src/sim/faults.hpp). Appended after the
+  // original kinds so recorded traces and golden files keep their values.
+  kDrop,         ///< message lost in the channel (node=from, peer=to)
+  kDuplicate,    ///< channel duplicated a message (node=from, peer=to)
+  kCrash,        ///< node crashed (blackholes its channel, skips activate)
+  kRestart,      ///< crashed node came back with its state intact
 };
 
 inline const char* to_string(EventKind k) {
@@ -68,6 +74,10 @@ inline const char* to_string(EventKind k) {
     case EventKind::kNodeJoin: return "join";
     case EventKind::kNodeLeave: return "leave";
     case EventKind::kAnnotation: return "annotate";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kDuplicate: return "duplicate";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRestart: return "restart";
   }
   return "?";
 }
@@ -124,12 +134,14 @@ class Tracer {
          0, 0);
   }
 
+  /// Message-channel event: kSend / kDrop / kDuplicate are recorded from
+  /// the sender's point of view (node=from), kDeliver from the receiver's.
   void message(EventKind kind, NodeId from, NodeId to, sim::ActionId action,
                std::uint64_t bits) {
     if (!enabled_) return;
-    const bool is_send = kind == EventKind::kSend;
-    push(Category::kMessage, kind, is_send ? from : to, is_send ? to : from,
-         action, bits, 0);
+    const bool at_receiver = kind == EventKind::kDeliver;
+    push(Category::kMessage, kind, at_receiver ? to : from,
+         at_receiver ? from : to, action, bits, 0);
   }
 
   void epoch_begin(std::uint64_t epoch) {

@@ -1,0 +1,167 @@
+// Chaos tests at the protocol level: Skeap, Seap and KSelect complete
+// their batches/cycles/selections over a lossy channel once the reliable
+// transport is enabled, with every semantic guarantee intact — the
+// checkers of core/semantics.hpp inherently detect lost or duplicated
+// elements (a lost insert surfaces as a delete matching nothing, a
+// duplicated one as two deletes returning the same element).
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/semantics.hpp"
+#include "kselect/kselect_system.hpp"
+#include "seap/seap_system.hpp"
+#include "skeap/skeap_system.hpp"
+
+namespace sks {
+namespace {
+
+constexpr double kDropRates[] = {0.1, 0.2};
+
+// Three base seeds per test; CI shifts the whole set per matrix leg via
+// SKS_CHAOS_SEED so every leg exercises a fresh fault schedule.
+std::vector<std::uint64_t> chaos_seeds() {
+  const char* env = std::getenv("SKS_CHAOS_SEED");
+  const std::uint64_t offset =
+      env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
+  return {101 + offset, 202 + offset, 303 + offset};
+}
+
+TEST(ChaosSkeap, BatchesSurviveMessageLoss) {
+  for (const double drop : kDropRates) {
+    for (const std::uint64_t seed : chaos_seeds()) {
+      skeap::SkeapSystem::Options opts;
+      opts.num_nodes = 8;
+      opts.num_priorities = 3;
+      opts.seed = seed;
+      opts.faults.drop_prob = drop;
+      opts.reliable.enabled = true;
+      skeap::SkeapSystem sys(opts);
+
+      std::size_t matched = 0, bottoms = 0;
+      for (NodeId v = 0; v < 8; ++v) sys.insert(v, 1 + v % 3);
+      sys.run_batch();
+      for (NodeId v = 0; v < 8; ++v) {
+        sys.insert(v, 1 + (v + 1) % 3);
+        if (v % 2 == 0) {
+          sys.delete_min(v, [&](std::optional<Element> x) {
+            (x ? matched : bottoms)++;
+          });
+        }
+      }
+      sys.run_batch();
+      EXPECT_EQ(matched, 4u) << "drop=" << drop << " seed=" << seed;
+      EXPECT_EQ(bottoms, 0u);
+      EXPECT_GT(sys.net().metrics().retransmitted(), 0u)
+          << "the loss rate should have forced retransmissions";
+      const auto check = core::check_skeap_trace(sys.gather_trace());
+      EXPECT_TRUE(check.ok)
+          << "drop=" << drop << " seed=" << seed << ": " << check.error;
+    }
+  }
+}
+
+TEST(ChaosSkeap, AsyncLossDuplicatesAndSpikesTogether) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 8;
+  opts.num_priorities = 2;
+  opts.seed = 77;
+  opts.mode = sim::DeliveryMode::kAsynchronous;
+  opts.max_delay = 6;
+  opts.faults.drop_prob = 0.1;
+  opts.faults.duplicate_prob = 0.1;
+  opts.faults.spike_prob = 0.05;
+  opts.faults.spike_min = 8;
+  opts.faults.spike_max = 128;
+  opts.reliable.enabled = true;
+  opts.reliable.ack_timeout = 16;  // > one async round trip
+  skeap::SkeapSystem sys(opts);
+
+  std::size_t deletes_done = 0;
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 1 + v % 2);
+  sys.run_batch();
+  for (NodeId v = 0; v < 8; ++v) {
+    sys.delete_min(v, [&](std::optional<Element> x) {
+      ASSERT_TRUE(x.has_value());
+      ++deletes_done;
+    });
+  }
+  sys.run_batch();
+  EXPECT_EQ(deletes_done, 8u);
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(ChaosSeap, CyclesSurviveMessageLoss) {
+  for (const double drop : kDropRates) {
+    for (const std::uint64_t seed : chaos_seeds()) {
+      seap::SeapSystem::Options opts;
+      opts.num_nodes = 8;
+      opts.seed = seed;
+      opts.faults.drop_prob = drop;
+      opts.reliable.enabled = true;
+      seap::SeapSystem sys(opts);
+
+      Rng rng(seed ^ 0xabc);
+      std::vector<Element> inserted;
+      for (int i = 0; i < 24; ++i) {
+        inserted.push_back(sys.insert(static_cast<NodeId>(rng.below(8)),
+                                      rng.range(1, 1u << 20)));
+      }
+      sys.run_cycle();
+      std::vector<Element> got;
+      for (int i = 0; i < 8; ++i) {
+        sys.delete_min(static_cast<NodeId>(i),
+                       [&](std::optional<Element> x) {
+                         ASSERT_TRUE(x.has_value());
+                         got.push_back(*x);
+                       });
+      }
+      sys.run_cycle();
+      ASSERT_EQ(got.size(), 8u) << "drop=" << drop << " seed=" << seed;
+      // The 8 deletes must return exactly the 8 smallest elements.
+      std::sort(inserted.begin(), inserted.end());
+      std::sort(got.begin(), got.end());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], inserted[i]) << "drop=" << drop << " seed=" << seed;
+      }
+      EXPECT_GT(sys.net().metrics().retransmitted(), 0u);
+      const auto check = core::check_seap_trace(sys.gather_trace());
+      EXPECT_TRUE(check.ok)
+          << "drop=" << drop << " seed=" << seed << ": " << check.error;
+    }
+  }
+}
+
+TEST(ChaosKSelect, SelectionSurvivesMessageLoss) {
+  for (const double drop : kDropRates) {
+    for (const std::uint64_t seed : chaos_seeds()) {
+      kselect::KSelectSystem::Options opts;
+      opts.num_nodes = 16;
+      opts.seed = seed;
+      opts.faults.drop_prob = drop;
+      opts.reliable.enabled = true;
+      kselect::KSelectSystem sys(opts);
+
+      Rng rng(seed ^ 0x515);
+      std::vector<kselect::CandidateKey> elements;
+      for (std::uint64_t i = 0; i < 200; ++i) {
+        elements.push_back(
+            kselect::CandidateKey{rng.range(1, 1u << 16), i + 1});
+      }
+      sys.seed_elements(elements);
+      const auto out = sys.select(57);
+      ASSERT_TRUE(out.result.has_value()) << "drop=" << drop
+                                          << " seed=" << seed;
+      std::sort(elements.begin(), elements.end());
+      EXPECT_EQ(*out.result, elements[56])
+          << "drop=" << drop << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sks

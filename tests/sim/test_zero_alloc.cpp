@@ -124,5 +124,35 @@ TEST(ZeroAlloc, SteadyStateAsyncAllocatesNothing) {
       << "async steady-state message path performed heap allocations";
 }
 
+// The fault-injection substrate is compiled into the message path
+// unconditionally; with an (explicit) all-zero FaultPlan and the reliable
+// transport disabled it must cost no allocations either — the hot path is
+// gated behind cached booleans, never behind per-message heap work.
+TEST(ZeroAlloc, InactiveFaultPlanAndDisabledReliableAllocateNothing) {
+  NetworkConfig cfg;
+  cfg.faults = FaultPlan{};          // explicit, still all-zero
+  cfg.reliable = ReliableConfig{};   // explicit, still disabled
+  ASSERT_FALSE(cfg.faults.active());
+  ASSERT_FALSE(cfg.reliable.enabled);
+  Network net(cfg);
+  net.add_node(std::make_unique<SinkNode>());
+  const NodeId b = net.add_node(std::make_unique<SinkNode>());
+
+  auto cycle = [&] {
+    for (int i = 0; i < 64; ++i) net.node_as<SinkNode>(0).fire(b);
+    net.run_until_idle();
+  };
+
+  for (int w = 0; w < 4; ++w) cycle();
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int r = 0; r < 16; ++r) cycle();
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "disabled fault machinery leaked allocations into the hot path";
+}
+
 }  // namespace
 }  // namespace sks::sim

@@ -96,6 +96,31 @@ TEST(GoldenTrace, Figure1CoversAllFourSkeapPhases) {
   EXPECT_GT(s.epochs[0].rounds, 0u);
 }
 
+// The fault substrate must be invisible until armed: an explicitly
+// constructed all-zero FaultPlan (and a disabled reliable transport) takes
+// zero draws from the fault rng stream, so the capture stays byte-identical
+// to the default-options run — in both delivery modes.
+TEST(GoldenTrace, AllZeroFaultPlanLeavesTraceByteIdentical) {
+  for (const sim::DeliveryMode mode : {sim::DeliveryMode::kSynchronous,
+                                       sim::DeliveryMode::kAsynchronous}) {
+    skeap::SkeapSystem::Options opts;
+    opts.num_nodes = 3;
+    opts.num_priorities = 2;
+    opts.seed = 42;
+    opts.mode = mode;
+    opts.faults = sim::FaultPlan{};        // explicit, still all-zero
+    opts.reliable = sim::ReliableConfig{}; // explicit, still disabled
+    ASSERT_FALSE(opts.faults.active());
+    skeap::SkeapSystem sys(opts);
+    sys.net().tracer().enable();
+    run_figure1_batch(sys);
+    EXPECT_EQ(trace::to_text(sys.net().take_trace()),
+              figure1_trace_text(mode))
+        << "an inactive FaultPlan must not perturb the schedule (mode "
+        << static_cast<int>(mode) << ")";
+  }
+}
+
 TEST(GoldenTrace, CaptureIsDeterministicSync) {
   EXPECT_EQ(figure1_trace_text(sim::DeliveryMode::kSynchronous),
             figure1_trace_text(sim::DeliveryMode::kSynchronous));
