@@ -115,6 +115,13 @@ class Aggregator {
     return total;
   }
 
+  /// Discard every buffered session. Part of an epoch rollback after a
+  /// declared crash: the aborted epoch's partial up-passes must not
+  /// survive into the re-run (they reference the dead tree shape).
+  void abort_all() {
+    for (auto& m : sessions_) m.clear();
+  }
+
  private:
   struct Session {
     std::vector<std::optional<Up>> child_values;

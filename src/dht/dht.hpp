@@ -279,6 +279,97 @@ class DhtComponent {
     return out;
   }
 
+  // ---- Recovery support (src/recovery) --------------------------------
+
+  /// Deep copy of the server-side state, taken at an epoch boundary. It
+  /// doubles as the rollback point when a mid-epoch crash aborts the
+  /// epoch and as the baseline the replication layer diffs against to
+  /// compute incremental deltas (so no write-through hooks are needed on
+  /// the hot path).
+  struct Snapshot {
+    std::array<std::array<std::unordered_map<Point, std::deque<Element>>, 3>,
+               kNumSpaces>
+        stores;
+    std::array<std::array<std::unordered_map<Point, std::deque<WaitingGet>>,
+                          3>,
+               kNumSpaces>
+        waiting;
+  };
+
+  Snapshot take_snapshot() const { return Snapshot{stores_, waiting_}; }
+
+  /// Rewind the server state to `snap` (kept by value at the cluster so
+  /// one checkpoint survives repeated rollbacks of the same epoch).
+  void restore_snapshot(const Snapshot& snap) {
+    stores_ = snap.stores;
+    waiting_ = snap.waiting;
+  }
+
+  /// Drop all pending client-side callbacks (outstanding put acks / get
+  /// replies). Part of an epoch rollback: the re-run reissues every
+  /// request, and the drain-to-idle before the rollback guarantees no
+  /// stale reply is still in flight.
+  void clear_client_state() {
+    get_callbacks_.clear();
+    put_callbacks_.clear();
+  }
+
+  /// Emit every (space, key, elements) cell whose contents differ from
+  /// the snapshot — including emptied cells (emitted with an empty list,
+  /// encoding removal). `emit(space, key, const std::deque<Element>&)`.
+  /// Called at epoch commit, where no Get may still be parked.
+  template <class Fn>
+  void delta_since(const Snapshot& snap, Fn&& emit) const {
+    SKS_CHECK_MSG(waiting_gets() == 0,
+                  "delta at a non-quiescent point: gets still waiting");
+    static const std::deque<Element> kEmpty;
+    for (std::size_t space = 0; space < kNumSpaces; ++space) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        const auto& cur = stores_[space][k];
+        const auto& old = snap.stores[space][k];
+        for (const auto& [key, elems] : cur) {
+          auto it = old.find(key);
+          if (it == old.end() || it->second != elems) {
+            emit(static_cast<std::uint8_t>(space), key, elems);
+          }
+        }
+        for (const auto& [key, elems] : old) {
+          (void)elems;
+          if (!cur.count(key)) {
+            emit(static_cast<std::uint8_t>(space), key, kEmpty);
+          }
+        }
+      }
+    }
+  }
+
+  /// Emit every non-empty (space, key, elements) cell currently stored —
+  /// the full-state variant of delta_since, used to (re)seed a replica
+  /// mirror out-of-band (bootstrap, post-recovery repair).
+  template <class Fn>
+  void full_entries(Fn&& emit) const {
+    for (std::size_t space = 0; space < kNumSpaces; ++space) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        for (const auto& [key, elems] : stores_[space][k]) {
+          emit(static_cast<std::uint8_t>(space), key, elems);
+        }
+      }
+    }
+  }
+
+  /// Install one recovered cell into virtual node `k`'s store. The
+  /// recovered keys are provably disjoint from the holder's own stored
+  /// keys (they lived on the dead node's arcs, which the promotion
+  /// re-homed), so this replaces rather than merges.
+  void absorb_entry(std::uint8_t space, overlay::VKind k, Point key,
+                    std::vector<Element> elems) {
+    SKS_CHECK(space < kNumSpaces);
+    auto& st = store(space, k);
+    SKS_CHECK_MSG(!st.count(key), "recovered key collides with live store");
+    if (elems.empty()) return;
+    st.emplace(key, std::deque<Element>(elems.begin(), elems.end()));
+  }
+
   /// Merge handed-over arc data into virtual node `k`'s store, matching
   /// any waiting Gets against newly available elements.
   void absorb_arc(overlay::VKind k, ArcData arc) {

@@ -326,6 +326,21 @@ class KSelectComponent {
     return it == host_sessions_.end() ? 0 : it->second.candidates.size();
   }
 
+  /// Discard every session's state, host and anchor side — part of an
+  /// epoch rollback after a declared crash. Requires the network drained
+  /// to idle first; the coordinator then retries the selection under a
+  /// fresh (strictly larger) session id.
+  void abort_all() {
+    host_sessions_.clear();
+    anchor_sessions_.clear();
+    tree_nodes_.clear();
+    rdv_waiting_.clear();
+    order_board_.clear();
+    order_waiting_.clear();
+    replies_.abort_all();
+    sample_agg_.abort_all();
+  }
+
  private:
   // ---- keyspaces ---------------------------------------------------------
   Point point_pos(std::uint64_t s, std::uint32_t it, std::uint64_t pos) const {

@@ -8,29 +8,70 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "kselect/kselect.hpp"
+#include "recovery/recovery.hpp"
 #include "runtime/cluster.hpp"
 
 namespace sks::kselect {
 
+/// Deployment config for one standalone KSelect node: the protocol config
+/// plus the recovery knobs (kept out of KSelectConfig itself because Seap
+/// embeds a nested KSelectComponent that shares its host's recovery).
+struct KSelectNodeConfig {
+  KSelectConfig kselect;
+  recovery::RecoveryConfig recovery{};
+};
+
 class KSelectNode : public overlay::OverlayNode {
  public:
-  KSelectNode(overlay::RouteParams params, KSelectConfig cfg)
+  KSelectNode(overlay::RouteParams params, const KSelectNodeConfig& cfg)
       : OverlayNode(params),
         kselect(
-            *this, cfg, [this] { return elements; },
+            *this, cfg.kselect, [this] { return elements; },
             [this](std::uint64_t session, std::optional<CandidateKey> r) {
               results.emplace_back(session, r);
-            }) {}
+            }),
+        recovery_(*this, cfg.recovery) {}
 
   std::vector<CandidateKey> elements;  ///< v.E
   KSelectComponent kselect;
   std::vector<std::pair<std::uint64_t, std::optional<CandidateKey>>> results;
+
+  // ---- Crash-recovery hooks (runtime::Cluster coordinator) ------------
+  //
+  // KSelect's durable state is just the static element slice: there are
+  // no epoch deltas (selection never mutates v.E), so mirrors are seeded
+  // out-of-band and stay valid until membership changes.
+
+  recovery::RecoveryComponent& recovery() { return recovery_; }
+  const recovery::RecoveryComponent& recovery() const { return recovery_; }
+
+  /// The whole slice as a single replicated cell; the key is irrelevant —
+  /// after a promotion the slice lands on whichever survivor owns it, and
+  /// k-selection does not care where elements live.
+  std::vector<recovery::DeltaEntry> full_state_entries() {
+    std::vector<recovery::DeltaEntry> out;
+    if (!elements.empty()) out.push_back({0, 0, elements});
+    return out;
+  }
+
+  void absorb_recovered(std::uint8_t, Point, std::vector<Element> elems) {
+    elements.insert(elements.end(), elems.begin(), elems.end());
+  }
+
+  /// A declared death aborts the in-flight selection on every survivor;
+  /// the harness retries it under a fresh session id.
+  void rollback_epoch() { kselect.abort_all(); }
+
+ private:
+  recovery::RecoveryComponent recovery_;
 };
 
 class KSelectSystem {
@@ -47,21 +88,25 @@ class KSelectSystem {
     sim::FaultPlan faults{};
     /// Reliable transport; enable whenever faults lose messages.
     sim::ReliableConfig reliable{};
+    /// Crash recovery (failure detector + k-replication + session retry).
+    recovery::RecoveryConfig recovery{};
   };
 
-  using Cluster = runtime::Cluster<KSelectNode, KSelectConfig>;
+  using Cluster = runtime::Cluster<KSelectNode, KSelectNodeConfig>;
 
   /// The single place the KSelect config is derived from the options.
-  static KSelectConfig make_config(const Options& opts,
-                                   std::size_t num_nodes) {
-    KSelectConfig kcfg;
+  static KSelectNodeConfig make_config(const Options& opts,
+                                       std::size_t num_nodes) {
+    KSelectNodeConfig cfg;
+    KSelectConfig& kcfg = cfg.kselect;
     kcfg.num_nodes = num_nodes;
     kcfg.hash_seed = opts.seed ^ 0xabcdef123ULL;
     kcfg.rng_seed = opts.seed ^ 0x777ULL;
     kcfg.delta_scale = opts.delta_scale;
     kcfg.phase1_iterations = opts.phase1_iterations;
     kcfg.max_iterations = opts.max_iterations;
-    return kcfg;
+    cfg.recovery = opts.recovery;
+    return cfg;
   }
 
   static runtime::ClusterOptions cluster_options(const Options& opts) {
@@ -72,6 +117,7 @@ class KSelectSystem {
     c.max_delay = opts.max_delay;
     c.faults = opts.faults;
     c.reliable = opts.reliable;
+    c.recovery = opts.recovery;
     return c;
   }
 
@@ -87,6 +133,8 @@ class KSelectSystem {
       node(static_cast<NodeId>(rng.below(opts_.num_nodes)))
           .elements.push_back(e);
     }
+    // The bootstrap mirrors were taken before any elements existed.
+    cluster_.refresh_mirrors();
   }
 
   /// Run one complete selection; returns the k-th smallest element (or
@@ -97,13 +145,34 @@ class KSelectSystem {
   };
 
   Outcome select(std::uint64_t k) {
-    const std::uint64_t session = next_session_++;
-    anchor_node().kselect.start(session, k);
     Outcome out;
-    out.rounds = cluster_.run_until_idle();
-    for (const auto& [s, r] : anchor_node().results) {
-      if (s == session) out.result = r;
+    if (!cluster_.recovery_enabled()) {
+      const std::uint64_t session = next_session_++;
+      anchor_node().kselect.start(session, k);
+      out.rounds = cluster_.run_until_idle();
+      for (const auto& [s, r] : anchor_node().results) {
+        if (s == session) out.result = r;
+      }
+      return out;
     }
+    // Under crash recovery a selection is a retryable transaction: if a
+    // node is declared dead mid-session, abort everywhere, recover the
+    // victim's elements from its mirror, and rerun under a fresh session
+    // id (detection + repair rounds count toward the selection's cost).
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const std::uint64_t session = next_session_++;
+      anchor_node().kselect.start(session, k);
+      std::set<NodeId> dead = cluster_.drive_until_idle_or_death(&out.rounds);
+      if (dead.empty()) {
+        for (const auto& [s, r] : anchor_node().results) {
+          if (s == session) out.result = r;
+        }
+        return out;
+      }
+      cluster_.recover_from(std::move(dead), &out.rounds);
+    }
+    SKS_CHECK_MSG(false, "selection failed to complete after 16 recovery "
+                         "attempts");
     return out;
   }
 

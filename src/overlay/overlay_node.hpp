@@ -229,6 +229,25 @@ class OverlayNode : public sim::DispatchingNode {
     }
   }
 
+  /// Send fire-and-forget background traffic (failure-detector heartbeats
+  /// and probes): untracked by the reliable transport and excluded from
+  /// network quiescence — see Network::send_background.
+  void send_background(NodeId to, sim::PayloadPtr payload) {
+    SKS_CHECK(to != kNoNode);
+    if (to == id()) {
+      on_message(id(), std::move(payload));
+    } else {
+      net().send_background(id(), to, std::move(payload));
+    }
+  }
+
+  /// Register a per-activation hook (called once per round in synchronous
+  /// mode, whenever the node is live). The failure detector drives its
+  /// lease timers from this.
+  void set_activate_hook(std::function<void()> hook) {
+    activate_hook_ = std::move(hook);
+  }
+
   // Handler registration is public so protocol components (DHT,
   // aggregation, heap logic) can attach themselves to a host node.
 
@@ -266,6 +285,11 @@ class OverlayNode : public sim::DispatchingNode {
                                 sim::PayloadPtr p) {
       h(at, from, sim::Owned<T>(static_cast<T*>(p.release())));
     };
+  }
+
+ protected:
+  void on_activate() override {
+    if (activate_hook_) activate_hook_();
   }
 
  private:
@@ -403,6 +427,7 @@ class OverlayNode : public sim::DispatchingNode {
 
   RouteParams params_;
   NodeLinks links_;
+  std::function<void()> activate_hook_;
   // Flat tables indexed by the inner payload's ActionId.
   std::vector<std::function<void(Point, VKind, NodeId, sim::PayloadPtr)>>
       routed_handlers_;

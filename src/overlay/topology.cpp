@@ -53,6 +53,48 @@ std::vector<NodeLinks> build_topology(std::size_t n, const HashFunction& h) {
   return links;
 }
 
+std::map<NodeId, NodeLinks> build_topology(const std::vector<NodeId>& members,
+                                           const HashFunction& h) {
+  SKS_CHECK_MSG(!members.empty(), "topology needs at least one node");
+
+  std::map<NodeId, NodeLinks> links;
+  std::vector<VirtualId> cycle;
+  cycle.reserve(3 * members.size());
+
+  for (NodeId v : members) {
+    SKS_CHECK_MSG(!links.count(v), "duplicate member " << v);
+    const Point m = h.point(v);
+    links[v].middle_label = m;
+    for (VKind k : kAllKinds) {
+      cycle.push_back(VirtualId{v, k, label_of(m, k)});
+    }
+  }
+
+  std::sort(cycle.begin(), cycle.end(),
+            [](const VirtualId& a, const VirtualId& b) {
+              return a.label < b.label;
+            });
+  for (std::size_t i = 1; i < cycle.size(); ++i) {
+    SKS_CHECK_MSG(cycle[i - 1].label != cycle[i].label,
+                  "virtual label collision; reseed the hash function");
+  }
+
+  const std::size_t total = cycle.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    const VirtualId& self = cycle[i];
+    VirtualState& st = links[self.host].at(self.kind);
+    st.self = self;
+    st.pred = cycle[(i + total - 1) % total];
+    st.succ = cycle[(i + 1) % total];
+  }
+
+  for (auto& [v, nl] : links) {
+    (void)v;
+    derive_tree_links(nl);
+  }
+  return links;
+}
+
 void derive_tree_links(NodeLinks& nl) {
   const NodeId v = nl.at(VKind::kMiddle).self.host;
   const Point m = nl.middle_label;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -54,6 +55,14 @@ struct NodeLinks {
 /// public hash for middle labels. Middle labels are h(node_id); the builder
 /// verifies all 3n labels are distinct (w.h.p. for a 64-bit hash).
 std::vector<NodeLinks> build_topology(std::size_t n, const HashFunction& h);
+
+/// Build the LDB for an arbitrary (sorted or not) member set — the
+/// recovery coordinator uses this to rebuild the overlay after a declared
+/// death removed a node from the middle of the id space. Labels are pure
+/// hashes of the node ids, so the surviving nodes' labels are unchanged
+/// and their ownership arcs only grow.
+std::map<NodeId, NodeLinks> build_topology(const std::vector<NodeId>& members,
+                                           const HashFunction& h);
 
 /// Re-derive a node's aggregation-tree links (parents, children, anchor
 /// flag) from its current pred/succ pointers — the purely local rules of

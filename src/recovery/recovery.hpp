@@ -1,0 +1,344 @@
+// Crash recovery: failure detection and state replication (robustness
+// layer for Section 5's churn discussion, specialised to crash-stop).
+//
+// Three pieces cooperate to survive the crash-stop of up to f = k nodes:
+//
+//  * A lease/heartbeat failure detector. Every node heartbeats its
+//    max(1, k) id-ring successors as *background* messages (fire-and-
+//    forget, excluded from quiescence — see Network::send_background) and
+//    monitors its predecessors. Silence for `suspect_after` rounds moves
+//    a monitor alive → suspect (probes are sent while suspect); another
+//    `declare_after` silent rounds moves suspect → declared-dead. A
+//    heartbeat or probe reply while merely suspected reintegrates the
+//    node with no data loss — suspicion has no side effects; only a
+//    declaration does.
+//
+//  * A replication layer. Each node mirrors its durable state (DHT heap
+//    cells plus the anchor's metadata blob) on its k id-ring successors.
+//    Mirrors are updated incrementally: at every epoch boundary the owner
+//    diffs its DHT stores against the pre-epoch snapshot and ships only
+//    the changed cells as one ReplicaDelta per mirror. Deltas are staged
+//    at the receiver and committed only when the epoch commits, so an
+//    aborted epoch cannot corrupt a mirror.
+//
+//  * A recovery coordinator (runtime/cluster.hpp) that, on a declared
+//    death, fences the dead node, rolls the survivors back to the
+//    pre-epoch checkpoint, promotes a mirror, re-homes the recovered
+//    cells, repairs the overlay, and re-runs the epoch.
+//
+// Timing comes from the tracer's round clock (begin_round stamps it even
+// when tracing is disabled), driven via the host's activate hook.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "overlay/overlay_node.hpp"
+#include "sim/payload.hpp"
+#include "trace/tracer.hpp"
+
+namespace sks::recovery {
+
+struct RecoveryConfig {
+  bool enabled = false;          ///< master switch (detector + replication)
+  std::uint32_t replication = 0;  ///< k: mirrors per node (f = k tolerated)
+  std::uint32_t heartbeat_every = 2;  ///< rounds between heartbeats/probes
+  std::uint32_t suspect_after = 8;    ///< silent rounds: alive -> suspect
+  std::uint32_t declare_after = 12;   ///< further silence: suspect -> dead
+};
+
+/// One replicated DHT cell. `elems` empty encodes removal of the cell.
+/// The virtual-node kind is deliberately absent: within one owner each
+/// point belongs to exactly one of its three arcs, and after a promotion
+/// the recovered key is re-homed by an arc scan anyway.
+struct DeltaEntry {
+  std::uint8_t space = 0;
+  Point key = 0;
+  std::vector<Element> elems;
+
+  bool operator==(const DeltaEntry&) const = default;
+};
+
+/// Periodic lease renewal, node -> each of its monitors (successors).
+struct Heartbeat final : sim::Action<Heartbeat> {
+  static constexpr const char* kActionName = "recovery.heartbeat";
+  std::uint64_t size_bits() const override { return 16; }
+};
+
+/// Monitor -> suspect: "prove you are alive before I declare you dead".
+struct SuspectProbe final : sim::Action<SuspectProbe> {
+  static constexpr const char* kActionName = "recovery.probe";
+  std::uint64_t size_bits() const override { return 16; }
+};
+
+/// Suspect -> monitor: refutation of the suspicion.
+struct ProbeReply final : sim::Action<ProbeReply> {
+  static constexpr const char* kActionName = "recovery.probe_reply";
+  std::uint64_t size_bits() const override { return 16; }
+};
+
+/// Incremental mirror update, owner -> each of its k mirror holders,
+/// shipped over the reliable transport at every epoch boundary.
+struct ReplicaDelta final : sim::Action<ReplicaDelta> {
+  static constexpr const char* kActionName = "recovery.delta";
+  NodeId owner = kNoNode;
+  std::vector<DeltaEntry> entries;
+  std::vector<std::uint64_t> anchor_blob;
+  bool has_anchor = false;
+
+  std::uint64_t size_bits() const override {
+    std::uint64_t bits = 64;  // owner + counts + flags
+    for (const auto& e : entries) {
+      bits += 72 + 128 * static_cast<std::uint64_t>(e.elems.size());
+    }
+    bits += 64 * static_cast<std::uint64_t>(anchor_blob.size());
+    return bits;
+  }
+};
+
+/// The state a mirror holder keeps on behalf of one owner.
+struct Mirror {
+  /// (space, key) -> elements. Kept ordered so promotion is deterministic.
+  std::map<std::pair<std::uint8_t, Point>, std::vector<Element>> entries;
+  std::vector<std::uint64_t> anchor_blob;
+  bool has_anchor = false;
+};
+
+/// Per-node failure detector + mirror store. One per protocol node,
+/// attached to its OverlayNode host. Inert (no handlers fire, no
+/// background traffic) unless cfg.enabled.
+class RecoveryComponent {
+ public:
+  enum class MonitorState { kAlive, kSuspect };
+
+  RecoveryComponent(overlay::OverlayNode& host, RecoveryConfig cfg)
+      : host_(host), cfg_(cfg) {
+    host_.on_direct_payload<Heartbeat>(
+        [this](NodeId from, sim::Owned<Heartbeat>) { note_alive(from); });
+    host_.on_direct_payload<SuspectProbe>(
+        [this](NodeId from, sim::Owned<SuspectProbe>) {
+          // Answer even while we suspect others: liveness is symmetric.
+          host_.send_background(from, sim::make_payload<ProbeReply>());
+        });
+    host_.on_direct_payload<ProbeReply>(
+        [this](NodeId from, sim::Owned<ProbeReply>) { note_alive(from); });
+    host_.on_direct_payload<ReplicaDelta>(
+        [this](NodeId, sim::Owned<ReplicaDelta> d) {
+          apply_delta(std::move(d));
+        });
+    if (cfg_.enabled) {
+      host_.set_activate_hook([this] { on_tick(); });
+    }
+  }
+
+  const RecoveryConfig& config() const { return cfg_; }
+  bool enabled() const { return cfg_.enabled; }
+
+  /// (Re)install the id ring this node monitors and replicates over.
+  /// Called at bootstrap and after every membership repair. Resets the
+  /// detector (fresh leases from the current round) and clears any
+  /// pending declarations — the coordinator has already acted on them.
+  void set_ring(std::vector<NodeId> members) {
+    std::sort(members.begin(), members.end());
+    ring_ = std::move(members);
+    declared_.clear();
+    heartbeat_targets_ = neighbours(/*forward=*/true);
+    watch_.clear();
+    const std::uint64_t now = host_.tracer().round();
+    for (NodeId v : neighbours(/*forward=*/false)) {
+      Monitor m;
+      m.last_heard = now;
+      m.last_probe = now;
+      watch_.emplace(v, m);
+    }
+  }
+
+  const std::vector<NodeId>& ring() const { return ring_; }
+  const std::vector<NodeId>& heartbeat_targets() const {
+    return heartbeat_targets_;
+  }
+
+  /// The k ring successors holding this node's mirror (empty when k = 0).
+  std::vector<NodeId> replica_targets() const {
+    if (cfg_.replication == 0) return {};
+    auto succ = neighbours(/*forward=*/true);
+    if (succ.size() > cfg_.replication) succ.resize(cfg_.replication);
+    return succ;
+  }
+
+  /// Nodes this monitor has declared dead (and not yet been told about
+  /// via set_ring). The coordinator polls this after every step.
+  const std::set<NodeId>& declared() const { return declared_; }
+
+  MonitorState monitor_state(NodeId v) const {
+    auto it = watch_.find(v);
+    SKS_CHECK_MSG(it != watch_.end(), "node " << v << " is not monitored");
+    return it->second.state;
+  }
+
+  // ---- Replication: owner side. -------------------------------------
+
+  /// Ship one epoch's delta to every mirror holder (reliable traffic).
+  void send_delta(std::vector<DeltaEntry> entries,
+                  std::vector<std::uint64_t> anchor_blob, bool has_anchor) {
+    for (NodeId to : replica_targets()) {
+      auto d = sim::make_payload<ReplicaDelta>();
+      d->owner = host_.id();
+      d->entries = entries;
+      d->anchor_blob = anchor_blob;
+      d->has_anchor = has_anchor;
+      host_.send_direct(to, std::move(d));
+    }
+  }
+
+  // ---- Replication: holder side. ------------------------------------
+
+  /// Promote the staged deltas into the committed mirrors. Called by the
+  /// coordinator once the epoch (including the delta exchange) completed
+  /// with no declared death.
+  void commit_staged() {
+    for (auto& [owner, m] : staged_) mirrors_[owner] = std::move(m);
+    staged_.clear();
+  }
+
+  /// Discard the staged deltas of an aborted epoch.
+  void abort_staged() { staged_.clear(); }
+
+  bool has_mirror(NodeId owner) const { return mirrors_.count(owner) != 0; }
+  const Mirror& mirror_of(NodeId owner) const {
+    auto it = mirrors_.find(owner);
+    SKS_CHECK_MSG(it != mirrors_.end(),
+                  "no mirror for node " << owner << " held here");
+    return it->second;
+  }
+
+  /// Out-of-band (re)seed of a mirror — bootstrap and post-repair resync,
+  /// where the coordinator rebuilds mirrors from the owners' live state
+  /// rather than replaying message history.
+  void install_mirror(NodeId owner, Mirror m) {
+    mirrors_[owner] = std::move(m);
+  }
+  void drop_mirror(NodeId owner) {
+    mirrors_.erase(owner);
+    staged_.erase(owner);
+  }
+  void clear_mirrors() {
+    mirrors_.clear();
+    staged_.clear();
+  }
+
+ private:
+  struct Monitor {
+    std::uint64_t last_heard = 0;
+    std::uint64_t last_probe = 0;
+    std::uint64_t suspected_at = 0;
+    MonitorState state = MonitorState::kAlive;
+    bool declared = false;
+  };
+
+  /// The max(1, k) distinct ring neighbours in the given direction.
+  std::vector<NodeId> neighbours(bool forward) const {
+    std::vector<NodeId> out;
+    const std::size_t n = ring_.size();
+    if (n < 2) return out;
+    auto it = std::find(ring_.begin(), ring_.end(), host_.id());
+    SKS_CHECK_MSG(it != ring_.end(), "node not a member of its own ring");
+    std::size_t pos = static_cast<std::size_t>(it - ring_.begin());
+    const std::size_t want =
+        std::min<std::size_t>(std::max<std::uint32_t>(1, cfg_.replication),
+                              n - 1);
+    for (std::size_t i = 1; out.size() < want; ++i) {
+      const std::size_t j = forward ? (pos + i) % n : (pos + n - i % n) % n;
+      out.push_back(ring_[j]);
+    }
+    return out;
+  }
+
+  void on_tick() {
+    const std::uint64_t now = host_.tracer().round();
+    if (!heartbeat_targets_.empty() &&
+        now % std::max<std::uint32_t>(1, cfg_.heartbeat_every) == 0) {
+      for (NodeId to : heartbeat_targets_) {
+        host_.send_background(to, sim::make_payload<Heartbeat>());
+      }
+    }
+    for (auto& [v, m] : watch_) {
+      if (m.declared) continue;
+      if (m.state == MonitorState::kAlive) {
+        if (now - m.last_heard >= cfg_.suspect_after) {
+          m.state = MonitorState::kSuspect;
+          m.suspected_at = now;
+          m.last_probe = now;
+          host_.tracer().lifecycle(trace::EventKind::kSuspect, v);
+          host_.send_background(v, sim::make_payload<SuspectProbe>());
+        }
+        continue;
+      }
+      // Suspect: keep probing; declare after the grace period expires.
+      if (now - m.suspected_at >= cfg_.declare_after) {
+        m.declared = true;
+        declared_.insert(v);
+        host_.tracer().lifecycle(trace::EventKind::kDeclareDead, v);
+        continue;
+      }
+      if (now - m.last_probe >=
+          std::max<std::uint32_t>(1, cfg_.heartbeat_every)) {
+        m.last_probe = now;
+        host_.send_background(v, sim::make_payload<SuspectProbe>());
+      }
+    }
+  }
+
+  void note_alive(NodeId from) {
+    auto it = watch_.find(from);
+    if (it == watch_.end()) return;  // stale traffic from an old ring
+    Monitor& m = it->second;
+    if (m.declared) return;  // too late: the coordinator owns it now
+    m.last_heard = host_.tracer().round();
+    if (m.state == MonitorState::kSuspect) {
+      m.state = MonitorState::kAlive;
+      host_.tracer().lifecycle(trace::EventKind::kRecover, from);
+    }
+  }
+
+  void apply_delta(sim::Owned<ReplicaDelta> d) {
+    // Stage on a copy of the committed mirror so an abort is a no-op.
+    auto it = staged_.find(d->owner);
+    if (it == staged_.end()) {
+      Mirror base;
+      auto cit = mirrors_.find(d->owner);
+      if (cit != mirrors_.end()) base = cit->second;
+      it = staged_.emplace(d->owner, std::move(base)).first;
+    }
+    Mirror& m = it->second;
+    for (auto& e : d->entries) {
+      const auto key = std::make_pair(e.space, e.key);
+      if (e.elems.empty()) {
+        m.entries.erase(key);
+      } else {
+        m.entries[key] = std::move(e.elems);
+      }
+    }
+    if (d->has_anchor) {
+      m.anchor_blob = std::move(d->anchor_blob);
+      m.has_anchor = true;
+    }
+  }
+
+  overlay::OverlayNode& host_;
+  RecoveryConfig cfg_;
+  std::vector<NodeId> ring_;
+  std::vector<NodeId> heartbeat_targets_;
+  std::map<NodeId, Monitor> watch_;
+  std::set<NodeId> declared_;
+  std::map<NodeId, Mirror> mirrors_;  ///< committed, keyed by owner
+  std::map<NodeId, Mirror> staged_;   ///< this epoch's pending deltas
+};
+
+}  // namespace sks::recovery

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <type_traits>
@@ -37,6 +38,7 @@
 #include "common/types.hpp"
 #include "overlay/overlay_node.hpp"
 #include "overlay/topology.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "trace/tracer.hpp"
@@ -59,6 +61,12 @@ struct ClusterOptions {
   /// Reliable transport (seq/ack/retransmit). Off by default; turn it on
   /// whenever the fault plan loses messages.
   sim::ReliableConfig reliable{};
+  /// Crash recovery: failure detector + k-replication + epoch rollback.
+  /// Off by default; when enabled the protocol config must carry the same
+  /// RecoveryConfig so the nodes' detector/replication components match
+  /// what the coordinator expects. Recovery assumes crash-stop faults
+  /// (crashed nodes never restart; the coordinator fences them).
+  recovery::RecoveryConfig recovery{};
 };
 
 /// The one place a simulated network is constructed from deployment
@@ -86,6 +94,14 @@ struct AnchorTraits {
   /// Synchronize a freshly joined node's epoch/cycle counter with the
   /// number of epochs the cluster has started so far.
   static void sync_counter(NodeT&, std::uint64_t) {}
+};
+
+/// One completed recovery, recorded by the coordinator (experiment E15).
+struct RecoveryEvent {
+  NodeId victim = kNoNode;
+  std::uint64_t declared_round = 0;   ///< round the death was declared
+  std::uint64_t recovered_round = 0;  ///< round the repair completed
+  std::uint64_t epoch = 0;            ///< epoch that was rolled back
 };
 
 /// Per-epoch substrate measurements, recorded by run_epoch without
@@ -117,6 +133,8 @@ class Cluster {
       requires(NodeT& n, overlay::NodeLinks l) { n.install_links(std::move(l)); };
   static constexpr bool kHasMembership =
       requires(NodeT& n) { n.membership(); };
+  static constexpr bool kHasRecovery =
+      requires(NodeT& n) { n.recovery(); };
 
   Cluster(const ClusterOptions& opts, ConfigFactory make_config,
           NodeFactory make_node = default_node_factory())
@@ -147,6 +165,13 @@ class Cluster {
     // protocols that need every member's contribution can still converge
     // (the reliable transport bridges the messages it missed).
     net_->set_restart_hook([this](NodeId v) { on_restart(v); });
+    if constexpr (kHasRecovery) {
+      if (opts_.recovery.enabled) {
+        const std::vector<NodeId> members(active_.begin(), active_.end());
+        for (NodeId v : active_) node(v).recovery().set_ring(members);
+        refresh_mirrors();
+      }
+    }
   }
 
   // ---- Accessors -------------------------------------------------------
@@ -178,8 +203,15 @@ class Cluster {
   /// Run one complete protocol epoch: start every active node, then run
   /// the network to quiescence. Returns the number of rounds it took and
   /// appends an EpochStats entry to the history.
+  ///
+  /// With recovery enabled the epoch is transactional: checkpoint, run,
+  /// replicate, commit — and on a declared death, fence + rollback +
+  /// repair + re-run (see run_epoch_recovered).
   template <class StartFn>
   std::uint64_t run_epoch(StartFn&& start) {
+    if constexpr (kHasRecovery) {
+      if (opts_.recovery.enabled) return run_epoch_recovered(start);
+    }
     const std::uint64_t msgs0 = net_->metrics().total_messages();
     const std::uint64_t bits0 = net_->metrics().total_bits();
     trace::Tracer& tr = net_->tracer();
@@ -223,6 +255,158 @@ class Cluster {
   /// Drive the network to quiescence outside an epoch (bootstrap traffic,
   /// ad-hoc protocol sessions such as KSelect selections).
   std::uint64_t run_until_idle() { return net_->run_until_idle(); }
+
+  // ---- Crash recovery: detection, fencing, repair ----------------------
+
+  /// True when this deployment runs the failure detector + replication.
+  bool recovery_enabled() const {
+    if constexpr (kHasRecovery) return opts_.recovery.enabled;
+    return false;
+  }
+
+  /// Completed recoveries (victim, detect/repair rounds, epoch) — the raw
+  /// data for time-to-detect / time-to-recover measurements (E15).
+  const std::vector<RecoveryEvent>& recovery_log() const {
+    return recovery_log_;
+  }
+
+  /// Victims declared dead by any live node's failure detector, restricted
+  /// to currently-active members (a stale declaration of an already-fenced
+  /// node is not a new death).
+  std::set<NodeId> poll_declared() {
+    std::set<NodeId> dead;
+    if constexpr (kHasRecovery) {
+      for (NodeId v : active_) {
+        if (net_->is_crashed(v)) continue;
+        for (NodeId d : node(v).recovery().declared()) {
+          if (active_.count(d)) dead.insert(d);
+        }
+      }
+    }
+    return dead;
+  }
+
+  /// Step the network until it quiesces or some active member is declared
+  /// dead. Returns the declared victims (empty on clean quiescence). A
+  /// crashed-but-undeclared node can let the network go idle if no traffic
+  /// flows toward it; callers that are about to commit must close that
+  /// window with drive_until_death (see run_epoch_recovered).
+  std::set<NodeId> drive_until_idle_or_death(
+      std::uint64_t* rounds_out = nullptr,
+      std::uint64_t max_rounds = 1'000'000) {
+    std::uint64_t steps = 0;
+    for (;;) {
+      std::set<NodeId> dead = poll_declared();
+      if (!dead.empty()) return dead;
+      if (net_->idle()) return {};
+      SKS_CHECK_MSG(steps < max_rounds,
+                    "network did not quiesce or declare a death after "
+                        << steps << " rounds; " << net_->stall_report());
+      net_->step();
+      ++steps;
+      if (rounds_out) ++*rounds_out;
+    }
+  }
+
+  /// Step (through quiescence) until the failure detector declares a
+  /// death. Used when the coordinator already knows some member is down —
+  /// background heartbeats keep flowing while the network is data-idle,
+  /// so the detector converges in O(suspect_after + declare_after) rounds.
+  std::set<NodeId> drive_until_death(std::uint64_t* rounds_out = nullptr,
+                                     std::uint64_t max_rounds = 100'000) {
+    std::uint64_t steps = 0;
+    for (;;) {
+      std::set<NodeId> dead = poll_declared();
+      if (!dead.empty()) return dead;
+      SKS_CHECK_MSG(steps < max_rounds,
+                    "a crashed member was never declared dead");
+      net_->step();
+      ++steps;
+      if (rounds_out) ++*rounds_out;
+    }
+  }
+
+  /// Recover from a set of declared deaths: fence the victims (their
+  /// channels are cut and their reliable records purged, so the drain
+  /// below terminates), drain the network of the aborted epoch's traffic,
+  /// roll every survivor back to its pre-epoch checkpoint, and repair
+  /// membership/anchor/mirrors from the replicas. Draining can surface
+  /// further declarations; those victims join the same recovery.
+  void recover_from(std::set<NodeId> victims,
+                    std::uint64_t* rounds_out = nullptr) {
+    if constexpr (kHasRecovery) {
+      SKS_CHECK(!victims.empty());
+      const std::uint64_t declared_round = net_->round();
+      std::set<NodeId> fenced;
+      for (;;) {
+        for (NodeId v : victims) {
+          if (fenced.insert(v).second) net_->fence_node(v);
+        }
+        // Drain in-flight traffic of the aborted epoch. Deliveries land in
+        // pre-rollback state; that is safe because delete acknowledgments
+        // are deferred until commit and the rollback discards them all.
+        std::uint64_t guard = 0;
+        bool more = false;
+        while (!net_->idle()) {
+          SKS_CHECK_MSG(++guard < 1'000'000,
+                        "drain after fencing did not quiesce; "
+                            << net_->stall_report());
+          net_->step();
+          if (rounds_out) ++*rounds_out;
+          std::set<NodeId> extra = poll_declared();
+          for (NodeId d : extra) {
+            if (!fenced.count(d) && victims.insert(d).second) more = true;
+          }
+          if (more) break;
+        }
+        if (!more) break;
+      }
+      for (NodeId v : victims) active_.erase(v);
+      SKS_CHECK_MSG(!active_.empty(), "every node was declared dead");
+      for (NodeId v : active_) {
+        node(v).recovery().abort_staged();
+        if constexpr (requires(NodeT& n) { n.rollback_epoch(); }) {
+          node(v).rollback_epoch();
+        }
+      }
+      repair_membership(victims);
+      for (NodeId v : victims) {
+        recovery_log_.push_back(RecoveryEvent{v, declared_round,
+                                              net_->round(),
+                                              epochs_started_});
+        if (net_->tracer().enabled()) {
+          net_->tracer().lifecycle(trace::EventKind::kNodeLeave, v);
+        }
+      }
+    } else {
+      SKS_CHECK_MSG(false, "recover_from on a NodeT without recovery");
+    }
+  }
+
+  /// (Re)seed every replica mirror from the owners' full durable state.
+  /// Bootstrap and post-repair mirror installation are out-of-band direct
+  /// state transfers — the incremental delta path covers everything that
+  /// happens between repairs.
+  void refresh_mirrors() {
+    if constexpr (kHasRecovery) {
+      if (!opts_.recovery.enabled || opts_.recovery.replication == 0) return;
+      if constexpr (requires(NodeT& n) { n.full_state_entries(); }) {
+        for (NodeId v : active_) {
+          recovery::Mirror m;
+          for (auto& e : node(v).full_state_entries()) {
+            m.entries[{e.space, e.key}] = std::move(e.elems);
+          }
+          if constexpr (requires(NodeT& n) { n.anchor_blob(); }) {
+            m.anchor_blob = node(v).anchor_blob();
+            m.has_anchor = !m.anchor_blob.empty();
+          }
+          for (NodeId t : node(v).recovery().replica_targets()) {
+            node(t).recovery().install_mirror(v, m);
+          }
+        }
+      }
+    }
+  }
 
   // ---- Churn (Contribution 4): applied lazily between epochs -----------
 
@@ -282,8 +466,18 @@ class Cluster {
     using Record = std::decay_t<decltype(std::declval<NodeT&>().trace().front())>;
     std::vector<Record> all;
     for (NodeId v = 0; v < net_->size(); ++v) {
-      for (const auto& r : node(v).trace()) {
-        all.push_back(r);
+      const auto& tr = node(v).trace();
+      std::size_t len = tr.size();
+      if constexpr (kHasRecovery) {
+        // A fenced victim's records past its last commit belong to an
+        // aborted epoch — those operations were never acknowledged.
+        if (net_->is_fenced(v)) {
+          auto it = committed_trace_len_.find(v);
+          len = it == committed_trace_len_.end() ? 0 : it->second;
+        }
+      }
+      for (std::size_t i = 0; i < len; ++i) {
+        all.push_back(tr[i]);
         all.back().node = v;
       }
     }
@@ -291,6 +485,164 @@ class Cluster {
   }
 
  private:
+  /// Transactional epoch under crash recovery: checkpoint every member,
+  /// run the epoch, replicate the deltas, commit — or, on a declared
+  /// death, fence + rollback + repair and re-run the whole epoch. Rounds
+  /// accumulate across attempts: detection and repair time is part of the
+  /// epoch's cost, which is exactly what E15 measures.
+  template <class StartFn>
+  std::uint64_t run_epoch_recovered(StartFn&& start) {
+    const std::uint64_t msgs0 = net_->metrics().total_messages();
+    const std::uint64_t bits0 = net_->metrics().total_bits();
+    trace::Tracer& tr = net_->tracer();
+    if (tr.enabled()) tr.epoch_begin(epochs_started_);
+    std::uint64_t rounds = 0;
+    int attempts = 0;
+    for (;;) {
+      SKS_CHECK_MSG(++attempts <= kMaxEpochAttempts,
+                    "epoch " << epochs_started_ << " failed to commit after "
+                             << kMaxEpochAttempts << " recovery attempts");
+      if constexpr (requires(NodeT& n) { n.begin_epoch_checkpoint(); }) {
+        for (NodeId v : active_) node(v).begin_epoch_checkpoint();
+      }
+      // A node already down never contributes: the reliable transport's
+      // retransmissions toward it keep the network non-idle until the
+      // detector declares it, so a pre-epoch crash funnels into the same
+      // recovery path as a mid-epoch one.
+      for (NodeId v : active_) {
+        if (!net_->is_crashed(v)) start(node(v));
+      }
+      // Commit requires every participant alive: if a member is down but
+      // the traffic toward it happened to finish (a crash in the epoch's
+      // tail), committing would lose its un-replicated epoch changes —
+      // wait for the detector to declare it and roll back instead.
+      auto any_crashed = [this] {
+        for (NodeId v : active_) {
+          if (net_->is_crashed(v)) return true;
+        }
+        return false;
+      };
+      std::set<NodeId> dead = drive_until_idle_or_death(&rounds);
+      if (dead.empty() && any_crashed()) dead = drive_until_death(&rounds);
+      if (dead.empty()) {
+        if constexpr (requires(NodeT& n) { n.send_epoch_deltas(); }) {
+          for (NodeId v : active_) node(v).send_epoch_deltas();
+        }
+        dead = drive_until_idle_or_death(&rounds);
+        if (dead.empty() && any_crashed()) dead = drive_until_death(&rounds);
+        if (dead.empty()) {
+          // Commit: acknowledged == committed == replicated.
+          if constexpr (requires(NodeT& n) { n.commit_epoch(); }) {
+            for (NodeId v : active_) node(v).commit_epoch();
+          }
+          for (NodeId v : active_) node(v).recovery().commit_staged();
+          for (NodeId v : active_) {
+            committed_trace_len_[v] = node(v).trace().size();
+          }
+          break;
+        }
+      }
+      recover_from(std::move(dead), &rounds);
+    }
+    if (tr.enabled()) tr.epoch_end(epochs_started_);
+    const sim::Metrics& cur = net_->metrics();
+    EpochStats st;
+    st.epoch = epochs_started_;
+    st.rounds = rounds;
+    st.messages = cur.total_messages() - msgs0;
+    st.bits = cur.total_bits() - bits0;
+    st.congestion_high_water = cur.max_congestion();
+    epoch_history_.push_back(st);
+    ++epochs_started_;
+    return rounds;
+  }
+
+  /// Rebuild the overlay for the surviving member set and re-home the
+  /// victims' durable state from the replica mirrors. Labels are pure
+  /// hashes of node ids, so survivors' labels are unchanged and their
+  /// arcs only grow — repair never moves state between survivors.
+  void repair_membership(const std::set<NodeId>& victims) {
+    if constexpr (kHasRecovery && kIsOverlay) {
+      // Pull each victim's committed mirror before touching any links.
+      std::map<NodeId, recovery::Mirror> recovered;
+      for (NodeId dead : victims) {
+        bool found = false;
+        for (NodeId v : active_) {
+          if (node(v).recovery().has_mirror(dead)) {
+            recovered[dead] = node(v).recovery().mirror_of(dead);
+            found = true;
+            break;
+          }
+        }
+        SKS_CHECK_MSG(found, "no surviving replica of node "
+                                 << dead
+                                 << ": crashes exceeded the replication "
+                                    "factor k");
+      }
+      const bool anchor_died = victims.count(anchor_) != 0;
+      const NodeId old_anchor = anchor_;
+      const std::vector<NodeId> members(active_.begin(), active_.end());
+      auto links = overlay::build_topology(members, label_hash_);
+      for (NodeId v : active_) node(v).install_links(links.at(v));
+      // The anchor is the globally minimal left-vertex label; if its host
+      // died the role lands on the survivor whose left vertex is now the
+      // minimum.
+      anchor_ = kNoNode;
+      for (NodeId v : active_) {
+        if (node(v).hosts_anchor()) {
+          anchor_ = v;
+          break;
+        }
+      }
+      SKS_CHECK_MSG(anchor_ != kNoNode, "no anchor after recovery repair");
+      if (anchor_died) {
+        const recovery::Mirror& m = recovered.at(old_anchor);
+        // has_anchor=false means the anchor died before its first commit:
+        // the new anchor's fresh default state IS the committed state.
+        if (m.has_anchor) {
+          if constexpr (requires(NodeT& n, std::vector<std::uint64_t> w) {
+                          n.install_anchor_blob(w);
+                        }) {
+            node(anchor_).install_anchor_blob(m.anchor_blob);
+          }
+        }
+      }
+      // Re-home every recovered key to whichever survivor's arc absorbed
+      // it after the victims' arcs merged into their predecessors'.
+      auto owner_of = [&](Point key) -> NodeId {
+        for (const auto& [v, nl] : links) {
+          for (const auto& st : nl.vstates) {
+            if (overlay::arc_contains(st.self.label, st.succ.label, key)) {
+              return v;
+            }
+          }
+        }
+        SKS_CHECK_MSG(false, "no owner for recovered key");
+        return kNoNode;
+      };
+      if constexpr (requires(NodeT& n, std::uint8_t s, Point p,
+                             std::vector<Element> es) {
+                      n.absorb_recovered(s, p, std::move(es));
+                    }) {
+        for (auto& [dead, m] : recovered) {
+          for (auto& [sk, elems] : m.entries) {
+            if (elems.empty()) continue;
+            node(owner_of(sk.second))
+                .absorb_recovered(sk.first, sk.second, std::move(elems));
+          }
+        }
+      }
+      // Fresh detector rings over the survivors, mirrors of the dead
+      // dropped everywhere, then reseed all mirrors for the new topology
+      // (replica target sets changed with the ring).
+      for (NodeId v : active_) {
+        for (NodeId dead : victims) node(v).recovery().drop_mirror(dead);
+        node(v).recovery().set_ring(members);
+      }
+      refresh_mirrors();
+    }
+  }
+
   void on_restart(NodeId v) {
     if (missed_start_.erase(v) != 0 && pending_start_) {
       pending_start_(node(v));
@@ -337,6 +689,12 @@ class Cluster {
   /// function to apply if they restart before the epoch quiesces.
   std::set<NodeId> missed_start_;
   std::function<void(NodeT&)> pending_start_;
+  /// Recovery bookkeeping: completed recoveries, and the per-node trace
+  /// length as of the last commit (a fenced node's trace is truncated to
+  /// its committed prefix — its aborted-epoch records never happened).
+  std::vector<RecoveryEvent> recovery_log_;
+  std::map<NodeId, std::size_t> committed_trace_len_;
+  static constexpr int kMaxEpochAttempts = 16;
 };
 
 }  // namespace sks::runtime

@@ -46,6 +46,7 @@
 #include "kselect/kselect.hpp"
 #include "overlay/membership.hpp"
 #include "overlay/overlay_node.hpp"
+#include "recovery/recovery.hpp"
 #include "trace/tracer.hpp"
 
 namespace sks::seap {
@@ -69,6 +70,7 @@ struct SeapConfig {
   /// under alternating workloads ("batches may grow infinitely long for
   /// high injection rates"). Message sizes stay O(log n).
   bool sequentially_consistent = false;
+  recovery::RecoveryConfig recovery;
 };
 
 // ---- aggregation value types ----------------------------------------------
@@ -200,7 +202,8 @@ class SeapNode : public overlay::OverlayNode {
             },
             [this](std::uint64_t cycle, MoveDown down) {
               on_move_interval(cycle, down.iv);
-            }) {}
+            }),
+        recovery_(*this, config.recovery) {}
 
   // ---- Client API ------------------------------------------------------
 
@@ -291,6 +294,103 @@ class SeapNode : public overlay::OverlayNode {
 
   /// Heap size as tracked by the anchor (anchor host only).
   std::uint64_t anchor_heap_size() const { return anchor_m_; }
+
+  // ---- Crash recovery (coordinated by runtime/cluster.hpp) -------------
+  //
+  // Same transactional-cycle contract as SkeapNode: callbacks defer to
+  // commit, checkpoint/rollback bracket each attempt. The per-node rng_
+  // is deliberately NOT checkpointed — a re-run draws fresh random DHT
+  // keys, which is just another admissible execution.
+
+  recovery::RecoveryComponent& recovery() { return recovery_; }
+  const recovery::RecoveryComponent& recovery() const { return recovery_; }
+
+  void begin_epoch_checkpoint() {
+    EpochCheckpoint c;
+    c.dht = dht_.take_snapshot();
+    c.buffered = buffered_;
+    c.next_cycle = next_cycle_;
+    c.next_issue_seq = next_issue_seq_;
+    c.anchor_m = anchor_m_;
+    c.trace_len = trace_.size();
+    ckpt_ = std::move(c);
+  }
+
+  void rollback_epoch() {
+    SKS_CHECK_MSG(ckpt_.has_value(), "rollback without a checkpoint");
+    const EpochCheckpoint& c = *ckpt_;
+    dht_.restore_snapshot(c.dht);
+    dht_.clear_client_state();
+    kselect_.abort_all();
+    ins_agg_.abort_all();
+    del_agg_.abort_all();
+    move_agg_.abort_all();
+    buffered_ = c.buffered;
+    cycles_.clear();
+    pending_thresholds_.clear();
+    anchor_cycles_.clear();
+    next_cycle_ = c.next_cycle;
+    next_issue_seq_ = c.next_issue_seq;
+    anchor_m_ = c.anchor_m;
+    trace_.resize(c.trace_len);
+    deferred_.clear();
+  }
+
+  void commit_epoch() {
+    for (auto& [cb, e] : deferred_) {
+      if (cb) cb(e);
+    }
+    deferred_.clear();
+  }
+
+  void send_epoch_deltas() {
+    if (recovery_.replica_targets().empty()) return;
+    SKS_CHECK_MSG(ckpt_.has_value(), "epoch delta without a checkpoint");
+    std::vector<recovery::DeltaEntry> entries;
+    dht_.delta_since(ckpt_->dht, [&](std::uint8_t space, Point key,
+                                     const std::deque<Element>& elems) {
+      entries.push_back(
+          recovery::DeltaEntry{space, key, {elems.begin(), elems.end()}});
+    });
+    auto blob = anchor_blob();
+    if (entries.empty() && blob.empty()) return;
+    recovery_.send_delta(std::move(entries), std::move(blob),
+                         hosts_anchor());
+  }
+
+  std::vector<recovery::DeltaEntry> full_state_entries() const {
+    std::vector<recovery::DeltaEntry> out;
+    dht_.full_entries([&](std::uint8_t space, Point key,
+                          const std::deque<Element>& elems) {
+      out.push_back(
+          recovery::DeltaEntry{space, key, {elems.begin(), elems.end()}});
+    });
+    return out;
+  }
+
+  void absorb_recovered(std::uint8_t space, Point key,
+                        std::vector<Element> elems) {
+    for (overlay::VKind k : overlay::kAllKinds) {
+      const overlay::VirtualState& st = vstate(k);
+      if (overlay::arc_contains(st.self.label, st.succ.label, key)) {
+        dht_.absorb_entry(space, k, key, std::move(elems));
+        return;
+      }
+    }
+    SKS_CHECK_MSG(false, "recovered key " << key << " not owned by node "
+                                          << id());
+  }
+
+  /// The anchor's replicable metadata: just the heap-size counter.
+  std::vector<std::uint64_t> anchor_blob() const {
+    if (!hosts_anchor()) return {};
+    return {anchor_m_};
+  }
+
+  void install_anchor_blob(const std::vector<std::uint64_t>& w) {
+    SKS_CHECK_MSG(w.size() == 1, "malformed seap anchor blob");
+    anchor_m_ = w[0];
+  }
 
  private:
   struct PendingOp {
@@ -447,7 +547,7 @@ class SeapNode : public overlay::OverlayNode {
         rec.bottom = true;
         rec.completed = true;
         trace_.push_back(rec);
-        if (op.callback) op.callback(std::nullopt);
+        finish_delete(std::move(op.callback), std::nullopt);
       } else {
         const std::size_t rec_idx = trace_.size();
         trace_.push_back(rec);
@@ -456,7 +556,7 @@ class SeapNode : public overlay::OverlayNode {
                  [this, rec_idx, cb](const Element& e) {
                    trace_[rec_idx].element = e;
                    trace_[rec_idx].completed = true;
-                   if (cb) cb(e);
+                   finish_delete(cb, e);
                  },
                  kPositionSpace);
       }
@@ -473,6 +573,26 @@ class SeapNode : public overlay::OverlayNode {
     return hash_.point({0x5ea90002ULL, cycle, pos});
   }
 
+  /// Acknowledge a delete: immediate without recovery, deferred to cycle
+  /// commit with it (an acknowledgement must never be retracted).
+  void finish_delete(DeleteCallback cb, std::optional<Element> e) {
+    if (recovery_.enabled()) {
+      deferred_.emplace_back(std::move(cb), e);
+    } else if (cb) {
+      cb(e);
+    }
+  }
+
+  /// Everything a cycle may mutate, snapshotted at its start.
+  struct EpochCheckpoint {
+    dht::DhtComponent::Snapshot dht;
+    std::deque<PendingOp> buffered;
+    std::uint64_t next_cycle = 0;
+    std::uint64_t next_issue_seq = 0;
+    std::uint64_t anchor_m = 0;
+    std::size_t trace_len = 0;
+  };
+
   SeapConfig config_;
   HashFunction hash_;
   Rng rng_;
@@ -486,6 +606,10 @@ class SeapNode : public overlay::OverlayNode {
   agg::Aggregator<DelCountUp, DelDown> del_agg_;
   agg::Broadcaster<Thresh> thresh_;
   agg::Aggregator<MoveCountUp, MoveDown> move_agg_;
+  recovery::RecoveryComponent recovery_;
+
+  std::optional<EpochCheckpoint> ckpt_;
+  std::vector<std::pair<DeleteCallback, std::optional<Element>>> deferred_;
 
   std::deque<PendingOp> buffered_;
   std::map<std::uint64_t, CycleState> cycles_;

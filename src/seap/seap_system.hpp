@@ -50,6 +50,8 @@ class SeapSystem {
     sim::FaultPlan faults{};
     /// Reliable transport; enable whenever faults lose messages.
     sim::ReliableConfig reliable{};
+    /// Crash recovery (failure detector + k-replication + epoch rollback).
+    recovery::RecoveryConfig recovery{};
   };
 
   using Cluster = runtime::Cluster<SeapNode, SeapConfig>;
@@ -68,6 +70,7 @@ class SeapSystem {
     config.kselect.hash_seed = opts.seed ^ 0xca11ULL;
     config.kselect.rng_seed = opts.seed ^ 0x5a317ULL;
     config.sequentially_consistent = opts.sequentially_consistent;
+    config.recovery = opts.recovery;
     return config;
   }
 
@@ -80,6 +83,7 @@ class SeapSystem {
     c.expected_elements = opts.expected_elements;
     c.faults = opts.faults;
     c.reliable = opts.reliable;
+    c.recovery = opts.recovery;
     return c;
   }
 

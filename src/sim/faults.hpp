@@ -172,6 +172,20 @@ class FaultInjector {
   /// while one is outstanding even if no message is in flight.
   std::uint64_t pending_restarts() const { return pending_restarts_; }
 
+  /// Drop every not-yet-applied transition of `v` (fencing: a declared-
+  /// dead node must not come back, and a pending restart of it must not
+  /// keep the network counted as busy).
+  void cancel_node(NodeId v) {
+    for (std::size_t i = cursor_; i < schedule_.size();) {
+      if (schedule_[i].node != v) {
+        ++i;
+        continue;
+      }
+      if (schedule_[i].is_restart) --pending_restarts_;
+      schedule_.erase(schedule_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
  private:
   struct Transition {
     std::uint64_t round = 0;

@@ -159,6 +159,7 @@ class Network {
     slot.node = std::move(node);
     nodes_.push_back(std::move(slot));
     crashed_.push_back(0);
+    fenced_.push_back(0);
     metrics_.on_node_added();
     return id;
   }
@@ -204,6 +205,20 @@ class Network {
     env.action = action;
     env.payload = std::move(payload);
     ++in_flight_;
+  }
+
+  /// Fire-and-forget background traffic (failure-detector heartbeats and
+  /// probes): bypasses the reliable transport — a lost heartbeat is
+  /// superseded by the next one — runs through the same fault model and
+  /// metrics/trace as data, and is excluded from quiescence. Delivery to
+  /// a crashed or fenced destination blackholes like any other message.
+  void send_background(NodeId from, NodeId to, PayloadPtr payload) {
+    SKS_CHECK(to < nodes_.size());
+    SKS_CHECK(payload != nullptr);
+    const std::uint64_t bits = payload->size_bits();
+    const ActionId action = payload->metrics_tag();
+    enqueue(from, to, std::move(payload), MsgKind::kBackground, 0, bits,
+            action);
   }
 
   /// Advance one round: apply scheduled crashes/restarts, deliver all due
@@ -258,11 +273,13 @@ class Network {
   /// Quiescence. Pure ack traffic does not count — acks chase messages
   /// that were already delivered, so waiting for them would let transport
   /// bookkeeping spin run_until_idle (leftover acks are delivered
-  /// harmlessly whenever stepping resumes). Unacked reliable records and
-  /// scheduled-but-unapplied restarts do count: a retransmission or a
-  /// revived node may still create work.
+  /// harmlessly whenever stepping resumes). Background detector traffic
+  /// does not count either: heartbeats flow for as long as the system
+  /// lives, so counting them would make quiescence unreachable. Unacked
+  /// reliable records and scheduled-but-unapplied restarts do count: a
+  /// retransmission or a revived node may still create work.
   bool idle() const {
-    if (in_flight_ != ack_in_flight_) return false;
+    if (in_flight_ != ack_in_flight_ + bg_in_flight_) return false;
     if (reliable_enabled_ && reliable_.unacked() != 0) return false;
     if (crash_possible_ && faults_.pending_restarts() != 0) return false;
     return true;
@@ -373,6 +390,27 @@ class Network {
     return v < crashed_.size() && crashed_[v] != 0;
   }
 
+  /// Permanently retire `v`: crash it (idempotent), refuse any future
+  /// restart, cancel its scheduled crash/restart transitions, and purge
+  /// every reliable-transport record touching it so retransmissions
+  /// against the dead node stop and quiescence is reachable again. New
+  /// sends addressed to it are dropped at send time (no reliable record
+  /// is created that would retry forever). The recovery coordinator
+  /// calls this when the failure detector declares a death.
+  void fence_node(NodeId v) {
+    SKS_CHECK(v < nodes_.size());
+    crash_possible_ = true;
+    do_crash(v);
+    fenced_[v] = 1;
+    fenced_possible_ = true;
+    faults_.cancel_node(v);
+    if (reliable_enabled_) reliable_.fence(v);
+  }
+
+  bool is_fenced(NodeId v) const {
+    return v < fenced_.size() && fenced_[v] != 0;
+  }
+
   /// Invoked (with the node id) whenever a crashed node restarts, before
   /// its next activation. The cluster runtime uses this to apply epoch
   /// starts the node missed while it was down.
@@ -400,8 +438,13 @@ class Network {
 
   /// What an envelope is to the transport. Data is the paper's traffic;
   /// reliable data additionally carries a channel seq and is acked and
-  /// dedup'd; acks are consumed by the network and never reach a node.
-  enum class MsgKind : std::uint8_t { kData, kReliableData, kAck };
+  /// dedup'd; acks are consumed by the network and never reach a node;
+  /// background traffic (failure-detector heartbeats/probes) is
+  /// fire-and-forget — never tracked by the transport and excluded from
+  /// quiescence so a permanently running detector cannot keep
+  /// run_until_idle spinning.
+  enum class MsgKind : std::uint8_t { kData, kReliableData, kAck,
+                                      kBackground };
 
   struct Envelope {
     NodeId from = kNoNode;
@@ -425,6 +468,18 @@ class Network {
   /// compact.
   void slow_send(NodeId from, NodeId to, PayloadPtr payload,
                  std::uint64_t bits, ActionId action) {
+    if (fenced_possible_ && fenced_[to]) [[unlikely]] {
+      // A fenced destination is permanently dead: drop at send time so
+      // the reliable transport never creates a record that would retry
+      // forever against it.
+      metrics_.note_action(action);
+      metrics_.record_drop(action);
+      if (tracer_.enabled()) {
+        tracer_.message(trace::EventKind::kSend, from, to, action, bits);
+        tracer_.message(trace::EventKind::kDrop, from, to, action, bits);
+      }
+      return;
+    }
     if (reliable_enabled_) {
       const std::uint64_t seq =
           reliable_.register_send(from, to, *payload, bits, action, round_);
@@ -513,16 +568,18 @@ class Network {
   }
 
   void push_envelope(Envelope env, std::uint64_t due_round) {
-    const bool is_ack = env.kind == MsgKind::kAck;
+    const MsgKind kind = env.kind;
     slot_for(due_round).push_back(std::move(env));
     ++in_flight_;
-    if (is_ack) ++ack_in_flight_;
+    if (kind == MsgKind::kAck) ++ack_in_flight_;
+    if (kind == MsgKind::kBackground) ++bg_in_flight_;
   }
 
   /// Delivery of anything the step() fast path rejects: transport frames
   /// (reliable data, acks) and messages addressed to a crashed node. The
   /// caller has already decremented in_flight_.
   void deliver_slow(Envelope& env) {
+    if (env.kind == MsgKind::kBackground) --bg_in_flight_;
     if (crash_possible_ && crashed_[env.to]) [[unlikely]] {
       // Blackhole: the crashed node's channel discards everything. For
       // reliable data the sender-side record survives and retries until
@@ -535,7 +592,8 @@ class Network {
       }
       return;
     }
-    if (env.kind != MsgKind::kData) [[unlikely]] {
+    if (env.kind != MsgKind::kData && env.kind != MsgKind::kBackground)
+        [[unlikely]] {
       if (env.kind == MsgKind::kAck) {
         --ack_in_flight_;
         // Acks are counted like any delivery (the sender does process
@@ -595,6 +653,7 @@ class Network {
   }
 
   void do_restart(NodeId v) {
+    if (fenced_[v]) return;  // fencing is permanent; restarts are refused
     if (!crashed_[v]) return;
     crashed_[v] = 0;
     tracer_.lifecycle(trace::EventKind::kRestart, v);
@@ -637,13 +696,16 @@ class Network {
   bool crash_possible_;   ///< crashes scheduled or injected at runtime
   ReliableTransport reliable_;
   bool reliable_enabled_;
+  bool fenced_possible_ = false;  ///< any node ever fenced
   std::vector<Slot> nodes_;
   std::vector<char> crashed_;                   ///< per-node down flag
+  std::vector<char> fenced_;                    ///< per-node fenced flag
   std::vector<std::vector<Envelope>> pending_;  ///< ring, indexed by round
   std::vector<Envelope> due_;                   ///< scratch for step()
   std::uint64_t round_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t ack_in_flight_ = 0;  ///< subset of in_flight_ that is acks
+  std::uint64_t bg_in_flight_ = 0;   ///< subset that is background traffic
   Metrics metrics_;
   trace::Tracer tracer_;
   std::function<void(NodeId)> restart_hook_;

@@ -16,7 +16,10 @@
 //    timeout can re-send it verbatim.
 //  * The receiver side acks every copy it sees (acks are cheap, losing
 //    one only costs a retransmission) and suppresses duplicates with a
-//    per-channel watermark (`delivered_below`) plus an out-of-order set.
+//    per-channel watermark (`delivered_below`) plus a run-length map of
+//    out-of-order ranges — bounded by the number of *gaps* in the
+//    sequence space, not the number of reordered messages, so sustained
+//    reordering cannot grow it without limit.
 //  * Retransmission is driven by Network::step: a record whose retry
 //    deadline passed is cloned and re-enqueued with doubled backoff
 //    (capped at max_backoff). max_attempts = 0 means retry forever; a
@@ -29,8 +32,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <map>
-#include <set>
 
 #include "common/types.hpp"
 #include "sim/payload.hpp"
@@ -103,20 +106,73 @@ class ReliableTransport {
   /// Receiver-side duplicate suppression. Returns true iff this is the
   /// first copy of (from, to, seq) — hand it to the node; false means a
   /// duplicate the node must not see (the caller still acks it).
+  /// Out-of-order arrivals are stored as inclusive [lo, hi] runs merged
+  /// on insert, so the state is proportional to the number of gaps.
   bool mark_delivered(NodeId from, NodeId to, std::uint64_t seq) {
     Receiver& rc = recv_[ChannelKey{from, to}];
     if (seq < rc.delivered_below) return false;
     if (seq == rc.delivered_below) {
       ++rc.delivered_below;
-      // Drain the out-of-order set while it continues the run.
-      while (!rc.out_of_order.empty() &&
-             *rc.out_of_order.begin() == rc.delivered_below) {
-        rc.out_of_order.erase(rc.out_of_order.begin());
-        ++rc.delivered_below;
+      // The leading run may now touch the watermark: compact it away.
+      auto it = rc.out_of_order.begin();
+      if (it != rc.out_of_order.end() && it->first == rc.delivered_below) {
+        rc.delivered_below = it->second + 1;
+        rc.out_of_order.erase(it);
       }
       return true;
     }
-    return rc.out_of_order.insert(seq).second;
+    auto next = rc.out_of_order.lower_bound(seq);
+    if (next != rc.out_of_order.end() && next->first == seq) return false;
+    if (next != rc.out_of_order.begin()) {
+      auto prev = std::prev(next);
+      if (seq <= prev->second) return false;  // inside an existing run
+      if (prev->second + 1 == seq) {          // extends prev upward
+        prev->second = seq;
+        if (next != rc.out_of_order.end() && next->first == seq + 1) {
+          prev->second = next->second;        // bridges prev and next
+          rc.out_of_order.erase(next);
+        }
+        return true;
+      }
+    }
+    if (next != rc.out_of_order.end() && next->first == seq + 1) {
+      const std::uint64_t hi = next->second;  // extends next downward
+      rc.out_of_order.erase(next);
+      rc.out_of_order.emplace(seq, hi);
+      return true;
+    }
+    rc.out_of_order.emplace(seq, seq);
+    return true;
+  }
+
+  /// Forget every channel touching `v`: unacked records from or to it
+  /// (nothing will retransmit to a fenced node), its send counters and
+  /// its receiver dedupe state. Called when a declared-dead node is
+  /// fenced — it never acks, sends or rejoins again.
+  void fence(NodeId v) {
+    std::erase_if(records_, [v](const auto& kv) {
+      return kv.first.from == v || kv.first.to == v;
+    });
+    std::erase_if(next_seq_, [v](const auto& kv) {
+      return kv.first.from == v || kv.first.to == v;
+    });
+    std::erase_if(recv_, [v](const auto& kv) {
+      return kv.first.from == v || kv.first.to == v;
+    });
+  }
+
+  /// Disjoint out-of-order runs buffered by the (from, to) receiver —
+  /// the regression tests pin that this stays O(#gaps), not O(#messages).
+  std::size_t out_of_order_ranges(NodeId from, NodeId to) const {
+    const auto it = recv_.find(ChannelKey{from, to});
+    return it == recv_.end() ? 0 : it->second.out_of_order.size();
+  }
+
+  /// Receiver watermark of the (from, to) channel: all seq below this
+  /// were handed to the node exactly once.
+  std::uint64_t delivered_below(NodeId from, NodeId to) const {
+    const auto it = recv_.find(ChannelKey{from, to});
+    return it == recv_.end() ? 0 : it->second.delivered_below;
   }
 
   /// Walk all records due at `round`. `crashed(node)` pauses records of
@@ -172,7 +228,9 @@ class ReliableTransport {
   };
   struct Receiver {
     std::uint64_t delivered_below = 0;  ///< all seq < this were delivered
-    std::set<std::uint64_t> out_of_order;
+    /// Inclusive [lo, hi] runs of delivered seqs above the watermark,
+    /// keyed by lo; adjacent runs are merged on insert.
+    std::map<std::uint64_t, std::uint64_t> out_of_order;
   };
 
   ReliableConfig cfg_;

@@ -80,6 +80,13 @@ class AnchorState {
     return t;
   }
 
+  /// Recovery support: overwrite one priority's interval when restoring
+  /// the anchor state from a replica mirror.
+  void set_interval(Priority p, Position first, Position last) {
+    first_[idx(p)] = first;
+    last_[idx(p)] = last;
+  }
+
   /// Phase 2: assign positions to every operation of the combined batch,
   /// advancing the interval state. Entries are processed in order; within
   /// an entry the inserts are assigned before the deletes, so deletes can

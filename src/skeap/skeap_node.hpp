@@ -32,6 +32,7 @@
 #include "dht/dht.hpp"
 #include "overlay/membership.hpp"
 #include "overlay/overlay_node.hpp"
+#include "recovery/recovery.hpp"
 #include "skeap/assignment.hpp"
 #include "skeap/batch.hpp"
 
@@ -44,6 +45,7 @@ struct SkeapConfig {
   std::size_t num_priorities = 2;
   std::uint64_t hash_seed = 0xb1a5edULL;
   dht::DhtWidths widths;
+  recovery::RecoveryConfig recovery;
 };
 
 struct SkeapUp {
@@ -99,7 +101,8 @@ class SkeapNode : public overlay::OverlayNode {
              },
              [this](std::uint64_t epoch, SkeapDown down) {
                on_assignment(epoch, std::move(down.assignment));
-             }) {}
+             }),
+        recovery_(*this, config.recovery) {}
 
   // ---- Client API ------------------------------------------------------
 
@@ -201,6 +204,136 @@ class SkeapNode : public overlay::OverlayNode {
     return anchor_state_ ? anchor_state_->total_occupancy() : 0;
   }
 
+  // ---- Crash recovery (coordinated by runtime/cluster.hpp) -------------
+  //
+  // With recovery enabled, an epoch is transactional: delete callbacks are
+  // deferred and fire only at commit_epoch (acknowledged == committed ==
+  // replicated), and begin_epoch_checkpoint/rollback_epoch bracket each
+  // attempt so a declared death rewinds the survivors to the pre-epoch
+  // state before the epoch is re-run.
+
+  recovery::RecoveryComponent& recovery() { return recovery_; }
+  const recovery::RecoveryComponent& recovery() const { return recovery_; }
+
+  /// Snapshot all epoch-mutable state. Taken at every epoch start; the
+  /// snapshot doubles as the baseline for this epoch's replica delta.
+  void begin_epoch_checkpoint() {
+    EpochCheckpoint c;
+    c.dht = dht_.take_snapshot();
+    c.buffered = buffered_;
+    c.next_epoch = next_epoch_;
+    c.epochs_completed = epochs_completed_;
+    c.next_issue_seq = next_issue_seq_;
+    c.anchor_state = anchor_state_;
+    c.next_anchor_epoch = next_anchor_epoch_;
+    c.trace_len = trace_.size();
+    c.phase4_open = trace_phase4_open_;
+    c.phase4_epoch = trace_phase4_epoch_;
+    ckpt_ = std::move(c);
+  }
+
+  /// Rewind to the pre-epoch checkpoint. Requires the network drained to
+  /// idle first — outstanding DHT callbacks are dropped wholesale.
+  void rollback_epoch() {
+    SKS_CHECK_MSG(ckpt_.has_value(), "rollback without a checkpoint");
+    const EpochCheckpoint& c = *ckpt_;
+    dht_.restore_snapshot(c.dht);
+    dht_.clear_client_state();
+    agg_.abort_all();
+    buffered_ = c.buffered;
+    in_flight_.clear();
+    pending_anchor_batches_.clear();
+    next_epoch_ = c.next_epoch;
+    epochs_completed_ = c.epochs_completed;
+    next_issue_seq_ = c.next_issue_seq;
+    anchor_state_ = c.anchor_state;
+    next_anchor_epoch_ = c.next_anchor_epoch;
+    trace_.resize(c.trace_len);
+    trace_phase4_open_ = c.phase4_open;
+    trace_phase4_epoch_ = c.phase4_epoch;
+    deferred_.clear();
+  }
+
+  /// Fire the deferred delete acknowledgements, in serialization order.
+  void commit_epoch() {
+    for (auto& [cb, e] : deferred_) {
+      if (cb) cb(e);
+    }
+    deferred_.clear();
+  }
+
+  /// Diff the DHT stores against the pre-epoch snapshot and ship the
+  /// changed cells (plus the anchor blob, if hosted here) to the mirrors.
+  void send_epoch_deltas() {
+    if (recovery_.replica_targets().empty()) return;
+    SKS_CHECK_MSG(ckpt_.has_value(), "epoch delta without a checkpoint");
+    std::vector<recovery::DeltaEntry> entries;
+    dht_.delta_since(ckpt_->dht, [&](std::uint8_t space, Point key,
+                                     const std::deque<Element>& elems) {
+      entries.push_back(
+          recovery::DeltaEntry{space, key, {elems.begin(), elems.end()}});
+    });
+    auto blob = anchor_blob();
+    if (entries.empty() && blob.empty()) return;
+    recovery_.send_delta(std::move(entries), std::move(blob),
+                         anchor_state_.has_value());
+  }
+
+  /// Every stored DHT cell — the out-of-band mirror (re)seed.
+  std::vector<recovery::DeltaEntry> full_state_entries() const {
+    std::vector<recovery::DeltaEntry> out;
+    dht_.full_entries([&](std::uint8_t space, Point key,
+                          const std::deque<Element>& elems) {
+      out.push_back(
+          recovery::DeltaEntry{space, key, {elems.begin(), elems.end()}});
+    });
+    return out;
+  }
+
+  /// Install one cell recovered from a dead node's mirror; the key must
+  /// fall on one of this node's (post-repair) ownership arcs.
+  void absorb_recovered(std::uint8_t space, Point key,
+                        std::vector<Element> elems) {
+    for (overlay::VKind k : overlay::kAllKinds) {
+      const overlay::VirtualState& st = vstate(k);
+      if (overlay::arc_contains(st.self.label, st.succ.label, key)) {
+        dht_.absorb_entry(space, k, key, std::move(elems));
+        return;
+      }
+    }
+    SKS_CHECK_MSG(false, "recovered key " << key << " not owned by node "
+                                          << id());
+  }
+
+  /// The anchor's replicable metadata: [next_anchor_epoch, P, (first,
+  /// last) per priority]. Empty when this host holds no anchor state.
+  std::vector<std::uint64_t> anchor_blob() const {
+    if (!anchor_state_) return {};
+    std::vector<std::uint64_t> w;
+    const std::size_t P = anchor_state_->num_priorities();
+    w.reserve(2 + 2 * P);
+    w.push_back(next_anchor_epoch_);
+    w.push_back(P);
+    for (Priority p = 1; p <= P; ++p) {
+      w.push_back(anchor_state_->first(p));
+      w.push_back(anchor_state_->last(p));
+    }
+    return w;
+  }
+
+  /// Install anchor metadata recovered from the dead anchor's mirror.
+  void install_anchor_blob(const std::vector<std::uint64_t>& w) {
+    SKS_CHECK_MSG(w.size() >= 2, "malformed skeap anchor blob");
+    const std::size_t P = static_cast<std::size_t>(w[1]);
+    SKS_CHECK_MSG(w.size() == 2 + 2 * P, "malformed skeap anchor blob");
+    next_anchor_epoch_ = w[0];
+    AnchorState st(P);
+    for (Priority p = 1; p <= P; ++p) {
+      st.set_interval(p, w[2 + 2 * (p - 1)], w[3 + 2 * (p - 1)]);
+    }
+    anchor_state_ = std::move(st);
+  }
+
  private:
   struct PendingOp {
     bool is_insert = false;
@@ -279,7 +412,7 @@ class SkeapNode : public overlay::OverlayNode {
           rec.bottom = true;
           rec.completed = true;
           trace_.push_back(rec);
-          if (op.callback) op.callback(std::nullopt);
+          finish_delete(std::move(op.callback), std::nullopt);
         } else {
           const PrioritySpan& span = one.spans.spans().front();
           rec.prio = span.prio;
@@ -291,7 +424,7 @@ class SkeapNode : public overlay::OverlayNode {
                    [this, rec_idx, cb](const Element& e) {
                      trace_[rec_idx].element = e;
                      trace_[rec_idx].completed = true;
-                     if (cb) cb(e);
+                     finish_delete(cb, e);
                    });
         }
       }
@@ -309,11 +442,40 @@ class SkeapNode : public overlay::OverlayNode {
     return hash_.point({kSkeapKeyDomain, p, pos});
   }
 
+  /// Acknowledge a delete: immediately when recovery is off; deferred to
+  /// epoch commit when it is on (an un-committed epoch may be rolled back,
+  /// and an acknowledgement must never be retracted).
+  void finish_delete(DeleteCallback cb, std::optional<Element> e) {
+    if (recovery_.enabled()) {
+      deferred_.emplace_back(std::move(cb), e);
+    } else if (cb) {
+      cb(e);
+    }
+  }
+
+  /// Everything an epoch may mutate, snapshotted at its start.
+  struct EpochCheckpoint {
+    dht::DhtComponent::Snapshot dht;
+    std::deque<PendingOp> buffered;
+    std::uint64_t next_epoch = 0;
+    std::uint64_t epochs_completed = 0;
+    std::uint64_t next_issue_seq = 0;
+    std::optional<AnchorState> anchor_state;
+    std::uint64_t next_anchor_epoch = 0;
+    std::size_t trace_len = 0;
+    bool phase4_open = false;
+    std::uint64_t phase4_epoch = 0;
+  };
+
   SkeapConfig config_;
   HashFunction hash_;
   dht::DhtComponent dht_;
   overlay::MembershipComponent membership_;
   agg::Aggregator<SkeapUp, SkeapDown> agg_;
+  recovery::RecoveryComponent recovery_;
+
+  std::optional<EpochCheckpoint> ckpt_;
+  std::vector<std::pair<DeleteCallback, std::optional<Element>>> deferred_;
 
   std::deque<PendingOp> buffered_;
   std::map<std::uint64_t, std::vector<PendingOp>> in_flight_;

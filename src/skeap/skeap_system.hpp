@@ -48,6 +48,8 @@ class SkeapSystem {
     sim::FaultPlan faults{};
     /// Reliable transport; enable whenever faults lose messages.
     sim::ReliableConfig reliable{};
+    /// Crash recovery (failure detector + k-replication + epoch rollback).
+    recovery::RecoveryConfig recovery{};
   };
 
   using Cluster = runtime::Cluster<SkeapNode, SkeapConfig>;
@@ -61,6 +63,7 @@ class SkeapSystem {
     config.hash_seed = opts.seed ^ 0x9e3779b97f4a7c15ULL;
     config.widths = dht::DhtWidths::for_system(
         num_nodes, opts.num_priorities, opts.expected_elements);
+    config.recovery = opts.recovery;
     return config;
   }
 
@@ -73,6 +76,7 @@ class SkeapSystem {
     c.expected_elements = opts.expected_elements;
     c.faults = opts.faults;
     c.reliable = opts.reliable;
+    c.recovery = opts.recovery;
     return c;
   }
 

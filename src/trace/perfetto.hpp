@@ -193,7 +193,10 @@ inline void write_perfetto_json(const Trace& t, const std::string& path) {
       case EventKind::kNodeJoin:
       case EventKind::kNodeLeave:
       case EventKind::kCrash:
-      case EventKind::kRestart: {
+      case EventKind::kRestart:
+      case EventKind::kSuspect:
+      case EventKind::kDeclareDead:
+      case EventKind::kRecover: {
         std::fprintf(
             f,
             ",\n{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,"

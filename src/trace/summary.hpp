@@ -55,6 +55,9 @@ struct TraceSummary {
   std::uint64_t duplicates = 0;    ///< fault-injected channel duplications
   std::uint64_t crashes = 0;       ///< node crash events
   std::uint64_t restarts = 0;      ///< node restart events
+  std::uint64_t suspects = 0;      ///< failure-detector suspicions raised
+  std::uint64_t declared_dead = 0; ///< suspicions that timed out
+  std::uint64_t recoveries = 0;    ///< suspected nodes reintegrated
   std::vector<PhaseSummary> phases;
   std::vector<EpochSummary> epochs;
   std::vector<ActionSummary> actions;
@@ -105,6 +108,15 @@ inline TraceSummary summarize(const Trace& trace) {
         break;
       case EventKind::kRestart:
         ++out.restarts;
+        break;
+      case EventKind::kSuspect:
+        ++out.suspects;
+        break;
+      case EventKind::kDeclareDead:
+        ++out.declared_dead;
+        break;
+      case EventKind::kRecover:
+        ++out.recoveries;
         break;
       case EventKind::kDeliver: {
         ++out.deliveries;

@@ -51,6 +51,9 @@ inline std::string to_line(const Trace& t, const Event& e) {
     case EventKind::kNodeLeave:
     case EventKind::kCrash:
     case EventKind::kRestart:
+    case EventKind::kSuspect:
+    case EventKind::kDeclareDead:
+    case EventKind::kRecover:
       line += " " + node_str(e.node);
       break;
     case EventKind::kAnnotation:

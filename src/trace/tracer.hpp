@@ -60,6 +60,13 @@ enum class EventKind : std::uint8_t {
   kDuplicate,    ///< channel duplicated a message (node=from, peer=to)
   kCrash,        ///< node crashed (blackholes its channel, skips activate)
   kRestart,      ///< crashed node came back with its state intact
+  // Failure-detector events (src/recovery/). Appended after the fault
+  // kinds, again to keep recorded traces and golden files stable. The
+  // node field is the *subject* (the monitored node), recorded by the
+  // monitor that observed the transition.
+  kSuspect,      ///< a monitor stopped hearing from the node
+  kDeclareDead,  ///< the suspicion timed out: node declared crash-stopped
+  kRecover,      ///< a suspected node spoke again and was reintegrated
 };
 
 inline const char* to_string(EventKind k) {
@@ -78,6 +85,9 @@ inline const char* to_string(EventKind k) {
     case EventKind::kDuplicate: return "duplicate";
     case EventKind::kCrash: return "crash";
     case EventKind::kRestart: return "restart";
+    case EventKind::kSuspect: return "suspect";
+    case EventKind::kDeclareDead: return "declare-dead";
+    case EventKind::kRecover: return "recover";
   }
   return "?";
 }

@@ -1,9 +1,10 @@
 // Chaos tests at the protocol level: Skeap, Seap and KSelect complete
 // their batches/cycles/selections over a lossy channel once the reliable
-// transport is enabled, with every semantic guarantee intact — the
-// checkers of core/semantics.hpp inherently detect lost or duplicated
-// elements (a lost insert surfaces as a delete matching nothing, a
-// duplicated one as two deletes returning the same element).
+// transport is enabled, with every semantic guarantee intact. Two
+// independent auditors run on every case: the HistoryOracle replays the
+// client-visible history (acknowledged inserts vs. deleteMin results, per
+// epoch — lost, duplicated and phantom elements all surface there), and
+// the checkers of core/semantics.hpp audit the node-side op records.
 #include <algorithm>
 #include <cstdlib>
 #include <optional>
@@ -16,8 +17,12 @@
 #include "seap/seap_system.hpp"
 #include "skeap/skeap_system.hpp"
 
+#include "../common/history_oracle.hpp"
+
 namespace sks {
 namespace {
+
+using test::HistoryOracle;
 
 constexpr double kDropRates[] = {0.1, 0.2};
 
@@ -41,20 +46,25 @@ TEST(ChaosSkeap, BatchesSurviveMessageLoss) {
       opts.reliable.enabled = true;
       skeap::SkeapSystem sys(opts);
 
-      std::size_t matched = 0, bottoms = 0;
-      for (NodeId v = 0; v < 8; ++v) sys.insert(v, 1 + v % 3);
+      HistoryOracle oracle(HistoryOracle::Mode::kPriority);
+      for (NodeId v = 0; v < 8; ++v) {
+        oracle.note_insert(sys.insert(v, 1 + v % 3), 0);
+      }
       sys.run_batch();
       for (NodeId v = 0; v < 8; ++v) {
-        sys.insert(v, 1 + (v + 1) % 3);
+        oracle.note_insert(sys.insert(v, 1 + (v + 1) % 3), 1);
         if (v % 2 == 0) {
           sys.delete_min(v, [&](std::optional<Element> x) {
-            (x ? matched : bottoms)++;
+            oracle.note_delete_result(1, x);
           });
         }
       }
       sys.run_batch();
-      EXPECT_EQ(matched, 4u) << "drop=" << drop << " seed=" << seed;
-      EXPECT_EQ(bottoms, 0u);
+      const auto verdict = oracle.check();
+      EXPECT_TRUE(verdict.ok)
+          << "drop=" << drop << " seed=" << seed << ": " << verdict.error;
+      EXPECT_EQ(oracle.live_after_replay(), 12u)
+          << "16 acknowledged inserts, 4 deletes: 4 must have matched";
       EXPECT_GT(sys.net().metrics().retransmitted(), 0u)
           << "the loss rate should have forced retransmissions";
       const auto check = core::check_skeap_trace(sys.gather_trace());
@@ -80,17 +90,21 @@ TEST(ChaosSkeap, AsyncLossDuplicatesAndSpikesTogether) {
   opts.reliable.ack_timeout = 16;  // > one async round trip
   skeap::SkeapSystem sys(opts);
 
-  std::size_t deletes_done = 0;
-  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 1 + v % 2);
+  HistoryOracle oracle(HistoryOracle::Mode::kPriority);
+  for (NodeId v = 0; v < 8; ++v) {
+    oracle.note_insert(sys.insert(v, 1 + v % 2), 0);
+  }
   sys.run_batch();
   for (NodeId v = 0; v < 8; ++v) {
     sys.delete_min(v, [&](std::optional<Element> x) {
-      ASSERT_TRUE(x.has_value());
-      ++deletes_done;
+      oracle.note_delete_result(1, x);
     });
   }
   sys.run_batch();
-  EXPECT_EQ(deletes_done, 8u);
+  const auto verdict = oracle.check();
+  EXPECT_TRUE(verdict.ok) << verdict.error;
+  EXPECT_EQ(oracle.live_after_replay(), 0u)
+      << "all 8 elements must have been delivered";
   const auto check = core::check_skeap_trace(sys.gather_trace());
   EXPECT_TRUE(check.ok) << check.error;
 }
@@ -106,28 +120,26 @@ TEST(ChaosSeap, CyclesSurviveMessageLoss) {
       seap::SeapSystem sys(opts);
 
       Rng rng(seed ^ 0xabc);
-      std::vector<Element> inserted;
+      HistoryOracle oracle(HistoryOracle::Mode::kExact);
       for (int i = 0; i < 24; ++i) {
-        inserted.push_back(sys.insert(static_cast<NodeId>(rng.below(8)),
-                                      rng.range(1, 1u << 20)));
+        oracle.note_insert(sys.insert(static_cast<NodeId>(rng.below(8)),
+                                      rng.range(1, 1u << 20)),
+                           0);
       }
       sys.run_cycle();
-      std::vector<Element> got;
       for (int i = 0; i < 8; ++i) {
         sys.delete_min(static_cast<NodeId>(i),
                        [&](std::optional<Element> x) {
-                         ASSERT_TRUE(x.has_value());
-                         got.push_back(*x);
+                         oracle.note_delete_result(1, x);
                        });
       }
       sys.run_cycle();
-      ASSERT_EQ(got.size(), 8u) << "drop=" << drop << " seed=" << seed;
-      // The 8 deletes must return exactly the 8 smallest elements.
-      std::sort(inserted.begin(), inserted.end());
-      std::sort(got.begin(), got.end());
-      for (std::size_t i = 0; i < got.size(); ++i) {
-        EXPECT_EQ(got[i], inserted[i]) << "drop=" << drop << " seed=" << seed;
-      }
+      // kExact: the 8 deletes must return exactly the 8 smallest elements.
+      const auto verdict = oracle.check();
+      EXPECT_TRUE(verdict.ok)
+          << "drop=" << drop << " seed=" << seed << ": " << verdict.error;
+      EXPECT_EQ(oracle.live_after_replay(), 16u)
+          << "24 acknowledged inserts, 8 deletes: all must have matched";
       EXPECT_GT(sys.net().metrics().retransmitted(), 0u);
       const auto check = core::check_seap_trace(sys.gather_trace());
       EXPECT_TRUE(check.ok)

@@ -1,0 +1,398 @@
+// Crash recovery under crash-stop faults: for each protocol (Skeap, Seap,
+// KSelect) a node — including the anchor host — crash-stops mid-epoch at
+// several offsets and seeds, and the system detects the death, fences the
+// victim, promotes its replica, repairs the overlay and completes the
+// epoch with semantics intact:
+//
+//   * no element whose insert was acknowledged (= its epoch committed) is
+//     lost or duplicated — the HistoryOracle replays the client-visible
+//     history and the core trace checkers audit the node-side records;
+//   * the victim's operations from the epoch that was rolled back vanish
+//     *unacknowledged* (their callbacks never fire) — that is the
+//     recovery contract, and the oracle never sees them;
+//   * a transient outage shorter than the declare timeout causes
+//     suspicion and reintegration, never a declaration or data loss.
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/semantics.hpp"
+#include "kselect/kselect_system.hpp"
+#include "seap/seap_system.hpp"
+#include "skeap/skeap_system.hpp"
+#include "trace/summary.hpp"
+
+#include "../common/history_oracle.hpp"
+
+namespace sks {
+namespace {
+
+using test::HistoryOracle;
+
+// Crash offsets (rounds after the epoch start) per case; three per
+// protocol so early, mid and late mid-batch crashes are all exercised.
+constexpr std::uint64_t kCrashOffsets[] = {2, 6, 12};
+
+// Three base seeds; CI shifts the set per matrix leg via SKS_CHAOS_SEED.
+std::vector<std::uint64_t> recovery_seeds() {
+  const char* env = std::getenv("SKS_CHAOS_SEED");
+  const std::uint64_t offset =
+      env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
+  return {11 + offset, 22 + offset, 33 + offset};
+}
+
+template <class Active>
+NodeId pick_victim(const Active& active, NodeId anchor, bool crash_anchor) {
+  if (crash_anchor) return anchor;
+  for (NodeId v : active) {
+    if (v != anchor) return v;
+  }
+  return kNoNode;
+}
+
+// ---- Skeap ---------------------------------------------------------------
+
+skeap::SkeapSystem::Options skeap_recovery_opts(std::uint64_t seed) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 8;
+  opts.num_priorities = 3;
+  opts.seed = seed;
+  opts.reliable.enabled = true;
+  opts.recovery.enabled = true;
+  opts.recovery.replication = 2;
+  return opts;
+}
+
+void run_skeap_case(std::uint64_t seed, std::uint64_t crash_offset,
+                    bool crash_anchor) {
+  SCOPED_TRACE(::testing::Message() << "seed=" << seed << " offset="
+                                    << crash_offset << " anchor="
+                                    << crash_anchor);
+  skeap::SkeapSystem sys(skeap_recovery_opts(seed));
+  HistoryOracle oracle(HistoryOracle::Mode::kPriority);
+  std::vector<std::pair<NodeId, Element>> pending;
+  // An insert is acknowledged iff its epoch committed on the issuing
+  // node, i.e. the node is still an active member afterwards.
+  auto ack = [&](std::uint64_t epoch) {
+    for (auto& [v, e] : pending) {
+      if (sys.active_nodes().count(v)) oracle.note_insert(e, epoch);
+    }
+    pending.clear();
+  };
+
+  // Epoch 0: fault-free prepopulation — these commits are what the crash
+  // must not lose.
+  std::uint64_t epoch = sys.cluster().epochs_started();
+  for (NodeId v = 0; v < 8; ++v) {
+    pending.emplace_back(v, sys.insert(v, 1 + v % 3));
+    pending.emplace_back(v, sys.insert(v, 1 + (v + 1) % 3));
+  }
+  sys.run_batch();
+  ack(epoch);
+
+  // Epoch 1: mixed inserts + deletes on every node; the victim
+  // crash-stops mid-batch.
+  const NodeId victim =
+      pick_victim(sys.active_nodes(), sys.anchor(), crash_anchor);
+  ASSERT_NE(victim, kNoNode);
+  epoch = sys.cluster().epochs_started();
+  for (NodeId v : sys.active_nodes()) {
+    pending.emplace_back(v, sys.insert(v, 1 + (v + 2) % 3));
+    sys.delete_min(v, [&oracle, epoch](std::optional<Element> x) {
+      oracle.note_delete_result(epoch, x);
+    });
+  }
+  sys.net().schedule_crash(
+      {victim, sys.net().round() + crash_offset, /*restart=*/0});
+  sys.run_batch();
+  ack(epoch);
+
+  ASSERT_EQ(sys.active_nodes().size(), 7u);
+  EXPECT_EQ(sys.active_nodes().count(victim), 0u);
+  ASSERT_EQ(sys.cluster().recovery_log().size(), 1u);
+  EXPECT_EQ(sys.cluster().recovery_log()[0].victim, victim);
+  if (crash_anchor) {
+    EXPECT_NE(sys.anchor(), victim) << "the anchor role must have moved";
+    EXPECT_TRUE(sys.cluster().anchor_node().hosts_anchor());
+  }
+
+  // Drain: every acknowledged element comes out exactly once, most
+  // prioritized first, with no ⊥ while elements remain.
+  for (int guard = 0; oracle.live_after_replay() > 0 && guard < 8; ++guard) {
+    epoch = sys.cluster().epochs_started();
+    std::size_t want = oracle.live_after_replay();
+    for (NodeId v : sys.active_nodes()) {
+      if (want == 0) break;
+      --want;
+      sys.delete_min(v, [&oracle, epoch](std::optional<Element> x) {
+        oracle.note_delete_result(epoch, x);
+      });
+    }
+    sys.run_batch();
+  }
+  ASSERT_EQ(oracle.live_after_replay(), 0u)
+      << "acknowledged elements remained undeliverable after the drain";
+  const auto verdict = oracle.check();
+  EXPECT_TRUE(verdict.ok) << verdict.error;
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(RecoverySkeap, CrashStopMidBatchIsLossless) {
+  for (const std::uint64_t seed : recovery_seeds()) {
+    for (const std::uint64_t offset : kCrashOffsets) {
+      run_skeap_case(seed, offset, /*crash_anchor=*/false);
+    }
+  }
+}
+
+TEST(RecoverySkeap, AnchorCrashPromotesReplicaAndRepairsIntervals) {
+  for (const std::uint64_t seed : recovery_seeds()) {
+    run_skeap_case(seed, /*crash_offset=*/6, /*crash_anchor=*/true);
+  }
+}
+
+// ---- Seap ----------------------------------------------------------------
+
+seap::SeapSystem::Options seap_recovery_opts(std::uint64_t seed) {
+  seap::SeapSystem::Options opts;
+  opts.num_nodes = 8;
+  opts.seed = seed;
+  opts.reliable.enabled = true;
+  opts.recovery.enabled = true;
+  opts.recovery.replication = 2;
+  return opts;
+}
+
+void run_seap_case(std::uint64_t seed, std::uint64_t crash_offset,
+                   bool crash_anchor) {
+  SCOPED_TRACE(::testing::Message() << "seed=" << seed << " offset="
+                                    << crash_offset << " anchor="
+                                    << crash_anchor);
+  seap::SeapSystem sys(seap_recovery_opts(seed));
+  HistoryOracle oracle(HistoryOracle::Mode::kExact);
+  std::vector<std::pair<NodeId, Element>> pending;
+  auto ack = [&](std::uint64_t epoch) {
+    for (auto& [v, e] : pending) {
+      if (sys.active_nodes().count(v)) oracle.note_insert(e, epoch);
+    }
+    pending.clear();
+  };
+
+  // Cycle 0: prepopulate with arbitrary priorities.
+  Rng rng(seed ^ 0xabcULL);
+  std::uint64_t epoch = sys.cluster().epochs_started();
+  for (int i = 0; i < 24; ++i) {
+    const NodeId v = static_cast<NodeId>(rng.below(8));
+    pending.emplace_back(v, sys.insert(v, rng.range(1, 1u << 20)));
+  }
+  sys.run_cycle();
+  ack(epoch);
+
+  // Cycle 1: inserts + deletes everywhere; the victim crash-stops.
+  const NodeId victim =
+      pick_victim(sys.active_nodes(), sys.anchor(), crash_anchor);
+  ASSERT_NE(victim, kNoNode);
+  epoch = sys.cluster().epochs_started();
+  for (NodeId v : sys.active_nodes()) {
+    pending.emplace_back(v, sys.insert(v, rng.range(1, 1u << 20)));
+    sys.delete_min(v, [&oracle, epoch](std::optional<Element> x) {
+      oracle.note_delete_result(epoch, x);
+    });
+  }
+  sys.net().schedule_crash(
+      {victim, sys.net().round() + crash_offset, /*restart=*/0});
+  sys.run_cycle();
+  ack(epoch);
+
+  ASSERT_EQ(sys.active_nodes().size(), 7u);
+  ASSERT_EQ(sys.cluster().recovery_log().size(), 1u);
+  EXPECT_EQ(sys.cluster().recovery_log()[0].victim, victim);
+  if (crash_anchor) {
+    EXPECT_NE(sys.anchor(), victim);
+    EXPECT_TRUE(sys.cluster().anchor_node().hosts_anchor());
+  }
+
+  // Drain: Seap's cycles must deliver the exact globally smallest
+  // elements among everything acknowledged.
+  for (int guard = 0; oracle.live_after_replay() > 0 && guard < 10; ++guard) {
+    epoch = sys.cluster().epochs_started();
+    std::size_t want = oracle.live_after_replay();
+    for (NodeId v : sys.active_nodes()) {
+      if (want == 0) break;
+      --want;
+      sys.delete_min(v, [&oracle, epoch](std::optional<Element> x) {
+        oracle.note_delete_result(epoch, x);
+      });
+    }
+    sys.run_cycle();
+  }
+  ASSERT_EQ(oracle.live_after_replay(), 0u)
+      << "acknowledged elements remained undeliverable after the drain";
+  const auto verdict = oracle.check();
+  EXPECT_TRUE(verdict.ok) << verdict.error;
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(RecoverySeap, CrashStopMidCycleIsLossless) {
+  for (const std::uint64_t seed : recovery_seeds()) {
+    for (const std::uint64_t offset : kCrashOffsets) {
+      run_seap_case(seed, offset, /*crash_anchor=*/false);
+    }
+  }
+}
+
+TEST(RecoverySeap, AnchorCrashRestoresHeapCounter) {
+  for (const std::uint64_t seed : recovery_seeds()) {
+    run_seap_case(seed, /*crash_offset=*/6, /*crash_anchor=*/true);
+  }
+}
+
+// ---- KSelect -------------------------------------------------------------
+
+void run_kselect_case(std::uint64_t seed, std::uint64_t crash_offset,
+                      bool crash_anchor) {
+  SCOPED_TRACE(::testing::Message() << "seed=" << seed << " offset="
+                                    << crash_offset << " anchor="
+                                    << crash_anchor);
+  kselect::KSelectSystem::Options opts;
+  opts.num_nodes = 16;
+  opts.seed = seed;
+  opts.reliable.enabled = true;
+  opts.recovery.enabled = true;
+  opts.recovery.replication = 2;
+  kselect::KSelectSystem sys(opts);
+
+  Rng rng(seed ^ 0x515ULL);
+  std::vector<kselect::CandidateKey> elements;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    elements.push_back(kselect::CandidateKey{rng.range(1, 1u << 16), i + 1});
+  }
+  sys.seed_elements(elements);
+  std::sort(elements.begin(), elements.end());
+
+  const NodeId victim = pick_victim(sys.cluster().active_nodes(),
+                                    sys.cluster().anchor(), crash_anchor);
+  ASSERT_NE(victim, kNoNode);
+  sys.net().schedule_crash(
+      {victim, sys.net().round() + crash_offset, /*restart=*/0});
+
+  // The selection ranges over *all* 200 elements: the victim's slice is
+  // promoted from its mirror, so the k-th smallest is unchanged.
+  const auto out = sys.select(57);
+  ASSERT_TRUE(out.result.has_value());
+  EXPECT_EQ(*out.result, elements[56]);
+
+  // A second selection exercises the repaired overlay end to end (and
+  // flushes the crash if the first selection finished before it landed).
+  const auto out2 = sys.select(100);
+  ASSERT_TRUE(out2.result.has_value());
+  EXPECT_EQ(*out2.result, elements[99]);
+
+  EXPECT_EQ(sys.cluster().recovery_log().size(), 1u);
+  EXPECT_EQ(sys.cluster().active_nodes().count(victim), 0u);
+}
+
+TEST(RecoveryKSelect, CrashStopMidSelectionRecoversElements) {
+  for (const std::uint64_t seed : recovery_seeds()) {
+    for (const std::uint64_t offset : kCrashOffsets) {
+      run_kselect_case(seed, offset, /*crash_anchor=*/false);
+    }
+  }
+}
+
+TEST(RecoveryKSelect, AnchorCrashRetriesUnderNewAnchor) {
+  for (const std::uint64_t seed : recovery_seeds()) {
+    run_kselect_case(seed, /*crash_offset=*/6, /*crash_anchor=*/true);
+  }
+}
+
+// ---- Detector: false suspicion has no side effects ----------------------
+
+TEST(RecoveryDetector, FalseSuspicionReintegratesWithoutDeclaration) {
+  for (const std::uint64_t seed : recovery_seeds()) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    skeap::SkeapSystem sys(skeap_recovery_opts(seed));
+    sys.net().tracer().enable();
+    HistoryOracle oracle(HistoryOracle::Mode::kPriority);
+
+    std::uint64_t epoch = sys.cluster().epochs_started();
+    for (NodeId v = 0; v < 8; ++v) {
+      oracle.note_insert(sys.insert(v, 1 + v % 3), epoch);
+    }
+    sys.run_batch();
+
+    // A transient outage longer than the suspect timeout (8 rounds) but
+    // healed before the declare timeout (12 more): the victim must be
+    // suspected, then reintegrated — never declared, never fenced.
+    const NodeId victim =
+        pick_victim(sys.active_nodes(), sys.anchor(), false);
+    epoch = sys.cluster().epochs_started();
+    for (NodeId v : sys.active_nodes()) {
+      oracle.note_insert(sys.insert(v, 1 + (v + 1) % 3), epoch);
+      sys.delete_min(v, [&oracle, epoch](std::optional<Element> x) {
+        oracle.note_delete_result(epoch, x);
+      });
+    }
+    const std::uint64_t r = sys.net().round();
+    sys.net().schedule_crash({victim, r + 2, r + 14});
+    sys.run_batch();
+
+    EXPECT_EQ(sys.active_nodes().size(), 8u) << "nobody may be fenced";
+    EXPECT_TRUE(sys.cluster().recovery_log().empty());
+    EXPECT_FALSE(sys.net().is_crashed(victim));
+
+    const trace::TraceSummary s = trace::summarize(sys.net().take_trace());
+    EXPECT_GT(s.suspects, 0u) << "the outage must have raised suspicion";
+    EXPECT_EQ(s.declared_dead, 0u);
+    EXPECT_GT(s.recoveries, 0u) << "the suspect must have been reintegrated";
+
+    const auto verdict = oracle.check();
+    EXPECT_TRUE(verdict.ok) << verdict.error;
+    const auto check = core::check_skeap_trace(sys.gather_trace());
+    EXPECT_TRUE(check.ok) << check.error;
+  }
+}
+
+// ---- Replication: incremental deltas equal the full state ---------------
+
+TEST(RecoveryReplication, EpochDeltasKeepMirrorsCurrent) {
+  // k = 1 on a fault-free network: after every committed epoch, each
+  // node's single mirror holder must hold exactly the owner's durable
+  // state — the incremental snapshot-diff deltas may never drift from a
+  // full out-of-band reseed.
+  skeap::SkeapSystem::Options opts = skeap_recovery_opts(77);
+  opts.recovery.replication = 1;
+  skeap::SkeapSystem sys(opts);
+
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId v = 0; v < 8; ++v) {
+      sys.insert(v, 1 + (v + round) % 3);
+      if (round > 0 && v % 2 == 0) sys.delete_min(v);
+    }
+    sys.run_batch();
+
+    for (NodeId v : sys.active_nodes()) {
+      auto targets = sys.node(v).recovery().replica_targets();
+      ASSERT_EQ(targets.size(), 1u);
+      const recovery::Mirror& m =
+          sys.node(targets[0]).recovery().mirror_of(v);
+      std::map<std::pair<std::uint8_t, Point>, std::vector<Element>> expect;
+      for (auto& e : sys.node(v).full_state_entries()) {
+        expect[{e.space, e.key}] = std::move(e.elems);
+      }
+      EXPECT_EQ(m.entries, expect)
+          << "mirror of node " << v << " drifted after epoch " << round;
+      EXPECT_EQ(m.anchor_blob, sys.node(v).anchor_blob());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sks

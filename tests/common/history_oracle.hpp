@@ -1,0 +1,158 @@
+// Client-side semantics oracle shared by the chaos and recovery tests.
+//
+// The trace checkers in core/semantics.hpp validate a protocol run from
+// the *inside* (per-node op records, position assignments, phase order).
+// This oracle validates it from the *outside*: it records exactly what a
+// client would observe — acknowledged inserts and deleteMin results, per
+// epoch — and replays the epochs to verify element conservation:
+//
+//   * every non-⊥ delete returns an element that was acknowledged and is
+//     still live (a lost insert surfaces as a phantom-free ⊥ shortfall, a
+//     duplicated delivery as a second delete of the same element),
+//   * ⊥ results are legal only when an epoch issues more deletes than
+//     there are live elements,
+//   * in kExact mode (Seap: a cycle's deletes receive the globally m
+//     smallest elements) each epoch's returned multiset must equal the
+//     smallest elements available,
+//   * in kPriority mode (Skeap: deletes return most-prioritized elements,
+//     ids within a priority are arbitrary) the returned *priorities* must
+//     equal the smallest priorities available.
+//
+// "Available" to an epoch's deletes means the live set plus that same
+// epoch's inserts — both Skeap batches and Seap cycles apply inserts
+// before (or interleaved with) the deletes they are combined with. The
+// per-epoch minimality checks are exact for workloads whose outcome does
+// not depend on the batch-entry order (all of ours; the entry-order-
+// sensitive corner cases are the trace checkers' job).
+//
+// Under crash recovery, acknowledged == committed: only inserts whose
+// epoch committed may be fed to note_insert. A victim's operations from
+// the epoch that was rolled back were never acknowledged and must not be
+// recorded — that is the recovery contract the oracle verifies.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sks::test {
+
+class HistoryOracle {
+ public:
+  enum class Mode {
+    kExact,     ///< deletes return the exact smallest elements (Seap)
+    kPriority,  ///< deletes return the smallest priorities (Skeap)
+  };
+
+  explicit HistoryOracle(Mode mode) : mode_(mode) {}
+
+  /// Record an insert acknowledged as part of `epoch`.
+  void note_insert(Element e, std::uint64_t epoch) {
+    epochs_[epoch].inserts.push_back(e);
+  }
+
+  /// Record the result of a deleteMin issued in `epoch` (⊥ = nullopt).
+  void note_delete_result(std::uint64_t epoch, std::optional<Element> r) {
+    epochs_[epoch].deletes.push_back(r);
+  }
+
+  struct Verdict {
+    bool ok = true;
+    std::string error;
+  };
+
+  /// Replay all recorded epochs in order and verify conservation and
+  /// per-epoch minimality. Idempotent; call as often as convenient.
+  Verdict check() const {
+    Verdict v;
+    std::vector<Element> live;
+    for (const auto& [epoch, ops] : epochs_) {
+      live.insert(live.end(), ops.inserts.begin(), ops.inserts.end());
+      std::sort(live.begin(), live.end());
+      std::vector<Element> returned;
+      std::size_t bottoms = 0;
+      for (const auto& r : ops.deletes) {
+        if (!r.has_value()) {
+          ++bottoms;
+          continue;
+        }
+        auto it = std::lower_bound(live.begin(), live.end(), *r);
+        if (it == live.end() || !(*it == *r)) {
+          return fail("epoch ", epoch, ": delete returned element {prio=",
+                      r->prio, ", id=", r->id,
+                      "} that is not live (phantom, duplicate delivery, or "
+                      "an unacknowledged insert)");
+        }
+        returned.push_back(*r);
+        live.erase(it);
+      }
+      // ⊥ only when the epoch's deletes outnumber what was available.
+      const std::size_t available = live.size() + returned.size();
+      const std::size_t expect_bottoms =
+          ops.deletes.size() > available ? ops.deletes.size() - available : 0;
+      if (bottoms != expect_bottoms) {
+        return fail("epoch ", epoch, ": ", bottoms, " ⊥ results but ",
+                    expect_bottoms, " expected (", ops.deletes.size(),
+                    " deletes, ", available,
+                    " elements available — a ⊥ with live elements is a "
+                    "lost element)");
+      }
+      if (!returned.empty()) {
+        // The returned multiset must be minimal among what was available:
+        // compare against the smallest |returned| of live ∪ returned.
+        std::vector<Element> avail = live;
+        avail.insert(avail.end(), returned.begin(), returned.end());
+        std::sort(avail.begin(), avail.end());
+        std::sort(returned.begin(), returned.end());
+        for (std::size_t i = 0; i < returned.size(); ++i) {
+          const bool match = mode_ == Mode::kExact
+                                 ? returned[i] == avail[i]
+                                 : returned[i].prio == avail[i].prio;
+          if (!match) {
+            return fail("epoch ", epoch, ": delete #", i, " returned ",
+                        mode_ == Mode::kExact ? "element" : "priority",
+                        " {prio=", returned[i].prio, ", id=",
+                        returned[i].id, "} but {prio=", avail[i].prio,
+                        ", id=", avail[i].id, "} was available");
+          }
+        }
+      }
+    }
+    return v;
+  }
+
+  /// Acknowledged elements never returned by a delete, after replaying
+  /// everything — the survivors a drain loop should still be able to pull.
+  std::size_t live_after_replay() const {
+    std::size_t inserts = 0, hits = 0;
+    for (const auto& [epoch, ops] : epochs_) {
+      inserts += ops.inserts.size();
+      for (const auto& r : ops.deletes) hits += r.has_value() ? 1 : 0;
+    }
+    return inserts - hits;
+  }
+
+ private:
+  struct EpochOps {
+    std::vector<Element> inserts;
+    std::vector<std::optional<Element>> deletes;
+  };
+
+  template <class... Parts>
+  static Verdict fail(Parts&&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    return Verdict{false, os.str()};
+  }
+
+  Mode mode_;
+  std::map<std::uint64_t, EpochOps> epochs_;  ///< replayed in epoch order
+};
+
+}  // namespace sks::test

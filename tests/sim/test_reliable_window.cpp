@@ -1,0 +1,102 @@
+// Regression tests for the reliable transport's receiver-side duplicate
+// suppression: the out-of-order buffer must stay proportional to the
+// number of *gaps* in the sequence space (run-length ranges compacted
+// against the watermark), not the number of reordered messages — the
+// original std::set grew one entry per message under sustained
+// reordering. Also covers fence(), which recovery uses to retire every
+// channel of a declared-dead node.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "sim/reliable.hpp"
+
+namespace sks::sim {
+namespace {
+
+constexpr NodeId kA = 0;
+constexpr NodeId kB = 1;
+
+TEST(ReliableWindow, SustainedReorderingIsBoundedByGapCount) {
+  ReliableTransport t({.enabled = true});
+  // Deliver 1..N with 0 missing: one contiguous run above the watermark,
+  // regardless of N. The unbounded-set implementation held N entries.
+  constexpr std::uint64_t kN = 10'000;
+  for (std::uint64_t seq = 1; seq <= kN; ++seq) {
+    EXPECT_TRUE(t.mark_delivered(kA, kB, seq));
+  }
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 1u);
+  EXPECT_EQ(t.delivered_below(kA, kB), 0u);
+
+  // The gap fills: everything compacts into the watermark.
+  EXPECT_TRUE(t.mark_delivered(kA, kB, 0));
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 0u);
+  EXPECT_EQ(t.delivered_below(kA, kB), kN + 1);
+
+  // Every copy replayed after compaction is a duplicate.
+  for (std::uint64_t seq = 0; seq <= kN; ++seq) {
+    EXPECT_FALSE(t.mark_delivered(kA, kB, seq));
+  }
+}
+
+TEST(ReliableWindow, RunsMergeInEveryDirection) {
+  ReliableTransport t({.enabled = true});
+  // Build disjoint runs {2}, {6}, then bridge and extend them.
+  EXPECT_TRUE(t.mark_delivered(kA, kB, 2));
+  EXPECT_TRUE(t.mark_delivered(kA, kB, 6));
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 2u);
+  EXPECT_TRUE(t.mark_delivered(kA, kB, 3));   // extend {2} up -> {2,3}
+  EXPECT_TRUE(t.mark_delivered(kA, kB, 5));   // extend {6} down -> {5,6}
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 2u);
+  EXPECT_TRUE(t.mark_delivered(kA, kB, 4));   // bridge -> {2..6}
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 1u);
+
+  // Duplicates inside, at the edges of, and keyed at a run are rejected.
+  EXPECT_FALSE(t.mark_delivered(kA, kB, 2));
+  EXPECT_FALSE(t.mark_delivered(kA, kB, 4));
+  EXPECT_FALSE(t.mark_delivered(kA, kB, 6));
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 1u);
+
+  // 0 advances the watermark but 1 is still missing; then 1 drains all.
+  EXPECT_TRUE(t.mark_delivered(kA, kB, 0));
+  EXPECT_EQ(t.delivered_below(kA, kB), 1u);
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 1u);
+  EXPECT_TRUE(t.mark_delivered(kA, kB, 1));
+  EXPECT_EQ(t.delivered_below(kA, kB), 7u);
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 0u);
+}
+
+TEST(ReliableWindow, AlternatingGapsHoldOneRangePerGap) {
+  ReliableTransport t({.enabled = true});
+  // Odd seqs only: every arrival opens its own gap-bounded run.
+  for (std::uint64_t seq = 1; seq <= 99; seq += 2) {
+    EXPECT_TRUE(t.mark_delivered(kA, kB, seq));
+  }
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 50u);
+  // Even seqs arrive: runs merge pairwise and drain at the watermark.
+  for (std::uint64_t seq = 0; seq <= 98; seq += 2) {
+    EXPECT_TRUE(t.mark_delivered(kA, kB, seq));
+  }
+  EXPECT_EQ(t.out_of_order_ranges(kA, kB), 0u);
+  EXPECT_EQ(t.delivered_below(kA, kB), 100u);
+}
+
+TEST(ReliableWindow, FenceRetiresEveryChannelOfANode) {
+  ReliableTransport t({.enabled = true});
+  const ReliableAck payload;
+  t.register_send(kA, kB, payload, 64, 0, /*round=*/0);
+  t.register_send(kB, kA, payload, 64, 0, /*round=*/0);
+  t.register_send(kA, 2, payload, 64, 0, /*round=*/0);
+  EXPECT_TRUE(t.mark_delivered(kB, kA, 5));
+  EXPECT_TRUE(t.mark_delivered(kA, 2, 5));
+  ASSERT_EQ(t.unacked(), 3u);
+
+  t.fence(kB);
+  // Both directions touching kB are gone; the kA->2 channel survives.
+  EXPECT_EQ(t.unacked(), 1u);
+  EXPECT_EQ(t.out_of_order_ranges(kB, kA), 0u);
+  EXPECT_EQ(t.out_of_order_ranges(kA, 2), 1u);
+}
+
+}  // namespace
+}  // namespace sks::sim

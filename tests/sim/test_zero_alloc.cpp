@@ -67,6 +67,11 @@ class SinkNode : public DispatchingNode {
     on<NullPayload>([](NodeId, Owned<NullPayload>) {});
   }
   void fire(NodeId to) { send(to, make_payload<NullPayload>()); }
+  /// Same payload over the fire-and-forget background lane (the failure
+  /// detector's heartbeat path).
+  void fire_bg(NodeId to) {
+    net().send_background(id(), to, make_payload<NullPayload>());
+  }
 };
 
 TEST(ZeroAlloc, SteadyStateSendDeliverAllocatesNothing) {
@@ -152,6 +157,33 @@ TEST(ZeroAlloc, InactiveFaultPlanAndDisabledReliableAllocateNothing) {
 
   EXPECT_EQ(g_allocs.load(), 0u)
       << "disabled fault machinery leaked allocations into the hot path";
+}
+
+// Failure-detector heartbeats ride the background lane (send_background):
+// excluded from quiescence but pooled and queued like data. A steady
+// heartbeat stream must recycle payloads and slot capacity just as the
+// data path does — the detector may run forever without touching the heap.
+TEST(ZeroAlloc, SteadyStateBackgroundLaneAllocatesNothing) {
+  Network net;
+  net.add_node(std::make_unique<SinkNode>());
+  const NodeId b = net.add_node(std::make_unique<SinkNode>());
+
+  auto cycle = [&] {
+    for (int i = 0; i < 64; ++i) net.node_as<SinkNode>(0).fire_bg(b);
+    // Background traffic doesn't count toward idle; step a fixed number
+    // of rounds to drain it instead of run_until_idle.
+    for (int s = 0; s < 4; ++s) net.step();
+  };
+
+  for (int w = 0; w < 4; ++w) cycle();
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int r = 0; r < 16; ++r) cycle();
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "background (heartbeat) lane performed steady-state allocations";
 }
 
 }  // namespace

@@ -121,6 +121,30 @@ TEST(GoldenTrace, AllZeroFaultPlanLeavesTraceByteIdentical) {
   }
 }
 
+// The recovery substrate must be equally invisible when disabled: an
+// explicitly constructed (still-disabled) RecoveryConfig sends no
+// heartbeats, takes no rng draws and replicates nothing, so the capture
+// stays byte-identical to the default-options run in both delivery modes.
+TEST(GoldenTrace, DisabledRecoveryLeavesTraceByteIdentical) {
+  for (const sim::DeliveryMode mode : {sim::DeliveryMode::kSynchronous,
+                                       sim::DeliveryMode::kAsynchronous}) {
+    skeap::SkeapSystem::Options opts;
+    opts.num_nodes = 3;
+    opts.num_priorities = 2;
+    opts.seed = 42;
+    opts.mode = mode;
+    opts.recovery = recovery::RecoveryConfig{};  // explicit, still disabled
+    ASSERT_FALSE(opts.recovery.enabled);
+    skeap::SkeapSystem sys(opts);
+    sys.net().tracer().enable();
+    run_figure1_batch(sys);
+    EXPECT_EQ(trace::to_text(sys.net().take_trace()),
+              figure1_trace_text(mode))
+        << "a disabled RecoveryConfig must not perturb the schedule (mode "
+        << static_cast<int>(mode) << ")";
+  }
+}
+
 TEST(GoldenTrace, CaptureIsDeterministicSync) {
   EXPECT_EQ(figure1_trace_text(sim::DeliveryMode::kSynchronous),
             figure1_trace_text(sim::DeliveryMode::kSynchronous));
