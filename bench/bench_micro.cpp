@@ -82,6 +82,11 @@ BENCHMARK(BM_BuildTopology)->Arg(64)->Arg(1024);
 struct NullPayload final : sim::Action<NullPayload> {
   static constexpr const char* kActionName = "null";
   std::uint64_t size_bits() const override { return 8; }
+
+  void encode(sks::wire::WireWriter&) const override {}
+  static sim::Owned<NullPayload> decode(sks::wire::WireReader&) {
+    return sim::make_payload<NullPayload>();
+  }
 };
 
 class SinkNode : public sim::DispatchingNode {

@@ -84,6 +84,25 @@ class JsonSink {
         std::max(report_.max_message_bits, snap.max_message_bits);
     report_.max_congestion =
         std::max(report_.max_congestion, snap.max_congestion);
+    report_.wire_messages += snap.wire_messages;
+    report_.wire_body_bits += snap.wire_body_bits;
+    report_.wire_frame_bits += snap.wire_frame_bits;
+    for (const auto& [t, v] : snap.wire_messages_by_type) {
+      report_.wire_messages_by_type[t] += v;
+    }
+    for (const auto& [t, v] : snap.wire_bits_by_type) {
+      report_.wire_bits_by_type[t] += v;
+    }
+    for (const auto& [t, v] : snap.wire_max_bits_by_type) {
+      auto& m = report_.wire_max_bits_by_type[t];
+      m = std::max(m, v);
+    }
+    for (const auto& [t, v] : snap.wire_accounted_bits_by_type) {
+      report_.wire_accounted_bits_by_type[t] += v;
+    }
+    for (const auto& [t, v] : snap.wire_envelope_bits_by_type) {
+      report_.wire_envelope_bits_by_type[t] += v;
+    }
     ++report_.windows;
     write();
   }
@@ -107,6 +126,15 @@ class JsonSink {
     std::uint64_t max_message_bits = 0;
     std::uint64_t max_congestion = 0;
     std::uint64_t windows = 0;
+    // Wire-mode accounting, accumulated across windows (empty off-wire).
+    std::uint64_t wire_messages = 0;
+    std::uint64_t wire_body_bits = 0;
+    std::uint64_t wire_frame_bits = 0;
+    std::map<std::string, std::uint64_t> wire_messages_by_type;
+    std::map<std::string, std::uint64_t> wire_bits_by_type;
+    std::map<std::string, std::uint64_t> wire_max_bits_by_type;
+    std::map<std::string, std::uint64_t> wire_accounted_bits_by_type;
+    std::map<std::string, std::uint64_t> wire_envelope_bits_by_type;
     trace::TraceSummary summary;
     bool has_summary = false;
   };
@@ -159,6 +187,49 @@ class JsonSink {
     std::fprintf(f, ",\n");
     write_histogram(f, "congestion", report_.congestion,
                     report_.max_congestion);
+    if (report_.wire_messages > 0) {
+      // Measured-vs-accounted, per logical action: `wire_bits` is the
+      // encoded body (frame tag and envelope headers excluded), directly
+      // comparable to `accounted_bits` = sum of size_bits(). CI's
+      // bench-smoke gate parses this section.
+      std::fprintf(f,
+                   ",\n    \"wire\": {\"messages\": %llu, "
+                   "\"body_bits\": %llu, \"frame_bits\": %llu,\n"
+                   "      \"actions\": [",
+                   static_cast<unsigned long long>(report_.wire_messages),
+                   static_cast<unsigned long long>(report_.wire_body_bits),
+                   static_cast<unsigned long long>(report_.wire_frame_bits));
+      bool first = true;
+      for (const auto& [type, msgs] : report_.wire_messages_by_type) {
+        std::fprintf(f, "%s\n        {\"action\": \"", first ? "" : ",");
+        write_escaped(f, type);
+        const auto find = [&](const std::map<std::string, std::uint64_t>& m) {
+          const auto it = m.find(type);
+          return it == m.end() ? std::uint64_t{0} : it->second;
+        };
+        std::fprintf(
+            f,
+            "\", \"messages\": %llu, \"wire_bits\": %llu, "
+            "\"max_wire_bits\": %llu, \"accounted_bits\": %llu}",
+            static_cast<unsigned long long>(msgs),
+            static_cast<unsigned long long>(find(report_.wire_bits_by_type)),
+            static_cast<unsigned long long>(
+                find(report_.wire_max_bits_by_type)),
+            static_cast<unsigned long long>(
+                find(report_.wire_accounted_bits_by_type)));
+        first = false;
+      }
+      std::fprintf(f, "%s],\n      \"envelopes\": [", first ? "" : "\n      ");
+      first = true;
+      for (const auto& [type, bits] : report_.wire_envelope_bits_by_type) {
+        std::fprintf(f, "%s\n        {\"action\": \"", first ? "" : ",");
+        write_escaped(f, type);
+        std::fprintf(f, "\", \"header_bits\": %llu}",
+                     static_cast<unsigned long long>(bits));
+        first = false;
+      }
+      std::fprintf(f, "%s]\n    }", first ? "" : "\n      ");
+    }
     if (report_.has_summary) {
       const trace::TraceSummary& s = report_.summary;
       std::fprintf(f,
@@ -275,10 +346,16 @@ inline void init(const std::string& name, int argc, char** argv) {
       max_n_limit() = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path() = argv[++i];
+    } else if (std::strcmp(argv[i], "--wire") == 0) {
+      // Must run before the first Network is constructed (it is: init is
+      // the first statement of every bench main). Equivalent to running
+      // the binary under SKS_WIRE=1.
+      setenv("SKS_WIRE", "1", 1);
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
-          "usage: bench_%s [--json [path]] [--max-n N] [--trace path]\n"
+          "usage: bench_%s [--json [path]] [--max-n N] [--trace path] "
+          "[--wire]\n"
           "\n"
           "  --json [path]  mirror table rows (plus a report section with\n"
           "                 histogram quantiles and, with --trace, the\n"
@@ -287,7 +364,11 @@ inline void init(const std::string& name, int argc, char** argv) {
           "  --max-n N      skip sweep points with n > N (smoke runs)\n"
           "  --trace path   dump a Perfetto/chrome://tracing JSON trace of\n"
           "                 the first traced execution to `path`; open it\n"
-          "                 at https://ui.perfetto.dev\n",
+          "                 at https://ui.perfetto.dev\n"
+          "  --wire         marshal every message through the byte-exact\n"
+          "                 wire codec (encode -> bytes -> decode) and\n"
+          "                 record measured encoded sizes alongside the\n"
+          "                 accounted size_bits() (the --json wire section)\n",
           name.c_str(), name.c_str());
       std::exit(0);
     }

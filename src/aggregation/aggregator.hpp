@@ -44,6 +44,18 @@ struct AggUpMsg final : sim::Action<AggUpMsg<Up>> {
   std::uint64_t epoch = 0;
   Up value{};
   std::uint64_t size_bits() const override { return 16 + value.size_bits(); }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(epoch);
+    value.encode(w);
+  }
+
+  static sim::Owned<AggUpMsg<Up>> decode(wire::WireReader& r) {
+    auto msg = sim::make_payload<AggUpMsg<Up>>();
+    msg->epoch = r.leb();
+    msg->value = Up::decode(r);
+    return msg;
+  }
 };
 
 template <class Down>
@@ -52,6 +64,18 @@ struct AggDownMsg final : sim::Action<AggDownMsg<Down>> {
   std::uint64_t epoch = 0;
   Down value{};
   std::uint64_t size_bits() const override { return 16 + value.size_bits(); }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(epoch);
+    value.encode(w);
+  }
+
+  static sim::Owned<AggDownMsg<Down>> decode(wire::WireReader& r) {
+    auto msg = sim::make_payload<AggDownMsg<Down>>();
+    msg->epoch = r.leb();
+    msg->value = Down::decode(r);
+    return msg;
+  }
 };
 
 /// One converge-cast / broadcast channel over the aggregation tree.
@@ -86,11 +110,17 @@ class Aggregator {
                sim::Owned<AggUpMsg<Up>> msg) {
           handle_up(at, from, std::move(msg));
         });
-    host_.on_vertex_payload<AggDownMsg<Down>>(
-        [this](overlay::VKind at, const overlay::VirtualId&,
-               sim::Owned<AggDownMsg<Down>> msg) {
-          handle_down(at, std::move(msg));
-        });
+    // Up-only aggregators (split == nullptr) never send a down message;
+    // registering AggDownMsg<Down> anyway would intern Down::kName a
+    // second time when Up and Down are the same type — which the registry
+    // now rejects as an ambiguous wire tag.
+    if (split_ != nullptr) {
+      host_.on_vertex_payload<AggDownMsg<Down>>(
+          [this](overlay::VKind at, const overlay::VirtualId&,
+                 sim::Owned<AggDownMsg<Down>> msg) {
+            handle_down(at, std::move(msg));
+          });
+    }
   }
 
   /// Contribute this host's value for `epoch`; starts the up pass at the

@@ -23,6 +23,18 @@ struct BroadcastMsg final : sim::Action<BroadcastMsg<V>> {
   std::uint64_t epoch = 0;
   V value{};
   std::uint64_t size_bits() const override { return 16 + value.size_bits(); }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(epoch);
+    value.encode(w);
+  }
+
+  static sim::Owned<BroadcastMsg<V>> decode(wire::WireReader& r) {
+    auto msg = sim::make_payload<BroadcastMsg<V>>();
+    msg->epoch = r.leb();
+    msg->value = V::decode(r);
+    return msg;
+  }
 };
 
 template <class V>

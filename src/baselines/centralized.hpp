@@ -28,12 +28,28 @@ struct CentralInsert final : sim::Action<CentralInsert> {
   static constexpr const char* kActionName = "central.insert";
   Element element{};
   std::uint64_t size_bits() const override { return 64; }
+
+  void encode(wire::WireWriter& w) const override { element.encode(w); }
+
+  static sim::Owned<CentralInsert> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<CentralInsert>();
+    m->element = Element::decode(r);
+    return m;
+  }
 };
 
 struct CentralDelete final : sim::Action<CentralDelete> {
   static constexpr const char* kActionName = "central.delete";
   std::uint64_t request_id = 0;
   std::uint64_t size_bits() const override { return 48; }
+
+  void encode(wire::WireWriter& w) const override { w.delta(request_id); }
+
+  static sim::Owned<CentralDelete> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<CentralDelete>();
+    m->request_id = r.delta();
+    return m;
+  }
 };
 
 struct CentralReply final : sim::Action<CentralReply> {
@@ -42,6 +58,20 @@ struct CentralReply final : sim::Action<CentralReply> {
   bool has_element = false;
   Element element{};
   std::uint64_t size_bits() const override { return 64; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.delta(request_id);
+    w.boolean(has_element);
+    if (has_element) element.encode(w);
+  }
+
+  static sim::Owned<CentralReply> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<CentralReply>();
+    m->request_id = r.delta();
+    m->has_element = r.boolean();
+    if (m->has_element) m->element = Element::decode(r);
+    return m;
+  }
 };
 
 class CentralNode : public sim::DispatchingNode {

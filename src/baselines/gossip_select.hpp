@@ -35,6 +35,14 @@ struct GossipSampleReq final : sim::Action<GossipSampleReq> {
   static constexpr const char* kActionName = "gossip.sample_req";
   std::uint64_t session = 0;
   std::uint64_t size_bits() const override { return 32; }
+
+  void encode(wire::WireWriter& w) const override { w.leb(session); }
+
+  static sim::Owned<GossipSampleReq> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<GossipSampleReq>();
+    m->session = r.leb();
+    return m;
+  }
 };
 
 struct GossipSampleRep final : sim::Action<GossipSampleRep> {
@@ -43,6 +51,20 @@ struct GossipSampleRep final : sim::Action<GossipSampleRep> {
   bool alive = false;  ///< value still a candidate?
   Element value{};
   std::uint64_t size_bits() const override { return 64; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    w.boolean(alive);
+    value.encode(w);
+  }
+
+  static sim::Owned<GossipSampleRep> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<GossipSampleRep>();
+    m->session = r.leb();
+    m->alive = r.boolean();
+    m->value = Element::decode(r);
+    return m;
+  }
 };
 
 struct GossipCountReq final : sim::Action<GossipCountReq> {
@@ -50,6 +72,18 @@ struct GossipCountReq final : sim::Action<GossipCountReq> {
   std::uint64_t session = 0;
   Element pivot{};
   std::uint64_t size_bits() const override { return 64; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    pivot.encode(w);
+  }
+
+  static sim::Owned<GossipCountReq> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<GossipCountReq>();
+    m->session = r.leb();
+    m->pivot = Element::decode(r);
+    return m;
+  }
 };
 
 struct GossipCountRep final : sim::Action<GossipCountRep> {
@@ -58,6 +92,20 @@ struct GossipCountRep final : sim::Action<GossipCountRep> {
   std::uint32_t leq = 0;    ///< 1 iff my value <= pivot and alive
   std::uint32_t alive = 0;  ///< 1 iff my value is still a candidate
   std::uint64_t size_bits() const override { return 34; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    w.leb(leq);
+    w.leb(alive);
+  }
+
+  static sim::Owned<GossipCountRep> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<GossipCountRep>();
+    m->session = r.leb();
+    m->leq = static_cast<std::uint32_t>(r.leb());
+    m->alive = static_cast<std::uint32_t>(r.leb());
+    return m;
+  }
 };
 
 struct GossipPrune final : sim::Action<GossipPrune> {
@@ -65,6 +113,20 @@ struct GossipPrune final : sim::Action<GossipPrune> {
   std::uint64_t session = 0;
   Element lo{}, hi{};
   std::uint64_t size_bits() const override { return 96; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    lo.encode(w);
+    hi.encode(w);
+  }
+
+  static sim::Owned<GossipPrune> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<GossipPrune>();
+    m->session = r.leb();
+    m->lo = Element::decode(r);
+    m->hi = Element::decode(r);
+    return m;
+  }
 };
 
 /// One node holding one value (the [HMS18] setting).

@@ -29,12 +29,29 @@ struct ProbeStep {
   bool snapshot = false;  ///< first step: snapshot local elements
   Element pivot{};        ///< count elements <= pivot
   std::uint64_t size_bits() const { return 32 + 48; }
+
+  void encode(wire::WireWriter& w) const {
+    w.leb(session);
+    w.boolean(snapshot);
+    pivot.encode(w);
+  }
+
+  static ProbeStep decode(wire::WireReader& r) {
+    ProbeStep s;
+    s.session = r.leb();
+    s.snapshot = r.boolean();
+    s.pivot = Element::decode(r);
+    return s;
+  }
 };
 
 struct ProbeCount {
   static constexpr const char* kName = "naive.count";
   std::uint64_t count = 0;
   std::uint64_t size_bits() const { return 32; }
+
+  void encode(wire::WireWriter& w) const { w.delta(count); }
+  static ProbeCount decode(wire::WireReader& r) { return ProbeCount{r.delta()}; }
 };
 
 class NaiveKSelectComponent {

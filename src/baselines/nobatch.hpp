@@ -36,6 +36,26 @@ struct NoBatchOp final : sim::Action<NoBatchOp> {
   std::uint64_t request_id = 0;
   overlay::VKind at_kind = overlay::VKind::kRight;
   std::uint64_t size_bits() const override { return 64; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.boolean(is_insert);
+    w.gammau(prio);
+    w.leb(origin);
+    w.delta(request_id);
+    w.bits(static_cast<std::uint64_t>(at_kind), 2);
+  }
+
+  static sim::Owned<NoBatchOp> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<NoBatchOp>();
+    m->is_insert = r.boolean();
+    m->prio = r.gammau();
+    m->origin = static_cast<NodeId>(r.leb());
+    m->request_id = r.delta();
+    const std::uint64_t kind = r.bits(2);
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    m->at_kind = static_cast<overlay::VKind>(kind);
+    return m;
+  }
 };
 
 /// The anchor's position grant, sent straight back to the issuer.
@@ -46,6 +66,22 @@ struct NoBatchGrant final : sim::Action<NoBatchGrant> {
   Priority prio = 0;
   Position pos = 0;
   std::uint64_t size_bits() const override { return 72; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.delta(request_id);
+    w.boolean(bottom);
+    w.gammau(prio);
+    w.delta(pos);
+  }
+
+  static sim::Owned<NoBatchGrant> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<NoBatchGrant>();
+    m->request_id = r.delta();
+    m->bottom = r.boolean();
+    m->prio = r.gammau();
+    m->pos = r.delta();
+    return m;
+  }
 };
 
 class NoBatchNode : public overlay::OverlayNode {

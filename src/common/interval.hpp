@@ -15,6 +15,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "common/wire.hpp"
 
 namespace sks {
 
@@ -42,6 +43,21 @@ struct Interval {
     Interval front{lo, lo + take - 1};
     lo += take;
     return front;
+  }
+
+  /// Wire layout: 1 flag bit for the canonical empty {1, 0}; otherwise
+  /// lo and the length as varints (delta-packed, exact mod 2^64 so even
+  /// non-canonical empties lo = hi + 1 round-trip).
+  void encode(wire::WireWriter& w) const {
+    const bool canonical_empty = lo == 1 && hi == 0;
+    w.boolean(canonical_empty);
+    if (!canonical_empty) w.interval(lo, hi);
+  }
+
+  static Interval decode(wire::WireReader& r) {
+    if (r.boolean()) return empty_interval();
+    const auto iv = r.interval();
+    return Interval{iv.lo, iv.hi};
   }
 };
 
@@ -109,6 +125,29 @@ class SpanList {
 
   friend bool operator==(const SpanList&, const SpanList&) = default;
 
+  /// Wire layout: span count, then (prio - 1, interval) per span. Spans
+  /// are written verbatim (decode bypasses push_back's coalescing so the
+  /// re-encoded bytes match the original exactly).
+  void encode(wire::WireWriter& w) const {
+    w.gamma(spans_.size());
+    for (const auto& s : spans_) {
+      SKS_CHECK_MSG(s.prio >= 1, "span priority must be 1-based");
+      w.gamma(s.prio - 1);
+      s.iv.encode(w);
+    }
+  }
+
+  static SpanList decode(wire::WireReader& r) {
+    SpanList out;
+    const std::uint64_t count = r.gamma();
+    out.spans_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Priority prio = r.gamma() + 1;
+      out.spans_.push_back(PrioritySpan{prio, Interval::decode(r)});
+    }
+    return out;
+  }
+
  private:
   std::vector<PrioritySpan> spans_;
 };
@@ -149,6 +188,18 @@ struct DeleteAssignment {
 
   friend bool operator==(const DeleteAssignment&,
                          const DeleteAssignment&) = default;
+
+  void encode(wire::WireWriter& w) const {
+    spans.encode(w);
+    w.gamma(bottoms);
+  }
+
+  static DeleteAssignment decode(wire::WireReader& r) {
+    DeleteAssignment out;
+    out.spans = SpanList::decode(r);
+    out.bottoms = r.gamma();
+    return out;
+  }
 };
 
 /// Per-priority insert intervals for one batch entry: intervals[p] is the
@@ -194,6 +245,22 @@ class InsertAssignment {
 
   friend bool operator==(const InsertAssignment&,
                          const InsertAssignment&) = default;
+
+  /// Wire layout: priority count, then one interval per priority (slot 0
+  /// is the unused 1-based pad and is not sent). A default-constructed
+  /// (zero-priority) assignment encodes as count 0.
+  void encode(wire::WireWriter& w) const {
+    w.gamma(num_priorities());
+    for (Priority p = 1; p <= num_priorities(); ++p) at(p).encode(w);
+  }
+
+  static InsertAssignment decode(wire::WireReader& r) {
+    const std::uint64_t num = r.gamma();
+    if (num == 0) return InsertAssignment();
+    InsertAssignment out(num);
+    for (Priority p = 1; p <= num; ++p) out.at(p) = Interval::decode(r);
+    return out;
+  }
 
  private:
   std::vector<Interval> intervals_;  // index 0 unused; priorities 1-based

@@ -11,6 +11,8 @@
 #include <limits>
 #include <string>
 
+#include "common/wire.hpp"
+
 namespace sks {
 
 /// Index of a real node (process) in the simulated system.
@@ -43,6 +45,21 @@ struct Element {
 
   /// Total order on elements (Section 1.2): priority first, id tiebreaker.
   friend constexpr auto operator<=>(const Element&, const Element&) = default;
+
+  /// Wire layout: gamma priority (tiny for Skeap's constant classes),
+  /// Elias-delta id (ids are dense sequence numbers). Both codes admit
+  /// the all-ones sentinels used by the key-space baselines.
+  void encode(wire::WireWriter& w) const {
+    w.gammau(prio);
+    w.delta(id);
+  }
+
+  static Element decode(wire::WireReader& r) {
+    Element e;
+    e.prio = r.gammau();
+    e.id = r.delta();
+    return e;
+  }
 };
 
 /// The key under which elements are compared in KSelect; identical layout

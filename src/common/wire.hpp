@@ -1,0 +1,275 @@
+// Byte-exact wire encoding primitives.
+//
+// Every payload in the system serializes through WireWriter/WireReader so
+// the paper's bit-complexity accounting (`size_bits()`) can be checked
+// against a real encoding, and so the protocol code can later run over a
+// socket transport unchanged. The format is bit-granular: fields are
+// appended MSB-first into a caller-owned byte buffer, padded to a whole
+// byte only when a frame is finished.
+//
+// Primitive menu (see DESIGN.md "Wire format"):
+//  * bits(v, w)     — raw w-bit field, for values with a known fixed width
+//  * leb(v)         — LEB128 varint at bit granularity (7 value bits + 1
+//                     continuation bit per group), for ids and counters
+//  * zz64(x)        — zigzag-64 then LEB, for u64s that cluster near 0 or
+//                     near 2^64 (sentinels like kNoNode, kMaxKey)
+//  * gamma(v)       — Elias gamma of v+1, for tags, enums and tiny counts
+//                     (cost 2*floor(log2(v+1))+1 bits; 1 bit for v = 0)
+//  * interval       — delta-packed [lo, hi]: zz(lo) then zz(hi - lo + 1),
+//                     exact for every representable interval including the
+//                     canonical empty {1, 0} (length encodes as zz(0))
+//
+// Truncated or corrupt input raises sks::CheckFailure (catchable), never
+// undefined behaviour: the reader refuses to run past the buffer end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sks::wire {
+
+/// Appends bit-granular fields to a caller-owned byte vector. The writer
+/// never shrinks the buffer's capacity, so a pool-recycled scratch vector
+/// reaches a steady state with no hot-path allocation.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& buf) : buf_(buf) {
+    buf_.clear();
+  }
+
+  /// Append the low `width` bits of `v`, MSB first. width in [0, 64].
+  void bits(std::uint64_t v, std::uint32_t width) {
+    SKS_CHECK_MSG(width <= 64, "wire: field wider than 64 bits");
+    for (std::uint32_t i = width; i-- > 0;) {
+      push_bit((v >> i) & 1u);
+    }
+  }
+
+  /// LEB128 varint, 8 bits per group (7 value + 1 continuation), written
+  /// at bit granularity (no byte alignment between fields).
+  void leb(std::uint64_t v) {
+    do {
+      std::uint64_t group = v & 0x7f;
+      v >>= 7;
+      bits(group | (v != 0 ? 0x80u : 0x00u), 8);
+    } while (v != 0);
+  }
+
+  /// Zigzag-64 then LEB: maps x near 0 and near 2^64 to short varints.
+  void zz64(std::uint64_t x) {
+    const std::uint64_t s = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(x) >> 63);
+    leb((x << 1) ^ s);
+  }
+
+  /// Elias gamma of v + 1: floor(log2(v+1)) zero bits, then v + 1 in
+  /// binary. Encodes v = 0 in a single bit — ideal for tags and enums.
+  void gamma(std::uint64_t v) {
+    SKS_CHECK_MSG(v != ~0ull, "wire: gamma overflow");
+    const std::uint64_t n = v + 1;
+    std::uint32_t w = 0;
+    // w = floor(log2(n)), capped so the shift below stays defined: n is
+    // 64-bit, so w maxes out at 63 (n >> 64 would be UB, not 0).
+    while (w < 63 && (n >> (w + 1)) != 0) ++w;
+    bits(0, w);
+    bits(n, w + 1);
+  }
+
+  /// Total-domain gamma: like gamma() but also admits ~0 via a reserved
+  /// 65-bit escape (64 zeros, then the terminating 1). Use for fields
+  /// that are usually tiny but may hold an all-ones sentinel.
+  void gammau(std::uint64_t v) {
+    if (v == ~0ull) {
+      bits(0, 64);
+      bits(1, 1);
+      return;
+    }
+    gamma(v);
+  }
+
+  /// Elias delta of v + 1: gamma of the bit length, then the value with
+  /// its implicit leading 1 dropped. Cheaper than gamma beyond ~4 bits
+  /// (a b-bit value costs b + 2 log b instead of 2b). Total: v = ~0
+  /// escapes via the out-of-range length 64.
+  void delta(std::uint64_t v) {
+    if (v == ~0ull) {
+      gamma(64);
+      return;
+    }
+    const std::uint64_t x = v + 1;
+    std::uint32_t len = 0;
+    // len = floor(log2(x)), capped at 63 (see gamma; x >> 64 is UB).
+    while (len < 63 && (x >> (len + 1)) != 0) ++len;
+    gamma(len);
+    bits(x, len);  // low len bits; the leading 1 is implicit
+  }
+
+  /// Zigzag then Elias gamma: a signed-ish delta near 0 costs 1–3 bits.
+  void gamma_zz(std::uint64_t x) {
+    const std::uint64_t s = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(x) >> 63);
+    gamma((x << 1) ^ s);
+  }
+
+  void boolean(bool b) { push_bit(b ? 1u : 0u); }
+
+  /// Closed interval [lo, hi] with the empty convention lo = hi + 1:
+  /// zz(lo) then zz(hi - lo + 1). Exact mod 2^64 for any (lo, hi) pair.
+  void interval(std::uint64_t lo, std::uint64_t hi) {
+    zz64(lo);
+    zz64(hi - lo + 1);
+  }
+
+  /// Mark the end of the outer frame header (after the outer action tag):
+  /// everything before this is transport framing, everything after up to
+  /// the inner split is envelope payload. Used for metrics attribution.
+  void note_frame_header_end() { frame_header_end_ = bit_count_; }
+
+  /// Mark the start of the innermost (logical) payload body, called by
+  /// envelope encoders (RouteHop/VertexMsg) right before encoding the
+  /// carried payload. Absent for non-envelope payloads.
+  void note_inner_start() { inner_start_ = bit_count_; }
+
+  std::uint64_t bit_count() const { return bit_count_; }
+  std::uint64_t frame_header_end() const { return frame_header_end_; }
+  /// 0 when no envelope marked an inner split.
+  std::uint64_t inner_start() const { return inner_start_; }
+
+  /// Pad to a whole byte. Call exactly once, after the last field.
+  void finish() {
+    while ((bit_count_ % 8) != 0) push_bit(0);
+  }
+
+ private:
+  void push_bit(std::uint64_t b) {
+    const std::size_t byte = static_cast<std::size_t>(bit_count_ / 8);
+    if (byte == buf_.size()) buf_.push_back(0);
+    if (b != 0) {
+      buf_[byte] = static_cast<std::uint8_t>(
+          buf_[byte] | (0x80u >> (bit_count_ % 8)));
+    }
+    ++bit_count_;
+  }
+
+  std::vector<std::uint8_t>& buf_;
+  std::uint64_t bit_count_ = 0;
+  std::uint64_t frame_header_end_ = 0;
+  std::uint64_t inner_start_ = 0;
+};
+
+/// Reads bit-granular fields back out of a byte buffer. Every read is
+/// bounds-checked: running past the end raises CheckFailure.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), bit_limit_(static_cast<std::uint64_t>(size) * 8) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  std::uint64_t bits(std::uint32_t width) {
+    SKS_CHECK_MSG(width <= 64, "wire: field wider than 64 bits");
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < width; ++i) {
+      v = (v << 1) | pull_bit();
+    }
+    return v;
+  }
+
+  std::uint64_t leb() {
+    std::uint64_t v = 0;
+    std::uint32_t shift = 0;
+    for (;;) {
+      const std::uint64_t group = bits(8);
+      SKS_CHECK_MSG(shift < 64, "wire: varint overlong");
+      v |= (group & 0x7f) << shift;
+      if ((group & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  std::uint64_t zz64() {
+    const std::uint64_t z = leb();
+    return (z >> 1) ^ (~(z & 1) + 1);
+  }
+
+  std::uint64_t gamma() {
+    std::uint32_t w = 0;
+    while (bits(1) == 0) {
+      // < 63: a 64-zero prefix is the gammau escape, invalid in plain
+      // gamma — and n << 64 below would be UB anyway.
+      SKS_CHECK_MSG(w < 63, "wire: gamma runaway");
+      ++w;
+    }
+    std::uint64_t n = 1;
+    if (w > 0) n = (n << w) | bits(w);
+    return n - 1;
+  }
+
+  std::uint64_t gammau() {
+    std::uint32_t w = 0;
+    while (bits(1) == 0) {
+      SKS_CHECK_MSG(w < 64, "wire: gamma runaway");
+      ++w;
+    }
+    if (w == 64) return ~0ull;
+    std::uint64_t n = 1;
+    if (w > 0) n = (n << w) | bits(w);
+    return n - 1;
+  }
+
+  std::uint64_t delta() {
+    const std::uint64_t len = gamma();
+    if (len == 64) return ~0ull;
+    SKS_CHECK_MSG(len < 64, "wire: delta length out of range");
+    const std::uint64_t x =
+        (std::uint64_t{1} << len) | bits(static_cast<std::uint32_t>(len));
+    return x - 1;
+  }
+
+  std::uint64_t gamma_zz() {
+    const std::uint64_t z = gamma();
+    return (z >> 1) ^ (~(z & 1) + 1);
+  }
+
+  bool boolean() { return bits(1) != 0; }
+
+  struct Iv {
+    std::uint64_t lo;
+    std::uint64_t hi;
+  };
+  Iv interval() {
+    const std::uint64_t lo = zz64();
+    const std::uint64_t len = zz64();
+    return Iv{lo, lo + len - 1};
+  }
+
+  std::uint64_t bit_pos() const { return bit_pos_; }
+  std::uint64_t bits_remaining() const { return bit_limit_ - bit_pos_; }
+
+  /// After the last field: only zero padding (< 8 bits) may remain.
+  void finish() {
+    SKS_CHECK_MSG(bits_remaining() < 8, "wire: trailing bytes after frame");
+    while (bit_pos_ < bit_limit_) {
+      SKS_CHECK_MSG(pull_bit() == 0, "wire: nonzero frame padding");
+    }
+  }
+
+ private:
+  std::uint64_t pull_bit() {
+    SKS_CHECK_MSG(bit_pos_ < bit_limit_, "wire: truncated buffer");
+    const std::uint64_t b =
+        (data_[bit_pos_ / 8] >> (7 - (bit_pos_ % 8))) & 1u;
+    ++bit_pos_;
+    return b;
+  }
+
+  const std::uint8_t* data_;
+  std::uint64_t bit_limit_;
+  std::uint64_t bit_pos_ = 0;
+};
+
+}  // namespace sks::wire

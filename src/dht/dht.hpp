@@ -52,6 +52,29 @@ struct PutRequest final : sim::Action<PutRequest> {
   std::uint8_t space = 0;
   std::uint64_t bits = 64;
   std::uint64_t size_bits() const override { return bits; }
+
+  // Requests encode their accounted `bits`: they are re-routed hop by hop
+  // and each hop re-charges the cached size. Replies/acks are terminal
+  // and leave it off the wire (see GetReply).
+  void encode(wire::WireWriter& w) const override {
+    element.encode(w);
+    w.leb(requester);
+    w.delta(request_id);
+    w.boolean(want_ack);
+    w.bits(space, 1);
+    w.leb(bits);
+  }
+
+  static sim::Owned<PutRequest> decode(wire::WireReader& r) {
+    auto req = sim::make_payload<PutRequest>();
+    req->element = Element::decode(r);
+    req->requester = static_cast<NodeId>(r.leb());
+    req->request_id = r.delta();
+    req->want_ack = r.boolean();
+    req->space = static_cast<std::uint8_t>(r.bits(1));
+    req->bits = r.leb();
+    return req;
+  }
 };
 
 struct GetRequest final : sim::Action<GetRequest> {
@@ -61,6 +84,22 @@ struct GetRequest final : sim::Action<GetRequest> {
   std::uint8_t space = 0;
   std::uint64_t bits = 48;
   std::uint64_t size_bits() const override { return bits; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(requester);
+    w.delta(request_id);
+    w.bits(space, 1);
+    w.leb(bits);
+  }
+
+  static sim::Owned<GetRequest> decode(wire::WireReader& r) {
+    auto req = sim::make_payload<GetRequest>();
+    req->requester = static_cast<NodeId>(r.leb());
+    req->request_id = r.delta();
+    req->space = static_cast<std::uint8_t>(r.bits(1));
+    req->bits = r.leb();
+    return req;
+  }
 };
 
 struct GetReply final : sim::Action<GetReply> {
@@ -69,6 +108,23 @@ struct GetReply final : sim::Action<GetReply> {
   std::uint64_t request_id = 0;
   std::uint64_t bits = 48;
   std::uint64_t size_bits() const override { return bits; }
+
+  // `bits` is accounting metadata, not message content: a reply is never
+  // re-sent, and the network samples the accounted size from the original
+  // payload before marshaling. Keeping it off the wire is what fits the
+  // reply inside its own element_bits + log(request_id) budget.
+  void encode(wire::WireWriter& w) const override {
+    element.encode(w);
+    w.delta(request_id);
+  }
+
+  static sim::Owned<GetReply> decode(wire::WireReader& r) {
+    auto rep = sim::make_payload<GetReply>();
+    rep->element = Element::decode(r);
+    rep->request_id = r.delta();
+    rep->bits = 0;  // not wired; see encode()
+    return rep;
+  }
 };
 
 struct PutAck final : sim::Action<PutAck> {
@@ -76,6 +132,15 @@ struct PutAck final : sim::Action<PutAck> {
   std::uint64_t request_id = 0;
   std::uint64_t bits = 24;
   std::uint64_t size_bits() const override { return bits; }
+
+  void encode(wire::WireWriter& w) const override { w.delta(request_id); }
+
+  static sim::Owned<PutAck> decode(wire::WireReader& r) {
+    auto ack = sim::make_payload<PutAck>();
+    ack->request_id = r.delta();
+    ack->bits = 0;  // not wired; see GetReply
+    return ack;
+  }
 };
 
 /// Attachable DHT role for an OverlayNode: both the client side (put/get
@@ -112,6 +177,64 @@ class DhtComponent {
         for (const auto& [key, elems] : space) total += elems.size();
       }
       return total;
+    }
+
+    /// Wire layout, per space: key-sorted (key, element list) cells, then
+    /// key-sorted (key, waiting-get list) cells. Sorting makes the bytes
+    /// canonical — the hash maps' iteration order is not.
+    void encode(wire::WireWriter& w) const {
+      for (std::size_t space = 0; space < kNumSpaces; ++space) {
+        encode_cells(w, elements[space], [&](const Element& e) {
+          e.encode(w);
+        });
+        encode_cells(w, waiting[space], [&](const WaitingGet& g) {
+          w.leb(g.requester);
+          w.delta(g.request_id);
+        });
+      }
+    }
+
+    static ArcData decode(wire::WireReader& r) {
+      ArcData arc;
+      for (std::size_t space = 0; space < kNumSpaces; ++space) {
+        decode_cells(r, arc.elements[space], [&] {
+          return Element::decode(r);
+        });
+        decode_cells(r, arc.waiting[space], [&] {
+          WaitingGet g;
+          g.requester = static_cast<NodeId>(r.leb());
+          g.request_id = r.delta();
+          return g;
+        });
+      }
+      return arc;
+    }
+
+   private:
+    template <class Map, class Fn>
+    static void encode_cells(wire::WireWriter& w, const Map& cells, Fn emit) {
+      std::vector<Point> keys;
+      keys.reserve(cells.size());
+      for (const auto& [key, items] : cells) keys.push_back(key);
+      std::sort(keys.begin(), keys.end());
+      w.gamma(keys.size());
+      for (const Point key : keys) {
+        w.bits(key, 64);
+        const auto& items = cells.at(key);
+        w.gamma(items.size());
+        for (const auto& item : items) emit(item);
+      }
+    }
+
+    template <class Map, class Fn>
+    static void decode_cells(wire::WireReader& r, Map& cells, Fn read) {
+      const std::uint64_t num_keys = r.gamma();
+      for (std::uint64_t i = 0; i < num_keys; ++i) {
+        const Point key = r.bits(64);
+        auto& items = cells[key];
+        const std::uint64_t count = r.gamma();
+        for (std::uint64_t j = 0; j < count; ++j) items.push_back(read());
+      }
     }
   };
 

@@ -112,6 +112,41 @@ struct KStep {
     // O(log n) bits total.
     return 48 + 2 * 48 + 2 * 32;
   }
+
+  void encode(wire::WireWriter& w) const {
+    w.leb(session);
+    w.leb(step_seq);
+    w.leb(iter);
+    w.bits(static_cast<std::uint64_t>(kind), 4);
+    w.leb(k);
+    w.leb(N);
+    w.boolean(has_lo);
+    if (has_lo) lo.encode(w);
+    w.boolean(has_hi);
+    if (has_hi) hi.encode(w);
+    w.boolean(has_result);
+    if (has_result) result.encode(w);
+  }
+
+  static KStep decode(wire::WireReader& r) {
+    KStep s;
+    s.session = r.leb();
+    s.step_seq = static_cast<std::uint32_t>(r.leb());
+    s.iter = static_cast<std::uint32_t>(r.leb());
+    const std::uint64_t kind = r.bits(4);
+    SKS_CHECK_MSG(kind <= static_cast<std::uint64_t>(StepKind::kDone),
+                  "wire: bad StepKind");
+    s.kind = static_cast<StepKind>(kind);
+    s.k = r.leb();
+    s.N = r.leb();
+    s.has_lo = r.boolean();
+    if (s.has_lo) s.lo = CandidateKey::decode(r);
+    s.has_hi = r.boolean();
+    if (s.has_hi) s.hi = CandidateKey::decode(r);
+    s.has_result = r.boolean();
+    if (s.has_result) s.result = CandidateKey::decode(r);
+    return s;
+  }
 };
 
 struct KReply {
@@ -125,6 +160,31 @@ struct KReply {
   bool has_kb = false;
 
   std::uint64_t size_bits() const { return 8 + 2 * 32 + 2 * 48; }
+
+  void encode(wire::WireWriter& w) const {
+    w.bits(static_cast<std::uint64_t>(kind), 4);
+    w.leb(a);
+    w.leb(b);
+    w.boolean(has_ka);
+    if (has_ka) ka.encode(w);
+    w.boolean(has_kb);
+    if (has_kb) kb.encode(w);
+  }
+
+  static KReply decode(wire::WireReader& r) {
+    KReply rep;
+    const std::uint64_t kind = r.bits(4);
+    SKS_CHECK_MSG(kind <= static_cast<std::uint64_t>(StepKind::kDone),
+                  "wire: bad StepKind");
+    rep.kind = static_cast<StepKind>(kind);
+    rep.a = r.leb();
+    rep.b = r.leb();
+    rep.has_ka = r.boolean();
+    if (rep.has_ka) rep.ka = CandidateKey::decode(r);
+    rep.has_kb = r.boolean();
+    if (rep.has_kb) rep.kb = CandidateKey::decode(r);
+    return rep;
+  }
 
   void combine(const KReply& other) {
     SKS_CHECK(kind == other.kind);
@@ -145,6 +205,9 @@ struct SampleUp {
   static constexpr const char* kName = "kselect.sample_up";
   std::uint64_t count = 0;
   std::uint64_t size_bits() const { return 32; }
+
+  void encode(wire::WireWriter& w) const { w.delta(count); }
+  static SampleUp decode(wire::WireReader& r) { return SampleUp{r.delta()}; }
 };
 
 struct SampleDown {
@@ -152,6 +215,18 @@ struct SampleDown {
   Interval iv = Interval::empty_interval();
   std::uint64_t nprime = 0;  ///< |C'| — global knowledge shipped downwards
   std::uint64_t size_bits() const { return 96; }
+
+  void encode(wire::WireWriter& w) const {
+    iv.encode(w);
+    w.leb(nprime);
+  }
+
+  static SampleDown decode(wire::WireReader& r) {
+    SampleDown d;
+    d.iv = Interval::decode(r);
+    d.nprime = r.leb();
+    return d;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -167,6 +242,24 @@ struct SeedMsg final : sim::Action<SeedMsg> {
   std::uint64_t nprime = 0;   ///< n'
   CandidateKey c{};
   std::uint64_t size_bits() const override { return 48 + 2 * 32 + 48; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    w.leb(iter);
+    w.leb(pos);
+    w.leb(nprime);
+    c.encode(w);
+  }
+
+  static sim::Owned<SeedMsg> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<SeedMsg>();
+    m->session = r.leb();
+    m->iter = static_cast<std::uint32_t>(r.leb());
+    m->pos = r.leb();
+    m->nprime = r.leb();
+    m->c = CandidateKey::decode(r);
+    return m;
+  }
 };
 
 /// A copy-tree split: the pair ([a, b], c_i) of Algorithm 3.
@@ -181,6 +274,32 @@ struct CopyMsg final : sim::Action<CopyMsg> {
   NodeId parent_host = kNoNode;
   std::uint64_t parent_mid = 0;
   std::uint64_t size_bits() const override { return 48 + 5 * 32 + 48; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    w.leb(iter);
+    w.leb(i);
+    w.leb(a);
+    w.leb(b);
+    w.leb(nprime);
+    c.encode(w);
+    w.leb(parent_host);
+    w.leb(parent_mid);
+  }
+
+  static sim::Owned<CopyMsg> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<CopyMsg>();
+    m->session = r.leb();
+    m->iter = static_cast<std::uint32_t>(r.leb());
+    m->i = r.leb();
+    m->a = r.leb();
+    m->b = r.leb();
+    m->nprime = r.leb();
+    m->c = CandidateKey::decode(r);
+    m->parent_host = static_cast<NodeId>(r.leb());
+    m->parent_mid = r.leb();
+    return m;
+  }
 };
 
 /// Copy c_{i,j} arriving at the rendezvous node responsible for h(i, j).
@@ -193,6 +312,26 @@ struct RdvMsg final : sim::Action<RdvMsg> {
   CandidateKey c{};
   NodeId back_host = kNoNode;  ///< where copy c_{i,j} lives
   std::uint64_t size_bits() const override { return 48 + 3 * 32 + 48; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    w.leb(iter);
+    w.leb(i);
+    w.leb(j);
+    c.encode(w);
+    w.leb(back_host);
+  }
+
+  static sim::Owned<RdvMsg> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<RdvMsg>();
+    m->session = r.leb();
+    m->iter = static_cast<std::uint32_t>(r.leb());
+    m->i = r.leb();
+    m->j = r.leb();
+    m->c = CandidateKey::decode(r);
+    m->back_host = static_cast<NodeId>(r.leb());
+    return m;
+  }
 };
 
 /// The comparison outcome sent back to a copy holder: smaller = 1 iff the
@@ -206,6 +345,26 @@ struct VoteMsg final : sim::Action<VoteMsg> {
   std::uint32_t smaller = 0;
   std::uint32_t larger = 0;
   std::uint64_t size_bits() const override { return 48 + 3 * 32 + 2; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    w.leb(iter);
+    w.leb(i);
+    w.leb(mid);
+    w.leb(smaller);
+    w.leb(larger);
+  }
+
+  static sim::Owned<VoteMsg> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<VoteMsg>();
+    m->session = r.leb();
+    m->iter = static_cast<std::uint32_t>(r.leb());
+    m->i = r.leb();
+    m->mid = r.leb();
+    m->smaller = static_cast<std::uint32_t>(r.leb());
+    m->larger = static_cast<std::uint32_t>(r.leb());
+    return m;
+  }
 };
 
 /// Partial (L, R) vector aggregated up a copy tree.
@@ -217,6 +376,26 @@ struct TreeSumMsg final : sim::Action<TreeSumMsg> {
   std::uint64_t parent_mid = 0;
   std::uint64_t L = 0, R = 0;
   std::uint64_t size_bits() const override { return 48 + 4 * 32; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    w.leb(iter);
+    w.leb(i);
+    w.leb(parent_mid);
+    w.leb(L);
+    w.leb(R);
+  }
+
+  static sim::Owned<TreeSumMsg> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<TreeSumMsg>();
+    m->session = r.leb();
+    m->iter = static_cast<std::uint32_t>(r.leb());
+    m->i = r.leb();
+    m->parent_mid = r.leb();
+    m->L = r.leb();
+    m->R = r.leb();
+    return m;
+  }
 };
 
 /// Publish "candidate with order `order`" on the order board.
@@ -227,6 +406,22 @@ struct OrderPut final : sim::Action<OrderPut> {
   std::uint64_t order = 0;
   CandidateKey c{};
   std::uint64_t size_bits() const override { return 48 + 2 * 32 + 48; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    w.leb(iter);
+    w.leb(order);
+    c.encode(w);
+  }
+
+  static sim::Owned<OrderPut> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<OrderPut>();
+    m->session = r.leb();
+    m->iter = static_cast<std::uint32_t>(r.leb());
+    m->order = r.leb();
+    m->c = CandidateKey::decode(r);
+    return m;
+  }
 };
 
 /// Fetch the candidate with a given order; waits if not yet published.
@@ -238,6 +433,24 @@ struct OrderGet final : sim::Action<OrderGet> {
   NodeId back = kNoNode;
   std::uint64_t tag = 0;
   std::uint64_t size_bits() const override { return 48 + 3 * 32; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(session);
+    w.leb(iter);
+    w.leb(order);
+    w.leb(back);
+    w.leb(tag);
+  }
+
+  static sim::Owned<OrderGet> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<OrderGet>();
+    m->session = r.leb();
+    m->iter = static_cast<std::uint32_t>(r.leb());
+    m->order = r.leb();
+    m->back = static_cast<NodeId>(r.leb());
+    m->tag = r.leb();
+    return m;
+  }
 };
 
 struct OrderReply final : sim::Action<OrderReply> {
@@ -245,6 +458,18 @@ struct OrderReply final : sim::Action<OrderReply> {
   std::uint64_t tag = 0;
   CandidateKey c{};
   std::uint64_t size_bits() const override { return 32 + 48; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(tag);
+    c.encode(w);
+  }
+
+  static sim::Owned<OrderReply> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<OrderReply>();
+    m->tag = r.leb();
+    m->c = CandidateKey::decode(r);
+    return m;
+  }
 };
 
 // ---------------------------------------------------------------------------

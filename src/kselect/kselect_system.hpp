@@ -90,6 +90,8 @@ class KSelectSystem {
     sim::ReliableConfig reliable{};
     /// Crash recovery (failure detector + k-replication + session retry).
     recovery::RecoveryConfig recovery{};
+    /// Wire mode: marshal every send through encode -> bytes -> decode.
+    bool wire = sim::wire_mode_default();
   };
 
   using Cluster = runtime::Cluster<KSelectNode, KSelectNodeConfig>;
@@ -118,6 +120,7 @@ class KSelectSystem {
     c.faults = opts.faults;
     c.reliable = opts.reliable;
     c.recovery = opts.recovery;
+    c.wire = opts.wire;
     return c;
   }
 

@@ -48,6 +48,22 @@ struct JoinReserve final : sim::Action<JoinReserve> {
   VKind kind = VKind::kMiddle;
   Point label = 0;
   std::uint64_t size_bits() const override { return 2 * 64 + 16; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(joiner);
+    w.bits(static_cast<std::uint64_t>(kind), 2);
+    w.bits(label, 64);
+  }
+
+  static sim::Owned<JoinReserve> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<JoinReserve>();
+    m->joiner = static_cast<NodeId>(r.leb());
+    const std::uint64_t kind = r.bits(2);
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    m->kind = static_cast<VKind>(kind);
+    m->label = r.bits(64);
+    return m;
+  }
 };
 
 /// The owner's read-only answer: who the newcomer's neighbours will be.
@@ -57,6 +73,22 @@ struct ReserveAck final : sim::Action<ReserveAck> {
   VirtualId pred;
   VirtualId succ;
   std::uint64_t size_bits() const override { return 2 * 80 + 16; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.bits(static_cast<std::uint64_t>(kind), 2);
+    pred.encode(w);
+    succ.encode(w);
+  }
+
+  static sim::Owned<ReserveAck> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<ReserveAck>();
+    const std::uint64_t kind = r.bits(2);
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    m->kind = static_cast<VKind>(kind);
+    m->pred = VirtualId::decode(r);
+    m->succ = VirtualId::decode(r);
+    return m;
+  }
 };
 
 /// Phase 2: the joiner (now fully linked, so reachable by any in-flight
@@ -69,6 +101,24 @@ struct JoinConfirm final : sim::Action<JoinConfirm> {
   VirtualId first;                    ///< head of the joiner's vertex run
   VirtualId last;                     ///< tail of the run (old_succ's pred)
   std::uint64_t size_bits() const override { return 2 * 80 + 20; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(joiner);
+    w.bits(static_cast<std::uint64_t>(owner_kind), 2);
+    first.encode(w);
+    last.encode(w);
+  }
+
+  static sim::Owned<JoinConfirm> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<JoinConfirm>();
+    m->joiner = static_cast<NodeId>(r.leb());
+    const std::uint64_t kind = r.bits(2);
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    m->owner_kind = static_cast<VKind>(kind);
+    m->first = VirtualId::decode(r);
+    m->last = VirtualId::decode(r);
+    return m;
+  }
 };
 
 /// The handed-over arc, completing the join for one virtual node.
@@ -79,6 +129,20 @@ struct ArcTransfer final : sim::Action<ArcTransfer> {
   std::uint64_t size_bits() const override {
     return 16 + 64 * arc.element_count();
   }
+
+  void encode(wire::WireWriter& w) const override {
+    w.bits(static_cast<std::uint64_t>(kind), 2);
+    arc.encode(w);
+  }
+
+  static sim::Owned<ArcTransfer> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<ArcTransfer>();
+    const std::uint64_t kind = r.bits(2);
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    m->kind = static_cast<VKind>(kind);
+    m->arc = dht::DhtComponent::ArcData::decode(r);
+    return m;
+  }
 };
 
 /// "Your pred/succ pointer now points at `neighbor`."
@@ -88,6 +152,22 @@ struct NeighborUpdate final : sim::Action<NeighborUpdate> {
   bool is_pred = false;
   VirtualId neighbor;
   std::uint64_t size_bits() const override { return 80 + 18; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.bits(static_cast<std::uint64_t>(target_kind), 2);
+    w.boolean(is_pred);
+    neighbor.encode(w);
+  }
+
+  static sim::Owned<NeighborUpdate> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<NeighborUpdate>();
+    const std::uint64_t kind = r.bits(2);
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    m->target_kind = static_cast<VKind>(kind);
+    m->is_pred = r.boolean();
+    m->neighbor = VirtualId::decode(r);
+    return m;
+  }
 };
 
 /// A leaving node hands its arc to its predecessor.
@@ -98,6 +178,22 @@ struct LeaveHandover final : sim::Action<LeaveHandover> {
   dht::DhtComponent::ArcData arc;
   std::uint64_t size_bits() const override {
     return 80 + 16 + 64 * arc.element_count();
+  }
+
+  void encode(wire::WireWriter& w) const override {
+    w.bits(static_cast<std::uint64_t>(pred_kind), 2);
+    new_succ.encode(w);
+    arc.encode(w);
+  }
+
+  static sim::Owned<LeaveHandover> decode(wire::WireReader& r) {
+    auto m = sim::make_payload<LeaveHandover>();
+    const std::uint64_t kind = r.bits(2);
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    m->pred_kind = static_cast<VKind>(kind);
+    m->new_succ = VirtualId::decode(r);
+    m->arc = dht::DhtComponent::ArcData::decode(r);
+    return m;
   }
 };
 
@@ -251,6 +347,14 @@ class MembershipComponent {
     static constexpr const char* kActionName = "member.join_relay";
     JoinReserve reserve;
     std::uint64_t size_bits() const override { return reserve.size_bits(); }
+
+    void encode(wire::WireWriter& w) const override { reserve.encode(w); }
+
+    static sim::Owned<JoinRelay> decode(wire::WireReader& r) {
+      auto m = sim::make_payload<JoinRelay>();
+      m->reserve = *JoinReserve::decode(r);
+      return m;
+    }
   };
 
   void handle_reserve(VKind owner, sim::Owned<JoinReserve> m) {

@@ -112,6 +112,56 @@ struct RouteHop final : sim::Action<RouteHop> {
   sim::ActionId metrics_tag() const override {
     return inner ? inner->metrics_tag() : tag();
   }
+
+  /// Wire layout: the routing header (target/ideal are full-width cycle
+  /// points; ρ carries exactly d random bits), then the carried payload
+  /// tagged with its own action id — the recursive frame of the format.
+  void encode(wire::WireWriter& w) const override {
+    w.bits(target, 64);
+    w.gamma(d);
+    SKS_CHECK_MSG(d == 64 || (rho >> d) == 0,
+                  "route: rho wider than d bits");
+    w.bits(rho, d);
+    w.bits(ideal, 64);
+    w.gamma(phase_a_left);
+    w.gamma(phase_b_done);
+    w.boolean(anchored);
+    w.bits(static_cast<std::uint64_t>(at_kind), 2);
+    w.leb(origin);
+    w.gamma(hops);
+    w.leb(header_bits);
+    w.boolean(inner != nullptr);
+    if (inner) {
+      w.gamma(inner->tag());
+      w.note_inner_start();
+      inner->encode(w);
+    }
+  }
+
+  static sim::Owned<RouteHop> decode(wire::WireReader& r) {
+    auto hop = sim::make_payload<RouteHop>();
+    hop->target = r.bits(64);
+    hop->d = static_cast<std::uint32_t>(r.gamma());
+    SKS_CHECK_MSG(hop->d <= 64, "wire: route d out of range");
+    hop->rho = r.bits(hop->d);
+    hop->ideal = r.bits(64);
+    hop->phase_a_left = static_cast<std::uint32_t>(r.gamma());
+    hop->phase_b_done = static_cast<std::uint32_t>(r.gamma());
+    hop->anchored = r.boolean();
+    const std::uint64_t kind = r.bits(2);
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    hop->at_kind = static_cast<VKind>(kind);
+    hop->origin = static_cast<NodeId>(r.leb());
+    hop->hops = r.gamma();
+    hop->header_bits = r.leb();
+    if (r.boolean()) {
+      const std::uint64_t tag = r.gamma();
+      SKS_CHECK_MSG(tag <= 0xffffffffull, "wire: action tag out of range");
+      hop->inner = sim::ActionRegistry::instance().decode(
+          static_cast<sim::ActionId>(tag), r);
+    }
+    return hop;
+  }
 };
 
 /// A direct message between two virtual nodes that know each other.
@@ -141,6 +191,34 @@ struct VertexMsg final : sim::Action<VertexMsg> {
   sim::ActionId metrics_tag() const override {
     return inner ? inner->metrics_tag() : tag();
   }
+
+  void encode(wire::WireWriter& w) const override {
+    src.encode(w);
+    w.bits(static_cast<std::uint64_t>(dst_kind), 2);
+    w.leb(header_bits);
+    w.boolean(inner != nullptr);
+    if (inner) {
+      w.gamma(inner->tag());
+      w.note_inner_start();
+      inner->encode(w);
+    }
+  }
+
+  static sim::Owned<VertexMsg> decode(wire::WireReader& r) {
+    auto msg = sim::make_payload<VertexMsg>();
+    msg->src = VirtualId::decode(r);
+    const std::uint64_t kind = r.bits(2);
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    msg->dst_kind = static_cast<VKind>(kind);
+    msg->header_bits = r.leb();
+    if (r.boolean()) {
+      const std::uint64_t tag = r.gamma();
+      SKS_CHECK_MSG(tag <= 0xffffffffull, "wire: action tag out of range");
+      msg->inner = sim::ActionRegistry::instance().decode(
+          static_cast<sim::ActionId>(tag), r);
+    }
+    return msg;
+  }
 };
 
 class OverlayNode : public sim::DispatchingNode {
@@ -167,7 +245,12 @@ class OverlayNode : public sim::DispatchingNode {
   void route(Point target, sim::PayloadPtr inner) {
     auto hop = sim::make_payload<RouteHop>();
     hop->target = target;
-    hop->rho = net().rng().next();
+    // Only the low d bits of ρ steer the halving walk; keep the rest off
+    // the wire (the encoder sends exactly d bits).
+    hop->rho = net().rng().next() &
+               (params_.debruijn_steps >= 64
+                    ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << params_.debruijn_steps) - 1);
     hop->ideal = links_.at(VKind::kMiddle).self.label;
     hop->d = params_.debruijn_steps;
     hop->phase_a_left = params_.debruijn_steps;

@@ -12,6 +12,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "common/wire.hpp"
 
 namespace sks::overlay {
 
@@ -54,6 +55,31 @@ struct VirtualId {
   bool valid() const { return host != kNoNode; }
 
   friend bool operator==(const VirtualId&, const VirtualId&) = default;
+
+  /// Wire layout: 1 flag bit for the default (invalid) id; otherwise a
+  /// varint of (host, kind) packed into one number, then the raw 64-bit
+  /// label (labels are full-width hash points; varints would only inflate
+  /// them).
+  void encode(wire::WireWriter& w) const {
+    const bool is_default = *this == VirtualId{};
+    w.boolean(is_default);
+    if (is_default) return;
+    w.leb((static_cast<std::uint64_t>(host) << 2) |
+          static_cast<std::uint64_t>(kind));
+    w.bits(label, 64);
+  }
+
+  static VirtualId decode(wire::WireReader& r) {
+    if (r.boolean()) return VirtualId{};
+    const std::uint64_t packed = r.leb();
+    VirtualId v;
+    v.host = static_cast<NodeId>(packed >> 2);
+    const std::uint64_t kind = packed & 3;
+    SKS_CHECK_MSG(kind <= 2, "wire: bad VKind");
+    v.kind = static_cast<VKind>(kind);
+    v.label = r.bits(64);
+    return v;
+  }
 };
 
 inline std::string to_string(const VirtualId& v) {

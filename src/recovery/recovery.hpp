@@ -69,18 +69,33 @@ struct DeltaEntry {
 struct Heartbeat final : sim::Action<Heartbeat> {
   static constexpr const char* kActionName = "recovery.heartbeat";
   std::uint64_t size_bits() const override { return 16; }
+
+  void encode(wire::WireWriter&) const override {}
+  static sim::Owned<Heartbeat> decode(wire::WireReader&) {
+    return sim::make_payload<Heartbeat>();
+  }
 };
 
 /// Monitor -> suspect: "prove you are alive before I declare you dead".
 struct SuspectProbe final : sim::Action<SuspectProbe> {
   static constexpr const char* kActionName = "recovery.probe";
   std::uint64_t size_bits() const override { return 16; }
+
+  void encode(wire::WireWriter&) const override {}
+  static sim::Owned<SuspectProbe> decode(wire::WireReader&) {
+    return sim::make_payload<SuspectProbe>();
+  }
 };
 
 /// Suspect -> monitor: refutation of the suspicion.
 struct ProbeReply final : sim::Action<ProbeReply> {
   static constexpr const char* kActionName = "recovery.probe_reply";
   std::uint64_t size_bits() const override { return 16; }
+
+  void encode(wire::WireWriter&) const override {}
+  static sim::Owned<ProbeReply> decode(wire::WireReader&) {
+    return sim::make_payload<ProbeReply>();
+  }
 };
 
 /// Incremental mirror update, owner -> each of its k mirror holders,
@@ -99,6 +114,43 @@ struct ReplicaDelta final : sim::Action<ReplicaDelta> {
     }
     bits += 64 * static_cast<std::uint64_t>(anchor_blob.size());
     return bits;
+  }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(owner);
+    w.gamma(entries.size());
+    for (const auto& e : entries) {
+      w.bits(e.space, 1);
+      w.bits(e.key, 64);
+      w.gamma(e.elems.size());
+      for (const auto& el : e.elems) el.encode(w);
+    }
+    w.gamma(anchor_blob.size());
+    for (std::uint64_t word : anchor_blob) w.bits(word, 64);
+    w.boolean(has_anchor);
+  }
+
+  static sim::Owned<ReplicaDelta> decode(wire::WireReader& r) {
+    auto d = sim::make_payload<ReplicaDelta>();
+    d->owner = static_cast<NodeId>(r.leb());
+    const std::uint64_t num = r.gamma();
+    d->entries.reserve(num);
+    for (std::uint64_t i = 0; i < num; ++i) {
+      DeltaEntry e;
+      e.space = static_cast<std::uint8_t>(r.bits(1));
+      e.key = r.bits(64);
+      const std::uint64_t cnt = r.gamma();
+      e.elems.reserve(cnt);
+      for (std::uint64_t j = 0; j < cnt; ++j) {
+        e.elems.push_back(Element::decode(r));
+      }
+      d->entries.push_back(std::move(e));
+    }
+    const std::uint64_t words = r.gamma();
+    d->anchor_blob.reserve(words);
+    for (std::uint64_t i = 0; i < words; ++i) d->anchor_blob.push_back(r.bits(64));
+    d->has_anchor = r.boolean();
+    return d;
   }
 };
 

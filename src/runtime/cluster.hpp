@@ -67,6 +67,9 @@ struct ClusterOptions {
   /// what the coordinator expects. Recovery assumes crash-stop faults
   /// (crashed nodes never restart; the coordinator fences them).
   recovery::RecoveryConfig recovery{};
+  /// Wire mode: marshal every send through encode -> bytes -> decode.
+  /// Defaults from SKS_WIRE (see sim::wire_mode_default).
+  bool wire = sim::wire_mode_default();
 };
 
 /// The one place a simulated network is constructed from deployment
@@ -78,6 +81,7 @@ inline std::unique_ptr<sim::Network> make_network(const ClusterOptions& o) {
   cfg.seed = o.seed;
   cfg.faults = o.faults;
   cfg.reliable = o.reliable;
+  cfg.wire = o.wire;
   return std::make_unique<sim::Network>(cfg);
 }
 

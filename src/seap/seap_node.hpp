@@ -79,18 +79,28 @@ struct InsCountUp {
   static constexpr const char* kName = "seap.ins_up";
   std::uint64_t count = 0;
   std::uint64_t size_bits() const { return 32; }
+  void encode(wire::WireWriter& w) const { w.delta(count); }
+  static InsCountUp decode(wire::WireReader& r) {
+    return InsCountUp{r.delta()};
+  }
 };
 
 struct InsGo {
   static constexpr const char* kName = "seap.ins_go";
   std::uint64_t cycle = 0;
   std::uint64_t size_bits() const { return 32; }
+  void encode(wire::WireWriter& w) const { w.leb(cycle); }
+  static InsGo decode(wire::WireReader& r) { return InsGo{r.leb()}; }
 };
 
 struct DelCountUp {
   static constexpr const char* kName = "seap.del_up";
   std::uint64_t count = 0;
   std::uint64_t size_bits() const { return 32; }
+  void encode(wire::WireWriter& w) const { w.delta(count); }
+  static DelCountUp decode(wire::WireReader& r) {
+    return DelCountUp{r.delta()};
+  }
 };
 
 /// Deleter sub-interval of [1, k] plus k_eff so hosts can decide which of
@@ -100,6 +110,16 @@ struct DelDown {
   Interval iv = Interval::empty_interval();
   std::uint64_t k_eff = 0;
   std::uint64_t size_bits() const { return 96; }
+  void encode(wire::WireWriter& w) const {
+    iv.encode(w);
+    w.delta(k_eff);
+  }
+  static DelDown decode(wire::WireReader& r) {
+    DelDown d;
+    d.iv = Interval::decode(r);
+    d.k_eff = r.delta();
+    return d;
+  }
 };
 
 /// The k_eff-th smallest key (threshold) broadcast before the move.
@@ -109,18 +129,38 @@ struct Thresh {
   Element threshold{};
   std::uint64_t k_eff = 0;
   std::uint64_t size_bits() const { return 32 + 48 + 32; }
+  void encode(wire::WireWriter& w) const {
+    w.leb(cycle);
+    threshold.encode(w);
+    w.delta(k_eff);
+  }
+  static Thresh decode(wire::WireReader& r) {
+    Thresh t;
+    t.cycle = r.leb();
+    t.threshold = Element::decode(r);
+    t.k_eff = r.delta();
+    return t;
+  }
 };
 
 struct MoveCountUp {
   static constexpr const char* kName = "seap.move_up";
   std::uint64_t count = 0;
   std::uint64_t size_bits() const { return 32; }
+  void encode(wire::WireWriter& w) const { w.delta(count); }
+  static MoveCountUp decode(wire::WireReader& r) {
+    return MoveCountUp{r.delta()};
+  }
 };
 
 struct MoveDown {
   static constexpr const char* kName = "seap.move_down";
   Interval iv = Interval::empty_interval();
   std::uint64_t size_bits() const { return 64; }
+  void encode(wire::WireWriter& w) const { iv.encode(w); }
+  static MoveDown decode(wire::WireReader& r) {
+    return MoveDown{Interval::decode(r)};
+  }
 };
 
 /// One completed heap operation, for the serializability checker.

@@ -52,6 +52,8 @@ class SeapSystem {
     sim::ReliableConfig reliable{};
     /// Crash recovery (failure detector + k-replication + epoch rollback).
     recovery::RecoveryConfig recovery{};
+    /// Wire mode: marshal every send through encode -> bytes -> decode.
+    bool wire = sim::wire_mode_default();
   };
 
   using Cluster = runtime::Cluster<SeapNode, SeapConfig>;
@@ -84,6 +86,7 @@ class SeapSystem {
     c.faults = opts.faults;
     c.reliable = opts.reliable;
     c.recovery = opts.recovery;
+    c.wire = opts.wire;
     return c;
   }
 

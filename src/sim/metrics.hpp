@@ -105,6 +105,21 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> dropped_by_type;
   std::map<std::string, std::uint64_t> duplicated_by_type;
   std::map<std::string, std::uint64_t> retransmitted_by_type;
+  // Wire-mode accounting (all zero when wire mode is off). Body bits are
+  // the measured encoding of the logical action only — frame tags and
+  // envelope headers are attributed separately — so `wire_bits_by_type`
+  // is directly comparable against `wire_accounted_bits_by_type`, the sum
+  // of the accounted size_bits() of the same messages.
+  std::uint64_t wire_messages = 0;    ///< sends marshaled through bytes
+  std::uint64_t wire_body_bits = 0;   ///< measured logical-body bits
+  std::uint64_t wire_frame_bits = 0;  ///< outer action tags (framing)
+  std::map<std::string, std::uint64_t> wire_messages_by_type;
+  std::map<std::string, std::uint64_t> wire_bits_by_type;
+  std::map<std::string, std::uint64_t> wire_max_bits_by_type;
+  std::map<std::string, std::uint64_t> wire_accounted_bits_by_type;
+  /// Envelope header bits (RouteHop/VertexMsg fields + inner tag), keyed
+  /// by the envelope type's own action name.
+  std::map<std::string, std::uint64_t> wire_envelope_bits_by_type;
 };
 
 class Metrics {
@@ -172,6 +187,27 @@ class Metrics {
   void record_dup_suppressed() { ++dup_suppressed_; }
   void record_abandoned() { ++abandoned_; }
 
+  // Wire-mode events (Network::marshal). Only reached with wire mode on;
+  // the caller has run note_action for both ids involved.
+  void record_wire(ActionId action, std::uint64_t body_bits,
+                   std::uint64_t accounted_bits) {
+    ++wire_messages_;
+    wire_body_bits_ += body_bits;
+    ActionCounters& a = by_action_[action];
+    ++a.wire_messages;
+    a.wire_bits += body_bits;
+    a.max_wire_bits = std::max(a.max_wire_bits, body_bits);
+    a.wire_accounted_bits += accounted_bits;
+  }
+
+  void record_wire_overhead(ActionId outer, std::uint64_t frame_bits,
+                            std::uint64_t envelope_bits) {
+    wire_frame_bits_ += frame_bits;
+    if (envelope_bits != 0) {
+      by_action_[outer].wire_envelope_bits += envelope_bits;
+    }
+  }
+
   void on_round_end() {
     ++rounds_;
     for (auto& c : received_this_round_) {
@@ -192,6 +228,8 @@ class Metrics {
   std::uint64_t retransmitted() const { return retransmitted_; }
   std::uint64_t dup_suppressed() const { return dup_suppressed_; }
   std::uint64_t abandoned() const { return abandoned_; }
+  std::uint64_t wire_messages() const { return wire_messages_; }
+  std::uint64_t wire_body_bits() const { return wire_body_bits_; }
 
   /// Snapshot the current window and start a fresh one.
   MetricsSnapshot take() {
@@ -206,6 +244,9 @@ class Metrics {
     retransmitted_ = 0;
     dup_suppressed_ = 0;
     abandoned_ = 0;
+    wire_messages_ = 0;
+    wire_body_bits_ = 0;
+    wire_frame_bits_ = 0;
     message_bits_hist_.clear();
     congestion_hist_.clear();
     by_action_.assign(by_action_.size(), ActionCounters{});
@@ -227,11 +268,15 @@ class Metrics {
     snap.retransmitted = retransmitted_;
     snap.dup_suppressed = dup_suppressed_;
     snap.abandoned = abandoned_;
+    snap.wire_messages = wire_messages_;
+    snap.wire_body_bits = wire_body_bits_;
+    snap.wire_frame_bits = wire_frame_bits_;
     const ActionRegistry& registry = ActionRegistry::instance();
     for (std::size_t a = 0; a < by_action_.size(); ++a) {
       const ActionCounters& c = by_action_[a];
       if (c.messages == 0 && c.dropped == 0 && c.duplicated == 0 &&
-          c.retransmitted == 0) {
+          c.retransmitted == 0 && c.wire_messages == 0 &&
+          c.wire_envelope_bits == 0) {
         continue;
       }
       const std::string& name = registry.name(static_cast<ActionId>(a));
@@ -246,6 +291,16 @@ class Metrics {
       if (c.retransmitted != 0) {
         snap.retransmitted_by_type[name] += c.retransmitted;
       }
+      if (c.wire_messages != 0) {
+        snap.wire_messages_by_type[name] += c.wire_messages;
+        snap.wire_bits_by_type[name] += c.wire_bits;
+        auto& wire_max = snap.wire_max_bits_by_type[name];
+        wire_max = std::max(wire_max, c.max_wire_bits);
+        snap.wire_accounted_bits_by_type[name] += c.wire_accounted_bits;
+      }
+      if (c.wire_envelope_bits != 0) {
+        snap.wire_envelope_bits_by_type[name] += c.wire_envelope_bits;
+      }
     }
     return snap;
   }
@@ -258,6 +313,11 @@ class Metrics {
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t retransmitted = 0;
+    std::uint64_t wire_messages = 0;
+    std::uint64_t wire_bits = 0;           ///< measured logical-body bits
+    std::uint64_t max_wire_bits = 0;
+    std::uint64_t wire_accounted_bits = 0; ///< size_bits() of the same msgs
+    std::uint64_t wire_envelope_bits = 0;  ///< as envelope: header overhead
   };
 
   std::uint64_t rounds_ = 0;
@@ -270,6 +330,9 @@ class Metrics {
   std::uint64_t retransmitted_ = 0;
   std::uint64_t dup_suppressed_ = 0;
   std::uint64_t abandoned_ = 0;
+  std::uint64_t wire_messages_ = 0;
+  std::uint64_t wire_body_bits_ = 0;
+  std::uint64_t wire_frame_bits_ = 0;
   Log2Histogram message_bits_hist_;
   Log2Histogram congestion_hist_;
   std::vector<ActionCounters> by_action_;  ///< flat, indexed by ActionId

@@ -29,6 +29,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -105,12 +106,28 @@ enum class DeliveryMode {
   kAsynchronous,
 };
 
+/// Wire mode's process-wide default: SKS_WIRE=1 (any value other than
+/// empty or "0") opts the whole binary in, which is how CI re-runs the
+/// test suite over the marshaling path without touching each test. A config
+/// that sets `wire` explicitly always wins over the environment.
+inline bool wire_mode_default() {
+  static const bool enabled = [] {
+    const char* e = std::getenv("SKS_WIRE");
+    return e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0');
+  }();
+  return enabled;
+}
+
 struct NetworkConfig {
   DeliveryMode mode = DeliveryMode::kSynchronous;
   std::uint64_t max_delay = 8;   ///< async mode: max per-message delay
   std::uint64_t seed = 0x5eed;   ///< delivery order / delay randomness
   FaultPlan faults{};            ///< all-zero = the paper's perfect network
   ReliableConfig reliable{};     ///< off = raw channel (the default)
+  /// Marshal every send through encode -> bytes -> decode and deliver the
+  /// decoded object (see Network::marshal). Off = today's object path,
+  /// byte for byte.
+  bool wire = wire_mode_default();
 };
 
 class Network {
@@ -132,6 +149,7 @@ class Network {
         crash_possible_(!cfg.faults.crashes.empty()),
         reliable_(cfg.reliable),
         reliable_enabled_(cfg.reliable.enabled),
+        wire_enabled_(cfg.wire),
         metrics_(0) {
     // Pending messages live in a relative-round ring buffer: a message
     // delayed by d lands d slots ahead of the current one. A power-of-two
@@ -186,8 +204,13 @@ class Network {
     SKS_CHECK(payload != nullptr);
     // Size and metrics attribution are sampled once here — the payload is
     // immutable while in flight — so delivery touches no virtual calls.
+    // In wire mode they are sampled from the ORIGINAL payload, before the
+    // round trip: the accounted size is a property of the logical message.
     const std::uint64_t bits = payload->size_bits();
     const ActionId action = payload->metrics_tag();
+    if (wire_enabled_) [[unlikely]] {
+      payload = marshal(std::move(payload), action, bits);
+    }
     if (reliable_enabled_ || faults_active_) [[unlikely]] {
       slow_send(from, to, std::move(payload), bits, action);
       return;
@@ -217,6 +240,9 @@ class Network {
     SKS_CHECK(payload != nullptr);
     const std::uint64_t bits = payload->size_bits();
     const ActionId action = payload->metrics_tag();
+    if (wire_enabled_) [[unlikely]] {
+      payload = marshal(std::move(payload), action, bits);
+    }
     enqueue(from, to, std::move(payload), MsgKind::kBackground, 0, bits,
             action);
   }
@@ -356,6 +382,7 @@ class Network {
 
   Metrics& metrics() { return metrics_; }
   const NetworkConfig& config() const { return cfg_; }
+  bool wire_enabled() const { return wire_enabled_; }
   Rng& rng() { return rng_; }
 
   // ---- Faults & crash control -----------------------------------------
@@ -627,7 +654,55 @@ class Network {
     ack->acked_seq = seq;
     const std::uint64_t bits = ack->size_bits();
     const ActionId action = ack->tag();
-    enqueue(from, to, std::move(ack), MsgKind::kAck, seq, bits, action);
+    PayloadPtr payload = std::move(ack);
+    if (wire_enabled_) [[unlikely]] {
+      payload = marshal(std::move(payload), action, bits);
+    }
+    enqueue(from, to, std::move(payload), MsgKind::kAck, seq, bits, action);
+  }
+
+  /// Wire mode: the payload makes a full encode -> bytes -> decode round
+  /// trip, and the *decoded* object — not the original — is what travels
+  /// and what the destination processes. The decoded object is re-encoded
+  /// and must reproduce the frame byte for byte, so any codec asymmetry
+  /// (a field dropped, an order swapped, a non-canonical container) fails
+  /// loudly at the offending send instead of corrupting the run downstream.
+  ///
+  /// Runs once per logical send: retransmissions and channel duplicates
+  /// clone the already-marshaled object, which is exactly what a real
+  /// transport would retransmit.
+  ///
+  /// Measured-size attribution (wire counters in Metrics): the gamma
+  /// outer tag is global framing; an envelope's own fields plus the inner
+  /// tag (everything between frame_header_end and inner_start) belong to
+  /// the envelope type; the rest is the logical action's body, compared
+  /// against `accounted_bits` = size_bits() of the original payload.
+  PayloadPtr marshal(PayloadPtr payload, ActionId action,
+                     std::uint64_t accounted_bits) {
+    wire::WireWriter w(wire_buf_);
+    encode_frame(*payload, w);
+    const std::uint64_t frame_bits = w.frame_header_end();
+    const std::uint64_t inner_start = w.inner_start();
+    const std::uint64_t total_bits = w.bit_count();
+    wire::WireReader r(wire_buf_);
+    PayloadPtr decoded = decode_frame(r);
+    wire::WireWriter w2(wire_reencode_buf_);
+    encode_frame(*decoded, w2);
+    SKS_CHECK_MSG(wire_reencode_buf_ == wire_buf_,
+                  "wire: re-encode of decoded '"
+                      << ActionRegistry::instance().name(payload->tag())
+                      << "' does not reproduce the original frame ("
+                      << w.bit_count() << " vs " << w2.bit_count()
+                      << " bits)");
+    metrics_.note_action(action);
+    metrics_.note_action(payload->tag());
+    const std::uint64_t body_start =
+        inner_start != 0 ? inner_start : frame_bits;
+    metrics_.record_wire(action, total_bits - body_start, accounted_bits);
+    metrics_.record_wire_overhead(
+        payload->tag(), frame_bits,
+        inner_start != 0 ? inner_start - frame_bits : 0);
+    return decoded;
   }
 
   void retransmit_due() {
@@ -696,6 +771,7 @@ class Network {
   bool crash_possible_;   ///< crashes scheduled or injected at runtime
   ReliableTransport reliable_;
   bool reliable_enabled_;
+  bool wire_enabled_;             ///< cached NetworkConfig::wire
   bool fenced_possible_ = false;  ///< any node ever fenced
   std::vector<Slot> nodes_;
   std::vector<char> crashed_;                   ///< per-node down flag
@@ -709,6 +785,10 @@ class Network {
   Metrics metrics_;
   trace::Tracer tracer_;
   std::function<void(NodeId)> restart_hook_;
+  // Wire-mode scratch. Member vectors reach a steady-state capacity after
+  // the first few sends, so marshaling itself allocates nothing.
+  std::vector<std::uint8_t> wire_buf_;
+  std::vector<std::uint8_t> wire_reencode_buf_;
 };
 
 inline void Node::send(NodeId to, PayloadPtr payload) {

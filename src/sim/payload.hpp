@@ -30,7 +30,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <string>
 #include <type_traits>
@@ -38,38 +40,12 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/wire.hpp"
 
 namespace sks::sim {
 
 /// Dense sequential identifier of one action (concrete payload type).
 using ActionId = std::uint32_t;
-
-/// Process-wide table of registered actions. Registration happens once per
-/// concrete payload type (on first use, from action_tag_of<T>()); the name
-/// string is interned here so the hot path never touches it.
-class ActionRegistry {
- public:
-  static ActionRegistry& instance() {
-    static ActionRegistry registry;
-    return registry;
-  }
-
-  ActionId intern(const char* name) {
-    names_.emplace_back(name);
-    return static_cast<ActionId>(names_.size() - 1);
-  }
-
-  const std::string& name(ActionId id) const {
-    SKS_CHECK(id < names_.size());
-    return names_[id];
-  }
-
-  std::size_t size() const { return names_.size(); }
-
- private:
-  ActionRegistry() = default;
-  std::vector<std::string> names_;
-};
 
 struct Payload;
 template <class T>
@@ -87,6 +63,66 @@ using Owned = std::unique_ptr<T, PayloadDeleter>;
 
 /// Owning pointer to a type-erased payload (pool-aware).
 using PayloadPtr = Owned<Payload>;
+
+/// Decodes one payload body (the frame tag already consumed) back into a
+/// typed, pool-allocated payload. One per registered action.
+using DecodeFn = PayloadPtr (*)(wire::WireReader&);
+
+/// Process-wide table of registered actions. Registration happens once per
+/// concrete payload type (on first use, from action_tag_of<T>()); the name
+/// string is interned here so the hot path never touches it. Registration
+/// is serialized by a mutex (first use can race across threads in static
+/// init) and duplicate names are rejected — two payload types sharing a
+/// name would make the wire tag ambiguous.
+class ActionRegistry {
+ public:
+  static ActionRegistry& instance() {
+    static ActionRegistry registry;
+    return registry;
+  }
+
+  ActionId intern(const char* name, DecodeFn decode_fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& existing : names_) {
+      SKS_CHECK_MSG(existing != name,
+                    "duplicate action name '" << name << "' registered");
+    }
+    names_.emplace_back(name);
+    decoders_.push_back(decode_fn);
+    return static_cast<ActionId>(names_.size() - 1);
+  }
+
+  const std::string& name(ActionId id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SKS_CHECK(id < names_.size());
+    return names_[id];  // deque: reference stays valid past the lock
+  }
+
+  /// Decode the body of the action tagged `id` from `r`. Unknown tags
+  /// (corrupt frames) are rejected with a catchable CheckFailure.
+  PayloadPtr decode(ActionId id, wire::WireReader& r) const {
+    DecodeFn fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SKS_CHECK_MSG(id < decoders_.size(), "wire: unknown action tag");
+      fn = decoders_[id];
+    }
+    return fn(r);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return names_.size();
+  }
+
+ private:
+  ActionRegistry() = default;
+  mutable std::mutex mutex_;
+  // deque, not vector: name() hands out references that must survive
+  // later registrations.
+  std::deque<std::string> names_;
+  std::deque<DecodeFn> decoders_;
+};
 
 struct Payload {
   virtual ~Payload() = default;
@@ -110,6 +146,11 @@ struct Payload {
 
   /// Human-readable action name, used for diagnostics.
   virtual const char* name() const = 0;
+
+  /// Byte-exact wire encoding of this payload's body (the frame tag is
+  /// written by encode_frame). Pure virtual: every payload type must ship
+  /// a real encoder, so the wire format is exhaustive by construction.
+  virtual void encode(wire::WireWriter& w) const = 0;
 
   /// Tag metrics attribute this message to. Wrapper payloads (RouteHop,
   /// VertexMsg) forward to the payload they carry, so per-type counters
@@ -136,10 +177,14 @@ struct Payload {
   void (*recycle_)(Payload*) = nullptr;
 };
 
-/// The dense tag of payload type T; registers T on first use.
+/// The dense tag of payload type T; registers T (name + decoder) on first
+/// use. The function-local static makes first-use registration race-free;
+/// the registry's mutex serializes distinct types registering concurrently.
 template <class T>
 ActionId action_tag_of() {
-  static const ActionId id = ActionRegistry::instance().intern(T::kActionName);
+  static const ActionId id = ActionRegistry::instance().intern(
+      T::kActionName,
+      +[](wire::WireReader& r) -> PayloadPtr { return T::decode(r); });
   return id;
 }
 
@@ -225,6 +270,27 @@ inline void PayloadDeleter::operator()(Payload* p) const {
   } else {
     delete p;
   }
+}
+
+/// Serialize one payload into a self-describing frame:
+/// [gamma(tag)][body...][pad to byte]. Envelope payloads (RouteHop,
+/// VertexMsg) recursively frame-tag the payload they carry.
+inline void encode_frame(const Payload& p, wire::WireWriter& w) {
+  w.gamma(p.tag());
+  w.note_frame_header_end();
+  p.encode(w);
+  w.finish();
+}
+
+/// Inverse of encode_frame: rejects unknown tags, truncated buffers and
+/// nonzero padding with a catchable CheckFailure.
+inline PayloadPtr decode_frame(wire::WireReader& r) {
+  const std::uint64_t tag = r.gamma();
+  SKS_CHECK_MSG(tag <= 0xffffffffull, "wire: action tag out of range");
+  PayloadPtr p = ActionRegistry::instance().decode(
+      static_cast<ActionId>(tag), r);
+  r.finish();
+  return p;
 }
 
 }  // namespace sks::sim

@@ -63,6 +63,12 @@ struct ReliableAck final : Action<ReliableAck> {
   static constexpr const char* kActionName = "transport.ack";
   std::uint64_t acked_seq = 0;
   std::uint64_t size_bits() const override { return 64; }
+  void encode(wire::WireWriter& w) const override { w.leb(acked_seq); }
+  static Owned<ReliableAck> decode(wire::WireReader& r) {
+    auto ack = make_payload<ReliableAck>();
+    ack->acked_seq = r.leb();
+    return ack;
+  }
 };
 
 class ReliableTransport {

@@ -14,6 +14,7 @@
 #include "common/check.hpp"
 #include "common/interval.hpp"
 #include "common/types.hpp"
+#include "common/wire.hpp"
 #include "skeap/batch.hpp"
 
 namespace sks::skeap {
@@ -54,6 +55,78 @@ struct BatchAssignment {
 
   friend bool operator==(const BatchAssignment&,
                          const BatchAssignment&) = default;
+
+  /// Wire layout: entry count, then per entry the insert intervals (one
+  /// per priority), the delete spans and the ⊥ count. Interval bounds are
+  /// delta-packed against a per-priority running cursor: the anchor carves
+  /// positions monotonically per priority (inserts at the top end, deletes
+  /// at the bottom end), so consecutive intervals of the same priority are
+  /// near-contiguous even after decomposition and deltas stay tiny. This
+  /// keeps the encoding inside Lemma 3.8's two-numbers-per-interval
+  /// accounting, which plain varints would overshoot for small positions.
+  void encode(wire::WireWriter& w) const {
+    w.gamma(entries.size());
+    std::vector<std::uint64_t> ins_next, del_next;
+    for (const auto& e : entries) {
+      const std::size_t num = e.inserts.num_priorities();
+      w.gamma(num);
+      if (ins_next.size() < num + 1) ins_next.resize(num + 1, 0);
+      for (Priority p = 1; p <= num; ++p) {
+        const Interval& iv = e.inserts.at(p);
+        const bool unset = iv.lo == 1 && iv.hi == 0;
+        w.boolean(unset);
+        if (!unset) {
+          w.gamma_zz(iv.lo - ins_next[p]);
+          w.gamma(iv.hi - iv.lo);
+          ins_next[p] = iv.hi + 1;
+        }
+      }
+      w.gamma(e.deletes.spans.spans().size());
+      for (const auto& s : e.deletes.spans.spans()) {
+        SKS_CHECK_MSG(s.prio >= 1, "span priority must be 1-based");
+        w.gamma(s.prio - 1);
+        if (del_next.size() < s.prio + 1) del_next.resize(s.prio + 1, 0);
+        w.gamma_zz(s.iv.lo - del_next[s.prio]);
+        w.gamma(s.iv.hi - s.iv.lo);
+        del_next[s.prio] = s.iv.hi + 1;
+      }
+      w.gamma(e.deletes.bottoms);
+    }
+  }
+
+  static BatchAssignment decode(wire::WireReader& r) {
+    BatchAssignment out;
+    const std::uint64_t len = r.gamma();
+    out.entries.reserve(len);
+    std::vector<std::uint64_t> ins_next, del_next;
+    for (std::uint64_t j = 0; j < len; ++j) {
+      EntryAssignment e;
+      const std::uint64_t num = r.gamma();
+      if (num > 0) e.inserts = InsertAssignment(num);
+      if (ins_next.size() < num + 1) ins_next.resize(num + 1, 0);
+      for (Priority p = 1; p <= num; ++p) {
+        if (r.boolean()) continue;  // unset slot keeps the {1, 0} default
+        Interval iv;
+        iv.lo = ins_next[p] + r.gamma_zz();
+        iv.hi = iv.lo + r.gamma();
+        e.inserts.at(p) = iv;
+        ins_next[p] = iv.hi + 1;
+      }
+      const std::uint64_t spans = r.gamma();
+      for (std::uint64_t i = 0; i < spans; ++i) {
+        const Priority prio = r.gamma() + 1;
+        if (del_next.size() < prio + 1) del_next.resize(prio + 1, 0);
+        Interval iv;
+        iv.lo = del_next[prio] + r.gamma_zz();
+        iv.hi = iv.lo + r.gamma();
+        e.deletes.spans.push_back(prio, iv);
+        del_next[prio] = iv.hi + 1;
+      }
+      e.deletes.bottoms = r.gamma();
+      out.entries.push_back(std::move(e));
+    }
+    return out;
+  }
 };
 
 /// The anchor's per-priority interval state (Section 3.2.2): the interval

@@ -14,6 +14,7 @@
 #include "common/bits.hpp"
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "common/wire.hpp"
 
 namespace sks::skeap {
 
@@ -110,6 +111,40 @@ class Batch {
   }
 
   friend bool operator==(const Batch&, const Batch&) = default;
+
+  /// Wire layout: P, entry count, then per entry the per-priority insert
+  /// counts and the delete count as Elias-gamma numbers (zero-heavy after
+  /// the alternation split, so gamma's 1-bit zero keeps the encoding
+  /// inside Lemma 3.8's magnitude accounting). Every entry's insert
+  /// vector is P + 1 wide by construction (record_*/combine pad with
+  /// zeros), so the per-entry width is derived from the header, not sent.
+  void encode(wire::WireWriter& w) const {
+    w.gamma(num_priorities_);
+    w.gamma(entries_.size());
+    for (const auto& e : entries_) {
+      SKS_CHECK_MSG(e.inserts.size() == num_priorities_ + 1,
+                    "batch entry width mismatch");
+      for (std::size_t p = 1; p < e.inserts.size(); ++p) {
+        w.gamma(e.inserts[p]);
+      }
+      w.gamma(e.deletes);
+    }
+  }
+
+  static Batch decode(wire::WireReader& r) {
+    Batch b(r.gamma());
+    const std::uint64_t len = r.gamma();
+    b.entries_.reserve(len);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      BatchEntry e(b.num_priorities_);
+      for (std::size_t p = 1; p < e.inserts.size(); ++p) {
+        e.inserts[p] = r.gamma();
+      }
+      e.deletes = r.gamma();
+      b.entries_.push_back(std::move(e));
+    }
+    return b;
+  }
 
  private:
   std::size_t num_priorities_ = 0;

@@ -52,12 +52,20 @@ struct SkeapUp {
   static constexpr const char* kName = "skeap.batch_up";
   Batch batch;
   std::uint64_t size_bits() const { return batch.size_bits(); }
+  void encode(wire::WireWriter& w) const { batch.encode(w); }
+  static SkeapUp decode(wire::WireReader& r) {
+    return SkeapUp{Batch::decode(r)};
+  }
 };
 
 struct SkeapDown {
   static constexpr const char* kName = "skeap.assign_down";
   BatchAssignment assignment;
   std::uint64_t size_bits() const { return assignment.size_bits(); }
+  void encode(wire::WireWriter& w) const { assignment.encode(w); }
+  static SkeapDown decode(wire::WireReader& r) {
+    return SkeapDown{BatchAssignment::decode(r)};
+  }
 };
 
 /// One completed (or in-flight) heap operation, for the semantics checker.

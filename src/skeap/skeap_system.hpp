@@ -50,6 +50,8 @@ class SkeapSystem {
     sim::ReliableConfig reliable{};
     /// Crash recovery (failure detector + k-replication + epoch rollback).
     recovery::RecoveryConfig recovery{};
+    /// Wire mode: marshal every send through encode -> bytes -> decode.
+    bool wire = sim::wire_mode_default();
   };
 
   using Cluster = runtime::Cluster<SkeapNode, SkeapConfig>;
@@ -77,6 +79,7 @@ class SkeapSystem {
     c.faults = opts.faults;
     c.reliable = opts.reliable;
     c.recovery = opts.recovery;
+    c.wire = opts.wire;
     return c;
   }
 

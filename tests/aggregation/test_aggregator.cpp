@@ -20,6 +20,9 @@ struct CountUp {
   static constexpr const char* kName = "agg.count_up";
   std::uint64_t count = 0;
   std::uint64_t size_bits() const { return 32; }
+
+  void encode(sks::wire::WireWriter& w) const { w.leb(count); }
+  static CountUp decode(sks::wire::WireReader& r) { return CountUp{r.leb()}; }
 };
 
 /// Down value: an interval [lo, hi] decomposed by child counts.
@@ -28,6 +31,18 @@ struct IntervalDown {
   std::uint64_t lo = 1, hi = 0;
   std::uint64_t size_bits() const { return 64; }
   std::uint64_t cardinality() const { return lo > hi ? 0 : hi - lo + 1; }
+
+  void encode(sks::wire::WireWriter& w) const {
+    w.leb(lo);
+    w.leb(hi);
+  }
+
+  static IntervalDown decode(sks::wire::WireReader& r) {
+    IntervalDown d;
+    d.lo = r.leb();
+    d.hi = r.leb();
+    return d;
+  }
 };
 
 class CountNode : public overlay::OverlayNode {

@@ -19,6 +19,11 @@ struct Announcement {
   static constexpr const char* kName = "test.announce";
   std::uint64_t value = 0;
   std::uint64_t size_bits() const { return 32; }
+
+  void encode(sks::wire::WireWriter& w) const { w.leb(value); }
+  static Announcement decode(sks::wire::WireReader& r) {
+    return Announcement{r.leb()};
+  }
 };
 
 class BcastNode : public overlay::OverlayNode {

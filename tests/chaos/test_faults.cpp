@@ -21,6 +21,13 @@ struct Ping final : Action<Ping> {
   static constexpr const char* kActionName = "chaos.ping";
   std::uint64_t value = 0;
   std::uint64_t size_bits() const override { return 32; }
+
+  void encode(wire::WireWriter& w) const override { w.leb(value); }
+  static Owned<Ping> decode(wire::WireReader& r) {
+    auto p = make_payload<Ping>();
+    p->value = r.leb();
+    return p;
+  }
 };
 
 class SinkNode : public DispatchingNode {

@@ -16,6 +16,13 @@ struct Probe final : sim::Action<Probe> {
   static constexpr const char* kActionName = "probe";
   std::uint64_t tag = 0;
   std::uint64_t size_bits() const override { return 16; }
+
+  void encode(sks::wire::WireWriter& w) const override { w.leb(tag); }
+  static sim::Owned<Probe> decode(sks::wire::WireReader& r) {
+    auto p = sim::make_payload<Probe>();
+    p->tag = r.leb();
+    return p;
+  }
 };
 
 /// Minimal overlay node that records routed deliveries.

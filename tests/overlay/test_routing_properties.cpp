@@ -19,9 +19,18 @@ namespace sks::overlay {
 namespace {
 
 struct Probe final : sim::Action<Probe> {
-  static constexpr const char* kActionName = "probe";
+  // Distinct from test_routing.cpp's "probe": both TUs are linked into the
+  // same test binary, and the registry rejects duplicate action names.
+  static constexpr const char* kActionName = "probe.props";
   std::uint64_t tag = 0;
   std::uint64_t size_bits() const override { return 16; }
+
+  void encode(sks::wire::WireWriter& w) const override { w.leb(tag); }
+  static sim::Owned<Probe> decode(sks::wire::WireReader& r) {
+    auto p = sim::make_payload<Probe>();
+    p->tag = r.leb();
+    return p;
+  }
 };
 
 class ProbeNode : public OverlayNode {

@@ -16,12 +16,31 @@ struct Ping final : Action<Ping> {
   std::uint64_t value = 0;
   std::uint64_t bits = 16;
   std::uint64_t size_bits() const override { return bits; }
+
+  void encode(wire::WireWriter& w) const override {
+    w.leb(value);
+    w.leb(bits);
+  }
+
+  static Owned<Ping> decode(wire::WireReader& r) {
+    auto p = make_payload<Ping>();
+    p->value = r.leb();
+    p->bits = r.leb();
+    return p;
+  }
 };
 
 struct Pong final : Action<Pong> {
   static constexpr const char* kActionName = "pong";
   std::uint64_t value = 0;
   std::uint64_t size_bits() const override { return 16; }
+
+  void encode(wire::WireWriter& w) const override { w.leb(value); }
+  static Owned<Pong> decode(wire::WireReader& r) {
+    auto p = make_payload<Pong>();
+    p->value = r.leb();
+    return p;
+  }
 };
 
 class EchoNode : public DispatchingNode {
@@ -198,6 +217,11 @@ TEST(Network, NodeAsResolvesViaBaseClassRegistration) {
 struct Mystery final : Action<Mystery> {
   static constexpr const char* kActionName = "mystery";
   std::uint64_t size_bits() const override { return 1; }
+
+  void encode(wire::WireWriter&) const override {}
+  static Owned<Mystery> decode(wire::WireReader&) {
+    return make_payload<Mystery>();
+  }
 };
 
 TEST(Network, UnhandledPayloadTypeThrows) {

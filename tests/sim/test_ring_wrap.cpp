@@ -27,6 +27,13 @@ struct Tagged final : Action<Tagged> {
   static constexpr const char* kActionName = "tagged";
   std::uint64_t seq = 0;
   std::uint64_t size_bits() const override { return 64; }
+
+  void encode(wire::WireWriter& w) const override { w.leb(seq); }
+  static Owned<Tagged> decode(wire::WireReader& r) {
+    auto p = make_payload<Tagged>();
+    p->seq = r.leb();
+    return p;
+  }
 };
 
 // (round, to, seq) of every delivery, in delivery order.

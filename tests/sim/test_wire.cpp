@@ -1,0 +1,983 @@
+// Wire-format unit tests: primitive codecs (including the total-domain
+// sentinel escapes), registry registration rules, a deterministic-rng
+// round-trip fuzz over every action registered in this binary, rejection
+// of truncated / corrupted frames, and golden byte-layout fixtures — one
+// payload per layer — that pin the encoding so accidental format changes
+// fail loudly.
+//
+// The fuzz invariant mirrors the network's wire mode: encode → decode →
+// re-encode must reproduce the original frame byte for byte.
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aggregation/aggregator.hpp"
+#include "aggregation/broadcast.hpp"
+#include "baselines/centralized.hpp"
+#include "baselines/gossip_select.hpp"
+#include "baselines/naive_kselect.hpp"
+#include "baselines/nobatch.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/wire.hpp"
+#include "dht/dht.hpp"
+#include "kselect/kselect.hpp"
+#include "overlay/membership.hpp"
+#include "overlay/overlay_node.hpp"
+#include "recovery/recovery.hpp"
+#include "seap/seap_node.hpp"
+#include "sim/payload.hpp"
+#include "sim/reliable.hpp"
+#include "skeap/skeap_node.hpp"
+
+namespace sks {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Build the expected byte image from a literal bit string ("0100...").
+std::vector<std::uint8_t> bits_to_bytes(const std::string& bits) {
+  std::vector<std::uint8_t> out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') out[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+  }
+  return out;
+}
+
+/// The body bytes of one payload (no frame tag): what the golden fixtures
+/// pin. Stable across registration order, unlike the full frame.
+std::vector<std::uint8_t> body_bytes(const sim::Payload& p) {
+  std::vector<std::uint8_t> buf;
+  wire::WireWriter w(buf);
+  p.encode(w);
+  w.finish();
+  return buf;
+}
+
+std::vector<std::uint8_t> frame_bytes(const sim::Payload& p) {
+  std::vector<std::uint8_t> buf;
+  wire::WireWriter w(buf);
+  sim::encode_frame(p, w);
+  return buf;
+}
+
+/// The wire-mode invariant: encode → decode → re-encode reproduces the
+/// original frame byte for byte.
+void expect_frame_roundtrip(const sim::Payload& p,
+                            std::set<sim::ActionId>* covered = nullptr) {
+  const std::vector<std::uint8_t> buf = frame_bytes(p);
+  wire::WireReader r(buf);
+  sim::PayloadPtr q = sim::decode_frame(r);
+  ASSERT_EQ(q->tag(), p.tag()) << p.name();
+  EXPECT_EQ(frame_bytes(*q), buf) << "re-encode mismatch for " << p.name();
+  if (covered != nullptr) covered->insert(p.tag());
+}
+
+/// Same invariant for bare value types (Element, Interval, Batch, ...)
+/// that serialize without a frame of their own.
+template <class V>
+void expect_value_roundtrip(const V& v) {
+  std::vector<std::uint8_t> buf;
+  {
+    wire::WireWriter w(buf);
+    v.encode(w);
+    w.finish();
+  }
+  wire::WireReader r(buf);
+  const V v2 = V::decode(r);
+  r.finish();
+  std::vector<std::uint8_t> buf2;
+  {
+    wire::WireWriter w(buf2);
+    v2.encode(w);
+    w.finish();
+  }
+  EXPECT_EQ(buf2, buf);
+}
+
+/// A u64 drawn from a magnitude-stratified distribution: small values,
+/// mid-range values, full-width hashes and the all-ones sentinel all get
+/// exercised (the varint codecs behave differently in each regime).
+std::uint64_t rand_u64(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return rng.below(16);
+    case 1: return rng.below(1u << 20);
+    case 2: return rng.next();
+    default: return ~0ull;
+  }
+}
+
+Element rand_element(Rng& rng) { return Element{rand_u64(rng), rand_u64(rng)}; }
+
+overlay::VirtualId rand_virtual_id(Rng& rng) {
+  if (rng.below(4) == 0) return overlay::VirtualId{};
+  overlay::VirtualId v;
+  v.host = static_cast<NodeId>(rng.below(1u << 20));
+  v.kind = static_cast<overlay::VKind>(rng.below(3));
+  v.label = rng.next();
+  return v;
+}
+
+Interval rand_interval(Rng& rng) {
+  if (rng.below(4) == 0) return Interval::empty_interval();
+  const Position lo = 1 + rng.below(1u << 20);
+  return Interval{lo, lo + rng.below(256)};
+}
+
+dht::DhtComponent::ArcData rand_arc(Rng& rng) {
+  dht::DhtComponent::ArcData arc;
+  for (std::size_t space = 0; space < dht::DhtComponent::kNumSpaces; ++space) {
+    const std::uint64_t cells = rng.below(4);
+    for (std::uint64_t i = 0; i < cells; ++i) {
+      auto& q = arc.elements[space][rng.next()];
+      const std::uint64_t n = 1 + rng.below(3);
+      for (std::uint64_t j = 0; j < n; ++j) q.push_back(rand_element(rng));
+    }
+    const std::uint64_t waits = rng.below(3);
+    for (std::uint64_t i = 0; i < waits; ++i) {
+      arc.waiting[space][rng.next()].push_back(dht::DhtComponent::WaitingGet{
+          static_cast<NodeId>(rng.below(64)), rng.below(1u << 16)});
+    }
+  }
+  return arc;
+}
+
+skeap::Batch rand_batch(Rng& rng) {
+  const std::size_t priorities = 1 + rng.below(4);
+  skeap::Batch b(priorities);
+  const std::uint64_t ops = rng.below(12);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    if (rng.below(2) != 0) {
+      b.record_insert(1 + rng.below(priorities));
+    } else {
+      b.record_delete();
+    }
+  }
+  return b;
+}
+
+kselect::KStep rand_kstep(Rng& rng) {
+  kselect::KStep s;
+  s.session = rng.below(1u << 16);
+  s.step_seq = static_cast<std::uint32_t>(rng.below(1u << 16));
+  s.iter = static_cast<std::uint32_t>(rng.below(64));
+  s.kind = static_cast<kselect::StepKind>(rng.below(9));
+  s.k = rng.below(1u << 20);
+  s.N = rng.below(1u << 20);
+  s.has_lo = rng.below(2) != 0;
+  if (s.has_lo) s.lo = rand_element(rng);
+  s.has_hi = rng.below(2) != 0;
+  if (s.has_hi) s.hi = rand_element(rng);
+  s.has_result = rng.below(2) != 0;
+  if (s.has_result) s.result = rand_element(rng);
+  return s;
+}
+
+kselect::KReply rand_kreply(Rng& rng) {
+  kselect::KReply rep;
+  rep.kind = static_cast<kselect::StepKind>(rng.below(9));
+  rep.a = rng.below(1u << 20);
+  rep.b = rng.below(1u << 20);
+  rep.has_ka = rng.below(2) != 0;
+  if (rep.has_ka) rep.ka = rand_element(rng);
+  rep.has_kb = rng.below(2) != 0;
+  if (rep.has_kb) rep.kb = rand_element(rng);
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Local payload types used by the registry tests (covered by the fuzz so
+// the completeness assert holds regardless of gtest execution order).
+// ---------------------------------------------------------------------------
+
+struct DupFirst final : sim::Action<DupFirst> {
+  static constexpr const char* kActionName = "test.wire.dup";
+  std::uint64_t size_bits() const override { return 8; }
+  void encode(wire::WireWriter&) const override {}
+  static sim::Owned<DupFirst> decode(wire::WireReader&) {
+    return sim::make_payload<DupFirst>();
+  }
+};
+
+/// Distinct type, same action name: registration must be rejected.
+struct DupSecond final : sim::Action<DupSecond> {
+  static constexpr const char* kActionName = "test.wire.dup";
+  std::uint64_t size_bits() const override { return 8; }
+  void encode(wire::WireWriter&) const override {}
+  static sim::Owned<DupSecond> decode(wire::WireReader&) {
+    return sim::make_payload<DupSecond>();
+  }
+};
+
+struct ThreadedPayload final : sim::Action<ThreadedPayload> {
+  static constexpr const char* kActionName = "test.wire.threaded";
+  std::uint64_t size_bits() const override { return 8; }
+  void encode(wire::WireWriter&) const override {}
+  static sim::Owned<ThreadedPayload> decode(wire::WireReader&) {
+    return sim::make_payload<ThreadedPayload>();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Primitive codecs
+// ---------------------------------------------------------------------------
+
+TEST(WirePrimitives, RoundTripAcrossMagnitudes) {
+  Rng rng(0x817e5ULL);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rand_u64(rng);
+    std::vector<std::uint8_t> buf;
+    wire::WireWriter w(buf);
+    const std::uint32_t width = static_cast<std::uint32_t>(rng.below(65));
+    const std::uint64_t narrowed =
+        width == 64 ? v : (v & ((std::uint64_t{1} << width) - 1));
+    w.bits(narrowed, width);
+    w.leb(v);
+    w.zz64(v);
+    if (v != ~0ull) w.gamma(v);
+    w.gammau(v);
+    w.delta(v);
+    w.gamma_zz(v);
+    w.boolean((v & 1) != 0);
+    w.finish();
+
+    wire::WireReader r(buf);
+    EXPECT_EQ(r.bits(width), narrowed);
+    EXPECT_EQ(r.leb(), v);
+    EXPECT_EQ(r.zz64(), v);
+    if (v != ~0ull) EXPECT_EQ(r.gamma(), v);
+    EXPECT_EQ(r.gammau(), v);
+    EXPECT_EQ(r.delta(), v);
+    EXPECT_EQ(r.gamma_zz(), v);
+    EXPECT_EQ(r.boolean(), (v & 1) != 0);
+    r.finish();
+  }
+}
+
+TEST(WirePrimitives, IntervalRoundTripsEveryShape) {
+  Rng rng(0x1e7e2fULL);
+  for (int i = 0; i < 500; ++i) {
+    // Arbitrary (lo, hi) pairs, including hi < lo (the empty convention).
+    const std::uint64_t lo = rand_u64(rng);
+    const std::uint64_t hi = rand_u64(rng);
+    std::vector<std::uint8_t> buf;
+    wire::WireWriter w(buf);
+    w.interval(lo, hi);
+    w.finish();
+    wire::WireReader r(buf);
+    const wire::WireReader::Iv iv = r.interval();
+    EXPECT_EQ(iv.lo, lo);
+    EXPECT_EQ(iv.hi, hi);
+    r.finish();
+  }
+}
+
+TEST(WirePrimitives, GoldenEncodings) {
+  const auto one = [](auto emit) {
+    std::vector<std::uint8_t> buf;
+    wire::WireWriter w(buf);
+    emit(w);
+    w.finish();
+    return buf;
+  };
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.leb(0); }),
+            bits_to_bytes("00000000"));
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.leb(300); }),
+            (std::vector<std::uint8_t>{0xAC, 0x02}));
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.zz64(~0ull); }),
+            (std::vector<std::uint8_t>{0x01}));
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.gamma(0); }), bits_to_bytes("1"));
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.gamma(5); }),
+            bits_to_bytes("00110"));
+  // The all-ones escapes: 65 bits of gamma escape, delta's length-64 code.
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.gammau(~0ull); }),
+            (std::vector<std::uint8_t>{0, 0, 0, 0, 0, 0, 0, 0, 0x80}));
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.delta(~0ull); }),
+            bits_to_bytes("0000001000001"));
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.delta(0); }), bits_to_bytes("1"));
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.gamma_zz(~0ull); }),
+            bits_to_bytes("010"));
+  EXPECT_EQ(one([](wire::WireWriter& w) { w.interval(5, 9); }),
+            (std::vector<std::uint8_t>{0x0A, 0x0A}));
+}
+
+TEST(WirePrimitives, GammaRejectsAllOnes) {
+  std::vector<std::uint8_t> buf;
+  wire::WireWriter w(buf);
+  EXPECT_THROW(w.gamma(~0ull), CheckFailure);
+}
+
+TEST(WirePrimitives, WriterReusesBufferCapacity) {
+  std::vector<std::uint8_t> buf;
+  {
+    wire::WireWriter w(buf);
+    for (int i = 0; i < 64; ++i) w.bits(~0ull, 64);
+    w.finish();
+  }
+  const std::size_t cap = buf.capacity();
+  {
+    wire::WireWriter w(buf);
+    w.leb(5);
+    w.finish();
+  }
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{0x05}));
+  EXPECT_EQ(buf.capacity(), cap) << "reuse must not shrink the buffer";
+}
+
+// ---------------------------------------------------------------------------
+// Registry rules
+// ---------------------------------------------------------------------------
+
+TEST(WireRegistry, DuplicateActionNameIsRejected) {
+  DupFirst first;  // registers "test.wire.dup"
+  EXPECT_THROW(DupSecond{}, CheckFailure)
+      << "two payload types must not share an action name";
+  // The failed registration must not have claimed an id.
+  const sim::ActionRegistry& reg = sim::ActionRegistry::instance();
+  EXPECT_EQ(reg.name(first.tag()), "test.wire.dup");
+}
+
+TEST(WireRegistry, ConcurrentFirstUseRegistersOnce) {
+  std::vector<std::thread> threads;
+  std::vector<sim::ActionId> ids(8, 0);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    threads.emplace_back([&ids, i] { ids[i] = sim::action_tag_of<ThreadedPayload>(); });
+  }
+  for (auto& t : threads) t.join();
+  for (const sim::ActionId id : ids) EXPECT_EQ(id, ids[0]);
+  EXPECT_EQ(sim::ActionRegistry::instance().name(ids[0]),
+            "test.wire.threaded");
+}
+
+TEST(WireRegistry, UnknownTagIsRejected) {
+  std::vector<std::uint8_t> buf;
+  wire::WireWriter w(buf);
+  w.gamma(sim::ActionRegistry::instance().size() + 1000);
+  w.finish();
+  wire::WireReader r(buf);
+  EXPECT_THROW(sim::decode_frame(r), CheckFailure);
+}
+
+TEST(WireRegistry, OutOfRangeTagIsRejected) {
+  std::vector<std::uint8_t> buf;
+  wire::WireWriter w(buf);
+  w.gamma(std::uint64_t{1} << 32);  // beyond the 32-bit ActionId domain
+  w.finish();
+  wire::WireReader r(buf);
+  EXPECT_THROW(sim::decode_frame(r), CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Value-type codecs
+// ---------------------------------------------------------------------------
+
+TEST(WireValues, CoreValueTypesRoundTrip) {
+  Rng rng(0x7a1ebULL);
+  for (int i = 0; i < 200; ++i) {
+    expect_value_roundtrip(rand_element(rng));
+    expect_value_roundtrip(rand_virtual_id(rng));
+    expect_value_roundtrip(rand_interval(rng));
+  }
+  // The non-canonical empty interval {5, 4} must survive as written.
+  std::vector<std::uint8_t> buf;
+  wire::WireWriter w(buf);
+  Interval{5, 4}.encode(w);
+  w.finish();
+  wire::WireReader r(buf);
+  const Interval iv = Interval::decode(r);
+  EXPECT_EQ(iv.lo, 5u);
+  EXPECT_EQ(iv.hi, 4u);
+}
+
+TEST(WireValues, BatchAndAssignmentRoundTrip) {
+  Rng rng(0xba7cULL);
+  for (int i = 0; i < 100; ++i) {
+    const skeap::Batch batch = rand_batch(rng);
+    expect_value_roundtrip(batch);
+    // A real assignment (the anchor's own carve) for the batch; assigning
+    // a second batch of the same width advances the cursors, so the delta
+    // packing sees non-zero interval origins too.
+    skeap::AnchorState anchor(batch.num_priorities());
+    expect_value_roundtrip(anchor.assign(batch));
+    skeap::Batch second(batch.num_priorities());
+    const std::uint64_t ops = rng.below(8);
+    for (std::uint64_t j = 0; j < ops; ++j) {
+      if (rng.below(2) != 0) {
+        second.record_insert(1 + rng.below(batch.num_priorities()));
+      } else {
+        second.record_delete();
+      }
+    }
+    expect_value_roundtrip(anchor.assign(second));
+  }
+}
+
+TEST(WireValues, ArcDataEncodesCanonically) {
+  Rng rng(0xa2cULL);
+  for (int i = 0; i < 50; ++i) {
+    const dht::DhtComponent::ArcData arc = rand_arc(rng);
+    expect_value_roundtrip(arc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip fuzz over every registered action
+// ---------------------------------------------------------------------------
+
+TEST(WireFuzz, EveryRegisteredActionRoundTripsByteExactly) {
+  Rng rng(0xf0220ULL);
+  std::set<sim::ActionId> covered;
+  const int rounds = 24;
+  for (int round = 0; round < rounds; ++round) {
+    // --- dht ---------------------------------------------------------------
+    {
+      dht::PutRequest p;
+      p.element = rand_element(rng);
+      p.requester = static_cast<NodeId>(rng.below(1u << 12));
+      p.request_id = rng.below(1u << 20);
+      p.want_ack = rng.below(2) != 0;
+      p.space = static_cast<std::uint8_t>(rng.below(2));
+      p.bits = rng.below(1u << 12);
+      expect_frame_roundtrip(p, &covered);
+    }
+    {
+      dht::GetRequest g;
+      g.requester = static_cast<NodeId>(rng.below(1u << 12));
+      g.request_id = rng.below(1u << 20);
+      g.space = static_cast<std::uint8_t>(rng.below(2));
+      g.bits = rng.below(1u << 12);
+      expect_frame_roundtrip(g, &covered);
+    }
+    {
+      dht::GetReply rep;
+      rep.element = rand_element(rng);
+      rep.request_id = rng.below(1u << 20);
+      expect_frame_roundtrip(rep, &covered);
+    }
+    {
+      dht::PutAck ack;
+      ack.request_id = rand_u64(rng);
+      expect_frame_roundtrip(ack, &covered);
+    }
+    // --- transport / recovery ---------------------------------------------
+    {
+      sim::ReliableAck ack;
+      ack.acked_seq = rand_u64(rng);
+      expect_frame_roundtrip(ack, &covered);
+    }
+    expect_frame_roundtrip(recovery::Heartbeat{}, &covered);
+    expect_frame_roundtrip(recovery::SuspectProbe{}, &covered);
+    expect_frame_roundtrip(recovery::ProbeReply{}, &covered);
+    {
+      recovery::ReplicaDelta d;
+      d.owner = static_cast<NodeId>(rng.below(64));
+      const std::uint64_t entries = rng.below(4);
+      for (std::uint64_t i = 0; i < entries; ++i) {
+        recovery::DeltaEntry e;
+        e.space = static_cast<std::uint8_t>(rng.below(2));
+        e.key = rng.next();
+        const std::uint64_t elems = rng.below(4);
+        for (std::uint64_t j = 0; j < elems; ++j) {
+          e.elems.push_back(rand_element(rng));
+        }
+        d.entries.push_back(std::move(e));
+      }
+      const std::uint64_t words = rng.below(4);
+      for (std::uint64_t i = 0; i < words; ++i) d.anchor_blob.push_back(rng.next());
+      d.has_anchor = rng.below(2) != 0;
+      expect_frame_roundtrip(d, &covered);
+    }
+    // --- overlay envelopes (recursive inner frames) ------------------------
+    {
+      overlay::RouteHop hop;
+      hop.target = rng.next();
+      hop.d = static_cast<std::uint32_t>(rng.below(65));
+      hop.rho = hop.d == 64
+                    ? rng.next()
+                    : (hop.d == 0 ? 0 : rng.next() & ((std::uint64_t{1} << hop.d) - 1));
+      hop.ideal = rng.next();
+      hop.phase_a_left = static_cast<std::uint32_t>(rng.below(64));
+      hop.phase_b_done = static_cast<std::uint32_t>(rng.below(64));
+      hop.anchored = rng.below(2) != 0;
+      hop.at_kind = static_cast<overlay::VKind>(rng.below(3));
+      hop.origin = static_cast<NodeId>(rng.below(1u << 12));
+      hop.hops = rng.below(256);
+      hop.header_bits = rng.below(1024);
+      if (rng.below(4) != 0) {
+        auto inner = sim::make_payload<dht::PutRequest>();
+        inner->element = rand_element(rng);
+        inner->requester = static_cast<NodeId>(rng.below(64));
+        inner->request_id = rng.below(1u << 16);
+        inner->bits = rng.below(1024);
+        hop.inner = std::move(inner);
+      }
+      expect_frame_roundtrip(hop, &covered);
+    }
+    {
+      overlay::VertexMsg msg;
+      msg.src = rand_virtual_id(rng);
+      msg.dst_kind = static_cast<overlay::VKind>(rng.below(3));
+      msg.header_bits = rng.below(1024);
+      if (rng.below(4) != 0) {
+        // Nested envelope: vertex -> route -> put, the deepest production
+        // shape (tree edges forwarding a routed message).
+        auto inner_hop = sim::make_payload<overlay::RouteHop>();
+        inner_hop->target = rng.next();
+        inner_hop->d = 4;
+        inner_hop->rho = rng.below(16);
+        auto leaf = sim::make_payload<dht::PutAck>();
+        leaf->request_id = rng.below(1u << 16);
+        inner_hop->inner = std::move(leaf);
+        msg.inner = std::move(inner_hop);
+      }
+      expect_frame_roundtrip(msg, &covered);
+    }
+    // --- membership --------------------------------------------------------
+    {
+      overlay::JoinReserve m;
+      m.joiner = static_cast<NodeId>(rng.below(1u << 12));
+      m.kind = static_cast<overlay::VKind>(rng.below(3));
+      m.label = rng.next();
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      overlay::ReserveAck m;
+      m.kind = static_cast<overlay::VKind>(rng.below(3));
+      m.pred = rand_virtual_id(rng);
+      m.succ = rand_virtual_id(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      overlay::JoinConfirm m;
+      m.joiner = static_cast<NodeId>(rng.below(1u << 12));
+      m.owner_kind = static_cast<overlay::VKind>(rng.below(3));
+      m.first = rand_virtual_id(rng);
+      m.last = rand_virtual_id(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      overlay::ArcTransfer m;
+      m.kind = static_cast<overlay::VKind>(rng.below(3));
+      m.arc = rand_arc(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      overlay::NeighborUpdate m;
+      m.target_kind = static_cast<overlay::VKind>(rng.below(3));
+      m.is_pred = rng.below(2) != 0;
+      m.neighbor = rand_virtual_id(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      overlay::LeaveHandover m;
+      m.pred_kind = static_cast<overlay::VKind>(rng.below(3));
+      m.new_succ = rand_virtual_id(rng);
+      m.arc = rand_arc(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    // --- aggregation / broadcast instantiations ----------------------------
+    // Up-only channels reuse one value type for Up and Down, so only the
+    // Up payload may register (the Down twin would collide on the name —
+    // exactly what the Aggregator's split_ gate prevents in production).
+    {
+      agg::AggUpMsg<kselect::KReply> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = rand_kreply(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::AggUpMsg<kselect::SampleUp> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = kselect::SampleUp{rand_u64(rng)};
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::AggDownMsg<kselect::SampleDown> m;
+      m.epoch = rng.below(1u << 16);
+      m.value.iv = rand_interval(rng);
+      m.value.nprime = rng.below(1u << 20);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::BroadcastMsg<kselect::KStep> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = rand_kstep(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::AggUpMsg<seap::InsCountUp> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = seap::InsCountUp{rand_u64(rng)};
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::BroadcastMsg<seap::InsGo> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = seap::InsGo{rng.below(1u << 20)};
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::AggUpMsg<seap::DelCountUp> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = seap::DelCountUp{rand_u64(rng)};
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::AggDownMsg<seap::DelDown> m;
+      m.epoch = rng.below(1u << 16);
+      m.value.iv = rand_interval(rng);
+      m.value.k_eff = rng.below(1u << 20);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::BroadcastMsg<seap::Thresh> m;
+      m.epoch = rng.below(1u << 16);
+      m.value.cycle = rng.below(1u << 20);
+      m.value.threshold = rand_element(rng);
+      m.value.k_eff = rand_u64(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::AggUpMsg<seap::MoveCountUp> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = seap::MoveCountUp{rand_u64(rng)};
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::AggDownMsg<seap::MoveDown> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = seap::MoveDown{rand_interval(rng)};
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::AggUpMsg<skeap::SkeapUp> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = skeap::SkeapUp{rand_batch(rng)};
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      const skeap::Batch batch = rand_batch(rng);
+      skeap::AnchorState anchor(batch.num_priorities());
+      agg::AggDownMsg<skeap::SkeapDown> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = skeap::SkeapDown{anchor.assign(batch)};
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::AggUpMsg<baselines::ProbeCount> m;
+      m.epoch = rng.below(1u << 16);
+      m.value = baselines::ProbeCount{rand_u64(rng)};
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      agg::BroadcastMsg<baselines::ProbeStep> m;
+      m.epoch = rng.below(1u << 16);
+      m.value.session = rng.below(1u << 20);
+      m.value.snapshot = rng.below(2) != 0;
+      m.value.pivot = rand_element(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    // --- kselect routed payloads -------------------------------------------
+    {
+      kselect::SeedMsg m;
+      m.session = rng.below(1u << 20);
+      m.iter = static_cast<std::uint32_t>(rng.below(64));
+      m.pos = rng.below(1u << 20);
+      m.nprime = rng.below(1u << 20);
+      m.c = rand_element(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      kselect::CopyMsg m;
+      m.session = rng.below(1u << 20);
+      m.iter = static_cast<std::uint32_t>(rng.below(64));
+      m.i = rng.below(1u << 20);
+      m.a = rng.below(1u << 20);
+      m.b = rng.below(1u << 20);
+      m.nprime = rng.below(1u << 20);
+      m.c = rand_element(rng);
+      m.parent_host = static_cast<NodeId>(rng.below(1u << 12));
+      m.parent_mid = rng.below(1u << 20);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      kselect::RdvMsg m;
+      m.session = rng.below(1u << 20);
+      m.iter = static_cast<std::uint32_t>(rng.below(64));
+      m.i = rng.below(1u << 20);
+      m.j = rng.below(1u << 20);
+      m.c = rand_element(rng);
+      m.back_host = static_cast<NodeId>(rng.below(1u << 12));
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      kselect::VoteMsg m;
+      m.session = rng.below(1u << 20);
+      m.iter = static_cast<std::uint32_t>(rng.below(64));
+      m.i = rng.below(1u << 20);
+      m.mid = rng.below(1u << 20);
+      m.smaller = static_cast<std::uint32_t>(rng.below(1u << 16));
+      m.larger = static_cast<std::uint32_t>(rng.below(1u << 16));
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      kselect::TreeSumMsg m;
+      m.session = rng.below(1u << 20);
+      m.iter = static_cast<std::uint32_t>(rng.below(64));
+      m.i = rng.below(1u << 20);
+      m.parent_mid = rng.below(1u << 20);
+      m.L = rng.below(1u << 20);
+      m.R = rng.below(1u << 20);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      kselect::OrderPut m;
+      m.session = rng.below(1u << 20);
+      m.iter = static_cast<std::uint32_t>(rng.below(64));
+      m.order = rng.below(1u << 20);
+      m.c = rand_element(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      kselect::OrderGet m;
+      m.session = rng.below(1u << 20);
+      m.iter = static_cast<std::uint32_t>(rng.below(64));
+      m.order = rng.below(1u << 20);
+      m.back = static_cast<NodeId>(rng.below(1u << 12));
+      m.tag = rng.below(1u << 20);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      kselect::OrderReply m;
+      m.tag = rng.below(1u << 20);
+      m.c = rand_element(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    // --- baselines ---------------------------------------------------------
+    {
+      baselines::CentralInsert m;
+      m.element = rand_element(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      baselines::CentralDelete m;
+      m.request_id = rand_u64(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      baselines::CentralReply m;
+      m.request_id = rng.below(1u << 20);
+      m.has_element = rng.below(2) != 0;
+      if (m.has_element) m.element = rand_element(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      baselines::GossipSampleReq m;
+      m.session = rng.below(1u << 20);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      baselines::GossipSampleRep m;
+      m.session = rng.below(1u << 20);
+      m.alive = rng.below(2) != 0;
+      m.value = rand_element(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      baselines::GossipCountReq m;
+      m.session = rng.below(1u << 20);
+      m.pivot = rand_element(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      baselines::GossipCountRep m;
+      m.session = rng.below(1u << 20);
+      m.leq = static_cast<std::uint32_t>(rng.below(2));
+      m.alive = static_cast<std::uint32_t>(rng.below(2));
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      baselines::GossipPrune m;
+      m.session = rng.below(1u << 20);
+      m.lo = rand_element(rng);
+      m.hi = rand_element(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      baselines::NoBatchOp m;
+      m.is_insert = rng.below(2) != 0;
+      m.prio = rand_u64(rng);
+      m.origin = static_cast<NodeId>(rng.below(1u << 12));
+      m.request_id = rand_u64(rng);
+      m.at_kind = static_cast<overlay::VKind>(rng.below(3));
+      expect_frame_roundtrip(m, &covered);
+    }
+    {
+      baselines::NoBatchGrant m;
+      m.request_id = rng.below(1u << 20);
+      m.bottom = rng.below(2) != 0;
+      m.prio = rand_u64(rng);
+      m.pos = rand_u64(rng);
+      expect_frame_roundtrip(m, &covered);
+    }
+    // --- this binary's own test payloads -----------------------------------
+    expect_frame_roundtrip(DupFirst{}, &covered);
+    expect_frame_roundtrip(ThreadedPayload{}, &covered);
+  }
+
+  // Completeness: every action registered in this binary was fuzzed. A
+  // payload type reachable from the headers above that the sweep misses
+  // shows up here as an uncovered id with its name.
+  const sim::ActionRegistry& reg = sim::ActionRegistry::instance();
+  for (sim::ActionId id = 0; id < reg.size(); ++id) {
+    EXPECT_TRUE(covered.count(id) != 0)
+        << "registered action '" << reg.name(id) << "' (id " << id
+        << ") was not covered by the round-trip fuzz";
+  }
+  EXPECT_GE(covered.size(), 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Truncation / corruption rejection
+// ---------------------------------------------------------------------------
+
+TEST(WireReject, TruncatedFramesNeverReproduceTheOriginal) {
+  // A rich frame: routed envelope carrying a dht put (varints, fixed-width
+  // fields, a recursive inner frame).
+  overlay::RouteHop hop;
+  hop.target = 0x0123456789abcdefULL;
+  hop.d = 12;
+  hop.rho = 0x5a5;
+  hop.ideal = 0xfedcba9876543210ULL;
+  hop.phase_a_left = 7;
+  hop.phase_b_done = 3;
+  hop.anchored = true;
+  hop.at_kind = overlay::VKind::kRight;
+  hop.origin = 5;
+  hop.hops = 9;
+  hop.header_bits = 44;
+  auto inner = sim::make_payload<dht::PutRequest>();
+  inner->element = Element{3, 12345};
+  inner->requester = 2;
+  inner->request_id = 77;
+  inner->want_ack = true;
+  inner->bits = 96;
+  hop.inner = std::move(inner);
+
+  const std::vector<std::uint8_t> full = frame_bytes(hop);
+  ASSERT_GT(full.size(), 8u);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    wire::WireReader r(full.data(), len);
+    try {
+      sim::PayloadPtr p = sim::decode_frame(r);
+      // A prefix that happens to parse must at least be self-consistent —
+      // and it can never be mistaken for the full frame.
+      const std::vector<std::uint8_t> re = frame_bytes(*p);
+      EXPECT_NE(re, full) << "truncation to " << len << " bytes undetected";
+    } catch (const CheckFailure&) {
+      // Rejected — the expected outcome for almost every cut point.
+    }
+  }
+}
+
+TEST(WireReject, NonzeroPaddingIsRejected) {
+  sim::ReliableAck ack;
+  ack.acked_seq = 5;
+  std::vector<std::uint8_t> buf;
+  wire::WireWriter w(buf);
+  w.gamma(ack.tag());
+  w.note_frame_header_end();
+  ack.encode(w);
+  const std::uint64_t used = w.bit_count();
+  w.finish();
+  ASSERT_NE(used % 8, 0u) << "gamma tags have odd width; padding expected";
+  buf.back() |= 1;  // corrupt the final padding bit
+  wire::WireReader r(buf);
+  EXPECT_THROW(sim::decode_frame(r), CheckFailure);
+}
+
+TEST(WireReject, TrailingBytesAreRejected) {
+  sim::ReliableAck ack;
+  ack.acked_seq = 5;
+  std::vector<std::uint8_t> buf = frame_bytes(ack);
+  buf.push_back(0x00);
+  wire::WireReader r(buf);
+  EXPECT_THROW(sim::decode_frame(r), CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Golden byte layouts — one payload per layer
+// ---------------------------------------------------------------------------
+
+TEST(WireGolden, BodyLayoutsArePinned) {
+  // common: Element = gammau(prio) ++ delta(id).
+  {
+    std::vector<std::uint8_t> buf;
+    wire::WireWriter w(buf);
+    Element{3, 7}.encode(w);
+    w.finish();
+    EXPECT_EQ(buf, bits_to_bytes("00100" "00100000"));
+  }
+  // sim (transport): ReliableAck = leb(acked_seq).
+  {
+    sim::ReliableAck ack;
+    ack.acked_seq = 5;
+    EXPECT_EQ(body_bytes(ack), bits_to_bytes("00000101"));
+  }
+  // dht: PutAck = delta(request_id).
+  {
+    dht::PutAck ack;
+    ack.request_id = 9;
+    EXPECT_EQ(body_bytes(ack), bits_to_bytes("00100010"));
+  }
+  // overlay/membership: JoinReserve = leb(joiner) ++ kind:2 ++ label:64.
+  {
+    overlay::JoinReserve m;
+    m.joiner = 2;
+    m.kind = overlay::VKind::kRight;
+    m.label = std::uint64_t{1} << 63;
+    std::vector<std::uint8_t> expect{0x02, 0xA0};
+    expect.resize(10, 0x00);
+    EXPECT_EQ(body_bytes(m), expect);
+  }
+  // aggregation + skeap: AggUpMsg<SkeapUp> = leb(epoch) ++ Batch (gammas).
+  {
+    skeap::Batch batch(2);
+    batch.record_insert(1);
+    batch.record_delete();
+    agg::AggUpMsg<skeap::SkeapUp> m;
+    m.epoch = 1;
+    m.value = skeap::SkeapUp{batch};
+    EXPECT_EQ(body_bytes(m),
+              bits_to_bytes("00000001"        // epoch leb(1)
+                            "011"             // gamma(P = 2)
+                            "010"             // gamma(1 entry)
+                            "010"             // gamma(inserts[1] = 1)
+                            "1"               // gamma(inserts[2] = 0)
+                            "010"));          // gamma(deletes = 1)
+  }
+  // kselect: SampleUp = delta(count).
+  {
+    agg::AggUpMsg<kselect::SampleUp> m;
+    m.epoch = 0;
+    m.value = kselect::SampleUp{5};
+    EXPECT_EQ(body_bytes(m), bits_to_bytes("00000000" "01110"));
+  }
+  // recovery: Heartbeat has an empty body.
+  EXPECT_TRUE(body_bytes(recovery::Heartbeat{}).empty());
+  // baselines: CentralDelete = delta(request_id).
+  {
+    baselines::CentralDelete m;
+    m.request_id = 0;
+    EXPECT_EQ(body_bytes(m), bits_to_bytes("1"));
+  }
+}
+
+}  // namespace
+}  // namespace sks

@@ -1,0 +1,294 @@
+// Wire-mode equivalence: running a full cluster with every send marshaled
+// through encode -> bytes -> decode must be observably identical to the
+// in-memory object path — same trace, same logical metrics, same results —
+// for each protocol family (Skeap, Seap, KSelect) and under chaos
+// (faults + reliable transport + crash recovery). Wire mode may only add
+// the wire-measurement counters; everything else is pinned.
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/semantics.hpp"
+#include "kselect/kselect_system.hpp"
+#include "seap/seap_system.hpp"
+#include "sim/metrics.hpp"
+#include "skeap/skeap_system.hpp"
+#include "trace/text.hpp"
+#include "trace/tracer.hpp"
+
+namespace sks {
+namespace {
+
+/// The logical metrics that must not move when wire mode turns on. (The
+/// wire_* counters are excluded by construction: they are the one thing
+/// wire mode is allowed — required — to add.)
+void expect_logical_metrics_identical(const sim::MetricsSnapshot& a,
+                                      const sim::MetricsSnapshot& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+  EXPECT_EQ(a.max_congestion, b.max_congestion);
+  EXPECT_TRUE(a.message_bits_hist == b.message_bits_hist);
+  EXPECT_TRUE(a.congestion_hist == b.congestion_hist);
+  EXPECT_EQ(a.messages_by_type, b.messages_by_type);
+  EXPECT_EQ(a.bits_by_type, b.bits_by_type);
+  EXPECT_EQ(a.max_bits_by_type, b.max_bits_by_type);
+}
+
+// ---------------------------------------------------------------------------
+// Skeap: the paper's Figure 1 scenario (the golden-trace workload)
+// ---------------------------------------------------------------------------
+
+struct SkeapRun {
+  std::string trace;
+  sim::MetricsSnapshot metrics;
+};
+
+SkeapRun run_figure1(bool wire, sim::DeliveryMode mode) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 3;
+  opts.num_priorities = 2;
+  opts.seed = 42;
+  opts.mode = mode;
+  opts.wire = wire;
+  skeap::SkeapSystem sys(opts);
+  sys.net().tracer().enable();
+  sys.insert(0, 1);
+  sys.insert(1, 1);
+  sys.delete_min(1);
+  sys.delete_min(1);
+  sys.insert(2, 1);
+  sys.insert(2, 1);
+  sys.insert(2, 2);
+  sys.delete_min(2);
+  sys.run_batch();
+  SkeapRun run;
+  run.metrics = sys.net().metrics().current();
+  run.trace = trace::to_text(sys.net().take_trace());
+  return run;
+}
+
+TEST(WireMode, SkeapFigure1TraceIsByteIdentical) {
+  for (const sim::DeliveryMode mode : {sim::DeliveryMode::kSynchronous,
+                                       sim::DeliveryMode::kAsynchronous}) {
+    const SkeapRun object = run_figure1(false, mode);
+    const SkeapRun wired = run_figure1(true, mode);
+    EXPECT_EQ(wired.trace, object.trace)
+        << "wire marshaling must not perturb the schedule (mode "
+        << static_cast<int>(mode) << ")";
+    expect_logical_metrics_identical(object.metrics, wired.metrics);
+    EXPECT_EQ(object.metrics.wire_messages, 0u);
+    EXPECT_GT(wired.metrics.wire_messages, 0u);
+    EXPECT_GT(wired.metrics.wire_body_bits, 0u);
+    EXPECT_GT(wired.metrics.wire_frame_bits, 0u);
+    // Every marshaled action's measured bytes stay within the paper's
+    // size_bits() accounting — the invariant the CI bench check enforces
+    // fleet-wide.
+    for (const auto& [name, bits] : wired.metrics.wire_bits_by_type) {
+      const auto it = wired.metrics.wire_accounted_bits_by_type.find(name);
+      ASSERT_NE(it, wired.metrics.wire_accounted_bits_by_type.end()) << name;
+      EXPECT_LE(bits, it->second)
+          << "action '" << name << "' encodes larger than it accounts";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seap: arbitrary priorities over the DHT
+// ---------------------------------------------------------------------------
+
+struct SeapRun {
+  std::string trace;
+  std::vector<Element> deleted;
+  sim::MetricsSnapshot metrics;
+};
+
+SeapRun run_seap(bool wire) {
+  seap::SeapSystem::Options opts;
+  opts.num_nodes = 4;
+  opts.seed = 0x5ea9edULL;
+  opts.wire = wire;
+  seap::SeapSystem sys(opts);
+  sys.net().tracer().enable();
+  SeapRun run;
+  for (NodeId v = 0; v < 4; ++v) {
+    sys.insert(v, 1000 + 17 * v);
+    sys.insert(v, 5 + v);
+  }
+  sys.run_cycle();
+  for (NodeId v = 0; v < 4; ++v) {
+    sys.delete_min(v, [&run](std::optional<Element> x) {
+      if (x) run.deleted.push_back(*x);
+    });
+  }
+  sys.run_cycle();
+  run.metrics = sys.net().metrics().current();
+  run.trace = trace::to_text(sys.net().take_trace());
+  return run;
+}
+
+TEST(WireMode, SeapCyclesAreByteIdentical) {
+  const SeapRun object = run_seap(false);
+  const SeapRun wired = run_seap(true);
+  EXPECT_EQ(wired.trace, object.trace);
+  EXPECT_EQ(wired.deleted, object.deleted);
+  expect_logical_metrics_identical(object.metrics, wired.metrics);
+  EXPECT_EQ(object.metrics.wire_messages, 0u);
+  EXPECT_GT(wired.metrics.wire_messages, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// KSelect: full selection sessions
+// ---------------------------------------------------------------------------
+
+struct KSelectRun {
+  std::string trace;
+  std::optional<Element> result;
+  std::uint64_t rounds = 0;
+};
+
+KSelectRun run_kselect(bool wire) {
+  kselect::KSelectSystem::Options opts;
+  opts.num_nodes = 6;
+  opts.seed = 0x5e1ecULL;
+  opts.wire = wire;
+  kselect::KSelectSystem sys(opts);
+  std::vector<Element> elements;
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    elements.push_back(Element{(i * 7919) % 1000, i});
+  }
+  sys.seed_elements(elements);
+  sys.net().tracer().enable();
+  const auto outcome = sys.select(42);
+  KSelectRun run;
+  run.result = outcome.result;
+  run.rounds = outcome.rounds;
+  run.trace = trace::to_text(sys.net().take_trace());
+  return run;
+}
+
+TEST(WireMode, KSelectSessionIsByteIdentical) {
+  const KSelectRun object = run_kselect(false);
+  const KSelectRun wired = run_kselect(true);
+  ASSERT_TRUE(object.result.has_value());
+  EXPECT_EQ(wired.result, object.result);
+  EXPECT_EQ(wired.rounds, object.rounds);
+  EXPECT_EQ(wired.trace, object.trace);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: faults + reliable transport + crash recovery
+// ---------------------------------------------------------------------------
+
+struct ChaosRun {
+  std::string trace;
+  std::vector<Element> got;
+  bool semantics_ok = false;
+  std::string semantics_error;
+};
+
+ChaosRun run_chaos(bool wire) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 8;
+  opts.num_priorities = 2;
+  opts.seed = 41;
+  opts.faults.drop_prob = 0.05;
+  opts.faults.duplicate_prob = 0.02;
+  opts.reliable.enabled = true;
+  opts.wire = wire;
+  skeap::SkeapSystem sys(opts);
+  sys.net().tracer().enable();
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 1 + v % 2);
+  // A crash-restart window inside the batch: the reliable transport
+  // bridges the outage, so wire marshaling must survive retransmitted
+  // clones too.
+  const std::uint64_t r = sys.net().round();
+  sys.net().schedule_crash({1, r + 3, r + 15});
+  sys.run_batch();
+  ChaosRun run;
+  for (NodeId v = 0; v < 8; ++v) {
+    sys.delete_min(v, [&run](std::optional<Element> x) {
+      if (x) run.got.push_back(*x);
+    });
+  }
+  sys.run_batch();
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  run.semantics_ok = check.ok;
+  run.semantics_error = check.error;
+  run.trace = trace::to_text(sys.net().take_trace());
+  return run;
+}
+
+// Crash recovery proper: a permanently dead node, its slice promoted from
+// a mirror (ReplicaDelta over the wire), the session retried. The decoded
+// replica payloads must reconstruct the exact same survivor state.
+struct RecoveryRun {
+  std::string trace;
+  std::optional<Element> result;
+  std::uint64_t rounds = 0;
+  std::size_t deaths = 0;
+};
+
+RecoveryRun run_recovery(bool wire) {
+  kselect::KSelectSystem::Options opts;
+  opts.num_nodes = 8;
+  opts.seed = 0x2ec0e2ULL;
+  opts.reliable.enabled = true;
+  opts.recovery.enabled = true;
+  opts.recovery.replication = 2;
+  opts.wire = wire;
+  kselect::KSelectSystem sys(opts);
+  std::vector<Element> elements;
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    elements.push_back(Element{(i * 6151) % 50000, i});
+  }
+  sys.seed_elements(elements);
+  sys.net().tracer().enable();
+  // Permanent crash (restart = 0) of a non-anchor node shortly after the
+  // session starts: the failure detector declares it dead, mirrors promote
+  // its slice, and the selection is retried under a fresh session id.
+  NodeId victim = kNoNode;
+  for (NodeId v : sys.cluster().active_nodes()) {
+    if (v != sys.cluster().anchor()) {
+      victim = v;
+      break;
+    }
+  }
+  sys.net().schedule_crash({victim, sys.net().round() + 3, /*restart=*/0});
+  const auto outcome = sys.select(57);
+  RecoveryRun run;
+  run.result = outcome.result;
+  run.rounds = outcome.rounds;
+  run.deaths = sys.cluster().recovery_log().size();
+  run.trace = trace::to_text(sys.net().take_trace());
+  return run;
+}
+
+TEST(WireMode, CrashRecoveryPromotionIsByteIdentical) {
+  const RecoveryRun object = run_recovery(false);
+  const RecoveryRun wired = run_recovery(true);
+  ASSERT_TRUE(object.result.has_value());
+  EXPECT_EQ(object.deaths, 1u) << "the scenario must exercise a promotion";
+  EXPECT_EQ(wired.result, object.result);
+  EXPECT_EQ(wired.rounds, object.rounds);
+  EXPECT_EQ(wired.deaths, object.deaths);
+  EXPECT_EQ(wired.trace, object.trace);
+}
+
+TEST(WireMode, ChaosWithCrashRecoveryIsByteIdentical) {
+  const ChaosRun object = run_chaos(false);
+  const ChaosRun wired = run_chaos(true);
+  EXPECT_TRUE(object.semantics_ok) << object.semantics_error;
+  EXPECT_TRUE(wired.semantics_ok) << wired.semantics_error;
+  EXPECT_EQ(wired.got, object.got);
+  EXPECT_EQ(wired.trace, object.trace);
+  EXPECT_EQ(object.got.size(), 8u);
+}
+
+}  // namespace
+}  // namespace sks

@@ -59,6 +59,11 @@ namespace {
 struct NullPayload final : Action<NullPayload> {
   static constexpr const char* kActionName = "null";
   std::uint64_t size_bits() const override { return 8; }
+
+  void encode(wire::WireWriter&) const override {}
+  static Owned<NullPayload> decode(wire::WireReader&) {
+    return make_payload<NullPayload>();
+  }
 };
 
 class SinkNode : public DispatchingNode {

@@ -102,6 +102,11 @@ TEST(Log2Histogram, BucketsByBitWidth) {
 struct PingPayload final : sim::Action<PingPayload> {
   static constexpr const char* kActionName = "trace.ping";
   std::uint64_t size_bits() const override { return 24; }
+
+  void encode(sks::wire::WireWriter&) const override {}
+  static sim::Owned<PingPayload> decode(sks::wire::WireReader&) {
+    return sim::make_payload<PingPayload>();
+  }
 };
 
 class PingNode : public sim::DispatchingNode {
