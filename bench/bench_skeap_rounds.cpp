@@ -4,7 +4,19 @@
 // Sweep n; each batch carries a mixed per-node workload. If the claim
 // holds, rounds/log2(n) settles to a constant as n grows (instead of
 // rounds growing linearly with n).
+//
+// Extra flags (beyond the shared ones parsed by bench::init):
+//   --n <v>     replace the sweep with the single point n = v (up to
+//               100k+; the parallel round engine auto-shards large n).
+//   --scaling   E17 scaling-efficiency mode: run the same workload at
+//               threads ∈ {1, 2, 4, 8} (shards forced to 8) and report
+//               rounds/sec plus speedup vs threads=1. Combine with --n
+//               to pick the point (default 10240). The rounds column must
+//               be identical across rows — the thread count never changes
+//               the schedule, only the wall time.
+#include <chrono>
 #include <cmath>
+#include <cstring>
 
 #include "bench/bench_util.hpp"
 #include "common/rng.hpp"
@@ -12,42 +24,127 @@
 
 using namespace sks;
 
-int main(int argc, char** argv) {
-  bench::init("skeap_rounds", argc, argv);
+namespace {
+
+struct PointResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t ops = 0;
+  double wall_ms = 0.0;
+};
+
+/// One measured point: `batches` mixed batches at size n. The timed
+/// window covers op issuance and batch processing, not system bootstrap.
+PointResult run_point(std::size_t n, int batches, std::size_t threads,
+                      std::size_t shards, bool trace_first) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = n;
+  opts.num_priorities = 4;
+  opts.seed = 100 + n;
+  opts.threads = threads;
+  opts.shards = shards;
+  skeap::SkeapSystem sys(opts);
+  Rng rng(7 + n);
+  PointResult out;
+  const auto start = std::chrono::steady_clock::now();
+  for (int b = 0; b < batches; ++b) {
+    for (NodeId v = 0; v < n; ++v) {
+      for (int i = 0; i < 3; ++i) {
+        if (rng.flip(0.6)) {
+          sys.insert(v, rng.range(1, 4));
+        } else {
+          sys.delete_min(v);
+        }
+        ++out.ops;
+      }
+    }
+    if (b == 0 && trace_first) bench::maybe_start_trace(sys.net());
+    out.rounds += sys.run_batch();
+    if (b == 0 && trace_first) bench::maybe_finish_trace(sys.net());
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  bench::report_window(sys.net().metrics().current());
+  return out;
+}
+
+int run_sweep(std::size_t custom_n) {
   bench::header("E1  Skeap rounds per batch",
                 "Claim (Thm 3.2.3): a batch of heap operations is processed "
                 "in O(log n) rounds w.h.p.\nShape: rounds/log2(n) flat as n "
                 "grows 16 -> 2048 (128x).");
 
-  bench::Table table({"n", "ops/batch", "rounds", "rounds/log2n"});
-  for (std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+  std::vector<std::size_t> sweep = {16, 32, 64, 128, 256, 512, 1024, 2048};
+  if (custom_n != 0) sweep = {custom_n};
+
+  bench::Table table(
+      {"n", "ops/batch", "rounds", "rounds/log2n", "wall_ms"});
+  for (std::size_t n : sweep) {
     if (bench::skip_n(n)) continue;
-    skeap::SkeapSystem sys(
-        {.num_nodes = n, .num_priorities = 4, .seed = 100 + n});
-    Rng rng(7 + n);
-    std::uint64_t total_rounds = 0, total_ops = 0;
-    constexpr int kBatches = 4;
-    for (int b = 0; b < kBatches; ++b) {
-      for (NodeId v = 0; v < n; ++v) {
-        for (int i = 0; i < 3; ++i) {
-          if (rng.flip(0.6)) {
-            sys.insert(v, rng.range(1, 4));
-          } else {
-            sys.delete_min(v);
-          }
-          ++total_ops;
-        }
-      }
-      if (b == 0) bench::maybe_start_trace(sys.net());
-      total_rounds += sys.run_batch();
-      if (b == 0) bench::maybe_finish_trace(sys.net());
-    }
-    bench::report_window(sys.net().metrics().current());
-    const double rounds = static_cast<double>(total_rounds) / kBatches;
+    // Large single points get fewer batches so the sweep stays tractable;
+    // rounds are reported per batch either way.
+    const int batches = n > 10000 ? 2 : 4;
+    const PointResult r = run_point(
+        n, batches, skeap::SkeapSystem::Options{}.threads,
+        skeap::SkeapSystem::Options{}.shards, /*trace_first=*/true);
+    const double rounds =
+        static_cast<double>(r.rounds) / static_cast<double>(batches);
     const double logn = std::log2(static_cast<double>(n));
     table.row({static_cast<double>(n),
-               static_cast<double>(total_ops) / kBatches, rounds,
-               rounds / logn});
+               static_cast<double>(r.ops) / static_cast<double>(batches),
+               rounds, rounds / logn, r.wall_ms});
   }
   return 0;
+}
+
+int run_scaling(std::size_t n) {
+  bench::header(
+      "E17  Scaling efficiency of the parallel round engine",
+      "The sharded executor splits each round over worker threads; the "
+      "schedule is thread-invariant,\nso `rounds` must be constant down "
+      "the table while rounds/sec grows with the thread count.");
+
+  const int batches = n > 10000 ? 2 : 4;
+  bench::Table table(
+      {"threads", "n", "rounds", "wall_ms", "rounds/sec", "speedup"});
+  double base_ms = 0.0;
+  std::uint64_t base_rounds = 0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const PointResult r =
+        run_point(n, batches, threads, /*shards=*/8, /*trace_first=*/false);
+    if (threads == 1) {
+      base_ms = r.wall_ms;
+      base_rounds = r.rounds;
+    } else if (r.rounds != base_rounds) {
+      std::fprintf(stderr,
+                   "FATAL: rounds changed with the thread count "
+                   "(%llu at 1 thread, %llu at %zu)\n",
+                   static_cast<unsigned long long>(base_rounds),
+                   static_cast<unsigned long long>(r.rounds), threads);
+      return 1;
+    }
+    const double secs = r.wall_ms / 1000.0;
+    table.row({static_cast<double>(threads), static_cast<double>(n),
+               static_cast<double>(r.rounds), r.wall_ms,
+               secs > 0 ? static_cast<double>(r.rounds) / secs : 0.0,
+               r.wall_ms > 0 ? base_ms / r.wall_ms : 0.0});
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init("skeap_rounds", argc, argv);
+  std::size_t custom_n = 0;
+  bool scaling = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      custom_n = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scaling") == 0) {
+      scaling = true;
+    }
+  }
+  if (scaling) return run_scaling(custom_n == 0 ? 10240 : custom_n);
+  return run_sweep(custom_n);
 }

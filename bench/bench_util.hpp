@@ -351,11 +351,17 @@ inline void init(const std::string& name, int argc, char** argv) {
       // the first statement of every bench main). Equivalent to running
       // the binary under SKS_WIRE=1.
       setenv("SKS_WIRE", "1", 1);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // Same timing constraint as --wire; equivalent to SKS_THREADS=N.
+      setenv("SKS_THREADS", argv[++i], 1);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      // Same timing constraint as --wire; equivalent to SKS_SHARDS=S.
+      setenv("SKS_SHARDS", argv[++i], 1);
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: bench_%s [--json [path]] [--max-n N] [--trace path] "
-          "[--wire]\n"
+          "[--wire] [--threads N] [--shards S]\n"
           "\n"
           "  --json [path]  mirror table rows (plus a report section with\n"
           "                 histogram quantiles and, with --trace, the\n"
@@ -368,7 +374,12 @@ inline void init(const std::string& name, int argc, char** argv) {
           "  --wire         marshal every message through the byte-exact\n"
           "                 wire codec (encode -> bytes -> decode) and\n"
           "                 record measured encoded sizes alongside the\n"
-          "                 accounted size_bits() (the --json wire section)\n",
+          "                 accounted size_bits() (the --json wire section)\n"
+          "  --threads N    worker threads for the round executor (default\n"
+          "                 1 or SKS_THREADS; never changes results or the\n"
+          "                 trace, only wall time)\n"
+          "  --shards S     execution shards (default SKS_SHARDS or auto\n"
+          "                 from n; rounded down to a power of two)\n",
           name.c_str(), name.c_str());
       std::exit(0);
     }

@@ -70,6 +70,13 @@ struct ClusterOptions {
   /// Wire mode: marshal every send through encode -> bytes -> decode.
   /// Defaults from SKS_WIRE (see sim::wire_mode_default).
   bool wire = sim::wire_mode_default();
+  /// Worker threads for the sharded round executor. Defaults from
+  /// SKS_THREADS (benches: --threads). Thread count never changes the
+  /// trace — see sim::NetworkConfig::threads.
+  std::size_t threads = sim::thread_count_default();
+  /// Execution shards (0 = auto from network size). Defaults from
+  /// SKS_SHARDS (benches: --shards).
+  std::size_t shards = sim::shard_count_default();
 };
 
 /// The one place a simulated network is constructed from deployment
@@ -82,6 +89,8 @@ inline std::unique_ptr<sim::Network> make_network(const ClusterOptions& o) {
   cfg.faults = o.faults;
   cfg.reliable = o.reliable;
   cfg.wire = o.wire;
+  cfg.threads = o.threads;
+  cfg.shards = o.shards;
   return std::make_unique<sim::Network>(cfg);
 }
 

@@ -54,6 +54,10 @@ class SeapSystem {
     recovery::RecoveryConfig recovery{};
     /// Wire mode: marshal every send through encode -> bytes -> decode.
     bool wire = sim::wire_mode_default();
+    /// Worker threads / execution shards for the round executor (see
+    /// sim::NetworkConfig; thread count never changes the trace).
+    std::size_t threads = sim::thread_count_default();
+    std::size_t shards = sim::shard_count_default();
   };
 
   using Cluster = runtime::Cluster<SeapNode, SeapConfig>;
@@ -87,6 +91,8 @@ class SeapSystem {
     c.reliable = opts.reliable;
     c.recovery = opts.recovery;
     c.wire = opts.wire;
+    c.threads = opts.threads;
+    c.shards = opts.shards;
     return c;
   }
 

@@ -7,11 +7,12 @@
 // scheduled link partitions, and node crash-stop / crash-restart — while
 // staying exactly reproducible:
 //
-//  * All fault randomness draws from a dedicated rng stream (seeded from
-//    the network seed), so enabling faults never perturbs the protocol-
-//    visible stream or the async delay stream, and an all-zero FaultPlan
-//    reproduces today's fault-free traces byte for byte (the golden-trace
-//    tests enforce this).
+//  * All fault randomness draws from dedicated rng streams (seeded from
+//    the network seed with kFaultStreamSalt, one stream per execution
+//    shard — the shard's Rng is passed into each draw), so enabling
+//    faults never perturbs the protocol-visible stream or the async delay
+//    stream, and an all-zero FaultPlan reproduces today's fault-free
+//    traces byte for byte (the golden-trace tests enforce this).
 //  * Crash semantics are crash-stop with optional restart: a crashed node
 //    blackholes its channel (messages addressed to it are dropped at
 //    delivery time) and is skipped by on_activate; on restart it resumes
@@ -32,6 +33,12 @@
 #include "common/types.hpp"
 
 namespace sks::sim {
+
+/// Salts xor'ed into the network seed to derive the per-purpose rng
+/// streams (the network further aliases each stream per shard). Exported
+/// so tests can reconstruct a stream independently.
+inline constexpr std::uint64_t kFaultStreamSalt = 0xfa017a11edULL;
+inline constexpr std::uint64_t kDelayStreamSalt = 0xd31a7de1a75eedULL;
 
 /// A scheduled link partition: while `from_round <= round < until_round`,
 /// every message between a node in `side_a` and a node in `side_b` (either
@@ -77,14 +84,14 @@ struct FaultPlan {
   }
 };
 
-/// The network's fault engine: owns the dedicated fault rng stream and the
-/// crash schedule cursor. All per-message decisions are made here so the
-/// draw order is fixed (partition check, drop, spike, duplicate) and
-/// documented in one place.
+/// The network's fault engine: owns the crash schedule cursor and makes
+/// all per-message decisions, so the draw order is fixed (partition
+/// check, drop, spike, duplicate) and documented in one place. It holds
+/// no rng of its own — each draw takes the calling shard's fault stream,
+/// which keeps per-shard draw accounting independent of other shards.
 class FaultInjector {
  public:
-  FaultInjector(const FaultPlan& plan, std::uint64_t seed)
-      : plan_(plan), rng_(seed ^ 0xfa017a11edULL) {
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {
     for (const CrashEvent& c : plan_.crashes) {
       SKS_CHECK_MSG(c.node != kNoNode, "crash event without a node");
       SKS_CHECK_MSG(c.restart_round == 0 || c.restart_round > c.at_round,
@@ -123,10 +130,10 @@ class FaultInjector {
 
   /// True if the channel loses this message (partition cut or random
   /// drop). Must be called exactly once per send while faults are active
-  /// so the rng stream stays aligned.
-  bool should_drop(NodeId from, NodeId to, std::uint64_t round) {
+  /// so the shard's fault stream stays aligned.
+  bool should_drop(Rng& rng, NodeId from, NodeId to, std::uint64_t round) {
     if (partitioned(from, to, round)) return true;
-    return plan_.drop_prob > 0.0 && rng_.flip(plan_.drop_prob);
+    return plan_.drop_prob > 0.0 && rng.flip(plan_.drop_prob);
   }
 
   /// Extra delay rounds for this message (0 = no spike). Heavy-tail:
@@ -134,23 +141,19 @@ class FaultInjector {
   /// within spike_max (log-uniform), so most spikes are short and a few
   /// are catastrophic — these can exceed NetworkConfig::max_delay, which
   /// is why the pending ring grows on demand.
-  std::uint64_t delay_spike() {
-    if (plan_.spike_prob <= 0.0 || !rng_.flip(plan_.spike_prob)) return 0;
+  std::uint64_t delay_spike(Rng& rng) {
+    if (plan_.spike_prob <= 0.0 || !rng.flip(plan_.spike_prob)) return 0;
     const std::uint64_t lo = std::max<std::uint64_t>(plan_.spike_min, 1);
     const std::uint64_t hi = std::max<std::uint64_t>(plan_.spike_max, lo);
     std::uint64_t doublings = 0;
     while ((lo << (doublings + 1)) <= hi && doublings < 63) ++doublings;
-    return std::min(lo << rng_.below(doublings + 1), hi);
+    return std::min(lo << rng.below(doublings + 1), hi);
   }
 
   /// True if the channel duplicates this message.
-  bool should_duplicate() {
-    return plan_.duplicate_prob > 0.0 && rng_.flip(plan_.duplicate_prob);
+  bool should_duplicate(Rng& rng) {
+    return plan_.duplicate_prob > 0.0 && rng.flip(plan_.duplicate_prob);
   }
-
-  /// Dedicated fault stream (duplicate-copy delays draw from it so the
-  /// async delay stream stays aligned with fault-free runs).
-  Rng& rng() { return rng_; }
 
   /// Apply all crash/restart transitions scheduled for `round`. Calls
   /// `crash(node)` / `restart(node)` in schedule order.
@@ -218,7 +221,6 @@ class FaultInjector {
   }
 
   FaultPlan plan_;
-  Rng rng_;
   std::vector<Transition> schedule_;  ///< sorted by round
   std::size_t cursor_ = 0;
   std::uint64_t pending_restarts_ = 0;  ///< restarts not yet applied

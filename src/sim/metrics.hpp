@@ -5,11 +5,19 @@
 // and (c) message sizes in bits. Metrics tracks all three, with windowed
 // snapshots so benchmarks can measure a single protocol phase.
 //
-// The per-delivery path is branch-light and allocation-free: counters are
+// The per-delivery path is branch-free and allocation-free: counters are
 // accumulated in flat arrays indexed by the payload's dense ActionId (the
-// name string was interned once at registration). The string-keyed maps of
+// name string was interned once at registration), pre-sized once per round
+// (sync_actions) instead of once per call. The string-keyed maps of
 // MetricsSnapshot — the stable interface every bench and test reads — are
 // materialized only when a window is snapshotted.
+//
+// Sharded execution (sim/network.hpp): each execution shard accumulates
+// into its own MetricsShard — no cross-thread counter contention, and the
+// single-shard layout is exactly the pre-shard layout — and the Metrics
+// facade folds the shards only when a window is read. Folding is shard-
+// order independent for every field (sums, maxima, histogram merges), so
+// snapshots are identical for every thread count.
 #pragma once
 
 #include <algorithm>
@@ -122,29 +130,29 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> wire_envelope_bits_by_type;
 };
 
-class Metrics {
+/// One execution shard's metric accumulators. The network routes every
+/// record_* call to the shard that owns the event (deliveries to the
+/// destination's shard, send-side fault events to the sending context's
+/// shard), so a shard's counters are touched by exactly one thread per
+/// round. With one shard this is byte-for-byte the pre-shard Metrics
+/// layout and behaviour.
+class MetricsShard {
  public:
-  explicit Metrics(std::size_t num_nodes) : received_this_round_(num_nodes, 0) {
-    // Pre-size the per-action counters for every action registered so far;
-    // note_action() (called at send time, when a payload's tag provably
-    // exists) grows the table for late registrations, so record_delivery —
-    // the hot path — never branches on the table size.
-    by_action_.resize(ActionRegistry::instance().size());
+  /// Size the per-action table for every action registered so far. The
+  /// network calls this once per round (before deliveries run): any
+  /// payload delivered in round r was registered at its send in some
+  /// round < r, so record_delivery — the hot path — never checks the
+  /// table size.
+  void sync_actions() {
+    const std::size_t n = ActionRegistry::instance().size();
+    if (by_action_.size() < n) [[unlikely]] by_action_.resize(n);
   }
 
-  void on_node_added() {
-    received_this_round_.push_back(0);
-    by_action_.resize(
-        std::max(by_action_.size(), ActionRegistry::instance().size()));
-  }
-
-  /// Guarantee the counter table covers `action`. Called once per send
-  /// (where new ActionIds first appear); in steady state the branch is
-  /// never taken.
+  /// Guarantee the counter table covers `action` immediately. Send-time
+  /// slow paths (fault drops, wire marshaling) index the table before the
+  /// next round's sync_actions, so they pre-grow it here.
   void note_action(ActionId action) {
-    if (action >= by_action_.size()) [[unlikely]] {
-      by_action_.resize(ActionRegistry::instance().size());
-    }
+    if (action >= by_action_.size()) [[unlikely]] sync_actions();
   }
 
   void record_delivery(NodeId to, std::uint64_t bits, ActionId action) {
@@ -156,14 +164,9 @@ class Metrics {
     ++a.messages;
     a.bits += bits;
     a.max_bits = std::max(a.max_bits, bits);
-    const auto idx = static_cast<std::size_t>(to);
-    // A delivery the congestion tracker has no slot for means the metrics
-    // and the topology disagree — fail loudly instead of silently skewing
-    // max_congestion.
-    SKS_CHECK_MSG(idx < received_this_round_.size(),
-                  "delivery to node " << to << " outside the metrics "
-                  "topology (" << received_this_round_.size() << " nodes)");
-    ++received_this_round_[idx];
+    // The shard map is id mod num_shards, so id >> shard_shift is this
+    // shard's dense local index of `to`.
+    ++received_this_round_[static_cast<std::size_t>(to) >> shard_shift_];
   }
 
   // Fault/transport events. Only reached when faults or the reliable
@@ -208,8 +211,9 @@ class Metrics {
     }
   }
 
+  /// Fold this round's per-node delivery counts into the congestion
+  /// aggregates. Runs at the end of every round, inside the shard.
   void on_round_end() {
-    ++rounds_;
     for (auto& c : received_this_round_) {
       if (c != 0) {
         max_congestion_ = std::max(max_congestion_, c);
@@ -219,22 +223,24 @@ class Metrics {
     }
   }
 
-  /// Totals so far in the window (cheap scalar reads for hot callers).
-  std::uint64_t total_messages() const { return total_messages_; }
-  std::uint64_t total_bits() const { return total_bits_; }
-  std::uint64_t max_congestion() const { return max_congestion_; }
-  std::uint64_t dropped() const { return dropped_; }
-  std::uint64_t duplicated() const { return duplicated_; }
-  std::uint64_t retransmitted() const { return retransmitted_; }
-  std::uint64_t dup_suppressed() const { return dup_suppressed_; }
-  std::uint64_t abandoned() const { return abandoned_; }
-  std::uint64_t wire_messages() const { return wire_messages_; }
-  std::uint64_t wire_body_bits() const { return wire_body_bits_; }
+ private:
+  friend class Metrics;
 
-  /// Snapshot the current window and start a fresh one.
-  MetricsSnapshot take() {
-    MetricsSnapshot out = current();
-    rounds_ = 0;
+  struct ActionCounters {
+    std::uint64_t messages = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t max_bits = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t retransmitted = 0;
+    std::uint64_t wire_messages = 0;
+    std::uint64_t wire_bits = 0;           ///< measured logical-body bits
+    std::uint64_t max_wire_bits = 0;
+    std::uint64_t wire_accounted_bits = 0; ///< size_bits() of the same msgs
+    std::uint64_t wire_envelope_bits = 0;  ///< as envelope: header overhead
+  };
+
+  void reset() {
     total_messages_ = 0;
     total_bits_ = 0;
     max_message_bits_ = 0;
@@ -250,77 +256,9 @@ class Metrics {
     message_bits_hist_.clear();
     congestion_hist_.clear();
     by_action_.assign(by_action_.size(), ActionCounters{});
-    return out;
   }
 
-  /// Materialize the current window (string-keyed maps built on demand).
-  MetricsSnapshot current() const {
-    MetricsSnapshot snap;
-    snap.rounds = rounds_;
-    snap.total_messages = total_messages_;
-    snap.total_bits = total_bits_;
-    snap.max_message_bits = max_message_bits_;
-    snap.max_congestion = max_congestion_;
-    snap.message_bits_hist = message_bits_hist_;
-    snap.congestion_hist = congestion_hist_;
-    snap.dropped = dropped_;
-    snap.duplicated = duplicated_;
-    snap.retransmitted = retransmitted_;
-    snap.dup_suppressed = dup_suppressed_;
-    snap.abandoned = abandoned_;
-    snap.wire_messages = wire_messages_;
-    snap.wire_body_bits = wire_body_bits_;
-    snap.wire_frame_bits = wire_frame_bits_;
-    const ActionRegistry& registry = ActionRegistry::instance();
-    for (std::size_t a = 0; a < by_action_.size(); ++a) {
-      const ActionCounters& c = by_action_[a];
-      if (c.messages == 0 && c.dropped == 0 && c.duplicated == 0 &&
-          c.retransmitted == 0 && c.wire_messages == 0 &&
-          c.wire_envelope_bits == 0) {
-        continue;
-      }
-      const std::string& name = registry.name(static_cast<ActionId>(a));
-      if (c.messages != 0) {
-        snap.messages_by_type[name] += c.messages;
-        snap.bits_by_type[name] += c.bits;
-        auto& type_max = snap.max_bits_by_type[name];
-        type_max = std::max(type_max, c.max_bits);
-      }
-      if (c.dropped != 0) snap.dropped_by_type[name] += c.dropped;
-      if (c.duplicated != 0) snap.duplicated_by_type[name] += c.duplicated;
-      if (c.retransmitted != 0) {
-        snap.retransmitted_by_type[name] += c.retransmitted;
-      }
-      if (c.wire_messages != 0) {
-        snap.wire_messages_by_type[name] += c.wire_messages;
-        snap.wire_bits_by_type[name] += c.wire_bits;
-        auto& wire_max = snap.wire_max_bits_by_type[name];
-        wire_max = std::max(wire_max, c.max_wire_bits);
-        snap.wire_accounted_bits_by_type[name] += c.wire_accounted_bits;
-      }
-      if (c.wire_envelope_bits != 0) {
-        snap.wire_envelope_bits_by_type[name] += c.wire_envelope_bits;
-      }
-    }
-    return snap;
-  }
-
- private:
-  struct ActionCounters {
-    std::uint64_t messages = 0;
-    std::uint64_t bits = 0;
-    std::uint64_t max_bits = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t duplicated = 0;
-    std::uint64_t retransmitted = 0;
-    std::uint64_t wire_messages = 0;
-    std::uint64_t wire_bits = 0;           ///< measured logical-body bits
-    std::uint64_t max_wire_bits = 0;
-    std::uint64_t wire_accounted_bits = 0; ///< size_bits() of the same msgs
-    std::uint64_t wire_envelope_bits = 0;  ///< as envelope: header overhead
-  };
-
-  std::uint64_t rounds_ = 0;
+  std::uint32_t shard_shift_ = 0;  ///< log2(num_shards)
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bits_ = 0;
   std::uint64_t max_message_bits_ = 0;
@@ -336,7 +274,145 @@ class Metrics {
   Log2Histogram message_bits_hist_;
   Log2Histogram congestion_hist_;
   std::vector<ActionCounters> by_action_;  ///< flat, indexed by ActionId
+  /// Deliveries this round, indexed by the shard-local node index
+  /// (id >> shard_shift_). One slot per node this shard owns.
   std::vector<std::uint64_t> received_this_round_;
+};
+
+/// The facade the rest of the repo reads: owns the per-shard accumulators
+/// and the global round counter, folds shards into MetricsSnapshots (and
+/// scalar totals) on demand. With the default single shard it behaves —
+/// field for field — like the pre-shard Metrics.
+class Metrics {
+ public:
+  explicit Metrics(std::size_t num_nodes) : shards_(1) {
+    shards_[0].by_action_.resize(ActionRegistry::instance().size());
+    shards_[0].received_this_round_.assign(num_nodes, 0);
+  }
+
+  /// Re-partition the congestion slots across `num_shards` execution
+  /// shards (the network's latch step, before any traffic). Node id
+  /// lives in shard id & (num_shards - 1) at local index id >> shift.
+  void reshape(std::size_t num_shards, std::uint32_t shift) {
+    const std::size_t n = shards_[0].received_this_round_.size();
+    shards_.resize(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      MetricsShard& sh = shards_[s];
+      sh.shard_shift_ = shift;
+      sh.by_action_.resize(ActionRegistry::instance().size());
+      // Shard s owns nodes s, s + S, s + 2S, ...
+      const std::size_t owned = n > s ? (n - s - 1) / num_shards + 1 : 0;
+      sh.received_this_round_.assign(owned, 0);
+    }
+  }
+
+  MetricsShard& shard(std::size_t s) { return shards_[s]; }
+
+  void on_node_added(NodeId id) {
+    shards_[static_cast<std::size_t>(id) & (shards_.size() - 1)]
+        .received_this_round_.push_back(0);
+  }
+
+  /// Once-per-round table sizing for every shard (see
+  /// MetricsShard::sync_actions).
+  void sync_actions() {
+    for (MetricsShard& sh : shards_) sh.sync_actions();
+  }
+
+  /// The global round clock (one per round, from the coordinator; the
+  /// per-shard on_round_end folds congestion).
+  void end_round() { ++rounds_; }
+
+  /// Totals so far in the window (scalar folds for cheap callers).
+  std::uint64_t total_messages() const { return sum(&MetricsShard::total_messages_); }
+  std::uint64_t total_bits() const { return sum(&MetricsShard::total_bits_); }
+  std::uint64_t max_congestion() const {
+    std::uint64_t m = 0;
+    for (const MetricsShard& sh : shards_) m = std::max(m, sh.max_congestion_);
+    return m;
+  }
+  std::uint64_t dropped() const { return sum(&MetricsShard::dropped_); }
+  std::uint64_t duplicated() const { return sum(&MetricsShard::duplicated_); }
+  std::uint64_t retransmitted() const { return sum(&MetricsShard::retransmitted_); }
+  std::uint64_t dup_suppressed() const { return sum(&MetricsShard::dup_suppressed_); }
+  std::uint64_t abandoned() const { return sum(&MetricsShard::abandoned_); }
+  std::uint64_t wire_messages() const { return sum(&MetricsShard::wire_messages_); }
+  std::uint64_t wire_body_bits() const { return sum(&MetricsShard::wire_body_bits_); }
+
+  /// Snapshot the current window and start a fresh one.
+  MetricsSnapshot take() {
+    MetricsSnapshot out = current();
+    rounds_ = 0;
+    for (MetricsShard& sh : shards_) sh.reset();
+    return out;
+  }
+
+  /// Materialize the current window (string-keyed maps built on demand).
+  /// Every fold is commutative and associative across shards — sums,
+  /// maxima, histogram merges — so the snapshot does not depend on the
+  /// shard count's interleaving of the same events.
+  MetricsSnapshot current() const {
+    MetricsSnapshot snap;
+    snap.rounds = rounds_;
+    const ActionRegistry& registry = ActionRegistry::instance();
+    for (const MetricsShard& m : shards_) {
+      snap.total_messages += m.total_messages_;
+      snap.total_bits += m.total_bits_;
+      snap.max_message_bits = std::max(snap.max_message_bits, m.max_message_bits_);
+      snap.max_congestion = std::max(snap.max_congestion, m.max_congestion_);
+      snap.message_bits_hist.merge(m.message_bits_hist_);
+      snap.congestion_hist.merge(m.congestion_hist_);
+      snap.dropped += m.dropped_;
+      snap.duplicated += m.duplicated_;
+      snap.retransmitted += m.retransmitted_;
+      snap.dup_suppressed += m.dup_suppressed_;
+      snap.abandoned += m.abandoned_;
+      snap.wire_messages += m.wire_messages_;
+      snap.wire_body_bits += m.wire_body_bits_;
+      snap.wire_frame_bits += m.wire_frame_bits_;
+      for (std::size_t a = 0; a < m.by_action_.size(); ++a) {
+        const MetricsShard::ActionCounters& c = m.by_action_[a];
+        if (c.messages == 0 && c.dropped == 0 && c.duplicated == 0 &&
+            c.retransmitted == 0 && c.wire_messages == 0 &&
+            c.wire_envelope_bits == 0) {
+          continue;
+        }
+        const std::string& name = registry.name(static_cast<ActionId>(a));
+        if (c.messages != 0) {
+          snap.messages_by_type[name] += c.messages;
+          snap.bits_by_type[name] += c.bits;
+          auto& type_max = snap.max_bits_by_type[name];
+          type_max = std::max(type_max, c.max_bits);
+        }
+        if (c.dropped != 0) snap.dropped_by_type[name] += c.dropped;
+        if (c.duplicated != 0) snap.duplicated_by_type[name] += c.duplicated;
+        if (c.retransmitted != 0) {
+          snap.retransmitted_by_type[name] += c.retransmitted;
+        }
+        if (c.wire_messages != 0) {
+          snap.wire_messages_by_type[name] += c.wire_messages;
+          snap.wire_bits_by_type[name] += c.wire_bits;
+          auto& wire_max = snap.wire_max_bits_by_type[name];
+          wire_max = std::max(wire_max, c.max_wire_bits);
+          snap.wire_accounted_bits_by_type[name] += c.wire_accounted_bits;
+        }
+        if (c.wire_envelope_bits != 0) {
+          snap.wire_envelope_bits_by_type[name] += c.wire_envelope_bits;
+        }
+      }
+    }
+    return snap;
+  }
+
+ private:
+  std::uint64_t sum(std::uint64_t MetricsShard::* field) const {
+    std::uint64_t total = 0;
+    for (const MetricsShard& sh : shards_) total += sh.*field;
+    return total;
+  }
+
+  std::uint64_t rounds_ = 0;
+  std::vector<MetricsShard> shards_;
 };
 
 }  // namespace sks::sim

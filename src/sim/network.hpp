@@ -25,6 +25,23 @@
 // Both default off; with both off the hot path is byte-for-byte the
 // pre-fault behaviour (the golden-trace tests pin this down) and pays one
 // predictable branch per send/step.
+//
+// Parallel round engine (see DESIGN.md "Parallel execution"): nodes are
+// partitioned into S execution shards by the seed-independent map
+// shard_of(id) = id mod S (S a power of two, fixed at the first
+// send/step — by config, SKS_SHARDS, or automatically from the network
+// size). Each shard owns a segment of every round: its nodes'
+// activations, deliveries addressed to its nodes, a private pending ring,
+// private rng streams (protocol / delay / fault), its senders' reliable-
+// transport records, a trace sink and a metrics accumulator. Within a
+// round, shards run independently — on a worker pool when
+// NetworkConfig::threads > 1 — and a send crossing shards is parked in
+// the sender's per-destination outbox. At the round barrier the outboxes
+// are merged into the destination rings in shard-major, send-order-minor
+// order and the trace sinks are folded the same way, so the merged
+// execution is a pure function of the shard map: any thread count replays
+// the single-thread trace byte for byte. With one shard (the default
+// below ~2k nodes) the engine collapses to exactly the sequential path.
 #pragma once
 
 #include <bit>
@@ -43,6 +60,7 @@
 #include "common/types.hpp"
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel.hpp"
 #include "sim/payload.hpp"
 #include "sim/reliable.hpp"
 #include "trace/tracer.hpp"
@@ -118,6 +136,40 @@ inline bool wire_mode_default() {
   return enabled;
 }
 
+/// Worker-thread default: SKS_THREADS=N opts the whole binary into the
+/// threaded executor (benches set it from --threads). 0/unset = 1, the
+/// serial path.
+inline std::size_t thread_count_default() {
+  static const std::size_t count = [] {
+    const char* e = std::getenv("SKS_THREADS");
+    const std::size_t n =
+        e == nullptr ? 0 : static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+    return n == 0 ? std::size_t{1} : n;
+  }();
+  return count;
+}
+
+/// Shard-count default: SKS_SHARDS=S forces S execution shards (rounded
+/// down to a power of two) regardless of network size — how CI reruns the
+/// test suite sharded without touching each test. 0/unset = automatic
+/// (scale with the network size; 1 below ~2k nodes).
+inline std::size_t shard_count_default() {
+  static const std::size_t count = [] {
+    const char* e = std::getenv("SKS_SHARDS");
+    return e == nullptr
+               ? std::size_t{0}
+               : static_cast<std::size_t>(std::strtoull(e, nullptr, 10));
+  }();
+  return count;
+}
+
+/// Per-shard rng-stream aliasing: shard s of a stream seeded `base` draws
+/// from base xor s * golden-gamma. Shard 0 is `base` itself, so a
+/// one-shard network consumes exactly the pre-shard streams.
+inline std::uint64_t shard_seed(std::uint64_t base, std::size_t shard) {
+  return base ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(shard));
+}
+
 struct NetworkConfig {
   DeliveryMode mode = DeliveryMode::kSynchronous;
   std::uint64_t max_delay = 8;   ///< async mode: max per-message delay
@@ -128,39 +180,46 @@ struct NetworkConfig {
   /// decoded object (see Network::marshal). Off = today's object path,
   /// byte for byte.
   bool wire = wire_mode_default();
+  /// Worker threads for the round executor. Only decides *where* shards
+  /// run, never what they do: the trace is identical for every value.
+  /// Clamped to the shard count (1 shard => serial).
+  std::size_t threads = thread_count_default();
+  /// Execution shards (power of two; other values round down). 0 = pick
+  /// from the network size at the first send/step: 1 below 2048 nodes,
+  /// then one shard per 1024 nodes up to 64. The shard count changes the
+  /// canonical trace (per-shard rng streams), so it must be configuration
+  /// — never derived from the thread count.
+  std::size_t shards = shard_count_default();
 };
 
 class Network {
  public:
   explicit Network(NetworkConfig cfg = {})
       : cfg_(cfg),
-        rng_(cfg.seed),
-        // Delivery delays draw from a dedicated stream so that enabling
-        // asynchronous mode never perturbs protocol-visible randomness
-        // (nodes draw from rng()): with max_delay = 1 an async run
-        // consumes the shared stream exactly like a synchronous one and
-        // reproduces its traces round for round.
-        delay_rng_(cfg.seed ^ 0xd31a7de1a75eedULL),
-        // Fault decisions draw from a third stream for the same reason:
-        // an all-zero FaultPlan takes no draws and runs trace-identical
-        // to a network built before fault injection existed.
-        faults_(cfg.faults, cfg.seed),
+        faults_(cfg.faults),
         faults_active_(cfg.faults.active()),
         crash_possible_(!cfg.faults.crashes.empty()),
-        reliable_(cfg.reliable),
         reliable_enabled_(cfg.reliable.enabled),
         wire_enabled_(cfg.wire),
         metrics_(0) {
-    // Pending messages live in a relative-round ring buffer: a message
-    // delayed by d lands d slots ahead of the current one. A power-of-two
-    // size strictly greater than the largest possible delay guarantees a
-    // slot is drained before any in-flight message can wrap onto it.
-    // Fault-injected delay spikes can exceed max_delay; ensure_capacity
-    // grows the ring on demand when one does.
+    // Pending messages live in relative-round ring buffers (one per
+    // shard): a message delayed by d lands d slots ahead of the current
+    // one. A power-of-two size strictly greater than the largest possible
+    // delay guarantees a slot is drained before any in-flight message can
+    // wrap onto it. Fault-injected delay spikes can exceed max_delay;
+    // ensure_capacity grows a ring on demand when one does.
     const std::uint64_t horizon =
         cfg_.mode == DeliveryMode::kSynchronous ? 1 : cfg_.max_delay;
     SKS_CHECK_MSG(horizon >= 1, "max_delay must be at least 1");
-    pending_.resize(std::bit_ceil(horizon + 1));
+    ring_size_ = std::bit_ceil(horizon + 1);
+    // Shard 0 exists from birth (its streams are the pre-shard network's
+    // streams: protocol rng, the dedicated delay stream so enabling async
+    // mode never perturbs protocol-visible randomness, and the fault
+    // stream so an all-zero FaultPlan runs trace-identical to a network
+    // built before fault injection existed). Further shards appear at
+    // latch() once the node count is known.
+    shards_.emplace_back(cfg_.seed, 0, cfg_.reliable, ring_size_);
+    shards_[0].sink.owner = &tracer_;
   }
 
   /// Register a node; returns its id. The network owns the node. The
@@ -178,7 +237,7 @@ class Network {
     nodes_.push_back(std::move(slot));
     crashed_.push_back(0);
     fenced_.push_back(0);
-    metrics_.on_node_added();
+    metrics_.on_node_added(id);
     return id;
   }
 
@@ -202,32 +261,57 @@ class Network {
   void send(NodeId from, NodeId to, PayloadPtr payload) {
     SKS_CHECK(to < nodes_.size());
     SKS_CHECK(payload != nullptr);
+    if (!latched_) [[unlikely]] latch();
     // Size and metrics attribution are sampled once here — the payload is
     // immutable while in flight — so delivery touches no virtual calls.
     // In wire mode they are sampled from the ORIGINAL payload, before the
     // round trip: the accounted size is a property of the logical message.
     const std::uint64_t bits = payload->size_bits();
     const ActionId action = payload->metrics_tag();
+    // Every send is attributed to the sender's shard: its delay/fault/
+    // reliable streams are consumed there, which is what makes per-shard
+    // draw accounting independent of other shards. In a shard execution
+    // context this *is* the executing shard (nodes send as themselves).
+    Shard& sh = shards_[static_cast<std::size_t>(from) & shard_mask_];
     if (wire_enabled_) [[unlikely]] {
-      payload = marshal(std::move(payload), action, bits);
+      payload = marshal(sh, std::move(payload), action, bits);
     }
     if (reliable_enabled_ || faults_active_) [[unlikely]] {
-      slow_send(from, to, std::move(payload), bits, action);
+      slow_send(sh, from, to, std::move(payload), bits, action);
       return;
     }
     // Fast path (transport off, plan inactive): build the envelope in
-    // place — this is the pre-fault message path, branch for branch.
-    metrics_.note_action(action);
+    // place — the pre-fault message path. No metrics call at all: the
+    // action table is pre-sized once per round (Metrics::sync_actions)
+    // before any delivery can index it.
     if (tracer_.enabled()) {
       tracer_.message(trace::EventKind::kSend, from, to, action, bits);
     }
-    Envelope& env = slot_for(round_ + base_delay()).emplace_back();
-    env.from = from;
-    env.to = to;
-    env.bits = bits;
-    env.action = action;
-    env.payload = std::move(payload);
-    ++in_flight_;
+    const std::uint64_t due = round_ + base_delay(sh);
+    const std::size_t dest = static_cast<std::size_t>(to) & shard_mask_;
+    if (dest == sh.index || !in_exec()) {
+      // Same shard (always, with one shard) or coordinator context:
+      // straight into the destination ring. base_delay <= max_delay, so
+      // the ring always has the slot.
+      Shard& dsh = shards_[dest];
+      Envelope& env = slot_for(dsh, due).emplace_back();
+      env.from = from;
+      env.to = to;
+      env.bits = bits;
+      env.action = action;
+      env.payload = std::move(payload);
+      ++dsh.in_flight;
+      return;
+    }
+    // Cross-shard from inside a shard execution: park in the outbox; the
+    // barrier merge moves it into the destination ring deterministically.
+    OutboxEntry& entry = sh.outbox[dest].emplace_back();
+    entry.due = due;
+    entry.env.from = from;
+    entry.env.to = to;
+    entry.env.bits = bits;
+    entry.env.action = action;
+    entry.env.payload = std::move(payload);
   }
 
   /// Fire-and-forget background traffic (failure-detector heartbeats and
@@ -238,62 +322,56 @@ class Network {
   void send_background(NodeId from, NodeId to, PayloadPtr payload) {
     SKS_CHECK(to < nodes_.size());
     SKS_CHECK(payload != nullptr);
+    if (!latched_) [[unlikely]] latch();
     const std::uint64_t bits = payload->size_bits();
     const ActionId action = payload->metrics_tag();
+    Shard& sh = shards_[static_cast<std::size_t>(from) & shard_mask_];
     if (wire_enabled_) [[unlikely]] {
-      payload = marshal(std::move(payload), action, bits);
+      payload = marshal(sh, std::move(payload), action, bits);
     }
-    enqueue(from, to, std::move(payload), MsgKind::kBackground, 0, bits,
+    enqueue(sh, from, to, std::move(payload), MsgKind::kBackground, 0, bits,
             action);
   }
 
-  /// Advance one round: apply scheduled crashes/restarts, deliver all due
-  /// messages (in randomized order, so protocols cannot rely on
-  /// intra-round ordering), fire due retransmissions, then activate every
-  /// live node once.
+  /// Advance one round: apply scheduled crashes/restarts, then — per
+  /// shard — deliver all due messages (in randomized order, so protocols
+  /// cannot rely on intra-round ordering), fire due retransmissions and
+  /// activate every live node once; finally merge cross-shard sends and
+  /// fold the trace sinks at the barrier.
   void step() {
+    if (!latched_) [[unlikely]] latch();
     ++round_;
     tracer_.begin_round(round_);
     if (crash_possible_) [[unlikely]] {
+      // Coordinator-context: restart hooks may send (epoch catch-up);
+      // those land in round_ + 1, safely ahead of this round's shard
+      // execution.
       faults_.apply_schedule(
           round_, [this](NodeId v) { do_crash(v); },
           [this](NodeId v) { do_restart(v); });
     }
-    std::vector<Envelope>& due_slot = slot_for(round_);
-    if (!due_slot.empty()) {
-      // Swap into a scratch vector (reusing its capacity) so deliveries
-      // that send new messages never touch the slot being drained.
-      due_.clear();
-      due_.swap(due_slot);
-      shuffle(due_);
-      for (auto& env : due_) {
-        --in_flight_;
-        // Fast path: plain data to a live node — the pre-fault delivery.
-        // Transport traffic and blackholed destinations take the slow
-        // path (possible only when the respective feature is armed).
-        if (env.kind != MsgKind::kData ||
-            (crash_possible_ && crashed_[env.to])) [[unlikely]] {
-          deliver_slow(env);
-          continue;
-        }
-        metrics_.record_delivery(env.to, env.bits, env.action);
-        if (tracer_.enabled()) {
-          tracer_.message(trace::EventKind::kDeliver, env.from, env.to,
-                          env.action, env.bits);
-        }
-        nodes_[env.to].node->on_message(env.from, std::move(env.payload));
-      }
-      due_.clear();
-    }
-    if (reliable_enabled_) [[unlikely]] retransmit_due();
-    if (crash_possible_) [[unlikely]] {
-      for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (!crashed_[i]) nodes_[i].node->on_activate();
-      }
+    metrics_.sync_actions();
+    const std::size_t num_shards = shards_.size();
+    if (num_shards == 1) {
+      // The sequential engine: no exec context, no sinks, no merge.
+      round_work(shards_[0]);
     } else {
-      for (auto& n : nodes_) n.node->on_activate();
+      if (pool_ != nullptr) {
+        pool_->run(num_shards, this, [](void* ctx, std::size_t s) {
+          static_cast<Network*>(ctx)->run_shard(s);
+        });
+        pool_->run(num_shards, this, [](void* ctx, std::size_t d) {
+          static_cast<Network*>(ctx)->merge_into(d);
+        });
+      } else {
+        for (std::size_t s = 0; s < num_shards; ++s) run_shard(s);
+        for (std::size_t d = 0; d < num_shards; ++d) merge_into(d);
+      }
+      // Fold order = shard-major: this is the canonical global trace
+      // order, identical for every thread count.
+      for (Shard& sh : shards_) tracer_.fold(sh.sink);
     }
-    metrics_.on_round_end();
+    metrics_.end_round();
   }
 
   /// Quiescence. Pure ack traffic does not count — acks chase messages
@@ -305,8 +383,18 @@ class Network {
   /// reliable records and scheduled-but-unapplied restarts do count: a
   /// retransmission or a revived node may still create work.
   bool idle() const {
-    if (in_flight_ != ack_in_flight_ + bg_in_flight_) return false;
-    if (reliable_enabled_ && reliable_.unacked() != 0) return false;
+    std::uint64_t in = 0, ack = 0, bg = 0;
+    for (const Shard& sh : shards_) {
+      in += sh.in_flight;
+      ack += sh.ack_in_flight;
+      bg += sh.bg_in_flight;
+    }
+    if (in != ack + bg) return false;
+    if (reliable_enabled_) {
+      for (const Shard& sh : shards_) {
+        if (sh.reliable.unacked() != 0) return false;
+      }
+    }
     if (crash_possible_ && faults_.pending_restarts() != 0) return false;
     return true;
   }
@@ -336,29 +424,39 @@ class Network {
   /// still in flight, and to whom".
   std::string stall_report() const {
     std::ostringstream os;
-    os << "in flight: " << in_flight_ << " message(s), " << ack_in_flight_
-       << " of them acks";
+    std::uint64_t in = 0, ack = 0, unacked = 0;
+    for (const Shard& sh : shards_) {
+      in += sh.in_flight;
+      ack += sh.ack_in_flight;
+      unacked += sh.reliable.unacked();
+    }
+    os << "in flight: " << in << " message(s), " << ack << " of them acks";
     const ActionRegistry& reg = ActionRegistry::instance();
     std::map<std::pair<ActionId, NodeId>, std::uint64_t> groups;
-    for (const auto& slot : pending_) {
-      for (const Envelope& env : slot) ++groups[{env.action, env.to}];
+    for (const Shard& sh : shards_) {
+      for (const auto& slot : sh.pending) {
+        for (const Envelope& env : slot) ++groups[{env.action, env.to}];
+      }
     }
     for (const auto& [key, count] : groups) {
       os << "\n  " << count << "x " << reg.name(key.first) << " -> v"
          << key.second << (is_crashed(key.second) ? " (crashed)" : "");
     }
-    if (reliable_enabled_ && reliable_.unacked() != 0) {
-      os << "\nunacked reliable record(s): " << reliable_.unacked();
+    if (reliable_enabled_ && unacked != 0) {
+      os << "\nunacked reliable record(s): " << unacked;
       std::size_t shown = 0;
-      reliable_.for_each_unacked([&](NodeId f, NodeId t, std::uint64_t seq,
-                                     const ReliableTransport::Record& r) {
-        if (shown++ >= kStallReportRecords) return;
-        os << "\n  v" << f << "->v" << t << " seq=" << seq << " "
-           << reg.name(r.action) << " attempts=" << r.attempts
-           << " next_retry=r" << r.next_retry
-           << (is_crashed(t) ? " (dest crashed)" : "")
-           << (is_crashed(f) ? " (sender crashed)" : "");
-      });
+      for (const Shard& sh : shards_) {
+        sh.reliable.for_each_unacked(
+            [&](NodeId f, NodeId t, std::uint64_t seq,
+                const ReliableTransport::Record& r) {
+              if (shown++ >= kStallReportRecords) return;
+              os << "\n  v" << f << "->v" << t << " seq=" << seq << " "
+                 << reg.name(r.action) << " attempts=" << r.attempts
+                 << " next_retry=r" << r.next_retry
+                 << (is_crashed(t) ? " (dest crashed)" : "")
+                 << (is_crashed(f) ? " (sender crashed)" : "");
+            });
+      }
       if (shown > kStallReportRecords) {
         os << "\n  ... " << (shown - kStallReportRecords) << " more";
       }
@@ -383,12 +481,42 @@ class Network {
   Metrics& metrics() { return metrics_; }
   const NetworkConfig& config() const { return cfg_; }
   bool wire_enabled() const { return wire_enabled_; }
-  Rng& rng() { return rng_; }
+
+  /// Protocol-visible randomness. Inside a shard execution this is the
+  /// executing shard's stream (each shard draws independently — the
+  /// determinism contract); from the coordinator it is shard 0's stream,
+  /// which with one shard is the pre-shard network stream.
+  Rng& rng() {
+    if (in_exec()) return shards_[tls_exec_.shard].rng;
+    return shards_[0].rng;
+  }
+
+  /// Shard/thread topology actually in use (post-latch; before the first
+  /// send/step num_shards() reports the shard-0-only bootstrap state).
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_threads() const { return threads_; }
 
   // ---- Faults & crash control -----------------------------------------
 
   const FaultInjector& faults() const { return faults_; }
-  const ReliableTransport& reliable() const { return reliable_; }
+
+  /// Aggregated view over the per-shard reliable transports (tests /
+  /// callers only ever need totals; per-record iteration stays internal
+  /// to stall_report).
+  class ReliableView {
+   public:
+    explicit ReliableView(const Network& net) : net_(&net) {}
+    std::uint64_t unacked() const {
+      std::uint64_t total = 0;
+      for (const Shard& sh : net_->shards_) total += sh.reliable.unacked();
+      return total;
+    }
+
+   private:
+    const Network* net_;
+  };
+
+  ReliableView reliable() const { return ReliableView(*this); }
 
   /// Crash `v` immediately: its channel blackholes (messages addressed to
   /// it are dropped at delivery time) and it stops being activated. State
@@ -431,7 +559,9 @@ class Network {
     fenced_[v] = 1;
     fenced_possible_ = true;
     faults_.cancel_node(v);
-    if (reliable_enabled_) reliable_.fence(v);
+    if (reliable_enabled_) {
+      for (Shard& sh : shards_) sh.reliable.fence(v);
+    }
   }
 
   bool is_fenced(NodeId v) const {
@@ -456,12 +586,19 @@ class Network {
     return trace::build_trace(tracer_, nodes_.size());
   }
 
-  /// Current pending-ring capacity (tests: ring growth under delay
-  /// spikes).
-  std::size_t pending_capacity() const { return pending_.size(); }
+  /// Current pending-ring capacity of shard 0 (tests: ring growth under
+  /// delay spikes; with one shard this is the whole network's ring).
+  std::size_t pending_capacity() const { return shards_[0].pending.size(); }
 
  private:
   static constexpr std::size_t kStallReportRecords = 16;
+  // Automatic shard sizing (cfg.shards == 0): sharding only pays once a
+  // shard has enough nodes to amortize the barrier, so small networks —
+  // which includes the whole unit-test tier — stay on the sequential
+  // single-shard engine.
+  static constexpr std::size_t kAutoShardMinNodes = 2048;
+  static constexpr std::size_t kAutoShardNodesPerShard = 1024;
+  static constexpr std::size_t kMaxAutoShards = 64;
 
   /// What an envelope is to the transport. Data is the paper's traffic;
   /// reliable data additionally carries a channel seq and is acked and
@@ -489,18 +626,203 @@ class Network {
     const std::type_info* type = nullptr;
   };
 
+  /// A cross-shard send parked in the sender's outbox until the barrier
+  /// merge (the due round travels with the envelope because the merge —
+  /// not the send — places it in the destination ring).
+  struct OutboxEntry {
+    std::uint64_t due = 0;
+    Envelope env;
+  };
+
+  /// One execution shard: everything a slice of the network needs to run
+  /// a round without touching shared state. Shard s owns nodes with
+  /// id mod S == s — their activations, the deliveries addressed to them
+  /// (pending ring + due scratch), the rng streams their sends draw from,
+  /// their outgoing reliable-transport records plus their incoming dedup
+  /// state (disjoint halves of one ReliableTransport, both only ever
+  /// touched while shard s executes), the trace sink, and wire-mode
+  /// scratch buffers.
+  struct Shard {
+    Shard(std::uint64_t seed, std::size_t idx, const ReliableConfig& rc,
+          std::size_t ring_size)
+        : index(idx),
+          rng(shard_seed(seed, idx)),
+          delay_rng(shard_seed(seed ^ kDelayStreamSalt, idx)),
+          fault_rng(shard_seed(seed ^ kFaultStreamSalt, idx)),
+          reliable(rc) {
+      pending.resize(ring_size);
+    }
+
+    std::size_t index;
+    Rng rng;        ///< protocol-visible draws of this shard's nodes
+    Rng delay_rng;  ///< async per-message delays of this shard's sends
+    Rng fault_rng;  ///< fault decisions for this shard's sends
+    ReliableTransport reliable;
+    trace::TraceSink sink;
+    std::vector<std::vector<Envelope>> pending;  ///< ring, by due round
+    std::vector<Envelope> due;                   ///< drain scratch
+    std::vector<std::vector<OutboxEntry>> outbox;  ///< by dest shard
+    std::uint64_t in_flight = 0;       ///< envelopes in this shard's ring
+    std::uint64_t ack_in_flight = 0;   ///< subset that is acks
+    std::uint64_t bg_in_flight = 0;    ///< subset that is background
+    std::vector<std::uint8_t> wire_buf;
+    std::vector<std::uint8_t> wire_reencode_buf;
+  };
+
+  /// Which network/shard the current thread is executing (run_shard). A
+  /// plain thread_local pair — checked against `this` so nested networks
+  /// (a simulation driving another simulation) never cross-route.
+  struct ExecContext {
+    Network* net;
+    std::size_t shard;
+  };
+
+  bool in_exec() const { return tls_exec_.net == this; }
+
+  /// RAII for a shard execution: installs the exec context and the
+  /// shard's trace sink, restores both on scope exit (exception-safe, so
+  /// a throwing node leaves the thread usable).
+  class ExecGuard {
+   public:
+    ExecGuard(Network* net, std::size_t shard, trace::TraceSink* sink)
+        : prev_exec_(tls_exec_),
+          prev_sink_(trace::Tracer::exchange_thread_sink(sink)) {
+      tls_exec_ = ExecContext{net, shard};
+    }
+    ExecGuard(const ExecGuard&) = delete;
+    ExecGuard& operator=(const ExecGuard&) = delete;
+    ~ExecGuard() {
+      tls_exec_ = prev_exec_;
+      trace::Tracer::exchange_thread_sink(prev_sink_);
+    }
+
+   private:
+    ExecContext prev_exec_;
+    trace::TraceSink* prev_sink_;
+  };
+
+  /// Fix the shard topology. Runs once, at the first send or step, when
+  /// the node count is known; everything before (node adds, rng draws)
+  /// is single-threaded coordinator work on shard 0. The shard count is
+  /// a pure function of configuration and network size — never of the
+  /// thread count — because each shard owns rng streams and the stream
+  /// assignment defines the canonical trace.
+  void latch() {
+    latched_ = true;
+    std::size_t target = 1;
+    if (cfg_.shards != 0) {
+      target = std::bit_floor(cfg_.shards);
+    } else if (nodes_.size() >= kAutoShardMinNodes) {
+      target = std::bit_floor(std::min<std::size_t>(
+          nodes_.size() / kAutoShardNodesPerShard, kMaxAutoShards));
+    }
+    if (target <= 1) return;
+    shards_.reserve(target);
+    for (std::size_t s = 1; s < target; ++s) {
+      shards_.emplace_back(cfg_.seed, s, cfg_.reliable, ring_size_);
+      shards_[s].sink.owner = &tracer_;
+    }
+    for (Shard& sh : shards_) sh.outbox.resize(target);
+    shard_mask_ = target - 1;
+    shard_shift_ = static_cast<std::uint32_t>(std::countr_zero(target));
+    metrics_.reshape(target, shard_shift_);
+    threads_ = std::min(cfg_.threads == 0 ? std::size_t{1} : cfg_.threads,
+                        target);
+    if (threads_ > 1) pool_ = std::make_unique<WorkerPool>(threads_ - 1);
+  }
+
+  MetricsShard& met(const Shard& sh) { return metrics_.shard(sh.index); }
+
+  /// One shard's slice of a round, run under its exec context (worker
+  /// pool or serial loop — same result by construction).
+  void run_shard(std::size_t s) {
+    Shard& sh = shards_[s];
+    ExecGuard guard(this, s, &sh.sink);
+    round_work(sh);
+  }
+
+  /// The round body proper. With one shard this is called directly (no
+  /// exec context, no sink) and is the sequential engine, branch for
+  /// branch.
+  void round_work(Shard& sh) {
+    deliver_due(sh);
+    if (reliable_enabled_) [[unlikely]] retransmit_due(sh);
+    activate(sh);
+    met(sh).on_round_end();
+  }
+
+  void deliver_due(Shard& sh) {
+    std::vector<Envelope>& due_slot = slot_for(sh, round_);
+    if (due_slot.empty()) return;
+    // Swap into a scratch vector (reusing its capacity) so deliveries
+    // that send new messages never touch the slot being drained.
+    sh.due.clear();
+    sh.due.swap(due_slot);
+    shuffle(sh, sh.due);
+    for (auto& env : sh.due) {
+      --sh.in_flight;
+      // Fast path: plain data to a live node — the pre-fault delivery.
+      // Transport traffic and blackholed destinations take the slow
+      // path (possible only when the respective feature is armed).
+      if (env.kind != MsgKind::kData ||
+          (crash_possible_ && crashed_[env.to])) [[unlikely]] {
+        deliver_slow(sh, env);
+        continue;
+      }
+      met(sh).record_delivery(env.to, env.bits, env.action);
+      if (tracer_.enabled()) {
+        tracer_.message(trace::EventKind::kDeliver, env.from, env.to,
+                        env.action, env.bits);
+      }
+      nodes_[env.to].node->on_message(env.from, std::move(env.payload));
+    }
+    sh.due.clear();
+  }
+
+  void activate(Shard& sh) {
+    const std::size_t stride = shards_.size();
+    if (crash_possible_) [[unlikely]] {
+      for (std::size_t i = sh.index; i < nodes_.size(); i += stride) {
+        if (!crashed_[i]) nodes_[i].node->on_activate();
+      }
+    } else {
+      for (std::size_t i = sh.index; i < nodes_.size(); i += stride) {
+        nodes_[i].node->on_activate();
+      }
+    }
+  }
+
+  /// Barrier merge for destination shard `d`: drain every source shard's
+  /// outbox bin for d, in source-shard-major, send-order-minor order.
+  /// Each (source, dest) bin is read by exactly one merge task, so the
+  /// merge phase runs on the pool with no shared writes; the order is
+  /// fixed by the shard map, so it is thread-count-invariant. Within a
+  /// destination slot, a shard's own (same-shard) sends precede merged
+  /// cross-shard sends — they were pushed during execution.
+  void merge_into(std::size_t d) {
+    Shard& dst = shards_[d];
+    for (Shard& src : shards_) {
+      auto& bin = src.outbox[d];
+      for (OutboxEntry& entry : bin) {
+        ring_push(dst, std::move(entry.env), entry.due);
+      }
+      bin.clear();
+    }
+  }
+
   /// send() with the transport or fault plan armed: register the reliable
   /// record (sequence number + retained copy for retransmission), then
   /// run the channel fault model. Out of line to keep send()'s fast path
   /// compact.
-  void slow_send(NodeId from, NodeId to, PayloadPtr payload,
+  void slow_send(Shard& sh, NodeId from, NodeId to, PayloadPtr payload,
                  std::uint64_t bits, ActionId action) {
     if (fenced_possible_ && fenced_[to]) [[unlikely]] {
       // A fenced destination is permanently dead: drop at send time so
       // the reliable transport never creates a record that would retry
       // forever against it.
-      metrics_.note_action(action);
-      metrics_.record_drop(action);
+      MetricsShard& met_sh = met(sh);
+      met_sh.note_action(action);
+      met_sh.record_drop(action);
       if (tracer_.enabled()) {
         tracer_.message(trace::EventKind::kSend, from, to, action, bits);
         tracer_.message(trace::EventKind::kDrop, from, to, action, bits);
@@ -508,43 +830,42 @@ class Network {
       return;
     }
     if (reliable_enabled_) {
-      const std::uint64_t seq =
-          reliable_.register_send(from, to, *payload, bits, action, round_);
-      enqueue(from, to, std::move(payload), MsgKind::kReliableData, seq,
+      const std::uint64_t seq = sh.reliable.register_send(
+          from, to, *payload, bits, action, round_);
+      enqueue(sh, from, to, std::move(payload), MsgKind::kReliableData, seq,
               bits, action);
       return;
     }
-    enqueue(from, to, std::move(payload), MsgKind::kData, 0, bits, action);
+    enqueue(sh, from, to, std::move(payload), MsgKind::kData, 0, bits,
+            action);
   }
 
   /// Channel entry point shared by faulty/reliable first sends,
   /// retransmissions and acks: applies the fault model (drop / delay
-  /// spike / duplicate, in that fixed draw order) and enqueues the
-  /// surviving copies.
-  void enqueue(NodeId from, NodeId to, PayloadPtr payload, MsgKind kind,
-               std::uint64_t seq, std::uint64_t bits, ActionId action) {
-    // The action tag provably exists here, so the metrics table is grown
-    // at send time and the delivery path stays branch-free.
-    metrics_.note_action(action);
+  /// spike / duplicate, in that fixed draw order, all from the sending
+  /// shard's fault stream) and enqueues the surviving copies.
+  void enqueue(Shard& sh, NodeId from, NodeId to, PayloadPtr payload,
+               MsgKind kind, std::uint64_t seq, std::uint64_t bits,
+               ActionId action) {
+    // The action tag provably exists here; grow the sending shard's
+    // metrics table now because the fault path below may index it in
+    // this same round (record_drop/record_duplicate).
+    met(sh).note_action(action);
     if (tracer_.enabled()) {
       tracer_.message(trace::EventKind::kSend, from, to, action, bits);
     }
     if (faults_active_) [[unlikely]] {
-      if (faults_.should_drop(from, to, round_)) {
-        metrics_.record_drop(action);
+      if (faults_.should_drop(sh.fault_rng, from, to, round_)) {
+        met(sh).record_drop(action);
         if (tracer_.enabled()) {
           tracer_.message(trace::EventKind::kDrop, from, to, action, bits);
         }
-        return;  // the channel ate it; retransmission is reliable_'s job
+        return;  // the channel ate it; retransmission is reliable's job
       }
-      std::uint64_t delay = base_delay();
-      const std::uint64_t spike = faults_.delay_spike();
-      if (spike != 0) {
-        delay += spike;
-        ensure_capacity(delay);
-      }
-      if (faults_.should_duplicate()) {
-        metrics_.record_duplicate(action);
+      const std::uint64_t delay =
+          base_delay(sh) + faults_.delay_spike(sh.fault_rng);
+      if (faults_.should_duplicate(sh.fault_rng)) {
+        met(sh).record_duplicate(action);
         if (tracer_.enabled()) {
           tracer_.message(trace::EventKind::kDuplicate, from, to, action,
                           bits);
@@ -555,7 +876,7 @@ class Network {
         const std::uint64_t dup_delay =
             cfg_.mode == DeliveryMode::kSynchronous
                 ? 1
-                : faults_.rng().range(1, cfg_.max_delay);
+                : sh.fault_rng.range(1, cfg_.max_delay);
         Envelope dup;
         dup.from = from;
         dup.to = to;
@@ -564,7 +885,7 @@ class Network {
         dup.seq = seq;
         dup.kind = kind;
         dup.payload = payload->clone_payload();
-        push_envelope(std::move(dup), round_ + dup_delay);
+        push_envelope(sh, std::move(dup), round_ + dup_delay);
       }
       Envelope env;
       env.from = from;
@@ -574,7 +895,7 @@ class Network {
       env.seq = seq;
       env.kind = kind;
       env.payload = std::move(payload);
-      push_envelope(std::move(env), round_ + delay);
+      push_envelope(sh, std::move(env), round_ + delay);
       return;
     }
     Envelope env;
@@ -585,34 +906,56 @@ class Network {
     env.seq = seq;
     env.kind = kind;
     env.payload = std::move(payload);
-    push_envelope(std::move(env), round_ + base_delay());
+    push_envelope(sh, std::move(env), round_ + base_delay(sh));
   }
 
-  std::uint64_t base_delay() {
+  std::uint64_t base_delay(Shard& sh) {
     return cfg_.mode == DeliveryMode::kSynchronous
                ? 1
-               : delay_rng_.range(1, cfg_.max_delay);
+               : sh.delay_rng.range(1, cfg_.max_delay);
   }
 
-  void push_envelope(Envelope env, std::uint64_t due_round) {
+  /// Route a fully built envelope from sending shard `sh` toward its
+  /// destination: same shard (or coordinator context) goes straight into
+  /// the destination ring; cross-shard from inside an execution parks in
+  /// the outbox for the barrier merge.
+  void push_envelope(Shard& sh, Envelope env, std::uint64_t due_round) {
+    const std::size_t dest = static_cast<std::size_t>(env.to) & shard_mask_;
+    if (dest == sh.index || !in_exec()) {
+      ring_push(shards_[dest], std::move(env), due_round);
+      return;
+    }
+    sh.outbox[dest].push_back(OutboxEntry{due_round, std::move(env)});
+  }
+
+  /// Place an envelope in `sh`'s ring (only ever called by the thread
+  /// that owns `sh`: its own sends, coordinator sends, or its barrier
+  /// merge task). Delay spikes can outrun the ring, so capacity is
+  /// checked per push here — the fault-free fast path in send() skips
+  /// this because base delays always fit.
+  void ring_push(Shard& sh, Envelope env, std::uint64_t due_round) {
+    if (due_round - round_ >= sh.pending.size()) [[unlikely]] {
+      ensure_capacity(sh, due_round - round_);
+    }
     const MsgKind kind = env.kind;
-    slot_for(due_round).push_back(std::move(env));
-    ++in_flight_;
-    if (kind == MsgKind::kAck) ++ack_in_flight_;
-    if (kind == MsgKind::kBackground) ++bg_in_flight_;
+    slot_for(sh, due_round).push_back(std::move(env));
+    ++sh.in_flight;
+    if (kind == MsgKind::kAck) ++sh.ack_in_flight;
+    if (kind == MsgKind::kBackground) ++sh.bg_in_flight;
   }
 
-  /// Delivery of anything the step() fast path rejects: transport frames
-  /// (reliable data, acks) and messages addressed to a crashed node. The
-  /// caller has already decremented in_flight_.
-  void deliver_slow(Envelope& env) {
-    if (env.kind == MsgKind::kBackground) --bg_in_flight_;
+  /// Delivery of anything the per-shard fast path rejects: transport
+  /// frames (reliable data, acks) and messages addressed to a crashed
+  /// node. `sh` is the executing (= destination's) shard; the caller has
+  /// already decremented its in_flight.
+  void deliver_slow(Shard& sh, Envelope& env) {
+    if (env.kind == MsgKind::kBackground) --sh.bg_in_flight;
     if (crash_possible_ && crashed_[env.to]) [[unlikely]] {
       // Blackhole: the crashed node's channel discards everything. For
       // reliable data the sender-side record survives and retries until
       // the node restarts (or forever, surfacing in the stall report).
-      if (env.kind == MsgKind::kAck) --ack_in_flight_;
-      metrics_.record_drop(env.action);
+      if (env.kind == MsgKind::kAck) --sh.ack_in_flight;
+      met(sh).record_drop(env.action);
       if (tracer_.enabled()) {
         tracer_.message(trace::EventKind::kDrop, env.from, env.to,
                         env.action, env.bits);
@@ -622,26 +965,30 @@ class Network {
     if (env.kind != MsgKind::kData && env.kind != MsgKind::kBackground)
         [[unlikely]] {
       if (env.kind == MsgKind::kAck) {
-        --ack_in_flight_;
+        --sh.ack_in_flight;
         // Acks are counted like any delivery (the sender does process
         // them) but consumed here; nodes never see transport traffic.
-        metrics_.record_delivery(env.to, env.bits, env.action);
+        // The ack's destination is the original sender, so `sh` is the
+        // shard whose reliable transport registered the record.
+        met(sh).record_delivery(env.to, env.bits, env.action);
         if (tracer_.enabled()) {
           tracer_.message(trace::EventKind::kDeliver, env.from, env.to,
                           env.action, env.bits);
         }
-        reliable_.ack(/*from=*/env.to, /*to=*/env.from, env.seq);
+        sh.reliable.ack(/*from=*/env.to, /*to=*/env.from, env.seq);
         return;
       }
       // Reliable data: ack every copy (ack loss only costs a
       // retransmission), suppress duplicates before the node sees them.
-      send_ack(/*from=*/env.to, /*to=*/env.from, env.seq);
-      if (!reliable_.mark_delivered(env.from, env.to, env.seq)) {
-        metrics_.record_dup_suppressed();
+      // The receiver-side dedup state lives in the receiver's shard —
+      // this one.
+      send_ack(sh, /*from=*/env.to, /*to=*/env.from, env.seq);
+      if (!sh.reliable.mark_delivered(env.from, env.to, env.seq)) {
+        met(sh).record_dup_suppressed();
         return;
       }
     }
-    metrics_.record_delivery(env.to, env.bits, env.action);
+    met(sh).record_delivery(env.to, env.bits, env.action);
     if (tracer_.enabled()) {
       tracer_.message(trace::EventKind::kDeliver, env.from, env.to,
                       env.action, env.bits);
@@ -649,16 +996,17 @@ class Network {
     nodes_[env.to].node->on_message(env.from, std::move(env.payload));
   }
 
-  void send_ack(NodeId from, NodeId to, std::uint64_t seq) {
+  void send_ack(Shard& sh, NodeId from, NodeId to, std::uint64_t seq) {
     auto ack = make_payload<ReliableAck>();
     ack->acked_seq = seq;
     const std::uint64_t bits = ack->size_bits();
     const ActionId action = ack->tag();
     PayloadPtr payload = std::move(ack);
     if (wire_enabled_) [[unlikely]] {
-      payload = marshal(std::move(payload), action, bits);
+      payload = marshal(sh, std::move(payload), action, bits);
     }
-    enqueue(from, to, std::move(payload), MsgKind::kAck, seq, bits, action);
+    enqueue(sh, from, to, std::move(payload), MsgKind::kAck, seq, bits,
+            action);
   }
 
   /// Wire mode: the payload makes a full encode -> bytes -> decode round
@@ -677,47 +1025,51 @@ class Network {
   /// tag (everything between frame_header_end and inner_start) belong to
   /// the envelope type; the rest is the logical action's body, compared
   /// against `accounted_bits` = size_bits() of the original payload.
-  PayloadPtr marshal(PayloadPtr payload, ActionId action,
+  PayloadPtr marshal(Shard& sh, PayloadPtr payload, ActionId action,
                      std::uint64_t accounted_bits) {
-    wire::WireWriter w(wire_buf_);
+    wire::WireWriter w(sh.wire_buf);
     encode_frame(*payload, w);
     const std::uint64_t frame_bits = w.frame_header_end();
     const std::uint64_t inner_start = w.inner_start();
     const std::uint64_t total_bits = w.bit_count();
-    wire::WireReader r(wire_buf_);
+    wire::WireReader r(sh.wire_buf);
     PayloadPtr decoded = decode_frame(r);
-    wire::WireWriter w2(wire_reencode_buf_);
+    wire::WireWriter w2(sh.wire_reencode_buf);
     encode_frame(*decoded, w2);
-    SKS_CHECK_MSG(wire_reencode_buf_ == wire_buf_,
+    SKS_CHECK_MSG(sh.wire_reencode_buf == sh.wire_buf,
                   "wire: re-encode of decoded '"
                       << ActionRegistry::instance().name(payload->tag())
                       << "' does not reproduce the original frame ("
                       << w.bit_count() << " vs " << w2.bit_count()
                       << " bits)");
-    metrics_.note_action(action);
-    metrics_.note_action(payload->tag());
+    MetricsShard& met_sh = met(sh);
+    met_sh.note_action(action);
+    met_sh.note_action(payload->tag());
     const std::uint64_t body_start =
         inner_start != 0 ? inner_start : frame_bits;
-    metrics_.record_wire(action, total_bits - body_start, accounted_bits);
-    metrics_.record_wire_overhead(
+    met_sh.record_wire(action, total_bits - body_start, accounted_bits);
+    met_sh.record_wire_overhead(
         payload->tag(), frame_bits,
         inner_start != 0 ? inner_start - frame_bits : 0);
     return decoded;
   }
 
-  void retransmit_due() {
-    reliable_.collect_due(
+  /// Fire retransmissions due this round from `sh`'s records (it
+  /// registered them: records belong to the sender's shard, so the clone
+  /// re-enters the channel through the same streams as the original).
+  void retransmit_due(Shard& sh) {
+    sh.reliable.collect_due(
         round_,
         [this](NodeId v) { return crash_possible_ && crashed_[v]; },
-        [this](NodeId from, NodeId to, std::uint64_t seq,
-               const ReliableTransport::Record& r) {
-          metrics_.record_retransmit(r.action);
-          enqueue(from, to, r.payload->clone_payload(),
+        [this, &sh](NodeId from, NodeId to, std::uint64_t seq,
+                    const ReliableTransport::Record& r) {
+          met(sh).record_retransmit(r.action);
+          enqueue(sh, from, to, r.payload->clone_payload(),
                   MsgKind::kReliableData, seq, r.bits, r.action);
         },
-        [this](NodeId, NodeId, std::uint64_t,
-               const ReliableTransport::Record&) {
-          metrics_.record_abandoned();
+        [this, &sh](NodeId, NodeId, std::uint64_t,
+                    const ReliableTransport::Record&) {
+          met(sh).record_abandoned();
         });
   }
 
@@ -735,60 +1087,59 @@ class Network {
     if (restart_hook_) restart_hook_(v);
   }
 
-  std::vector<Envelope>& slot_for(std::uint64_t round) {
-    return pending_[round & (pending_.size() - 1)];
+  std::vector<Envelope>& slot_for(Shard& sh, std::uint64_t round) {
+    return sh.pending[round & (sh.pending.size() - 1)];
   }
 
-  /// Grow the pending ring so a message `delay` rounds out has a slot of
-  /// its own (delay spikes can exceed max_delay). Live slots are remapped
-  /// by their due round; amortized cost is nil — the ring only ever grows
-  /// to the largest spike seen.
-  void ensure_capacity(std::uint64_t delay) {
-    const std::uint64_t old_size = pending_.size();
+  /// Grow a shard's pending ring so a message `delay` rounds out has a
+  /// slot of its own (delay spikes can exceed max_delay). Live slots are
+  /// remapped by their due round; amortized cost is nil — the ring only
+  /// ever grows to the largest spike seen.
+  void ensure_capacity(Shard& sh, std::uint64_t delay) {
+    const std::uint64_t old_size = sh.pending.size();
     if (delay < old_size) return;
     std::vector<std::vector<Envelope>> grown(
         std::bit_ceil(std::uint64_t{delay + 1}));
     for (std::uint64_t d = 1; d < old_size; ++d) {
       const std::uint64_t r = round_ + d;
       grown[r & (grown.size() - 1)] =
-          std::move(pending_[r & (old_size - 1)]);
+          std::move(sh.pending[r & (old_size - 1)]);
     }
-    pending_ = std::move(grown);
+    sh.pending = std::move(grown);
   }
 
-  void shuffle(std::vector<Envelope>& v) {
+  /// Per-round delivery shuffle, drawing from the shard's protocol
+  /// stream (with one shard: the pre-shard draw order, draw for draw).
+  void shuffle(Shard& sh, std::vector<Envelope>& v) {
     for (std::size_t i = v.size(); i > 1; --i) {
-      const std::size_t j = static_cast<std::size_t>(rng_.below(i));
+      const std::size_t j = static_cast<std::size_t>(sh.rng.below(i));
       std::swap(v[i - 1], v[j]);
     }
   }
 
+  inline static thread_local ExecContext tls_exec_{nullptr, 0};
+
   NetworkConfig cfg_;
-  Rng rng_;
-  Rng delay_rng_;  ///< async per-message delays (see constructor note)
   FaultInjector faults_;
   bool faults_active_;    ///< cached FaultPlan::active()
   bool crash_possible_;   ///< crashes scheduled or injected at runtime
-  ReliableTransport reliable_;
   bool reliable_enabled_;
   bool wire_enabled_;             ///< cached NetworkConfig::wire
   bool fenced_possible_ = false;  ///< any node ever fenced
+  bool latched_ = false;          ///< shard topology fixed
+  std::size_t shard_mask_ = 0;    ///< num_shards - 1 (power of two)
+  std::uint32_t shard_shift_ = 0; ///< log2(num_shards)
+  std::size_t ring_size_ = 0;     ///< base pending-ring size per shard
+  std::size_t threads_ = 1;       ///< executor width (post-latch)
   std::vector<Slot> nodes_;
-  std::vector<char> crashed_;                   ///< per-node down flag
-  std::vector<char> fenced_;                    ///< per-node fenced flag
-  std::vector<std::vector<Envelope>> pending_;  ///< ring, indexed by round
-  std::vector<Envelope> due_;                   ///< scratch for step()
+  std::vector<char> crashed_;  ///< per-node down flag
+  std::vector<char> fenced_;   ///< per-node fenced flag
+  std::vector<Shard> shards_;  ///< shard 0 always exists
+  std::unique_ptr<WorkerPool> pool_;  ///< only when threads_ > 1
   std::uint64_t round_ = 0;
-  std::uint64_t in_flight_ = 0;
-  std::uint64_t ack_in_flight_ = 0;  ///< subset of in_flight_ that is acks
-  std::uint64_t bg_in_flight_ = 0;   ///< subset that is background traffic
   Metrics metrics_;
   trace::Tracer tracer_;
   std::function<void(NodeId)> restart_hook_;
-  // Wire-mode scratch. Member vectors reach a steady-state capacity after
-  // the first few sends, so marshaling itself allocates nothing.
-  std::vector<std::uint8_t> wire_buf_;
-  std::vector<std::uint8_t> wire_reencode_buf_;
 };
 
 inline void Node::send(NodeId to, PayloadPtr payload) {

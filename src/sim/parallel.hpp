@@ -1,0 +1,145 @@
+// Worker pool for the sharded round executor (see sim/network.hpp).
+//
+// The pool runs one job — "execute fn(i) for every index i in [0, count)"
+// — across N-1 persistent worker threads plus the calling thread, then
+// barriers. Determinism does not depend on who runs which index: the
+// shard map fixes *what* each index does; the pool only decides *where*
+// it runs.
+//
+// All coordination is mutex-ordered (claims, completion counts, the
+// generation handshake), which keeps the pool trivially TSan-clean and
+// gives the barrier the happens-before edges the executor relies on:
+// everything the coordinator wrote before run() is visible to every
+// worker executing an index, and everything an index wrote is visible to
+// the coordinator after run() returns. Index claims take one short
+// critical section each; with at most a few dozen shards per round the
+// lock traffic is noise against the per-shard work.
+//
+// run() accepts a plain function pointer + context so dispatching a job
+// allocates nothing (the zero-alloc guarantee covers threaded rounds).
+// The first exception thrown by a job is captured and rethrown from
+// run() after the barrier; remaining indices still execute, so shard
+// state stays consistent (one whole round either ran or threw).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sks::sim {
+
+class WorkerPool {
+ public:
+  using JobFn = void (*)(void* ctx, std::size_t index);
+
+  explicit WorkerPool(std::size_t num_workers) {
+    threads_.reserve(num_workers);
+    for (std::size_t i = 0; i < num_workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  std::size_t num_workers() const { return threads_.size(); }
+
+  /// Execute fn(ctx, i) for every i in [0, count), on the workers and the
+  /// calling thread; returns after all indices completed (the barrier).
+  void run(std::size_t count, void* ctx, JobFn fn) {
+    if (count == 0) return;
+    std::uint64_t gen;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = fn;
+      ctx_ = ctx;
+      count_ = count;
+      next_ = 0;
+      done_ = 0;
+      error_ = nullptr;
+      gen = ++generation_;
+    }
+    wake_cv_.notify_all();
+    work(gen);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return done_ == count_; });
+    if (error_ != nullptr) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  /// Claim-and-execute loop shared by workers and the calling thread.
+  /// The generation check makes a straggler from a finished job bounce
+  /// off the next one instead of stealing its indices.
+  void work(std::uint64_t gen) {
+    for (;;) {
+      JobFn fn;
+      void* ctx;
+      std::size_t i;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (generation_ != gen || next_ >= count_) return;
+        i = next_++;
+        fn = fn_;
+        ctx = ctx_;
+      }
+      try {
+        fn(ctx, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (error_ == nullptr) error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++done_;
+        if (done_ == count_) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t gen;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_cv_.wait(lock,
+                      [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = gen = generation_;
+      }
+      work(gen);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;  ///< coordinator -> workers: new job
+  std::condition_variable done_cv_;  ///< workers -> coordinator: all done
+  std::vector<std::thread> threads_;
+  JobFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+  std::size_t done_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace sks::sim

@@ -29,8 +29,8 @@
 // payload being carried.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -69,13 +69,24 @@ using PayloadPtr = Owned<Payload>;
 using DecodeFn = PayloadPtr (*)(wire::WireReader&);
 
 /// Process-wide table of registered actions. Registration happens once per
-/// concrete payload type (on first use, from action_tag_of<T>()); the name
-/// string is interned here so the hot path never touches it. Registration
-/// is serialized by a mutex (first use can race across threads in static
-/// init) and duplicate names are rejected — two payload types sharing a
-/// name would make the wire tag ambiguous.
+/// concrete payload type (on first use, from action_tag_of<T>()) and is
+/// serialized by a mutex; duplicate names are rejected — two payload types
+/// sharing a name would make the wire tag ambiguous.
+///
+/// Reads are lock-free: entries live in a fixed-capacity array (stable
+/// addresses, no reallocation) published through an acquire/release
+/// counter, so name()/decode()/size() may run concurrently with a late
+/// registration from another thread. A reader can never observe an id at
+/// or above the count it loaded, and every id below it refers to a fully
+/// constructed entry (the release store in intern() happens after the
+/// entry is written).
 class ActionRegistry {
  public:
+  /// Hard cap on distinct payload types in one process. The repo defines
+  /// a few dozen; the cap exists so the entry array can be a fixed block
+  /// that is never reallocated (lock-free readers keep raw references).
+  static constexpr std::size_t kMaxActions = 1024;
+
   static ActionRegistry& instance() {
     static ActionRegistry registry;
     return registry;
@@ -83,45 +94,47 @@ class ActionRegistry {
 
   ActionId intern(const char* name, DecodeFn decode_fn) {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const std::string& existing : names_) {
-      SKS_CHECK_MSG(existing != name,
+    const std::uint32_t n = count_.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      SKS_CHECK_MSG(entries_[i].name != name,
                     "duplicate action name '" << name << "' registered");
     }
-    names_.emplace_back(name);
-    decoders_.push_back(decode_fn);
-    return static_cast<ActionId>(names_.size() - 1);
+    SKS_CHECK_MSG(n < kMaxActions, "action registry full (" << kMaxActions
+                                       << " types)");
+    entries_[n].name = name;
+    entries_[n].decode = decode_fn;
+    count_.store(n + 1, std::memory_order_release);
+    return static_cast<ActionId>(n);
   }
 
   const std::string& name(ActionId id) const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    SKS_CHECK(id < names_.size());
-    return names_[id];  // deque: reference stays valid past the lock
+    SKS_CHECK(id < count_.load(std::memory_order_acquire));
+    return entries_[id].name;  // fixed array: reference stays valid
   }
 
   /// Decode the body of the action tagged `id` from `r`. Unknown tags
   /// (corrupt frames) are rejected with a catchable CheckFailure.
   PayloadPtr decode(ActionId id, wire::WireReader& r) const {
-    DecodeFn fn;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      SKS_CHECK_MSG(id < decoders_.size(), "wire: unknown action tag");
-      fn = decoders_[id];
-    }
-    return fn(r);
+    SKS_CHECK_MSG(id < count_.load(std::memory_order_acquire),
+                  "wire: unknown action tag");
+    return entries_[id].decode(r);
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return names_.size();
+    return count_.load(std::memory_order_acquire);
   }
 
  private:
-  ActionRegistry() = default;
-  mutable std::mutex mutex_;
-  // deque, not vector: name() hands out references that must survive
-  // later registrations.
-  std::deque<std::string> names_;
-  std::deque<DecodeFn> decoders_;
+  struct Entry {
+    std::string name;
+    DecodeFn decode = nullptr;
+  };
+
+  ActionRegistry() : entries_(kMaxActions) {}
+
+  std::mutex mutex_;  ///< serializes intern() only; reads are lock-free
+  std::vector<Entry> entries_;  ///< sized once, never reallocated
+  std::atomic<std::uint32_t> count_{0};
 };
 
 struct Payload {
@@ -208,21 +221,23 @@ struct Action : Payload {
 
 /// Per-type freelist of payload storage. Blocks are raw storage between
 /// uses (the object is destroyed on release, placement-constructed on
-/// acquire), so payload state never leaks across messages. Single-threaded
-/// by design, like the simulator itself.
+/// acquire), so payload state never leaks across messages.
+///
+/// Two levels keep the guarantee under the sharded executor: each thread
+/// owns a private freelist (no synchronization on make/recycle — the
+/// steady-state path is identical to the single-threaded pool), and a
+/// mutex-protected global overflow list rebalances blocks between threads
+/// in batches. A block allocated on one thread and recycled on another
+/// migrates through the overflow list; the steady-state block population
+/// is bounded by the live peak plus kLocalCap per thread, so a warmed-up
+/// run performs zero heap allocations on every thread.
 template <class T>
 class PayloadPool {
  public:
   template <class... Args>
   static Owned<T> make(Args&&... args) {
     Freelist& fl = freelist();
-    void* mem;
-    if (!fl.blocks.empty()) {
-      mem = fl.blocks.back();
-      fl.blocks.pop_back();
-    } else {
-      mem = ::operator new(sizeof(T));
-    }
+    void* mem = acquire(fl);
     T* p;
     try {
       p = new (mem) T(std::forward<Args>(args)...);
@@ -234,25 +249,90 @@ class PayloadPool {
     return Owned<T>(p);
   }
 
-  /// Blocks currently parked in the freelist (diagnostics/tests).
-  static std::size_t free_blocks() { return freelist().blocks.size(); }
-
- private:
-  static void recycle(Payload* base) {
-    T* p = static_cast<T*>(base);
-    p->~T();
-    freelist().blocks.push_back(p);
+  /// Blocks currently parked in this thread's freelist plus the shared
+  /// overflow list (diagnostics/tests).
+  static std::size_t free_blocks() {
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    return freelist().blocks.size() + g.blocks.size();
   }
 
-  struct Freelist {
+ private:
+  /// Per-thread freelist bound; beyond it a batch spills to the global
+  /// overflow list so blocks stranded on a mostly-recycling thread flow
+  /// back to the allocating threads.
+  static constexpr std::size_t kLocalCap = 256;
+  static constexpr std::size_t kBatch = 128;
+
+  /// Shared overflow list. Owns its parked blocks; per-thread freelists
+  /// flush here on thread exit (thread-local destructors run before
+  /// static-duration destructors, so the global outlives every freelist).
+  struct Global {
+    std::mutex mu;
     std::vector<void*> blocks;
-    ~Freelist() {
+    ~Global() {
       for (void* b : blocks) ::operator delete(b);
     }
   };
 
+  struct Freelist {
+    // Touch the global first so it is constructed (and therefore
+    // destroyed) before/after every per-thread freelist respectively.
+    Freelist() { (void)global(); }
+    std::vector<void*> blocks;
+    ~Freelist() {
+      Global& g = global();
+      std::lock_guard<std::mutex> lock(g.mu);
+      g.blocks.insert(g.blocks.end(), blocks.begin(), blocks.end());
+    }
+  };
+
+  static void recycle(Payload* base) {
+    T* p = static_cast<T*>(base);
+    p->~T();
+    Freelist& fl = freelist();
+    fl.blocks.push_back(p);
+    if (fl.blocks.size() > kLocalCap) [[unlikely]] {
+      Global& g = global();
+      std::lock_guard<std::mutex> lock(g.mu);
+      g.blocks.insert(g.blocks.end(),
+                      fl.blocks.end() - static_cast<std::ptrdiff_t>(kBatch),
+                      fl.blocks.end());
+      fl.blocks.resize(fl.blocks.size() - kBatch);
+    }
+  }
+
+  static void* acquire(Freelist& fl) {
+    if (!fl.blocks.empty()) [[likely]] {
+      void* mem = fl.blocks.back();
+      fl.blocks.pop_back();
+      return mem;
+    }
+    Global& g = global();
+    {
+      std::lock_guard<std::mutex> lock(g.mu);
+      if (!g.blocks.empty()) {
+        const std::size_t take = std::min(kBatch, g.blocks.size());
+        fl.blocks.insert(fl.blocks.end(), g.blocks.end() - static_cast<std::ptrdiff_t>(take),
+                         g.blocks.end());
+        g.blocks.resize(g.blocks.size() - take);
+      }
+    }
+    if (!fl.blocks.empty()) {
+      void* mem = fl.blocks.back();
+      fl.blocks.pop_back();
+      return mem;
+    }
+    return ::operator new(sizeof(T));
+  }
+
+  static Global& global() {
+    static Global g;
+    return g;
+  }
+
   static Freelist& freelist() {
-    static Freelist fl;
+    thread_local Freelist fl;
     return fl;
   }
 };

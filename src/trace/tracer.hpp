@@ -21,11 +21,18 @@
 //    interned ActionRegistry ids, span names are interned per tracer on
 //    first use and must be string literals / static storage).
 //
-// Causal order: the simulator is single-threaded, so the global `seq`
-// counter stamps a total order consistent with causality; replaying a
-// trace in seq order replays the execution's happens-before order
-// (Lamport-style: each event carries (round, seq, from, to, action,
-// bits)).
+// Causal order: the global `seq` counter stamps a total order consistent
+// with causality; replaying a trace in seq order replays the execution's
+// happens-before order (Lamport-style: each event carries (round, seq,
+// from, to, action, bits)).
+//
+// Sharded execution (sim/network.hpp): while a shard runs, its thread
+// installs a TraceSink via exchange_thread_sink(); every hook then
+// appends to that thread-private sink instead of the shared buffers. At
+// the round barrier the coordinator folds the sinks back in shard-major
+// order, assigning global seq numbers there — so the folded order is a
+// pure function of the shard map, never of thread scheduling, and with
+// one shard it is byte-identical to the direct (unsharded) path.
 #pragma once
 
 #include <algorithm>
@@ -112,6 +119,65 @@ struct Event {
 };
 static_assert(sizeof(Event) == 48, "Event must stay a fixed 48-byte record");
 
+/// The category an event folds into. Matches the direct recording path:
+/// channel events are dense (kMessage), epoch/phase spans are kSpan,
+/// everything else (round boundaries, churn, faults, detector
+/// transitions, annotations) is kLifecycle.
+inline constexpr Category category_of(EventKind k) {
+  switch (k) {
+    case EventKind::kSend:
+    case EventKind::kDeliver:
+    case EventKind::kDrop:
+    case EventKind::kDuplicate:
+      return Category::kMessage;
+    case EventKind::kEpochBegin:
+    case EventKind::kEpochEnd:
+    case EventKind::kPhaseBegin:
+    case EventKind::kPhaseEnd:
+      return Category::kSpan;
+    default:
+      return Category::kLifecycle;
+  }
+}
+
+class Tracer;
+
+/// One shard's private event buffer. Hooks append here while the owning
+/// shard executes (no shared mutation, no seq assignment); the
+/// coordinator folds sinks back into the tracer at the round barrier.
+/// Span/annotation names are interned per sink (the `label` of a
+/// kPhaseBegin/kPhaseEnd/kAnnotation indexes `names` until fold remaps it
+/// to the tracer's global table); message labels are ActionIds, which are
+/// already global.
+struct TraceSink {
+  Tracer* owner = nullptr;         ///< the tracer this sink folds into
+  std::vector<Event> events;       ///< emission order; seq assigned at fold
+  std::vector<const char*> names;  ///< sink-local span-name table
+
+  SpanId intern(const char* name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name || std::strcmp(names[i], name) == 0) {
+        return static_cast<SpanId>(i);
+      }
+    }
+    names.push_back(name);
+    return static_cast<SpanId>(names.size() - 1);
+  }
+
+  void push(EventKind kind, NodeId node, NodeId peer, std::uint32_t label,
+            std::uint64_t value, std::uint64_t epoch, std::uint64_t round) {
+    Event e;
+    e.round = round;
+    e.value = value;
+    e.epoch = epoch;
+    e.node = node;
+    e.peer = peer;
+    e.label = label;
+    e.kind = kind;
+    events.push_back(e);
+  }
+};
+
 class Tracer {
  public:
   bool enabled() const { return enabled_; }
@@ -150,18 +216,33 @@ class Tracer {
                std::uint64_t bits) {
     if (!enabled_) return;
     const bool at_receiver = kind == EventKind::kDeliver;
-    push(Category::kMessage, kind, at_receiver ? to : from,
-         at_receiver ? from : to, action, bits, 0);
+    const NodeId node = at_receiver ? to : from;
+    const NodeId peer = at_receiver ? from : to;
+    if (TraceSink* sink = routed_sink()) {
+      sink->push(kind, node, peer, action, bits, 0, round_);
+      return;
+    }
+    push(Category::kMessage, kind, node, peer, action, bits, 0);
   }
 
   void epoch_begin(std::uint64_t epoch) {
     if (!enabled_) return;
+    if (TraceSink* sink = routed_sink()) {
+      sink->push(EventKind::kEpochBegin, kNoNode, kNoNode, 0, 0, epoch,
+                 round_);
+      return;
+    }
     push(Category::kSpan, EventKind::kEpochBegin, kNoNode, kNoNode, 0, 0,
          epoch);
   }
 
   void epoch_end(std::uint64_t epoch) {
     if (!enabled_) return;
+    if (TraceSink* sink = routed_sink()) {
+      sink->push(EventKind::kEpochEnd, kNoNode, kNoNode, 0, 0, epoch,
+                 round_);
+      return;
+    }
     push(Category::kSpan, EventKind::kEpochEnd, kNoNode, kNoNode, 0, 0,
          epoch);
   }
@@ -170,18 +251,32 @@ class Tracer {
   /// storage duration (string literal) — it is interned by pointer first.
   void phase_begin(NodeId node, const char* name, std::uint64_t epoch) {
     if (!enabled_) return;
+    if (TraceSink* sink = routed_sink()) {
+      sink->push(EventKind::kPhaseBegin, node, kNoNode, sink->intern(name),
+                 0, epoch, round_);
+      return;
+    }
     push(Category::kSpan, EventKind::kPhaseBegin, node, kNoNode,
          span_id(name), 0, epoch);
   }
 
   void phase_end(NodeId node, const char* name, std::uint64_t epoch) {
     if (!enabled_) return;
+    if (TraceSink* sink = routed_sink()) {
+      sink->push(EventKind::kPhaseEnd, node, kNoNode, sink->intern(name), 0,
+                 epoch, round_);
+      return;
+    }
     push(Category::kSpan, EventKind::kPhaseEnd, node, kNoNode,
          span_id(name), 0, epoch);
   }
 
   void lifecycle(EventKind kind, NodeId node) {
     if (!enabled_) return;
+    if (TraceSink* sink = routed_sink()) {
+      sink->push(kind, node, kNoNode, 0, 0, 0, round_);
+      return;
+    }
     push(Category::kLifecycle, kind, node, kNoNode, 0, 0, 0);
   }
 
@@ -190,8 +285,43 @@ class Tracer {
   void annotate(NodeId node, const char* name, std::uint64_t value,
                 std::uint64_t epoch = 0) {
     if (!enabled_) return;
+    if (TraceSink* sink = routed_sink()) {
+      sink->push(EventKind::kAnnotation, node, kNoNode, sink->intern(name),
+                 value, epoch, round_);
+      return;
+    }
     push(Category::kLifecycle, EventKind::kAnnotation, node, kNoNode,
          span_id(name), value, epoch);
+  }
+
+  // ---- Shard-sink routing ----------------------------------------------
+
+  /// Install `sink` as the routing target for hooks called on this thread
+  /// (nullptr = record directly). Returns the previous target so callers
+  /// save/restore around shard execution. Routing only applies to sinks
+  /// owned by the tracer being recorded into, so nested networks with
+  /// their own tracers never cross-contaminate.
+  static TraceSink* exchange_thread_sink(TraceSink* sink) {
+    TraceSink* prev = tls_sink_;
+    tls_sink_ = sink;
+    return prev;
+  }
+
+  /// Fold one shard sink into the shared buffers, assigning global seq
+  /// numbers in emission order and remapping sink-local span labels. The
+  /// coordinator calls this shard-major at the round barrier; that call
+  /// order *is* the canonical trace order.
+  void fold(TraceSink& sink) {
+    for (Event e : sink.events) {
+      if (e.kind == EventKind::kPhaseBegin ||
+          e.kind == EventKind::kPhaseEnd ||
+          e.kind == EventKind::kAnnotation) {
+        e.label = span_id(sink.names[e.label]);
+      }
+      e.seq = seq_++;
+      buffers_[static_cast<std::size_t>(category_of(e.kind))].push_back(e);
+    }
+    sink.events.clear();
   }
 
   // ---- Introspection ---------------------------------------------------
@@ -215,6 +345,13 @@ class Tracer {
   std::uint64_t round() const { return round_; }
 
  private:
+  /// This thread's sink, if it belongs to this tracer (see
+  /// exchange_thread_sink).
+  TraceSink* routed_sink() const {
+    TraceSink* sink = tls_sink_;
+    return sink != nullptr && sink->owner == this ? sink : nullptr;
+  }
+
   void push(Category cat, EventKind kind, NodeId node, NodeId peer,
             std::uint32_t label, std::uint64_t value, std::uint64_t epoch) {
     Event e;
@@ -228,6 +365,8 @@ class Tracer {
     e.kind = kind;
     buffers_[static_cast<std::size_t>(cat)].push_back(e);
   }
+
+  inline static thread_local TraceSink* tls_sink_ = nullptr;
 
   bool enabled_ = false;
   std::uint64_t round_ = 0;

@@ -1,0 +1,241 @@
+// Determinism contract of the parallel round engine: the thread count
+// NEVER changes observable behavior. For a fixed shard count the executor
+// produces the same trace, the same metrics and the same protocol results
+// whether the shards run on 1, 2 or 8 worker threads — cross-shard
+// messages are exchanged at the round barrier in shard-major, send-order-
+// minor order, so the merged schedule is a pure function of (seed, shard
+// count).
+//
+// The matrix covers the four workloads the repo cares about: the paper's
+// Figure 1 Skeap batch, one Seap cycle, one KSelect session, and one
+// chaos seed (drops + duplicates + spikes under the reliable transport),
+// each executed at threads ∈ {1, 2, 8} with shards forced to 4.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kselect/kselect_system.hpp"
+#include "seap/seap_system.hpp"
+#include "sim/metrics.hpp"
+#include "skeap/skeap_system.hpp"
+#include "trace/text.hpp"
+
+namespace sks {
+namespace {
+
+constexpr std::size_t kThreadMatrix[] = {1, 2, 8};
+
+void expect_snapshots_identical(const sim::MetricsSnapshot& a,
+                                const sim::MetricsSnapshot& b,
+                                std::size_t threads) {
+  EXPECT_EQ(a.rounds, b.rounds) << "threads=" << threads;
+  EXPECT_EQ(a.total_messages, b.total_messages) << "threads=" << threads;
+  EXPECT_EQ(a.total_bits, b.total_bits) << "threads=" << threads;
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits) << "threads=" << threads;
+  EXPECT_EQ(a.max_congestion, b.max_congestion) << "threads=" << threads;
+  EXPECT_TRUE(a.message_bits_hist == b.message_bits_hist)
+      << "threads=" << threads;
+  EXPECT_TRUE(a.congestion_hist == b.congestion_hist)
+      << "threads=" << threads;
+  EXPECT_EQ(a.messages_by_type, b.messages_by_type) << "threads=" << threads;
+  EXPECT_EQ(a.bits_by_type, b.bits_by_type) << "threads=" << threads;
+  EXPECT_EQ(a.dropped, b.dropped) << "threads=" << threads;
+  EXPECT_EQ(a.duplicated, b.duplicated) << "threads=" << threads;
+  EXPECT_EQ(a.retransmitted, b.retransmitted) << "threads=" << threads;
+  EXPECT_EQ(a.dup_suppressed, b.dup_suppressed) << "threads=" << threads;
+}
+
+// ---- Figure 1 (Skeap batch) -------------------------------------------
+
+struct Capture {
+  std::string trace;
+  sim::MetricsSnapshot metrics;
+};
+
+Capture run_figure1(std::size_t shards, std::size_t threads) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 3;
+  opts.num_priorities = 2;
+  opts.seed = 42;
+  opts.shards = shards;
+  opts.threads = threads;
+  skeap::SkeapSystem sys(opts);
+  sys.net().tracer().enable();
+  sys.insert(0, 1);
+  sys.insert(1, 1);
+  sys.delete_min(1);
+  sys.delete_min(1);
+  sys.insert(2, 1);
+  sys.insert(2, 1);
+  sys.insert(2, 2);
+  sys.delete_min(2);
+  sys.run_batch();
+  Capture cap;
+  cap.metrics = sys.net().metrics().current();
+  cap.trace = trace::to_text(sys.net().take_trace());
+  return cap;
+}
+
+TEST(ParallelDeterminism, Figure1TraceInvariantAcrossThreads) {
+  const Capture base = run_figure1(4, 1);
+  EXPECT_FALSE(base.trace.empty());
+  for (const std::size_t threads : kThreadMatrix) {
+    const Capture cap = run_figure1(4, threads);
+    EXPECT_EQ(cap.trace, base.trace)
+        << "Figure 1 trace diverged at threads=" << threads;
+    expect_snapshots_identical(cap.metrics, base.metrics, threads);
+  }
+}
+
+// With the shard count left at its default the executor picks the same
+// partition regardless of the thread count (threads are clamped to the
+// shard count) — so even the *default-shards* schedule is thread-
+// invariant, which is what makes `--threads` safe to set on any bench.
+TEST(ParallelDeterminism, Figure1DefaultShardsThreadInvariant) {
+  skeap::SkeapSystem::Options defaults;
+  const Capture base = run_figure1(defaults.shards, 1);
+  for (const std::size_t threads : kThreadMatrix) {
+    const Capture cap = run_figure1(defaults.shards, threads);
+    EXPECT_EQ(cap.trace, base.trace) << "threads=" << threads;
+    expect_snapshots_identical(cap.metrics, base.metrics, threads);
+  }
+}
+
+// ---- One Seap cycle ---------------------------------------------------
+
+Capture run_seap_cycle(std::size_t threads) {
+  seap::SeapSystem::Options opts;
+  opts.num_nodes = 8;
+  opts.seed = 0x5ea9c0deULL;
+  opts.shards = 4;
+  opts.threads = threads;
+  seap::SeapSystem sys(opts);
+  sys.net().tracer().enable();
+  for (NodeId v = 0; v < 8; ++v) {
+    sys.insert(v, 100 + v);
+    if (v % 2 == 0) sys.delete_min(v);
+  }
+  sys.run_cycle();
+  Capture cap;
+  cap.metrics = sys.net().metrics().current();
+  cap.trace = trace::to_text(sys.net().take_trace());
+  return cap;
+}
+
+TEST(ParallelDeterminism, SeapCycleInvariantAcrossThreads) {
+  const Capture base = run_seap_cycle(1);
+  EXPECT_FALSE(base.trace.empty());
+  for (const std::size_t threads : kThreadMatrix) {
+    const Capture cap = run_seap_cycle(threads);
+    EXPECT_EQ(cap.trace, base.trace)
+        << "Seap cycle trace diverged at threads=" << threads;
+    expect_snapshots_identical(cap.metrics, base.metrics, threads);
+  }
+}
+
+// ---- One KSelect session ----------------------------------------------
+
+struct KSelectCapture {
+  Capture cap;
+  std::optional<kselect::CandidateKey> result;
+  std::uint64_t rounds = 0;
+};
+
+KSelectCapture run_kselect_session(std::size_t threads) {
+  kselect::KSelectSystem::Options opts;
+  opts.num_nodes = 8;
+  opts.seed = 0x5e1ec7ULL;
+  opts.shards = 4;
+  opts.threads = threads;
+  kselect::KSelectSystem sys(opts);
+  std::vector<kselect::CandidateKey> elements;
+  Rng rng(99);
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    elements.push_back(kselect::CandidateKey{rng.range(1, 1u << 20), i + 1});
+  }
+  sys.seed_elements(elements);
+  sys.net().tracer().enable();
+  KSelectCapture out;
+  const auto sel = sys.select(133);
+  out.result = sel.result;
+  out.rounds = sel.rounds;
+  out.cap.metrics = sys.net().metrics().current();
+  out.cap.trace = trace::to_text(sys.net().take_trace());
+  return out;
+}
+
+TEST(ParallelDeterminism, KSelectSessionInvariantAcrossThreads) {
+  const KSelectCapture base = run_kselect_session(1);
+  ASSERT_TRUE(base.result.has_value());
+  for (const std::size_t threads : kThreadMatrix) {
+    const KSelectCapture got = run_kselect_session(threads);
+    ASSERT_TRUE(got.result.has_value()) << "threads=" << threads;
+    EXPECT_EQ(*got.result, *base.result) << "threads=" << threads;
+    EXPECT_EQ(got.rounds, base.rounds) << "threads=" << threads;
+    EXPECT_EQ(got.cap.trace, base.cap.trace)
+        << "KSelect trace diverged at threads=" << threads;
+    expect_snapshots_identical(got.cap.metrics, base.cap.metrics, threads);
+  }
+}
+
+// ---- One chaos seed (faults + reliable transport) ---------------------
+
+Capture run_chaos_seed(std::size_t threads) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 8;
+  opts.num_priorities = 4;
+  opts.seed = 0xc4a05ULL;
+  opts.shards = 4;
+  opts.threads = threads;
+  opts.faults.drop_prob = 0.05;
+  opts.faults.duplicate_prob = 0.03;
+  opts.faults.spike_prob = 0.02;
+  opts.reliable.enabled = true;
+  opts.reliable.ack_timeout = 6;
+  skeap::SkeapSystem sys(opts);
+  sys.net().tracer().enable();
+  Rng rng(7);
+  for (NodeId v = 0; v < 8; ++v) {
+    for (int i = 0; i < 2; ++i) {
+      if (rng.flip(0.6)) {
+        sys.insert(v, rng.range(1, 4));
+      } else {
+        sys.delete_min(v);
+      }
+    }
+  }
+  sys.run_batch();
+  Capture cap;
+  cap.metrics = sys.net().metrics().current();
+  cap.trace = trace::to_text(sys.net().take_trace());
+  return cap;
+}
+
+TEST(ParallelDeterminism, ChaosSeedInvariantAcrossThreads) {
+  const Capture base = run_chaos_seed(1);
+  EXPECT_FALSE(base.trace.empty());
+  EXPECT_GT(base.metrics.dropped + base.metrics.duplicated, 0u)
+      << "chaos plan should actually inject faults";
+  for (const std::size_t threads : kThreadMatrix) {
+    const Capture cap = run_chaos_seed(threads);
+    EXPECT_EQ(cap.trace, base.trace)
+        << "chaos trace diverged at threads=" << threads;
+    expect_snapshots_identical(cap.metrics, base.metrics, threads);
+  }
+}
+
+// ---- Repeatability under a fixed thread count -------------------------
+
+// Same (seed, shards, threads) twice → byte-identical capture; the worker
+// pool introduces no run-to-run nondeterminism of its own.
+TEST(ParallelDeterminism, RepeatedRunIsByteIdentical) {
+  const Capture a = run_figure1(4, 8);
+  const Capture b = run_figure1(4, 8);
+  EXPECT_EQ(a.trace, b.trace);
+  expect_snapshots_identical(a.metrics, b.metrics, 8);
+}
+
+}  // namespace
+}  // namespace sks

@@ -164,6 +164,81 @@ TEST(ZeroAlloc, InactiveFaultPlanAndDisabledReliableAllocateNothing) {
       << "disabled fault machinery leaked allocations into the hot path";
 }
 
+// The guarantee must survive the sharded executor: with the node set
+// partitioned over 4 shards, cross-shard sends ride per-shard outboxes
+// that are merged at the round barrier — all of it from recycled
+// capacity. Serial execution (threads=1) keeps the check deterministic.
+TEST(ParallelZeroAlloc, ShardedSteadyStateAllocatesNothing) {
+  NetworkConfig cfg;
+  cfg.shards = 4;
+  cfg.threads = 1;
+  Network net(cfg);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(net.add_node(std::make_unique<SinkNode>()));
+  }
+  ASSERT_EQ(net.num_shards(), 1u) << "shards latch on first send/step";
+
+  auto cycle = [&] {
+    // Every node fires at its shard-distance-2 neighbor, so every round
+    // carries cross-shard traffic through the outbox merge.
+    for (int i = 0; i < 16; ++i) {
+      for (NodeId v : ids) {
+        net.node_as<SinkNode>(v).fire(ids[(v + 2) % ids.size()]);
+      }
+    }
+    net.run_until_idle();
+  };
+
+  for (int w = 0; w < 8; ++w) cycle();
+  EXPECT_EQ(net.num_shards(), 4u);
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int r = 0; r < 16; ++r) cycle();
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "sharded steady-state message path performed heap allocations";
+}
+
+// Same scenario on 2 worker threads: payload blocks now migrate between
+// per-thread freelists through the global overflow list, so the warmed-up
+// block population covers every thread's worst-case demand. A longer
+// warm-up lets the population reach that fixed point under arbitrary
+// shard→thread interleavings before counting starts.
+TEST(ParallelZeroAlloc, ShardedMultiThreadSteadyStateAllocatesNothing) {
+  NetworkConfig cfg;
+  cfg.shards = 4;
+  cfg.threads = 2;
+  Network net(cfg);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(net.add_node(std::make_unique<SinkNode>()));
+  }
+
+  auto cycle = [&] {
+    for (int i = 0; i < 16; ++i) {
+      for (NodeId v : ids) {
+        net.node_as<SinkNode>(v).fire(ids[(v + 3) % ids.size()]);
+      }
+    }
+    net.run_until_idle();
+  };
+
+  for (int w = 0; w < 32; ++w) cycle();
+  EXPECT_EQ(net.num_threads(), 2u);
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int r = 0; r < 16; ++r) cycle();
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "multi-threaded steady-state message path performed heap "
+         "allocations";
+}
+
 // Failure-detector heartbeats ride the background lane (send_background):
 // excluded from quiescence but pooled and queued like data. A steady
 // heartbeat stream must recycle payloads and slot capacity just as the
