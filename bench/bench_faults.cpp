@@ -40,6 +40,9 @@ RunResult run_workload(std::size_t n, double drop, bool reliable,
   opts.faults.drop_prob = drop;
   opts.reliable.enabled = reliable;
   skeap::SkeapSystem sys(opts);
+  bench::TelemetryScope tel(
+      sys.net(), "faults drop=" + std::to_string(drop) +
+                     (reliable ? " reliable" : " baseline"));
 
   RunResult r;
   for (NodeId v = 0; v < n; ++v) sys.insert(v, 1 + v % 3);

@@ -110,6 +110,29 @@ void BM_SimulatorRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorRoundTrip);
 
+// The same round trip with a continuous-telemetry sampler attached at a
+// 64-round cadence (~1 sample/epoch for this workload). The delta vs
+// BM_SimulatorRoundTrip is the whole cost of live telemetry: one branch
+// per round plus a counter read-out at each sample point (the acceptance
+// budget is <3% on the round-trip time).
+void BM_SimulatorRoundTripTelemetry(benchmark::State& state) {
+  sim::Network net;
+  const NodeId a = net.add_node(std::make_unique<SinkNode>());
+  const NodeId b = net.add_node(std::make_unique<SinkNode>());
+  (void)a;
+  obs::Sampler::Options opts;
+  opts.every_rounds = 64;
+  obs::Sampler sampler(net, opts);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) net.node_as<SinkNode>(0).fire(b);
+    net.run_until_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["samples"] =
+      static_cast<double>(sampler.cumulative().samples);
+}
+BENCHMARK(BM_SimulatorRoundTripTelemetry);
+
 // The async pending queue (relative-round ring buffer) under randomized
 // delays — the path the churn/semantics experiments exercise.
 void BM_SimulatorAsyncRoundTrip(benchmark::State& state) {

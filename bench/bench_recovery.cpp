@@ -60,6 +60,11 @@ RunResult run_crash_workload(std::size_t n, std::size_t crashes,
                              std::uint32_t k, std::uint64_t seed) {
   auto opts = base_options(n, seed, true, k);
   skeap::SkeapSystem sys(opts);
+  // The crash workload is the telemetry showpiece: the suspect /
+  // declared_dead / recovery series light up mid-run.
+  bench::TelemetryScope tel(sys.net(),
+                            "recovery n=" + std::to_string(n) + " crashes=" +
+                                std::to_string(crashes));
   RunResult r;
 
   std::size_t acked = 0;

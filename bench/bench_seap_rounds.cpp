@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   for (std::size_t n : {32u, 64u, 128u, 256u, 512u, 1024u}) {
     if (bench::skip_n(n)) continue;
     seap::SeapSystem sys({.num_nodes = n, .seed = 200 + n});
+    bench::TelemetryScope tel(sys.net(),
+                              "seap_rounds n=" + std::to_string(n));
     Rng rng(17 + n);
     // Preload ~10 elements per node.
     for (NodeId v = 0; v < n; ++v) {

@@ -13,7 +13,9 @@
 //               rounds/sec plus speedup vs threads=1. Combine with --n
 //               to pick the point (default 10240). The rounds column must
 //               be identical across rows — the thread count never changes
-//               the schedule, only the wall time.
+//               the schedule, only the wall time. With --telemetry the
+//               run also prints a per-worker busy/barrier-wait table
+//               (wall-clock attribution of the parallel engine).
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -30,6 +32,10 @@ struct PointResult {
   std::uint64_t rounds = 0;
   std::uint64_t ops = 0;
   double wall_ms = 0.0;
+  // Wall-clock attribution of the parallel engine for this point (only
+  // meaningful in --scaling mode; profiles empty at threads=1).
+  std::vector<sim::WorkerProfile> profiles;
+  std::vector<std::uint64_t> shard_busy_ns;
 };
 
 /// One measured point: `batches` mixed batches at size n. The timed
@@ -43,6 +49,9 @@ PointResult run_point(std::size_t n, int batches, std::size_t threads,
   opts.threads = threads;
   opts.shards = shards;
   skeap::SkeapSystem sys(opts);
+  bench::TelemetryScope tel(sys.net(),
+                            "skeap_rounds n=" + std::to_string(n) +
+                                " threads=" + std::to_string(threads));
   Rng rng(7 + n);
   PointResult out;
   const auto start = std::chrono::steady_clock::now();
@@ -64,8 +73,24 @@ PointResult run_point(std::size_t n, int batches, std::size_t threads,
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+  out.profiles = sys.net().worker_profiles();
+  out.shard_busy_ns = sys.net().metrics().shard_busy_ns();
   bench::report_window(sys.net().metrics().current());
   return out;
+}
+
+/// Median-of---repeat wrapper around run_point. Repetitions re-run the
+/// identical deterministic schedule (same seeds), so only wall time
+/// varies; the median repetition is reported. The trace (if armed) is
+/// captured on the first repetition only.
+PointResult run_point_median(std::size_t n, int batches, std::size_t threads,
+                             std::size_t shards, bool trace_first) {
+  return bench::median_of_repeats(
+      [&](int rep) {
+        return run_point(n, batches, threads, shards,
+                         trace_first && rep == 0);
+      },
+      [](const PointResult& r) { return r.wall_ms; });
 }
 
 int run_sweep(std::size_t custom_n) {
@@ -84,7 +109,7 @@ int run_sweep(std::size_t custom_n) {
     // Large single points get fewer batches so the sweep stays tractable;
     // rounds are reported per batch either way.
     const int batches = n > 10000 ? 2 : 4;
-    const PointResult r = run_point(
+    const PointResult r = run_point_median(
         n, batches, skeap::SkeapSystem::Options{}.threads,
         skeap::SkeapSystem::Options{}.shards, /*trace_first=*/true);
     const double rounds =
@@ -109,9 +134,10 @@ int run_scaling(std::size_t n) {
       {"threads", "n", "rounds", "wall_ms", "rounds/sec", "speedup"});
   double base_ms = 0.0;
   std::uint64_t base_rounds = 0;
+  std::vector<std::pair<std::size_t, PointResult>> points;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-    const PointResult r =
-        run_point(n, batches, threads, /*shards=*/8, /*trace_first=*/false);
+    const PointResult r = run_point_median(n, batches, threads, /*shards=*/8,
+                                           /*trace_first=*/false);
     if (threads == 1) {
       base_ms = r.wall_ms;
       base_rounds = r.rounds;
@@ -128,6 +154,38 @@ int run_scaling(std::size_t n) {
                static_cast<double>(r.rounds), r.wall_ms,
                secs > 0 ? static_cast<double>(r.rounds) / secs : 0.0,
                r.wall_ms > 0 ? base_ms / r.wall_ms : 0.0});
+    points.emplace_back(threads, r);
+  }
+
+  if (bench::telemetry_enabled()) {
+    // Wall-clock attribution per worker: busy = inside shard jobs, wait =
+    // blocked on the round barrier (worker 0 is the coordinating thread).
+    // At threads=1 the pool does not exist; the coordinator's busy time
+    // is the per-shard attribution summed, and it never waits.
+    std::printf(
+        "\nWorker utilization (busy = shard execution, wait = round "
+        "barrier):\n");
+    bench::Table util(
+        {"threads", "worker", "busy_ms", "wait_ms", "jobs", "busy_frac"});
+    for (const auto& [threads, r] : points) {
+      if (r.profiles.empty()) {
+        std::uint64_t busy = 0;
+        for (const std::uint64_t ns : r.shard_busy_ns) busy += ns;
+        util.row({static_cast<double>(threads), 0.0,
+                  static_cast<double>(busy) / 1e6, 0.0,
+                  static_cast<double>(r.shard_busy_ns.size()), 1.0});
+        continue;
+      }
+      for (std::size_t w = 0; w < r.profiles.size(); ++w) {
+        const sim::WorkerProfile& p = r.profiles[w];
+        const double busy_ms = static_cast<double>(p.busy_ns) / 1e6;
+        const double wait_ms = static_cast<double>(p.wait_ns) / 1e6;
+        const double denom = busy_ms + wait_ms;
+        util.row({static_cast<double>(threads), static_cast<double>(w),
+                  busy_ms, wait_ms, static_cast<double>(p.jobs),
+                  denom > 0 ? busy_ms / denom : 0.0});
+      }
+    }
   }
   return 0;
 }

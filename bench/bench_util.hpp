@@ -14,18 +14,34 @@
 //                   JSON trace at <path>; open it at ui.perfetto.dev. Also
 //                   feeds per-phase/per-epoch breakdowns into the --json
 //                   report section.
+//   --telemetry [path]        stream continuous-telemetry samples (one
+//                   ndjson line per sample, the format sks_top and
+//                   trace_inspect --timeline read) into
+//                   TELEMETRY_<name>.ndjson, plus an OpenMetrics text
+//                   exposition next to it (*.om). `path` may be a
+//                   directory (default ".") or an explicit *.ndjson file.
+//   --telemetry-interval R    sample every R rounds (default 32).
+//   --repeat <k>    repeat each timed sweep point k times and report the
+//                   median-by-wall-time repetition (steadier wall-clock
+//                   columns; round counts are deterministic per point and
+//                   identical across repetitions).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/openmetrics.hpp"
+#include "obs/sampler.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "trace/perfetto.hpp"
@@ -333,6 +349,120 @@ inline std::string& trace_path() {
   return path;
 }
 
+/// Resolve a --telemetry argument (directory or explicit file) to the
+/// ndjson stream path for bench `name`.
+inline std::string telemetry_output_path(const std::string& name,
+                                         const std::string& arg) {
+  std::string path = arg.empty() ? std::string(".") : arg;
+  if (path.size() >= 7 &&
+      path.compare(path.size() - 7, 7, ".ndjson") == 0) {
+    return path;
+  }
+  return path + "/TELEMETRY_" + name + ".ndjson";
+}
+
+/// Process-wide --telemetry configuration (off unless the flag was given).
+struct TelemetryConfig {
+  bool enabled = false;
+  std::string name;          ///< bench name (default sample label)
+  std::string path;          ///< ndjson stream target
+  std::uint64_t interval = 32;  ///< sample every this many rounds
+};
+
+inline TelemetryConfig& telemetry() {
+  static TelemetryConfig cfg;
+  return cfg;
+}
+
+inline bool telemetry_enabled() { return telemetry().enabled; }
+
+/// The shared ndjson stream all TelemetryScopes of this process append
+/// to (one timeline file per bench run). nullptr when --telemetry is off.
+inline std::ostream* telemetry_stream() {
+  if (!telemetry().enabled) return nullptr;
+  static std::ofstream file(telemetry().path, std::ios::trunc);
+  return file ? &file : nullptr;
+}
+
+/// --repeat count (default 1).
+inline int& repeat_count() {
+  static int k = 1;
+  return k;
+}
+
+/// Run `fn(rep)` repeat_count() times and return the repetition with the
+/// median key (ties toward the earlier rep). `key` extracts the wall-time
+/// measurement to order by. With --repeat 1 (the default) this is a plain
+/// call, so wrapping a sweep point is free.
+template <class Fn, class Key>
+auto median_of_repeats(Fn fn, Key key) -> decltype(fn(0)) {
+  const int k = std::max(1, repeat_count());
+  using Result = decltype(fn(0));
+  std::vector<Result> reps;
+  reps.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) reps.push_back(fn(i));
+  std::stable_sort(reps.begin(), reps.end(),
+                   [&](const Result& a, const Result& b) {
+                     return key(a) < key(b);
+                   });
+  return reps[(reps.size() - 1) / 2];
+}
+
+/// RAII wrapper a bench puts around one measured system: attaches an
+/// obs::Sampler to the network when --telemetry is on (sampling every
+/// --telemetry-interval rounds into the shared ndjson stream), cuts a
+/// final sample and rewrites the OpenMetrics exposition on scope exit,
+/// and detaches before the network dies. A no-op without --telemetry.
+///
+/// Declare it AFTER the system so it is destroyed first:
+///   skeap::SkeapSystem sys(opts);
+///   bench::TelemetryScope tel(sys.net(), "n=" + std::to_string(n));
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(sim::Network& net, std::string label = "") {
+    if (!telemetry_enabled()) return;
+    obs::Sampler::Options o;
+    o.every_rounds = telemetry().interval;
+    o.label = label.empty() ? telemetry().name : std::move(label);
+    sampler_ = std::make_unique<obs::Sampler>(net, std::move(o),
+                                              telemetry_stream());
+  }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  ~TelemetryScope() { finish(); }
+
+  /// Final sample + OpenMetrics rewrite + detach. Idempotent.
+  void finish() {
+    if (sampler_ == nullptr) return;
+    sampler_->sample();  // flush the last partial interval
+    write_openmetrics_file();
+    sampler_.reset();    // detaches the round observer
+  }
+
+  /// The attached sampler (nullptr when --telemetry is off).
+  obs::Sampler* sampler() { return sampler_.get(); }
+
+ private:
+  // TELEMETRY_<name>.ndjson -> TELEMETRY_<name>.om; rewritten per scope,
+  // so the exposition reflects the most recent sweep point.
+  void write_openmetrics_file() const {
+    std::string path = telemetry().path;
+    const std::string suffix = ".ndjson";
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      path.resize(path.size() - suffix.size());
+    }
+    path += ".om";
+    std::ofstream om(path, std::ios::trunc);
+    if (om) obs::write_openmetrics(om, *sampler_);
+  }
+
+  std::unique_ptr<obs::Sampler> sampler_;
+};
+
 /// Parse the shared bench flags. Call first thing in main().
 inline void init(const std::string& name, int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -346,6 +476,21 @@ inline void init(const std::string& name, int argc, char** argv) {
       max_n_limit() = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path() = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      std::string path;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        path = argv[++i];
+      }
+      telemetry().enabled = true;
+      telemetry().name = name;
+      telemetry().path = telemetry_output_path(name, path);
+    } else if (std::strcmp(argv[i], "--telemetry-interval") == 0 &&
+               i + 1 < argc) {
+      const std::uint64_t r = std::strtoull(argv[++i], nullptr, 10);
+      if (r > 0) telemetry().interval = r;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat_count() =
+          std::max(1, static_cast<int>(std::strtol(argv[++i], nullptr, 10)));
     } else if (std::strcmp(argv[i], "--wire") == 0) {
       // Must run before the first Network is constructed (it is: init is
       // the first statement of every bench main). Equivalent to running
@@ -361,6 +506,7 @@ inline void init(const std::string& name, int argc, char** argv) {
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: bench_%s [--json [path]] [--max-n N] [--trace path] "
+          "[--telemetry [path]] [--telemetry-interval R] [--repeat k] "
           "[--wire] [--threads N] [--shards S]\n"
           "\n"
           "  --json [path]  mirror table rows (plus a report section with\n"
@@ -371,6 +517,16 @@ inline void init(const std::string& name, int argc, char** argv) {
           "  --trace path   dump a Perfetto/chrome://tracing JSON trace of\n"
           "                 the first traced execution to `path`; open it\n"
           "                 at https://ui.perfetto.dev\n"
+          "  --telemetry [path]\n"
+          "                 stream live time-series samples (ndjson, one\n"
+          "                 object per sample) into TELEMETRY_%s.ndjson\n"
+          "                 plus an OpenMetrics exposition (*.om); view\n"
+          "                 live with examples/sks_top or after the fact\n"
+          "                 with trace_inspect --timeline\n"
+          "  --telemetry-interval R\n"
+          "                 sample every R rounds (default 32)\n"
+          "  --repeat k     run each timed point k times, report the\n"
+          "                 median-by-wall-time repetition\n"
           "  --wire         marshal every message through the byte-exact\n"
           "                 wire codec (encode -> bytes -> decode) and\n"
           "                 record measured encoded sizes alongside the\n"
@@ -380,7 +536,7 @@ inline void init(const std::string& name, int argc, char** argv) {
           "                 trace, only wall time)\n"
           "  --shards S     execution shards (default SKS_SHARDS or auto\n"
           "                 from n; rounded down to a power of two)\n",
-          name.c_str(), name.c_str());
+          name.c_str(), name.c_str(), name.c_str());
       std::exit(0);
     }
   }

@@ -1,0 +1,131 @@
+// sks_top — live console dashboard over a continuous-telemetry stream.
+//
+// Any bench started with --telemetry appends one ndjson sample per
+// interval to TELEMETRY_<name>.ndjson; sks_top tails that file and
+// redraws a top(1)-style view: the most recent samples as a timeline
+// table, per-series last/min/max over the retained window, and a
+// cumulative status row.
+//
+//   sks_top <telemetry.ndjson>            follow mode: redraw as samples
+//                                         arrive (Ctrl-C to quit)
+//   sks_top <telemetry.ndjson> --once     render once and exit (CI-able)
+//   --interval <ms>                       poll period in follow mode
+//                                         (default 500)
+//   --lines <N>                           timeline rows shown (default 20)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/series.hpp"
+#include "obs/timeline.hpp"
+
+using namespace sks;
+
+namespace {
+
+struct TopOptions {
+  std::string path;
+  bool once = false;
+  int interval_ms = 500;
+  std::size_t lines = 20;
+};
+
+/// Last/min/max of one series across the retained rows.
+void series_stats(const std::vector<obs::TimelineRow>& rows,
+                  obs::SeriesId id, double* last, double* mn, double* mx) {
+  const std::size_t i = static_cast<std::size_t>(id);
+  *last = rows.back().values[i];
+  *mn = *mx = rows.front().values[i];
+  for (const obs::TimelineRow& r : rows) {
+    *mn = std::min(*mn, r.values[i]);
+    *mx = std::max(*mx, r.values[i]);
+  }
+}
+
+void render(const TopOptions& opt, const std::vector<obs::TimelineRow>& rows,
+            bool clear) {
+  // ANSI clear + home keeps follow mode flicker-free on any terminal.
+  if (clear) std::printf("\033[2J\033[H");
+  std::printf("sks_top — %s (%zu samples)\n\n", opt.path.c_str(),
+              rows.size());
+  obs::render_timeline(std::cout, rows, opt.lines);
+
+  std::printf("\n%-16s %12s %12s %12s\n", "series", "last", "min", "max");
+  for (const obs::SeriesId id :
+       {obs::SeriesId::kRoundsPerSec, obs::SeriesId::kMessages,
+        obs::SeriesId::kInFlight, obs::SeriesId::kPoolAllocated,
+        obs::SeriesId::kPoolParked, obs::SeriesId::kImbalance}) {
+    double last = 0.0, mn = 0.0, mx = 0.0;
+    series_stats(rows, id, &last, &mn, &mx);
+    std::printf("%-16s %12.1f %12.1f %12.1f\n", obs::series_name(id), last,
+                mn, mx);
+  }
+  std::printf("\n");
+  obs::render_timeline_summary(std::cout, rows);
+  std::fflush(stdout);
+}
+
+std::vector<obs::TimelineRow> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  return obs::read_timeline(in);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TopOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      opt.once = true;
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      opt.interval_ms = std::max(50, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--lines") == 0 && i + 1 < argc) {
+      opt.lines = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--", 2) != 0 && opt.path.empty()) {
+      opt.path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: sks_top <telemetry.ndjson> [--once] "
+                   "[--interval ms] [--lines N]\n");
+      return 1;
+    }
+  }
+  if (opt.path.empty()) {
+    std::fprintf(stderr,
+                 "usage: sks_top <telemetry.ndjson> [--once] "
+                 "[--interval ms] [--lines N]\n");
+    return 1;
+  }
+
+  if (opt.once) {
+    const std::vector<obs::TimelineRow> rows = read_file(opt.path);
+    if (rows.empty()) {
+      std::fprintf(stderr, "sks_top: no telemetry samples in '%s'\n",
+                   opt.path.c_str());
+      return 1;
+    }
+    render(opt, rows, /*clear=*/false);
+    return 0;
+  }
+
+  // Follow mode: re-read and redraw whenever the sample count changes.
+  // The writer flushes whole lines, and the reader drops a trailing
+  // partial line, so mid-write polls never show torn samples.
+  std::size_t last_count = 0;
+  for (;;) {
+    const std::vector<obs::TimelineRow> rows = read_file(opt.path);
+    if (rows.size() != last_count && !rows.empty()) {
+      last_count = rows.size();
+      render(opt, rows, /*clear=*/true);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opt.interval_ms));
+  }
+}

@@ -1,0 +1,27 @@
+# Smoke test for the telemetry console consumers: writes a two-sample
+# ndjson stream (with one malformed line the readers must skip), then
+# checks that `trace_inspect --timeline` and `sks_top --once` both render
+# it. Run via the `timeline_smoke` ctest (see CMakeLists.txt).
+set(stream "${WORK_DIR}/timeline_smoke.ndjson")
+file(WRITE "${stream}"
+  "{\"t\":32,\"epoch\":1,\"rounds\":32,\"wall_ms\":1.5,\"rounds_per_sec\":21000,\"messages\":120,\"bits\":9600,\"drops\":0,\"retransmits\":0,\"suspects\":0,\"declared_dead\":0,\"recoveries\":0,\"pool_allocated\":64,\"pool_parked\":0,\"in_flight\":12,\"shard_imbalance\":1}\n"
+  "not json\n"
+  "{\"t\":64,\"epoch\":2,\"rounds\":32,\"wall_ms\":3.1,\"rounds_per_sec\":20000,\"messages\":90,\"bits\":7200,\"drops\":2,\"retransmits\":1,\"suspects\":0,\"declared_dead\":0,\"recoveries\":0,\"pool_allocated\":64,\"pool_parked\":8,\"in_flight\":0,\"shard_imbalance\":1.25}\n")
+
+execute_process(COMMAND "${TRACE_INSPECT}" --timeline "${stream}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_inspect --timeline failed (${rc}): ${err}")
+endif()
+if(NOT out MATCHES "2 samples" OR NOT out MATCHES "210 messages")
+  message(FATAL_ERROR "trace_inspect --timeline summary wrong:\n${out}")
+endif()
+
+execute_process(COMMAND "${SKS_TOP}" "${stream}" --once
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sks_top --once failed (${rc}): ${err}")
+endif()
+if(NOT out MATCHES "rounds_per_sec" OR NOT out MATCHES "2 samples")
+  message(FATAL_ERROR "sks_top --once output wrong:\n${out}")
+endif()

@@ -8,11 +8,20 @@
 //                                  <prefix>.bin / .json / .txt, then
 //                                  inspect the .bin. The .json opens at
 //                                  https://ui.perfetto.dev
+//   trace_inspect --timeline <telemetry.ndjson>
+//                                  render a continuous-telemetry stream
+//                                  (a bench's --telemetry output) as the
+//                                  per-sample timeline table plus a
+//                                  cumulative summary line
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "obs/timeline.hpp"
 #include "skeap/skeap_system.hpp"
 #include "trace/binary.hpp"
 #include "trace/perfetto.hpp"
@@ -100,6 +109,25 @@ std::string demo(const std::string& prefix) {
   return prefix + ".bin";
 }
 
+int timeline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_inspect: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  const std::vector<obs::TimelineRow> rows = obs::read_timeline(in);
+  if (rows.empty()) {
+    std::fprintf(stderr, "trace_inspect: no telemetry samples in '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("%s: telemetry timeline\n\n", path.c_str());
+  obs::render_timeline(std::cout, rows);
+  std::printf("\n");
+  obs::render_timeline_summary(std::cout, rows);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,12 +135,16 @@ int main(int argc, char** argv) {
     inspect(demo(argv[2]));
     return 0;
   }
+  if (argc == 3 && std::strcmp(argv[1], "--timeline") == 0) {
+    return timeline(argv[2]);
+  }
   if (argc == 2 && std::strncmp(argv[1], "--", 2) != 0) {
     inspect(argv[1]);
     return 0;
   }
   std::fprintf(stderr,
                "usage: trace_inspect <dump.bin>\n"
-               "       trace_inspect --demo <prefix>\n");
+               "       trace_inspect --demo <prefix>\n"
+               "       trace_inspect --timeline <telemetry.ndjson>\n");
   return 1;
 }

@@ -1,0 +1,83 @@
+// OpenMetrics text exposition for the telemetry sampler.
+//
+// Renders a Sampler's cumulative counters and latest gauge levels in the
+// OpenMetrics text format (the Prometheus exposition superset): one
+// `# TYPE` header per family, `_total`-suffixed counter samples, and the
+// mandatory `# EOF` terminator. Metric names carry the `sks_` prefix;
+// every sample carries the sampler's `run` label so expositions from
+// several benches can be scraped into one store.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/sampler.hpp"
+
+namespace sks::obs {
+
+namespace detail {
+/// Escape a label value per the exposition format (backslash, quote,
+/// newline).
+inline std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace detail
+
+/// Write one complete OpenMetrics exposition of `sampler`'s state.
+inline void write_openmetrics(std::ostream& os, const Sampler& sampler) {
+  const std::string label =
+      "{run=\"" + detail::escape_label(sampler.options().label) + "\"}";
+  const Sampler::Cumulative& c = sampler.cumulative();
+
+  auto counter = [&](const char* name, const char* help, std::uint64_t v) {
+    os << "# TYPE sks_" << name << " counter\n"
+       << "# HELP sks_" << name << " " << help << "\n"
+       << "sks_" << name << "_total" << label << " " << v << "\n";
+  };
+  auto gauge = [&](const char* name, const char* help, double v) {
+    os << "# TYPE sks_" << name << " gauge\n"
+       << "# HELP sks_" << name << " " << help << "\n"
+       << "sks_" << name << label << " " << v << "\n";
+  };
+
+  counter("rounds", "simulator rounds elapsed", c.rounds);
+  counter("messages", "host-crossing messages delivered", c.messages);
+  counter("message_bits", "sum of delivered message sizes", c.bits);
+  counter("drops", "messages lost in the channel", c.drops);
+  counter("retransmits", "reliable-transport re-sends", c.retransmits);
+  counter("suspects", "failure-detector suspicions raised", c.suspects);
+  counter("declared_dead", "nodes declared crash-stopped", c.declared_dead);
+  counter("recoveries", "suspected nodes reintegrated", c.recoveries);
+  counter("telemetry_samples", "sample points cut", c.samples);
+
+  auto latest = [&](SeriesId id) {
+    const TimeSeries& s = sampler.series(id);
+    return s.empty() ? 0.0 : s.back().value;
+  };
+  gauge("rounds_per_sec", "simulator rounds per wall second",
+        latest(SeriesId::kRoundsPerSec));
+  gauge("pool_allocated_blocks", "payload-pool blocks ever heap-allocated",
+        latest(SeriesId::kPoolAllocated));
+  gauge("pool_parked_blocks", "payload blocks parked in shared overflows",
+        latest(SeriesId::kPoolParked));
+  gauge("in_flight_messages", "data messages in flight",
+        latest(SeriesId::kInFlight));
+  gauge("shard_imbalance", "max/mean per-shard deliveries, last interval",
+        latest(SeriesId::kImbalance));
+
+  os << "# EOF\n";
+}
+
+}  // namespace sks::obs

@@ -1,0 +1,94 @@
+// Wall-clock attribution for protocol-phase spans.
+//
+// The tracer's phase hooks describe *logical* spans (begin/end per node
+// per epoch) with no notion of wall time — by design, so traces stay
+// bit-identical across thread counts. The PhaseProfiler attaches to a
+// tracer as a live PhaseObserver and keeps the wall-clock side channel:
+// per phase name, how many spans opened/closed and how many wall
+// nanoseconds elapsed between each begin and its matching end. Attaching
+// it never perturbs the recorded trace (see trace::PhaseObserver).
+//
+// on_phase may fire concurrently from shard worker threads; a mutex
+// serializes the book-keeping. Phase transitions are per-node-per-epoch
+// rare, so the lock is noise against the protocol work between them.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+#include "trace/tracer.hpp"
+
+namespace sks::obs {
+
+struct PhaseTotals {
+  std::uint64_t begins = 0;
+  std::uint64_t ends = 0;
+  std::uint64_t wall_ns = 0;  ///< summed begin->end wall time, all nodes
+};
+
+class PhaseProfiler final : public trace::PhaseObserver {
+ public:
+  /// Attach to `tracer` for the profiler's lifetime. The observer slot
+  /// is exclusive; the destructor detaches (destroy the profiler before
+  /// the network that owns the tracer).
+  explicit PhaseProfiler(trace::Tracer& tracer) : tracer_(&tracer) {
+    tracer_->set_phase_observer(this);
+  }
+
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  ~PhaseProfiler() override { detach(); }
+
+  void detach() {
+    if (tracer_ != nullptr && tracer_->phase_observer() == this) {
+      tracer_->set_phase_observer(nullptr);
+    }
+    tracer_ = nullptr;
+  }
+
+  void on_phase(NodeId node, const char* name, bool begin,
+                std::uint64_t epoch) override {
+    (void)epoch;
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (begin) {
+      ++totals_[name].begins;
+      // A re-begin without an end (protocol retry) just restarts the
+      // span clock.
+      open_[{node, name}] = now;
+    } else {
+      PhaseTotals& t = totals_[name];
+      ++t.ends;
+      auto it = open_.find({node, name});
+      if (it != open_.end()) {
+        t.wall_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - it->second)
+                .count());
+        open_.erase(it);
+      }
+    }
+  }
+
+  /// Per-phase totals so far (copied under the lock).
+  std::map<std::string, PhaseTotals> totals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return totals_;
+  }
+
+ private:
+  trace::Tracer* tracer_;
+  mutable std::mutex mu_;
+  std::map<std::string, PhaseTotals> totals_;  ///< keyed by phase name
+  std::map<std::pair<NodeId, std::string>,
+           std::chrono::steady_clock::time_point>
+      open_;  ///< spans begun and not yet ended
+};
+
+}  // namespace sks::obs

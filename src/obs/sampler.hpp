@@ -1,0 +1,243 @@
+// Continuous-telemetry sampler: folds metric deltas into time series.
+//
+// The Sampler turns the terminal aggregates the repo already keeps
+// (sim::Metrics scalars, payload-pool gauges) into a timeline: each
+// sample() cuts a delta since the previous sample and appends one point
+// per metric to a fixed-capacity TimeSeries ring, optionally emitting
+// the same sample as one ndjson line on a live stream (the format
+// `examples/sks_top` and `trace_inspect --timeline` consume).
+//
+// Sampling cadence is the caller's choice: per epoch (the cluster's
+// epoch observer / bench helpers call sample() explicitly) or every R
+// rounds (attach() installs the network's round observer). Either way
+// every read happens at a round barrier on the coordinator thread — the
+// sampler never races the engine — and wall-clock is read only at
+// sample points, so the per-round cost of an attached sampler is the
+// round-observer branch plus nothing.
+//
+// Deltas survive metric-window resets: if a cumulative counter went
+// backwards since the last sample (a bench called Metrics::take()), the
+// current value *is* the delta — the window restarted from zero.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/series.hpp"
+#include "sim/network.hpp"
+#include "sim/payload.hpp"
+
+namespace sks::obs {
+
+class Sampler {
+ public:
+  struct Options {
+    /// Auto-sample every this many rounds via the network's round
+    /// observer (attach()); 0 = manual/per-epoch sampling only.
+    std::uint64_t every_rounds = 0;
+    std::size_t capacity = 1024;  ///< points retained per series
+    std::string label = "run";    ///< exported as the `run` metric label
+  };
+
+  /// Cumulative event counts since the sampler was constructed (immune
+  /// to bench-side Metrics::take() window resets) — what the OpenMetrics
+  /// exposition publishes as counters.
+  struct Cumulative {
+    std::uint64_t rounds = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t suspects = 0;
+    std::uint64_t declared_dead = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t samples = 0;
+  };
+
+  explicit Sampler(sim::Network& net) : Sampler(net, Options()) {}
+
+  Sampler(sim::Network& net, Options opts, std::ostream* stream = nullptr)
+      : net_(&net),
+        opts_(std::move(opts)),
+        stream_(stream),
+        start_(std::chrono::steady_clock::now()),
+        last_wall_(start_) {
+    series_.reserve(kNumSeries);
+    for (std::size_t i = 0; i < kNumSeries; ++i) {
+      series_.emplace_back(opts_.capacity);
+    }
+    // Baseline the deltas at the current totals so the first sample
+    // reports the first interval, not the whole pre-attach history.
+    read_raw(last_);
+    last_round_ = net.round();
+    if (opts_.every_rounds > 0) attach();
+  }
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  ~Sampler() { detach(); }
+
+  /// Install the network round observer (sample every `every_rounds`).
+  /// The observer slot is exclusive; the sampler owns it until detach().
+  void attach() {
+    SKS_CHECK(opts_.every_rounds > 0);
+    net_->set_round_observer([this](std::uint64_t r) {
+      if (r % opts_.every_rounds == 0) sample();
+    });
+    attached_ = true;
+  }
+
+  /// Uninstall the round observer. Idempotent; must run before the
+  /// network is destroyed (the destructor calls it, so destroying the
+  /// sampler first is enough).
+  void detach() {
+    if (attached_) {
+      net_->set_round_observer(nullptr);
+      attached_ = false;
+    }
+  }
+
+  /// Cut one sample point: deltas since the previous sample for the
+  /// counter series, current levels for the gauges. `epoch` tags the
+  /// point for epoch-driven cadences (0 otherwise).
+  void sample(std::uint64_t epoch = 0) {
+    Raw cur;
+    read_raw(cur);
+    const std::uint64_t t = net_->round();
+    const std::uint64_t round_delta = t - last_round_;
+    const auto now = std::chrono::steady_clock::now();
+    const double interval_s =
+        std::chrono::duration<double>(now - last_wall_).count();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(now - start_).count();
+    last_wall_ = now;
+    last_round_ = t;
+
+    double v[kNumSeries] = {};
+    v[idx(SeriesId::kRoundsPerSec)] =
+        interval_s > 0.0 ? static_cast<double>(round_delta) / interval_s
+                         : 0.0;
+    v[idx(SeriesId::kMessages)] =
+        static_cast<double>(delta(cur.messages, last_.messages));
+    v[idx(SeriesId::kBits)] =
+        static_cast<double>(delta(cur.bits, last_.bits));
+    v[idx(SeriesId::kDrops)] =
+        static_cast<double>(delta(cur.drops, last_.drops));
+    v[idx(SeriesId::kRetransmits)] =
+        static_cast<double>(delta(cur.retransmits, last_.retransmits));
+    v[idx(SeriesId::kSuspects)] =
+        static_cast<double>(delta(cur.suspects, last_.suspects));
+    v[idx(SeriesId::kDeclaredDead)] =
+        static_cast<double>(delta(cur.declared_dead, last_.declared_dead));
+    v[idx(SeriesId::kRecoveries)] =
+        static_cast<double>(delta(cur.recoveries, last_.recoveries));
+    const sim::PoolStats pools = sim::PoolDirectory::instance().totals();
+    v[idx(SeriesId::kPoolAllocated)] = static_cast<double>(pools.allocated);
+    v[idx(SeriesId::kPoolParked)] = static_cast<double>(pools.parked_global);
+    v[idx(SeriesId::kInFlight)] = static_cast<double>(net_->data_in_flight());
+    v[idx(SeriesId::kImbalance)] = imbalance(cur.shard_messages);
+
+    for (std::size_t i = 0; i < kNumSeries; ++i) series_[i].push(t, v[i]);
+
+    cum_.rounds += round_delta;
+    cum_.messages += delta(cur.messages, last_.messages);
+    cum_.bits += delta(cur.bits, last_.bits);
+    cum_.drops += delta(cur.drops, last_.drops);
+    cum_.retransmits += delta(cur.retransmits, last_.retransmits);
+    cum_.suspects += delta(cur.suspects, last_.suspects);
+    cum_.declared_dead += delta(cur.declared_dead, last_.declared_dead);
+    cum_.recoveries += delta(cur.recoveries, last_.recoveries);
+    ++cum_.samples;
+    last_ = std::move(cur);
+
+    if (stream_ != nullptr) {
+      emit_ndjson(*stream_, t, epoch, round_delta, wall_ms, v);
+    }
+  }
+
+  const TimeSeries& series(SeriesId id) const { return series_[idx(id)]; }
+  const Cumulative& cumulative() const { return cum_; }
+  const Options& options() const { return opts_; }
+  const sim::Network& net() const { return *net_; }
+
+ private:
+  /// One consistent read of every cumulative source. Scalar facade
+  /// accessors only — no snapshot maps are materialized on a sample.
+  struct Raw {
+    std::uint64_t messages = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t suspects = 0;
+    std::uint64_t declared_dead = 0;
+    std::uint64_t recoveries = 0;
+    std::vector<std::uint64_t> shard_messages;
+  };
+
+  static constexpr std::size_t idx(SeriesId id) {
+    return static_cast<std::size_t>(id);
+  }
+
+  /// Window-reset-tolerant delta (see file comment).
+  static std::uint64_t delta(std::uint64_t cur, std::uint64_t prev) {
+    return cur >= prev ? cur - prev : cur;
+  }
+
+  void read_raw(Raw& out) const {
+    const sim::Metrics& m = net_->metrics();
+    out.messages = m.total_messages();
+    out.bits = m.total_bits();
+    out.drops = m.dropped();
+    out.retransmits = m.retransmitted();
+    out.suspects = m.suspects();
+    out.declared_dead = m.declared_dead();
+    out.recoveries = m.recoveries();
+    out.shard_messages = m.shard_message_counts();
+  }
+
+  /// Max/mean of per-shard delivery deltas this interval: 1.0 = evenly
+  /// loaded shards, S = all traffic on one of S shards.
+  double imbalance(const std::vector<std::uint64_t>& cur) const {
+    if (cur.size() != last_.shard_messages.size() || cur.size() < 2) {
+      return 1.0;
+    }
+    std::uint64_t sum = 0, mx = 0;
+    for (std::size_t s = 0; s < cur.size(); ++s) {
+      const std::uint64_t d = delta(cur[s], last_.shard_messages[s]);
+      sum += d;
+      mx = std::max(mx, d);
+    }
+    if (sum == 0) return 1.0;
+    return static_cast<double>(mx) * static_cast<double>(cur.size()) /
+           static_cast<double>(sum);
+  }
+
+  void emit_ndjson(std::ostream& os, std::uint64_t t, std::uint64_t epoch,
+                   std::uint64_t round_delta, double wall_ms,
+                   const double (&v)[kNumSeries]) const {
+    os << "{\"t\":" << t << ",\"epoch\":" << epoch
+       << ",\"rounds\":" << round_delta << ",\"wall_ms\":" << wall_ms;
+    for (std::size_t i = 0; i < kNumSeries; ++i) {
+      os << ",\"" << series_name(static_cast<SeriesId>(i))
+         << "\":" << v[i];
+    }
+    os << "}\n" << std::flush;  // line-buffered so sks_top can tail live
+  }
+
+  sim::Network* net_;
+  Options opts_;
+  std::ostream* stream_;
+  bool attached_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_wall_;
+  std::uint64_t last_round_ = 0;
+  Raw last_;
+  Cumulative cum_;
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace sks::obs

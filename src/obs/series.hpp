@@ -1,0 +1,133 @@
+// Fixed-capacity time series for continuous telemetry.
+//
+// A TimeSeries is a drop-oldest ring of (t, value) points: a run keeps a
+// bounded, queryable timeline of each sampled metric instead of one
+// terminal aggregate, and a long run's memory stays constant. The time
+// axis is the simulator round (the only clock the deterministic engine
+// has); wall-clock time rides along as an ordinary series where needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sks::obs {
+
+struct SeriesPoint {
+  std::uint64_t t = 0;  ///< simulator round of the sample
+  double value = 0.0;
+};
+
+/// The fixed catalogue of sampled series (obs::Sampler fills one
+/// TimeSeries per entry; the ndjson stream and the timeline reader key
+/// fields by series_name).
+enum class SeriesId : std::size_t {
+  kRoundsPerSec = 0,  ///< simulator rounds per wall second, this interval
+  kMessages,          ///< messages delivered this interval
+  kBits,              ///< message bits this interval
+  kDrops,             ///< channel losses this interval
+  kRetransmits,       ///< reliable-transport re-sends this interval
+  kSuspects,          ///< failure-detector suspicions this interval
+  kDeclaredDead,      ///< declared crash-stops this interval
+  kRecoveries,        ///< suspects that proved alive this interval
+  kPoolAllocated,     ///< payload-pool blocks ever heap-allocated (gauge)
+  kPoolParked,        ///< blocks parked in the shared overflows (gauge)
+  kInFlight,          ///< data messages in flight at the sample (gauge)
+  kImbalance,         ///< max/mean per-shard deliveries this interval
+  kCount
+};
+
+inline constexpr std::size_t kNumSeries =
+    static_cast<std::size_t>(SeriesId::kCount);
+
+inline const char* series_name(SeriesId id) {
+  switch (id) {
+    case SeriesId::kRoundsPerSec: return "rounds_per_sec";
+    case SeriesId::kMessages: return "messages";
+    case SeriesId::kBits: return "bits";
+    case SeriesId::kDrops: return "drops";
+    case SeriesId::kRetransmits: return "retransmits";
+    case SeriesId::kSuspects: return "suspects";
+    case SeriesId::kDeclaredDead: return "declared_dead";
+    case SeriesId::kRecoveries: return "recoveries";
+    case SeriesId::kPoolAllocated: return "pool_allocated";
+    case SeriesId::kPoolParked: return "pool_parked";
+    case SeriesId::kInFlight: return "in_flight";
+    case SeriesId::kImbalance: return "shard_imbalance";
+    case SeriesId::kCount: break;
+  }
+  return "?";
+}
+
+/// Whether a series is a monotone event count (OpenMetrics `counter`,
+/// sampled as interval deltas) or a point-in-time level (`gauge`).
+inline bool series_is_counter(SeriesId id) {
+  switch (id) {
+    case SeriesId::kMessages:
+    case SeriesId::kBits:
+    case SeriesId::kDrops:
+    case SeriesId::kRetransmits:
+    case SeriesId::kSuspects:
+    case SeriesId::kDeclaredDead:
+    case SeriesId::kRecoveries:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 1024) : ring_(capacity) {
+    SKS_CHECK(capacity > 0);
+  }
+
+  void push(std::uint64_t t, double value) {
+    ring_[head_] = SeriesPoint{t, value};
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// i-th retained point in chronological order (0 = oldest retained).
+  const SeriesPoint& operator[](std::size_t i) const {
+    SKS_CHECK(i < size_);
+    return ring_[(head_ + ring_.size() - size_ + i) % ring_.size()];
+  }
+
+  const SeriesPoint& back() const { return (*this)[size_ - 1]; }
+
+  double min() const {
+    double m = (*this)[0].value;
+    for (std::size_t i = 1; i < size_; ++i) {
+      if ((*this)[i].value < m) m = (*this)[i].value;
+    }
+    return m;
+  }
+
+  double max() const {
+    double m = (*this)[0].value;
+    for (std::size_t i = 1; i < size_; ++i) {
+      if ((*this)[i].value > m) m = (*this)[i].value;
+    }
+    return m;
+  }
+
+  double sum() const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) s += (*this)[i].value;
+    return s;
+  }
+
+ private:
+  std::vector<SeriesPoint> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t size_ = 0;  ///< points retained (<= capacity)
+};
+
+}  // namespace sks::obs

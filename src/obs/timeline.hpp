@@ -1,0 +1,146 @@
+// Reader/renderer for the telemetry ndjson stream.
+//
+// The sampler writes one flat JSON object per sample (numbers only, no
+// nesting), so a full JSON parser is overkill: read_timeline extracts
+// the known numeric fields with a small key scanner, tolerating unknown
+// extra fields and skipping malformed lines (a live stream's last line
+// may be mid-write). render_timeline prints the sampled time-series
+// table `trace_inspect --timeline` and `sks_top` show.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/series.hpp"
+
+namespace sks::obs {
+
+struct TimelineRow {
+  std::uint64_t t = 0;      ///< simulator round of the sample
+  std::uint64_t epoch = 0;  ///< epoch tag (0 for round-driven cadence)
+  std::uint64_t rounds = 0; ///< rounds elapsed in the interval
+  double wall_ms = 0.0;     ///< wall clock since sampler start
+  double values[kNumSeries] = {};  ///< indexed by SeriesId
+};
+
+namespace detail {
+/// Find `"key":` in `line` and parse the number after it. Returns false
+/// when the key is absent or not followed by a number.
+inline bool scan_field(const std::string& line, const char* key,
+                       double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+}  // namespace detail
+
+/// Parse one ndjson line into a row. Returns false for lines that are
+/// not complete sample objects.
+inline bool parse_timeline_line(const std::string& line, TimelineRow* row) {
+  if (line.empty() || line.front() != '{' ||
+      line.find('}') == std::string::npos) {
+    return false;
+  }
+  double t = 0.0;
+  if (!detail::scan_field(line, "t", &t)) return false;
+  row->t = static_cast<std::uint64_t>(t);
+  double tmp = 0.0;
+  if (detail::scan_field(line, "epoch", &tmp)) {
+    row->epoch = static_cast<std::uint64_t>(tmp);
+  }
+  if (detail::scan_field(line, "rounds", &tmp)) {
+    row->rounds = static_cast<std::uint64_t>(tmp);
+  }
+  detail::scan_field(line, "wall_ms", &row->wall_ms);
+  for (std::size_t i = 0; i < kNumSeries; ++i) {
+    detail::scan_field(line, series_name(static_cast<SeriesId>(i)),
+                       &row->values[i]);
+  }
+  return true;
+}
+
+inline std::vector<TimelineRow> read_timeline(std::istream& in) {
+  std::vector<TimelineRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    TimelineRow row;
+    if (parse_timeline_line(line, &row)) rows.push_back(row);
+  }
+  return rows;
+}
+
+/// Print the sampled time series as an aligned table: per-sample epoch,
+/// rounds, traffic, fault/recovery events and the live gauges. With
+/// `max_rows` > 0 only the most recent rows are shown (sks_top's tail
+/// view); 0 prints everything.
+inline void render_timeline(std::ostream& os,
+                            const std::vector<TimelineRow>& rows,
+                            std::size_t max_rows = 0) {
+  const std::size_t first =
+      max_rows > 0 && rows.size() > max_rows ? rows.size() - max_rows : 0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%8s %6s %7s %10s %10s %12s %6s %7s %8s %8s %9s %7s %6s\n",
+                "round", "epoch", "rounds", "wall_ms", "rnds/s", "messages",
+                "bits/msg", "drops", "retrans", "suspect", "dead+rec",
+                "inflight", "imbal");
+  os << buf;
+  for (std::size_t i = first; i < rows.size(); ++i) {
+    const TimelineRow& r = rows[i];
+    auto v = [&](SeriesId id) {
+      return r.values[static_cast<std::size_t>(id)];
+    };
+    const double msgs = v(SeriesId::kMessages);
+    const double bits_per_msg =
+        msgs > 0.0 ? v(SeriesId::kBits) / msgs : 0.0;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%8llu %6llu %7llu %10.1f %10.0f %12.0f %6.1f %7.0f %8.0f %8.0f %4.0f+%-4.0f %7.0f %6.2f\n",
+        static_cast<unsigned long long>(r.t),
+        static_cast<unsigned long long>(r.epoch),
+        static_cast<unsigned long long>(r.rounds), r.wall_ms,
+        v(SeriesId::kRoundsPerSec), msgs, bits_per_msg,
+        v(SeriesId::kDrops), v(SeriesId::kRetransmits),
+        v(SeriesId::kSuspects), v(SeriesId::kDeclaredDead),
+        v(SeriesId::kRecoveries), v(SeriesId::kInFlight),
+        v(SeriesId::kImbalance));
+    os << buf;
+  }
+  if (first > 0) {
+    os << "(" << first << " earlier sample" << (first == 1 ? "" : "s")
+       << " not shown)\n";
+  }
+}
+
+/// One-line footer summarizing a timeline (sks_top's status row).
+inline void render_timeline_summary(std::ostream& os,
+                                    const std::vector<TimelineRow>& rows) {
+  double msgs = 0.0, drops = 0.0, dead = 0.0;
+  std::uint64_t rounds = 0;
+  for (const TimelineRow& r : rows) {
+    msgs += r.values[static_cast<std::size_t>(SeriesId::kMessages)];
+    drops += r.values[static_cast<std::size_t>(SeriesId::kDrops)];
+    dead += r.values[static_cast<std::size_t>(SeriesId::kDeclaredDead)];
+    rounds += r.rounds;
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%zu samples | %llu rounds | %.0f messages | %.0f drops | "
+                "%.0f declared dead\n",
+                rows.size(), static_cast<unsigned long long>(rounds), msgs,
+                drops, dead);
+  os << buf;
+}
+
+}  // namespace sks::obs

@@ -235,6 +235,11 @@ class OverlayNode : public sim::DispatchingNode {
   /// Install the overlay links (bootstrap or after a membership change).
   void install_links(NodeLinks links) { links_ = std::move(links); }
 
+  /// The network's metrics facade — public so components attached to a
+  /// node (the failure detector) can record health counters alongside
+  /// their tracer events.
+  sim::Metrics& metrics() { return net().metrics(); }
+
   const NodeLinks& links() const { return links_; }
   const VirtualState& vstate(VKind k) const { return links_.at(k); }
   bool hosts_anchor() const { return links_.at(VKind::kLeft).is_anchor; }

@@ -328,6 +328,7 @@ class RecoveryComponent {
           m.suspected_at = now;
           m.last_probe = now;
           host_.tracer().lifecycle(trace::EventKind::kSuspect, v);
+          host_.metrics().record_suspect();
           host_.send_background(v, sim::make_payload<SuspectProbe>());
         }
         continue;
@@ -337,6 +338,7 @@ class RecoveryComponent {
         m.declared = true;
         declared_.insert(v);
         host_.tracer().lifecycle(trace::EventKind::kDeclareDead, v);
+        host_.metrics().record_declared_dead();
         continue;
       }
       if (now - m.last_probe >=
@@ -356,6 +358,7 @@ class RecoveryComponent {
     if (m.state == MonitorState::kSuspect) {
       m.state = MonitorState::kAlive;
       host_.tracer().lifecycle(trace::EventKind::kRecover, from);
+      host_.metrics().record_recovery();
     }
   }
 

@@ -254,6 +254,7 @@ class Cluster {
     st.bits = cur.total_bits() - bits0;
     st.congestion_high_water = cur.max_congestion();
     epoch_history_.push_back(st);
+    if (epoch_observer_) epoch_observer_(st);
     ++epochs_started_;
     return rounds;
   }
@@ -263,6 +264,13 @@ class Cluster {
 
   const std::vector<EpochStats>& epoch_history() const {
     return epoch_history_;
+  }
+
+  /// Invoked with each epoch's EpochStats right after it is appended to
+  /// the history (both the plain and the recovered epoch paths). The
+  /// telemetry sampler uses this to cut per-epoch sample points.
+  void set_epoch_observer(std::function<void(const EpochStats&)> obs) {
+    epoch_observer_ = std::move(obs);
   }
 
   /// Drive the network to quiescence outside an epoch (bootstrap traffic,
@@ -566,6 +574,7 @@ class Cluster {
     st.bits = cur.total_bits() - bits0;
     st.congestion_high_water = cur.max_congestion();
     epoch_history_.push_back(st);
+    if (epoch_observer_) epoch_observer_(st);
     ++epochs_started_;
     return rounds;
   }
@@ -698,6 +707,7 @@ class Cluster {
   std::set<NodeId> active_;
   std::uint64_t epochs_started_ = 0;
   std::vector<EpochStats> epoch_history_;
+  std::function<void(const EpochStats&)> epoch_observer_;
   /// Nodes that were down at start_all time this epoch, and the start
   /// function to apply if they restart before the epoch quiesces.
   std::set<NodeId> missed_start_;

@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <map>
@@ -128,6 +129,17 @@ struct MetricsSnapshot {
   /// Envelope header bits (RouteHop/VertexMsg fields + inner tag), keyed
   /// by the envelope type's own action name.
   std::map<std::string, std::uint64_t> wire_envelope_bits_by_type;
+  // Failure-detector health events (recovery/recovery.hpp). All zero when
+  // no detector is installed.
+  std::uint64_t suspects = 0;       ///< liveness suspicions raised
+  std::uint64_t declared_dead = 0;  ///< suspicions that hit the death bound
+  std::uint64_t recoveries = 0;     ///< suspects that proved alive again
+  // Per-execution-shard load, shard-major (index = shard id). Message
+  // counts are deterministic; busy_ns is wall-clock and only nonzero on
+  // the multi-shard path. Intentionally NOT part of the determinism
+  // contract (tests compare an explicit field list).
+  std::vector<std::uint64_t> shard_messages;
+  std::vector<std::uint64_t> shard_busy_ns;
 };
 
 /// One execution shard's metric accumulators. The network routes every
@@ -211,6 +223,11 @@ class MetricsShard {
     }
   }
 
+  /// Wall-clock nanoseconds this shard's round_work spent executing.
+  /// Written by the owning worker thread between barriers (multi-shard
+  /// path only; the sequential path skips the clock reads entirely).
+  void add_busy_ns(std::uint64_t ns) { busy_ns_ += ns; }
+
   /// Fold this round's per-node delivery counts into the congestion
   /// aggregates. Runs at the end of every round, inside the shard.
   void on_round_end() {
@@ -253,6 +270,7 @@ class MetricsShard {
     wire_messages_ = 0;
     wire_body_bits_ = 0;
     wire_frame_bits_ = 0;
+    busy_ns_ = 0;
     message_bits_hist_.clear();
     congestion_hist_.clear();
     by_action_.assign(by_action_.size(), ActionCounters{});
@@ -271,6 +289,7 @@ class MetricsShard {
   std::uint64_t wire_messages_ = 0;
   std::uint64_t wire_body_bits_ = 0;
   std::uint64_t wire_frame_bits_ = 0;
+  std::uint64_t busy_ns_ = 0;
   Log2Histogram message_bits_hist_;
   Log2Histogram congestion_hist_;
   std::vector<ActionCounters> by_action_;  ///< flat, indexed by ActionId
@@ -288,6 +307,29 @@ class Metrics {
   explicit Metrics(std::size_t num_nodes) : shards_(1) {
     shards_[0].by_action_.resize(ActionRegistry::instance().size());
     shards_[0].received_this_round_.assign(num_nodes, 0);
+  }
+
+  // Movable so Network stays movable (the atomic health counters would
+  // otherwise delete the defaults). Moves only happen single-threaded,
+  // before/ between runs, so relaxed value transfer is enough.
+  Metrics(Metrics&& other) noexcept
+      : rounds_(other.rounds_),
+        shards_(std::move(other.shards_)),
+        suspects_(other.suspects_.load(std::memory_order_relaxed)),
+        declared_dead_(other.declared_dead_.load(std::memory_order_relaxed)),
+        recoveries_(other.recoveries_.load(std::memory_order_relaxed)) {}
+
+  Metrics& operator=(Metrics&& other) noexcept {
+    rounds_ = other.rounds_;
+    shards_ = std::move(other.shards_);
+    suspects_.store(other.suspects_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    declared_dead_.store(
+        other.declared_dead_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    recoveries_.store(other.recoveries_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
   }
 
   /// Re-partition the congestion slots across `num_shards` execution
@@ -339,11 +381,47 @@ class Metrics {
   std::uint64_t wire_messages() const { return sum(&MetricsShard::wire_messages_); }
   std::uint64_t wire_body_bits() const { return sum(&MetricsShard::wire_body_bits_); }
 
+  // Failure-detector health events. Detector ticks run on shard worker
+  // threads, so these are relaxed atomics (pure event counts — ordering
+  // is irrelevant, only the total is read, at barriers or sample points).
+  void record_suspect() { suspects_.fetch_add(1, std::memory_order_relaxed); }
+  void record_declared_dead() {
+    declared_dead_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_recovery() { recoveries_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t suspects() const {
+    return suspects_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t declared_dead() const {
+    return declared_dead_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recoveries() const {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-shard delivery counts / busy wall-ns, shard-major — the cheap
+  /// load-balance reads for telemetry (no snapshot maps materialized).
+  std::vector<std::uint64_t> shard_message_counts() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(shards_.size());
+    for (const MetricsShard& sh : shards_) out.push_back(sh.total_messages_);
+    return out;
+  }
+  std::vector<std::uint64_t> shard_busy_ns() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(shards_.size());
+    for (const MetricsShard& sh : shards_) out.push_back(sh.busy_ns_);
+    return out;
+  }
+
   /// Snapshot the current window and start a fresh one.
   MetricsSnapshot take() {
     MetricsSnapshot out = current();
     rounds_ = 0;
     for (MetricsShard& sh : shards_) sh.reset();
+    suspects_.store(0, std::memory_order_relaxed);
+    declared_dead_.store(0, std::memory_order_relaxed);
+    recoveries_.store(0, std::memory_order_relaxed);
     return out;
   }
 
@@ -354,8 +432,15 @@ class Metrics {
   MetricsSnapshot current() const {
     MetricsSnapshot snap;
     snap.rounds = rounds_;
+    snap.suspects = suspects();
+    snap.declared_dead = declared_dead();
+    snap.recoveries = recoveries();
+    snap.shard_messages.reserve(shards_.size());
+    snap.shard_busy_ns.reserve(shards_.size());
     const ActionRegistry& registry = ActionRegistry::instance();
     for (const MetricsShard& m : shards_) {
+      snap.shard_messages.push_back(m.total_messages_);
+      snap.shard_busy_ns.push_back(m.busy_ns_);
       snap.total_messages += m.total_messages_;
       snap.total_bits += m.total_bits_;
       snap.max_message_bits = std::max(snap.max_message_bits, m.max_message_bits_);
@@ -413,6 +498,9 @@ class Metrics {
 
   std::uint64_t rounds_ = 0;
   std::vector<MetricsShard> shards_;
+  std::atomic<std::uint64_t> suspects_{0};
+  std::atomic<std::uint64_t> declared_dead_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
 };
 
 }  // namespace sks::sim

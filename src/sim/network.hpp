@@ -45,6 +45,7 @@
 #pragma once
 
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
@@ -372,6 +373,7 @@ class Network {
       for (Shard& sh : shards_) tracer_.fold(sh.sink);
     }
     metrics_.end_round();
+    if (round_observer_) round_observer_(round_);
   }
 
   /// Quiescence. Pure ack traffic does not count — acks chase messages
@@ -575,6 +577,33 @@ class Network {
     restart_hook_ = std::move(hook);
   }
 
+  /// Invoked (with the round number) at the end of every step(), after
+  /// the barrier — coordinator context, all shard state folded. The
+  /// telemetry sampler (src/obs/) hangs off this; unset it costs one
+  /// predictable branch per round.
+  void set_round_observer(std::function<void(std::uint64_t)> obs) {
+    round_observer_ = std::move(obs);
+  }
+
+  /// Per-slot busy/wait profile of the worker pool (slot 0 = the thread
+  /// driving step()). Empty when the engine runs without a pool.
+  std::vector<WorkerProfile> worker_profiles() const {
+    if (pool_ == nullptr) return {};
+    return pool_->profiles();
+  }
+
+  /// Data messages currently in flight (excludes acks and background
+  /// detector traffic) — the live backlog gauge telemetry exports.
+  std::uint64_t data_in_flight() const {
+    std::uint64_t in = 0, ack = 0, bg = 0;
+    for (const Shard& sh : shards_) {
+      in += sh.in_flight;
+      ack += sh.ack_in_flight;
+      bg += sh.bg_in_flight;
+    }
+    return in - ack - bg;
+  }
+
   /// Event tracer for this network's executions. Disabled by default;
   /// enable() before the execution to capture, then trace::build_trace
   /// and an exporter (src/trace/) to render it.
@@ -738,7 +767,17 @@ class Network {
   void run_shard(std::size_t s) {
     Shard& sh = shards_[s];
     ExecGuard guard(this, s, &sh.sink);
+    // Per-shard wall-clock attribution (multi-shard path only — the
+    // sequential engine never reaches here, keeping its round loop free
+    // of clock reads). Two steady_clock calls against a whole shard
+    // round is noise; the resulting busy spread is the load-imbalance
+    // signal the --scaling bench reports.
+    const auto start = std::chrono::steady_clock::now();
     round_work(sh);
+    metrics_.shard(s).add_busy_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
   }
 
   /// The round body proper. With one shard this is called directly (no
@@ -1140,6 +1179,7 @@ class Network {
   Metrics metrics_;
   trace::Tracer tracer_;
   std::function<void(NodeId)> restart_hook_;
+  std::function<void(std::uint64_t)> round_observer_;
 };
 
 inline void Node::send(NodeId to, PayloadPtr payload) {

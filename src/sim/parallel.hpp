@@ -22,6 +22,7 @@
 // state stays consistent (one whole round either ran or threw).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -32,14 +33,27 @@
 
 namespace sks::sim {
 
+/// Wall-clock accounting for one pool participant (slot 0 is the calling
+/// thread, slots 1..N the persistent workers). busy_ns is time inside
+/// job functions; wait_ns is time parked on the pool's condition
+/// variables — for workers that includes the idle gap between rounds, so
+/// busy/(busy+wait) is utilization over the pool's whole lifetime, and
+/// the busy spread across slots is the thread-imbalance signal.
+struct WorkerProfile {
+  std::uint64_t busy_ns = 0;  ///< inside fn(ctx, i)
+  std::uint64_t wait_ns = 0;  ///< parked on wake/done condition variables
+  std::uint64_t jobs = 0;     ///< indices executed
+};
+
 class WorkerPool {
  public:
   using JobFn = void (*)(void* ctx, std::size_t index);
 
-  explicit WorkerPool(std::size_t num_workers) {
+  explicit WorkerPool(std::size_t num_workers)
+      : profiles_(num_workers + 1) {
     threads_.reserve(num_workers);
     for (std::size_t i = 0; i < num_workers; ++i) {
-      threads_.emplace_back([this] { worker_loop(); });
+      threads_.emplace_back([this, i] { worker_loop(i + 1); });
     }
   }
 
@@ -57,6 +71,19 @@ class WorkerPool {
 
   std::size_t num_workers() const { return threads_.size(); }
 
+  /// Per-slot busy/wait accounting since construction (or the last
+  /// reset_profiles). Slot 0 is the calling thread. Copied under the pool
+  /// mutex, so it is safe to call between run() invocations.
+  std::vector<WorkerProfile> profiles() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return profiles_;
+  }
+
+  void reset_profiles() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (WorkerProfile& p : profiles_) p = WorkerProfile{};
+  }
+
   /// Execute fn(ctx, i) for every i in [0, count), on the workers and the
   /// calling thread; returns after all indices completed (the barrier).
   void run(std::size_t count, void* ctx, JobFn fn) {
@@ -73,9 +100,11 @@ class WorkerPool {
       gen = ++generation_;
     }
     wake_cv_.notify_all();
-    work(gen);
+    work(gen, 0);
     std::unique_lock<std::mutex> lock(mu_);
+    const auto wait_start = std::chrono::steady_clock::now();
     done_cv_.wait(lock, [this] { return done_ == count_; });
+    profiles_[0].wait_ns += elapsed_ns(wait_start);
     if (error_ != nullptr) {
       std::exception_ptr e = error_;
       error_ = nullptr;
@@ -84,10 +113,18 @@ class WorkerPool {
   }
 
  private:
+  static std::uint64_t elapsed_ns(
+      std::chrono::steady_clock::time_point since) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - since)
+            .count());
+  }
+
   /// Claim-and-execute loop shared by workers and the calling thread.
   /// The generation check makes a straggler from a finished job bounce
   /// off the next one instead of stealing its indices.
-  void work(std::uint64_t gen) {
+  void work(std::uint64_t gen, std::size_t slot) {
     for (;;) {
       JobFn fn;
       void* ctx;
@@ -99,36 +136,42 @@ class WorkerPool {
         fn = fn_;
         ctx = ctx_;
       }
+      const auto job_start = std::chrono::steady_clock::now();
       try {
         fn(ctx, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
         if (error_ == nullptr) error_ = std::current_exception();
       }
+      const std::uint64_t busy = elapsed_ns(job_start);
       {
         std::lock_guard<std::mutex> lock(mu_);
+        profiles_[slot].busy_ns += busy;
+        ++profiles_[slot].jobs;
         ++done_;
         if (done_ == count_) done_cv_.notify_all();
       }
     }
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t slot) {
     std::uint64_t seen = 0;
     for (;;) {
       std::uint64_t gen;
       {
         std::unique_lock<std::mutex> lock(mu_);
+        const auto wait_start = std::chrono::steady_clock::now();
         wake_cv_.wait(lock,
                       [&] { return stop_ || generation_ != seen; });
+        profiles_[slot].wait_ns += elapsed_ns(wait_start);
         if (stop_) return;
         seen = gen = generation_;
       }
-      work(gen);
+      work(gen, slot);
     }
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable wake_cv_;  ///< coordinator -> workers: new job
   std::condition_variable done_cv_;  ///< workers -> coordinator: all done
   std::vector<std::thread> threads_;
@@ -140,6 +183,7 @@ class WorkerPool {
   std::uint64_t generation_ = 0;
   std::exception_ptr error_;
   bool stop_ = false;
+  std::vector<WorkerProfile> profiles_;  ///< slot 0 = caller, 1..N = workers
 };
 
 }  // namespace sks::sim

@@ -137,6 +137,70 @@ class ActionRegistry {
   std::atomic<std::uint32_t> count_{0};
 };
 
+/// Point-in-time occupancy of one payload type's pool. `allocated` is
+/// cumulative heap blocks ever created for the type (a warmed-up run
+/// holds it flat — the zero-alloc property, now observable as a gauge);
+/// `parked_global` is blocks currently in the shared overflow list.
+struct PoolStats {
+  std::uint64_t allocated = 0;
+  std::uint64_t parked_global = 0;
+};
+
+/// Process-wide directory of payload pools, so telemetry can read pool
+/// occupancy without naming payload types. Registration happens once per
+/// type (from the pool's shared-state constructor); the stat callbacks
+/// read only static-duration atomics, so querying is safe at any point
+/// in the process lifetime, including during static destruction. Layout
+/// follows ActionRegistry: fixed entry array published through an
+/// acquire/release counter, lock-free reads.
+class PoolDirectory {
+ public:
+  using StatFn = PoolStats (*)();
+
+  static PoolDirectory& instance() {
+    static PoolDirectory dir;
+    return dir;
+  }
+
+  void register_pool(const char* name, StatFn fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint32_t n = count_.load(std::memory_order_relaxed);
+    SKS_CHECK_MSG(n < ActionRegistry::kMaxActions, "pool directory full");
+    entries_[n].name = name;
+    entries_[n].fn = fn;
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
+
+  const char* name(std::size_t i) const { return entries_[i].name; }
+  PoolStats stats(std::size_t i) const { return entries_[i].fn(); }
+
+  /// Fold every registered pool into one occupancy gauge pair.
+  PoolStats totals() const {
+    PoolStats out;
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const PoolStats s = entries_[i].fn();
+      out.allocated += s.allocated;
+      out.parked_global += s.parked_global;
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    const char* name = nullptr;
+    StatFn fn = nullptr;
+  };
+
+  PoolDirectory() : entries_(ActionRegistry::kMaxActions) {}
+
+  std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::atomic<std::uint32_t> count_{0};
+};
+
 struct Payload {
   virtual ~Payload() = default;
 
@@ -257,6 +321,14 @@ class PayloadPool {
     return freelist().blocks.size() + g.blocks.size();
   }
 
+  /// Occupancy gauges for the pool directory: reads only the static
+  /// atomics, never the lists, so it is callable from any thread at any
+  /// time (telemetry samples mid-run).
+  static PoolStats stats() {
+    return PoolStats{allocated_.load(std::memory_order_relaxed),
+                     parked_global_.load(std::memory_order_relaxed)};
+  }
+
  private:
   /// Per-thread freelist bound; beyond it a batch spills to the global
   /// overflow list so blocks stranded on a mostly-recycling thread flow
@@ -270,6 +342,10 @@ class PayloadPool {
   struct Global {
     std::mutex mu;
     std::vector<void*> blocks;
+    Global() {
+      PoolDirectory::instance().register_pool(T::kActionName,
+                                              &PayloadPool::stats);
+    }
     ~Global() {
       for (void* b : blocks) ::operator delete(b);
     }
@@ -284,6 +360,7 @@ class PayloadPool {
       Global& g = global();
       std::lock_guard<std::mutex> lock(g.mu);
       g.blocks.insert(g.blocks.end(), blocks.begin(), blocks.end());
+      parked_global_.fetch_add(blocks.size(), std::memory_order_relaxed);
     }
   };
 
@@ -299,6 +376,7 @@ class PayloadPool {
                       fl.blocks.end() - static_cast<std::ptrdiff_t>(kBatch),
                       fl.blocks.end());
       fl.blocks.resize(fl.blocks.size() - kBatch);
+      parked_global_.fetch_add(kBatch, std::memory_order_relaxed);
     }
   }
 
@@ -316,6 +394,7 @@ class PayloadPool {
         fl.blocks.insert(fl.blocks.end(), g.blocks.end() - static_cast<std::ptrdiff_t>(take),
                          g.blocks.end());
         g.blocks.resize(g.blocks.size() - take);
+        parked_global_.fetch_sub(take, std::memory_order_relaxed);
       }
     }
     if (!fl.blocks.empty()) {
@@ -323,6 +402,7 @@ class PayloadPool {
       fl.blocks.pop_back();
       return mem;
     }
+    allocated_.fetch_add(1, std::memory_order_relaxed);
     return ::operator new(sizeof(T));
   }
 
@@ -335,6 +415,11 @@ class PayloadPool {
     thread_local Freelist fl;
     return fl;
   }
+
+  // Directory-visible gauges; trivially destructible so StatFn reads
+  // stay valid through static destruction.
+  static inline std::atomic<std::uint64_t> allocated_{0};
+  static inline std::atomic<std::uint64_t> parked_global_{0};
 };
 
 /// Allocate a payload from its type's pool. Drop-in replacement for the

@@ -142,6 +142,20 @@ inline constexpr Category category_of(EventKind k) {
 
 class Tracer;
 
+/// Live listener for protocol-phase transitions, independent of event
+/// recording: attaching one makes the phase hooks fire (enabled() turns
+/// true so guarded call sites evaluate) without buffering any Event —
+/// the recorded trace stays byte-identical whether or not an observer is
+/// attached. The telemetry layer (src/obs/) uses this for wall-clock
+/// attribution of phase spans. on_phase may be called concurrently from
+/// shard worker threads; implementations synchronize internally.
+class PhaseObserver {
+ public:
+  virtual ~PhaseObserver() = default;
+  virtual void on_phase(NodeId node, const char* name, bool begin,
+                        std::uint64_t epoch) = 0;
+};
+
 /// One shard's private event buffer. Hooks append here while the owning
 /// shard executes (no shared mutation, no seq assignment); the
 /// coordinator folds sinks back into the tracer at the round barrier.
@@ -180,9 +194,18 @@ struct TraceSink {
 
 class Tracer {
  public:
-  bool enabled() const { return enabled_; }
+  /// True when hooks should fire: recording is on, or a phase observer
+  /// needs the phase hooks to be reached. Call sites guard argument
+  /// evaluation with this; the recording paths themselves stay gated on
+  /// the recording flag alone, so an observer never perturbs the trace.
+  bool enabled() const { return enabled_ || phase_observer_ != nullptr; }
   void enable() { enabled_ = true; }
   void disable() { enabled_ = false; }
+
+  /// Attach (or detach, with nullptr) a live phase listener. See
+  /// PhaseObserver.
+  void set_phase_observer(PhaseObserver* obs) { phase_observer_ = obs; }
+  PhaseObserver* phase_observer() const { return phase_observer_; }
 
   /// Drop all recorded events (the name table survives: span ids stay
   /// valid across clears so cached ids at call sites never dangle).
@@ -250,6 +273,9 @@ class Tracer {
   /// Open a protocol-phase span on `node`. `name` must have static
   /// storage duration (string literal) — it is interned by pointer first.
   void phase_begin(NodeId node, const char* name, std::uint64_t epoch) {
+    if (phase_observer_ != nullptr) {
+      phase_observer_->on_phase(node, name, /*begin=*/true, epoch);
+    }
     if (!enabled_) return;
     if (TraceSink* sink = routed_sink()) {
       sink->push(EventKind::kPhaseBegin, node, kNoNode, sink->intern(name),
@@ -261,6 +287,9 @@ class Tracer {
   }
 
   void phase_end(NodeId node, const char* name, std::uint64_t epoch) {
+    if (phase_observer_ != nullptr) {
+      phase_observer_->on_phase(node, name, /*begin=*/false, epoch);
+    }
     if (!enabled_) return;
     if (TraceSink* sink = routed_sink()) {
       sink->push(EventKind::kPhaseEnd, node, kNoNode, sink->intern(name), 0,
@@ -369,6 +398,7 @@ class Tracer {
   inline static thread_local TraceSink* tls_sink_ = nullptr;
 
   bool enabled_ = false;
+  PhaseObserver* phase_observer_ = nullptr;
   std::uint64_t round_ = 0;
   std::uint64_t seq_ = 0;
   std::vector<Event> buffers_[kNumCategories];

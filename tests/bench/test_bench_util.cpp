@@ -1,0 +1,156 @@
+// Tests for the shared bench helpers (bench/bench_util.hpp): the --json
+// and --telemetry path resolution (including arguments shorter than the
+// extension, which must be treated as directories rather than read out
+// of bounds), the --repeat median selection, and a TelemetryScope
+// round trip through the ndjson stream and OpenMetrics exposition.
+#include "bench/bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hpp"
+#include "sim/dispatch.hpp"
+#include "sim/network.hpp"
+
+namespace sks::bench {
+namespace {
+
+TEST(JsonOutputPath, EmptyArgDefaultsToCurrentDirectory) {
+  EXPECT_EQ(json_output_path("faults", ""), "./BENCH_faults.json");
+}
+
+TEST(JsonOutputPath, DirectoryArgGetsDefaultFileName) {
+  EXPECT_EQ(json_output_path("faults", "out"), "out/BENCH_faults.json");
+  EXPECT_EQ(json_output_path("faults", "/tmp/results"),
+            "/tmp/results/BENCH_faults.json");
+}
+
+TEST(JsonOutputPath, ExplicitJsonFileIsKeptVerbatim) {
+  EXPECT_EQ(json_output_path("faults", "/tmp/custom.json"),
+            "/tmp/custom.json");
+  // The extension alone is a (degenerate) explicit file, not a directory.
+  EXPECT_EQ(json_output_path("faults", ".json"), ".json");
+}
+
+TEST(JsonOutputPath, ArgsShorterThanTheExtensionAreDirectories) {
+  // Regression guard: the suffix check must not inspect path.size()-5
+  // when the argument has fewer than 5 characters.
+  EXPECT_EQ(json_output_path("x", "a"), "a/BENCH_x.json");
+  EXPECT_EQ(json_output_path("x", "ab"), "ab/BENCH_x.json");
+  EXPECT_EQ(json_output_path("x", "abcd"), "abcd/BENCH_x.json");
+  EXPECT_EQ(json_output_path("x", "v.js"), "v.js/BENCH_x.json");
+}
+
+TEST(TelemetryOutputPath, MirrorsTheJsonRules) {
+  EXPECT_EQ(telemetry_output_path("skeap_rounds", ""),
+            "./TELEMETRY_skeap_rounds.ndjson");
+  EXPECT_EQ(telemetry_output_path("skeap_rounds", "/tmp"),
+            "/tmp/TELEMETRY_skeap_rounds.ndjson");
+  EXPECT_EQ(telemetry_output_path("skeap_rounds", "/tmp/t.ndjson"),
+            "/tmp/t.ndjson");
+  EXPECT_EQ(telemetry_output_path("x", "abc"), "abc/TELEMETRY_x.ndjson");
+}
+
+TEST(MedianOfRepeats, DefaultSingleRepetitionIsAPlainCall) {
+  repeat_count() = 1;
+  int calls = 0;
+  const double r = median_of_repeats(
+      [&](int) {
+        ++calls;
+        return 42.0;
+      },
+      [](double v) { return v; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(r, 42.0);
+}
+
+TEST(MedianOfRepeats, OddCountPicksTheMiddleByKey) {
+  repeat_count() = 5;
+  const std::vector<double> walls = {5.0, 1.0, 9.0, 3.0, 7.0};
+  int calls = 0;
+  struct Result {
+    int rep;
+    double wall;
+  };
+  const Result r = median_of_repeats(
+      [&](int rep) {
+        ++calls;
+        return Result{rep, walls[static_cast<std::size_t>(rep)]};
+      },
+      [](const Result& x) { return x.wall; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_DOUBLE_EQ(r.wall, 5.0);  // sorted keys 1,3,5,7,9 -> median 5
+  EXPECT_EQ(r.rep, 0);
+  repeat_count() = 1;
+}
+
+TEST(MedianOfRepeats, EvenCountPicksTheLowerMiddle) {
+  repeat_count() = 4;
+  const std::vector<double> walls = {4.0, 1.0, 3.0, 2.0};
+  const double r = median_of_repeats(
+      [&](int rep) { return walls[static_cast<std::size_t>(rep)]; },
+      [](double v) { return v; });
+  EXPECT_DOUBLE_EQ(r, 2.0);  // sorted 1,2,3,4 -> index (4-1)/2 = 1
+  repeat_count() = 1;
+}
+
+/// A node with no handlers — enough to make the network tick rounds.
+class IdleNode : public sim::DispatchingNode {};
+
+TEST(TelemetryScope, StreamsNdjsonAndWritesOpenMetrics) {
+  const std::string ndjson = "test_bench_util_telemetry.ndjson";
+  const std::string om = "test_bench_util_telemetry.om";
+  telemetry().enabled = true;
+  telemetry().name = "unit";
+  telemetry().path = ndjson;
+  telemetry().interval = 2;
+
+  {
+    sim::Network net;
+    net.add_node(std::make_unique<IdleNode>());
+    TelemetryScope tel(net, "unit-scope");
+    ASSERT_NE(tel.sampler(), nullptr);
+    for (int i = 0; i < 5; ++i) net.step();
+    // Samples fired at rounds 2 and 4; finish() (via the destructor)
+    // cuts the final partial interval and writes the exposition.
+  }
+  telemetry().enabled = false;
+
+  std::ifstream in(ndjson);
+  ASSERT_TRUE(in.is_open());
+  const std::vector<obs::TimelineRow> rows = obs::read_timeline(in);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].t, 2u);
+  EXPECT_EQ(rows[1].t, 4u);
+  EXPECT_EQ(rows[2].t, 5u);
+
+  std::ifstream omf(om);
+  ASSERT_TRUE(omf.is_open());
+  std::stringstream buf;
+  buf << omf.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("sks_rounds_total{run=\"unit-scope\"} 5"),
+            std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  std::remove(ndjson.c_str());
+  std::remove(om.c_str());
+}
+
+TEST(TelemetryScope, IsANoOpWhenDisabled) {
+  telemetry().enabled = false;
+  sim::Network net;
+  net.add_node(std::make_unique<IdleNode>());
+  TelemetryScope tel(net);
+  EXPECT_EQ(tel.sampler(), nullptr);
+  for (int i = 0; i < 3; ++i) net.step();  // no observer, no stream
+}
+
+}  // namespace
+}  // namespace sks::bench

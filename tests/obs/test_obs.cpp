@@ -1,0 +1,287 @@
+// Tests for the continuous-telemetry layer (src/obs/): time-series
+// rings, the sampler's delta/cadence semantics, the OpenMetrics and
+// ndjson exporters, the timeline reader, and the phase profiler's
+// no-perturbation contract.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/openmetrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/sampler.hpp"
+#include "obs/series.hpp"
+#include "obs/timeline.hpp"
+#include "sim/dispatch.hpp"
+#include "sim/network.hpp"
+#include "skeap/skeap_system.hpp"
+
+namespace sks {
+namespace {
+
+struct ObsPing final : sim::Action<ObsPing> {
+  static constexpr const char* kActionName = "obs.ping";
+  std::uint64_t hops = 0;
+  std::uint64_t size_bits() const override { return 24; }
+  void encode(wire::WireWriter& w) const override { w.leb(hops); }
+  static sim::Owned<ObsPing> decode(wire::WireReader& r) {
+    auto p = sim::make_payload<ObsPing>();
+    p->hops = r.leb();
+    return p;
+  }
+};
+
+/// Bounces a token to the next node for a fixed number of hops, so a
+/// run generates a known message count.
+class RelayNode : public sim::DispatchingNode {
+ public:
+  RelayNode() {
+    on<ObsPing>([this](NodeId, sim::Owned<ObsPing> p) {
+      if (p->hops == 0) return;
+      auto next = sim::make_payload<ObsPing>();
+      next->hops = p->hops - 1;
+      send((id() + 1) % static_cast<NodeId>(net().size()), std::move(next));
+    });
+  }
+
+  void kick(std::uint64_t hops) {
+    auto p = sim::make_payload<ObsPing>();
+    p->hops = hops;
+    send((id() + 1) % static_cast<NodeId>(net().size()), std::move(p));
+  }
+};
+
+sim::Network make_relay_net(std::size_t n) {
+  sim::Network net;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node(std::make_unique<RelayNode>());
+  }
+  return net;
+}
+
+TEST(TimeSeries, DropsOldestBeyondCapacity) {
+  obs::TimeSeries s(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    s.push(i, static_cast<double>(i * 10));
+  }
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.capacity(), 4u);
+  EXPECT_EQ(s[0].t, 3u);  // 1 and 2 dropped
+  EXPECT_EQ(s[3].t, 6u);
+  EXPECT_DOUBLE_EQ(s.back().value, 60.0);
+  EXPECT_DOUBLE_EQ(s.min(), 30.0);
+  EXPECT_DOUBLE_EQ(s.max(), 60.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 30.0 + 40.0 + 50.0 + 60.0);
+}
+
+TEST(Sampler, PerSampleDeltasAndCumulativeTotals) {
+  sim::Network net = make_relay_net(4);
+  net.node_as<RelayNode>(0).kick(10);
+  obs::Sampler sampler(net);
+  net.run_until_idle();
+  sampler.sample(/*epoch=*/1);
+  const double first =
+      sampler.series(obs::SeriesId::kMessages).back().value;
+  // The kick delivery plus its 10 relay hops.
+  EXPECT_DOUBLE_EQ(first, 11.0);
+
+  net.node_as<RelayNode>(0).kick(5);
+  net.run_until_idle();
+  sampler.sample(/*epoch=*/2);
+  EXPECT_DOUBLE_EQ(sampler.series(obs::SeriesId::kMessages).back().value,
+                   6.0);  // the kick itself + 5 hops
+  EXPECT_EQ(sampler.cumulative().messages, 17u);
+  EXPECT_EQ(sampler.cumulative().samples, 2u);
+  EXPECT_GT(sampler.cumulative().rounds, 0u);
+}
+
+TEST(Sampler, SurvivesMetricsWindowReset) {
+  sim::Network net = make_relay_net(4);
+  obs::Sampler sampler(net);
+  net.node_as<RelayNode>(0).kick(8);
+  net.run_until_idle();
+  net.metrics().take();  // bench-style window reset: counters restart at 0
+  net.node_as<RelayNode>(0).kick(3);
+  net.run_until_idle();
+  sampler.sample();
+  // Post-reset the current total (4 = kick + 3 hops) IS the delta; the
+  // pre-reset 9 messages are unobservable but must not underflow.
+  EXPECT_DOUBLE_EQ(sampler.series(obs::SeriesId::kMessages).back().value,
+                   4.0);
+}
+
+TEST(Sampler, RoundObserverCadence) {
+  sim::Network net = make_relay_net(2);
+  obs::Sampler::Options opts;
+  opts.every_rounds = 4;
+  obs::Sampler sampler(net, opts);
+  for (int i = 0; i < 10; ++i) net.step();
+  EXPECT_EQ(sampler.series(obs::SeriesId::kMessages).size(), 2u);  // r4, r8
+  sampler.detach();
+  for (int i = 0; i < 10; ++i) net.step();
+  EXPECT_EQ(sampler.series(obs::SeriesId::kMessages).size(), 2u);
+}
+
+TEST(Sampler, NdjsonStreamMatchesTimelineReader) {
+  std::ostringstream stream;
+  sim::Network net = make_relay_net(4);
+  obs::Sampler sampler(net, {}, &stream);
+  net.node_as<RelayNode>(0).kick(7);
+  net.run_until_idle();
+  sampler.sample(/*epoch=*/3);
+  net.node_as<RelayNode>(0).kick(2);
+  net.run_until_idle();
+  sampler.sample(/*epoch=*/4);
+
+  std::istringstream in(stream.str());
+  const std::vector<obs::TimelineRow> rows = obs::read_timeline(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].epoch, 3u);
+  EXPECT_EQ(rows[1].epoch, 4u);
+  EXPECT_DOUBLE_EQ(
+      rows[0].values[static_cast<std::size_t>(obs::SeriesId::kMessages)],
+      8.0);
+  EXPECT_DOUBLE_EQ(
+      rows[1].values[static_cast<std::size_t>(obs::SeriesId::kMessages)],
+      3.0);
+  EXPECT_EQ(rows[1].t, net.round());
+
+  // The renderer shows every row plus a header.
+  std::ostringstream table;
+  obs::render_timeline(table, rows);
+  EXPECT_NE(table.str().find("epoch"), std::string::npos);
+  EXPECT_NE(table.str().find("messages"), std::string::npos);
+}
+
+TEST(Timeline, SkipsMalformedLines) {
+  std::istringstream in(
+      "{\"t\":5,\"epoch\":1,\"rounds\":5,\"wall_ms\":1.5,\"messages\":2}\n"
+      "not json\n"
+      "{\"t\":9,\"epo");  // truncated mid-write
+  const std::vector<obs::TimelineRow> rows = obs::read_timeline(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].t, 5u);
+  EXPECT_DOUBLE_EQ(
+      rows[0].values[static_cast<std::size_t>(obs::SeriesId::kMessages)],
+      2.0);
+}
+
+TEST(OpenMetrics, ExpositionFormat) {
+  sim::Network net = make_relay_net(4);
+  obs::Sampler::Options opts;
+  opts.label = "unit \"test\"";
+  obs::Sampler sampler(net, opts);
+  net.node_as<RelayNode>(0).kick(6);
+  net.run_until_idle();
+  sampler.sample();
+
+  std::ostringstream os;
+  obs::write_openmetrics(os, sampler);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE sks_messages counter"), std::string::npos);
+  EXPECT_NE(text.find("sks_messages_total{run=\"unit \\\"test\\\"\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sks_rounds_per_sec gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sks_pool_allocated_blocks gauge"),
+            std::string::npos);
+  // The exposition must end with the OpenMetrics terminator.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(PhaseProfiler, AttributesWallTimeWithoutPerturbingTrace) {
+  sim::Network net = make_relay_net(2);
+  trace::Tracer& tr = net.tracer();
+  EXPECT_FALSE(tr.enabled());
+  {
+    obs::PhaseProfiler prof(tr);
+    // Attaching flips enabled() so guarded call sites reach the hooks...
+    EXPECT_TRUE(tr.enabled());
+    tr.phase_begin(0, "unit.phase", 1);
+    tr.phase_end(0, "unit.phase", 1);
+    tr.phase_begin(1, "unit.phase", 1);
+    tr.phase_end(1, "unit.phase", 1);
+    const auto totals = prof.totals();
+    ASSERT_EQ(totals.count("unit.phase"), 1u);
+    EXPECT_EQ(totals.at("unit.phase").begins, 2u);
+    EXPECT_EQ(totals.at("unit.phase").ends, 2u);
+    // ...but records nothing: the trace stays empty (recording is off).
+    EXPECT_EQ(tr.num_events(), 0u);
+  }
+  // Destruction detaches.
+  EXPECT_FALSE(tr.enabled());
+}
+
+TEST(PhaseProfiler, ObservesSkeapPhasesInARealRun) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 16;
+  skeap::SkeapSystem sys(opts);
+  obs::PhaseProfiler prof(sys.net().tracer());
+  for (NodeId v = 0; v < 16; ++v) sys.insert(v, 1 + (v % 2));
+  sys.run_batch();
+  const auto totals = prof.totals();
+  EXPECT_FALSE(totals.empty());
+  std::uint64_t begins = 0;
+  for (const auto& [name, t] : totals) {
+    begins += t.begins;
+    EXPECT_LE(t.ends, t.begins);
+  }
+  EXPECT_GT(begins, 0u);
+  // No trace was recorded (tracing stayed disabled).
+  EXPECT_EQ(sys.net().tracer().num_events(), 0u);
+}
+
+TEST(ClusterEpochObserver, FiresPerEpoch) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 8;
+  skeap::SkeapSystem sys(opts);
+  std::vector<std::uint64_t> epochs;
+  sys.cluster().set_epoch_observer(
+      [&](const runtime::EpochStats& st) { epochs.push_back(st.epoch); });
+  for (NodeId v = 0; v < 8; ++v) sys.insert(v, 1 + (v % 2));
+  sys.run_batch();
+  sys.run_batch();
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[0] + 1, epochs[1]);
+}
+
+TEST(PoolDirectory, TracksAllocations) {
+  const sim::PoolStats before = sim::PoolDirectory::instance().totals();
+  {
+    auto p = sim::make_payload<ObsPing>();
+    (void)p;
+  }
+  const sim::PoolStats after = sim::PoolDirectory::instance().totals();
+  EXPECT_GE(after.allocated, before.allocated);
+  EXPECT_GT(sim::PoolDirectory::instance().size(), 0u);
+}
+
+TEST(WorkerProfiles, ScalingRunReportsBusyAndWait) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 64;
+  opts.threads = 4;
+  opts.shards = 8;
+  skeap::SkeapSystem sys(opts);
+  for (NodeId v = 0; v < 64; ++v) sys.insert(v, 1 + (v % 2));
+  sys.run_batch();
+  const auto profiles = sys.net().worker_profiles();
+  ASSERT_EQ(profiles.size(), 4u);  // calling thread + 3 workers
+  std::uint64_t jobs = 0, busy = 0;
+  for (const auto& p : profiles) {
+    jobs += p.jobs;
+    busy += p.busy_ns;
+  }
+  EXPECT_GT(jobs, 0u);
+  EXPECT_GT(busy, 0u);
+  // Per-shard busy attribution rode along in the metrics shards.
+  const auto shard_busy = sys.net().metrics().shard_busy_ns();
+  ASSERT_EQ(shard_busy.size(), 8u);
+  std::uint64_t total_shard_busy = 0;
+  for (std::uint64_t ns : shard_busy) total_shard_busy += ns;
+  EXPECT_GT(total_shard_busy, 0u);
+}
+
+}  // namespace
+}  // namespace sks

@@ -1,0 +1,93 @@
+// Edge-case coverage for sim::Log2Histogram — the distribution store
+// behind every message-size and congestion report. Pins the quantile
+// semantics at the boundaries (empty, q=0, q=1, single bucket, all mass
+// in the top bucket) and that the extreme recordable values land in
+// valid buckets.
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace sks::sim {
+namespace {
+
+TEST(Log2Histogram, EmptyHistogramQuantilesAreZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Log2Histogram, RecordZeroLandsInBucketZero) {
+  Log2Histogram h;
+  h.record(0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  // The q-quantile of {0} is 0 for every q.
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Log2Histogram, RecordMaxLandsInTopBucket) {
+  Log2Histogram h;
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.buckets()[Log2Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.quantile(1.0), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Log2Histogram, SingleBucketAllQuantilesAgree) {
+  Log2Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(100);  // bit width 7: (64, 127]
+  EXPECT_EQ(h.quantile(0.0), 127u);
+  EXPECT_EQ(h.quantile(0.5), 127u);
+  EXPECT_EQ(h.quantile(1.0), 127u);
+}
+
+TEST(Log2Histogram, QuantileBoundariesAcrossTwoBuckets) {
+  Log2Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(3);    // bucket 2, upper 3
+  for (int i = 0; i < 50; ++i) h.record(200);  // bucket 8, upper 255
+  // q=0 is the first non-empty bucket, q=1 the last.
+  EXPECT_EQ(h.quantile(0.0), 3u);
+  EXPECT_EQ(h.quantile(1.0), 255u);
+  // The median rank (50) falls just past the low bucket's 50 values.
+  EXPECT_EQ(h.quantile(0.5), 255u);
+  EXPECT_EQ(h.quantile(0.49), 3u);
+}
+
+TEST(Log2Histogram, AllMassInTopBucketEveryQuantileIsMax) {
+  Log2Histogram h;
+  for (int i = 0; i < 5; ++i) {
+    h.record(std::numeric_limits<std::uint64_t>::max());
+    h.record(~0ull - 1);
+  }
+  EXPECT_EQ(h.quantile(0.0), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.quantile(0.5), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.quantile(1.0), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Log2Histogram, BucketUpperBounds) {
+  EXPECT_EQ(Log2Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(63), (1ull << 63) - 1);
+  EXPECT_EQ(Log2Histogram::bucket_upper(64),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Log2Histogram, MergePreservesTotalsAndQuantiles) {
+  Log2Histogram a, b;
+  for (int i = 0; i < 8; ++i) a.record(10);
+  for (int i = 0; i < 8; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 16u);
+  EXPECT_EQ(a.quantile(0.0), 15u);     // bucket of 10: (8, 15]
+  EXPECT_EQ(a.quantile(1.0), 1023u);   // bucket of 1000: (512, 1023]
+}
+
+}  // namespace
+}  // namespace sks::sim

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Compare a bench --json artifact against a committed baseline.
+
+The table benches emit BENCH_<name>.json (see bench/bench_util.hpp);
+committed baselines live in bench/baselines/ and are the same artifact
+captured from a known-good run with the exact flags CI uses. Because the
+simulator is deterministic, protocol-cost columns (rounds, messages,
+bits, overhead ratios) must match the baseline bit-for-bit on any
+machine; wall-clock columns are machine noise and are skipped unless a
+tolerance is given explicitly.
+
+    tools/bench_compare.py <baseline.json> <current.json>
+        [--tol COL=FRAC ...]   per-column relative tolerance (e.g.
+                               --tol rounds=0.05 allows +/-5%); FRAC 0
+                               means exact. Overrides the default band.
+        [--tol-default FRAC]   tolerance for every non-skipped column
+                               (default 0 = exact)
+        [--skip COL ...]       additionally skip a column by name
+
+A row is matched to the baseline row with the same key (the first
+column). Every baseline row and column must be present in the current
+artifact — a vanished sweep point is a coverage regression, not a pass.
+Exit status: 0 = within tolerance, 1 = regression (with a delta table
+on stdout), 2 = usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+# Wall-clock / rate / utilization columns: nondeterministic, skipped
+# unless the caller supplies --tol for them explicitly.
+DEFAULT_SKIP_SUBSTRINGS = (
+    "wall",
+    "ms",
+    "sec",
+    "/s",
+    "speedup",
+    "busy",
+    "wait",
+)
+
+
+def is_skipped_by_default(col: str) -> bool:
+    c = col.lower()
+    return any(s in c for s in DEFAULT_SKIP_SUBSTRINGS)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fmt(v: float) -> str:
+    return f"{v:g}"
+
+
+def compare(base: dict, cur: dict, tol: dict, tol_default: float,
+            skip: set) -> int:
+    name = base.get("bench", "?")
+    if cur.get("bench") != base.get("bench"):
+        print(f"FAIL  bench name mismatch: baseline '{name}' vs "
+              f"current '{cur.get('bench')}'")
+        return 1
+
+    failures = 0
+    checked = 0
+    rows_out = []
+
+    base_tables = base.get("tables", [])
+    cur_tables = cur.get("tables", [])
+    if len(cur_tables) < len(base_tables):
+        print(f"FAIL  {name}: baseline has {len(base_tables)} tables, "
+              f"current has {len(cur_tables)}")
+        return 1
+
+    for ti, bt in enumerate(base_tables):
+        ct = cur_tables[ti]
+        bcols, ccols = bt["columns"], ct["columns"]
+        missing = [c for c in bcols if c not in ccols]
+        if missing:
+            print(f"FAIL  {name} table {ti}: columns vanished: {missing}")
+            failures += 1
+            continue
+        # Rows are matched positionally (sweep order is deterministic and
+        # baselines are captured with the same flags CI runs); the first
+        # column is verified as a key, but it need not be unique — e.g.
+        # the recovery tables repeat n across crash counts.
+        key_col = bcols[0]
+        key_idx = ccols.index(key_col)
+        for ri, brow in enumerate(bt["rows"]):
+            key = brow[0]
+            if ri >= len(ct["rows"]):
+                print(f"FAIL  {name} table {ti}: row {ri} "
+                      f"({key_col}={fmt(key)}) vanished from the current "
+                      f"run")
+                failures += 1
+                continue
+            crow = ct["rows"][ri]
+            if crow[key_idx] != key:
+                print(f"FAIL  {name} table {ti}: row {ri} key mismatch: "
+                      f"{key_col}={fmt(key)} vs {fmt(crow[key_idx])}")
+                failures += 1
+                continue
+            for ci, col in enumerate(bcols):
+                if col in skip:
+                    continue
+                if col not in tol and is_skipped_by_default(col):
+                    continue
+                bval = brow[ci]
+                cval = crow[ccols.index(col)]
+                band = tol.get(col, tol_default)
+                denom = abs(bval) if bval != 0 else 1.0
+                delta = (cval - bval) / denom
+                ok = abs(delta) <= band + 1e-12
+                checked += 1
+                if not ok:
+                    failures += 1
+                rows_out.append((ok, ti, key, col, bval, cval, delta, band))
+
+    for ok, ti, key, col, bval, cval, delta, band in rows_out:
+        if ok:
+            continue
+        print(f"FAIL  {name} table {ti} [{fmt(key)}] {col}: "
+              f"baseline {fmt(bval)} -> current {fmt(cval)} "
+              f"({delta:+.1%}, allowed +/-{band:.1%})")
+
+    status = "REGRESSION" if failures else "ok"
+    print(f"bench_compare: {name}: {checked} cells checked, "
+          f"{failures} regressions -> {status}")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="Gate a bench --json artifact against its baseline.")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tol", action="append", default=[],
+                    metavar="COL=FRAC")
+    ap.add_argument("--tol-default", type=float, default=0.0)
+    ap.add_argument("--skip", action="append", default=[], metavar="COL")
+    args = ap.parse_args()
+
+    tol = {}
+    for spec in args.tol:
+        if "=" not in spec:
+            print(f"bench_compare: bad --tol '{spec}' (want COL=FRAC)",
+                  file=sys.stderr)
+            return 2
+        col, frac = spec.rsplit("=", 1)
+        try:
+            tol[col] = float(frac)
+        except ValueError:
+            print(f"bench_compare: bad --tol fraction '{frac}'",
+                  file=sys.stderr)
+            return 2
+
+    return compare(load(args.baseline), load(args.current), tol,
+                   args.tol_default, set(args.skip))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
