@@ -14,7 +14,14 @@
 // Semantics are revalidated at every sweep point: the batch must finish
 // and the trace checker must accept it, so a row in this table is also a
 // liveness+safety witness at that loss rate.
+//
+// With --corrupt a third sweep runs (E19): the same workload in wire mode
+// against a bit-flipping / truncating / garbage-injecting channel. Every
+// corrupted frame must be rejected by the CRC trailer and recovered by
+// retransmission — the corrupt_dlvd column counts integrity escapes and
+// the CI gate asserts it is zero at every rate.
 #include <optional>
+#include <string_view>
 
 #include "bench/bench_util.hpp"
 #include "common/rng.hpp"
@@ -43,6 +50,40 @@ RunResult run_workload(std::size_t n, double drop, bool reliable,
   bench::TelemetryScope tel(
       sys.net(), "faults drop=" + std::to_string(drop) +
                      (reliable ? " reliable" : " baseline"));
+
+  RunResult r;
+  for (NodeId v = 0; v < n; ++v) sys.insert(v, 1 + v % 3);
+  r.rounds += sys.run_batch();
+  std::size_t matched = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v % 2 != 0) continue;
+    sys.delete_min(v,
+                   [&](std::optional<Element> x) { matched += x ? 1u : 0u; });
+  }
+  r.rounds += sys.run_batch();
+  r.snap = sys.net().metrics().current();
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  r.ok = check.ok && matched == n / 2;
+  return r;
+}
+
+/// E19 leg: the E14 workload in wire mode behind a corrupting channel
+/// (bit flips at `corrupt`, truncation and garbage frames at a quarter of
+/// it), reliable transport on. Exactly-once must hold at every rate.
+RunResult run_corrupt_workload(std::size_t n, double corrupt,
+                               std::uint64_t seed) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = n;
+  opts.num_priorities = 3;
+  opts.seed = seed;
+  opts.wire = true;  // corruption mutates frame bytes
+  opts.faults.corrupt_prob = corrupt;
+  opts.faults.truncate_prob = corrupt / 4.0;
+  opts.faults.garbage_prob = corrupt / 4.0;
+  opts.reliable.enabled = true;
+  skeap::SkeapSystem sys(opts);
+  bench::TelemetryScope tel(sys.net(),
+                            "faults corrupt=" + std::to_string(corrupt));
 
   RunResult r;
   for (NodeId v = 0; v < n; ++v) sys.insert(v, 1 + v % 3);
@@ -116,5 +157,47 @@ int main(int argc, char** argv) {
   std::printf("inactive plan replays the baseline byte-for-byte: %s\n",
               identical ? "OK" : "MISMATCH");
   all_ok = all_ok && identical && inactive.ok;
+
+  // E19 — corruption sweep (opt-in so the E14 legs stay cheap by
+  // default; CI runs with --corrupt and gates corrupt_dlvd == 0).
+  bool corrupt_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--corrupt") corrupt_sweep = true;
+  }
+  if (corrupt_sweep) {
+    std::printf("\n");
+    bench::header(
+        "E19  silent-failure hardening: corruption sweep (wire mode)",
+        "Claim (integrity): every channel-mutated frame is rejected by "
+        "the CRC32C trailer and\nrecovered by retransmission — zero "
+        "corruptions reach a decoder (corrupt_dlvd column) and\nexactly-"
+        "once semantics hold at every corruption rate.");
+    const RunResult wire_base = run_corrupt_workload(kNodes, 0.0, kSeed);
+    std::printf("wire-mode fault-free baseline (n=%zu): %llu rounds, "
+                "%llu messages, semantics %s\n\n",
+                kNodes, static_cast<unsigned long long>(wire_base.rounds),
+                static_cast<unsigned long long>(
+                    wire_base.snap.total_messages),
+                wire_base.ok ? "OK" : "VIOLATED");
+    all_ok = all_ok && wire_base.ok;
+    bench::Table ctable({"corrupt_pct", "rounds", "messages", "corrupted",
+                         "corrupt_dlvd", "retransmit", "quarantined",
+                         "round_overhead", "ok"});
+    for (const double c : {0.01, 0.05, 0.10}) {
+      const RunResult r = run_corrupt_workload(kNodes, c, kSeed);
+      all_ok = all_ok && r.ok && r.snap.corrupt_delivered == 0;
+      bench::report_window(r.snap);
+      const double round_overhead =
+          static_cast<double>(r.rounds) /
+          static_cast<double>(wire_base.rounds ? wire_base.rounds : 1);
+      ctable.row({c * 100.0, static_cast<double>(r.rounds),
+                  static_cast<double>(r.snap.total_messages),
+                  static_cast<double>(r.snap.corrupted),
+                  static_cast<double>(r.snap.corrupt_delivered),
+                  static_cast<double>(r.snap.retransmitted),
+                  static_cast<double>(r.snap.quarantined), round_overhead,
+                  r.ok ? 1.0 : 0.0});
+    }
+  }
   return all_ok ? 0 : 1;
 }

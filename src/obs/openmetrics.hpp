@@ -60,6 +60,13 @@ inline void write_openmetrics(std::ostream& os, const Sampler& sampler) {
   counter("suspects", "failure-detector suspicions raised", c.suspects);
   counter("declared_dead", "nodes declared crash-stopped", c.declared_dead);
   counter("recoveries", "suspected nodes reintegrated", c.recoveries);
+  counter("corrupted", "corrupted frames rejected by the CRC trailer",
+          c.corrupted);
+  counter("quarantined", "poison records abandoned by senders",
+          c.quarantined);
+  counter("scrubs", "replica scrub-pass owner audits", c.scrubs);
+  counter("digest_mismatches", "replica state-digest mismatches",
+          c.digest_mismatches);
   counter("telemetry_samples", "sample points cut", c.samples);
 
   auto latest = [&](SeriesId id) {

@@ -54,6 +54,10 @@ class Sampler {
     std::uint64_t suspects = 0;
     std::uint64_t declared_dead = 0;
     std::uint64_t recoveries = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t scrubs = 0;
+    std::uint64_t digest_mismatches = 0;
     std::uint64_t samples = 0;
   };
 
@@ -135,6 +139,14 @@ class Sampler {
         static_cast<double>(delta(cur.declared_dead, last_.declared_dead));
     v[idx(SeriesId::kRecoveries)] =
         static_cast<double>(delta(cur.recoveries, last_.recoveries));
+    v[idx(SeriesId::kCorrupted)] =
+        static_cast<double>(delta(cur.corrupted, last_.corrupted));
+    v[idx(SeriesId::kQuarantined)] =
+        static_cast<double>(delta(cur.quarantined, last_.quarantined));
+    v[idx(SeriesId::kScrubs)] =
+        static_cast<double>(delta(cur.scrubs, last_.scrubs));
+    v[idx(SeriesId::kDigestMismatches)] = static_cast<double>(
+        delta(cur.digest_mismatches, last_.digest_mismatches));
     const sim::PoolStats pools = sim::PoolDirectory::instance().totals();
     v[idx(SeriesId::kPoolAllocated)] = static_cast<double>(pools.allocated);
     v[idx(SeriesId::kPoolParked)] = static_cast<double>(pools.parked_global);
@@ -151,6 +163,11 @@ class Sampler {
     cum_.suspects += delta(cur.suspects, last_.suspects);
     cum_.declared_dead += delta(cur.declared_dead, last_.declared_dead);
     cum_.recoveries += delta(cur.recoveries, last_.recoveries);
+    cum_.corrupted += delta(cur.corrupted, last_.corrupted);
+    cum_.quarantined += delta(cur.quarantined, last_.quarantined);
+    cum_.scrubs += delta(cur.scrubs, last_.scrubs);
+    cum_.digest_mismatches +=
+        delta(cur.digest_mismatches, last_.digest_mismatches);
     ++cum_.samples;
     last_ = std::move(cur);
 
@@ -175,6 +192,10 @@ class Sampler {
     std::uint64_t suspects = 0;
     std::uint64_t declared_dead = 0;
     std::uint64_t recoveries = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t scrubs = 0;
+    std::uint64_t digest_mismatches = 0;
     std::vector<std::uint64_t> shard_messages;
   };
 
@@ -196,6 +217,10 @@ class Sampler {
     out.suspects = m.suspects();
     out.declared_dead = m.declared_dead();
     out.recoveries = m.recoveries();
+    out.corrupted = m.corrupted();
+    out.quarantined = m.quarantined();
+    out.scrubs = m.scrubs();
+    out.digest_mismatches = m.digest_mismatches();
     out.shard_messages = m.shard_message_counts();
   }
 

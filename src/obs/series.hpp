@@ -36,6 +36,10 @@ enum class SeriesId : std::size_t {
   kPoolParked,        ///< blocks parked in the shared overflows (gauge)
   kInFlight,          ///< data messages in flight at the sample (gauge)
   kImbalance,         ///< max/mean per-shard deliveries this interval
+  kCorrupted,         ///< corrupted frames rejected this interval
+  kQuarantined,       ///< poison records quarantined this interval
+  kScrubs,            ///< scrub-pass owner audits this interval
+  kDigestMismatches,  ///< replica digest mismatches this interval
   kCount
 };
 
@@ -56,6 +60,10 @@ inline const char* series_name(SeriesId id) {
     case SeriesId::kPoolParked: return "pool_parked";
     case SeriesId::kInFlight: return "in_flight";
     case SeriesId::kImbalance: return "shard_imbalance";
+    case SeriesId::kCorrupted: return "corrupted";
+    case SeriesId::kQuarantined: return "quarantined";
+    case SeriesId::kScrubs: return "scrubs";
+    case SeriesId::kDigestMismatches: return "digest_mismatches";
     case SeriesId::kCount: break;
   }
   return "?";
@@ -72,6 +80,10 @@ inline bool series_is_counter(SeriesId id) {
     case SeriesId::kSuspects:
     case SeriesId::kDeclaredDead:
     case SeriesId::kRecoveries:
+    case SeriesId::kCorrupted:
+    case SeriesId::kQuarantined:
+    case SeriesId::kScrubs:
+    case SeriesId::kDigestMismatches:
       return true;
     default:
       return false;

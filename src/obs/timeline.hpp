@@ -91,10 +91,10 @@ inline void render_timeline(std::ostream& os,
   const std::size_t first =
       max_rows > 0 && rows.size() > max_rows ? rows.size() - max_rows : 0;
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "%8s %6s %7s %10s %10s %12s %6s %7s %8s %8s %9s %7s %6s\n",
+  std::snprintf(buf, sizeof(buf), "%8s %6s %7s %10s %10s %12s %6s %7s %8s %8s %8s %9s %7s %6s\n",
                 "round", "epoch", "rounds", "wall_ms", "rnds/s", "messages",
-                "bits/msg", "drops", "retrans", "suspect", "dead+rec",
-                "inflight", "imbal");
+                "bits/msg", "drops", "retrans", "corrupt", "suspect",
+                "dead+rec", "inflight", "imbal");
   os << buf;
   for (std::size_t i = first; i < rows.size(); ++i) {
     const TimelineRow& r = rows[i];
@@ -106,12 +106,13 @@ inline void render_timeline(std::ostream& os,
         msgs > 0.0 ? v(SeriesId::kBits) / msgs : 0.0;
     std::snprintf(
         buf, sizeof(buf),
-        "%8llu %6llu %7llu %10.1f %10.0f %12.0f %6.1f %7.0f %8.0f %8.0f %4.0f+%-4.0f %7.0f %6.2f\n",
+        "%8llu %6llu %7llu %10.1f %10.0f %12.0f %6.1f %7.0f %8.0f %8.0f %8.0f %4.0f+%-4.0f %7.0f %6.2f\n",
         static_cast<unsigned long long>(r.t),
         static_cast<unsigned long long>(r.epoch),
         static_cast<unsigned long long>(r.rounds), r.wall_ms,
         v(SeriesId::kRoundsPerSec), msgs, bits_per_msg,
         v(SeriesId::kDrops), v(SeriesId::kRetransmits),
+        v(SeriesId::kCorrupted),
         v(SeriesId::kSuspects), v(SeriesId::kDeclaredDead),
         v(SeriesId::kRecoveries), v(SeriesId::kInFlight),
         v(SeriesId::kImbalance));
@@ -126,20 +127,21 @@ inline void render_timeline(std::ostream& os,
 /// One-line footer summarizing a timeline (sks_top's status row).
 inline void render_timeline_summary(std::ostream& os,
                                     const std::vector<TimelineRow>& rows) {
-  double msgs = 0.0, drops = 0.0, dead = 0.0;
+  double msgs = 0.0, drops = 0.0, dead = 0.0, corrupt = 0.0;
   std::uint64_t rounds = 0;
   for (const TimelineRow& r : rows) {
     msgs += r.values[static_cast<std::size_t>(SeriesId::kMessages)];
     drops += r.values[static_cast<std::size_t>(SeriesId::kDrops)];
     dead += r.values[static_cast<std::size_t>(SeriesId::kDeclaredDead)];
+    corrupt += r.values[static_cast<std::size_t>(SeriesId::kCorrupted)];
     rounds += r.rounds;
   }
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "%zu samples | %llu rounds | %.0f messages | %.0f drops | "
-                "%.0f declared dead\n",
+                "%.0f corrupted | %.0f declared dead\n",
                 rows.size(), static_cast<unsigned long long>(rounds), msgs,
-                drops, dead);
+                drops, corrupt, dead);
   os << buf;
 }
 

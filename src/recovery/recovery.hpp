@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "common/types.hpp"
 #include "overlay/overlay_node.hpp"
 #include "sim/payload.hpp"
@@ -51,6 +52,12 @@ struct RecoveryConfig {
   std::uint32_t heartbeat_every = 2;  ///< rounds between heartbeats/probes
   std::uint32_t suspect_after = 8;    ///< silent rounds: alive -> suspect
   std::uint32_t declare_after = 12;   ///< further silence: suspect -> dead
+  /// Scrub cadence: every `scrub_every` committed epochs the coordinator
+  /// audits owner vs mirror state digests and repairs divergent mirrors
+  /// from the quorum (see Cluster::scrub_mirrors). Coordinator-side and
+  /// out-of-band — a scrub sends no messages and burns no rounds, so
+  /// enabling it never perturbs protocol traffic. 0 = never scrub.
+  std::uint32_t scrub_every = 1;
 };
 
 /// One replicated DHT cell. `elems` empty encodes removal of the cell.
@@ -64,6 +71,46 @@ struct DeltaEntry {
 
   bool operator==(const DeltaEntry&) const = default;
 };
+
+// ---- State digests ---------------------------------------------------
+//
+// A 64-bit fingerprint of one node's durable state (its DHT heap cells
+// plus the anchor metadata blob), computable identically by the owner
+// (from its live stores), by a mirror holder (from its Mirror map), and
+// by the coordinator's scrub pass. Cells combine with a commutative sum
+// so iteration order — std::map at the holder, arc scans at the owner —
+// never matters; elements *within* a cell and the anchor-blob words are
+// order-dependent chains because their order is part of the state.
+
+/// Seed for the digest hash chain — fixed so every party agrees.
+inline constexpr std::uint64_t kDigestSeed = 0xd16e575c2ab5ULL;
+
+/// Digest of one durable cell. Empty cells are absent cells and must not
+/// be folded in (an owner never materialises them; a mirror erases them).
+inline std::uint64_t cell_digest(std::uint8_t space, Point key,
+                                 const std::vector<Element>& elems) {
+  std::uint64_t h = hash_u64(kDigestSeed, space);
+  h = hash_u64(h, key);
+  for (const Element& el : elems) {
+    h = hash_u64(h, el.prio);
+    h = hash_u64(h, el.id);
+  }
+  return h;
+}
+
+/// Digest of a full durable state given as owner-side cell entries.
+inline std::uint64_t state_digest(
+    const std::vector<DeltaEntry>& entries,
+    const std::vector<std::uint64_t>& anchor_blob, bool has_anchor) {
+  std::uint64_t sum = 0;
+  for (const DeltaEntry& e : entries) {
+    if (e.elems.empty()) continue;
+    sum += cell_digest(e.space, e.key, e.elems);
+  }
+  std::uint64_t a = hash_u64(kDigestSeed, has_anchor ? 1 : 0);
+  for (std::uint64_t w : anchor_blob) a = hash_u64(a, w);
+  return sum + a;
+}
 
 /// Periodic lease renewal, node -> each of its monitors (successors).
 struct Heartbeat final : sim::Action<Heartbeat> {
@@ -106,9 +153,14 @@ struct ReplicaDelta final : sim::Action<ReplicaDelta> {
   std::vector<DeltaEntry> entries;
   std::vector<std::uint64_t> anchor_blob;
   bool has_anchor = false;
+  /// state_digest of the owner's FULL post-epoch durable state (not of
+  /// this delta): the holder re-derives it from the staged mirror after
+  /// applying the delta, so any divergence — a corrupted mirror, a lost
+  /// delta, a replication bug — is caught at apply time.
+  std::uint64_t digest = 0;
 
   std::uint64_t size_bits() const override {
-    std::uint64_t bits = 64;  // owner + counts + flags
+    std::uint64_t bits = 128;  // owner + counts + flags + digest
     for (const auto& e : entries) {
       bits += 72 + 128 * static_cast<std::uint64_t>(e.elems.size());
     }
@@ -128,6 +180,7 @@ struct ReplicaDelta final : sim::Action<ReplicaDelta> {
     w.gamma(anchor_blob.size());
     for (std::uint64_t word : anchor_blob) w.bits(word, 64);
     w.boolean(has_anchor);
+    w.bits(digest, 64);
   }
 
   static sim::Owned<ReplicaDelta> decode(wire::WireReader& r) {
@@ -150,6 +203,7 @@ struct ReplicaDelta final : sim::Action<ReplicaDelta> {
     d->anchor_blob.reserve(words);
     for (std::uint64_t i = 0; i < words; ++i) d->anchor_blob.push_back(r.bits(64));
     d->has_anchor = r.boolean();
+    d->digest = r.bits(64);
     return d;
   }
 };
@@ -161,6 +215,19 @@ struct Mirror {
   std::vector<std::uint64_t> anchor_blob;
   bool has_anchor = false;
 };
+
+/// Digest of a held mirror — matches state_digest over the owner's full
+/// state when (and only when) the mirror is faithful.
+inline std::uint64_t digest_of(const Mirror& m) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, elems] : m.entries) {
+    if (elems.empty()) continue;
+    sum += cell_digest(key.first, key.second, elems);
+  }
+  std::uint64_t a = hash_u64(kDigestSeed, m.has_anchor ? 1 : 0);
+  for (std::uint64_t w : m.anchor_blob) a = hash_u64(a, w);
+  return sum + a;
+}
 
 /// Per-node failure detector + mirror store. One per protocol node,
 /// attached to its OverlayNode host. Inert (no handlers fire, no
@@ -237,14 +304,19 @@ class RecoveryComponent {
   // ---- Replication: owner side. -------------------------------------
 
   /// Ship one epoch's delta to every mirror holder (reliable traffic).
+  /// `digest` fingerprints the owner's full post-epoch durable state
+  /// (state_digest over everything, not just the changed cells) so each
+  /// holder can audit its staged mirror on apply.
   void send_delta(std::vector<DeltaEntry> entries,
-                  std::vector<std::uint64_t> anchor_blob, bool has_anchor) {
+                  std::vector<std::uint64_t> anchor_blob, bool has_anchor,
+                  std::uint64_t digest) {
     for (NodeId to : replica_targets()) {
       auto d = sim::make_payload<ReplicaDelta>();
       d->owner = host_.id();
       d->entries = entries;
       d->anchor_blob = anchor_blob;
       d->has_anchor = has_anchor;
+      d->digest = digest;
       host_.send_direct(to, std::move(d));
     }
   }
@@ -383,6 +455,17 @@ class RecoveryComponent {
     if (d->has_anchor) {
       m.anchor_blob = std::move(d->anchor_blob);
       m.has_anchor = true;
+    }
+    // Audit the staged mirror against the owner's full-state digest. A
+    // mismatch means the mirror has silently diverged (corruption that
+    // slipped every lower check, or a replication bug); refuse to stage
+    // it — the committed mirror stays at its last good state and the
+    // next scrub pass repairs from quorum.
+    if (digest_of(m) != d->digest) {
+      host_.metrics().record_digest_mismatch();
+      host_.tracer().lifecycle(trace::EventKind::kDigestMismatch,
+                               host_.id());
+      staged_.erase(it);
     }
   }
 

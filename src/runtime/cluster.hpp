@@ -429,6 +429,101 @@ class Cluster {
     }
   }
 
+  /// Scrub pass: audit owner vs mirror state digests for every active
+  /// owner and repair divergent (or missing) mirrors from the quorum.
+  /// Coordinator-side and out-of-band — reads live state and rewrites
+  /// mirrors directly, sending no messages and burning no rounds.
+  ///
+  /// Quorum rule: the majority digest among {owner, its k mirrors}; the
+  /// owner wins ties (with k = 1 a flipped mirror is a 1:1 tie, and the
+  /// owner's live state — still exercised by the protocol every epoch —
+  /// is the trustworthy side). A holder off quorum gets a fresh copy
+  /// from a quorum source; an owner off quorum is surfaced through the
+  /// digest-mismatch counter and trace event (live protocol state cannot
+  /// be rewritten out-of-band) but its mirrors are left on quorum.
+  ///
+  /// Runs every RecoveryConfig::scrub_every committed epochs from
+  /// run_epoch_recovered; public so corruption tests can audit on demand.
+  void scrub_mirrors() {
+    if constexpr (kHasRecovery) {
+      if (!opts_.recovery.enabled || opts_.recovery.replication == 0) return;
+      if constexpr (requires(NodeT& n) { n.full_state_entries(); }) {
+        sim::Metrics& met = net_->metrics();
+        trace::Tracer& tr = net_->tracer();
+        for (NodeId v : active_) {
+          const auto targets = node(v).recovery().replica_targets();
+          if (targets.empty()) continue;
+          met.record_scrub();
+          if (tr.enabled()) tr.lifecycle(trace::EventKind::kScrub, v);
+          // The owner's digest, from its live durable state.
+          recovery::Mirror owner_state;
+          for (auto& e : node(v).full_state_entries()) {
+            owner_state.entries[{e.space, e.key}] = std::move(e.elems);
+          }
+          if constexpr (requires(NodeT& n) { n.anchor_blob(); }) {
+            owner_state.anchor_blob = node(v).anchor_blob();
+            owner_state.has_anchor = !owner_state.anchor_blob.empty();
+          }
+          const std::uint64_t owner_digest =
+              recovery::digest_of(owner_state);
+          // One digest per holder; a missing mirror gets ~owner_digest, a
+          // sentinel guaranteed off quorum so a fresh copy is installed.
+          std::vector<std::pair<NodeId, std::uint64_t>> held;
+          std::map<std::uint64_t, std::size_t> tally;
+          ++tally[owner_digest];
+          for (NodeId t : targets) {
+            if (!node(t).recovery().has_mirror(v)) {
+              held.emplace_back(t, ~owner_digest);
+              continue;
+            }
+            const std::uint64_t d =
+                recovery::digest_of(node(t).recovery().mirror_of(v));
+            held.emplace_back(t, d);
+            ++tally[d];
+          }
+          std::uint64_t quorum = owner_digest;
+          std::size_t best = tally[owner_digest];
+          for (const auto& [d, c] : tally) {
+            if (c > best) {
+              best = c;
+              quorum = d;
+            }
+          }
+          const bool owner_on_quorum = quorum == owner_digest;
+          if (!owner_on_quorum) {
+            met.record_digest_mismatch();
+            if (tr.enabled()) {
+              tr.lifecycle(trace::EventKind::kDigestMismatch, v);
+            }
+          }
+          // A quorum source to copy from: the owner when it agrees,
+          // otherwise any mirror carrying the quorum digest.
+          const recovery::Mirror* source =
+              owner_on_quorum ? &owner_state : nullptr;
+          if (source == nullptr) {
+            for (const auto& [t, d] : held) {
+              if (d == quorum) {
+                source = &node(t).recovery().mirror_of(v);
+                break;
+              }
+            }
+          }
+          for (const auto& [t, d] : held) {
+            if (d == quorum) continue;
+            met.record_digest_mismatch();
+            if (tr.enabled()) {
+              tr.lifecycle(trace::EventKind::kDigestMismatch, t);
+            }
+            if (source != nullptr) {
+              node(t).recovery().install_mirror(v, *source);
+              met.record_digest_repair();
+            }
+          }
+        }
+      }
+    }
+  }
+
   // ---- Churn (Contribution 4): applied lazily between epochs -----------
 
   /// Add a node to the running system. The join protocol splices it into
@@ -557,6 +652,12 @@ class Cluster {
             for (NodeId v : active_) node(v).commit_epoch();
           }
           for (NodeId v : active_) node(v).recovery().commit_staged();
+          // Post-commit scrub: audit survivor/mirror digests and repair
+          // divergence while every mirror is freshly committed.
+          if (opts_.recovery.scrub_every != 0 &&
+              (epochs_started_ + 1) % opts_.recovery.scrub_every == 0) {
+            scrub_mirrors();
+          }
           for (NodeId v : active_) {
             committed_trace_len_[v] = node(v).trace().size();
           }

@@ -394,8 +394,12 @@ class SeapNode : public overlay::OverlayNode {
     });
     auto blob = anchor_blob();
     if (entries.empty() && blob.empty()) return;
+    // Fingerprint the FULL post-epoch state (not the delta): the mirror
+    // holders audit their staged mirrors against it on apply.
+    const std::uint64_t digest =
+        recovery::state_digest(full_state_entries(), blob, hosts_anchor());
     recovery_.send_delta(std::move(entries), std::move(blob),
-                         hosts_anchor());
+                         hosts_anchor(), digest);
   }
 
   std::vector<recovery::DeltaEntry> full_state_entries() const {

@@ -75,12 +75,33 @@ struct FaultPlan {
   double spike_prob = 0.0;
   std::uint64_t spike_min = 4;
   std::uint64_t spike_max = 64;
+  /// Per-physical-transmission probability that the channel flips bits in
+  /// the encoded frame (1..corrupt_max_flips of them, uniform positions).
+  /// Retransmissions and duplicates are separate physical transmissions
+  /// and draw independently. Requires wire mode: corruption mutates real
+  /// encoded bytes, never in-memory objects.
+  double corrupt_prob = 0.0;
+  std::uint32_t corrupt_max_flips = 3;
+  /// Per-physical-transmission probability that the channel truncates the
+  /// frame to a uniformly drawn proper prefix (possibly zero bytes).
+  double truncate_prob = 0.0;
+  /// Per-physical-transmission probability that the channel injects one
+  /// extra garbage frame (1..garbage_max_bytes uniform random bytes)
+  /// alongside the carried message.
+  double garbage_prob = 0.0;
+  std::uint64_t garbage_max_bytes = 64;
   std::vector<Partition> partitions;
   std::vector<CrashEvent> crashes;
 
   bool active() const {
     return drop_prob > 0.0 || duplicate_prob > 0.0 || spike_prob > 0.0 ||
-           !partitions.empty() || !crashes.empty();
+           corruption_active() || !partitions.empty() || !crashes.empty();
+  }
+
+  /// True when any wire-corruption knob is nonzero (these require the
+  /// network to run in wire mode; Network's constructor enforces it).
+  bool corruption_active() const {
+    return corrupt_prob > 0.0 || truncate_prob > 0.0 || garbage_prob > 0.0;
   }
 };
 
@@ -153,6 +174,34 @@ class FaultInjector {
   /// True if the channel duplicates this message.
   bool should_duplicate(Rng& rng) {
     return plan_.duplicate_prob > 0.0 && rng.flip(plan_.duplicate_prob);
+  }
+
+  /// One physical transmission's wire-corruption verdict. Drawn once per
+  /// physical copy (original, duplicate, retransmission, ack alike).
+  struct Corruption {
+    std::uint32_t flips = 0;  ///< bit flips to apply (0 = none)
+    bool truncate = false;    ///< cut the frame to a proper prefix
+    bool garbage = false;     ///< inject one extra random-bytes frame
+    bool any() const { return flips != 0 || truncate || garbage; }
+  };
+
+  /// Draw the corruption gates for one physical transmission. Draw order
+  /// (fixed, after the channel draws drop -> spike -> duplicate): corrupt
+  /// gate, then flip count if it fired; truncate gate; garbage gate. Each
+  /// gate draws only while its probability is nonzero, so an all-zero
+  /// plan consumes no randomness here and replays pre-corruption streams
+  /// byte for byte. Flip/cut positions depend on the frame length and are
+  /// drawn by the network right where the bytes are mutated.
+  Corruption corruption(Rng& rng) {
+    Corruption c;
+    if (plan_.corrupt_prob > 0.0 && rng.flip(plan_.corrupt_prob)) {
+      const std::uint32_t mx = std::max<std::uint32_t>(
+          plan_.corrupt_max_flips, 1);
+      c.flips = 1 + static_cast<std::uint32_t>(rng.below(mx));
+    }
+    c.truncate = plan_.truncate_prob > 0.0 && rng.flip(plan_.truncate_prob);
+    c.garbage = plan_.garbage_prob > 0.0 && rng.flip(plan_.garbage_prob);
+    return c;
   }
 
   /// Apply all crash/restart transitions scheduled for `round`. Calls

@@ -111,9 +111,14 @@ struct MetricsSnapshot {
   std::uint64_t retransmitted = 0;   ///< reliable-transport re-sends
   std::uint64_t dup_suppressed = 0;  ///< duplicates the transport absorbed
   std::uint64_t abandoned = 0;       ///< records given up after max_attempts
+  // Wire-corruption accounting (requires wire mode + a corrupting plan).
+  std::uint64_t corrupted = 0;          ///< frames the CRC/decode rejected
+  std::uint64_t corrupt_delivered = 0;  ///< mutated frames that passed (2^-32)
+  std::uint64_t quarantined = 0;        ///< poison records senders abandoned
   std::map<std::string, std::uint64_t> dropped_by_type;
   std::map<std::string, std::uint64_t> duplicated_by_type;
   std::map<std::string, std::uint64_t> retransmitted_by_type;
+  std::map<std::string, std::uint64_t> corrupted_by_type;
   // Wire-mode accounting (all zero when wire mode is off). Body bits are
   // the measured encoding of the logical action only — frame tags and
   // envelope headers are attributed separately — so `wire_bits_by_type`
@@ -134,6 +139,11 @@ struct MetricsSnapshot {
   std::uint64_t suspects = 0;       ///< liveness suspicions raised
   std::uint64_t declared_dead = 0;  ///< suspicions that hit the death bound
   std::uint64_t recoveries = 0;     ///< suspects that proved alive again
+  // Replica-integrity events (recovery digests + the scrub pass). All
+  // zero when recovery is off or no replica state ever diverged.
+  std::uint64_t scrubs = 0;             ///< owners audited by the scrub pass
+  std::uint64_t digest_mismatches = 0;  ///< digest checks that failed
+  std::uint64_t digest_repairs = 0;     ///< mirrors rebuilt from quorum
   // Per-execution-shard load, shard-major (index = shard id). Message
   // counts are deterministic; busy_ns is wall-clock and only nonzero on
   // the multi-shard path. Intentionally NOT part of the determinism
@@ -202,6 +212,23 @@ class MetricsShard {
   void record_dup_suppressed() { ++dup_suppressed_; }
   void record_abandoned() { ++abandoned_; }
 
+  /// A physical frame mutated by channel corruption and rejected by the
+  /// receiver's integrity check (CRC trailer or decode). For injected
+  /// garbage frames, `action` is the send whose channel carried them.
+  void record_corrupt(ActionId action) {
+    ++corrupted_;
+    ++by_action_[action].corrupted;
+  }
+
+  /// A mutated frame that still verified and decoded — the protocol saw
+  /// corrupted data. With the CRC32C trailer this needs a 2^-32 collision;
+  /// the CI corruption gate asserts it stays zero.
+  void record_corrupt_delivered() { ++corrupt_delivered_; }
+
+  /// A reliable record abandoned after max_poison_attempts integrity
+  /// failures (the channel corrupts it deterministically).
+  void record_quarantined() { ++quarantined_; }
+
   // Wire-mode events (Network::marshal). Only reached with wire mode on;
   // the caller has run note_action for both ids involved.
   void record_wire(ActionId action, std::uint64_t body_bits,
@@ -250,6 +277,7 @@ class MetricsShard {
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t retransmitted = 0;
+    std::uint64_t corrupted = 0;
     std::uint64_t wire_messages = 0;
     std::uint64_t wire_bits = 0;           ///< measured logical-body bits
     std::uint64_t max_wire_bits = 0;
@@ -267,6 +295,9 @@ class MetricsShard {
     retransmitted_ = 0;
     dup_suppressed_ = 0;
     abandoned_ = 0;
+    corrupted_ = 0;
+    corrupt_delivered_ = 0;
+    quarantined_ = 0;
     wire_messages_ = 0;
     wire_body_bits_ = 0;
     wire_frame_bits_ = 0;
@@ -286,6 +317,9 @@ class MetricsShard {
   std::uint64_t retransmitted_ = 0;
   std::uint64_t dup_suppressed_ = 0;
   std::uint64_t abandoned_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t corrupt_delivered_ = 0;
+  std::uint64_t quarantined_ = 0;
   std::uint64_t wire_messages_ = 0;
   std::uint64_t wire_body_bits_ = 0;
   std::uint64_t wire_frame_bits_ = 0;
@@ -317,7 +351,12 @@ class Metrics {
         shards_(std::move(other.shards_)),
         suspects_(other.suspects_.load(std::memory_order_relaxed)),
         declared_dead_(other.declared_dead_.load(std::memory_order_relaxed)),
-        recoveries_(other.recoveries_.load(std::memory_order_relaxed)) {}
+        recoveries_(other.recoveries_.load(std::memory_order_relaxed)),
+        scrubs_(other.scrubs_.load(std::memory_order_relaxed)),
+        digest_mismatches_(
+            other.digest_mismatches_.load(std::memory_order_relaxed)),
+        digest_repairs_(
+            other.digest_repairs_.load(std::memory_order_relaxed)) {}
 
   Metrics& operator=(Metrics&& other) noexcept {
     rounds_ = other.rounds_;
@@ -329,6 +368,14 @@ class Metrics {
         std::memory_order_relaxed);
     recoveries_.store(other.recoveries_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+    scrubs_.store(other.scrubs_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    digest_mismatches_.store(
+        other.digest_mismatches_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    digest_repairs_.store(
+        other.digest_repairs_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 
@@ -378,6 +425,11 @@ class Metrics {
   std::uint64_t retransmitted() const { return sum(&MetricsShard::retransmitted_); }
   std::uint64_t dup_suppressed() const { return sum(&MetricsShard::dup_suppressed_); }
   std::uint64_t abandoned() const { return sum(&MetricsShard::abandoned_); }
+  std::uint64_t corrupted() const { return sum(&MetricsShard::corrupted_); }
+  std::uint64_t corrupt_delivered() const {
+    return sum(&MetricsShard::corrupt_delivered_);
+  }
+  std::uint64_t quarantined() const { return sum(&MetricsShard::quarantined_); }
   std::uint64_t wire_messages() const { return sum(&MetricsShard::wire_messages_); }
   std::uint64_t wire_body_bits() const { return sum(&MetricsShard::wire_body_bits_); }
 
@@ -397,6 +449,26 @@ class Metrics {
   }
   std::uint64_t recoveries() const {
     return recoveries_.load(std::memory_order_relaxed);
+  }
+
+  // Replica-integrity events. Digest checks run on shard worker threads
+  // (delta apply), the scrub pass on the coordinator — same relaxed-
+  // atomic treatment as the detector events above.
+  void record_scrub() { scrubs_.fetch_add(1, std::memory_order_relaxed); }
+  void record_digest_mismatch() {
+    digest_mismatches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_digest_repair() {
+    digest_repairs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t scrubs() const {
+    return scrubs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t digest_mismatches() const {
+    return digest_mismatches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t digest_repairs() const {
+    return digest_repairs_.load(std::memory_order_relaxed);
   }
 
   /// Per-shard delivery counts / busy wall-ns, shard-major — the cheap
@@ -422,6 +494,9 @@ class Metrics {
     suspects_.store(0, std::memory_order_relaxed);
     declared_dead_.store(0, std::memory_order_relaxed);
     recoveries_.store(0, std::memory_order_relaxed);
+    scrubs_.store(0, std::memory_order_relaxed);
+    digest_mismatches_.store(0, std::memory_order_relaxed);
+    digest_repairs_.store(0, std::memory_order_relaxed);
     return out;
   }
 
@@ -435,6 +510,9 @@ class Metrics {
     snap.suspects = suspects();
     snap.declared_dead = declared_dead();
     snap.recoveries = recoveries();
+    snap.scrubs = scrubs();
+    snap.digest_mismatches = digest_mismatches();
+    snap.digest_repairs = digest_repairs();
     snap.shard_messages.reserve(shards_.size());
     snap.shard_busy_ns.reserve(shards_.size());
     const ActionRegistry& registry = ActionRegistry::instance();
@@ -452,14 +530,17 @@ class Metrics {
       snap.retransmitted += m.retransmitted_;
       snap.dup_suppressed += m.dup_suppressed_;
       snap.abandoned += m.abandoned_;
+      snap.corrupted += m.corrupted_;
+      snap.corrupt_delivered += m.corrupt_delivered_;
+      snap.quarantined += m.quarantined_;
       snap.wire_messages += m.wire_messages_;
       snap.wire_body_bits += m.wire_body_bits_;
       snap.wire_frame_bits += m.wire_frame_bits_;
       for (std::size_t a = 0; a < m.by_action_.size(); ++a) {
         const MetricsShard::ActionCounters& c = m.by_action_[a];
         if (c.messages == 0 && c.dropped == 0 && c.duplicated == 0 &&
-            c.retransmitted == 0 && c.wire_messages == 0 &&
-            c.wire_envelope_bits == 0) {
+            c.retransmitted == 0 && c.corrupted == 0 &&
+            c.wire_messages == 0 && c.wire_envelope_bits == 0) {
           continue;
         }
         const std::string& name = registry.name(static_cast<ActionId>(a));
@@ -474,6 +555,7 @@ class Metrics {
         if (c.retransmitted != 0) {
           snap.retransmitted_by_type[name] += c.retransmitted;
         }
+        if (c.corrupted != 0) snap.corrupted_by_type[name] += c.corrupted;
         if (c.wire_messages != 0) {
           snap.wire_messages_by_type[name] += c.wire_messages;
           snap.wire_bits_by_type[name] += c.wire_bits;
@@ -501,6 +583,9 @@ class Metrics {
   std::atomic<std::uint64_t> suspects_{0};
   std::atomic<std::uint64_t> declared_dead_{0};
   std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> scrubs_{0};
+  std::atomic<std::uint64_t> digest_mismatches_{0};
+  std::atomic<std::uint64_t> digest_repairs_{0};
 };
 
 }  // namespace sks::sim

@@ -200,9 +200,16 @@ class Network {
         faults_(cfg.faults),
         faults_active_(cfg.faults.active()),
         crash_possible_(!cfg.faults.crashes.empty()),
+        corrupt_possible_(cfg.faults.corruption_active()),
         reliable_enabled_(cfg.reliable.enabled),
         wire_enabled_(cfg.wire),
         metrics_(0) {
+    // Corruption mutates encoded frame bytes; without the wire path there
+    // are no bytes to flip and the integrity layer (CRC trailer) that the
+    // fault model exercises never runs.
+    SKS_CHECK_MSG(!corrupt_possible_ || wire_enabled_,
+                  "FaultPlan corruption requires wire mode "
+                  "(NetworkConfig::wire)");
     // Pending messages live in relative-round ring buffers (one per
     // shard): a message delayed by d lands d slots ahead of the current
     // one. A power-of-two size strictly greater than the largest possible
@@ -463,6 +470,24 @@ class Network {
         os << "\n  ... " << (shown - kStallReportRecords) << " more";
       }
     }
+    std::size_t quarantined = 0;
+    for (const Shard& sh : shards_) quarantined += sh.reliable.quarantined();
+    if (quarantined != 0) {
+      os << "\nquarantined poison record(s): " << quarantined;
+      std::size_t shown = 0;
+      for (const Shard& sh : shards_) {
+        sh.reliable.for_each_quarantined(
+            [&](const ReliableTransport::Quarantined& q) {
+              if (shown++ >= kStallReportRecords) return;
+              os << "\n  v" << q.from << "->v" << q.to << " seq=" << q.seq
+                 << " " << reg.name(q.action)
+                 << " poisoned=" << q.poisoned;
+            });
+      }
+      if (shown > kStallReportRecords) {
+        os << "\n  ... " << (shown - kStallReportRecords) << " more";
+      }
+    }
     if (crash_possible_) {
       os << "\ncrashed node(s):";
       bool any = false;
@@ -511,6 +536,15 @@ class Network {
     std::uint64_t unacked() const {
       std::uint64_t total = 0;
       for (const Shard& sh : net_->shards_) total += sh.reliable.unacked();
+      return total;
+    }
+    /// Poison records abandoned after repeated corruption (see
+    /// ReliableConfig::max_poison_attempts).
+    std::uint64_t quarantined() const {
+      std::uint64_t total = 0;
+      for (const Shard& sh : net_->shards_) {
+        total += sh.reliable.quarantined();
+      }
       return total;
     }
 
@@ -696,6 +730,7 @@ class Network {
     std::uint64_t bg_in_flight = 0;    ///< subset that is background
     std::vector<std::uint8_t> wire_buf;
     std::vector<std::uint8_t> wire_reencode_buf;
+    std::vector<std::uint8_t> corrupt_buf;  ///< mutated-frame scratch
   };
 
   /// Which network/shard the current thread is executing (run_shard). A
@@ -882,7 +917,11 @@ class Network {
   /// Channel entry point shared by faulty/reliable first sends,
   /// retransmissions and acks: applies the fault model (drop / delay
   /// spike / duplicate, in that fixed draw order, all from the sending
-  /// shard's fault stream) and enqueues the surviving copies.
+  /// shard's fault stream) and enqueues the surviving copies. Wire-level
+  /// corruption draws come last, one group per physical copy in push
+  /// order (the duplicated copy first, then the original), so every
+  /// retransmission and duplicate faces the corrupting channel
+  /// independently.
   void enqueue(Shard& sh, NodeId from, NodeId to, PayloadPtr payload,
                MsgKind kind, std::uint64_t seq, std::uint64_t bits,
                ActionId action) {
@@ -924,7 +963,15 @@ class Network {
         dup.seq = seq;
         dup.kind = kind;
         dup.payload = payload->clone_payload();
-        push_envelope(sh, std::move(dup), round_ + dup_delay);
+        if (!corrupt_possible_ ||
+            corrupt_copy(sh, from, to, *dup.payload, kind, seq, bits,
+                         action)) {
+          push_envelope(sh, std::move(dup), round_ + dup_delay);
+        }
+      }
+      if (corrupt_possible_ &&
+          !corrupt_copy(sh, from, to, *payload, kind, seq, bits, action)) {
+        return;  // the channel mangled it and the CRC caught it
       }
       Envelope env;
       env.from = from;
@@ -952,6 +999,104 @@ class Network {
     return cfg_.mode == DeliveryMode::kSynchronous
                ? 1
                : sh.delay_rng.range(1, cfg_.max_delay);
+  }
+
+  /// Wire-corruption model for one physical copy of `p` on the channel
+  /// from->to. Draws the corruption decisions from the sending shard's
+  /// fault stream (gates first — see FaultInjector::corruption — then
+  /// positions: the truncation cut point, then one bit index per flip
+  /// over the post-cut length). The copy is re-encoded (wire mode
+  /// guarantees a byte-exact frame), mutated, and run through the
+  /// receiver's integrity check:
+  ///
+  ///  * decode_frame rejects (CRC mismatch / malformed body) — the normal
+  ///    case: counted + traced as kCorrupt and, for reliable data, charged
+  ///    against the sender's poison budget (quarantine when exhausted).
+  ///    The copy is dropped; retransmission restores exactly-once.
+  ///  * the mutation cancelled out (even flips on one bit) — the channel
+  ///    was a no-op; the copy travels untouched.
+  ///  * the mutated frame still decodes (CRC slip-through, ~2^-32) — a
+  ///    protocol-visible corruption: counted as corrupt_delivered (the CI
+  ///    gate asserts zero) on top of the kCorrupt drop accounting.
+  ///
+  /// Returns true iff the copy survives and may be enqueued.
+  bool corrupt_copy(Shard& sh, NodeId from, NodeId to, const Payload& p,
+                    MsgKind kind, std::uint64_t seq, std::uint64_t bits,
+                    ActionId action) {
+    const FaultInjector::Corruption c = faults_.corruption(sh.fault_rng);
+    if (c.garbage) inject_garbage(sh, from, to, action);
+    if (c.flips == 0 && !c.truncate) return true;
+    // Pristine frame in wire_reencode_buf, mutable copy in corrupt_buf.
+    wire::WireWriter w(sh.wire_reencode_buf);
+    encode_frame(p, w);
+    sh.corrupt_buf.assign(sh.wire_reencode_buf.begin(),
+                          sh.wire_reencode_buf.end());
+    if (c.truncate && !sh.corrupt_buf.empty()) {
+      sh.corrupt_buf.resize(static_cast<std::size_t>(
+          sh.fault_rng.below(sh.corrupt_buf.size())));
+    }
+    const std::uint64_t nbits = sh.corrupt_buf.size() * 8;
+    for (std::uint32_t i = 0; i < c.flips && nbits != 0; ++i) {
+      const std::uint64_t b = sh.fault_rng.below(nbits);
+      sh.corrupt_buf[b / 8] ^= static_cast<std::uint8_t>(0x80u >> (b % 8));
+    }
+    if (sh.corrupt_buf == sh.wire_reencode_buf) return true;  // cancelled
+    bool slipped = false;
+    try {
+      wire::WireReader r(sh.corrupt_buf.data(), sh.corrupt_buf.size());
+      (void)decode_frame(r);
+      slipped = true;  // mutated bytes passed CRC *and* decoded
+    } catch (const CheckFailure&) {
+      // The integrity layer rejected the frame — the designed outcome.
+    }
+    MetricsShard& met_sh = met(sh);
+    met_sh.record_corrupt(action);
+    if (slipped) met_sh.record_corrupt_delivered();
+    if (tracer_.enabled()) {
+      tracer_.message(trace::EventKind::kCorrupt, from, to, action, bits);
+    }
+    if (kind == MsgKind::kReliableData && reliable_enabled_ &&
+        sh.reliable.note_poisoned(from, to, seq)) {
+      met_sh.record_quarantined();
+      if (tracer_.enabled()) {
+        tracer_.message(trace::EventKind::kQuarantine, from, to, action,
+                        bits);
+      }
+    }
+    return false;
+  }
+
+  /// Garbage-frame injection: the channel conjures 1..garbage_max_bytes
+  /// random bytes alongside a real transmission and the receiver tries to
+  /// decode them. Attributed to the carrying send's action (the garbage
+  /// has no identity of its own). A decode success would be a
+  /// protocol-visible corruption (corrupt_delivered); the frame is never
+  /// handed to a node either way — the effect under test is the integrity
+  /// layer, not random payload semantics.
+  void inject_garbage(Shard& sh, NodeId from, NodeId to, ActionId action) {
+    const std::uint64_t max_bytes =
+        std::max<std::uint64_t>(faults_.plan().garbage_max_bytes, 1);
+    const std::size_t len =
+        1 + static_cast<std::size_t>(sh.fault_rng.below(max_bytes));
+    sh.corrupt_buf.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      sh.corrupt_buf[i] =
+          static_cast<std::uint8_t>(sh.fault_rng.below(256));
+    }
+    bool slipped = false;
+    try {
+      wire::WireReader r(sh.corrupt_buf.data(), sh.corrupt_buf.size());
+      (void)decode_frame(r);
+      slipped = true;
+    } catch (const CheckFailure&) {
+    }
+    MetricsShard& met_sh = met(sh);
+    met_sh.record_corrupt(action);
+    if (slipped) met_sh.record_corrupt_delivered();
+    if (tracer_.enabled()) {
+      tracer_.message(trace::EventKind::kCorrupt, from, to, action,
+                      len * 8);
+    }
   }
 
   /// Route a fully built envelope from sending shard `sh` toward its
@@ -1084,11 +1229,16 @@ class Network {
     MetricsShard& met_sh = met(sh);
     met_sh.note_action(action);
     met_sh.note_action(payload->tag());
+    // total_bits includes the CRC32C trailer appended after the pad;
+    // the trailer is global framing, not body, so it moves with the
+    // outer-tag bits into the frame-overhead bucket.
     const std::uint64_t body_start =
         inner_start != 0 ? inner_start : frame_bits;
-    met_sh.record_wire(action, total_bits - body_start, accounted_bits);
+    met_sh.record_wire(action,
+                       total_bits - body_start - wire::kCrcTrailerBits,
+                       accounted_bits);
     met_sh.record_wire_overhead(
-        payload->tag(), frame_bits,
+        payload->tag(), frame_bits + wire::kCrcTrailerBits,
         inner_start != 0 ? inner_start - frame_bits : 0);
     return decoded;
   }
@@ -1109,7 +1259,11 @@ class Network {
         [this, &sh](NodeId, NodeId, std::uint64_t,
                     const ReliableTransport::Record&) {
           met(sh).record_abandoned();
-        });
+        },
+        // Jitter (when configured) comes from the shard's fault stream:
+        // it models channel behavior, and with retransmit_jitter == 0 the
+        // transport draws nothing, keeping jitter-free runs byte-stable.
+        &sh.fault_rng);
   }
 
   void do_crash(NodeId v) {
@@ -1162,6 +1316,7 @@ class Network {
   FaultInjector faults_;
   bool faults_active_;    ///< cached FaultPlan::active()
   bool crash_possible_;   ///< crashes scheduled or injected at runtime
+  bool corrupt_possible_; ///< cached FaultPlan::corruption_active()
   bool reliable_enabled_;
   bool wire_enabled_;             ///< cached NetworkConfig::wire
   bool fenced_possible_ = false;  ///< any node ever fenced

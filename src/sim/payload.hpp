@@ -437,19 +437,24 @@ inline void PayloadDeleter::operator()(Payload* p) const {
   }
 }
 
-/// Serialize one payload into a self-describing frame:
-/// [gamma(tag)][body...][pad to byte]. Envelope payloads (RouteHop,
-/// VertexMsg) recursively frame-tag the payload they carry.
+/// Serialize one payload into a self-describing, integrity-checked frame:
+/// [gamma(tag)][body...][pad to byte][crc32c]. Envelope payloads
+/// (RouteHop, VertexMsg) recursively frame-tag the payload they carry.
+/// The 4-byte CRC32C trailer covers the whole padded frame, so a receiver
+/// detects corruption instead of mis-decoding; it is transport framing,
+/// not body, for the wire-measurement accounting (wire::kCrcTrailerBits).
 inline void encode_frame(const Payload& p, wire::WireWriter& w) {
   w.gamma(p.tag());
   w.note_frame_header_end();
   p.encode(w);
   w.finish();
+  w.append_crc32c();
 }
 
-/// Inverse of encode_frame: rejects unknown tags, truncated buffers and
-/// nonzero padding with a catchable CheckFailure.
+/// Inverse of encode_frame: rejects checksum mismatches, unknown tags,
+/// truncated buffers and nonzero padding with a catchable CheckFailure.
 inline PayloadPtr decode_frame(wire::WireReader& r) {
+  r.verify_crc32c_trailer();
   const std::uint64_t tag = r.gamma();
   SKS_CHECK_MSG(tag <= 0xffffffffull, "wire: action tag out of range");
   PayloadPtr p = ActionRegistry::instance().decode(

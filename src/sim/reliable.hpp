@@ -34,7 +34,9 @@
 #include <cstdint>
 #include <iterator>
 #include <map>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/payload.hpp"
 
@@ -53,6 +55,22 @@ struct ReliableConfig {
   /// Total sends (original + retransmissions) before the sender gives up
   /// on a message. 0 = never give up (retry forever).
   std::uint64_t max_attempts = 0;
+  /// Integrity failures (receiver-side corrupt rejections) of one record
+  /// before the sender quarantines it: the record is abandoned, counted,
+  /// and surfaced in the stall report, so a link that corrupts a frame
+  /// deterministically degrades gracefully instead of retransmitting
+  /// forever. 0 = never quarantine.
+  std::uint64_t max_poison_attempts = 16;
+  /// Retransmit-storm guard: at most this many retransmissions per
+  /// (from, to) channel per round; the surplus is deferred to the next
+  /// round without consuming an attempt. 0 = uncapped (the default —
+  /// existing fault sweeps pin exact retransmit counts).
+  std::uint64_t max_channel_retransmits_per_round = 0;
+  /// Uniform extra delay in [0, retransmit_jitter] rounds added to every
+  /// rescheduled retry, drawn from the shard's fault rng stream, so
+  /// synchronized timeouts (one lost broadcast round) de-correlate
+  /// instead of re-firing in lockstep. 0 = no jitter, no rng draws.
+  std::uint64_t retransmit_jitter = 0;
 };
 
 /// Acknowledgement for one tracked message. A real payload so acks flow
@@ -85,6 +103,17 @@ class ReliableTransport {
     std::uint64_t next_retry = 0; ///< round the next retransmission fires
     std::uint64_t backoff = 0;    ///< current retry interval (rounds)
     std::uint64_t attempts = 1;   ///< sends so far, original included
+    std::uint64_t poisoned = 0;   ///< copies killed by integrity checks
+  };
+
+  /// A record the sender gave up on after max_poison_attempts integrity
+  /// failures. Kept (channel-then-seq ordered) for the stall report.
+  struct Quarantined {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    std::uint64_t seq = 0;
+    ActionId action = 0;
+    std::uint64_t poisoned = 0;  ///< integrity failures when abandoned
   };
 
   /// Track an outgoing message: assign its channel sequence number and
@@ -107,6 +136,26 @@ class ReliableTransport {
   /// duplicate acks and acks for abandoned records are no-ops.
   void ack(NodeId from, NodeId to, std::uint64_t seq) {
     records_.erase(MsgKey{from, to, seq});
+  }
+
+  /// The channel corrupted a physical copy of (from, to, seq) and the
+  /// receiver's integrity check rejected it. Counts toward the record's
+  /// poison budget; once max_poison_attempts failures accumulate the
+  /// sender quarantines the record (abandons it, keeps it listed for the
+  /// stall report). Returns true iff this call quarantined the record.
+  bool note_poisoned(NodeId from, NodeId to, std::uint64_t seq) {
+    auto it = records_.find(MsgKey{from, to, seq});
+    if (it == records_.end()) return false;
+    Record& r = it->second;
+    ++r.poisoned;
+    if (cfg_.max_poison_attempts == 0 ||
+        r.poisoned < cfg_.max_poison_attempts) {
+      return false;
+    }
+    quarantined_.push_back(
+        Quarantined{from, to, seq, r.action, r.poisoned});
+    records_.erase(it);
+    return true;
   }
 
   /// Receiver-side duplicate suppression. Returns true iff this is the
@@ -185,9 +234,17 @@ class ReliableTransport {
   /// down senders (they resume on restart); `resend(from, to, seq, rec)`
   /// re-enqueues one copy (backoff already doubled); `abandon(...)` fires
   /// instead when max_attempts is exhausted and the record is dropped.
+  /// With max_channel_retransmits_per_round set, resends past the cap on
+  /// one (from, to) channel are deferred one round without consuming an
+  /// attempt (the storm guard). `jitter_rng`, when given and
+  /// retransmit_jitter is nonzero, adds a uniform [0, jitter] extra delay
+  /// to every rescheduled retry — records_ is an ordered map, so the
+  /// draw order is channel-then-seq and deterministic.
   template <class Crashed, class Resend, class Abandon>
   void collect_due(std::uint64_t round, Crashed&& crashed, Resend&& resend,
-                   Abandon&& abandon) {
+                   Abandon&& abandon, Rng* jitter_rng = nullptr) {
+    ChannelKey chan;
+    std::uint64_t sent_on_chan = 0;
     for (auto it = records_.begin(); it != records_.end();) {
       const MsgKey& k = it->first;
       Record& r = it->second;
@@ -200,12 +257,29 @@ class ReliableTransport {
         it = records_.erase(it);
         continue;
       }
+      const ChannelKey here{k.from, k.to};
+      if (here != chan) {
+        chan = here;
+        sent_on_chan = 0;
+      }
+      if (cfg_.max_channel_retransmits_per_round != 0 &&
+          sent_on_chan >= cfg_.max_channel_retransmits_per_round) {
+        r.next_retry = round + 1 + jitter(jitter_rng);  // defer, no attempt
+        ++it;
+        continue;
+      }
+      ++sent_on_chan;
       r.backoff = std::min(r.backoff * 2, std::max<std::uint64_t>(
                                               cfg_.max_backoff, 1));
-      r.next_retry = round + r.backoff;
+      r.next_retry = round + r.backoff + jitter(jitter_rng);
       ++r.attempts;
-      resend(k.from, k.to, k.seq, r);
-      ++it;
+      // The resend callback re-enters the channel, and a corrupted copy
+      // can poison-quarantine this very record (note_poisoned erases
+      // it). Re-anchor by key instead of advancing a possibly-dead
+      // iterator.
+      const MsgKey key = k;
+      resend(key.from, key.to, key.seq, r);
+      it = records_.upper_bound(key);
     }
   }
 
@@ -220,7 +294,19 @@ class ReliableTransport {
     for (const auto& [k, r] : records_) fn(k.from, k.to, k.seq, r);
   }
 
+  /// Records abandoned as poison (in quarantine order).
+  std::size_t quarantined() const { return quarantined_.size(); }
+  template <class Fn>
+  void for_each_quarantined(Fn&& fn) const {
+    for (const Quarantined& q : quarantined_) fn(q);
+  }
+
  private:
+  std::uint64_t jitter(Rng* rng) const {
+    if (rng == nullptr || cfg_.retransmit_jitter == 0) return 0;
+    return rng->below(cfg_.retransmit_jitter + 1);
+  }
+
   struct ChannelKey {
     NodeId from = kNoNode;
     NodeId to = kNoNode;
@@ -243,6 +329,7 @@ class ReliableTransport {
   std::map<ChannelKey, std::uint64_t> next_seq_;
   std::map<MsgKey, Record> records_;  ///< unacked, sorted for determinism
   std::map<ChannelKey, Receiver> recv_;
+  std::vector<Quarantined> quarantined_;
 };
 
 }  // namespace sks::sim

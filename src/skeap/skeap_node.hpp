@@ -283,8 +283,12 @@ class SkeapNode : public overlay::OverlayNode {
     });
     auto blob = anchor_blob();
     if (entries.empty() && blob.empty()) return;
+    // Fingerprint the FULL post-epoch state (not the delta): the mirror
+    // holders audit their staged mirrors against it on apply.
+    const std::uint64_t digest = recovery::state_digest(
+        full_state_entries(), blob, anchor_state_.has_value());
     recovery_.send_delta(std::move(entries), std::move(blob),
-                         anchor_state_.has_value());
+                         anchor_state_.has_value(), digest);
   }
 
   /// Every stored DHT cell — the out-of-band mirror (re)seed.

@@ -196,7 +196,9 @@ inline void write_perfetto_json(const Trace& t, const std::string& path) {
       case EventKind::kRestart:
       case EventKind::kSuspect:
       case EventKind::kDeclareDead:
-      case EventKind::kRecover: {
+      case EventKind::kRecover:
+      case EventKind::kScrub:
+      case EventKind::kDigestMismatch: {
         std::fprintf(
             f,
             ",\n{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,"
@@ -208,7 +210,9 @@ inline void write_perfetto_json(const Trace& t, const std::string& path) {
         break;
       }
       case EventKind::kDrop:
-      case EventKind::kDuplicate: {
+      case EventKind::kDuplicate:
+      case EventKind::kCorrupt:
+      case EventKind::kQuarantine: {
         // Fault-injection channel events, shown on the sender's track.
         std::fprintf(f, ",\n{\"name\":\"%s ", to_string(e.kind));
         detail::json_escaped(f, action_name(t, e.label));

@@ -58,6 +58,10 @@ struct TraceSummary {
   std::uint64_t suspects = 0;      ///< failure-detector suspicions raised
   std::uint64_t declared_dead = 0; ///< suspicions that timed out
   std::uint64_t recoveries = 0;    ///< suspected nodes reintegrated
+  std::uint64_t corruptions = 0;   ///< corrupted frames rejected pre-decode
+  std::uint64_t quarantines = 0;   ///< poison records abandoned by senders
+  std::uint64_t scrubs = 0;        ///< scrub-pass owner audits
+  std::uint64_t digest_mismatches = 0;  ///< failed replica digest checks
   std::vector<PhaseSummary> phases;
   std::vector<EpochSummary> epochs;
   std::vector<ActionSummary> actions;
@@ -117,6 +121,18 @@ inline TraceSummary summarize(const Trace& trace) {
         break;
       case EventKind::kRecover:
         ++out.recoveries;
+        break;
+      case EventKind::kCorrupt:
+        ++out.corruptions;
+        break;
+      case EventKind::kQuarantine:
+        ++out.quarantines;
+        break;
+      case EventKind::kScrub:
+        ++out.scrubs;
+        break;
+      case EventKind::kDigestMismatch:
+        ++out.digest_mismatches;
         break;
       case EventKind::kDeliver: {
         ++out.deliveries;

@@ -29,6 +29,8 @@ inline std::string to_line(const Trace& t, const Event& e) {
     case EventKind::kSend:
     case EventKind::kDrop:
     case EventKind::kDuplicate:
+    case EventKind::kCorrupt:
+    case EventKind::kQuarantine:
       line += " " + node_str(e.node) + "->" + node_str(e.peer) +
               " action=" + action_name(t, e.label) +
               " bits=" + std::to_string(e.value);
@@ -54,6 +56,8 @@ inline std::string to_line(const Trace& t, const Event& e) {
     case EventKind::kSuspect:
     case EventKind::kDeclareDead:
     case EventKind::kRecover:
+    case EventKind::kScrub:
+    case EventKind::kDigestMismatch:
       line += " " + node_str(e.node);
       break;
     case EventKind::kAnnotation:

@@ -74,6 +74,12 @@ enum class EventKind : std::uint8_t {
   kSuspect,      ///< a monitor stopped hearing from the node
   kDeclareDead,  ///< the suspicion timed out: node declared crash-stopped
   kRecover,      ///< a suspected node spoke again and was reintegrated
+  // Data-integrity events (checksummed frames + replica digests).
+  // Appended after the detector kinds to keep recorded values stable.
+  kCorrupt,         ///< corrupted frame rejected pre-decode (node=from)
+  kQuarantine,      ///< poison record abandoned by sender (node=from)
+  kScrub,           ///< scrub pass audited this owner's replica digests
+  kDigestMismatch,  ///< a replica digest check failed on `node`
 };
 
 inline const char* to_string(EventKind k) {
@@ -95,6 +101,10 @@ inline const char* to_string(EventKind k) {
     case EventKind::kSuspect: return "suspect";
     case EventKind::kDeclareDead: return "declare-dead";
     case EventKind::kRecover: return "recover";
+    case EventKind::kCorrupt: return "corrupt";
+    case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kScrub: return "scrub";
+    case EventKind::kDigestMismatch: return "digest-mismatch";
   }
   return "?";
 }
@@ -129,6 +139,8 @@ inline constexpr Category category_of(EventKind k) {
     case EventKind::kDeliver:
     case EventKind::kDrop:
     case EventKind::kDuplicate:
+    case EventKind::kCorrupt:
+    case EventKind::kQuarantine:
       return Category::kMessage;
     case EventKind::kEpochBegin:
     case EventKind::kEpochEnd:

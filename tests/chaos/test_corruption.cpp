@@ -1,0 +1,430 @@
+// Silent-failure hardening, channel level: a corrupting channel (bit
+// flips, truncations, garbage frames) in wire mode is a survivable fault
+// class, never a crash. Covered here:
+//
+//  * malformed bytes NEVER propagate a CheckFailure out of Network::step —
+//    every integrity rejection is a counted, traced drop (regression for
+//    the decode-at-delivery path);
+//  * the reliable transport restores exactly-once delivery over the
+//    corrupting channel, and zero mutated frames reach a decoder
+//    (corrupt_delivered stays 0 — the CI gate's invariant);
+//  * a link that corrupts 100% of copies degrades gracefully: the poison
+//    budget quarantines the records (surfaced in the stall report) and
+//    the retransmit-storm guard + jitter keep the re-send volume bounded;
+//  * the protocol chaos matrix — Skeap, Seap, KSelect under corruption,
+//    corruption x loss, and corruption x loss x crash — passes the
+//    HistoryOracle's exactly-once replay at 1%, 5% and 10% corruption.
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/semantics.hpp"
+#include "kselect/kselect_system.hpp"
+#include "seap/seap_system.hpp"
+#include "sim/dispatch.hpp"
+#include "sim/network.hpp"
+#include "skeap/skeap_system.hpp"
+#include "trace/summary.hpp"
+
+#include "../common/history_oracle.hpp"
+
+namespace sks {
+namespace {
+
+using test::HistoryOracle;
+
+constexpr double kCorruptRates[] = {0.01, 0.05, 0.10};
+
+// Three base seeds; CI shifts the set per matrix leg via SKS_CHAOS_SEED.
+std::vector<std::uint64_t> chaos_seeds() {
+  const char* env = std::getenv("SKS_CHAOS_SEED");
+  const std::uint64_t offset =
+      env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
+  return {101 + offset, 202 + offset, 303 + offset};
+}
+
+// ---- Channel mechanics on toy nodes ---------------------------------------
+
+struct Blip final : sim::Action<Blip> {
+  static constexpr const char* kActionName = "chaos.blip";
+  std::uint64_t value = 0;
+  std::uint64_t size_bits() const override { return 32; }
+
+  void encode(wire::WireWriter& w) const override { w.leb(value); }
+  static sim::Owned<Blip> decode(wire::WireReader& r) {
+    auto p = sim::make_payload<Blip>();
+    p->value = r.leb();
+    return p;
+  }
+};
+
+class BlipNode : public sim::DispatchingNode {
+ public:
+  BlipNode() {
+    on<Blip>(
+        [this](NodeId, sim::Owned<Blip> p) { received.push_back(p->value); });
+  }
+
+  void blip(NodeId to, std::uint64_t v) {
+    auto p = sim::make_payload<Blip>();
+    p->value = v;
+    send(to, std::move(p));
+  }
+
+  std::vector<std::uint64_t> received;
+};
+
+sim::Network make_net(sim::NetworkConfig cfg, NodeId* a, NodeId* b) {
+  cfg.wire = true;  // corruption mutates real frame bytes
+  sim::Network net(cfg);
+  *a = net.add_node(std::make_unique<BlipNode>());
+  *b = net.add_node(std::make_unique<BlipNode>());
+  return net;
+}
+
+std::vector<std::uint64_t> sorted(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(Corruption, RequiresWireMode) {
+  sim::NetworkConfig cfg;
+  cfg.faults.corrupt_prob = 0.1;  // wire stays at its default (off in CI)
+  cfg.wire = false;
+  EXPECT_THROW(sim::Network net(cfg), CheckFailure);
+}
+
+TEST(Corruption, MutatedCopiesAreDroppedCountedAndTraced) {
+  sim::NetworkConfig cfg;
+  cfg.seed = 31;
+  cfg.faults.corrupt_prob = 0.3;
+  NodeId a, b;
+  sim::Network net = make_net(cfg, &a, &b);
+  net.tracer().enable();
+  for (std::uint64_t i = 0; i < 500; ++i) net.node_as<BlipNode>(a).blip(b, i);
+  net.run_until_idle();
+  const auto& got = net.node_as<BlipNode>(b).received;
+  // Every physical copy either survives intact or is rejected whole: the
+  // deliveries and the corrupt drops partition the 500 sends exactly.
+  EXPECT_LT(got.size(), 500u);
+  EXPECT_EQ(got.size() + net.metrics().corrupted(), 500u);
+  EXPECT_EQ(net.metrics().current().corrupt_delivered, 0u);
+  const trace::TraceSummary s = trace::summarize(net.take_trace());
+  EXPECT_EQ(s.corruptions, net.metrics().corrupted());
+}
+
+TEST(Corruption, GarbageFramesNeverReachANode) {
+  sim::NetworkConfig cfg;
+  cfg.seed = 32;
+  cfg.faults.garbage_prob = 1.0;  // one garbage frame per send
+  NodeId a, b;
+  sim::Network net = make_net(cfg, &a, &b);
+  for (std::uint64_t i = 0; i < 200; ++i) net.node_as<BlipNode>(a).blip(b, i);
+  net.run_until_idle();
+  // The carried messages are untouched; every injected garbage frame is
+  // rejected by the integrity layer and counted.
+  EXPECT_EQ(net.node_as<BlipNode>(b).received.size(), 200u);
+  EXPECT_EQ(net.metrics().corrupted(), 200u);
+  EXPECT_EQ(net.metrics().current().corrupt_delivered, 0u);
+}
+
+// Satellite regression: malformed bytes in wire mode never propagate a
+// CheckFailure out of Network::step, under every corruption class at
+// once and at a heavy rate.
+TEST(Corruption, StepNeverLeaksCheckFailureOnMalformedBytes) {
+  for (const std::uint64_t seed : chaos_seeds()) {
+    sim::NetworkConfig cfg;
+    cfg.seed = seed;
+    cfg.faults.corrupt_prob = 0.6;
+    cfg.faults.truncate_prob = 0.3;
+    cfg.faults.garbage_prob = 0.3;
+    cfg.reliable.enabled = true;
+    // ~72% of copies get poisoned at these rates; with the default
+    // budget of 16 a record quarantines (0.72^16 per record) on some
+    // SKS_CHAOS_SEED offsets. This test is about leak-freedom and
+    // delivery, not quarantine — give the budget enough headroom that
+    // a random channel can't exhaust it (0.72^64 ≈ 7e-10).
+    cfg.reliable.max_poison_attempts = 64;
+    NodeId a, b;
+    sim::Network net = make_net(cfg, &a, &b);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      net.node_as<BlipNode>(a).blip(b, i);
+    }
+    std::uint64_t guard = 0;
+    while (!net.idle()) {
+      ASSERT_LT(++guard, 100000u) << "seed=" << seed;
+      EXPECT_NO_THROW(net.step()) << "seed=" << seed;
+    }
+    auto got = sorted(net.node_as<BlipNode>(b).received);
+    ASSERT_EQ(got.size(), 50u) << "seed=" << seed;
+    for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+    EXPECT_GT(net.metrics().corrupted(), 0u);
+    EXPECT_EQ(net.metrics().current().corrupt_delivered, 0u);
+  }
+}
+
+TEST(Corruption, ReliableTransportIsExactlyOnceUnderCorruption) {
+  for (const double p : kCorruptRates) {
+    for (const std::uint64_t seed : chaos_seeds()) {
+      sim::NetworkConfig cfg;
+      cfg.seed = seed;
+      cfg.faults.corrupt_prob = p;
+      cfg.reliable.enabled = true;
+      NodeId a, b;
+      sim::Network net = make_net(cfg, &a, &b);
+      for (std::uint64_t i = 0; i < 200; ++i) {
+        net.node_as<BlipNode>(a).blip(b, i);
+      }
+      net.run_until_idle();
+      auto got = sorted(net.node_as<BlipNode>(b).received);
+      ASSERT_EQ(got.size(), 200u) << "p=" << p << " seed=" << seed;
+      for (std::uint64_t i = 0; i < 200; ++i) EXPECT_EQ(got[i], i);
+      EXPECT_EQ(net.metrics().current().corrupt_delivered, 0u);
+      EXPECT_EQ(net.reliable().unacked(), 0u);
+    }
+  }
+}
+
+// Satellite: a link that corrupts every physical copy. The poison budget
+// must quarantine every record (graceful degradation, network quiesces),
+// the storm guard + jitter must keep the retransmission volume bounded
+// by its per-round quota, and the stall report must surface the
+// quarantined records.
+TEST(Corruption, FullyCorruptingLinkQuarantinesWithoutAStorm) {
+  sim::NetworkConfig cfg;
+  cfg.seed = 33;
+  cfg.faults.corrupt_prob = 1.0;
+  cfg.faults.corrupt_max_flips = 1;  // one flip can never cancel out
+  cfg.reliable.enabled = true;
+  cfg.reliable.ack_timeout = 2;
+  cfg.reliable.max_poison_attempts = 4;
+  cfg.reliable.max_channel_retransmits_per_round = 1;
+  cfg.reliable.retransmit_jitter = 2;
+  NodeId a, b;
+  sim::Network net = make_net(cfg, &a, &b);
+  constexpr std::uint64_t kSends = 20;
+  for (std::uint64_t i = 0; i < kSends; ++i) {
+    net.node_as<BlipNode>(a).blip(b, i);
+  }
+  const std::uint64_t rounds = net.run_until_idle();
+  EXPECT_TRUE(net.node_as<BlipNode>(b).received.empty());
+  EXPECT_EQ(net.reliable().quarantined(), kSends);
+  EXPECT_EQ(net.metrics().quarantined(), kSends);
+  // 4 poisoned copies per record: the original + 3 retransmissions.
+  EXPECT_EQ(net.metrics().corrupted(), kSends * 4);
+  EXPECT_EQ(net.metrics().retransmitted(), kSends * 3);
+  // Storm guard: one retransmission per channel per round, hard cap.
+  EXPECT_LE(net.metrics().retransmitted(), rounds);
+  EXPECT_EQ(net.reliable().unacked(), 0u) << "quarantine must abandon all";
+  const std::string report = net.stall_report();
+  EXPECT_NE(report.find("quarantined poison record(s): 20"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("chaos.blip"), std::string::npos) << report;
+}
+
+// ---- Protocol chaos matrix: corruption x loss x crash ---------------------
+
+TEST(ChaosCorruptionSkeap, BatchesSurviveACorruptingChannel) {
+  for (const double rate : kCorruptRates) {
+    for (const std::uint64_t seed : chaos_seeds()) {
+      skeap::SkeapSystem::Options opts;
+      opts.num_nodes = 8;
+      opts.num_priorities = 3;
+      opts.seed = seed;
+      opts.wire = true;
+      opts.faults.corrupt_prob = rate;
+      opts.faults.truncate_prob = rate / 4.0;
+      opts.faults.garbage_prob = rate / 4.0;
+      opts.reliable.enabled = true;
+      skeap::SkeapSystem sys(opts);
+
+      HistoryOracle oracle(HistoryOracle::Mode::kPriority);
+      for (NodeId v = 0; v < 8; ++v) {
+        oracle.note_insert(sys.insert(v, 1 + v % 3), 0);
+      }
+      sys.run_batch();
+      for (NodeId v = 0; v < 8; ++v) {
+        oracle.note_insert(sys.insert(v, 1 + (v + 1) % 3), 1);
+        if (v % 2 == 0) {
+          sys.delete_min(v, [&](std::optional<Element> x) {
+            oracle.note_delete_result(1, x);
+          });
+        }
+      }
+      sys.run_batch();
+      const auto verdict = oracle.check();
+      EXPECT_TRUE(verdict.ok)
+          << "rate=" << rate << " seed=" << seed << ": " << verdict.error;
+      EXPECT_EQ(oracle.live_after_replay(), 12u);
+      EXPECT_EQ(sys.net().metrics().current().corrupt_delivered, 0u)
+          << "a mutated frame reached a decoder";
+      const auto check = core::check_skeap_trace(sys.gather_trace());
+      EXPECT_TRUE(check.ok)
+          << "rate=" << rate << " seed=" << seed << ": " << check.error;
+    }
+  }
+}
+
+TEST(ChaosCorruptionSeap, CyclesSurviveACorruptingChannel) {
+  for (const double rate : kCorruptRates) {
+    for (const std::uint64_t seed : chaos_seeds()) {
+      seap::SeapSystem::Options opts;
+      opts.num_nodes = 8;
+      opts.seed = seed;
+      opts.wire = true;
+      opts.faults.corrupt_prob = rate;
+      opts.faults.truncate_prob = rate / 4.0;
+      opts.faults.garbage_prob = rate / 4.0;
+      opts.reliable.enabled = true;
+      seap::SeapSystem sys(opts);
+
+      Rng rng(seed ^ 0xabc);
+      HistoryOracle oracle(HistoryOracle::Mode::kExact);
+      for (int i = 0; i < 24; ++i) {
+        oracle.note_insert(sys.insert(static_cast<NodeId>(rng.below(8)),
+                                      rng.range(1, 1u << 20)),
+                           0);
+      }
+      sys.run_cycle();
+      for (int i = 0; i < 8; ++i) {
+        sys.delete_min(static_cast<NodeId>(i),
+                       [&](std::optional<Element> x) {
+                         oracle.note_delete_result(1, x);
+                       });
+      }
+      sys.run_cycle();
+      const auto verdict = oracle.check();
+      EXPECT_TRUE(verdict.ok)
+          << "rate=" << rate << " seed=" << seed << ": " << verdict.error;
+      EXPECT_EQ(oracle.live_after_replay(), 16u);
+      EXPECT_EQ(sys.net().metrics().current().corrupt_delivered, 0u);
+      const auto check = core::check_seap_trace(sys.gather_trace());
+      EXPECT_TRUE(check.ok)
+          << "rate=" << rate << " seed=" << seed << ": " << check.error;
+    }
+  }
+}
+
+TEST(ChaosCorruptionKSelect, SelectionSurvivesACorruptingChannel) {
+  for (const double rate : kCorruptRates) {
+    for (const std::uint64_t seed : chaos_seeds()) {
+      kselect::KSelectSystem::Options opts;
+      opts.num_nodes = 16;
+      opts.seed = seed;
+      opts.wire = true;
+      opts.faults.corrupt_prob = rate;
+      opts.faults.truncate_prob = rate / 4.0;
+      opts.faults.garbage_prob = rate / 4.0;
+      opts.reliable.enabled = true;
+      kselect::KSelectSystem sys(opts);
+
+      Rng rng(seed ^ 0x515);
+      std::vector<kselect::CandidateKey> elements;
+      for (std::uint64_t i = 0; i < 200; ++i) {
+        elements.push_back(
+            kselect::CandidateKey{rng.range(1, 1u << 16), i + 1});
+      }
+      sys.seed_elements(elements);
+      const auto out = sys.select(57);
+      ASSERT_TRUE(out.result.has_value())
+          << "rate=" << rate << " seed=" << seed;
+      std::sort(elements.begin(), elements.end());
+      EXPECT_EQ(*out.result, elements[56])
+          << "rate=" << rate << " seed=" << seed;
+      EXPECT_EQ(sys.net().metrics().current().corrupt_delivered, 0u);
+    }
+  }
+}
+
+// The full fault ladder at once: corruption + loss + a mid-epoch
+// crash-stop, with recovery enabled. Exactly-once must survive the
+// stack, and the corruption layer must stay invisible to the protocol.
+TEST(ChaosCorruptionSkeap, CorruptionLossAndCrashTogether) {
+  for (const std::uint64_t seed : chaos_seeds()) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    skeap::SkeapSystem::Options opts;
+    opts.num_nodes = 8;
+    opts.num_priorities = 3;
+    opts.seed = seed;
+    opts.wire = true;
+    opts.faults.corrupt_prob = 0.05;
+    opts.faults.truncate_prob = 0.01;
+    opts.faults.garbage_prob = 0.01;
+    opts.faults.drop_prob = 0.05;
+    opts.reliable.enabled = true;
+    opts.recovery.enabled = true;
+    opts.recovery.replication = 2;
+    skeap::SkeapSystem sys(opts);
+
+    HistoryOracle oracle(HistoryOracle::Mode::kPriority);
+    std::vector<std::pair<NodeId, Element>> pending;
+    auto ack = [&](std::uint64_t epoch) {
+      for (auto& [v, e] : pending) {
+        if (sys.active_nodes().count(v)) oracle.note_insert(e, epoch);
+      }
+      pending.clear();
+    };
+
+    // Epoch 0: prepopulate (commits that the crash must not lose).
+    std::uint64_t epoch = sys.cluster().epochs_started();
+    for (NodeId v = 0; v < 8; ++v) {
+      pending.emplace_back(v, sys.insert(v, 1 + v % 3));
+    }
+    sys.run_batch();
+    ack(epoch);
+
+    // Epoch 1: mixed work; a non-anchor node crash-stops mid-batch while
+    // the channel keeps corrupting and dropping.
+    NodeId victim = kNoNode;
+    for (NodeId v : sys.active_nodes()) {
+      if (v != sys.anchor()) {
+        victim = v;
+        break;
+      }
+    }
+    ASSERT_NE(victim, kNoNode);
+    epoch = sys.cluster().epochs_started();
+    for (NodeId v : sys.active_nodes()) {
+      pending.emplace_back(v, sys.insert(v, 1 + (v + 1) % 3));
+      sys.delete_min(v, [&oracle, epoch](std::optional<Element> x) {
+        oracle.note_delete_result(epoch, x);
+      });
+    }
+    sys.net().schedule_crash({victim, sys.net().round() + 6, /*restart=*/0});
+    sys.run_batch();
+    ack(epoch);
+
+    ASSERT_EQ(sys.active_nodes().size(), 7u);
+    EXPECT_EQ(sys.active_nodes().count(victim), 0u);
+
+    // Drain everything acknowledged; exactly-once end to end.
+    for (int guard = 0; oracle.live_after_replay() > 0 && guard < 8;
+         ++guard) {
+      epoch = sys.cluster().epochs_started();
+      std::size_t want = oracle.live_after_replay();
+      for (NodeId v : sys.active_nodes()) {
+        if (want == 0) break;
+        --want;
+        sys.delete_min(v, [&oracle, epoch](std::optional<Element> x) {
+          oracle.note_delete_result(epoch, x);
+        });
+      }
+      sys.run_batch();
+    }
+    ASSERT_EQ(oracle.live_after_replay(), 0u);
+    const auto verdict = oracle.check();
+    EXPECT_TRUE(verdict.ok) << verdict.error;
+    EXPECT_EQ(sys.net().metrics().current().corrupt_delivered, 0u);
+    const auto check = core::check_skeap_trace(sys.gather_trace());
+    EXPECT_TRUE(check.ok) << check.error;
+  }
+}
+
+}  // namespace
+}  // namespace sks
