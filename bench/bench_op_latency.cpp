@@ -5,7 +5,16 @@
 // Batched protocols trade per-op latency for throughput: the centralized
 // heap answers in ~2 rounds but melts under load (E10); Skeap/Seap answer
 // in O(log n) regardless of how many ops share the batch.
+//
+// With --arrival-rate R an open-loop leg runs after the closed-loop
+// tables: DeleteMins arrive as a Poisson process (mean R per node per
+// epoch, dedicated rng stream) instead of one synchronized full batch,
+// so the latency distribution reflects load the issuers do not pace to
+// the service rate — the regime E20 (bench_overload) stresses.
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
 #include "baselines/centralized.hpp"
@@ -34,6 +43,56 @@ Latency summarize(std::vector<std::uint64_t> samples) {
   out.p99 = samples[samples.size() * 99 / 100];
   out.max = samples.back();
   return out;
+}
+
+/// Knuth Poisson sampler (same scheme as bench_overload); lambda stays
+/// small enough that exp(-lambda) is comfortably representable.
+std::uint64_t poisson(Rng& rng, double lambda) {
+  const double limit = std::exp(-lambda);
+  double p = 1.0;
+  std::uint64_t k = 0;
+  do {
+    ++k;
+    p *= rng.unit();
+  } while (p > limit);
+  return k - 1;
+}
+
+/// Open-loop Skeap leg: Poisson DeleteMin arrivals at `rate` per node
+/// per epoch against a prefilled heap, latency measured per op from its
+/// issue round to its callback round.
+void run_open_loop(double rate, bench::Table& table) {
+  constexpr std::size_t kNodes = 64;
+  constexpr std::size_t kEpochs = 8;
+  skeap::SkeapSystem sys(
+      {.num_nodes = kNodes, .num_priorities = 4, .seed = 7});
+  Rng fill(8);
+  // Prefill well past the expected demand so no delete returns ⊥.
+  const std::size_t per_node =
+      2 * static_cast<std::size_t>(std::ceil(rate * kEpochs)) + 1;
+  for (std::size_t i = 0; i < per_node; ++i) {
+    for (NodeId v = 0; v < kNodes; ++v) sys.insert(v, fill.range(1, 4));
+  }
+  sys.run_batch();
+
+  Rng arrivals(9);  // dedicated arrival stream
+  std::vector<std::uint64_t> lat;
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    const std::uint64_t issued_at = sys.net().round();
+    for (NodeId v = 0; v < kNodes; ++v) {
+      const std::uint64_t k = poisson(arrivals, rate);
+      for (std::uint64_t i = 0; i < k; ++i) {
+        sys.delete_min(v,
+                       [&lat, &sys, issued_at](std::optional<Element>) {
+                         lat.push_back(sys.net().round() - issued_at);
+                       });
+      }
+    }
+    sys.run_batch();
+  }
+  const auto s = summarize(std::move(lat));
+  table.row({rate, s.mean, static_cast<double>(s.p50),
+             static_cast<double>(s.p99), static_cast<double>(s.max)});
 }
 
 }  // namespace
@@ -106,6 +165,20 @@ int main(int argc, char** argv) {
     std::printf("Centralized:\n");
     table.row({2, s.mean, static_cast<double>(s.p50),
                static_cast<double>(s.p99), static_cast<double>(s.max)});
+  }
+
+  double arrival_rate = 0.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--arrival-rate") {
+      arrival_rate = std::strtod(argv[i + 1], nullptr);
+    }
+  }
+  if (arrival_rate > 0.0) {
+    std::printf("\nSkeap open-loop (Poisson arrivals, mean %.2f "
+                "DeleteMins per node per epoch):\n",
+                arrival_rate);
+    bench::Table open({"rate", "mean", "p50", "p99", "max"});
+    run_open_loop(arrival_rate, open);
   }
   return 0;
 }

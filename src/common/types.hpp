@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <compare>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "common/wire.hpp"
@@ -65,6 +66,18 @@ struct Element {
 /// The key under which elements are compared in KSelect; identical layout
 /// to Element but semantically "the total-order key".
 using ElementKey = Element;
+
+/// Outcome of an insert under admission control (node-level
+/// max_buffered_ops caps). Without a cap this is always
+/// {accepted=true, shed=nullopt}. When the buffer is full, `shed` names
+/// the element sacrificed: either a previously buffered insert evicted
+/// to make room (accepted=true) or the incoming element itself
+/// (accepted=false). The shed element is rejected client-visibly — it
+/// will never be returned by a DeleteMin.
+struct AdmitResult {
+  bool accepted = true;
+  std::optional<Element> shed;
+};
 
 inline std::string to_string(const Element& e) {
   return "(" + std::to_string(e.prio) + "#" + std::to_string(e.id) + ")";

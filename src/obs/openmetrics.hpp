@@ -67,6 +67,9 @@ inline void write_openmetrics(std::ostream& os, const Sampler& sampler) {
   counter("scrubs", "replica scrub-pass owner audits", c.scrubs);
   counter("digest_mismatches", "replica state-digest mismatches",
           c.digest_mismatches);
+  counter("window_stalls", "sends parked by the flow-control window",
+          c.window_stalls);
+  counter("sheds", "inserts rejected by admission control", c.sheds);
   counter("telemetry_samples", "sample points cut", c.samples);
 
   auto latest = [&](SeriesId id) {
@@ -83,6 +86,10 @@ inline void write_openmetrics(std::ostream& os, const Sampler& sampler) {
         latest(SeriesId::kInFlight));
   gauge("shard_imbalance", "max/mean per-shard deliveries, last interval",
         latest(SeriesId::kImbalance));
+  gauge("queue_depth", "client ops buffered across nodes",
+        latest(SeriesId::kQueueDepth));
+  gauge("batch_size", "adaptive per-node batch limit",
+        latest(SeriesId::kBatchSize));
 
   os << "# EOF\n";
 }

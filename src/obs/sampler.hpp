@@ -22,6 +22,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -58,6 +59,8 @@ class Sampler {
     std::uint64_t quarantined = 0;
     std::uint64_t scrubs = 0;
     std::uint64_t digest_mismatches = 0;
+    std::uint64_t window_stalls = 0;
+    std::uint64_t sheds = 0;
     std::uint64_t samples = 0;
   };
 
@@ -147,11 +150,19 @@ class Sampler {
         static_cast<double>(delta(cur.scrubs, last_.scrubs));
     v[idx(SeriesId::kDigestMismatches)] = static_cast<double>(
         delta(cur.digest_mismatches, last_.digest_mismatches));
+    v[idx(SeriesId::kWindowStalls)] =
+        static_cast<double>(delta(cur.window_stalls, last_.window_stalls));
+    v[idx(SeriesId::kSheds)] =
+        static_cast<double>(delta(cur.sheds, last_.sheds));
     const sim::PoolStats pools = sim::PoolDirectory::instance().totals();
     v[idx(SeriesId::kPoolAllocated)] = static_cast<double>(pools.allocated);
     v[idx(SeriesId::kPoolParked)] = static_cast<double>(pools.parked_global);
     v[idx(SeriesId::kInFlight)] = static_cast<double>(net_->data_in_flight());
     v[idx(SeriesId::kImbalance)] = imbalance(cur.shard_messages);
+    v[idx(SeriesId::kQueueDepth)] =
+        queue_depth_probe_ ? static_cast<double>(queue_depth_probe_()) : 0.0;
+    v[idx(SeriesId::kBatchSize)] =
+        batch_size_probe_ ? static_cast<double>(batch_size_probe_()) : 0.0;
 
     for (std::size_t i = 0; i < kNumSeries; ++i) series_[i].push(t, v[i]);
 
@@ -168,6 +179,8 @@ class Sampler {
     cum_.scrubs += delta(cur.scrubs, last_.scrubs);
     cum_.digest_mismatches +=
         delta(cur.digest_mismatches, last_.digest_mismatches);
+    cum_.window_stalls += delta(cur.window_stalls, last_.window_stalls);
+    cum_.sheds += delta(cur.sheds, last_.sheds);
     ++cum_.samples;
     last_ = std::move(cur);
 
@@ -180,6 +193,20 @@ class Sampler {
   const Cumulative& cumulative() const { return cum_; }
   const Options& options() const { return opts_; }
   const sim::Network& net() const { return *net_; }
+
+  // ---- Harness-level gauges --------------------------------------------
+  //
+  // Queue depth (buffered client ops) and the adaptive batch limit live
+  // above the network, so the harness wires probes in; without one the
+  // series samples 0. Probes are read at sample points only — same
+  // round-barrier safety as every other read here.
+
+  void set_queue_depth_probe(std::function<std::uint64_t()> probe) {
+    queue_depth_probe_ = std::move(probe);
+  }
+  void set_batch_size_probe(std::function<std::uint64_t()> probe) {
+    batch_size_probe_ = std::move(probe);
+  }
 
  private:
   /// One consistent read of every cumulative source. Scalar facade
@@ -196,6 +223,8 @@ class Sampler {
     std::uint64_t quarantined = 0;
     std::uint64_t scrubs = 0;
     std::uint64_t digest_mismatches = 0;
+    std::uint64_t window_stalls = 0;
+    std::uint64_t sheds = 0;
     std::vector<std::uint64_t> shard_messages;
   };
 
@@ -221,6 +250,8 @@ class Sampler {
     out.quarantined = m.quarantined();
     out.scrubs = m.scrubs();
     out.digest_mismatches = m.digest_mismatches();
+    out.window_stalls = m.window_stalls();
+    out.sheds = m.sheds();
     out.shard_messages = m.shard_message_counts();
   }
 
@@ -263,6 +294,8 @@ class Sampler {
   Raw last_;
   Cumulative cum_;
   std::vector<TimeSeries> series_;
+  std::function<std::uint64_t()> queue_depth_probe_;
+  std::function<std::uint64_t()> batch_size_probe_;
 };
 
 }  // namespace sks::obs

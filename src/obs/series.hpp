@@ -40,6 +40,10 @@ enum class SeriesId : std::size_t {
   kQuarantined,       ///< poison records quarantined this interval
   kScrubs,            ///< scrub-pass owner audits this interval
   kDigestMismatches,  ///< replica digest mismatches this interval
+  kWindowStalls,      ///< flow-control window stalls this interval
+  kSheds,             ///< admission-control sheds this interval
+  kQueueDepth,        ///< client ops buffered across nodes (gauge)
+  kBatchSize,         ///< adaptive per-node batch limit (gauge)
   kCount
 };
 
@@ -64,6 +68,10 @@ inline const char* series_name(SeriesId id) {
     case SeriesId::kQuarantined: return "quarantined";
     case SeriesId::kScrubs: return "scrubs";
     case SeriesId::kDigestMismatches: return "digest_mismatches";
+    case SeriesId::kWindowStalls: return "window_stalls";
+    case SeriesId::kSheds: return "sheds";
+    case SeriesId::kQueueDepth: return "queue_depth";
+    case SeriesId::kBatchSize: return "batch_size";
     case SeriesId::kCount: break;
   }
   return "?";
@@ -84,6 +92,8 @@ inline bool series_is_counter(SeriesId id) {
     case SeriesId::kQuarantined:
     case SeriesId::kScrubs:
     case SeriesId::kDigestMismatches:
+    case SeriesId::kWindowStalls:
+    case SeriesId::kSheds:
       return true;
     default:
       return false;

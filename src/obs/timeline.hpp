@@ -90,11 +90,13 @@ inline void render_timeline(std::ostream& os,
                             std::size_t max_rows = 0) {
   const std::size_t first =
       max_rows > 0 && rows.size() > max_rows ? rows.size() - max_rows : 0;
-  char buf[256];
-  std::snprintf(buf, sizeof(buf), "%8s %6s %7s %10s %10s %12s %6s %7s %8s %8s %8s %9s %7s %6s\n",
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "%8s %6s %7s %10s %10s %12s %6s %7s %8s %8s %8s %9s %7s %6s %6s %6s %7s %6s\n",
                 "round", "epoch", "rounds", "wall_ms", "rnds/s", "messages",
                 "bits/msg", "drops", "retrans", "corrupt", "suspect",
-                "dead+rec", "inflight", "imbal");
+                "dead+rec", "inflight", "imbal", "stall", "shed",
+                "qdepth", "batch");
   os << buf;
   for (std::size_t i = first; i < rows.size(); ++i) {
     const TimelineRow& r = rows[i];
@@ -106,7 +108,7 @@ inline void render_timeline(std::ostream& os,
         msgs > 0.0 ? v(SeriesId::kBits) / msgs : 0.0;
     std::snprintf(
         buf, sizeof(buf),
-        "%8llu %6llu %7llu %10.1f %10.0f %12.0f %6.1f %7.0f %8.0f %8.0f %8.0f %4.0f+%-4.0f %7.0f %6.2f\n",
+        "%8llu %6llu %7llu %10.1f %10.0f %12.0f %6.1f %7.0f %8.0f %8.0f %8.0f %4.0f+%-4.0f %7.0f %6.2f %6.0f %6.0f %7.0f %6.0f\n",
         static_cast<unsigned long long>(r.t),
         static_cast<unsigned long long>(r.epoch),
         static_cast<unsigned long long>(r.rounds), r.wall_ms,
@@ -115,7 +117,9 @@ inline void render_timeline(std::ostream& os,
         v(SeriesId::kCorrupted),
         v(SeriesId::kSuspects), v(SeriesId::kDeclaredDead),
         v(SeriesId::kRecoveries), v(SeriesId::kInFlight),
-        v(SeriesId::kImbalance));
+        v(SeriesId::kImbalance), v(SeriesId::kWindowStalls),
+        v(SeriesId::kSheds), v(SeriesId::kQueueDepth),
+        v(SeriesId::kBatchSize));
     os << buf;
   }
   if (first > 0) {

@@ -24,6 +24,7 @@
 // compiled out via `if constexpr`.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -77,6 +78,18 @@ struct ClusterOptions {
   /// Execution shards (0 = auto from network size). Defaults from
   /// SKS_SHARDS (benches: --shards).
   std::size_t shards = sim::shard_count_default();
+  /// Cap on the network's pending-ring growth, in rounds (see
+  /// sim::NetworkConfig::max_pending_rounds). 0 = unbounded.
+  std::uint64_t max_pending_rounds = 0;
+  /// Adaptive batching (graceful degradation under overload): when
+  /// adaptive_batch_max != 0, each epoch snapshots at most batch_limit()
+  /// ops per node; the limit doubles (up to max) after an epoch that
+  /// left work queued and halves (down to min) after one that drained
+  /// everything. Small batches keep per-epoch latency low at light load;
+  /// large ones amortize the aggregation tree under pressure. 0 = off:
+  /// every epoch drains every buffered op (the default).
+  std::size_t adaptive_batch_min = 0;
+  std::size_t adaptive_batch_max = 0;
 };
 
 /// The one place a simulated network is constructed from deployment
@@ -91,6 +104,7 @@ inline std::unique_ptr<sim::Network> make_network(const ClusterOptions& o) {
   cfg.wire = o.wire;
   cfg.threads = o.threads;
   cfg.shards = o.shards;
+  cfg.max_pending_rounds = o.max_pending_rounds;
   return std::make_unique<sim::Network>(cfg);
 }
 
@@ -157,6 +171,13 @@ class Cluster {
         label_hash_(opts.seed),
         net_(make_network(opts)),
         sizing_nodes_(opts.num_nodes) {
+    if (opts_.adaptive_batch_max != 0) {
+      SKS_CHECK_MSG(opts_.adaptive_batch_min >= 1 &&
+                        opts_.adaptive_batch_min <= opts_.adaptive_batch_max,
+                    "adaptive batching needs 1 <= adaptive_batch_min <= "
+                    "adaptive_batch_max");
+      batch_limit_ = opts_.adaptive_batch_min;
+    }
     const ConfigT config = make_config_(opts.num_nodes);
     const auto params = overlay::RouteParams::for_system(opts.num_nodes);
     std::vector<overlay::NodeLinks> links;
@@ -255,12 +276,30 @@ class Cluster {
     st.congestion_high_water = cur.max_congestion();
     epoch_history_.push_back(st);
     if (epoch_observer_) epoch_observer_(st);
+    adapt_batch_limit();
     ++epochs_started_;
     return rounds;
   }
 
   /// Epochs started so far (the counter joiners are synchronized to).
   std::uint64_t epochs_started() const { return epochs_started_; }
+
+  // ---- Adaptive batching -----------------------------------------------
+
+  /// Per-node op cap the NEXT epoch's snapshot should use; 0 = no cap
+  /// (adaptive batching off). Harness start functions pass this to
+  /// start_batch(limit)/start_cycle(limit).
+  std::size_t batch_limit() const { return batch_limit_; }
+
+  /// Ops buffered across all active nodes (the backlog adaptive batching
+  /// reacts to; also the admission-control depth benches bound).
+  std::size_t queued_ops() {
+    std::size_t total = 0;
+    if constexpr (requires(NodeT& n) { n.buffered_ops(); }) {
+      for (NodeId v : active_) total += node(v).buffered_ops();
+    }
+    return total;
+  }
 
   const std::vector<EpochStats>& epoch_history() const {
     return epoch_history_;
@@ -676,8 +715,23 @@ class Cluster {
     st.congestion_high_water = cur.max_congestion();
     epoch_history_.push_back(st);
     if (epoch_observer_) epoch_observer_(st);
+    adapt_batch_limit();
     ++epochs_started_;
     return rounds;
+  }
+
+  /// AIMD-flavored batch sizing: backlog left after the epoch means the
+  /// cap bit, so double it (amortize the tree over more ops); a clean
+  /// drain means light load, so halve back toward the latency-optimal
+  /// minimum. Multiplicative in both directions: the limit tracks load
+  /// swings within O(log(max/min)) epochs.
+  void adapt_batch_limit() {
+    if (opts_.adaptive_batch_max == 0) return;
+    if (queued_ops() > 0) {
+      batch_limit_ = std::min(batch_limit_ * 2, opts_.adaptive_batch_max);
+    } else {
+      batch_limit_ = std::max(batch_limit_ / 2, opts_.adaptive_batch_min);
+    }
   }
 
   /// Rebuild the overlay for the surviving member set and re-home the
@@ -807,6 +861,9 @@ class Cluster {
   NodeId anchor_ = kNoNode;
   std::set<NodeId> active_;
   std::uint64_t epochs_started_ = 0;
+  /// Per-node op cap for the next epoch (0 = uncapped). Only adapted when
+  /// ClusterOptions::adaptive_batch_max != 0.
+  std::size_t batch_limit_ = 0;
   std::vector<EpochStats> epoch_history_;
   std::function<void(const EpochStats&)> epoch_observer_;
   /// Nodes that were down at start_all time this epoch, and the start

@@ -29,6 +29,7 @@
 // requests"); the harness starts cycle t+1 after cycle t quiesces.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -71,6 +72,12 @@ struct SeapConfig {
   /// high injection rates"). Message sizes stay O(log n).
   bool sequentially_consistent = false;
   recovery::RecoveryConfig recovery;
+  /// Admission control: cap on buffered (not yet cycled) inserts per
+  /// node. Same policy as Skeap — at the cap the worst pending insert
+  /// (largest key, the element a correct heap would return last) is
+  /// shed, or the incoming one when it is the worst. Deletes are never
+  /// shed. 0 = unbounded (the default).
+  std::size_t max_buffered_ops = 0;
 };
 
 // ---- aggregation value types ----------------------------------------------
@@ -247,12 +254,43 @@ class SeapNode : public overlay::OverlayNode {
 
   // ---- Client API ------------------------------------------------------
 
-  void insert(const Element& e) {
+  /// Buffer an Insert(e). Under admission control
+  /// (SeapConfig::max_buffered_ops) the returned AdmitResult reports
+  /// whether e was buffered and which element, if any, was shed.
+  AdmitResult insert(const Element& e) {
+    AdmitResult out;
+    if (config_.max_buffered_ops != 0 &&
+        buffered_inserts_ >= config_.max_buffered_ops) [[unlikely]] {
+      // Shed the worst pending insert: largest (priority, issue order)
+      // over stored ∪ incoming; the incoming op loses ties (it is the
+      // newest, hence the max on a priority tie).
+      auto victim = buffered_.end();
+      for (auto it = buffered_.begin(); it != buffered_.end(); ++it) {
+        if (!it->is_insert) continue;
+        if (victim == buffered_.end() ||
+            it->element.prio > victim->element.prio ||
+            (it->element.prio == victim->element.prio &&
+             it->issue_seq > victim->issue_seq)) {
+          victim = it;
+        }
+      }
+      net().metrics().record_shed();
+      if (victim == buffered_.end() || victim->element.prio <= e.prio) {
+        out.accepted = false;
+        out.shed = e;
+        return out;
+      }
+      out.shed = victim->element;
+      buffered_.erase(victim);
+      --buffered_inserts_;
+    }
     PendingOp op;
     op.is_insert = true;
     op.element = e;
     op.issue_seq = next_issue_seq_++;
     buffered_.push_back(std::move(op));
+    ++buffered_inserts_;
+    return out;
   }
 
   void delete_min(DeleteCallback cb) {
@@ -270,14 +308,23 @@ class SeapNode : public overlay::OverlayNode {
   /// Snapshot buffered operations and start the Insert phase of the next
   /// cycle. Cycles are phase-barriered: call only when the previous cycle
   /// has quiesced.
-  std::uint64_t start_cycle() {
+  std::uint64_t start_cycle() { return start_cycle(0); }
+
+  /// start_cycle with a cycle-size cap: snapshot at most `limit` buffered
+  /// ops (0 = all), oldest first; the rest stay buffered for a later
+  /// cycle. In sequentially consistent mode the cap truncates the
+  /// insert-run/delete-run prefix, which preserves local issue order.
+  std::uint64_t start_cycle(std::size_t limit) {
     const std::uint64_t cycle = next_cycle_++;
     CycleState& cs = cycles_[cycle];
+    std::size_t budget = limit == 0 ? buffered_.size() : limit;
     if (!config_.sequentially_consistent) {
-      while (!buffered_.empty()) {
+      while (!buffered_.empty() && budget > 0) {
         PendingOp op = std::move(buffered_.front());
         buffered_.pop_front();
+        --budget;
         if (op.is_insert) {
+          --buffered_inserts_;
           cs.inserts.push_back(std::move(op));
         } else {
           cs.deletes.push_back(std::move(op));
@@ -288,13 +335,18 @@ class SeapNode : public overlay::OverlayNode {
       // not start with a delete) followed by the adjacent delete run —
       // this prefix is the largest piece that one insert-then-delete
       // cycle can serialize without reordering this node's operations.
-      while (!buffered_.empty() && buffered_.front().is_insert) {
+      while (!buffered_.empty() && buffered_.front().is_insert &&
+             budget > 0) {
+        --buffered_inserts_;
         cs.inserts.push_back(std::move(buffered_.front()));
         buffered_.pop_front();
+        --budget;
       }
-      while (!buffered_.empty() && !buffered_.front().is_insert) {
+      while (!buffered_.empty() && !buffered_.front().is_insert &&
+             budget > 0) {
         cs.deletes.push_back(std::move(buffered_.front()));
         buffered_.pop_front();
+        --budget;
       }
     }
     // Insert-phase span: from this host's contribution until its puts are
@@ -366,6 +418,9 @@ class SeapNode : public overlay::OverlayNode {
     del_agg_.abort_all();
     move_agg_.abort_all();
     buffered_ = c.buffered;
+    buffered_inserts_ = static_cast<std::size_t>(std::count_if(
+        buffered_.begin(), buffered_.end(),
+        [](const PendingOp& op) { return op.is_insert; }));
     cycles_.clear();
     pending_thresholds_.clear();
     anchor_cycles_.clear();
@@ -656,6 +711,7 @@ class SeapNode : public overlay::OverlayNode {
   std::vector<std::pair<DeleteCallback, std::optional<Element>>> deferred_;
 
   std::deque<PendingOp> buffered_;
+  std::size_t buffered_inserts_ = 0;  ///< inserts within buffered_
   std::map<std::uint64_t, CycleState> cycles_;
   std::map<std::uint64_t, Element> pending_thresholds_;
   std::uint64_t next_cycle_ = 0;

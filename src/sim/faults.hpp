@@ -60,6 +60,34 @@ struct CrashEvent {
   std::uint64_t restart_round = 0;  ///< 0 = crash-stop
 };
 
+/// A scheduled straggler window: while `from_round <= round < until_round`,
+/// `node` runs on_activate only every `period`-th round (on rounds where
+/// `(round - from_round) % period == 0`). Deliveries still arrive on time —
+/// only the node's own processing slows down, modeling a CPU-starved or
+/// GC-pausing host rather than a slow link. Like partitions, stragglers
+/// are pure schedule lookups: they draw no randomness, so a plan whose
+/// straggler list is empty stays byte-identical to one built before the
+/// knob existed.
+struct Straggler {
+  NodeId node = kNoNode;
+  std::uint64_t period = 2;       ///< activate every period-th round
+  std::uint64_t from_round = 0;
+  std::uint64_t until_round = 0;  ///< exclusive
+};
+
+/// Sustained per-link delay inflation: while active, every message from
+/// `from` to `to` (that direction only; add the mirrored entry for both)
+/// takes `extra` additional rounds on top of its drawn delay. Unlike the
+/// probabilistic spike knob this is deterministic and sustained — the
+/// injection for "this link is congested for the next thousand rounds".
+struct LinkInflation {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint64_t extra = 0;
+  std::uint64_t from_round = 0;
+  std::uint64_t until_round = 0;  ///< exclusive
+};
+
 /// The complete fault schedule of one simulation. Default-constructed
 /// (all-zero) plans inject nothing and cost one predictable branch per
 /// send/step — runs with an all-zero plan are trace-identical to runs
@@ -92,10 +120,13 @@ struct FaultPlan {
   std::uint64_t garbage_max_bytes = 64;
   std::vector<Partition> partitions;
   std::vector<CrashEvent> crashes;
+  std::vector<Straggler> stragglers;
+  std::vector<LinkInflation> link_inflations;
 
   bool active() const {
     return drop_prob > 0.0 || duplicate_prob > 0.0 || spike_prob > 0.0 ||
-           corruption_active() || !partitions.empty() || !crashes.empty();
+           corruption_active() || !partitions.empty() || !crashes.empty() ||
+           !stragglers.empty() || !link_inflations.empty();
   }
 
   /// True when any wire-corruption knob is nonzero (these require the
@@ -113,6 +144,15 @@ struct FaultPlan {
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {
+    for (const Straggler& s : plan_.stragglers) {
+      SKS_CHECK_MSG(s.node != kNoNode, "straggler entry without a node");
+      SKS_CHECK_MSG(s.period >= 1,
+                    "straggler period of node " << s.node << " must be >= 1");
+    }
+    for (const LinkInflation& li : plan_.link_inflations) {
+      SKS_CHECK_MSG(li.from != kNoNode && li.to != kNoNode,
+                    "link-inflation entry without both endpoints");
+    }
     for (const CrashEvent& c : plan_.crashes) {
       SKS_CHECK_MSG(c.node != kNoNode, "crash event without a node");
       SKS_CHECK_MSG(c.restart_round == 0 || c.restart_round > c.at_round,
@@ -202,6 +242,33 @@ class FaultInjector {
     c.truncate = plan_.truncate_prob > 0.0 && rng.flip(plan_.truncate_prob);
     c.garbage = plan_.garbage_prob > 0.0 && rng.flip(plan_.garbage_prob);
     return c;
+  }
+
+  /// True if a straggler window makes node `v` skip its on_activate this
+  /// round. Pure schedule lookup — no randomness (see struct Straggler).
+  bool straggler_skips(NodeId v, std::uint64_t round) const {
+    for (const Straggler& s : plan_.stragglers) {
+      if (s.node != v) continue;
+      if (round < s.from_round || round >= s.until_round) continue;
+      if ((round - s.from_round) % std::max<std::uint64_t>(s.period, 1) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Extra delay rounds every message from -> to takes this round under
+  /// sustained link inflation (0 outside all windows). Windows on the same
+  /// directed link stack additively.
+  std::uint64_t link_inflation(NodeId from, NodeId to,
+                               std::uint64_t round) const {
+    std::uint64_t extra = 0;
+    for (const LinkInflation& li : plan_.link_inflations) {
+      if (li.from != from || li.to != to) continue;
+      if (round < li.from_round || round >= li.until_round) continue;
+      extra += li.extra;
+    }
+    return extra;
   }
 
   /// Apply all crash/restart transitions scheduled for `round`. Calls

@@ -144,6 +144,10 @@ struct MetricsSnapshot {
   std::uint64_t scrubs = 0;             ///< owners audited by the scrub pass
   std::uint64_t digest_mismatches = 0;  ///< digest checks that failed
   std::uint64_t digest_repairs = 0;     ///< mirrors rebuilt from quorum
+  // Overload accounting. All zero unless flow control (max_in_flight) or
+  // admission control (max_buffered_ops) is configured.
+  std::uint64_t window_stalls = 0;  ///< sends parked by a full flow window
+  std::uint64_t sheds = 0;          ///< inserts rejected/evicted by admission
   // Per-execution-shard load, shard-major (index = shard id). Message
   // counts are deterministic; busy_ns is wall-clock and only nonzero on
   // the multi-shard path. Intentionally NOT part of the determinism
@@ -211,6 +215,10 @@ class MetricsShard {
 
   void record_dup_suppressed() { ++dup_suppressed_; }
   void record_abandoned() { ++abandoned_; }
+
+  /// A send hit a full flow-control window and was staged (send context —
+  /// counted on the sending shard, like the fault events above).
+  void record_window_stall() { ++window_stalls_; }
 
   /// A physical frame mutated by channel corruption and rejected by the
   /// receiver's integrity check (CRC trailer or decode). For injected
@@ -298,6 +306,7 @@ class MetricsShard {
     corrupted_ = 0;
     corrupt_delivered_ = 0;
     quarantined_ = 0;
+    window_stalls_ = 0;
     wire_messages_ = 0;
     wire_body_bits_ = 0;
     wire_frame_bits_ = 0;
@@ -320,6 +329,7 @@ class MetricsShard {
   std::uint64_t corrupted_ = 0;
   std::uint64_t corrupt_delivered_ = 0;
   std::uint64_t quarantined_ = 0;
+  std::uint64_t window_stalls_ = 0;
   std::uint64_t wire_messages_ = 0;
   std::uint64_t wire_body_bits_ = 0;
   std::uint64_t wire_frame_bits_ = 0;
@@ -356,7 +366,8 @@ class Metrics {
         digest_mismatches_(
             other.digest_mismatches_.load(std::memory_order_relaxed)),
         digest_repairs_(
-            other.digest_repairs_.load(std::memory_order_relaxed)) {}
+            other.digest_repairs_.load(std::memory_order_relaxed)),
+        sheds_(other.sheds_.load(std::memory_order_relaxed)) {}
 
   Metrics& operator=(Metrics&& other) noexcept {
     rounds_ = other.rounds_;
@@ -376,6 +387,8 @@ class Metrics {
     digest_repairs_.store(
         other.digest_repairs_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    sheds_.store(other.sheds_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
     return *this;
   }
 
@@ -430,6 +443,9 @@ class Metrics {
     return sum(&MetricsShard::corrupt_delivered_);
   }
   std::uint64_t quarantined() const { return sum(&MetricsShard::quarantined_); }
+  std::uint64_t window_stalls() const {
+    return sum(&MetricsShard::window_stalls_);
+  }
   std::uint64_t wire_messages() const { return sum(&MetricsShard::wire_messages_); }
   std::uint64_t wire_body_bits() const { return sum(&MetricsShard::wire_body_bits_); }
 
@@ -471,6 +487,14 @@ class Metrics {
     return digest_repairs_.load(std::memory_order_relaxed);
   }
 
+  // Admission-control sheds. Recorded at client insert time (any thread
+  // may drive a node between rounds), so the same relaxed-atomic
+  // treatment as the detector events.
+  void record_shed() { sheds_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t sheds() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+
   /// Per-shard delivery counts / busy wall-ns, shard-major — the cheap
   /// load-balance reads for telemetry (no snapshot maps materialized).
   std::vector<std::uint64_t> shard_message_counts() const {
@@ -497,6 +521,7 @@ class Metrics {
     scrubs_.store(0, std::memory_order_relaxed);
     digest_mismatches_.store(0, std::memory_order_relaxed);
     digest_repairs_.store(0, std::memory_order_relaxed);
+    sheds_.store(0, std::memory_order_relaxed);
     return out;
   }
 
@@ -513,6 +538,7 @@ class Metrics {
     snap.scrubs = scrubs();
     snap.digest_mismatches = digest_mismatches();
     snap.digest_repairs = digest_repairs();
+    snap.sheds = sheds();
     snap.shard_messages.reserve(shards_.size());
     snap.shard_busy_ns.reserve(shards_.size());
     const ActionRegistry& registry = ActionRegistry::instance();
@@ -533,6 +559,7 @@ class Metrics {
       snap.corrupted += m.corrupted_;
       snap.corrupt_delivered += m.corrupt_delivered_;
       snap.quarantined += m.quarantined_;
+      snap.window_stalls += m.window_stalls_;
       snap.wire_messages += m.wire_messages_;
       snap.wire_body_bits += m.wire_body_bits_;
       snap.wire_frame_bits += m.wire_frame_bits_;
@@ -586,6 +613,7 @@ class Metrics {
   std::atomic<std::uint64_t> scrubs_{0};
   std::atomic<std::uint64_t> digest_mismatches_{0};
   std::atomic<std::uint64_t> digest_repairs_{0};
+  std::atomic<std::uint64_t> sheds_{0};
 };
 
 }  // namespace sks::sim

@@ -191,6 +191,12 @@ struct NetworkConfig {
   /// canonical trace (per-shard rng streams), so it must be configuration
   /// — never derived from the thread count.
   std::size_t shards = shard_count_default();
+  /// Cap on the pending ring's grow-on-demand path: the largest lookahead
+  /// (in rounds) a delayed message may claim before the run fails loudly.
+  /// Heavy-tail delay spikes and sustained link inflation grow the ring;
+  /// without a cap a hostile plan can grow it without bound. 0 = unbounded
+  /// growth (today's behaviour, the default).
+  std::uint64_t max_pending_rounds = 0;
 };
 
 class Network {
@@ -203,6 +209,9 @@ class Network {
         corrupt_possible_(cfg.faults.corruption_active()),
         reliable_enabled_(cfg.reliable.enabled),
         wire_enabled_(cfg.wire),
+        flow_control_(cfg.reliable.enabled && cfg.reliable.max_in_flight != 0),
+        stragglers_possible_(!cfg.faults.stragglers.empty()),
+        inflation_possible_(!cfg.faults.link_inflations.empty()),
         metrics_(0) {
     // Corruption mutates encoded frame bytes; without the wire path there
     // are no bytes to flip and the integrity layer (CRC trailer) that the
@@ -210,6 +219,11 @@ class Network {
     SKS_CHECK_MSG(!corrupt_possible_ || wire_enabled_,
                   "FaultPlan corruption requires wire mode "
                   "(NetworkConfig::wire)");
+    // The flow-control window stages sends inside the reliable transport;
+    // without the transport there is nothing to window.
+    SKS_CHECK_MSG(cfg.reliable.max_in_flight == 0 || cfg.reliable.enabled,
+                  "ReliableConfig::max_in_flight requires the reliable "
+                  "transport (ReliableConfig::enabled)");
     // Pending messages live in relative-round ring buffers (one per
     // shard): a message delayed by d lands d slots ahead of the current
     // one. A power-of-two size strictly greater than the largest possible
@@ -219,6 +233,12 @@ class Network {
     const std::uint64_t horizon =
         cfg_.mode == DeliveryMode::kSynchronous ? 1 : cfg_.max_delay;
     SKS_CHECK_MSG(horizon >= 1, "max_delay must be at least 1");
+    SKS_CHECK_MSG(cfg_.max_pending_rounds == 0 ||
+                      cfg_.max_pending_rounds > horizon,
+                  "NetworkConfig::max_pending_rounds ("
+                      << cfg_.max_pending_rounds
+                      << ") must exceed the base delivery horizon ("
+                      << horizon << ") or every plain send would trip it");
     ring_size_ = std::bit_ceil(horizon + 1);
     // Shard 0 exists from birth (its streams are the pre-shard network's
     // streams: protocol rng, the dedicated delay stream so enabling async
@@ -404,6 +424,13 @@ class Network {
         if (sh.reliable.unacked() != 0) return false;
       }
     }
+    if (flow_control_) {
+      // A staged send has not entered the channel yet; an ack, abandon or
+      // quarantine will free a window slot and release it.
+      for (const Shard& sh : shards_) {
+        if (sh.reliable.staged_total() != 0) return false;
+      }
+    }
     if (crash_possible_ && faults_.pending_restarts() != 0) return false;
     return true;
   }
@@ -469,6 +496,29 @@ class Network {
       if (shown > kStallReportRecords) {
         os << "\n  ... " << (shown - kStallReportRecords) << " more";
       }
+    }
+    if (flow_control_) {
+      std::uint64_t staged = 0;
+      for (const Shard& sh : shards_) staged += sh.reliable.staged_total();
+      os << "\nflow control (max_in_flight="
+         << cfg_.reliable.max_in_flight << "): " << staged
+         << " staged record(s); channels with window state:";
+      std::size_t shown = 0;
+      for (const Shard& sh : shards_) {
+        sh.reliable.for_each_channel_window(
+            [&](NodeId f, NodeId t, std::uint64_t in_flight,
+                std::uint64_t backlog) {
+              if (shown++ >= kStallReportRecords) return;
+              os << "\n  v" << f << "->v" << t << " in_flight=" << in_flight
+                 << "/" << cfg_.reliable.max_in_flight
+                 << " staged=" << backlog
+                 << (is_crashed(t) ? " (dest crashed)" : "");
+            });
+      }
+      if (shown > kStallReportRecords) {
+        os << "\n  ... " << (shown - kStallReportRecords) << " more";
+      }
+      if (shown == 0) os << " none";
     }
     std::size_t quarantined = 0;
     for (const Shard& sh : shards_) quarantined += sh.reliable.quarantined();
@@ -546,6 +596,28 @@ class Network {
         total += sh.reliable.quarantined();
       }
       return total;
+    }
+    /// Sends parked by a full flow-control window, not yet in the channel
+    /// (see ReliableConfig::max_in_flight). Zero without flow control.
+    std::uint64_t staged() const {
+      std::uint64_t total = 0;
+      for (const Shard& sh : net_->shards_) {
+        total += sh.reliable.staged_total();
+      }
+      return total;
+    }
+    /// Window occupancy of one (from, to) channel (tracked only while
+    /// flow control is on).
+    std::uint64_t in_flight_on(NodeId from, NodeId to) const {
+      return net_->shards_[static_cast<std::size_t>(from) &
+                           net_->shard_mask_]
+          .reliable.in_flight_on(from, to);
+    }
+    /// Staged backlog of one (from, to) channel.
+    std::uint64_t staged_on(NodeId from, NodeId to) const {
+      return net_->shards_[static_cast<std::size_t>(from) &
+                           net_->shard_mask_]
+          .reliable.staged_on(from, to);
     }
 
    private:
@@ -820,7 +892,19 @@ class Network {
   /// branch.
   void round_work(Shard& sh) {
     deliver_due(sh);
-    if (reliable_enabled_) [[unlikely]] retransmit_due(sh);
+    if (reliable_enabled_) [[unlikely]] {
+      retransmit_due(sh);
+      // Window slots freed outside the ack path (abandoned or quarantined
+      // records) release their staged backlog here; the common ack-driven
+      // release already ran inside deliver_due.
+      if (flow_control_ && sh.reliable.staged_total() != 0) {
+        sh.reliable.pump_staged(
+            [this, &sh](NodeId f, NodeId t,
+                        ReliableTransport::StagedSend&& s) {
+              release_send(sh, f, t, std::move(s));
+            });
+      }
+    }
     activate(sh);
     met(sh).on_round_end();
   }
@@ -855,9 +939,18 @@ class Network {
 
   void activate(Shard& sh) {
     const std::size_t stride = shards_.size();
-    if (crash_possible_) [[unlikely]] {
+    if (crash_possible_ || stragglers_possible_) [[unlikely]] {
       for (std::size_t i = sh.index; i < nodes_.size(); i += stride) {
-        if (!crashed_[i]) nodes_[i].node->on_activate();
+        if (crash_possible_ && crashed_[i]) continue;
+        // A straggling node keeps receiving (deliveries above already
+        // ran) but is too CPU-starved to take its activation step this
+        // round. Schedule-based: zero rng draws, so an all-zero plan
+        // stays byte-identical.
+        if (stragglers_possible_ &&
+            faults_.straggler_skips(static_cast<NodeId>(i), round_)) {
+          continue;
+        }
+        nodes_[i].node->on_activate();
       }
     } else {
       for (std::size_t i = sh.index; i < nodes_.size(); i += stride) {
@@ -904,6 +997,18 @@ class Network {
       return;
     }
     if (reliable_enabled_) {
+      if (flow_control_ && sh.reliable.window_full(from, to)) [[unlikely]] {
+        // Sliding window full: park the record in the channel's staging
+        // buffer instead of registering it. It is released verbatim (in
+        // FIFO order) as acks open the window, so delivery order per
+        // channel is preserved and the unacked set stays bounded.
+        met(sh).record_window_stall();
+        if (tracer_.enabled()) {
+          tracer_.message(trace::EventKind::kStall, from, to, action, bits);
+        }
+        sh.reliable.stage(from, to, std::move(payload), bits, action);
+        return;
+      }
       const std::uint64_t seq = sh.reliable.register_send(
           from, to, *payload, bits, action, round_);
       enqueue(sh, from, to, std::move(payload), MsgKind::kReliableData, seq,
@@ -940,8 +1045,12 @@ class Network {
         }
         return;  // the channel ate it; retransmission is reliable's job
       }
+      // Sustained link inflation is additive on top of the base delay and
+      // any spike; schedule-based, so it costs no rng draws.
+      const std::uint64_t inflation =
+          inflation_possible_ ? faults_.link_inflation(from, to, round_) : 0;
       const std::uint64_t delay =
-          base_delay(sh) + faults_.delay_spike(sh.fault_rng);
+          base_delay(sh) + faults_.delay_spike(sh.fault_rng) + inflation;
       if (faults_.should_duplicate(sh.fault_rng)) {
         met(sh).record_duplicate(action);
         if (tracer_.enabled()) {
@@ -952,9 +1061,10 @@ class Network {
         // protocol-visible and async-delay streams stay aligned with
         // duplicate-free runs.
         const std::uint64_t dup_delay =
-            cfg_.mode == DeliveryMode::kSynchronous
-                ? 1
-                : sh.fault_rng.range(1, cfg_.max_delay);
+            (cfg_.mode == DeliveryMode::kSynchronous
+                 ? 1
+                 : sh.fault_rng.range(1, cfg_.max_delay)) +
+            inflation;
         Envelope dup;
         dup.from = from;
         dup.to = to;
@@ -1160,6 +1270,17 @@ class Network {
                           env.action, env.bits);
         }
         sh.reliable.ack(/*from=*/env.to, /*to=*/env.from, env.seq);
+        // The ack just opened a window slot on channel (env.to ->
+        // env.from); release its staged backlog eagerly so flow control
+        // costs no extra round of latency on the common path.
+        if (flow_control_) {
+          sh.reliable.release_staged(
+              /*from=*/env.to, /*to=*/env.from,
+              [this, &sh](NodeId f, NodeId t,
+                          ReliableTransport::StagedSend&& s) {
+                release_send(sh, f, t, std::move(s));
+              });
+        }
         return;
       }
       // Reliable data: ack every copy (ack loss only costs a
@@ -1178,6 +1299,18 @@ class Network {
                       env.action, env.bits);
     }
     nodes_[env.to].node->on_message(env.from, std::move(env.payload));
+  }
+
+  /// Put a staged record on the wire now that its channel window has
+  /// room. The caller (release_staged / pump_staged) guarantees room, so
+  /// this registers and enqueues directly instead of going back through
+  /// slow_send's staging check.
+  void release_send(Shard& sh, NodeId from, NodeId to,
+                    ReliableTransport::StagedSend&& s) {
+    const std::uint64_t seq = sh.reliable.register_send(
+        from, to, *s.payload, s.bits, s.action, round_);
+    enqueue(sh, from, to, std::move(s.payload), MsgKind::kReliableData, seq,
+            s.bits, s.action);
   }
 
   void send_ack(Shard& sh, NodeId from, NodeId to, std::uint64_t seq) {
@@ -1291,6 +1424,14 @@ class Network {
   void ensure_capacity(Shard& sh, std::uint64_t delay) {
     const std::uint64_t old_size = sh.pending.size();
     if (delay < old_size) return;
+    SKS_CHECK_MSG(
+        cfg_.max_pending_rounds == 0 || delay < cfg_.max_pending_rounds,
+        "pending-ring growth to cover a delivery " +
+            std::to_string(delay) +
+            " rounds out exceeds max_pending_rounds=" +
+            std::to_string(cfg_.max_pending_rounds) +
+            "; lower FaultPlan::spike_max / link-inflation extras or raise "
+            "NetworkConfig::max_pending_rounds");
     std::vector<std::vector<Envelope>> grown(
         std::bit_ceil(std::uint64_t{delay + 1}));
     for (std::uint64_t d = 1; d < old_size; ++d) {
@@ -1319,6 +1460,9 @@ class Network {
   bool corrupt_possible_; ///< cached FaultPlan::corruption_active()
   bool reliable_enabled_;
   bool wire_enabled_;             ///< cached NetworkConfig::wire
+  bool flow_control_;         ///< reliable enabled and max_in_flight != 0
+  bool stragglers_possible_;  ///< any straggler schedule in the plan
+  bool inflation_possible_;   ///< any link-inflation schedule in the plan
   bool fenced_possible_ = false;  ///< any node ever fenced
   bool latched_ = false;          ///< shard topology fixed
   std::size_t shard_mask_ = 0;    ///< num_shards - 1 (power of two)

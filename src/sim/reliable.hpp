@@ -32,10 +32,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <iterator>
 #include <map>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/payload.hpp"
@@ -71,6 +73,17 @@ struct ReliableConfig {
   /// synchronized timeouts (one lost broadcast round) de-correlate
   /// instead of re-firing in lockstep. 0 = no jitter, no rng draws.
   std::uint64_t retransmit_jitter = 0;
+  /// Flow control: sliding window of at most this many unacked records
+  /// per (from, to) channel. A send past the window is staged (FIFO per
+  /// channel) and released as acks open the window; window stalls are
+  /// counted in sim::Metrics and surfaced in the stall report. 0 = no
+  /// window (the default — existing runs stay byte-identical).
+  std::uint64_t max_in_flight = 0;
+  /// Bound on each channel's staging buffer when max_in_flight is set.
+  /// Exceeding it is a hard SKS_CHECK failure pointing at admission
+  /// control — silently dropping a staged record would break the
+  /// exactly-once contract. 0 = unbounded staging.
+  std::uint64_t max_staged = 0;
 };
 
 /// Acknowledgement for one tracked message. A real payload so acks flow
@@ -116,6 +129,14 @@ class ReliableTransport {
     std::uint64_t poisoned = 0;  ///< integrity failures when abandoned
   };
 
+  /// A send the flow-control window would not admit, parked in the
+  /// channel's staging buffer until acks open the window.
+  struct StagedSend {
+    PayloadPtr payload;      ///< owned clone, handed back at release
+    std::uint64_t bits = 0;  ///< cached size_bits of the original
+    ActionId action = 0;     ///< cached metrics_tag of the original
+  };
+
   /// Track an outgoing message: assign its channel sequence number and
   /// retain a clone. Returns the sequence number to stamp on the wire.
   std::uint64_t register_send(NodeId from, NodeId to, const Payload& payload,
@@ -129,13 +150,125 @@ class ReliableTransport {
     r.backoff = std::max<std::uint64_t>(cfg_.ack_timeout, 1);
     r.next_retry = round + r.backoff;
     records_.emplace(MsgKey{from, to, seq}, std::move(r));
+    if (cfg_.max_in_flight != 0) ++in_flight_[ChannelKey{from, to}];
     return seq;
   }
 
   /// An ack for (from, to, seq) arrived back at the sender. Idempotent:
   /// duplicate acks and acks for abandoned records are no-ops.
   void ack(NodeId from, NodeId to, std::uint64_t seq) {
-    records_.erase(MsgKey{from, to, seq});
+    if (records_.erase(MsgKey{from, to, seq}) != 0) {
+      dec_in_flight(from, to);
+    }
+  }
+
+  // ---- Flow control (ReliableConfig::max_in_flight) --------------------
+
+  /// True when the sliding-window knob is on.
+  bool flow_control() const { return cfg_.max_in_flight != 0; }
+
+  /// True when the (from, to) window is full — the next send on the
+  /// channel must be staged instead of entering the channel.
+  bool window_full(NodeId from, NodeId to) const {
+    if (cfg_.max_in_flight == 0) return false;
+    const auto it = in_flight_.find(ChannelKey{from, to});
+    return it != in_flight_.end() && it->second >= cfg_.max_in_flight;
+  }
+
+  /// Park a send the window would not admit (FIFO per channel). The
+  /// transport takes ownership; the payload is handed back verbatim at
+  /// release. Overflowing max_staged is a hard failure: silently dropping
+  /// a staged record would break exactly-once, so the diagnostic points
+  /// at the knobs that shed load explicitly.
+  void stage(NodeId from, NodeId to, PayloadPtr payload, std::uint64_t bits,
+             ActionId action) {
+    auto& q = staged_[ChannelKey{from, to}];
+    SKS_CHECK_MSG(
+        cfg_.max_staged == 0 || q.size() < cfg_.max_staged,
+        "flow-control staging buffer of channel "
+            << from << "->" << to << " overflowed max_staged="
+            << cfg_.max_staged
+            << "; reduce offered load, raise max_in_flight, or bound the "
+               "client with admission control (max_buffered_ops)");
+    q.push_back(StagedSend{std::move(payload), bits, action});
+    ++staged_total_;
+  }
+
+  /// Release staged sends of (from, to) while the window has room, FIFO.
+  /// `send(from, to, StagedSend&&)` must register_send + enqueue the
+  /// record (register_send re-fills the window, naturally bounding the
+  /// loop).
+  template <class SendFn>
+  void release_staged(NodeId from, NodeId to, SendFn&& send) {
+    const auto it = staged_.find(ChannelKey{from, to});
+    if (it == staged_.end()) return;
+    auto& q = it->second;
+    while (!q.empty() && !window_full(from, to)) {
+      StagedSend s = std::move(q.front());
+      q.pop_front();
+      --staged_total_;
+      send(from, to, std::move(s));
+    }
+    if (q.empty()) staged_.erase(it);
+  }
+
+  /// Release staged sends on every channel with window room (channel
+  /// order, FIFO within a channel). Covers window slots freed outside the
+  /// ack path: abandoned and quarantined records.
+  template <class SendFn>
+  void pump_staged(SendFn&& send) {
+    if (staged_total_ == 0) return;
+    for (auto it = staged_.begin(); it != staged_.end();) {
+      const ChannelKey k = it->first;
+      auto& q = it->second;
+      while (!q.empty() && !window_full(k.from, k.to)) {
+        StagedSend s = std::move(q.front());
+        q.pop_front();
+        --staged_total_;
+        send(k.from, k.to, std::move(s));
+      }
+      it = q.empty() ? staged_.erase(it) : std::next(it);
+    }
+  }
+
+  /// Staged-but-unsent records across all channels. Nonzero means the
+  /// network is not quiescent: a window slot will eventually free (ack,
+  /// abandon or quarantine) and release them.
+  std::uint64_t staged_total() const { return staged_total_; }
+
+  /// Staged backlog of one channel.
+  std::uint64_t staged_on(NodeId from, NodeId to) const {
+    const auto it = staged_.find(ChannelKey{from, to});
+    return it == staged_.end() ? 0 : it->second.size();
+  }
+
+  /// Unacked records currently occupying the (from, to) window (tracked
+  /// only while flow control is on).
+  std::uint64_t in_flight_on(NodeId from, NodeId to) const {
+    const auto it = in_flight_.find(ChannelKey{from, to});
+    return it == in_flight_.end() ? 0 : it->second;
+  }
+
+  /// Walk every channel with live window state — in-flight records or a
+  /// staged backlog — in channel order, for the stall report:
+  /// `fn(from, to, in_flight, staged)`.
+  template <class Fn>
+  void for_each_channel_window(Fn&& fn) const {
+    auto fl = in_flight_.begin();
+    auto st = staged_.begin();
+    while (fl != in_flight_.end() || st != staged_.end()) {
+      if (st == staged_.end() ||
+          (fl != in_flight_.end() && fl->first < st->first)) {
+        fn(fl->first.from, fl->first.to, fl->second,
+           staged_on(fl->first.from, fl->first.to));
+        ++fl;
+      } else {
+        if (fl != in_flight_.end() && fl->first == st->first) ++fl;
+        fn(st->first.from, st->first.to,
+           in_flight_on(st->first.from, st->first.to), st->second.size());
+        ++st;
+      }
+    }
   }
 
   /// The channel corrupted a physical copy of (from, to, seq) and the
@@ -155,6 +288,7 @@ class ReliableTransport {
     quarantined_.push_back(
         Quarantined{from, to, seq, r.action, r.poisoned});
     records_.erase(it);
+    dec_in_flight(from, to);
     return true;
   }
 
@@ -214,6 +348,17 @@ class ReliableTransport {
     std::erase_if(recv_, [v](const auto& kv) {
       return kv.first.from == v || kv.first.to == v;
     });
+    std::erase_if(in_flight_, [v](const auto& kv) {
+      return kv.first.from == v || kv.first.to == v;
+    });
+    for (auto it = staged_.begin(); it != staged_.end();) {
+      if (it->first.from == v || it->first.to == v) {
+        staged_total_ -= it->second.size();
+        it = staged_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   /// Disjoint out-of-order runs buffered by the (from, to) receiver —
@@ -254,6 +399,7 @@ class ReliableTransport {
       }
       if (cfg_.max_attempts != 0 && r.attempts >= cfg_.max_attempts) {
         abandon(k.from, k.to, k.seq, r);
+        dec_in_flight(k.from, k.to);
         it = records_.erase(it);
         continue;
       }
@@ -307,6 +453,15 @@ class ReliableTransport {
     return rng->below(cfg_.retransmit_jitter + 1);
   }
 
+  /// A record left the channel (ack / abandon / quarantine): free its
+  /// window slot. No-op when flow control is off.
+  void dec_in_flight(NodeId from, NodeId to) {
+    if (cfg_.max_in_flight == 0) return;
+    const auto it = in_flight_.find(ChannelKey{from, to});
+    if (it == in_flight_.end()) return;
+    if (--it->second == 0) in_flight_.erase(it);
+  }
+
   struct ChannelKey {
     NodeId from = kNoNode;
     NodeId to = kNoNode;
@@ -330,6 +485,11 @@ class ReliableTransport {
   std::map<MsgKey, Record> records_;  ///< unacked, sorted for determinism
   std::map<ChannelKey, Receiver> recv_;
   std::vector<Quarantined> quarantined_;
+  /// Flow-control state (empty while max_in_flight == 0): unacked records
+  /// per channel, and the per-channel FIFO of sends the window refused.
+  std::map<ChannelKey, std::uint64_t> in_flight_;
+  std::map<ChannelKey, std::deque<StagedSend>> staged_;
+  std::uint64_t staged_total_ = 0;
 };
 
 }  // namespace sks::sim

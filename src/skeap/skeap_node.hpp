@@ -18,6 +18,7 @@
 // serialization order ≺ and verify Definitions 1.1/1.2.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -46,6 +47,13 @@ struct SkeapConfig {
   std::uint64_t hash_seed = 0xb1a5edULL;
   dht::DhtWidths widths;
   recovery::RecoveryConfig recovery;
+  /// Admission control: cap on buffered (not yet batched) inserts per
+  /// node. At the cap a new insert sheds the worst pending insert —
+  /// largest (priority, issue order), the element a correct heap would
+  /// return last — or is itself rejected when it is the worst. Deletes
+  /// are never shed: retracting a delete would break the client API.
+  /// 0 = unbounded (the default).
+  std::size_t max_buffered_ops = 0;
 };
 
 struct SkeapUp {
@@ -114,16 +122,47 @@ class SkeapNode : public overlay::OverlayNode {
 
   // ---- Client API ------------------------------------------------------
 
-  /// Buffer an Insert(e); it joins the next batch this node starts.
-  void insert(const Element& e) {
+  /// Buffer an Insert(e); it joins the next batch this node starts. Under
+  /// admission control (SkeapConfig::max_buffered_ops) the returned
+  /// AdmitResult reports whether e was buffered and which element, if
+  /// any, was shed to make room; unbounded nodes always accept.
+  AdmitResult insert(const Element& e) {
     SKS_CHECK_MSG(e.prio >= 1 && e.prio <= config_.num_priorities,
                   "priority " << e.prio << " outside P = {1..}"
                               << config_.num_priorities);
+    AdmitResult out;
+    if (config_.max_buffered_ops != 0 &&
+        buffered_inserts_ >= config_.max_buffered_ops) [[unlikely]] {
+      // Shed the worst pending insert: largest (priority, issue order)
+      // over stored ∪ incoming. The incoming op is the newest, so on a
+      // priority tie it is the max and gets rejected itself.
+      auto victim = buffered_.end();
+      for (auto it = buffered_.begin(); it != buffered_.end(); ++it) {
+        if (!it->is_insert) continue;
+        if (victim == buffered_.end() ||
+            it->element.prio > victim->element.prio ||
+            (it->element.prio == victim->element.prio &&
+             it->issue_seq > victim->issue_seq)) {
+          victim = it;
+        }
+      }
+      net().metrics().record_shed();
+      if (victim == buffered_.end() || victim->element.prio <= e.prio) {
+        out.accepted = false;
+        out.shed = e;
+        return out;
+      }
+      out.shed = victim->element;
+      buffered_.erase(victim);
+      --buffered_inserts_;
+    }
     PendingOp op;
     op.is_insert = true;
     op.element = e;
     op.issue_seq = next_issue_seq_++;
     buffered_.push_back(std::move(op));
+    ++buffered_inserts_;
+    return out;
   }
 
   /// Buffer a DeleteMin(); `cb` runs locally with the matched element, or
@@ -142,7 +181,13 @@ class SkeapNode : public overlay::OverlayNode {
 
   /// Phase 1 for the next epoch: snapshot the buffer into a batch (possibly
   /// empty) and contribute it. Returns the epoch started.
-  std::uint64_t start_batch() {
+  std::uint64_t start_batch() { return start_batch(0); }
+
+  /// Phase 1 with a batch-size cap: snapshot at most `limit` buffered ops
+  /// (0 = all), oldest first; the rest stay buffered for a later epoch.
+  /// Local issue order is preserved, so sequential consistency is
+  /// unaffected by where the batch boundary falls.
+  std::uint64_t start_batch(std::size_t limit) {
     const std::uint64_t epoch = next_epoch_++;
     // Phase 1 span: covers this host's contribution and the aggregation
     // up/down passes, until the assignment lands back here (Phase 4).
@@ -158,10 +203,13 @@ class SkeapNode : public overlay::OverlayNode {
     }
     Batch batch(config_.num_priorities);
     std::vector<PendingOp> snapshot;
-    snapshot.reserve(buffered_.size());
-    while (!buffered_.empty()) {
+    const std::size_t take =
+        limit == 0 ? buffered_.size() : std::min(limit, buffered_.size());
+    snapshot.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
       PendingOp op = std::move(buffered_.front());
       buffered_.pop_front();
+      if (op.is_insert) --buffered_inserts_;
       op.entry = op.is_insert ? batch.record_insert(op.element.prio)
                               : batch.record_delete();
       snapshot.push_back(std::move(op));
@@ -249,6 +297,9 @@ class SkeapNode : public overlay::OverlayNode {
     dht_.clear_client_state();
     agg_.abort_all();
     buffered_ = c.buffered;
+    buffered_inserts_ = static_cast<std::size_t>(std::count_if(
+        buffered_.begin(), buffered_.end(),
+        [](const PendingOp& op) { return op.is_insert; }));
     in_flight_.clear();
     pending_anchor_batches_.clear();
     next_epoch_ = c.next_epoch;
@@ -490,6 +541,7 @@ class SkeapNode : public overlay::OverlayNode {
   std::vector<std::pair<DeleteCallback, std::optional<Element>>> deferred_;
 
   std::deque<PendingOp> buffered_;
+  std::size_t buffered_inserts_ = 0;  ///< inserts within buffered_
   std::map<std::uint64_t, std::vector<PendingOp>> in_flight_;
   std::uint64_t next_epoch_ = 0;
   std::uint64_t epochs_completed_ = 0;

@@ -56,6 +56,15 @@ class SkeapSystem {
     /// sim::NetworkConfig; thread count never changes the trace).
     std::size_t threads = sim::thread_count_default();
     std::size_t shards = sim::shard_count_default();
+    /// Admission control: per-node cap on buffered inserts (see
+    /// SkeapConfig::max_buffered_ops). 0 = unbounded.
+    std::size_t max_buffered_ops = 0;
+    /// Bound the network's pending-ring growth in rounds (see
+    /// sim::NetworkConfig::max_pending_rounds). 0 = unbounded.
+    std::uint64_t max_pending_rounds = 0;
+    /// Adaptive batching (see runtime::ClusterOptions). max == 0 = off.
+    std::size_t adaptive_batch_min = 0;
+    std::size_t adaptive_batch_max = 0;
   };
 
   using Cluster = runtime::Cluster<SkeapNode, SkeapConfig>;
@@ -70,6 +79,7 @@ class SkeapSystem {
     config.widths = dht::DhtWidths::for_system(
         num_nodes, opts.num_priorities, opts.expected_elements);
     config.recovery = opts.recovery;
+    config.max_buffered_ops = opts.max_buffered_ops;
     return config;
   }
 
@@ -86,6 +96,9 @@ class SkeapSystem {
     c.wire = opts.wire;
     c.threads = opts.threads;
     c.shards = opts.shards;
+    c.max_pending_rounds = opts.max_pending_rounds;
+    c.adaptive_batch_min = opts.adaptive_batch_min;
+    c.adaptive_batch_max = opts.adaptive_batch_max;
     return c;
   }
 
@@ -103,10 +116,33 @@ class SkeapSystem {
   Cluster& cluster() { return cluster_; }
 
   /// Insert with an auto-assigned unique element id; returns the element.
+  /// With admission control on, use try_insert — this asserts acceptance.
   Element insert(NodeId v, Priority prio) {
     const Element e{prio, next_element_id_++};
-    node(v).insert(e);
+    const AdmitResult r = node(v).insert(e);
+    SKS_CHECK_MSG(r.accepted && !r.shed,
+                  "insert shed under admission control; use try_insert");
     return e;
+  }
+
+  /// Outcome of try_insert: `element` is the buffered element (nullopt
+  /// when the insert itself was rejected); `shed` is whichever element —
+  /// this one or a previously buffered one — admission control rejected.
+  struct InsertOutcome {
+    std::optional<Element> element;
+    std::optional<Element> shed;
+  };
+
+  /// Admission-control-aware insert: never throws on overload, reporting
+  /// the shed element instead so callers (and the shed-aware oracle) can
+  /// account for every rejected operation.
+  InsertOutcome try_insert(NodeId v, Priority prio) {
+    const Element e{prio, next_element_id_++};
+    AdmitResult r = node(v).insert(e);
+    InsertOutcome out;
+    if (r.accepted) out.element = e;
+    out.shed = std::move(r.shed);
+    return out;
   }
 
   void delete_min(NodeId v, SkeapNode::DeleteCallback cb = nullptr) {
@@ -117,7 +153,9 @@ class SkeapSystem {
   /// the network runs until all four phases and all DHT traffic quiesce.
   /// Returns the number of rounds the batch took.
   std::uint64_t run_batch() {
-    return cluster_.run_epoch([](SkeapNode& n) { n.start_batch(); });
+    const std::size_t limit = cluster_.batch_limit();
+    return cluster_.run_epoch(
+        [limit](SkeapNode& n) { n.start_batch(limit); });
   }
 
   /// All op records from all nodes (the input to the semantics checkers).

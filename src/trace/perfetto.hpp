@@ -212,7 +212,8 @@ inline void write_perfetto_json(const Trace& t, const std::string& path) {
       case EventKind::kDrop:
       case EventKind::kDuplicate:
       case EventKind::kCorrupt:
-      case EventKind::kQuarantine: {
+      case EventKind::kQuarantine:
+      case EventKind::kStall: {
         // Fault-injection channel events, shown on the sender's track.
         std::fprintf(f, ",\n{\"name\":\"%s ", to_string(e.kind));
         detail::json_escaped(f, action_name(t, e.label));

@@ -62,6 +62,7 @@ struct TraceSummary {
   std::uint64_t quarantines = 0;   ///< poison records abandoned by senders
   std::uint64_t scrubs = 0;        ///< scrub-pass owner audits
   std::uint64_t digest_mismatches = 0;  ///< failed replica digest checks
+  std::uint64_t stalls = 0;        ///< sends parked by the flow window
   std::vector<PhaseSummary> phases;
   std::vector<EpochSummary> epochs;
   std::vector<ActionSummary> actions;
@@ -133,6 +134,9 @@ inline TraceSummary summarize(const Trace& trace) {
         break;
       case EventKind::kDigestMismatch:
         ++out.digest_mismatches;
+        break;
+      case EventKind::kStall:
+        ++out.stalls;
         break;
       case EventKind::kDeliver: {
         ++out.deliveries;

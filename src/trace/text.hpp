@@ -31,6 +31,7 @@ inline std::string to_line(const Trace& t, const Event& e) {
     case EventKind::kDuplicate:
     case EventKind::kCorrupt:
     case EventKind::kQuarantine:
+    case EventKind::kStall:
       line += " " + node_str(e.node) + "->" + node_str(e.peer) +
               " action=" + action_name(t, e.label) +
               " bits=" + std::to_string(e.value);

@@ -80,6 +80,9 @@ enum class EventKind : std::uint8_t {
   kQuarantine,      ///< poison record abandoned by sender (node=from)
   kScrub,           ///< scrub pass audited this owner's replica digests
   kDigestMismatch,  ///< a replica digest check failed on `node`
+  // Flow-control events (ReliableConfig::max_in_flight). Appended after
+  // the integrity kinds to keep recorded trace values stable.
+  kStall,           ///< send parked by a full flow window (node=from)
 };
 
 inline const char* to_string(EventKind k) {
@@ -105,6 +108,7 @@ inline const char* to_string(EventKind k) {
     case EventKind::kQuarantine: return "quarantine";
     case EventKind::kScrub: return "scrub";
     case EventKind::kDigestMismatch: return "digest-mismatch";
+    case EventKind::kStall: return "window-stall";
   }
   return "?";
 }
@@ -141,6 +145,7 @@ inline constexpr Category category_of(EventKind k) {
     case EventKind::kDuplicate:
     case EventKind::kCorrupt:
     case EventKind::kQuarantine:
+    case EventKind::kStall:
       return Category::kMessage;
     case EventKind::kEpochBegin:
     case EventKind::kEpochEnd:

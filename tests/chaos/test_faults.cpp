@@ -13,6 +13,7 @@
 #include "sim/dispatch.hpp"
 #include "sim/network.hpp"
 #include "trace/summary.hpp"
+#include "trace/text.hpp"
 
 namespace sks::sim {
 namespace {
@@ -342,6 +343,189 @@ TEST(Faults, FaultyRunsAreDeterministicPerSeed) {
   };
   EXPECT_EQ(run(5), run(5));
   EXPECT_NE(run(5), run(6));
+}
+
+TEST(Faults, StragglerActivatesOnlyOnItsSchedule) {
+  NetworkConfig cfg;
+  cfg.faults.stragglers.push_back({1, 4, 0, 1000});
+  NodeId a, b;
+  Network net = make_net(cfg, &a, &b);
+  for (int i = 0; i < 40; ++i) net.step();
+  // The healthy node ran every round; the straggler every 4th.
+  EXPECT_EQ(net.node_as<SinkNode>(a).activations, 40u);
+  EXPECT_EQ(net.node_as<SinkNode>(b).activations, 10u);
+  // Deliveries are unaffected — only the node's own processing lags.
+  net.node_as<SinkNode>(a).ping(b, 7);
+  net.step();
+  EXPECT_EQ(net.node_as<SinkNode>(b).received,
+            (std::vector<std::uint64_t>{7}));
+}
+
+TEST(Faults, LinkInflationDelaysOnlyItsDirection) {
+  NetworkConfig cfg;
+  cfg.faults.link_inflations.push_back({0, 1, 3, 0, 1000});
+  NodeId a, b;
+  Network net = make_net(cfg, &a, &b);
+  net.node_as<SinkNode>(a).ping(b, 1);  // inflated: 1 + 3 rounds
+  net.node_as<SinkNode>(b).ping(a, 2);  // reverse direction: on time
+  net.step();
+  EXPECT_EQ(net.node_as<SinkNode>(a).received,
+            (std::vector<std::uint64_t>{2}));
+  EXPECT_TRUE(net.node_as<SinkNode>(b).received.empty());
+  net.step();
+  net.step();
+  EXPECT_TRUE(net.node_as<SinkNode>(b).received.empty());
+  net.step();
+  EXPECT_EQ(net.node_as<SinkNode>(b).received,
+            (std::vector<std::uint64_t>{1}));
+}
+
+TEST(Faults, LinkInflationEntriesStack) {
+  NetworkConfig cfg;
+  cfg.faults.link_inflations.push_back({0, 1, 2, 0, 1000});
+  cfg.faults.link_inflations.push_back({0, 1, 1, 0, 1000});
+  NodeId a, b;
+  Network net = make_net(cfg, &a, &b);
+  net.node_as<SinkNode>(a).ping(b, 9);  // 1 + (2 + 1) rounds
+  for (int i = 0; i < 3; ++i) {
+    net.step();
+    EXPECT_TRUE(net.node_as<SinkNode>(b).received.empty());
+  }
+  net.step();
+  EXPECT_EQ(net.node_as<SinkNode>(b).received,
+            (std::vector<std::uint64_t>{9}));
+}
+
+TEST(Faults, FlowControlWindowParksAndReleasesSends) {
+  NetworkConfig cfg;
+  cfg.seed = 24;
+  cfg.reliable.enabled = true;
+  cfg.reliable.max_in_flight = 4;
+  NodeId a, b;
+  Network net = make_net(cfg, &a, &b);
+  net.tracer().enable();
+  for (std::uint64_t i = 0; i < 100; ++i) net.node_as<SinkNode>(a).ping(b, i);
+  // 4 sends filled the window; the other 96 are parked, not dropped.
+  EXPECT_EQ(net.reliable().staged(), 96u);
+  EXPECT_EQ(net.reliable().staged_on(a, b), 96u);
+  EXPECT_EQ(net.reliable().in_flight_on(a, b), 4u);
+  EXPECT_FALSE(net.idle()) << "staged sends must block quiescence";
+
+  net.run_until_idle();
+  auto got = sorted(net.node_as<SinkNode>(b).received);
+  ASSERT_EQ(got.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_EQ(net.reliable().staged(), 0u);
+  EXPECT_EQ(net.reliable().unacked(), 0u);
+  EXPECT_EQ(net.metrics().window_stalls(), 96u);
+  const trace::TraceSummary s = trace::summarize(net.take_trace());
+  EXPECT_EQ(s.stalls, 96u);
+  for (const auto& act : s.actions) {
+    if (act.action == "chaos.ping") {
+      EXPECT_EQ(act.messages, 100u)
+          << "every parked send must still be delivered exactly once";
+    }
+  }
+}
+
+TEST(Faults, FlowControlSurvivesLossAndStaysExactlyOnce) {
+  NetworkConfig cfg;
+  cfg.seed = 25;
+  cfg.faults.drop_prob = 0.2;
+  cfg.reliable.enabled = true;
+  cfg.reliable.max_in_flight = 2;
+  NodeId a, b;
+  Network net = make_net(cfg, &a, &b);
+  for (std::uint64_t i = 0; i < 150; ++i) net.node_as<SinkNode>(a).ping(b, i);
+  net.run_until_idle();
+  auto got = sorted(net.node_as<SinkNode>(b).received);
+  ASSERT_EQ(got.size(), 150u);
+  for (std::uint64_t i = 0; i < 150; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_GT(net.metrics().window_stalls(), 0u);
+  EXPECT_GT(net.metrics().retransmitted(), 0u);
+  EXPECT_EQ(net.reliable().staged(), 0u);
+  EXPECT_EQ(net.reliable().unacked(), 0u);
+}
+
+TEST(Faults, FlowControlRequiresTheReliableTransport) {
+  NetworkConfig cfg;
+  cfg.reliable.max_in_flight = 4;  // without reliable.enabled
+  EXPECT_THROW((Network(cfg)), CheckFailure);
+}
+
+TEST(Faults, StallReportShowsFlowControlWindows) {
+  NetworkConfig cfg;
+  cfg.seed = 26;
+  cfg.reliable.enabled = true;
+  cfg.reliable.max_in_flight = 2;
+  NodeId a, b;
+  Network net = make_net(cfg, &a, &b);
+  net.crash_node(b);  // crash-stop: the window never reopens
+  for (std::uint64_t i = 0; i < 10; ++i) net.node_as<SinkNode>(a).ping(b, i);
+  try {
+    net.run_until_idle(200);
+    FAIL() << "expected the deadlock detector to fire";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("flow control (max_in_flight=2)"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("in_flight=2/2"), std::string::npos) << what;
+    EXPECT_NE(what.find("staged=8"), std::string::npos) << what;
+    EXPECT_NE(what.find("(dest crashed)"), std::string::npos) << what;
+  }
+}
+
+TEST(Faults, MaxPendingRoundsMustExceedTheDeliveryHorizon) {
+  NetworkConfig cfg;
+  cfg.mode = DeliveryMode::kAsynchronous;
+  cfg.max_delay = 16;
+  cfg.max_pending_rounds = 8;
+  EXPECT_THROW((Network(cfg)), CheckFailure);
+}
+
+TEST(Faults, MaxPendingRoundsTripsOnRunawayDelayWithDiagnostics) {
+  NetworkConfig cfg;
+  cfg.seed = 27;
+  cfg.max_pending_rounds = 50;
+  cfg.faults.link_inflations.push_back({0, 1, 100, 0, 1000});
+  NodeId a, b;
+  Network net = make_net(cfg, &a, &b);
+  try {
+    net.node_as<SinkNode>(a).ping(b, 1);
+    net.run_until_idle();
+    FAIL() << "expected max_pending_rounds to trip";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("max_pending_rounds"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Faults, ScheduleOnlyOverloadKnobsKeepTracesByteIdentical) {
+  // Stragglers and link inflation are pure schedule lookups; arming them
+  // with never-active windows makes the fault path run on every send but
+  // must not move a single rng draw or trace byte.
+  auto run = [](bool armed) {
+    NetworkConfig cfg;
+    cfg.mode = DeliveryMode::kAsynchronous;
+    cfg.max_delay = 8;
+    cfg.seed = 31;
+    if (armed) {
+      cfg.faults.stragglers.push_back({1, 2, 0, 0});
+      cfg.faults.link_inflations.push_back({0, 1, 7, 0, 0});
+    }
+    NodeId a, b;
+    Network net = make_net(cfg, &a, &b);
+    net.tracer().enable();
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      net.node_as<SinkNode>(a).ping(b, i);
+    }
+    net.run_until_idle();
+    return trace::to_text(net.take_trace());
+  };
+  const std::string base = run(false);
+  EXPECT_TRUE(run(true) == base)
+      << "armed-but-idle overload schedules perturbed the trace";
 }
 
 TEST(Faults, TraceRecordsDropDuplicateCrashRestart) {

@@ -1,0 +1,305 @@
+// Overload chaos leg: sustained overload (offered load past the
+// admission cap) combined with a straggling node, 10% message loss,
+// crash-restart and a tight flow-control window — for Skeap, Seap and
+// KSelect. The shed-aware HistoryOracle audits the client-visible
+// history (acknowledged inserts minus shed retractions vs. deleteMin
+// results) and the core trace checkers audit the node-side records; a
+// shed insert leaking back into the heap, a lost acknowledged insert, or
+// a duplicated delivery all surface in one of the two.
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/semantics.hpp"
+#include "kselect/kselect_system.hpp"
+#include "seap/seap_system.hpp"
+#include "skeap/skeap_system.hpp"
+
+#include "../common/history_oracle.hpp"
+
+namespace sks {
+namespace {
+
+using test::HistoryOracle;
+
+// Same base seeds and SKS_CHAOS_SEED shift as the other chaos suites, so
+// every CI matrix leg exercises a fresh overload schedule.
+std::vector<std::uint64_t> overload_seeds() {
+  const char* env = std::getenv("SKS_CHAOS_SEED");
+  const std::uint64_t offset =
+      env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
+  return {101 + offset, 202 + offset, 303 + offset};
+}
+
+/// Feed a try_insert outcome to the oracle: acknowledged inserts are
+/// recorded, an evicted victim is retracted, an outright-rejected insert
+/// was never acknowledged and leaves no trace. Returns 1 if anything was
+/// shed (either way), for checking the metrics counter.
+template <class Outcome>
+std::uint64_t note_outcome(HistoryOracle& oracle, const Outcome& out,
+                           std::uint64_t epoch) {
+  if (out.element.has_value()) {
+    oracle.note_insert(*out.element, epoch);
+    if (out.shed.has_value()) oracle.note_shed(*out.shed, epoch);
+  }
+  return out.shed.has_value() ? 1u : 0u;
+}
+
+TEST(Overload, SkeapAdmissionShedsWorstPendingInsert) {
+  skeap::SkeapSystem::Options opts;
+  opts.num_nodes = 2;
+  opts.num_priorities = 3;
+  opts.seed = 9;
+  opts.max_buffered_ops = 2;
+  skeap::SkeapSystem sys(opts);
+  HistoryOracle oracle(HistoryOracle::Mode::kPriority);
+
+  const auto a = sys.try_insert(0, 2);
+  const auto b = sys.try_insert(0, 1);
+  ASSERT_TRUE(a.element.has_value());
+  ASSERT_TRUE(b.element.has_value());
+  EXPECT_FALSE(a.shed.has_value());
+  EXPECT_FALSE(b.shed.has_value());
+  oracle.note_insert(*a.element, 0);
+  oracle.note_insert(*b.element, 0);
+
+  // At the cap, the worst pending insert is shed. An incoming prio-3 is
+  // itself the worst: rejected outright, nothing buffered changes.
+  const auto c = sys.try_insert(0, 3);
+  EXPECT_FALSE(c.element.has_value());
+  ASSERT_TRUE(c.shed.has_value());
+  EXPECT_EQ(c.shed->prio, 3u);
+
+  // An incoming prio-1 beats the buffered prio-2: that one is evicted.
+  const auto d = sys.try_insert(0, 1);
+  ASSERT_TRUE(d.element.has_value());
+  ASSERT_TRUE(d.shed.has_value());
+  EXPECT_EQ(d.shed->id, a.element->id);
+  oracle.note_insert(*d.element, 0);
+  oracle.note_shed(*d.shed, 0);
+
+  // Priority ties reject the newest op (the incoming one).
+  const auto e = sys.try_insert(0, 1);
+  EXPECT_FALSE(e.element.has_value());
+  ASSERT_TRUE(e.shed.has_value());
+  EXPECT_EQ(e.shed->prio, 1u);
+
+  EXPECT_EQ(sys.net().metrics().sheds(), 3u);
+
+  // Deletes are never shed: they join the buffer even at the cap.
+  std::vector<Element> got;
+  for (int i = 0; i < 2; ++i) {
+    sys.delete_min(0, [&](std::optional<Element> x) {
+      ASSERT_TRUE(x.has_value());
+      got.push_back(*x);
+      oracle.note_delete_result(0, x);
+    });
+  }
+  sys.run_batch();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].prio, 1u);
+  EXPECT_EQ(got[1].prio, 1u);
+
+  const auto verdict = oracle.check();
+  EXPECT_TRUE(verdict.ok) << verdict.error;
+  EXPECT_EQ(oracle.live_after_replay(), 0u);
+  const auto check = core::check_skeap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Overload, SeapAdmissionShedsWorstPendingInsert) {
+  seap::SeapSystem::Options opts;
+  opts.num_nodes = 2;
+  opts.seed = 10;
+  opts.max_buffered_ops = 2;
+  seap::SeapSystem sys(opts);
+  HistoryOracle oracle(HistoryOracle::Mode::kExact);
+
+  const auto a = sys.try_insert(0, 100);
+  const auto b = sys.try_insert(0, 50);
+  ASSERT_TRUE(a.element.has_value());
+  ASSERT_TRUE(b.element.has_value());
+  oracle.note_insert(*a.element, 0);
+  oracle.note_insert(*b.element, 0);
+
+  const auto c = sys.try_insert(0, 300);  // worst: rejected outright
+  EXPECT_FALSE(c.element.has_value());
+  ASSERT_TRUE(c.shed.has_value());
+  EXPECT_EQ(c.shed->prio, 300u);
+
+  const auto d = sys.try_insert(0, 10);  // evicts the buffered 100
+  ASSERT_TRUE(d.element.has_value());
+  ASSERT_TRUE(d.shed.has_value());
+  EXPECT_EQ(d.shed->id, a.element->id);
+  oracle.note_insert(*d.element, 0);
+  oracle.note_shed(*d.shed, 0);
+
+  EXPECT_EQ(sys.net().metrics().sheds(), 2u);
+
+  std::vector<Element> got;
+  for (int i = 0; i < 2; ++i) {
+    sys.delete_min(0, [&](std::optional<Element> x) {
+      ASSERT_TRUE(x.has_value());
+      got.push_back(*x);
+      oracle.note_delete_result(0, x);
+    });
+  }
+  sys.run_cycle();
+  ASSERT_EQ(got.size(), 2u);
+  // kExact: exactly the two surviving elements (which callback slot
+  // receives which is a protocol detail, so compare as a multiset).
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got[0].prio, 10u);
+  EXPECT_EQ(got[1].prio, 50u);
+
+  const auto verdict = oracle.check();
+  EXPECT_TRUE(verdict.ok) << verdict.error;
+  EXPECT_EQ(oracle.live_after_replay(), 0u);
+  const auto check = core::check_seap_trace(sys.gather_trace());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Overload, SkeapSurvivesOverloadStragglersLossAndCrashes) {
+  for (const std::uint64_t seed : overload_seeds()) {
+    skeap::SkeapSystem::Options opts;
+    opts.num_nodes = 8;
+    opts.num_priorities = 3;
+    opts.seed = seed;
+    opts.faults.drop_prob = 0.1;
+    opts.faults.stragglers.push_back({2, 3, 0, 100000});
+    opts.reliable.enabled = true;
+    opts.reliable.max_in_flight = 4;
+    opts.max_buffered_ops = 2;
+    skeap::SkeapSystem sys(opts);
+
+    HistoryOracle oracle(HistoryOracle::Mode::kPriority);
+    std::uint64_t sheds = 0;
+
+    // Epoch 0 under 2x overload: 4 offered inserts per node, cap 2.
+    for (NodeId v = 0; v < 8; ++v) {
+      for (NodeId i = 0; i < 4; ++i) {
+        sheds += note_outcome(oracle, sys.try_insert(v, 1 + (v + i) % 3), 0);
+      }
+    }
+    EXPECT_GE(sheds, 16u) << "each node must shed its over-cap inserts";
+    // A non-anchor node crash-restarts inside the batch.
+    NodeId victim = kNoNode;
+    for (NodeId v : sys.active_nodes()) {
+      if (v != sys.anchor() && v != 2) {
+        victim = v;
+        break;
+      }
+    }
+    ASSERT_NE(victim, kNoNode);
+    const std::uint64_t r = sys.net().round();
+    sys.net().schedule_crash({victim, r + 3, r + 15});
+    sys.run_batch();
+    EXPECT_FALSE(sys.net().is_crashed(victim));
+
+    // Epoch 1: more overload plus a delete per node.
+    for (NodeId v = 0; v < 8; ++v) {
+      for (NodeId i = 0; i < 3; ++i) {
+        sheds += note_outcome(oracle, sys.try_insert(v, 1 + (v + i) % 3), 1);
+      }
+      sys.delete_min(v, [&](std::optional<Element> x) {
+        oracle.note_delete_result(1, x);
+      });
+    }
+    sys.run_batch();
+
+    const auto verdict = oracle.check();
+    EXPECT_TRUE(verdict.ok) << "seed=" << seed << ": " << verdict.error;
+    EXPECT_EQ(sys.net().metrics().sheds(), sheds) << "seed=" << seed;
+    EXPECT_GT(sys.net().metrics().retransmitted(), 0u) << "seed=" << seed;
+    EXPECT_EQ(sys.net().reliable().staged(), 0u)
+        << "seed=" << seed << ": staged sends must drain by quiescence";
+    const auto check = core::check_skeap_trace(sys.gather_trace());
+    EXPECT_TRUE(check.ok) << "seed=" << seed << ": " << check.error;
+  }
+}
+
+TEST(Overload, SeapSurvivesOverloadStragglersLossAndCrashes) {
+  for (const std::uint64_t seed : overload_seeds()) {
+    seap::SeapSystem::Options opts;
+    opts.num_nodes = 8;
+    opts.seed = seed;
+    opts.faults.drop_prob = 0.1;
+    opts.faults.stragglers.push_back({3, 3, 0, 100000});
+    opts.reliable.enabled = true;
+    opts.reliable.max_in_flight = 4;
+    opts.max_buffered_ops = 2;
+    seap::SeapSystem sys(opts);
+
+    Rng rng(seed ^ 0xabc);
+    HistoryOracle oracle(HistoryOracle::Mode::kExact);
+    std::uint64_t sheds = 0;
+
+    for (NodeId v = 0; v < 8; ++v) {
+      for (int i = 0; i < 4; ++i) {
+        sheds += note_outcome(
+            oracle, sys.try_insert(v, rng.range(1, 1u << 20)), 0);
+      }
+    }
+    EXPECT_GE(sheds, 16u);
+    NodeId victim = kNoNode;
+    for (NodeId v : sys.active_nodes()) {
+      if (v != sys.anchor() && v != 3) {
+        victim = v;
+        break;
+      }
+    }
+    ASSERT_NE(victim, kNoNode);
+    const std::uint64_t r = sys.net().round();
+    sys.net().schedule_crash({victim, r + 3, r + 15});
+    sys.run_cycle();
+    EXPECT_FALSE(sys.net().is_crashed(victim));
+
+    for (NodeId v = 0; v < 8; ++v) {
+      sys.delete_min(v, [&](std::optional<Element> x) {
+        oracle.note_delete_result(1, x);
+      });
+    }
+    sys.run_cycle();
+
+    const auto verdict = oracle.check();
+    EXPECT_TRUE(verdict.ok) << "seed=" << seed << ": " << verdict.error;
+    EXPECT_EQ(sys.net().metrics().sheds(), sheds) << "seed=" << seed;
+    EXPECT_GT(sys.net().metrics().retransmitted(), 0u) << "seed=" << seed;
+    EXPECT_EQ(sys.net().reliable().staged(), 0u) << "seed=" << seed;
+    const auto check = core::check_seap_trace(sys.gather_trace());
+    EXPECT_TRUE(check.ok) << "seed=" << seed << ": " << check.error;
+  }
+}
+
+TEST(Overload, KSelectSurvivesStragglersLossAndCrashes) {
+  for (const std::uint64_t seed : overload_seeds()) {
+    kselect::KSelectSystem::Options opts;
+    opts.num_nodes = 16;
+    opts.seed = seed;
+    opts.faults.drop_prob = 0.1;
+    opts.faults.stragglers.push_back({5, 3, 0, 100000});
+    opts.faults.crashes.push_back({3, 2, 12});  // restart mid-selection
+    opts.reliable.enabled = true;
+    opts.reliable.max_in_flight = 4;
+    kselect::KSelectSystem sys(opts);
+
+    Rng rng(seed ^ 0x515);
+    std::vector<kselect::CandidateKey> elements;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      elements.push_back(
+          kselect::CandidateKey{rng.range(1, 1u << 16), i + 1});
+    }
+    sys.seed_elements(elements);
+    const auto out = sys.select(57);
+    ASSERT_TRUE(out.result.has_value()) << "seed=" << seed;
+    std::sort(elements.begin(), elements.end());
+    EXPECT_EQ(*out.result, elements[56]) << "seed=" << seed;
+    EXPECT_EQ(sys.net().reliable().staged(), 0u) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sks

@@ -62,6 +62,16 @@ class HistoryOracle {
     epochs_[epoch].deletes.push_back(r);
   }
 
+  /// Record that admission control shed a previously acknowledged insert
+  /// during `epoch` (the eviction case of AdmitResult). The shed is
+  /// client-visible: the oracle removes the element from the live set
+  /// before the epoch's deletes and fails if any later delete returns
+  /// it. Inserts rejected outright (accepted=false) are simply never
+  /// note_insert-ed — there is nothing to retract.
+  void note_shed(Element e, std::uint64_t epoch) {
+    epochs_[epoch].sheds.push_back(e);
+  }
+
   struct Verdict {
     bool ok = true;
     std::string error;
@@ -72,9 +82,24 @@ class HistoryOracle {
   Verdict check() const {
     Verdict v;
     std::vector<Element> live;
+    std::vector<Element> shed;  ///< everything admission control rejected
     for (const auto& [epoch, ops] : epochs_) {
       live.insert(live.end(), ops.inserts.begin(), ops.inserts.end());
       std::sort(live.begin(), live.end());
+      // Sheds retract acknowledged-but-unbatched inserts: the element
+      // must still be live (a shed of a never-inserted or already-deleted
+      // element is an accounting bug in the run, not overload).
+      for (const Element& s : ops.sheds) {
+        auto it = std::lower_bound(live.begin(), live.end(), s);
+        if (it == live.end() || !(*it == s)) {
+          return fail("epoch ", epoch, ": shed element {prio=", s.prio,
+                      ", id=", s.id,
+                      "} was not live (never acknowledged, shed twice, or "
+                      "already deleted)");
+        }
+        live.erase(it);
+        shed.insert(std::lower_bound(shed.begin(), shed.end(), s), s);
+      }
       std::vector<Element> returned;
       std::size_t bottoms = 0;
       for (const auto& r : ops.deletes) {
@@ -84,6 +109,13 @@ class HistoryOracle {
         }
         auto it = std::lower_bound(live.begin(), live.end(), *r);
         if (it == live.end() || !(*it == *r)) {
+          if (std::binary_search(shed.begin(), shed.end(), *r)) {
+            return fail("epoch ", epoch,
+                        ": delete returned element {prio=", r->prio,
+                        ", id=", r->id,
+                        "} that admission control shed — a rejected "
+                        "insert leaked back into the heap");
+          }
           return fail("epoch ", epoch, ": delete returned element {prio=",
                       r->prio, ", id=", r->id,
                       "} that is not live (phantom, duplicate delivery, or "
@@ -132,8 +164,8 @@ class HistoryOracle {
   std::size_t live_after_replay() const {
     std::size_t inserts = 0, hits = 0;
     for (const auto& [epoch, ops] : epochs_) {
-      inserts += ops.inserts.size();
-      for (const auto& r : ops.deletes) hits += r.has_value() ? 1 : 0;
+      inserts += ops.inserts.size() - ops.sheds.size();
+      for (const auto& r : ops.deletes) hits += r.has_value() ? 1u : 0u;
     }
     return inserts - hits;
   }
@@ -141,6 +173,7 @@ class HistoryOracle {
  private:
   struct EpochOps {
     std::vector<Element> inserts;
+    std::vector<Element> sheds;
     std::vector<std::optional<Element>> deletes;
   };
 

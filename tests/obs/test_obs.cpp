@@ -191,6 +191,85 @@ TEST(OpenMetrics, ExpositionFormat) {
   EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
 }
 
+TEST(Series, OverloadSeriesAreRegistered) {
+  EXPECT_STREQ(obs::series_name(obs::SeriesId::kWindowStalls),
+               "window_stalls");
+  EXPECT_STREQ(obs::series_name(obs::SeriesId::kSheds), "sheds");
+  EXPECT_STREQ(obs::series_name(obs::SeriesId::kQueueDepth), "queue_depth");
+  EXPECT_STREQ(obs::series_name(obs::SeriesId::kBatchSize), "batch_size");
+  EXPECT_TRUE(obs::series_is_counter(obs::SeriesId::kWindowStalls));
+  EXPECT_TRUE(obs::series_is_counter(obs::SeriesId::kSheds));
+  EXPECT_FALSE(obs::series_is_counter(obs::SeriesId::kQueueDepth));
+  EXPECT_FALSE(obs::series_is_counter(obs::SeriesId::kBatchSize));
+}
+
+TEST(Sampler, OverloadCountersAndProbeGauges) {
+  sim::NetworkConfig cfg;
+  cfg.reliable.enabled = true;
+  cfg.reliable.max_in_flight = 1;
+  sim::Network net(cfg);
+  net.add_node(std::make_unique<RelayNode>());
+  net.add_node(std::make_unique<RelayNode>());
+
+  obs::Sampler sampler(net);
+  // Queue depth and batch limit live above the network; harnesses inject
+  // them as probes read at each sample.
+  std::uint64_t depth = 42, batch = 7;
+  sampler.set_queue_depth_probe([&] { return depth; });
+  sampler.set_batch_size_probe([&] { return batch; });
+
+  // 5 sends into a window of 1: four of them stall.
+  for (int i = 0; i < 5; ++i) {
+    net.send(0, 1, sim::make_payload<ObsPing>());
+  }
+  net.run_until_idle();
+  net.metrics().record_shed();  // as a protocol node would on admission
+  sampler.sample(/*epoch=*/1);
+
+  auto latest = [&](obs::SeriesId id) {
+    return sampler.series(id).back().value;
+  };
+  EXPECT_DOUBLE_EQ(latest(obs::SeriesId::kWindowStalls), 4.0);
+  EXPECT_DOUBLE_EQ(latest(obs::SeriesId::kSheds), 1.0);
+  EXPECT_DOUBLE_EQ(latest(obs::SeriesId::kQueueDepth), 42.0);
+  EXPECT_DOUBLE_EQ(latest(obs::SeriesId::kBatchSize), 7.0);
+  EXPECT_EQ(sampler.cumulative().window_stalls, 4u);
+  EXPECT_EQ(sampler.cumulative().sheds, 1u);
+
+  // Counters are per-sample deltas; gauges track the probes.
+  depth = 3;
+  batch = 14;
+  sampler.sample(/*epoch=*/2);
+  EXPECT_DOUBLE_EQ(latest(obs::SeriesId::kWindowStalls), 0.0);
+  EXPECT_DOUBLE_EQ(latest(obs::SeriesId::kSheds), 0.0);
+  EXPECT_DOUBLE_EQ(latest(obs::SeriesId::kQueueDepth), 3.0);
+  EXPECT_DOUBLE_EQ(latest(obs::SeriesId::kBatchSize), 14.0);
+
+  // All four series reach the OpenMetrics exposition and the timeline.
+  std::ostringstream os;
+  obs::write_openmetrics(os, sampler);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE sks_window_stalls counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sks_window_stalls_total{run=\"run\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sks_sheds counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sks_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("sks_queue_depth{run=\"run\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sks_batch_size gauge"), std::string::npos);
+
+  std::ostringstream table;
+  std::vector<obs::TimelineRow> rows;
+  obs::TimelineRow row;
+  row.values[static_cast<std::size_t>(obs::SeriesId::kWindowStalls)] = 4.0;
+  rows.push_back(row);
+  obs::render_timeline(table, rows);
+  EXPECT_NE(table.str().find("stall"), std::string::npos);
+  EXPECT_NE(table.str().find("shed"), std::string::npos);
+  EXPECT_NE(table.str().find("qdepth"), std::string::npos);
+  EXPECT_NE(table.str().find("batch"), std::string::npos);
+}
+
 TEST(PhaseProfiler, AttributesWallTimeWithoutPerturbingTrace) {
   sim::Network net = make_relay_net(2);
   trace::Tracer& tr = net.tracer();

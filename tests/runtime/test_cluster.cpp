@@ -7,6 +7,7 @@
 // those harnesses produced (behaviour preservation).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -218,6 +219,119 @@ TYPED_TEST(ClusterTypedTest, StartAllReachesOnlyActiveNodes) {
   cluster.start_all([&](typename TypeParam::Node&) { ++started; });
   EXPECT_EQ(started, 5u);
   cluster.run_until_idle();
+}
+
+TEST(ClusterAdaptive, BatchLimitDoublesOnBacklogAndHalvesOnDrain) {
+  skeap::SkeapSystem::Options o;
+  o.num_nodes = 4;
+  o.num_priorities = 3;
+  o.seed = 0x90e1;
+  o.adaptive_batch_min = 2;
+  o.adaptive_batch_max = 16;
+  skeap::SkeapSystem sys(o);
+  EXPECT_EQ(sys.cluster().batch_limit(), 2u);
+
+  // 20 ops on one node against a per-epoch limit that starts at 2: the
+  // AIMD trajectory is 2 -> 4 -> 8 -> 16 while backlogged, then halves
+  // once the buffer drains.
+  for (std::size_t i = 0; i < 20; ++i) sys.insert(0, 1 + i % 3);
+  std::vector<std::size_t> limits;
+  std::vector<std::size_t> queued;
+  while (sys.cluster().queued_ops() > 0) {
+    sys.run_batch();
+    limits.push_back(sys.cluster().batch_limit());
+    queued.push_back(sys.cluster().queued_ops());
+  }
+  ASSERT_EQ(limits.size(), 4u);  // batches of 2, 4, 8, 6
+  EXPECT_EQ(limits, (std::vector<std::size_t>{4, 8, 16, 8}));
+  EXPECT_EQ(queued, (std::vector<std::size_t>{18, 14, 6, 0}));
+
+  // Idle epochs keep decaying the limit down to the floor.
+  sys.run_batch();
+  EXPECT_EQ(sys.cluster().batch_limit(), 4u);
+  sys.run_batch();
+  EXPECT_EQ(sys.cluster().batch_limit(), 2u);
+  sys.run_batch();
+  EXPECT_EQ(sys.cluster().batch_limit(), 2u);
+
+  // Nothing was lost to the partial batches: all 20 elements drain.
+  std::size_t matched = 0;
+  for (int i = 0; i < 20; ++i) {
+    sys.delete_min(static_cast<NodeId>(i % 4),
+                   [&](std::optional<Element> x) { matched += x ? 1u : 0u; });
+  }
+  while (sys.cluster().queued_ops() > 0) sys.run_batch();
+  EXPECT_EQ(matched, 20u);
+}
+
+TEST(ClusterAdaptive, PartialBatchesPreserveLocalIssueOrder) {
+  // With a batch cap the later ops of one client node stay buffered for
+  // a later epoch, but the snapshot takes oldest-first — so all 8
+  // inserts commit before or alongside the first delete epoch. No
+  // delete may see an empty heap (⊥), nothing may be lost, and each
+  // epoch's deletes return priorities no smaller than any earlier
+  // epoch's (within one epoch the slot order is a protocol detail).
+  skeap::SkeapSystem::Options o;
+  o.num_nodes = 4;
+  o.num_priorities = 3;
+  o.seed = 0x90e2;
+  o.adaptive_batch_min = 1;
+  o.adaptive_batch_max = 4;
+  skeap::SkeapSystem sys(o);
+  std::vector<Priority> inserted;
+  for (std::size_t i = 0; i < 8; ++i) {
+    inserted.push_back(3 - i % 3);
+    sys.insert(0, inserted.back());
+  }
+  std::vector<Element> got;
+  std::size_t bottoms = 0;
+  for (int i = 0; i < 8; ++i) {
+    sys.delete_min(0, [&](std::optional<Element> x) {
+      if (x) {
+        got.push_back(*x);
+      } else {
+        ++bottoms;
+      }
+    });
+  }
+  std::vector<std::size_t> epoch_end;  ///< got.size() after each epoch
+  while (sys.cluster().queued_ops() > 0) {
+    sys.run_batch();
+    epoch_end.push_back(got.size());
+  }
+  EXPECT_EQ(bottoms, 0u) << "all inserts precede all deletes in issue order";
+  ASSERT_EQ(got.size(), 8u);
+  // Sort within each epoch's slice; across epochs the drain must be
+  // monotone (an epoch removes the globally smallest priorities).
+  std::vector<Priority> prios;
+  std::size_t begin = 0;
+  for (const std::size_t end : epoch_end) {
+    std::sort(got.begin() + static_cast<std::ptrdiff_t>(begin),
+              got.begin() + static_cast<std::ptrdiff_t>(end));
+    begin = end;
+  }
+  for (const Element& e : got) prios.push_back(e.prio);
+  EXPECT_TRUE(std::is_sorted(prios.begin(), prios.end()))
+      << "later epochs returned smaller priorities than earlier ones";
+  std::sort(inserted.begin(), inserted.end());
+  std::vector<Priority> sorted_prios = prios;
+  std::sort(sorted_prios.begin(), sorted_prios.end());
+  EXPECT_EQ(sorted_prios, inserted) << "drain lost or invented an element";
+}
+
+TEST(ClusterAdaptive, DisabledByDefaultAndValidated) {
+  skeap::SkeapSystem::Options o;
+  o.num_nodes = 2;
+  o.num_priorities = 2;
+  o.seed = 0x90e3;
+  {
+    skeap::SkeapSystem sys(o);
+    EXPECT_EQ(sys.cluster().batch_limit(), 0u) << "0 = drain everything";
+  }
+  o.adaptive_batch_max = 8;  // min stays 0: invalid
+  EXPECT_THROW((skeap::SkeapSystem(o)), CheckFailure);
+  o.adaptive_batch_min = 16;  // min > max: invalid
+  EXPECT_THROW((skeap::SkeapSystem(o)), CheckFailure);
 }
 
 // The wrappers expose the same engine (not a parallel code path): the

@@ -6,6 +6,7 @@
 // reordering. Also covers fence(), which recovery uses to retire every
 // channel of a declared-dead node.
 #include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -96,6 +97,118 @@ TEST(ReliableWindow, FenceRetiresEveryChannelOfANode) {
   EXPECT_EQ(t.unacked(), 1u);
   EXPECT_EQ(t.out_of_order_ranges(kB, kA), 0u);
   EXPECT_EQ(t.out_of_order_ranges(kA, 2), 1u);
+}
+
+TEST(ReliableWindow, FlowControlWindowFillsAndDrainsWithAcks) {
+  ReliableTransport t({.enabled = true, .max_in_flight = 2});
+  ASSERT_TRUE(t.flow_control());
+  const ReliableAck payload;
+  EXPECT_FALSE(t.window_full(kA, kB));
+  const std::uint64_t s0 = t.register_send(kA, kB, payload, 64, 0, 0);
+  EXPECT_FALSE(t.window_full(kA, kB));
+  const std::uint64_t s1 = t.register_send(kA, kB, payload, 64, 0, 0);
+  EXPECT_TRUE(t.window_full(kA, kB));
+  EXPECT_EQ(t.in_flight_on(kA, kB), 2u);
+  // The reverse channel has its own window.
+  EXPECT_FALSE(t.window_full(kB, kA));
+
+  t.ack(kA, kB, s0);
+  EXPECT_FALSE(t.window_full(kA, kB));
+  EXPECT_EQ(t.in_flight_on(kA, kB), 1u);
+  // Duplicate acks must not free a second slot.
+  t.ack(kA, kB, s0);
+  EXPECT_EQ(t.in_flight_on(kA, kB), 1u);
+  t.ack(kA, kB, s1);
+  EXPECT_EQ(t.in_flight_on(kA, kB), 0u);
+}
+
+TEST(ReliableWindow, StagedSendsReleaseInFifoOrderAsTheWindowOpens) {
+  ReliableTransport t({.enabled = true, .max_in_flight = 1});
+  const ReliableAck payload;
+  const std::uint64_t s0 = t.register_send(kA, kB, payload, 64, 0, 0);
+  ASSERT_TRUE(t.window_full(kA, kB));
+
+  // Park two sends; bits doubles as a FIFO marker.
+  t.stage(kA, kB, make_payload<ReliableAck>(), /*bits=*/100, /*action=*/0);
+  t.stage(kA, kB, make_payload<ReliableAck>(), /*bits=*/200, /*action=*/0);
+  EXPECT_EQ(t.staged_total(), 2u);
+  EXPECT_EQ(t.staged_on(kA, kB), 2u);
+
+  // Window still full: nothing releases.
+  std::vector<std::uint64_t> released;
+  auto sink = [&](NodeId from, NodeId to, ReliableTransport::StagedSend&& s) {
+    released.push_back(s.bits);
+    t.register_send(from, to, *s.payload, s.bits, s.action, 0);
+  };
+  t.release_staged(kA, kB, sink);
+  EXPECT_TRUE(released.empty());
+
+  // One ack frees one slot; exactly the oldest staged send re-fills it.
+  t.ack(kA, kB, s0);
+  t.release_staged(kA, kB, sink);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 100u);
+  EXPECT_EQ(t.staged_total(), 1u);
+  EXPECT_TRUE(t.window_full(kA, kB));
+
+  // pump_staged covers the same drain across all channels.
+  t.ack(kA, kB, 1);
+  t.pump_staged(sink);
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[1], 200u);
+  EXPECT_EQ(t.staged_total(), 0u);
+  EXPECT_EQ(t.staged_on(kA, kB), 0u);
+}
+
+TEST(ReliableWindow, FenceDropsWindowAndStagedStateOfTheDeadNode) {
+  ReliableTransport t({.enabled = true, .max_in_flight = 1});
+  const ReliableAck payload;
+  t.register_send(kA, kB, payload, 64, 0, 0);
+  t.register_send(kA, 2, payload, 64, 0, 0);
+  t.stage(kA, kB, make_payload<ReliableAck>(), 64, 0);
+  t.stage(kA, 2, make_payload<ReliableAck>(), 64, 0);
+  ASSERT_EQ(t.staged_total(), 2u);
+
+  t.fence(kB);
+  // kB's window slot and staged backlog are gone; kA->2 is untouched.
+  EXPECT_EQ(t.in_flight_on(kA, kB), 0u);
+  EXPECT_EQ(t.staged_on(kA, kB), 0u);
+  EXPECT_FALSE(t.window_full(kA, kB));
+  EXPECT_EQ(t.staged_total(), 1u);
+  EXPECT_EQ(t.staged_on(kA, 2), 1u);
+  EXPECT_TRUE(t.window_full(kA, 2));
+}
+
+TEST(ReliableWindow, ChannelWindowWalkMergesInFlightAndStagedChannels) {
+  ReliableTransport t({.enabled = true, .max_in_flight = 1});
+  const ReliableAck payload;
+  t.register_send(kA, kB, payload, 64, 0, 0);        // in-flight only
+  t.register_send(kB, kA, payload, 64, 0, 0);        // in-flight + staged
+  t.stage(kB, kA, make_payload<ReliableAck>(), 64, 0);
+  t.ack(kA, 2, 0);  // no-op: never creates channel state
+  t.stage(2, kA, make_payload<ReliableAck>(), 64, 0);  // staged only
+
+  struct Row {
+    NodeId from, to;
+    std::uint64_t in_flight, staged;
+  };
+  std::vector<Row> rows;
+  t.for_each_channel_window([&](NodeId from, NodeId to,
+                                std::uint64_t in_flight,
+                                std::uint64_t staged) {
+    rows.push_back({from, to, in_flight, staged});
+  });
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].from, kA);
+  EXPECT_EQ(rows[0].to, kB);
+  EXPECT_EQ(rows[0].in_flight, 1u);
+  EXPECT_EQ(rows[0].staged, 0u);
+  EXPECT_EQ(rows[1].from, kB);
+  EXPECT_EQ(rows[1].in_flight, 1u);
+  EXPECT_EQ(rows[1].staged, 1u);
+  EXPECT_EQ(rows[2].from, 2u);
+  EXPECT_EQ(rows[2].in_flight, 0u);
+  EXPECT_EQ(rows[2].staged, 1u);
 }
 
 }  // namespace
